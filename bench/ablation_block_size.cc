@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Ablation of the conv blocking scheme (Sec. V: 16x16x1 blocks are "a
+ * good trade-off between on-chip storage requirements and memory
+ * bandwidth usage").  Sweeps the block edge and reports the I/O
+ * Buffer capacity each size needs and the DRAM activation traffic
+ * (halo overhead) it causes on AutoPilot.
+ */
+
+#include <iostream>
+
+#include "common/table_writer.h"
+#include "harness/experiment.h"
+#include "harness/workload_setup.h"
+#include "sim/accelerator.h"
+#include "sim/io_buffer_model.h"
+
+int
+main()
+{
+    using namespace reuse;
+    std::cout << "Conv block-size ablation (Sec. V): storage vs DRAM "
+                 "traffic on AutoPilot\n";
+
+    WorkloadSetupConfig cfg;
+    Workload w = setupAutopilot(cfg);
+    MeasureOptions opts;
+    opts.withReference = false;
+    const auto m = measureWorkload(*w.bundle.network, w.plan,
+                                   w.generator->take(8), opts);
+
+    TableWriter t({"Block", "I/O buffer (reuse)", "DRAM act. bytes/exec",
+                   "Cycles/exec"});
+    for (int64_t edge : {4, 8, 16, 32, 64}) {
+        AcceleratorParams p;
+        p.blockEdge = edge;
+        AcceleratorSim sim(p);
+        const auto fp =
+            computeStorageFootprint(*w.bundle.network, w.plan, p);
+        const auto r =
+            sim.estimate(*w.bundle.network, AccelMode::Reuse,
+                         m.layerSimilarity, 20);
+        t.addRow({std::to_string(edge) + "x" + std::to_string(edge) +
+                      "x1",
+                  formatBytes(static_cast<double>(fp.ioBufferReuseBytes)),
+                  formatBytes(static_cast<double>(
+                      r.totals.dramActivationBytes / r.executions)),
+                  formatDouble(r.cyclesPerExecution(), 0)});
+    }
+    t.print(std::cout);
+    std::cout << "Expected shape: small blocks cut buffer needs but "
+                 "inflate halo traffic; large blocks do the "
+                 "opposite.  16x16 balances the two (the paper's "
+                 "choice).\n";
+    return 0;
+}

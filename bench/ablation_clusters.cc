@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Ablation from Sec. III's methodology: sweep of the cluster count
+ * (8 / 12 / 16 / 32) showing the similarity-versus-accuracy trade-off
+ * the paper describes — fewer clusters expose more similarity but
+ * hurt accuracy; the paper picks 16 for the speech networks and 32
+ * for the CNNs.  Also exercises the automatic backwards layer
+ * selection at each cluster count.
+ */
+
+#include <iostream>
+
+#include "common/table_writer.h"
+#include "harness/experiment.h"
+#include "harness/workload_setup.h"
+#include "quant/layer_selection.h"
+#include "quant/range_profiler.h"
+#include "workloads/speech_generator.h"
+
+int
+main()
+{
+    using namespace reuse;
+    std::cout << "Cluster-count ablation on Kaldi (Sec. III "
+                 "methodology)\n";
+
+    WorkloadSetupConfig cfg;
+    const size_t frames = 40;
+
+    TableWriter t({"Clusters", "Similarity", "Comp. Reuse",
+                   "Top-1 agreement", "Mean rel. error"});
+    for (int clusters : {8, 12, 16, 32, 64}) {
+        Workload w = setupKaldi(cfg);
+        auto gen = std::move(w.generator);
+        const auto calib = gen->take(cfg.calibrationFrames);
+        const QuantizationPlan plan = calibratePlan(
+            *w.bundle.network, calib, clusters,
+            w.bundle.quantizedLayers);
+        const auto m = measureWorkload(*w.bundle.network, plan,
+                                       gen->take(frames));
+        t.addRow({std::to_string(clusters),
+                  formatPercent(m.stats.meanSimilarity()),
+                  formatPercent(m.stats.meanComputationReuse()),
+                  formatPercent(m.accuracy.top1Agreement),
+                  formatDouble(m.accuracy.meanRelativeError, 4)});
+    }
+    t.print(std::cout);
+    std::cout << "Expected shape (paper): similarity falls as the "
+                 "cluster count grows; 8/12 clusters hurt accuracy.\n";
+
+    // Automatic backwards layer selection at the paper's setting.
+    std::cout << "\nAutomatic backwards layer selection (budget: 5% "
+                 "mean relative output error, 16 clusters):\n"
+              << "(synthetic networks show no top-1 loss, so the "
+                 "budget uses the stricter relative-error metric)\n";
+    Workload w = setupKaldi(cfg);
+    auto gen = std::move(w.generator);
+    const auto calib = gen->take(cfg.calibrationFrames);
+    const auto eval_inputs = gen->take(24);
+    const NetworkRanges ranges =
+        profileNetworkRanges(*w.bundle.network, calib);
+    LayerSelectionConfig sel;
+    sel.clusters = 16;
+    sel.maxAccuracyLossPct = 5.0;
+    const auto result = selectLayersBackwards(
+        *w.bundle.network, ranges, sel,
+        [&](const QuantizationPlan &plan) {
+            const auto m = measureWorkload(*w.bundle.network, plan,
+                                           eval_inputs);
+            return m.accuracy.meanRelativeError * 100.0;
+        });
+    std::cout << "Selected layers:";
+    for (size_t li : result.selectedLayers)
+        std::cout << " " << w.bundle.network->layer(li).name();
+    std::cout << " (accuracy loss "
+              << formatDouble(result.accuracyLossPct, 2)
+              << " pct points)\n";
+    std::cout << "Paper selects FC3..FC6 for Kaldi.\n";
+    return 0;
+}

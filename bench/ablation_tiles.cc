@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Tile-count ablation (Sec. IV-E): sweeps the number of accelerator
+ * tiles and reports the reuse-mode performance scaling for each DNN,
+ * together with the load imbalance of the per-layer work
+ * distribution (FC outputs / conv filters / LSTM gates across tiles)
+ * and the ring gather traffic.
+ */
+
+#include <iostream>
+
+#include "common/table_writer.h"
+#include "harness/headline.h"
+#include "sim/tile_model.h"
+
+int
+main()
+{
+    using namespace reuse;
+    std::cout << "Tile-count ablation: reuse-mode cycles per "
+                 "execution as tiles scale\n";
+
+    // Measure similarity once per workload, then sweep tile counts on
+    // the analytic side.
+    HeadlineConfig base_cfg;
+    std::vector<HeadlineEntry> measured;
+    for (const auto &name : modelZooNames())
+        measured.push_back(computeHeadlineEntry(name, base_cfg));
+
+    TableWriter t({"Tiles", "Kaldi cyc", "EESEN cyc", "C3D cyc",
+                   "AutoPilot cyc"});
+    for (int tiles : {1, 2, 4, 8, 16}) {
+        AcceleratorParams p;
+        p.tiles = tiles;
+        AcceleratorSim sim(p);
+        std::vector<std::string> row{std::to_string(tiles)};
+        for (const auto &entry : measured) {
+            // Rebuild the workload's network cheaply for costing.
+            Rng rng(base_cfg.setup.seed +
+                    (entry.name == "Kaldi"
+                         ? 0
+                         : entry.name == "EESEN"
+                               ? 17
+                               : entry.name == "C3D" ? 29 : 41));
+            std::unique_ptr<Network> net;
+            if (entry.name == "Kaldi")
+                net = buildKaldi(rng).network;
+            else if (entry.name == "EESEN")
+                net = buildEesen(rng).network;
+            else if (entry.name == "C3D")
+                net = buildC3D(rng, 1).network;
+            else
+                net = buildAutopilot(rng).network;
+            const int64_t seq =
+                net->isRecurrent() ? base_cfg.simulatedSequenceLength
+                                   : 1;
+            const int64_t execs =
+                net->isRecurrent()
+                    ? base_cfg.simulatedExecutions / 10
+                    : base_cfg.simulatedExecutions;
+            const auto r = sim.estimate(
+                *net, AccelMode::Reuse,
+                entry.measurement.layerSimilarity, execs, seq,
+                entry.measurement.layerReuse);
+            row.push_back(formatDouble(r.cyclesPerExecution(), 0));
+        }
+        t.addRow(row);
+    }
+    t.print(std::cout);
+
+    // Work-distribution imbalance of representative layers at the
+    // paper's 4-tile configuration.
+    std::cout << "\nLoad imbalance of the Sec. IV-E distribution at 4 "
+                 "tiles:\n";
+    TableWriter imb({"Layer", "Units", "Busiest tile", "Imbalance"});
+    struct Probe {
+        const char *name;
+        LayerKind kind;
+        int64_t neurons;
+        int64_t channels;
+    };
+    const Probe probes[] = {
+        {"Kaldi FC6 (3482 neurons)", LayerKind::FullyConnected, 3482,
+         0},
+        {"AutoPilot CONV1 (24 filters)", LayerKind::Conv2D,
+         24 * 31 * 98, 24},
+        {"C3D CONV5 (512 filters)", LayerKind::Conv3D, 0, 512},
+        {"EESEN BiLSTM (4 gates)", LayerKind::BiLstm, 640, 0},
+    };
+    for (const auto &probe : probes) {
+        const int64_t units = layerParallelUnits(
+            probe.kind, probe.neurons, probe.channels);
+        const auto d = distributeUnits(units, 4);
+        imb.addRow({probe.name, std::to_string(d.units),
+                    std::to_string(d.unitsPerTile),
+                    formatDouble(d.imbalance, 3)});
+    }
+    imb.print(std::cout);
+    std::cout << "Expected shape: near-linear scaling until the "
+                 "quantize/compare and DRAM stages dominate; FC/conv "
+                 "layers distribute almost perfectly, the 4-gate LSTM "
+                 "mapping saturates at 4 tiles.\n";
+    return 0;
+}

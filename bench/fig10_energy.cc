@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Reproduces Figure 10: normalized energy of the reuse-enabled
+ * accelerator relative to the baseline accelerator for each DNN
+ * (paper: 63% average savings; C3D 77%, AutoPilot 76%).
+ */
+
+#include <iostream>
+
+#include "common/table_writer.h"
+#include "harness/headline.h"
+#include "harness/paper_reference.h"
+
+int
+main()
+{
+    using namespace reuse;
+    std::cout << "Figure 10 reproduction: normalized energy "
+                 "(baseline accelerator = 1.0)\n";
+
+    const auto entries = computeHeadline({});
+    TableWriter t({"DNN", "Baseline (J)", "Reuse (J)",
+                   "Normalized", "Savings", "Paper savings"});
+    double mean_savings = 0.0;
+    for (const auto &e : entries) {
+        const double norm =
+            e.reuseEnergy.total() / e.baselineEnergy.total();
+        mean_savings += e.energySavings();
+        t.addRow({e.name,
+                  formatDouble(e.baselineEnergy.total() * 1e3, 3) +
+                      " mJ",
+                  formatDouble(e.reuseEnergy.total() * 1e3, 3) + " mJ",
+                  formatDouble(norm, 3),
+                  formatPercent(e.energySavings()),
+                  formatPercent(
+                      paperReferences().at(e.name).energySavings, 0)});
+    }
+    t.print(std::cout);
+    mean_savings /= static_cast<double>(entries.size());
+    std::cout << "Average energy savings: "
+              << formatPercent(mean_savings) << " (paper: 63%)\n";
+
+    // Energy-delay headline (paper: 9.5x improvement).
+    double edp_gain = 0.0;
+    for (const auto &e : entries) {
+        edp_gain += (e.baselineEnergy.total() * e.baseline.seconds) /
+                    (e.reuseEnergy.total() * e.reuse.seconds);
+    }
+    edp_gain /= static_cast<double>(entries.size());
+    std::cout << "Average energy-delay improvement: "
+              << formatDouble(edp_gain, 1) << "x (paper: 9.5x)\n";
+    return 0;
+}

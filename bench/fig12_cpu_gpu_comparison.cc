@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Reproduces Figure 12: speedup and energy reduction of the
+ * reuse-enabled accelerator versus an i7-7700K CPU and a GTX 1080
+ * GPU running the software frameworks (paper: the accelerator wins
+ * everywhere except raw GPU speed on C3D; ~213x/115x average energy
+ * reduction over CPU/GPU).
+ */
+
+#include <iostream>
+
+#include "baseline/platform_model.h"
+#include "common/table_writer.h"
+#include "harness/headline.h"
+#include "workloads/model_zoo.h"
+
+int
+main()
+{
+    using namespace reuse;
+    std::cout << "Figure 12 reproduction: accelerator+reuse vs CPU "
+                 "and GPU\n";
+
+    HeadlineConfig cfg;
+    const auto entries = computeHeadline(cfg);
+    const auto cpu_spec = PlatformSpec::cpuI7_7700K();
+    const auto gpu_spec = PlatformSpec::gpuGTX1080();
+
+    TableWriter t({"DNN", "Speedup vs CPU", "Speedup vs GPU",
+                   "Energy red. vs CPU", "Energy red. vs GPU"});
+    double e_cpu_mean = 0.0, e_gpu_mean = 0.0;
+    for (const auto &e : entries) {
+        // The software platforms run the full networks from scratch
+        // for the same number of executions / sequence lengths.
+        std::unique_ptr<Network> full;
+        Rng rng(cfg.setup.seed + 29);
+        const Network *net = nullptr;
+        if (e.name == "Kaldi") {
+            full = buildKaldi(rng).network;
+        } else if (e.name == "EESEN") {
+            full = buildEesen(rng).network;
+        } else if (e.name == "C3D") {
+            full = buildC3D(rng, 1).network;
+        } else {
+            full = buildAutopilot(rng).network;
+        }
+        net = full.get();
+
+        const int64_t execs = e.reuse.executions;
+        const int64_t seq =
+            net->isRecurrent() ? cfg.simulatedSequenceLength : 1;
+        const auto cpu = runOnPlatform(*net, cpu_spec, execs, seq);
+        const auto gpu = runOnPlatform(*net, gpu_spec, execs, seq);
+
+        const double su_cpu = cpu.seconds / e.reuse.seconds;
+        const double su_gpu = gpu.seconds / e.reuse.seconds;
+        const double er_cpu = cpu.joules / e.reuseEnergy.total();
+        const double er_gpu = gpu.joules / e.reuseEnergy.total();
+        e_cpu_mean += er_cpu;
+        e_gpu_mean += er_gpu;
+        t.addRow({e.name, formatDouble(su_cpu, 1) + "x",
+                  formatDouble(su_gpu, 2) + "x",
+                  formatDouble(er_cpu, 0) + "x",
+                  formatDouble(er_gpu, 0) + "x"});
+    }
+    t.print(std::cout);
+    std::cout << "Average energy reduction: "
+              << formatDouble(e_cpu_mean / 4.0, 0) << "x vs CPU "
+              << "(paper: 213x), "
+              << formatDouble(e_gpu_mean / 4.0, 0) << "x vs GPU "
+              << "(paper: 115x)\n"
+              << "Paper shape check: the GPU should win raw speed "
+                 "only on C3D.\n";
+    return 0;
+}

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Reproduces Figure 4: relative difference (Euclidean distance of the
+ * current vs. previous input vector over the previous vector's
+ * magnitude) for the inputs of Kaldi's last two FC layers across a
+ * stream of speech frames.
+ */
+
+#include <iostream>
+#include <vector>
+
+#include "common/table_writer.h"
+#include "harness/workload_setup.h"
+#include "tensor/tensor_ops.h"
+
+namespace reuse {
+namespace {
+
+/** Captures the input of every layer for each frame. */
+std::vector<std::vector<Tensor>>
+captureLayerInputs(const Network &net, const std::vector<Tensor> &frames)
+{
+    std::vector<std::vector<Tensor>> per_layer(net.layerCount());
+    for (const Tensor &frame : frames) {
+        Tensor current = frame;
+        for (size_t li = 0; li < net.layerCount(); ++li) {
+            per_layer[li].push_back(current);
+            current = net.layer(li).forward(current);
+        }
+    }
+    return per_layer;
+}
+
+} // namespace
+} // namespace reuse
+
+int
+main()
+{
+    using namespace reuse;
+    std::cout << "Figure 4 reproduction: relative difference of "
+                 "consecutive inputs, Kaldi FC5 and FC6\n"
+              << "(paper: values fluctuate roughly between 5% and "
+                 "25%, average relative difference < 14%)\n\n";
+
+    WorkloadSetupConfig cfg;
+    Workload w = setupKaldi(cfg);
+    const Network &net = *w.bundle.network;
+
+    // Locate FC5 and FC6 by name.
+    size_t fc5 = 0, fc6 = 0;
+    for (size_t li = 0; li < net.layerCount(); ++li) {
+        if (net.layer(li).name() == "FC5")
+            fc5 = li;
+        if (net.layer(li).name() == "FC6")
+            fc6 = li;
+    }
+
+    const size_t frames = 60;
+    const auto inputs = w.generator->take(frames);
+    const auto captured = captureLayerInputs(net, inputs);
+
+    TableWriter t({"Frame", "FC5 rel.diff", "FC6 rel.diff"});
+    double sum5 = 0.0, sum6 = 0.0;
+    for (size_t f = 1; f < frames; ++f) {
+        const double d5 = relativeDifference(captured[fc5][f],
+                                             captured[fc5][f - 1]);
+        const double d6 = relativeDifference(captured[fc6][f],
+                                             captured[fc6][f - 1]);
+        sum5 += d5;
+        sum6 += d6;
+        if (f % 5 == 0) {
+            t.addRow({std::to_string(f), formatPercent(d5),
+                      formatPercent(d6)});
+        }
+    }
+    t.print(std::cout);
+    std::cout << "Average over " << frames - 1
+              << " frames: FC5 = "
+              << formatPercent(sum5 / static_cast<double>(frames - 1))
+              << ", FC6 = "
+              << formatPercent(sum6 / static_cast<double>(frames - 1))
+              << "\n";
+    return 0;
+}

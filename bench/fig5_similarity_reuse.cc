@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Reproduces Figure 5: input similarity and computation reuse for the
+ * four DNNs plus the overall averages (paper: 61% similarity, 66%
+ * computation reuse on average).
+ */
+
+#include <iostream>
+
+#include "common/table_writer.h"
+#include "harness/experiment.h"
+#include "harness/paper_reference.h"
+#include "harness/workload_setup.h"
+
+int
+main()
+{
+    using namespace reuse;
+    std::cout << "Figure 5 reproduction: input similarity and "
+                 "computation reuse per DNN\n";
+
+    TableWriter t({"DNN", "Similarity", "Comp. Reuse"});
+    double sim_sum = 0.0, reuse_sum = 0.0;
+    WorkloadSetupConfig cfg;
+    MeasureOptions opts;
+    opts.withReference = false;
+
+    struct Spec {
+        const char *name;
+        size_t count;
+    };
+    const Spec specs[] = {{"Kaldi", 48}, {"EESEN", 40}, {"C3D", 5},
+                          {"AutoPilot", 12}};
+    for (const auto &spec : specs) {
+        Workload w = setupWorkload(spec.name, cfg);
+        const auto m = measureWorkload(*w.bundle.network, w.plan,
+                                       w.generator->take(spec.count),
+                                       opts);
+        const double sim = m.stats.meanSimilarity();
+        const double reuse = m.stats.meanComputationReuse();
+        sim_sum += sim;
+        reuse_sum += reuse;
+        t.addRow({spec.name, formatPercent(sim),
+                  formatPercent(reuse)});
+    }
+    t.addRow({"Average", formatPercent(sim_sum / 4.0),
+              formatPercent(reuse_sum / 4.0)});
+    t.print(std::cout);
+
+    const PaperAverages paper;
+    std::cout << "Paper averages: similarity "
+              << formatPercent(paper.inputSimilarity)
+              << ", computation reuse "
+              << formatPercent(paper.computationReuse) << "\n";
+    return 0;
+}

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Reproduces Figure 9: speedup of the reuse-enabled accelerator over
+ * the baseline accelerator for each DNN (paper: 1.9x Kaldi to 5.2x
+ * AutoPilot, 3.5x average).
+ */
+
+#include <iostream>
+
+#include "common/table_writer.h"
+#include "harness/headline.h"
+#include "harness/paper_reference.h"
+
+int
+main()
+{
+    using namespace reuse;
+    std::cout << "Figure 9 reproduction: speedup of the reuse scheme "
+                 "over the baseline accelerator\n"
+              << "(per-layer similarity measured functionally, "
+                 "paper-scale networks costed analytically)\n";
+
+    const auto entries = computeHeadline({});
+    TableWriter t({"DNN", "Baseline cyc/exec", "Reuse cyc/exec",
+                   "Speedup", "Paper"});
+    double geo = 1.0;
+    for (const auto &e : entries) {
+        t.addRow({e.name,
+                  formatDouble(e.baseline.cyclesPerExecution(), 0),
+                  formatDouble(e.reuse.cyclesPerExecution(), 0),
+                  formatDouble(e.speedup(), 2) + "x",
+                  formatDouble(paperReferences().at(e.name).speedup, 1) +
+                      "x"});
+        geo *= e.speedup();
+    }
+    t.print(std::cout);
+    double mean = 0.0;
+    for (const auto &e : entries)
+        mean += e.speedup();
+    mean /= static_cast<double>(entries.size());
+    std::cout << "Average speedup: " << formatDouble(mean, 2)
+              << "x (paper: 3.5x)\n";
+    return 0;
+}

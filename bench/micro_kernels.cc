@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Google-benchmark microbenchmarks of the core kernels: from-scratch
+ * versus reuse-based execution of FC, conv and LSTM layers at several
+ * similarity levels.  These measure the host-side software kernels
+ * (not the modelled accelerator) and demonstrate that the incremental
+ * algorithm also pays off in software when similarity is high.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "common/random.h"
+#include "core/conv_reuse.h"
+#include "core/fc_reuse.h"
+#include "nn/initializers.h"
+
+namespace reuse {
+namespace {
+
+/** Perturbs a fraction of the inputs by more than one quantizer step. */
+void
+perturb(Tensor &t, Rng &rng, double fraction, float step)
+{
+    const auto n = t.numel();
+    const auto count = static_cast<int64_t>(fraction * n);
+    for (int64_t k = 0; k < count; ++k) {
+        const int64_t i = rng.uniformInt(0, n - 1);
+        t[i] += 2.0f * step * (rng.bernoulli(0.5) ? 1.0f : -1.0f);
+    }
+}
+
+void
+BM_FcFromScratch(benchmark::State &state)
+{
+    const int64_t n = state.range(0);
+    const int64_t m = state.range(1);
+    Rng rng(1);
+    FullyConnectedLayer fc("fc", n, m);
+    initGlorot(fc, rng);
+    Tensor in(Shape({n}));
+    rng.fillGaussian(in.data(), 0.0f, 1.0f);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(fc.forward(in));
+    }
+    state.SetItemsProcessed(state.iterations() * n * m);
+}
+BENCHMARK(BM_FcFromScratch)
+    ->Args({400, 2000})
+    ->Args({1152, 1164});
+
+void
+BM_FcReuse(benchmark::State &state)
+{
+    const int64_t n = state.range(0);
+    const int64_t m = state.range(1);
+    const double change_fraction =
+        static_cast<double>(state.range(2)) / 100.0;
+    Rng rng(2);
+    FullyConnectedLayer fc("fc", n, m);
+    initGlorot(fc, rng);
+    LinearQuantizer quant(16, -4.0f, 4.0f);
+    FcReuseState reuse(fc, quant);
+    Tensor in(Shape({n}));
+    rng.fillGaussian(in.data(), 0.0f, 1.0f);
+    LayerExecRecord rec;
+    reuse.execute(in, rec);
+    for (auto _ : state) {
+        state.PauseTiming();
+        perturb(in, rng, change_fraction, quant.step());
+        state.ResumeTiming();
+        benchmark::DoNotOptimize(reuse.execute(in, rec));
+    }
+    state.SetItemsProcessed(state.iterations() * n * m);
+}
+BENCHMARK(BM_FcReuse)
+    ->Args({400, 2000, 0})
+    ->Args({400, 2000, 10})
+    ->Args({400, 2000, 34})
+    ->Args({400, 2000, 100})
+    ->Args({1152, 1164, 10});
+
+void
+BM_Conv2dFromScratch(benchmark::State &state)
+{
+    Rng rng(3);
+    Conv2DLayer conv("conv", 3, 24, 5, 2);
+    initGlorot(conv, rng);
+    Tensor in(Shape({3, 66, 200}));
+    rng.fillGaussian(in.data(), 0.0f, 1.0f);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(conv.forward(in));
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            conv.macCount(in.shape()));
+}
+BENCHMARK(BM_Conv2dFromScratch);
+
+void
+BM_Conv2dReuse(benchmark::State &state)
+{
+    const double change_fraction =
+        static_cast<double>(state.range(0)) / 100.0;
+    Rng rng(4);
+    Conv2DLayer conv("conv", 3, 24, 5, 2);
+    initGlorot(conv, rng);
+    const Shape in_shape({3, 66, 200});
+    LinearQuantizer quant(32, -4.0f, 4.0f);
+    ConvReuseState reuse(conv, in_shape, quant);
+    Tensor in(in_shape);
+    rng.fillGaussian(in.data(), 0.0f, 1.0f);
+    LayerExecRecord rec;
+    reuse.execute(in, rec);
+    for (auto _ : state) {
+        state.PauseTiming();
+        perturb(in, rng, change_fraction, quant.step());
+        state.ResumeTiming();
+        benchmark::DoNotOptimize(reuse.execute(in, rec));
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            conv.macCount(in_shape));
+}
+BENCHMARK(BM_Conv2dReuse)->Arg(0)->Arg(15)->Arg(54);
+
+void
+BM_Quantize(benchmark::State &state)
+{
+    const int64_t n = state.range(0);
+    Rng rng(5);
+    LinearQuantizer quant(16, -4.0f, 4.0f);
+    Tensor in(Shape({n}));
+    rng.fillGaussian(in.data(), 0.0f, 1.0f);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(quant.indices(in));
+    }
+    state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_Quantize)->Arg(400)->Arg(39600);
+
+} // namespace
+} // namespace reuse
+
+BENCHMARK_MAIN();

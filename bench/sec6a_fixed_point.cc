@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Reproduces the Sec. VI-A experiment: the reuse scheme on top of an
+ * 8-bit fixed-point accelerator, evaluated on Kaldi.  Paper: input
+ * similarity rises from 45% (fp32 baseline) to 52%, computation reuse
+ * 58%, 1.8x speedup and 45% energy savings, with negligible accuracy
+ * loss.
+ */
+
+#include <iostream>
+
+#include "common/table_writer.h"
+#include "harness/experiment.h"
+#include "harness/workload_setup.h"
+#include "energy/energy_model.h"
+#include "quant/fixed_point.h"
+#include "sim/accelerator.h"
+
+int
+main()
+{
+    using namespace reuse;
+    std::cout << "Sec. VI-A reproduction: reuse on a reduced-precision "
+                 "(8-bit fixed-point) accelerator, Kaldi\n";
+
+    WorkloadSetupConfig cfg;
+    const size_t frames = 48;
+
+    // --- FP32 configuration (reference numbers). ---
+    Workload fp32 = setupKaldi(cfg);
+    const auto inputs32 = fp32.generator->take(frames);
+    const auto m32 =
+        measureWorkload(*fp32.bundle.network, fp32.plan, inputs32);
+
+    // --- 8-bit configuration: snap the weights to an 8-bit grid and
+    // quantize inputs with 256-level quantizers over the profiled
+    // ranges (the fixed-point input path). ---
+    Workload fp8 = setupKaldi(cfg);
+    quantizeWeightsFixedPoint(*fp8.bundle.network, 8);
+    auto gen8 = std::move(fp8.generator);
+    const auto calib = gen8->take(cfg.calibrationFrames);
+    // The reuse scheme keeps its 16-cluster comparison on top of the
+    // 8-bit datapath (the paper reports 58% reuse there); the native
+    // similarity of the 8-bit inputs themselves uses 256 levels.
+    const QuantizationPlan plan8 =
+        calibratePlan(*fp8.bundle.network, calib, 16,
+                      fp8.bundle.quantizedLayers);
+    const QuantizationPlan plan8_native =
+        calibratePlan(*fp8.bundle.network, calib, 256,
+                      fp8.bundle.quantizedLayers);
+    const auto inputs8 = gen8->take(frames);
+    const auto m8 =
+        measureWorkload(*fp8.bundle.network, plan8, inputs8);
+    MeasureOptions native_opts;
+    native_opts.withReference = false;
+    const auto m8_native = measureWorkload(
+        *fp8.bundle.network, plan8_native, inputs8, native_opts);
+
+    // --- Cost both on their respective accelerators. ---
+    AcceleratorSim sim32;
+    AcceleratorParams p8;
+    p8.weightBytes = 1;
+    p8.activationBytes = 1;
+    AcceleratorSim sim8(p8);
+    const int64_t execs = 50;
+
+    auto run = [&](AcceleratorSim &sim, const Network &net,
+                   const std::vector<double> &sims) {
+        const auto base = sim.estimate(
+            net, AccelMode::Baseline, sims, execs);
+        const auto reuse =
+            sim.estimate(net, AccelMode::Reuse, sims, execs);
+        return std::make_pair(base, reuse);
+    };
+    const auto [base32, reuse32] =
+        run(sim32, *fp32.bundle.network, m32.layerSimilarity);
+    const auto [base8, reuse8] =
+        run(sim8, *fp8.bundle.network, m8.layerSimilarity);
+
+    const EnergyTable table32;
+    const EnergyTable table8 = EnergyTable::fixedPoint8();
+    const double sav32 = 1.0 - computeEnergy(reuse32, table32).total() /
+                                   computeEnergy(base32, table32).total();
+    const double sav8 = 1.0 - computeEnergy(reuse8, table8).total() /
+                                  computeEnergy(base8, table8).total();
+
+    TableWriter t({"Config", "Similarity", "Comp. Reuse", "Speedup",
+                   "Energy savings", "Top-1 agreement"});
+    t.addRow({"fp32 + 16 clusters",
+              formatPercent(m32.stats.meanSimilarity()),
+              formatPercent(m32.stats.meanComputationReuse()),
+              formatDouble(base32.cycles / reuse32.cycles, 2) + "x",
+              formatPercent(sav32),
+              formatPercent(m32.accuracy.top1Agreement)});
+    t.addRow({"8-bit fixed point",
+              formatPercent(m8_native.stats.meanSimilarity()),
+              formatPercent(m8.stats.meanComputationReuse()),
+              formatDouble(base8.cycles / reuse8.cycles, 2) + "x",
+              formatPercent(sav8),
+              formatPercent(m8.accuracy.top1Agreement)});
+    t.print(std::cout);
+    std::cout << "(8-bit row: similarity of the native 256-level "
+                 "inputs; reuse via the 16-cluster comparison)\n"
+              << "Paper: 8-bit config shows 52% similarity, 58% "
+                 "reuse, 1.8x speedup, 45% energy savings,\n"
+                 "accuracy loss well below 1%.\n";
+    return 0;
+}

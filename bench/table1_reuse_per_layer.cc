@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Reproduces Table I: per-layer computation reuse for the four DNNs,
+ * plus the accuracy impact of input quantization (measured here as
+ * agreement with the FP32 from-scratch network; see DESIGN.md).
+ */
+
+#include <iostream>
+
+#include "common/table_writer.h"
+#include "harness/experiment.h"
+#include "harness/paper_reference.h"
+#include "harness/workload_setup.h"
+
+namespace reuse {
+namespace {
+
+void
+runWorkload(const std::string &name, size_t count)
+{
+    WorkloadSetupConfig cfg;
+    Workload w = setupWorkload(name, cfg);
+    const Network &net = *w.bundle.network;
+    const auto inputs = w.generator->take(count);
+    const auto m = measureWorkload(net, w.plan, inputs);
+
+    const PaperReference &ref = paperReferences().at(name);
+    std::cout << "\n=== " << name << " (" << net.summary() << ") ===\n";
+    std::cout << "Accuracy proxy: top-1 agreement with FP32 = "
+              << formatPercent(m.accuracy.top1Agreement)
+              << " (paper accuracy loss: " << ref.accuracyLossPct
+              << " pct points)\n";
+
+    TableWriter t({"Layer", "Kind", "Similarity", "Comp. Reuse",
+                   "Paper Reuse"});
+    for (const auto &ls : m.stats.layers()) {
+        if (!ls.reuseEnabled)
+            continue;
+        std::string paper = "-";
+        for (const auto &[lname, frac] : ref.layerReuse) {
+            if (lname == ls.layerName)
+                paper = formatPercent(frac, 0);
+        }
+        t.addRow({ls.layerName, layerKindName(ls.kind),
+                  formatPercent(ls.similarity()),
+                  formatPercent(ls.computationReuse()), paper});
+    }
+    t.print(std::cout);
+    std::cout << "Mean similarity: "
+              << formatPercent(m.stats.meanSimilarity())
+              << ", mean computation reuse: "
+              << formatPercent(m.stats.meanComputationReuse()) << "\n";
+}
+
+} // namespace
+} // namespace reuse
+
+int
+main()
+{
+    std::cout << "Table I reproduction: per-layer computation reuse\n"
+              << "(synthetic workloads; C3D functionally simulated at "
+                 "reduced resolution)\n";
+    reuse::runWorkload("Kaldi", 48);
+    reuse::runWorkload("EESEN", 40);
+    reuse::runWorkload("C3D", 5);
+    reuse::runWorkload("AutoPilot", 12);
+    return 0;
+}

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Prints the accelerator configuration (Table II) as derived from the
+ * AcceleratorParams defaults, so every simulation run documents the
+ * hardware it models.
+ */
+
+#include <iostream>
+
+#include "common/table_writer.h"
+#include "sim/params.h"
+
+int
+main()
+{
+    using namespace reuse;
+    const AcceleratorParams p;
+
+    std::cout << "Table II reproduction: accelerator parameters\n";
+    TableWriter t({"Parameter", "Value", "Paper"});
+    t.addRow({"Technology", "32 nm (energy table)", "32 nm"});
+    t.addRow({"Frequency",
+              formatDouble(p.frequencyHz / 1e6, 0) + " MHz",
+              "500 MHz"});
+    t.addRow({"# of Tiles", std::to_string(p.tiles), "4"});
+    t.addRow({"# of 32-bit multipliers",
+              std::to_string(p.lanes()), "128"});
+    t.addRow({"# of 32-bit adders",
+              std::to_string(p.tiles * p.addersPerTile), "128"});
+    t.addRow({"Weights Buffer",
+              formatBytes(static_cast<double>(p.weightsBufferBytes)),
+              "36 MB"});
+    t.addRow({"I/O Buffer (baseline)",
+              formatBytes(static_cast<double>(p.ioBufferBaselineBytes)),
+              "1152 KB"});
+    t.addRow({"I/O Buffer (reuse)",
+              formatBytes(static_cast<double>(p.ioBufferReuseBytes)),
+              "1280 KB"});
+    t.addRow({"Centroid table",
+              formatBytes(static_cast<double>(p.centroidTableBytes)),
+              "1.25 KB"});
+    t.addRow({"Main memory",
+              formatBytes(static_cast<double>(p.dramBytes)) + " @ " +
+                  formatDouble(p.dramBandwidthBytesPerSec / 1e9, 0) +
+                  " GB/s",
+              "4 GB LPDDR4, 16 GB/s"});
+    t.addRow({"Conv block size",
+              std::to_string(p.blockEdge) + "x" +
+                  std::to_string(p.blockEdge) + "x1",
+              "16x16x1"});
+    t.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Speech-recognition scenario (Fig. 1 of the paper): the Kaldi
+ * acoustic-scoring MLP classifies a sliding window of speech frames
+ * into senone likelihoods, once per 10 ms frame.  The example runs a
+ * synthetic utterance through the reuse engine, costs it on the
+ * modelled accelerator, and reports real-time headroom and energy.
+ *
+ * Build & run:  ./build/examples/speech_recognition
+ */
+
+#include <iostream>
+
+#include "common/table_writer.h"
+#include "energy/energy_model.h"
+#include "harness/experiment.h"
+#include "harness/workload_setup.h"
+#include "sim/accelerator.h"
+
+using namespace reuse;
+
+int
+main()
+{
+    std::cout << "Speech recognition with computation reuse\n"
+              << "=========================================\n";
+
+    // Assemble the Kaldi workload: network, calibrated quantizers and
+    // a synthetic feature stream (9-frame windows of 40 features).
+    Workload w = setupKaldi({});
+    const Network &net = *w.bundle.network;
+    std::cout << net.summary() << "\n\n";
+
+    // One synthetic utterance: 200 frames = 2 s of audio at the
+    // paper's 10 ms frame rate.
+    const size_t frames = 200;
+    const auto inputs = w.generator->take(frames);
+    const auto m = measureWorkload(net, w.plan, inputs);
+
+    TableWriter t({"Layer", "Similarity", "Comp. Reuse"});
+    for (const auto &ls : m.stats.layers()) {
+        if (!ls.reuseEnabled)
+            continue;
+        t.addRow({ls.layerName, formatPercent(ls.similarity()),
+                  formatPercent(ls.computationReuse())});
+    }
+    t.print(std::cout);
+    std::cout << "Senone agreement with FP32 scoring: "
+              << formatPercent(m.accuracy.top1Agreement) << "\n\n";
+
+    // Cost the utterance on the accelerator, with and without reuse.
+    AcceleratorSim sim;
+    const auto reuse_run =
+        sim.simulate(net, AccelMode::Reuse, m.traces);
+    const auto baseline_run = sim.estimate(
+        net, AccelMode::Baseline,
+        std::vector<double>(net.layerCount(), -1.0),
+        static_cast<int64_t>(frames));
+
+    const auto e_reuse = computeEnergy(reuse_run);
+    const auto e_base = computeEnergy(baseline_run);
+    const double frame_budget_s = 0.010;   // one DNN run per 10 ms
+    auto report = [&](const char *name, const SimResult &r,
+                      double joules) {
+        const double per_frame =
+            r.seconds / static_cast<double>(frames);
+        std::cout << name << ": " << formatDouble(per_frame * 1e6, 1)
+                  << " us/frame ("
+                  << formatDouble(frame_budget_s / per_frame, 0)
+                  << "x real time), "
+                  << formatDouble(joules * 1e3 / frames, 4)
+                  << " mJ/frame\n";
+    };
+    report("Baseline accelerator", baseline_run, e_base.total());
+    report("Reuse accelerator   ", reuse_run, e_reuse.total());
+    std::cout << "Speedup: "
+              << formatDouble(baseline_run.cycles / reuse_run.cycles, 2)
+              << "x, energy savings: "
+              << formatPercent(1.0 -
+                               e_reuse.total() / e_base.total())
+              << "\n";
+    return 0;
+}

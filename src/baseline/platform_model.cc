@@ -1,0 +1,87 @@
+#include "platform_model.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "nn/lstm.h"
+
+namespace reuse {
+
+PlatformSpec
+PlatformSpec::cpuI7_7700K()
+{
+    PlatformSpec s;
+    s.name = "i7-7700K";
+    // 4 cores x 2 AVX2 FMA units x 8 fp32 lanes x 2 flops x 4.2 GHz.
+    s.peakFlops = 4.0 * 2.0 * 8.0 * 2.0 * 4.2e9;
+    // Framework CPU kernels fall well short of peak on the small,
+    // oddly shaped batch-1 layers of these networks.
+    s.gemmEfficiency = 0.35;
+    s.gemvEfficiency = 0.15;
+    s.memBandwidth = 38.4e9;    // dual-channel DDR4-2400
+    s.llcBytes = 8.0 * 1024 * 1024;   // 8 MB shared L3
+    s.sustainedPowerW = 80.0;   // package power under AVX2 load
+    s.perExecutionOverheadSec = 20e-6;
+    return s;
+}
+
+PlatformSpec
+PlatformSpec::gpuGTX1080()
+{
+    PlatformSpec s;
+    s.name = "GTX1080";
+    // 2560 CUDA cores x 2 flops x 1.82 GHz boost (per the paper).
+    s.peakFlops = 2560.0 * 2.0 * 1.82e9;
+    s.gemmEfficiency = 0.75;
+    s.gemvEfficiency = 0.05;    // batch-1 matvec leaves FPUs idle
+    s.memBandwidth = 320e9;     // GDDR5X
+    s.llcBytes = 2.0 * 1024 * 1024;   // small on-chip L2
+    s.sustainedPowerW = 200.0;  // the paper reports >200 W on C3D
+    s.perExecutionOverheadSec = 200e-6;  // framework dispatch + launch
+    return s;
+}
+
+PlatformResult
+runOnPlatform(const Network &network, const PlatformSpec &spec,
+              int64_t executions, int64_t sequence_length)
+{
+    REUSE_ASSERT(executions > 0, "need at least one execution");
+    const std::vector<Shape> in_shapes = network.layerInputShapes();
+
+    double seconds_per_exec = spec.perExecutionOverheadSec;
+    for (size_t li = 0; li < network.layerCount(); ++li) {
+        const Layer &layer = network.layer(li);
+        const int64_t steps =
+            layer.isRecurrent() ? sequence_length : 1;
+        const double macs = static_cast<double>(
+            layer.macCount(in_shapes[li]) * steps);
+        if (macs == 0.0)
+            continue;
+        const double flops = 2.0 * macs;
+        const bool dense_conv = layer.kind() == LayerKind::Conv2D ||
+                                layer.kind() == LayerKind::Conv3D;
+        const double eff =
+            dense_conv ? spec.gemmEfficiency : spec.gemvEfficiency;
+        // Batch-1 FC/LSTM layers stream their weights from memory once
+        // per execution; conv kernels are reused heavily across the
+        // feature map.
+        // Weights resident in the LLC skip the memory roofline for
+        // back-to-back executions.
+        const double cold_bytes = std::max(
+            0.0, static_cast<double>(layer.paramCount()) * 4.0 -
+                     spec.llcBytes);
+        const double weight_bytes =
+            cold_bytes * (dense_conv ? 1.0
+                                     : static_cast<double>(steps));
+        const double t_compute = flops / (spec.peakFlops * eff);
+        const double t_mem = weight_bytes / spec.memBandwidth;
+        seconds_per_exec += std::max(t_compute, t_mem);
+    }
+
+    PlatformResult r;
+    r.seconds = seconds_per_exec * static_cast<double>(executions);
+    r.joules = r.seconds * spec.sustainedPowerW;
+    return r;
+}
+
+} // namespace reuse

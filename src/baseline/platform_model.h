@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Roofline time/energy models of the software platforms the paper
+ * compares against in Figure 12: an Intel i7-7700K CPU and an NVIDIA
+ * GTX 1080 GPU running the vendor-optimized framework kernels
+ * (cuBLAS/cuDNN, MKL-class BLAS).
+ *
+ * Batch-1 DNN inference is memory-bound on these platforms except for
+ * compute-dense 3D convolutions, so each layer is costed as
+ * max(flops / effective_peak, bytes / bandwidth); energy is
+ * execution time x sustained power.  Published specs (peaks,
+ * bandwidths, TDPs) parameterize the models; see DESIGN.md.
+ */
+
+#ifndef REUSE_DNN_BASELINE_PLATFORM_MODEL_H
+#define REUSE_DNN_BASELINE_PLATFORM_MODEL_H
+
+#include <string>
+
+#include "nn/network.h"
+
+namespace reuse {
+
+/** Roofline description of a software platform. */
+struct PlatformSpec {
+    std::string name;
+    /** Peak FP32 throughput in FLOP/s. */
+    double peakFlops = 0.0;
+    /** Fraction of peak achievable on large GEMM/conv kernels. */
+    double gemmEfficiency = 0.7;
+    /** Fraction of peak achievable on batch-1 matrix-vector work. */
+    double gemvEfficiency = 0.15;
+    /** Sustained memory bandwidth in bytes/s. */
+    double memBandwidth = 0.0;
+    /**
+     * Last-level cache bytes: weights that fit here are reused
+     * across back-to-back executions and skip the memory roofline.
+     */
+    double llcBytes = 0.0;
+    /** Sustained power while running DNN kernels, watts. */
+    double sustainedPowerW = 0.0;
+    /** Fixed per-execution overhead (kernel launches, framework). */
+    double perExecutionOverheadSec = 0.0;
+
+    /** Intel i7-7700K (Kaby Lake, 4C/8T, AVX2, 4.2 GHz). */
+    static PlatformSpec cpuI7_7700K();
+
+    /** NVIDIA GTX 1080 (Pascal, 2560 CUDA cores, 1.82 GHz boost). */
+    static PlatformSpec gpuGTX1080();
+};
+
+/** Time and energy of running a workload on a platform. */
+struct PlatformResult {
+    double seconds = 0.0;
+    double joules = 0.0;
+};
+
+/**
+ * Costs `executions` back-to-back executions of the network on the
+ * platform (from scratch; the software baselines do not reuse).
+ * Convolutions are costed at GEMM efficiency (im2col/cuDNN kernels
+ * with high data reuse), FC/LSTM batch-1 layers at GEMV efficiency
+ * with their weights streamed from memory.
+ */
+PlatformResult runOnPlatform(const Network &network,
+                             const PlatformSpec &spec,
+                             int64_t executions,
+                             int64_t sequence_length = 1);
+
+} // namespace reuse
+
+#endif // REUSE_DNN_BASELINE_PLATFORM_MODEL_H

@@ -1,0 +1,70 @@
+#include "logging.h"
+
+#include <cstdlib>
+#include <iostream>
+
+namespace reuse {
+
+Logger &
+Logger::instance()
+{
+    static Logger logger;
+    return logger;
+}
+
+void
+Logger::log(LogLevel level, const std::string &msg)
+{
+    if (level > level_)
+        return;
+
+    const char *prefix = "";
+    switch (level) {
+      case LogLevel::Warn:
+        prefix = "warn: ";
+        break;
+      case LogLevel::Info:
+        prefix = "info: ";
+        break;
+      case LogLevel::Debug:
+        prefix = "debug: ";
+        break;
+      default:
+        break;
+    }
+    std::cerr << prefix << msg << "\n";
+}
+
+void
+inform(const std::string &msg)
+{
+    Logger::instance().log(LogLevel::Info, msg);
+}
+
+void
+warn(const std::string &msg)
+{
+    Logger::instance().log(LogLevel::Warn, msg);
+}
+
+void
+debugLog(const std::string &msg)
+{
+    Logger::instance().log(LogLevel::Debug, msg);
+}
+
+void
+fatal(const std::string &msg)
+{
+    std::cerr << "fatal: " << msg << "\n";
+    std::exit(1);
+}
+
+void
+panic(const std::string &msg)
+{
+    std::cerr << "panic: " << msg << "\n";
+    std::abort();
+}
+
+} // namespace reuse

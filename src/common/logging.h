@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Lightweight logging and error-reporting facilities.
+ *
+ * Modelled after gem5's logging.hh: fatal() is for user errors (bad
+ * configuration), panic() is for internal invariant violations.  Both
+ * terminate the process; inform()/warn() only print.
+ */
+
+#ifndef REUSE_DNN_COMMON_LOGGING_H
+#define REUSE_DNN_COMMON_LOGGING_H
+
+#include <sstream>
+#include <string>
+
+namespace reuse {
+
+/** Verbosity levels for the global logger. */
+enum class LogLevel {
+    Quiet = 0,
+    Warn = 1,
+    Info = 2,
+    Debug = 3,
+};
+
+/**
+ * Process-wide logger.  Thread-compatible (not thread-safe): the
+ * simulator is single-threaded by design, mirroring the deterministic
+ * execution of the modelled accelerator.
+ */
+class Logger
+{
+  public:
+    /** Returns the process-wide logger instance. */
+    static Logger &instance();
+
+    /** Sets the verbosity threshold below which messages are dropped. */
+    void setLevel(LogLevel level) { level_ = level; }
+
+    /** Current verbosity threshold. */
+    LogLevel level() const { return level_; }
+
+    /** Emits a message at the given level to stderr. */
+    void log(LogLevel level, const std::string &msg);
+
+  private:
+    Logger() = default;
+
+    LogLevel level_ = LogLevel::Warn;
+};
+
+/** Prints an informational message (suppressed below LogLevel::Info). */
+void inform(const std::string &msg);
+
+/** Prints a warning (suppressed below LogLevel::Warn). */
+void warn(const std::string &msg);
+
+/** Prints a debug message (suppressed below LogLevel::Debug). */
+void debugLog(const std::string &msg);
+
+/**
+ * Terminates the process because of a user-level error (bad
+ * configuration, invalid arguments).  Never returns.
+ */
+[[noreturn]] void fatal(const std::string &msg);
+
+/**
+ * Terminates the process because of an internal logic error.  Never
+ * returns.
+ */
+[[noreturn]] void panic(const std::string &msg);
+
+/**
+ * Checks a runtime condition that reflects an internal invariant and
+ * panics with location information when it does not hold.
+ */
+#define REUSE_ASSERT(cond, msg)                                            \
+    do {                                                                   \
+        if (!(cond)) {                                                     \
+            std::ostringstream reuse_assert_oss_;                          \
+            reuse_assert_oss_ << __FILE__ << ":" << __LINE__               \
+                              << ": assertion `" #cond "` failed: "        \
+                              << msg;                                      \
+            ::reuse::panic(reuse_assert_oss_.str());                       \
+        }                                                                  \
+    } while (false)
+
+} // namespace reuse
+
+#endif // REUSE_DNN_COMMON_LOGGING_H

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Small numeric helpers shared across the project.
+ */
+
+#ifndef REUSE_DNN_COMMON_MATH_UTILS_H
+#define REUSE_DNN_COMMON_MATH_UTILS_H
+
+#include <cstdint>
+#include <cmath>
+
+namespace reuse {
+
+/** Integer ceiling division; denominator must be positive. */
+constexpr int64_t
+ceilDiv(int64_t num, int64_t den)
+{
+    return (num + den - 1) / den;
+}
+
+/** Rounds `v` up to the next multiple of `m` (m > 0). */
+constexpr int64_t
+roundUp(int64_t v, int64_t m)
+{
+    return ceilDiv(v, m) * m;
+}
+
+/** Clamps `v` into [lo, hi]. */
+template <typename T>
+constexpr T
+clamp(T v, T lo, T hi)
+{
+    return v < lo ? lo : (v > hi ? hi : v);
+}
+
+/** True when two doubles agree within a relative-or-absolute tolerance. */
+inline bool
+almostEqual(double a, double b, double rel_tol = 1e-6,
+            double abs_tol = 1e-9)
+{
+    const double diff = std::fabs(a - b);
+    if (diff <= abs_tol)
+        return true;
+    const double scale = std::fmax(std::fabs(a), std::fabs(b));
+    return diff <= rel_tol * scale;
+}
+
+/** Numerically-stable logistic sigmoid. */
+inline float
+sigmoid(float x)
+{
+    if (x >= 0.0f) {
+        const float z = std::exp(-x);
+        return 1.0f / (1.0f + z);
+    }
+    const float z = std::exp(x);
+    return z / (1.0f + z);
+}
+
+} // namespace reuse
+
+#endif // REUSE_DNN_COMMON_MATH_UTILS_H

@@ -1,0 +1,57 @@
+#include "random.h"
+
+namespace reuse {
+
+float
+Rng::uniform(float lo, float hi)
+{
+    std::uniform_real_distribution<float> dist(lo, hi);
+    return dist(engine_);
+}
+
+float
+Rng::gaussian(float mean, float stddev)
+{
+    std::normal_distribution<float> dist(mean, stddev);
+    return dist(engine_);
+}
+
+int64_t
+Rng::uniformInt(int64_t lo, int64_t hi)
+{
+    std::uniform_int_distribution<int64_t> dist(lo, hi);
+    return dist(engine_);
+}
+
+bool
+Rng::bernoulli(double p)
+{
+    std::bernoulli_distribution dist(p);
+    return dist(engine_);
+}
+
+void
+Rng::fillGaussian(std::vector<float> &out, float mean, float stddev)
+{
+    std::normal_distribution<float> dist(mean, stddev);
+    for (auto &v : out)
+        v = dist(engine_);
+}
+
+void
+Rng::fillUniform(std::vector<float> &out, float lo, float hi)
+{
+    std::uniform_real_distribution<float> dist(lo, hi);
+    for (auto &v : out)
+        v = dist(engine_);
+}
+
+Rng
+Rng::fork()
+{
+    // Derive a child seed from the parent stream; consuming one value
+    // keeps successive forks independent.
+    return Rng(engine_());
+}
+
+} // namespace reuse

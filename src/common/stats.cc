@@ -1,0 +1,63 @@
+#include "stats.h"
+
+#include <cmath>
+#include <sstream>
+
+namespace reuse {
+
+void
+StatRegistry::resetAll()
+{
+    for (auto &kv : counters_)
+        kv.second.reset();
+}
+
+double
+StatRegistry::sumWithPrefix(const std::string &prefix) const
+{
+    double total = 0.0;
+    for (const auto &kv : counters_) {
+        if (kv.first.rfind(prefix, 0) == 0)
+            total += kv.second.value();
+    }
+    return total;
+}
+
+std::string
+StatRegistry::dump() const
+{
+    std::ostringstream oss;
+    for (const auto &kv : counters_)
+        oss << kv.first << " " << kv.second.value() << "\n";
+    return oss.str();
+}
+
+void
+RunningStats::add(double x)
+{
+    ++n_;
+    sum_ += x;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    if (x < min_)
+        min_ = x;
+    if (x > max_)
+        max_ = x;
+}
+
+double
+RunningStats::variance() const
+{
+    if (n_ < 2)
+        return 0.0;
+    return m2_ / static_cast<double>(n_);
+}
+
+double
+RunningStats::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+} // namespace reuse

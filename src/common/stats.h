@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Named statistic counters, in the spirit of gem5's stats package.
+ *
+ * Components register Counter objects in a StatRegistry; the harness
+ * dumps all counters at the end of an experiment.  Counters are plain
+ * doubles so they can also carry derived quantities (ratios, averages).
+ */
+
+#ifndef REUSE_DNN_COMMON_STATS_H
+#define REUSE_DNN_COMMON_STATS_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace reuse {
+
+/**
+ * Accumulating scalar statistic.
+ */
+class Counter
+{
+  public:
+    Counter() = default;
+
+    /** Adds `v` to the counter. */
+    void add(double v) { value_ += v; ++samples_; }
+
+    /** Increments the counter by one. */
+    void inc() { add(1.0); }
+
+    /** Resets the counter to zero. */
+    void reset() { value_ = 0.0; samples_ = 0; }
+
+    /** Accumulated value. */
+    double value() const { return value_; }
+
+    /** Number of add() calls, for computing means. */
+    uint64_t samples() const { return samples_; }
+
+    /** Mean of the added values (0 when empty). */
+    double mean() const
+    {
+        return samples_ == 0 ? 0.0
+                             : value_ / static_cast<double>(samples_);
+    }
+
+  private:
+    double value_ = 0.0;
+    uint64_t samples_ = 0;
+};
+
+/**
+ * Flat registry of named counters.
+ *
+ * Names use '.'-separated hierarchies ("sim.tile0.weight_fetches").
+ */
+class StatRegistry
+{
+  public:
+    /** Returns (creating on first use) the counter with this name. */
+    Counter &get(const std::string &name) { return counters_[name]; }
+
+    /** True when a counter with this name has been created. */
+    bool has(const std::string &name) const
+    {
+        return counters_.count(name) > 0;
+    }
+
+    /** Read-only view of all counters, sorted by name. */
+    const std::map<std::string, Counter> &all() const { return counters_; }
+
+    /** Resets every registered counter. */
+    void resetAll();
+
+    /** Sum of all counters whose name starts with `prefix`. */
+    double sumWithPrefix(const std::string &prefix) const;
+
+    /** Formats all counters as "name value" lines. */
+    std::string dump() const;
+
+  private:
+    std::map<std::string, Counter> counters_;
+};
+
+/**
+ * Online accumulator for mean / min / max / stddev of a sample stream.
+ */
+class RunningStats
+{
+  public:
+    /** Adds one sample. */
+    void add(double x);
+
+    /** Number of samples added. */
+    uint64_t count() const { return n_; }
+
+    /** Mean of the samples (0 when empty). */
+    double mean() const { return n_ ? mean_ : 0.0; }
+
+    /** Population variance of the samples (0 when fewer than 2). */
+    double variance() const;
+
+    /** Population standard deviation. */
+    double stddev() const;
+
+    /** Smallest sample seen (+inf when empty). */
+    double min() const { return min_; }
+
+    /** Largest sample seen (-inf when empty). */
+    double max() const { return max_; }
+
+    /** Sum of all samples. */
+    double sum() const { return sum_; }
+
+  private:
+    uint64_t n_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double sum_ = 0.0;
+    double min_ = 1e300;
+    double max_ = -1e300;
+};
+
+} // namespace reuse
+
+#endif // REUSE_DNN_COMMON_STATS_H

@@ -1,0 +1,106 @@
+#include "table_writer.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+#include "logging.h"
+
+namespace reuse {
+
+TableWriter::TableWriter(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+}
+
+void
+TableWriter::addRow(std::vector<std::string> row)
+{
+    REUSE_ASSERT(row.size() == headers_.size(),
+                 "row has " << row.size() << " cells, expected "
+                            << headers_.size());
+    rows_.push_back(std::move(row));
+}
+
+void
+TableWriter::print(std::ostream &os) const
+{
+    std::vector<size_t> widths(headers_.size());
+    for (size_t c = 0; c < headers_.size(); ++c)
+        widths[c] = headers_[c].size();
+    for (const auto &row : rows_) {
+        for (size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+    }
+
+    auto print_row = [&](const std::vector<std::string> &row) {
+        os << "|";
+        for (size_t c = 0; c < row.size(); ++c)
+            os << " " << std::setw(static_cast<int>(widths[c]))
+               << std::left << row[c] << " |";
+        os << "\n";
+    };
+    auto print_sep = [&]() {
+        os << "+";
+        for (size_t c = 0; c < widths.size(); ++c)
+            os << std::string(widths[c] + 2, '-') << "+";
+        os << "\n";
+    };
+
+    print_sep();
+    print_row(headers_);
+    print_sep();
+    for (const auto &row : rows_)
+        print_row(row);
+    print_sep();
+}
+
+void
+TableWriter::printCsv(std::ostream &os) const
+{
+    auto emit = [&](const std::vector<std::string> &row) {
+        for (size_t c = 0; c < row.size(); ++c) {
+            if (c)
+                os << ",";
+            os << row[c];
+        }
+        os << "\n";
+    };
+    emit(headers_);
+    for (const auto &row : rows_)
+        emit(row);
+}
+
+std::string
+formatDouble(double v, int decimals)
+{
+    std::ostringstream oss;
+    oss << std::fixed << std::setprecision(decimals) << v;
+    return oss.str();
+}
+
+std::string
+formatPercent(double ratio, int decimals)
+{
+    return formatDouble(ratio * 100.0, decimals) + "%";
+}
+
+std::string
+formatBytes(double bytes)
+{
+    const char *unit = "B";
+    double v = bytes;
+    if (v >= 1024.0 * 1024.0 * 1024.0) {
+        v /= 1024.0 * 1024.0 * 1024.0;
+        unit = "GB";
+    } else if (v >= 1024.0 * 1024.0) {
+        v /= 1024.0 * 1024.0;
+        unit = "MB";
+    } else if (v >= 1024.0) {
+        v /= 1024.0;
+        unit = "KB";
+    }
+    return formatDouble(v, v < 10 ? 2 : 1) + " " + unit;
+}
+
+} // namespace reuse

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Plain-text table and CSV emitters used by the benchmark harness to
+ * print paper-style tables and figure series.
+ */
+
+#ifndef REUSE_DNN_COMMON_TABLE_WRITER_H
+#define REUSE_DNN_COMMON_TABLE_WRITER_H
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace reuse {
+
+/**
+ * Accumulates rows of strings and renders an aligned ASCII table.
+ */
+class TableWriter
+{
+  public:
+    /** Creates a table with the given column headers. */
+    explicit TableWriter(std::vector<std::string> headers);
+
+    /** Appends one row; must have as many cells as there are headers. */
+    void addRow(std::vector<std::string> row);
+
+    /** Renders the table with aligned columns to `os`. */
+    void print(std::ostream &os) const;
+
+    /** Renders the table as CSV to `os`. */
+    void printCsv(std::ostream &os) const;
+
+    /** Number of data rows added so far. */
+    size_t rowCount() const { return rows_.size(); }
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** Formats a double with the given number of decimals. */
+std::string formatDouble(double v, int decimals = 2);
+
+/** Formats a ratio as a percentage string, e.g. 0.631 -> "63.1%". */
+std::string formatPercent(double ratio, int decimals = 1);
+
+/** Formats a byte count with a human-readable unit (KB/MB/GB). */
+std::string formatBytes(double bytes);
+
+} // namespace reuse
+
+#endif // REUSE_DNN_COMMON_TABLE_WRITER_H

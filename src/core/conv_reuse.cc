@@ -1,0 +1,151 @@
+#include "conv_reuse.h"
+
+#include "common/logging.h"
+
+namespace reuse {
+
+ConvReuseState::ConvReuseState(const Conv2DLayer &layer,
+                               Shape input_shape,
+                               LinearQuantizer quantizer)
+    : conv2d_(&layer),
+      input_shape_(std::move(input_shape)),
+      quantizer_(std::move(quantizer)),
+      prev_output_(layer.outputShape(input_shape_))
+{
+    prev_indices_.resize(static_cast<size_t>(input_shape_.numel()));
+}
+
+ConvReuseState::ConvReuseState(const Conv3DLayer &layer,
+                               Shape input_shape,
+                               LinearQuantizer quantizer)
+    : conv3d_(&layer),
+      input_shape_(std::move(input_shape)),
+      quantizer_(std::move(quantizer)),
+      prev_output_(layer.outputShape(input_shape_))
+{
+    prev_indices_.resize(static_cast<size_t>(input_shape_.numel()));
+}
+
+Tensor
+ConvReuseState::execute(const Tensor &input, LayerExecRecord &rec)
+{
+    REUSE_ASSERT(input.shape() == input_shape_,
+                 "conv reuse input shape mismatch: " << input.shape().str()
+                     << " vs " << input_shape_.str());
+    if (conv2d_ != nullptr)
+        return executeConv2d(input, rec);
+    return executeConv3d(input, rec);
+}
+
+Tensor
+ConvReuseState::executeConv2d(const Tensor &input, LayerExecRecord &rec)
+{
+    const Conv2DLayer &layer = *conv2d_;
+    const int64_t n = input.numel();
+    const int64_t h = input_shape_.dim(1);
+    const int64_t w = input_shape_.dim(2);
+
+    rec.kind = LayerKind::Conv2D;
+    rec.kernelExtent = layer.kernel();
+    rec.reuseEnabled = true;
+    rec.inputsTotal = n;
+    rec.outputsTotal = prev_output_.numel();
+    rec.macsFull = layer.macCount(input_shape_);
+    rec.steps = 1;
+
+    if (!has_prev_) {
+        Tensor quantized(input.shape());
+        for (int64_t i = 0; i < n; ++i) {
+            const int32_t idx = quantizer_.index(input[i]);
+            prev_indices_[static_cast<size_t>(i)] = idx;
+            quantized[i] = quantizer_.centroid(idx);
+        }
+        prev_output_ = layer.forward(quantized);
+        has_prev_ = true;
+        rec.firstExecution = true;
+        rec.macsPerformed = rec.macsFull;
+        return prev_output_;
+    }
+
+    rec.firstExecution = false;
+    rec.inputsChecked = n;
+    int64_t changed = 0;
+    int64_t macs = 0;
+    for (int64_t i = 0; i < n; ++i) {
+        const int32_t idx = quantizer_.index(input[i]);
+        const int32_t prev = prev_indices_[static_cast<size_t>(i)];
+        if (idx == prev)
+            continue;
+        const float delta =
+            quantizer_.centroid(idx) - quantizer_.centroid(prev);
+        const int64_t ci = i / (h * w);
+        const int64_t y = (i / w) % h;
+        const int64_t x = i % w;
+        layer.applyDelta(input_shape_, ci, y, x, delta, prev_output_);
+        macs += layer.affectedOutputs(input_shape_, y, x);
+        prev_indices_[static_cast<size_t>(i)] = idx;
+        ++changed;
+    }
+    rec.inputsChanged = changed;
+    rec.macsPerformed = macs;
+    return prev_output_;
+}
+
+Tensor
+ConvReuseState::executeConv3d(const Tensor &input, LayerExecRecord &rec)
+{
+    const Conv3DLayer &layer = *conv3d_;
+    const int64_t n = input.numel();
+    const int64_t d = input_shape_.dim(1);
+    const int64_t h = input_shape_.dim(2);
+    const int64_t w = input_shape_.dim(3);
+
+    rec.kind = LayerKind::Conv3D;
+    rec.kernelExtent = layer.kernel();
+    rec.reuseEnabled = true;
+    rec.inputsTotal = n;
+    rec.outputsTotal = prev_output_.numel();
+    rec.macsFull = layer.macCount(input_shape_);
+    rec.steps = 1;
+
+    if (!has_prev_) {
+        Tensor quantized(input.shape());
+        for (int64_t i = 0; i < n; ++i) {
+            const int32_t idx = quantizer_.index(input[i]);
+            prev_indices_[static_cast<size_t>(i)] = idx;
+            quantized[i] = quantizer_.centroid(idx);
+        }
+        prev_output_ = layer.forward(quantized);
+        has_prev_ = true;
+        rec.firstExecution = true;
+        rec.macsPerformed = rec.macsFull;
+        return prev_output_;
+    }
+
+    rec.firstExecution = false;
+    rec.inputsChecked = n;
+    int64_t changed = 0;
+    int64_t macs = 0;
+    for (int64_t i = 0; i < n; ++i) {
+        const int32_t idx = quantizer_.index(input[i]);
+        const int32_t prev = prev_indices_[static_cast<size_t>(i)];
+        if (idx == prev)
+            continue;
+        const float delta =
+            quantizer_.centroid(idx) - quantizer_.centroid(prev);
+        const int64_t ci = i / (d * h * w);
+        const int64_t z = (i / (h * w)) % d;
+        const int64_t y = (i / w) % h;
+        const int64_t x = i % w;
+        layer.applyDelta(input_shape_, ci, z, y, x, delta,
+                         prev_output_);
+        macs += layer.affectedOutputs(input_shape_, z, y, x);
+        prev_indices_[static_cast<size_t>(i)] = idx;
+        ++changed;
+    }
+    rec.inputsChanged = changed;
+    rec.macsPerformed = macs;
+    return prev_output_;
+}
+
+} // namespace reuse

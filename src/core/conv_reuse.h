@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Incremental (reuse-based) execution of convolutional layers
+ * (Sec. IV-C of the paper).
+ *
+ * The state buffers the previous execution's quantized input indices
+ * and the full previous output volume.  For every changed input
+ * element, all output neurons whose receptive field covers it are
+ * corrected by delta * weight; unchanged inputs are skipped entirely.
+ */
+
+#ifndef REUSE_DNN_CORE_CONV_REUSE_H
+#define REUSE_DNN_CORE_CONV_REUSE_H
+
+#include <vector>
+
+#include "core/exec_record.h"
+#include "nn/conv2d.h"
+#include "nn/conv3d.h"
+#include "quant/linear_quantizer.h"
+
+namespace reuse {
+
+/**
+ * Reuse state and incremental executor for a Conv2D or Conv3D layer.
+ * Exactly one of the layer pointers is non-null.
+ */
+class ConvReuseState
+{
+  public:
+    /** Builds reuse state for a 2D convolution. */
+    ConvReuseState(const Conv2DLayer &layer, Shape input_shape,
+                   LinearQuantizer quantizer);
+
+    /** Builds reuse state for a 3D convolution. */
+    ConvReuseState(const Conv3DLayer &layer, Shape input_shape,
+                   LinearQuantizer quantizer);
+
+    /**
+     * Executes the convolution on `input` with reuse; same contract
+     * as FcReuseState::execute().
+     */
+    Tensor execute(const Tensor &input, LayerExecRecord &rec);
+
+    /** Drops the buffered execution (stream boundary). */
+    void reset() { has_prev_ = false; }
+
+    /** True when a previous execution is buffered. */
+    bool hasPrev() const { return has_prev_; }
+
+    /** The input quantizer in use. */
+    const LinearQuantizer &quantizer() const { return quantizer_; }
+
+  private:
+    Tensor executeConv2d(const Tensor &input, LayerExecRecord &rec);
+    Tensor executeConv3d(const Tensor &input, LayerExecRecord &rec);
+
+    const Conv2DLayer *conv2d_ = nullptr;
+    const Conv3DLayer *conv3d_ = nullptr;
+    Shape input_shape_;
+    LinearQuantizer quantizer_;
+    bool has_prev_ = false;
+    std::vector<int32_t> prev_indices_;
+    Tensor prev_output_;
+};
+
+} // namespace reuse
+
+#endif // REUSE_DNN_CORE_CONV_REUSE_H

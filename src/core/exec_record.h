@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Per-layer execution records produced by the reuse engine.
+ *
+ * A record captures exactly what one execution of one layer did:
+ * how many inputs were checked, how many had changed, and how many
+ * MACs were actually performed versus what a from-scratch execution
+ * would have needed.  The accelerator simulator (src/sim) converts
+ * these records into cycles and memory events, so the timing/energy
+ * model is driven by *measured* similarity, never by assumptions.
+ */
+
+#ifndef REUSE_DNN_CORE_EXEC_RECORD_H
+#define REUSE_DNN_CORE_EXEC_RECORD_H
+
+#include <cstdint>
+#include <vector>
+
+#include "nn/layer.h"
+
+namespace reuse {
+
+/** What one execution of one layer did. */
+struct LayerExecRecord {
+    /** Index of the layer within the network. */
+    size_t layerIndex = 0;
+    /** Concrete layer type. */
+    LayerKind kind = LayerKind::Activation;
+    /** True when input quantization / reuse applies to this layer. */
+    bool reuseEnabled = false;
+    /**
+     * True when the layer executed from scratch because there was no
+     * buffered previous execution (first frame of a stream, sequence
+     * start, or a periodic refresh).
+     */
+    bool firstExecution = false;
+    /** Inputs quantized and compared against the previous indices. */
+    int64_t inputsChecked = 0;
+    /** Inputs whose quantized index differed (corrections needed). */
+    int64_t inputsChanged = 0;
+    /** Total inputs consumed by the layer this execution. */
+    int64_t inputsTotal = 0;
+    /** Output neurons produced. */
+    int64_t outputsTotal = 0;
+    /** MACs a from-scratch execution would perform. */
+    int64_t macsFull = 0;
+    /** MACs actually performed (full or corrections). */
+    int64_t macsPerformed = 0;
+    /**
+     * Sequence steps aggregated into this record: 1 for feed-forward
+     * layers, the sequence length for recurrent layers.
+     */
+    int64_t steps = 1;
+    /**
+     * Kernel edge length for convolutional layers (drives the halo
+     * overhead of blocked DRAM streaming); 1 elsewhere.
+     */
+    int64_t kernelExtent = 1;
+
+    /** Fraction of checked inputs that were unchanged. */
+    double similarity() const
+    {
+        return inputsChecked == 0
+                   ? 0.0
+                   : 1.0 - static_cast<double>(inputsChanged) /
+                               static_cast<double>(inputsChecked);
+    }
+
+    /** Fraction of full MACs avoided this execution. */
+    double reuseFraction() const
+    {
+        return macsFull == 0
+                   ? 0.0
+                   : 1.0 - static_cast<double>(macsPerformed) /
+                               static_cast<double>(macsFull);
+    }
+};
+
+/** Records of one whole-network execution, one entry per layer. */
+using ExecutionTrace = std::vector<LayerExecRecord>;
+
+} // namespace reuse
+
+#endif // REUSE_DNN_CORE_EXEC_RECORD_H

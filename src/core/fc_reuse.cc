@@ -1,0 +1,76 @@
+#include "fc_reuse.h"
+
+#include "common/logging.h"
+
+namespace reuse {
+
+FcReuseState::FcReuseState(const FullyConnectedLayer &layer,
+                           LinearQuantizer quantizer)
+    : layer_(layer), quantizer_(std::move(quantizer))
+{
+    prev_indices_.resize(static_cast<size_t>(layer_.inputs()));
+    prev_outputs_.resize(static_cast<size_t>(layer_.outputs()));
+}
+
+Tensor
+FcReuseState::execute(const Tensor &input, LayerExecRecord &rec)
+{
+    REUSE_ASSERT(input.numel() == layer_.inputs(),
+                 layer_.name() << ": reuse input size mismatch");
+    const int64_t n = layer_.inputs();
+    const int64_t m = layer_.outputs();
+
+    rec.kind = LayerKind::FullyConnected;
+    rec.reuseEnabled = true;
+    rec.inputsTotal = n;
+    rec.outputsTotal = m;
+    rec.macsFull = n * m;
+    rec.steps = 1;
+
+    if (!has_prev_) {
+        // First execution: quantize every input, store the indices,
+        // and compute from scratch on the centroids (Fig. 7, top
+        // path).
+        Tensor quantized(input.shape());
+        for (int64_t i = 0; i < n; ++i) {
+            const int32_t idx = quantizer_.index(input[i]);
+            prev_indices_[static_cast<size_t>(i)] = idx;
+            quantized[i] = quantizer_.centroid(idx);
+        }
+        const Tensor out = layer_.forward(quantized);
+        for (int64_t o = 0; o < m; ++o)
+            prev_outputs_[static_cast<size_t>(o)] = out[o];
+        has_prev_ = true;
+
+        rec.firstExecution = true;
+        rec.inputsChecked = 0;
+        rec.inputsChanged = 0;
+        rec.macsPerformed = rec.macsFull;
+        return out;
+    }
+
+    // Subsequent executions: compare indices, correct only changes.
+    rec.firstExecution = false;
+    rec.inputsChecked = n;
+    int64_t changed = 0;
+    for (int64_t i = 0; i < n; ++i) {
+        const int32_t idx = quantizer_.index(input[i]);
+        const int32_t prev = prev_indices_[static_cast<size_t>(i)];
+        if (idx == prev)
+            continue;
+        const float delta =
+            quantizer_.centroid(idx) - quantizer_.centroid(prev);
+        layer_.applyDelta(i, delta, prev_outputs_);
+        prev_indices_[static_cast<size_t>(i)] = idx;
+        ++changed;
+    }
+    rec.inputsChanged = changed;
+    rec.macsPerformed = changed * m;
+
+    Tensor out(Shape({m}));
+    for (int64_t o = 0; o < m; ++o)
+        out[o] = prev_outputs_[static_cast<size_t>(o)];
+    return out;
+}
+
+} // namespace reuse

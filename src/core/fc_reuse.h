@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Incremental (reuse-based) execution of a fully-connected layer
+ * (Sec. IV-B of the paper).
+ *
+ * The state buffers the previous execution's quantized input indices
+ * and output values.  Each new execution quantizes the inputs,
+ * compares indices, and corrects the buffered outputs only for the
+ * inputs that changed: z'_o = z_o + (c'_i - c_i) * W_io (Eq. 10).
+ */
+
+#ifndef REUSE_DNN_CORE_FC_REUSE_H
+#define REUSE_DNN_CORE_FC_REUSE_H
+
+#include <vector>
+
+#include "core/exec_record.h"
+#include "nn/fully_connected.h"
+#include "quant/linear_quantizer.h"
+
+namespace reuse {
+
+/**
+ * Reuse state and incremental executor for one FC layer.
+ */
+class FcReuseState
+{
+  public:
+    /**
+     * @param layer The FC layer; must outlive this state.
+     * @param quantizer Input quantizer (copied; quantizers are small).
+     */
+    FcReuseState(const FullyConnectedLayer &layer,
+                 LinearQuantizer quantizer);
+
+    /**
+     * Executes the layer on `input` with reuse, updating the buffered
+     * state and filling `rec` with what happened.  The first call (or
+     * the first after reset()) computes from scratch on the quantized
+     * input.
+     */
+    Tensor execute(const Tensor &input, LayerExecRecord &rec);
+
+    /** Drops the buffered execution (stream/sequence boundary). */
+    void reset() { has_prev_ = false; }
+
+    /** True when a previous execution is buffered. */
+    bool hasPrev() const { return has_prev_; }
+
+    /** Buffered output values of the previous execution. */
+    const std::vector<float> &prevOutputs() const { return prev_outputs_; }
+
+    /** Buffered quantization indices of the previous execution. */
+    const std::vector<int32_t> &prevIndices() const
+    {
+        return prev_indices_;
+    }
+
+    /** The input quantizer in use. */
+    const LinearQuantizer &quantizer() const { return quantizer_; }
+
+  private:
+    const FullyConnectedLayer &layer_;
+    LinearQuantizer quantizer_;
+    bool has_prev_ = false;
+    std::vector<int32_t> prev_indices_;
+    std::vector<float> prev_outputs_;
+};
+
+} // namespace reuse
+
+#endif // REUSE_DNN_CORE_FC_REUSE_H

@@ -1,0 +1,191 @@
+#include "lstm_reuse.h"
+
+#include "common/logging.h"
+
+namespace reuse {
+
+LstmCellReuseState::LstmCellReuseState(const LstmCell &cell,
+                                       LinearQuantizer x_quantizer,
+                                       LinearQuantizer h_quantizer)
+    : cell_(cell),
+      x_quant_(std::move(x_quantizer)),
+      h_quant_(std::move(h_quantizer))
+{
+    prev_x_indices_.resize(static_cast<size_t>(cell_.inputDim()));
+    prev_h_indices_.resize(static_cast<size_t>(cell_.cellDim()));
+    reset();
+}
+
+void
+LstmCellReuseState::reset()
+{
+    has_prev_ = false;
+    h_.assign(static_cast<size_t>(cell_.cellDim()), 0.0f);
+    c_.assign(static_cast<size_t>(cell_.cellDim()), 0.0f);
+}
+
+std::vector<float>
+LstmCellReuseState::step(const std::vector<float> &x, LayerExecRecord &rec)
+{
+    REUSE_ASSERT(static_cast<int64_t>(x.size()) == cell_.inputDim(),
+                 "LSTM reuse x size mismatch");
+    const int64_t in_dim = cell_.inputDim();
+    const int64_t cell_dim = cell_.cellDim();
+    const int64_t full_macs = cell_.macCountPerStep();
+
+    rec.macsFull += full_macs;
+    rec.inputsTotal += in_dim + cell_dim;
+    rec.outputsTotal += NumLstmGates * cell_dim;
+
+    if (!has_prev_) {
+        // Sequence start: quantize x and the (zero) initial h, and
+        // compute the gate pre-activations from scratch on centroids.
+        std::vector<float> qx(static_cast<size_t>(in_dim));
+        for (int64_t i = 0; i < in_dim; ++i) {
+            const int32_t idx = x_quant_.index(x[static_cast<size_t>(i)]);
+            prev_x_indices_[static_cast<size_t>(i)] = idx;
+            qx[static_cast<size_t>(i)] = x_quant_.centroid(idx);
+        }
+        std::vector<float> qh(static_cast<size_t>(cell_dim));
+        for (int64_t j = 0; j < cell_dim; ++j) {
+            const int32_t idx = h_quant_.index(h_[static_cast<size_t>(j)]);
+            prev_h_indices_[static_cast<size_t>(j)] = idx;
+            qh[static_cast<size_t>(j)] = h_quant_.centroid(idx);
+        }
+        preacts_ = cell_.computePreacts(qx, qh);
+        has_prev_ = true;
+        rec.macsPerformed += full_macs;
+    } else {
+        // Steady state: one comparison per input, corrections applied
+        // to all four gates (the gates share the inputs; Sec. IV-D).
+        rec.inputsChecked += in_dim + cell_dim;
+        int64_t changed_x = 0;
+        for (int64_t i = 0; i < in_dim; ++i) {
+            const int32_t idx = x_quant_.index(x[static_cast<size_t>(i)]);
+            const int32_t prev = prev_x_indices_[static_cast<size_t>(i)];
+            if (idx == prev)
+                continue;
+            const float delta =
+                x_quant_.centroid(idx) - x_quant_.centroid(prev);
+            for (int g = 0; g < NumLstmGates; ++g) {
+                cell_.feedForward(g).applyDelta(
+                    i, delta, preacts_[static_cast<size_t>(g)]);
+            }
+            prev_x_indices_[static_cast<size_t>(i)] = idx;
+            ++changed_x;
+        }
+        int64_t changed_h = 0;
+        for (int64_t j = 0; j < cell_dim; ++j) {
+            const int32_t idx = h_quant_.index(h_[static_cast<size_t>(j)]);
+            const int32_t prev = prev_h_indices_[static_cast<size_t>(j)];
+            if (idx == prev)
+                continue;
+            const float delta =
+                h_quant_.centroid(idx) - h_quant_.centroid(prev);
+            for (int g = 0; g < NumLstmGates; ++g) {
+                cell_.recurrent(g).applyDelta(
+                    j, delta, preacts_[static_cast<size_t>(g)]);
+            }
+            prev_h_indices_[static_cast<size_t>(j)] = idx;
+            ++changed_h;
+        }
+        rec.inputsChanged += changed_x + changed_h;
+        rec.macsPerformed += (changed_x + changed_h) * NumLstmGates *
+                             cell_dim;
+    }
+
+    // Elementwise tail (Eqs. 7-8) is always computed.
+    LstmCell::State next = cell_.finishStep(preacts_, c_);
+    h_ = next.h;
+    c_ = std::move(next.c);
+    return h_;
+}
+
+LstmLayerReuseState::LstmLayerReuseState(const LstmLayer &layer,
+                                         LinearQuantizer x_quantizer,
+                                         LinearQuantizer h_quantizer)
+    : layer_(layer),
+      cell_(layer.cell(), std::move(x_quantizer),
+            std::move(h_quantizer))
+{
+}
+
+void
+LstmLayerReuseState::reset()
+{
+    cell_.reset();
+}
+
+std::vector<Tensor>
+LstmLayerReuseState::executeSequence(const std::vector<Tensor> &inputs,
+                                     LayerExecRecord &rec)
+{
+    const int64_t cell_dim = layer_.cellDim();
+    std::vector<Tensor> outputs;
+    outputs.reserve(inputs.size());
+
+    rec.kind = LayerKind::Lstm;
+    rec.reuseEnabled = true;
+    rec.steps = static_cast<int64_t>(inputs.size());
+    rec.firstExecution = (inputs.size() <= 1);
+
+    for (const Tensor &in : inputs) {
+        const std::vector<float> h = cell_.step(in.data(), rec);
+        Tensor out(Shape({cell_dim}));
+        for (int64_t j = 0; j < cell_dim; ++j)
+            out[j] = h[static_cast<size_t>(j)];
+        outputs.push_back(std::move(out));
+    }
+    return outputs;
+}
+
+BiLstmReuseState::BiLstmReuseState(const BiLstmLayer &layer,
+                                   LinearQuantizer x_quantizer,
+                                   LinearQuantizer h_quantizer)
+    : layer_(layer),
+      forward_(layer.forwardCell(), x_quantizer, h_quantizer),
+      backward_(layer.backwardCell(), x_quantizer, h_quantizer)
+{
+}
+
+void
+BiLstmReuseState::reset()
+{
+    forward_.reset();
+    backward_.reset();
+}
+
+std::vector<Tensor>
+BiLstmReuseState::executeSequence(const std::vector<Tensor> &inputs,
+                                  LayerExecRecord &rec)
+{
+    const size_t t_len = inputs.size();
+    const int64_t cell_dim = layer_.cellDim();
+    std::vector<Tensor> outputs(t_len,
+                                Tensor(Shape({layer_.outputDim()})));
+
+    rec.kind = LayerKind::BiLstm;
+    rec.reuseEnabled = true;
+    rec.steps = static_cast<int64_t>(t_len);
+    // The first timestep of each direction is a from-scratch
+    // execution; per-record bookkeeping marks the record as a
+    // steady-state one because subsequent steps dominate, and the
+    // from-scratch share is visible via macsPerformed.
+    rec.firstExecution = (t_len <= 1);
+
+    for (size_t t = 0; t < t_len; ++t) {
+        const std::vector<float> h =
+            forward_.step(inputs[t].data(), rec);
+        for (int64_t j = 0; j < cell_dim; ++j)
+            outputs[t][j] = h[static_cast<size_t>(j)];
+    }
+    for (size_t t = t_len; t-- > 0;) {
+        const std::vector<float> h =
+            backward_.step(inputs[t].data(), rec);
+        for (int64_t j = 0; j < cell_dim; ++j)
+            outputs[t][cell_dim + j] = h[static_cast<size_t>(j)];
+    }
+    return outputs;
+}
+
+} // namespace reuse

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Incremental (reuse-based) execution of bidirectional LSTM layers
+ * (Sec. IV-D of the paper).
+ *
+ * Recurrent layers run back-to-back over every element of the input
+ * sequence, so "the previous execution" is the previous timestep of
+ * the same cell.  Both the feed-forward input x_t and the recurrent
+ * input h_{t-1} are quantized and compared to the values of the
+ * previous step; corrections update the buffered gate pre-activations
+ * of all four gates at once, since the gates share their inputs.
+ */
+
+#ifndef REUSE_DNN_CORE_LSTM_REUSE_H
+#define REUSE_DNN_CORE_LSTM_REUSE_H
+
+#include <vector>
+
+#include "core/exec_record.h"
+#include "nn/lstm.h"
+#include "quant/linear_quantizer.h"
+
+namespace reuse {
+
+/**
+ * Reuse state for one LSTM cell direction.
+ *
+ * The state persists across the timesteps of one sequence and is
+ * reset at sequence boundaries (the accelerator is power gated
+ * between utterances; Sec. IV-A).
+ */
+class LstmCellReuseState
+{
+  public:
+    /**
+     * @param cell The LSTM cell; must outlive this state.
+     * @param x_quantizer Quantizer for feed-forward inputs.
+     * @param h_quantizer Quantizer for recurrent inputs.
+     */
+    LstmCellReuseState(const LstmCell &cell, LinearQuantizer x_quantizer,
+                       LinearQuantizer h_quantizer);
+
+    /**
+     * Advances the cell one timestep with reuse.  Accumulates what
+     * happened into `rec` (so the caller can aggregate steps and
+     * directions into a single layer record).  Returns h_t.
+     */
+    std::vector<float> step(const std::vector<float> &x,
+                            LayerExecRecord &rec);
+
+    /** Resets to the initial (h=0, c=0, no history) state. */
+    void reset();
+
+  private:
+    const LstmCell &cell_;
+    LinearQuantizer x_quant_;
+    LinearQuantizer h_quant_;
+    bool has_prev_ = false;
+    std::vector<int32_t> prev_x_indices_;
+    std::vector<int32_t> prev_h_indices_;
+    LstmCell::Preacts preacts_;
+    std::vector<float> h_;
+    std::vector<float> c_;
+};
+
+/**
+ * Reuse state for a unidirectional LSTM layer: a single cell advanced
+ * forward over the sequence, emitting one aggregated LayerExecRecord.
+ */
+class LstmLayerReuseState
+{
+  public:
+    LstmLayerReuseState(const LstmLayer &layer,
+                        LinearQuantizer x_quantizer,
+                        LinearQuantizer h_quantizer);
+
+    /** Processes a whole sequence with reuse across timesteps. */
+    std::vector<Tensor> executeSequence(const std::vector<Tensor> &inputs,
+                                        LayerExecRecord &rec);
+
+    /** Resets the cell (sequence boundary). */
+    void reset();
+
+  private:
+    const LstmLayer &layer_;
+    LstmCellReuseState cell_;
+};
+
+/**
+ * Reuse state for a bidirectional LSTM layer: one cell state per
+ * direction; executeSequence() runs both directions over the sequence
+ * and emits one aggregated LayerExecRecord.
+ */
+class BiLstmReuseState
+{
+  public:
+    BiLstmReuseState(const BiLstmLayer &layer, LinearQuantizer x_quantizer,
+                     LinearQuantizer h_quantizer);
+
+    /**
+     * Processes a whole sequence with reuse across timesteps; fills
+     * `rec` with totals aggregated over steps, directions and gates.
+     */
+    std::vector<Tensor> executeSequence(const std::vector<Tensor> &inputs,
+                                        LayerExecRecord &rec);
+
+    /** Resets both directions (sequence boundary). */
+    void reset();
+
+  private:
+    const BiLstmLayer &layer_;
+    LstmCellReuseState forward_;
+    LstmCellReuseState backward_;
+};
+
+} // namespace reuse
+
+#endif // REUSE_DNN_CORE_LSTM_REUSE_H

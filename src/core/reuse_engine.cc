@@ -1,0 +1,244 @@
+#include "reuse_engine.h"
+
+#include "common/logging.h"
+#include "nn/conv2d.h"
+#include "nn/conv3d.h"
+
+namespace reuse {
+
+namespace {
+
+std::vector<std::string>
+layerNames(const Network &network)
+{
+    std::vector<std::string> names;
+    names.reserve(network.layerCount());
+    for (size_t i = 0; i < network.layerCount(); ++i)
+        names.push_back(network.layer(i).name());
+    return names;
+}
+
+} // namespace
+
+ReuseEngine::ReuseEngine(const Network &network, QuantizationPlan plan,
+                         ReuseEngineConfig config)
+    : network_(network),
+      plan_(std::move(plan)),
+      config_(config),
+      layer_input_shapes_(network.layerInputShapes()),
+      fc_states_(network.layerCount()),
+      conv_states_(network.layerCount()),
+      lstm_states_(network.layerCount()),
+      uni_lstm_states_(network.layerCount()),
+      stats_(layerNames(network))
+{
+    REUSE_ASSERT(plan_.size() == network_.layerCount(),
+                 "plan sized for a different network");
+    for (size_t li = 0; li < network_.layerCount(); ++li) {
+        const LayerQuantization &lq = plan_.layer(li);
+        if (!lq.enabled())
+            continue;
+        const Layer &layer = network_.layer(li);
+        switch (layer.kind()) {
+          case LayerKind::FullyConnected:
+            fc_states_[li] = std::make_unique<FcReuseState>(
+                static_cast<const FullyConnectedLayer &>(layer),
+                *lq.input);
+            break;
+          case LayerKind::Conv2D:
+            conv_states_[li] = std::make_unique<ConvReuseState>(
+                static_cast<const Conv2DLayer &>(layer),
+                layer_input_shapes_[li], *lq.input);
+            break;
+          case LayerKind::Conv3D:
+            conv_states_[li] = std::make_unique<ConvReuseState>(
+                static_cast<const Conv3DLayer &>(layer),
+                layer_input_shapes_[li], *lq.input);
+            break;
+          case LayerKind::BiLstm:
+            REUSE_ASSERT(lq.recurrent.has_value(),
+                         "BiLSTM layer " << layer.name()
+                             << " needs a recurrent quantizer");
+            lstm_states_[li] = std::make_unique<BiLstmReuseState>(
+                static_cast<const BiLstmLayer &>(layer), *lq.input,
+                *lq.recurrent);
+            break;
+          case LayerKind::Lstm:
+            REUSE_ASSERT(lq.recurrent.has_value(),
+                         "LSTM layer " << layer.name()
+                             << " needs a recurrent quantizer");
+            uni_lstm_states_[li] =
+                std::make_unique<LstmLayerReuseState>(
+                    static_cast<const LstmLayer &>(layer), *lq.input,
+                    *lq.recurrent);
+            break;
+          default:
+            warn("reuse enabled on non-reusable layer " + layer.name() +
+                 "; ignoring");
+            break;
+        }
+    }
+}
+
+void
+ReuseEngine::resetState()
+{
+    for (auto &s : fc_states_) {
+        if (s)
+            s->reset();
+    }
+    for (auto &s : conv_states_) {
+        if (s)
+            s->reset();
+    }
+    for (auto &s : lstm_states_) {
+        if (s)
+            s->reset();
+    }
+    for (auto &s : uni_lstm_states_) {
+        if (s)
+            s->reset();
+    }
+    executions_since_refresh_ = 0;
+}
+
+void
+ReuseEngine::recordFromScratch(size_t li, const Shape &in_shape,
+                               LayerExecRecord &rec) const
+{
+    const Layer &layer = network_.layer(li);
+    rec.layerIndex = li;
+    rec.kind = layer.kind();
+    rec.reuseEnabled = false;
+    rec.firstExecution = false;
+    rec.inputsTotal = in_shape.numel();
+    rec.outputsTotal = layer.outputShape(in_shape).numel();
+    rec.macsFull = layer.macCount(in_shape);
+    rec.macsPerformed = rec.macsFull;
+    rec.steps = 1;
+    if (layer.kind() == LayerKind::Conv2D) {
+        rec.kernelExtent =
+            static_cast<const Conv2DLayer &>(layer).kernel();
+    } else if (layer.kind() == LayerKind::Conv3D) {
+        rec.kernelExtent =
+            static_cast<const Conv3DLayer &>(layer).kernel();
+    }
+}
+
+Tensor
+ReuseEngine::executeLayer(size_t li, const Tensor &input,
+                          LayerExecRecord &rec)
+{
+    rec.layerIndex = li;
+    if (fc_states_[li]) {
+        Tensor out = fc_states_[li]->execute(input, rec);
+        return out;
+    }
+    if (conv_states_[li]) {
+        Tensor out = conv_states_[li]->execute(input, rec);
+        return out;
+    }
+    recordFromScratch(li, input.shape(), rec);
+    return network_.layer(li).forward(input);
+}
+
+Tensor
+ReuseEngine::execute(const Tensor &input)
+{
+    REUSE_ASSERT(!network_.isRecurrent(),
+                 "use executeSequence() for recurrent networks");
+
+    if (config_.refreshPeriod > 0 &&
+        executions_since_refresh_ >= config_.refreshPeriod) {
+        resetState();
+    }
+    ++executions_since_refresh_;
+
+    last_trace_.clear();
+    last_trace_.resize(network_.layerCount());
+    Tensor current = input;
+    for (size_t li = 0; li < network_.layerCount(); ++li)
+        current = executeLayer(li, current, last_trace_[li]);
+    stats_.addTrace(last_trace_);
+    return current;
+}
+
+std::vector<Tensor>
+ReuseEngine::executeSequence(const std::vector<Tensor> &inputs)
+{
+    if (!network_.isRecurrent()) {
+        // Feed-forward: the sequence is a stream of frames.
+        std::vector<Tensor> outputs;
+        outputs.reserve(inputs.size());
+        ExecutionTrace combined;
+        for (const Tensor &in : inputs) {
+            outputs.push_back(execute(in));
+            combined.insert(combined.end(), last_trace_.begin(),
+                            last_trace_.end());
+        }
+        last_trace_ = std::move(combined);
+        return outputs;
+    }
+
+    // Recurrent: the whole sequence flows layer-by-layer (Sec. IV-D);
+    // each call is a fresh utterance, so reuse state starts clean.
+    resetState();
+    last_trace_.clear();
+    last_trace_.resize(network_.layerCount());
+    std::vector<Tensor> current = inputs;
+    for (size_t li = 0; li < network_.layerCount(); ++li) {
+        LayerExecRecord &rec = last_trace_[li];
+        rec.layerIndex = li;
+        const Layer &layer = network_.layer(li);
+        if (lstm_states_[li]) {
+            current = lstm_states_[li]->executeSequence(current, rec);
+        } else if (uni_lstm_states_[li]) {
+            current =
+                uni_lstm_states_[li]->executeSequence(current, rec);
+        } else if (fc_states_[li]) {
+            // Per-timestep reuse for FC layers inside an RNN: the
+            // previous execution is the previous sequence element.
+            std::vector<Tensor> outputs;
+            outputs.reserve(current.size());
+            LayerExecRecord step_rec;
+            bool first = true;
+            for (const Tensor &in : current) {
+                step_rec = LayerExecRecord{};
+                outputs.push_back(fc_states_[li]->execute(in, step_rec));
+                rec.kind = step_rec.kind;
+                rec.reuseEnabled = true;
+                rec.firstExecution = first && step_rec.firstExecution;
+                rec.inputsChecked += step_rec.inputsChecked;
+                rec.inputsChanged += step_rec.inputsChanged;
+                rec.inputsTotal += step_rec.inputsTotal;
+                rec.outputsTotal += step_rec.outputsTotal;
+                rec.macsFull += step_rec.macsFull;
+                rec.macsPerformed += step_rec.macsPerformed;
+                first = false;
+            }
+            rec.steps = static_cast<int64_t>(current.size());
+            current = std::move(outputs);
+        } else {
+            // From-scratch layer, applied per sequence element.
+            rec.kind = layer.kind();
+            rec.reuseEnabled = false;
+            rec.firstExecution = false;
+            rec.steps = static_cast<int64_t>(current.size());
+            std::vector<Tensor> outputs;
+            outputs.reserve(current.size());
+            for (const Tensor &in : current) {
+                rec.inputsTotal += in.numel();
+                rec.macsFull += layer.macCount(in.shape());
+                rec.macsPerformed += layer.macCount(in.shape());
+                Tensor out = layer.forward(in);
+                rec.outputsTotal += out.numel();
+                outputs.push_back(std::move(out));
+            }
+            current = std::move(outputs);
+        }
+    }
+    stats_.addTrace(last_trace_);
+    return current;
+}
+
+} // namespace reuse

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Reuse-based inference engine: drives a whole network over a stream
+ * of inputs, executing quantization-enabled layers incrementally and
+ * the remaining layers from scratch, while recording per-layer
+ * execution traces for the statistics collector and the accelerator
+ * simulator.
+ */
+
+#ifndef REUSE_DNN_CORE_REUSE_ENGINE_H
+#define REUSE_DNN_CORE_REUSE_ENGINE_H
+
+#include <memory>
+#include <vector>
+
+#include "core/conv_reuse.h"
+#include "core/exec_record.h"
+#include "core/fc_reuse.h"
+#include "core/lstm_reuse.h"
+#include "core/reuse_stats.h"
+#include "nn/network.h"
+#include "quant/quantization_plan.h"
+
+namespace reuse {
+
+/** Tunables of the reuse engine. */
+struct ReuseEngineConfig {
+    /**
+     * Recompute enabled layers from scratch every `refreshPeriod`
+     * executions to bound floating-point drift of the incremental
+     * corrections; 0 disables refresh (the paper's configuration).
+     */
+    int refreshPeriod = 0;
+};
+
+/**
+ * Stateful engine implementing the paper's reuse-based inference.
+ *
+ * For feed-forward networks, call execute() once per frame; the
+ * engine compares each enabled layer's quantized inputs against the
+ * previous frame.  For recurrent networks, call executeSequence()
+ * once per sequence (utterance); BiLSTM layers reuse across
+ * timesteps.  resetState() emulates the accelerator being power gated
+ * between input streams.
+ */
+class ReuseEngine
+{
+  public:
+    /**
+     * @param network Network to execute; must outlive the engine.
+     * @param plan Per-layer quantization plan (copied).
+     * @param config Engine tunables.
+     */
+    ReuseEngine(const Network &network, QuantizationPlan plan,
+                ReuseEngineConfig config = {});
+
+    /** Executes one frame (feed-forward networks only). */
+    Tensor execute(const Tensor &input);
+
+    /**
+     * Executes an input sequence.  For recurrent networks the whole
+     * sequence flows layer-by-layer; for feed-forward networks this
+     * maps execute() over the elements.
+     */
+    std::vector<Tensor> executeSequence(const std::vector<Tensor> &inputs);
+
+    /** Drops all buffered state (new stream / utterance / video). */
+    void resetState();
+
+    /** Trace of the most recent execute()/executeSequence() call. */
+    const ExecutionTrace &lastTrace() const { return last_trace_; }
+
+    /** Accumulated similarity/reuse statistics. */
+    const ReuseStatsCollector &stats() const { return stats_; }
+
+    /** Mutable statistics (e.g. to reset between phases). */
+    ReuseStatsCollector &stats() { return stats_; }
+
+    /** The network being executed. */
+    const Network &network() const { return network_; }
+
+    /** The active quantization plan. */
+    const QuantizationPlan &plan() const { return plan_; }
+
+  private:
+    /** Executes one feed-forward layer with or without reuse. */
+    Tensor executeLayer(size_t li, const Tensor &input,
+                        LayerExecRecord &rec);
+
+    /** Fills a record for a from-scratch (non-reuse) execution. */
+    void recordFromScratch(size_t li, const Shape &in_shape,
+                           LayerExecRecord &rec) const;
+
+    const Network &network_;
+    QuantizationPlan plan_;
+    ReuseEngineConfig config_;
+    std::vector<Shape> layer_input_shapes_;
+
+    // Per-layer reuse states; index aligned with network layers, null
+    // where reuse is disabled or the kind does not match.
+    std::vector<std::unique_ptr<FcReuseState>> fc_states_;
+    std::vector<std::unique_ptr<ConvReuseState>> conv_states_;
+    std::vector<std::unique_ptr<BiLstmReuseState>> lstm_states_;
+    std::vector<std::unique_ptr<LstmLayerReuseState>> uni_lstm_states_;
+
+    int64_t executions_since_refresh_ = 0;
+    ExecutionTrace last_trace_;
+    ReuseStatsCollector stats_;
+};
+
+} // namespace reuse
+
+#endif // REUSE_DNN_CORE_REUSE_ENGINE_H

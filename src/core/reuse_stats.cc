@@ -1,0 +1,91 @@
+#include "reuse_stats.h"
+
+#include "common/logging.h"
+
+namespace reuse {
+
+ReuseStatsCollector::ReuseStatsCollector(
+    std::vector<std::string> layer_names)
+{
+    layers_.resize(layer_names.size());
+    for (size_t i = 0; i < layer_names.size(); ++i)
+        layers_[i].layerName = std::move(layer_names[i]);
+}
+
+void
+ReuseStatsCollector::addTrace(const ExecutionTrace &trace)
+{
+    for (const LayerExecRecord &rec : trace) {
+        if (rec.layerIndex >= layers_.size())
+            layers_.resize(rec.layerIndex + 1);
+        LayerReuseStats &s = layers_[rec.layerIndex];
+        s.kind = rec.kind;
+        s.reuseEnabled = s.reuseEnabled || rec.reuseEnabled;
+        s.macsFullAll += rec.macsFull;
+        s.macsPerformedAll += rec.macsPerformed;
+        if (rec.firstExecution) {
+            ++s.firstExecutions;
+            continue;
+        }
+        ++s.executions;
+        s.inputsChecked += rec.inputsChecked;
+        s.inputsChanged += rec.inputsChanged;
+        s.macsFull += rec.macsFull;
+        s.macsPerformed += rec.macsPerformed;
+    }
+}
+
+double
+ReuseStatsCollector::meanSimilarity() const
+{
+    double sum = 0.0;
+    int n = 0;
+    for (const auto &s : layers_) {
+        if (s.reuseEnabled && s.inputsChecked > 0) {
+            sum += s.similarity();
+            ++n;
+        }
+    }
+    return n == 0 ? 0.0 : sum / n;
+}
+
+double
+ReuseStatsCollector::meanComputationReuse() const
+{
+    double sum = 0.0;
+    int n = 0;
+    for (const auto &s : layers_) {
+        if (s.reuseEnabled && s.macsFull > 0) {
+            sum += s.computationReuse();
+            ++n;
+        }
+    }
+    return n == 0 ? 0.0 : sum / n;
+}
+
+double
+ReuseStatsCollector::networkComputationReuse() const
+{
+    int64_t full = 0;
+    int64_t performed = 0;
+    for (const auto &s : layers_) {
+        full += s.macsFull;
+        performed += s.macsPerformed;
+    }
+    return full == 0
+               ? 0.0
+               : 1.0 - static_cast<double>(performed) /
+                           static_cast<double>(full);
+}
+
+void
+ReuseStatsCollector::reset()
+{
+    for (auto &s : layers_) {
+        const std::string name = s.layerName;
+        s = LayerReuseStats{};
+        s.layerName = name;
+    }
+}
+
+} // namespace reuse

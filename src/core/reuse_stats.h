@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Aggregation of execution records into the paper's two headline
+ * metrics: input similarity and degree of computation reuse
+ * (Sec. III), per layer and network-wide.
+ */
+
+#ifndef REUSE_DNN_CORE_REUSE_STATS_H
+#define REUSE_DNN_CORE_REUSE_STATS_H
+
+#include <string>
+#include <vector>
+
+#include "core/exec_record.h"
+
+namespace reuse {
+
+/** Accumulated reuse metrics of one layer. */
+struct LayerReuseStats {
+    std::string layerName;
+    LayerKind kind = LayerKind::Activation;
+    bool reuseEnabled = false;
+
+    /** Executions aggregated (excluding first/refresh executions). */
+    int64_t executions = 0;
+    /** First/refresh (from-scratch) executions seen. */
+    int64_t firstExecutions = 0;
+
+    int64_t inputsChecked = 0;
+    int64_t inputsChanged = 0;
+    int64_t macsFull = 0;
+    int64_t macsPerformed = 0;
+    /** Full MACs including first executions (for whole-net shares). */
+    int64_t macsFullAll = 0;
+    /** Performed MACs including first executions. */
+    int64_t macsPerformedAll = 0;
+
+    /** Input similarity: unchanged / checked (steady-state only). */
+    double similarity() const
+    {
+        return inputsChecked == 0
+                   ? 0.0
+                   : 1.0 - static_cast<double>(inputsChanged) /
+                               static_cast<double>(inputsChecked);
+    }
+
+    /** Computation reuse: avoided / full MACs (steady-state only). */
+    double computationReuse() const
+    {
+        return macsFull == 0
+                   ? 0.0
+                   : 1.0 - static_cast<double>(macsPerformed) /
+                               static_cast<double>(macsFull);
+    }
+};
+
+/**
+ * Collects execution traces and reduces them to per-layer and
+ * network-level similarity/reuse numbers.
+ *
+ * Steady-state metrics exclude first executions: the paper defines
+ * similarity with respect to "the previous execution", which does not
+ * exist for the first frame.
+ */
+class ReuseStatsCollector
+{
+  public:
+    /** Prepares slots for `layer_names.size()` layers. */
+    explicit ReuseStatsCollector(
+        std::vector<std::string> layer_names = {});
+
+    /** Ingests one whole-network execution trace. */
+    void addTrace(const ExecutionTrace &trace);
+
+    /** Per-layer accumulated stats. */
+    const std::vector<LayerReuseStats> &layers() const { return layers_; }
+
+    /**
+     * Unweighted mean input similarity over reuse-enabled layers,
+     * matching how Fig. 5 summarizes per-layer numbers.
+     */
+    double meanSimilarity() const;
+
+    /** Unweighted mean computation reuse over reuse-enabled layers. */
+    double meanComputationReuse() const;
+
+    /**
+     * MAC-weighted computation reuse over the *whole* network
+     * (disabled layers contribute zero reuse), i.e. the fraction of
+     * all steady-state network MACs avoided.
+     */
+    double networkComputationReuse() const;
+
+    /** Resets all accumulated numbers. */
+    void reset();
+
+  private:
+    std::vector<LayerReuseStats> layers_;
+};
+
+} // namespace reuse
+
+#endif // REUSE_DNN_CORE_REUSE_STATS_H

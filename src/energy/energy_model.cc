@@ -1,0 +1,66 @@
+#include "energy_model.h"
+
+namespace reuse {
+
+EnergyTable
+EnergyTable::fixedPoint8()
+{
+    EnergyTable t;
+    // 8-bit fixed-point multiply/add are roughly 10-15x cheaper than
+    // FP32 at the same node; memories move 4x fewer bytes per value,
+    // which the byte-based accounting already captures.
+    t.fpMulPJ = 0.25;
+    t.fpAddPJ = 0.08;
+    t.quantPJ = 0.3;
+    t.ceStaticW = 0.03;
+    return t;
+}
+
+std::vector<std::pair<std::string, double>>
+EnergyBreakdown::named() const
+{
+    return {
+        {"WeightsBuffer(eDRAM)", weightsBuffer},
+        {"IOBuffer(SRAM)", ioBuffer},
+        {"ComputeEngine", computeEngine},
+        {"MainMemory(LPDDR4)", mainMemory},
+        {"Interconnect", interconnect},
+        {"Static", staticEnergy},
+    };
+}
+
+EnergyBreakdown
+computeEnergy(const SimEvents &events, double seconds,
+              const EnergyTable &table)
+{
+    constexpr double pj = 1e-12;
+    EnergyBreakdown e;
+    e.weightsBuffer =
+        events.edramWeightBytes * table.edramReadPJPerByte * pj;
+    e.ioBuffer = (events.ioReadBytes + events.ioWriteBytes) *
+                 table.sramPJPerByte * pj;
+    e.computeEngine =
+        (events.fpMul * table.fpMulPJ + events.fpAdd * table.fpAddPJ +
+         events.quantOps * table.quantPJ + events.cmpOps * table.cmpPJ) *
+        pj;
+    e.mainMemory = events.dramBytes() * table.dramPJPerByte * pj;
+    e.interconnect = (events.ringBytes * table.ringPJPerByte +
+                      events.centroidBytes * table.centroidPJPerByte) *
+                     pj;
+    e.staticEnergy = table.totalStaticW() * seconds;
+    return e;
+}
+
+EnergyBreakdown
+computeEnergy(const SimResult &result, const EnergyTable &table)
+{
+    return computeEnergy(result.totals, result.seconds, table);
+}
+
+double
+energyDelay(const EnergyBreakdown &energy, double seconds)
+{
+    return energy.total() * seconds;
+}
+
+} // namespace reuse

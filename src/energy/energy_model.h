@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Energy accounting: combines simulator event counts with the energy
+ * table to produce total energy and the per-component breakdown of
+ * Figure 11.
+ */
+
+#ifndef REUSE_DNN_ENERGY_ENERGY_MODEL_H
+#define REUSE_DNN_ENERGY_ENERGY_MODEL_H
+
+#include <string>
+#include <vector>
+
+#include "energy/energy_table.h"
+#include "sim/accelerator.h"
+#include "sim/events.h"
+
+namespace reuse {
+
+/** Energy of one configuration, split by hardware component (joules). */
+struct EnergyBreakdown {
+    double weightsBuffer = 0.0;   ///< eDRAM dynamic energy.
+    double ioBuffer = 0.0;        ///< SRAM I/O Buffer dynamic energy.
+    double computeEngine = 0.0;   ///< FP ops + quantization + compares.
+    double mainMemory = 0.0;      ///< LPDDR4 transfer energy.
+    double interconnect = 0.0;    ///< Ring + centroid-table energy.
+    double staticEnergy = 0.0;    ///< Leakage over the execution time.
+
+    /** Total energy in joules. */
+    double total() const
+    {
+        return weightsBuffer + ioBuffer + computeEngine + mainMemory +
+               interconnect + staticEnergy;
+    }
+
+    /** Named (component, joules) pairs for reports. */
+    std::vector<std::pair<std::string, double>> named() const;
+};
+
+/**
+ * Computes the energy breakdown of a simulation result.
+ *
+ * @param events Aggregated event counts.
+ * @param seconds Execution time (for static energy).
+ * @param table Energy constants.
+ */
+EnergyBreakdown computeEnergy(const SimEvents &events, double seconds,
+                              const EnergyTable &table);
+
+/** Convenience overload taking a whole SimResult. */
+EnergyBreakdown computeEnergy(const SimResult &result,
+                              const EnergyTable &table = {});
+
+/** Energy-delay product in joule-seconds. */
+double energyDelay(const EnergyBreakdown &energy, double seconds);
+
+} // namespace reuse
+
+#endif // REUSE_DNN_ENERGY_ENERGY_MODEL_H

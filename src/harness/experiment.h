@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Shared experiment plumbing for the benchmark binaries and examples:
+ * calibrating quantizers on a generator, running reuse-based and
+ * reference inference over a stream, and collecting similarity,
+ * reuse, accuracy and per-execution traces in one pass.
+ */
+
+#ifndef REUSE_DNN_HARNESS_EXPERIMENT_H
+#define REUSE_DNN_HARNESS_EXPERIMENT_H
+
+#include <vector>
+
+#include "core/reuse_engine.h"
+#include "quant/accuracy.h"
+#include "quant/quantization_plan.h"
+#include "workloads/sequence_generator.h"
+
+namespace reuse {
+
+/** What one workload measurement produced. */
+struct WorkloadMeasurement {
+    /** Accumulated per-layer similarity/reuse statistics. */
+    ReuseStatsCollector stats{std::vector<std::string>{}};
+    /** Degradation of reuse outputs vs. FP32 from-scratch outputs. */
+    AccuracyReport accuracy;
+    /** One execution trace per execution (per sequence for RNNs). */
+    std::vector<ExecutionTrace> traces;
+    /**
+     * Per-layer steady-state input similarity, sized like the
+     * network; -1 marks layers without reuse.  Feed this to
+     * AcceleratorSim::estimate() for paper-scale costing.
+     */
+    std::vector<double> layerSimilarity;
+    /**
+     * Per-layer steady-state computation reuse (fraction of MACs
+     * avoided); -1 marks layers without reuse.  Exceeds the input
+     * similarity on conv layers whose changed inputs sit near
+     * feature-map borders.
+     */
+    std::vector<double> layerReuse;
+};
+
+/**
+ * Profiles layer input ranges with `calibration_inputs` (the
+ * "training set") and builds a quantization plan enabling the given
+ * layers with `clusters` clusters.
+ */
+QuantizationPlan
+calibratePlan(const Network &network,
+              const std::vector<Tensor> &calibration_inputs,
+              int clusters, const std::vector<size_t> &enabled_layers);
+
+/** Options for measureWorkload(). */
+struct MeasureOptions {
+    /**
+     * Also run the FP32 from-scratch reference to fill the accuracy
+     * report; disable to halve the cost when only similarity/trace
+     * data is needed.
+     */
+    bool withReference = true;
+};
+
+/**
+ * Runs the workload once with the reuse engine and (optionally) once
+ * from scratch (FP32 reference) on the same inputs, collecting
+ * statistics, traces and the accuracy report.
+ *
+ * For feed-forward networks, `inputs` is a stream of frames; for
+ * recurrent networks it is ONE sequence processed as a whole.
+ */
+WorkloadMeasurement
+measureWorkload(const Network &network, const QuantizationPlan &plan,
+                const std::vector<Tensor> &inputs,
+                const MeasureOptions &options = {});
+
+/**
+ * Recurrent variant over several sequences (utterances): the engine
+ * state resets between sequences.
+ */
+WorkloadMeasurement
+measureWorkloadSequences(const Network &network,
+                         const QuantizationPlan &plan,
+                         const std::vector<std::vector<Tensor>> &sequences,
+                         const MeasureOptions &options = {});
+
+/** Extracts the per-layer similarity vector from a stats collector. */
+std::vector<double>
+layerSimilarityVector(const ReuseStatsCollector &stats);
+
+} // namespace reuse
+
+#endif // REUSE_DNN_HARNESS_EXPERIMENT_H

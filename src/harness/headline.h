@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Shared computation behind the headline figures (Figs. 9-12): for
+ * each of the four DNNs, measure per-layer similarity functionally,
+ * then cost the paper-scale network in baseline and reuse modes and
+ * attach the energy breakdowns.
+ */
+
+#ifndef REUSE_DNN_HARNESS_HEADLINE_H
+#define REUSE_DNN_HARNESS_HEADLINE_H
+
+#include <string>
+#include <vector>
+
+#include "energy/energy_model.h"
+#include "harness/experiment.h"
+#include "harness/workload_setup.h"
+#include "sim/accelerator.h"
+
+namespace reuse {
+
+/** Per-DNN headline result. */
+struct HeadlineEntry {
+    std::string name;
+    /** Functional measurement (reduced scale for C3D). */
+    WorkloadMeasurement measurement;
+    /** Paper-scale simulation results. */
+    SimResult baseline;
+    SimResult reuse;
+    EnergyBreakdown baselineEnergy;
+    EnergyBreakdown reuseEnergy;
+    /** The paper-scale network's MACs per execution. */
+    int64_t macsPerExecution = 0;
+    /** Paper-scale network weight bytes. */
+    int64_t weightBytes = 0;
+
+    double speedup() const { return baseline.cycles / reuse.cycles; }
+    double energySavings() const
+    {
+        return 1.0 - reuseEnergy.total() / baselineEnergy.total();
+    }
+};
+
+/** Knobs for the headline computation. */
+struct HeadlineConfig {
+    WorkloadSetupConfig setup;
+    /** Frames measured functionally per feed-forward workload. */
+    size_t measureFrames = 24;
+    /** Timesteps measured functionally for the RNN. */
+    size_t measureSteps = 32;
+    /** Windows measured functionally for C3D (expensive). */
+    size_t measureWindows = 4;
+    /** Executions costed in the paper-scale simulation (a long
+     *  stream, so the stream-start weight load amortizes as in the
+     *  paper's hours-long inputs). */
+    int64_t simulatedExecutions = 1000;
+    /** Sequence length of each simulated RNN utterance. */
+    int64_t simulatedSequenceLength = 100;
+    /** Accelerator configuration. */
+    AcceleratorParams params;
+    /** Energy constants. */
+    EnergyTable energyTable;
+};
+
+/**
+ * Computes the headline entry for one workload name
+ * ("Kaldi"/"EESEN"/"C3D"/"AutoPilot").
+ */
+HeadlineEntry computeHeadlineEntry(const std::string &name,
+                                   const HeadlineConfig &config);
+
+/** Computes entries for all four workloads in paper order. */
+std::vector<HeadlineEntry>
+computeHeadline(const HeadlineConfig &config = {});
+
+} // namespace reuse
+
+#endif // REUSE_DNN_HARNESS_HEADLINE_H

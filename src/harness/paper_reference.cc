@@ -1,0 +1,83 @@
+#include "paper_reference.h"
+
+namespace reuse {
+
+const std::map<std::string, PaperReference> &
+paperReferences()
+{
+    static const std::map<std::string, PaperReference> refs = [] {
+        std::map<std::string, PaperReference> m;
+
+        PaperReference kaldi;
+        kaldi.speedup = 1.9;
+        kaldi.energySavings = 0.45;
+        kaldi.accuracyLossPct = 0.47;
+        kaldi.layerReuse = {{"FC3", 0.75},
+                            {"FC4", 0.66},
+                            {"FC5", 0.56},
+                            {"FC6", 0.66}};
+        kaldi.ioBufferBaselineKB = 27;
+        kaldi.ioBufferReuseKB = 66;
+        kaldi.mainMemoryBaselineMB = 18;
+        kaldi.mainMemoryReuseMB = 18;
+        m["Kaldi"] = kaldi;
+
+        PaperReference eesen;
+        eesen.speedup = 2.4;    // Fig. 9 bar (approximate read-off)
+        eesen.energySavings = 0.55;
+        eesen.accuracyLossPct = 0.18;
+        eesen.layerReuse = {{"BiLSTM1", 0.38},
+                            {"BiLSTM2", 0.53},
+                            {"BiLSTM3", 0.56},
+                            {"BiLSTM4", 0.59},
+                            {"BiLSTM5", 0.60}};
+        eesen.ioBufferBaselineKB = 8;
+        eesen.ioBufferReuseKB = 13;
+        eesen.mainMemoryBaselineMB = 42;
+        eesen.mainMemoryReuseMB = 42;
+        m["EESEN"] = eesen;
+
+        PaperReference c3d;
+        c3d.speedup = 4.5;      // Fig. 9 bar (approximate read-off)
+        c3d.energySavings = 0.77;
+        c3d.accuracyLossPct = 1.38;
+        c3d.layerReuse = {{"CONV2", 0.76},
+                          {"CONV3", 0.75},
+                          {"CONV4", 0.75},
+                          {"CONV5", 0.73},
+                          {"CONV6", 0.80},
+                          {"CONV7", 0.80},
+                          {"CONV8", 0.87},
+                          {"FC1", 0.88},
+                          {"FC2", 0.61},
+                          {"FC3", 0.54}};
+        c3d.ioBufferBaselineKB = 1152;
+        c3d.ioBufferReuseKB = 1280;
+        c3d.mainMemoryBaselineMB = 397;
+        c3d.mainMemoryReuseMB = 443;
+        m["C3D"] = c3d;
+
+        PaperReference autopilot;
+        autopilot.speedup = 5.2;
+        autopilot.energySavings = 0.76;
+        autopilot.accuracyLossPct = 0.06;
+        autopilot.layerReuse = {{"CONV1", 0.46},
+                                {"CONV2", 0.84},
+                                {"CONV3", 0.93},
+                                {"CONV4", 0.94},
+                                {"CONV5", 0.88},
+                                {"FC1", 0.89},
+                                {"FC2", 0.97},
+                                {"FC3", 0.95},
+                                {"FC4", 0.82}};
+        autopilot.ioBufferBaselineKB = 160;
+        autopilot.ioBufferReuseKB = 176;
+        autopilot.mainMemoryBaselineMB = 6.6;
+        autopilot.mainMemoryReuseMB = 7.2;
+        m["AutoPilot"] = autopilot;
+        return m;
+    }();
+    return refs;
+}
+
+} // namespace reuse

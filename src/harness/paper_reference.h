@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Reference numbers reported by the paper, used by the benchmark
+ * harness to print "paper vs. measured" comparisons (EXPERIMENTS.md).
+ */
+
+#ifndef REUSE_DNN_HARNESS_PAPER_REFERENCE_H
+#define REUSE_DNN_HARNESS_PAPER_REFERENCE_H
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace reuse {
+
+/** Paper numbers for one DNN. */
+struct PaperReference {
+    /** Speedup of reuse over baseline accelerator (Fig. 9). */
+    double speedup = 0.0;
+    /** Energy reduction of the reuse scheme (Fig. 10), fraction. */
+    double energySavings = 0.0;
+    /** Accuracy loss of quantization (Table I), pct points. */
+    double accuracyLossPct = 0.0;
+    /** Per-layer computation reuse, Table I ("layer name" -> frac). */
+    std::vector<std::pair<std::string, double>> layerReuse;
+    /** I/O Buffer bytes baseline / reuse (Table III, KB). */
+    double ioBufferBaselineKB = 0.0;
+    double ioBufferReuseKB = 0.0;
+    /** Main memory baseline / reuse (Table III, MB). */
+    double mainMemoryBaselineMB = 0.0;
+    double mainMemoryReuseMB = 0.0;
+};
+
+/** Paper numbers indexed by DNN name (Kaldi/EESEN/C3D/AutoPilot). */
+const std::map<std::string, PaperReference> &paperReferences();
+
+/** Fig. 5 overall averages reported by the paper. */
+struct PaperAverages {
+    double inputSimilarity = 0.61;
+    double computationReuse = 0.66;
+    double speedup = 3.5;
+    double energySavings = 0.63;
+};
+
+} // namespace reuse
+
+#endif // REUSE_DNN_HARNESS_PAPER_REFERENCE_H

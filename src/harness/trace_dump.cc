@@ -1,0 +1,43 @@
+#include "trace_dump.h"
+
+namespace reuse {
+
+void
+dumpTracesCsv(std::ostream &os, const Network &network,
+              const std::vector<ExecutionTrace> &traces)
+{
+    os << "execution,layer,name,kind,reuse,first,checked,changed,"
+          "similarity,macs_full,macs_performed,reuse_fraction\n";
+    for (size_t e = 0; e < traces.size(); ++e) {
+        for (const LayerExecRecord &rec : traces[e]) {
+            const std::string name =
+                rec.layerIndex < network.layerCount()
+                    ? network.layer(rec.layerIndex).name()
+                    : "?";
+            os << e << "," << rec.layerIndex << "," << name << ","
+               << layerKindName(rec.kind) << ","
+               << (rec.reuseEnabled ? 1 : 0) << ","
+               << (rec.firstExecution ? 1 : 0) << ","
+               << rec.inputsChecked << "," << rec.inputsChanged << ","
+               << rec.similarity() << "," << rec.macsFull << ","
+               << rec.macsPerformed << "," << rec.reuseFraction()
+               << "\n";
+        }
+    }
+}
+
+void
+dumpStatsCsv(std::ostream &os, const ReuseStatsCollector &stats)
+{
+    os << "layer,name,kind,enabled,executions,similarity,"
+          "computation_reuse\n";
+    for (size_t li = 0; li < stats.layers().size(); ++li) {
+        const LayerReuseStats &s = stats.layers()[li];
+        os << li << "," << s.layerName << "," << layerKindName(s.kind)
+           << "," << (s.reuseEnabled ? 1 : 0) << "," << s.executions
+           << "," << s.similarity() << "," << s.computationReuse()
+           << "\n";
+    }
+}
+
+} // namespace reuse

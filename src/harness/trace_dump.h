@@ -1,0 +1,35 @@
+/**
+ * @file
+ * CSV export of execution traces and per-layer statistics, for
+ * offline analysis/plotting of reuse behaviour over time.
+ */
+
+#ifndef REUSE_DNN_HARNESS_TRACE_DUMP_H
+#define REUSE_DNN_HARNESS_TRACE_DUMP_H
+
+#include <ostream>
+#include <vector>
+
+#include "core/exec_record.h"
+#include "core/reuse_stats.h"
+#include "nn/network.h"
+
+namespace reuse {
+
+/**
+ * Writes one CSV row per (execution, layer) record:
+ * execution,layer,name,kind,reuse,first,checked,changed,similarity,
+ * macs_full,macs_performed,reuse_fraction.
+ */
+void dumpTracesCsv(std::ostream &os, const Network &network,
+                   const std::vector<ExecutionTrace> &traces);
+
+/**
+ * Writes one CSV row per layer of accumulated statistics:
+ * layer,name,kind,enabled,executions,similarity,computation_reuse.
+ */
+void dumpStatsCsv(std::ostream &os, const ReuseStatsCollector &stats);
+
+} // namespace reuse
+
+#endif // REUSE_DNN_HARNESS_TRACE_DUMP_H

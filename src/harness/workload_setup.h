@@ -1,0 +1,67 @@
+/**
+ * @file
+ * One-call setup of the four paper workloads: network + calibrated
+ * quantization plan + input stream, with the generator parameters
+ * tuned so the measured per-layer reuse lands in the bands of
+ * Table I (see EXPERIMENTS.md for the calibration evidence).
+ */
+
+#ifndef REUSE_DNN_HARNESS_WORKLOAD_SETUP_H
+#define REUSE_DNN_HARNESS_WORKLOAD_SETUP_H
+
+#include <memory>
+#include <string>
+
+#include "quant/quantization_plan.h"
+#include "workloads/model_zoo.h"
+#include "workloads/sequence_generator.h"
+
+namespace reuse {
+
+/** A fully assembled workload ready for measurement. */
+struct Workload {
+    std::string name;
+    ModelBundle bundle;
+    std::unique_ptr<SequenceGenerator> generator;
+    QuantizationPlan plan;
+    /** True when inputs form one RNN sequence per measurement. */
+    bool recurrent = false;
+    /**
+     * Spatial divisor applied to the functional network (C3D only;
+     * 1 elsewhere).  Paper-scale costing uses a full-scale network
+     * built separately.
+     */
+    int spatialDivisor = 1;
+};
+
+/**
+ * Workload factory configuration shared by tests and benches.
+ */
+struct WorkloadSetupConfig {
+    uint64_t seed = 42;
+    /** Frames used to calibrate quantizer ranges ("training set"). */
+    size_t calibrationFrames = 48;
+    /** Spatial divisor for the functional C3D network (28x28 at 4;
+     *  deep conv layers keep a usable spatial extent). */
+    int c3dSpatialDivisor = 4;
+};
+
+/** Builds the Kaldi MLP workload (sliding 9x40 speech windows). */
+Workload setupKaldi(const WorkloadSetupConfig &config = {});
+
+/** Builds the EESEN RNN workload (120-feature frame sequences). */
+Workload setupEesen(const WorkloadSetupConfig &config = {});
+
+/** Builds the C3D CNN workload (16-frame video windows). */
+Workload setupC3D(const WorkloadSetupConfig &config = {});
+
+/** Builds the AutoPilot CNN workload (66x200 camera frames). */
+Workload setupAutopilot(const WorkloadSetupConfig &config = {});
+
+/** Builds a workload by name ("Kaldi", "EESEN", "C3D", "AutoPilot"). */
+Workload setupWorkload(const std::string &name,
+                       const WorkloadSetupConfig &config = {});
+
+} // namespace reuse
+
+#endif // REUSE_DNN_HARNESS_WORKLOAD_SETUP_H

@@ -1,0 +1,78 @@
+#include "activations.h"
+
+#include <cmath>
+
+#include "common/math_utils.h"
+
+namespace reuse {
+
+const char *
+activationKindName(ActivationKind kind)
+{
+    switch (kind) {
+      case ActivationKind::ReLU:
+        return "relu";
+      case ActivationKind::Sigmoid:
+        return "sigmoid";
+      case ActivationKind::Tanh:
+        return "tanh";
+      case ActivationKind::Softmax:
+        return "softmax";
+      case ActivationKind::Atan:
+        return "atan";
+      case ActivationKind::Identity:
+        return "identity";
+    }
+    return "unknown";
+}
+
+ActivationLayer::ActivationLayer(std::string name,
+                                 ActivationKind activation)
+    : Layer(std::move(name)), activation_(activation)
+{
+}
+
+Tensor
+ActivationLayer::forward(const Tensor &input) const
+{
+    Tensor out(input.shape());
+    const int64_t n = input.numel();
+    switch (activation_) {
+      case ActivationKind::ReLU:
+        for (int64_t i = 0; i < n; ++i)
+            out[i] = input[i] > 0.0f ? input[i] : 0.0f;
+        break;
+      case ActivationKind::Sigmoid:
+        for (int64_t i = 0; i < n; ++i)
+            out[i] = sigmoid(input[i]);
+        break;
+      case ActivationKind::Tanh:
+        for (int64_t i = 0; i < n; ++i)
+            out[i] = std::tanh(input[i]);
+        break;
+      case ActivationKind::Atan:
+        for (int64_t i = 0; i < n; ++i)
+            out[i] = std::atan(input[i]);
+        break;
+      case ActivationKind::Identity:
+        for (int64_t i = 0; i < n; ++i)
+            out[i] = input[i];
+        break;
+      case ActivationKind::Softmax: {
+        // Subtract the max for numerical stability.
+        const float max_v = input.maxValue();
+        double denom = 0.0;
+        for (int64_t i = 0; i < n; ++i) {
+            out[i] = std::exp(input[i] - max_v);
+            denom += out[i];
+        }
+        const float inv = static_cast<float>(1.0 / denom);
+        for (int64_t i = 0; i < n; ++i)
+            out[i] *= inv;
+        break;
+      }
+    }
+    return out;
+}
+
+} // namespace reuse

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Elementwise activation layers (ReLU, sigmoid, tanh, softmax, atan)
+ * plus a flatten layer.  These layers account for a negligible share
+ * of DNN execution time (Sec. III) and are therefore executed
+ * from-scratch even in reuse mode.
+ */
+
+#ifndef REUSE_DNN_NN_ACTIVATIONS_H
+#define REUSE_DNN_NN_ACTIVATIONS_H
+
+#include "nn/layer.h"
+
+namespace reuse {
+
+/** Supported elementwise activation functions. */
+enum class ActivationKind {
+    ReLU,
+    Sigmoid,
+    Tanh,
+    Softmax,
+    Atan,     ///< Used by AutoPilot's steering-angle head.
+    Identity,
+};
+
+/** Human-readable activation name. */
+const char *activationKindName(ActivationKind kind);
+
+/**
+ * Elementwise activation layer; Softmax normalizes over the flattened
+ * tensor.
+ */
+class ActivationLayer : public Layer
+{
+  public:
+    ActivationLayer(std::string name, ActivationKind activation);
+
+    LayerKind kind() const override { return LayerKind::Activation; }
+    Shape outputShape(const Shape &input) const override { return input; }
+    Tensor forward(const Tensor &input) const override;
+
+    /** Which function this layer applies. */
+    ActivationKind activation() const { return activation_; }
+
+  private:
+    ActivationKind activation_;
+};
+
+/**
+ * Flattens any input tensor to rank-1.  Needed between conv stacks and
+ * FC heads (C3D, AutoPilot).
+ */
+class FlattenLayer : public Layer
+{
+  public:
+    explicit FlattenLayer(std::string name) : Layer(std::move(name)) {}
+
+    LayerKind kind() const override { return LayerKind::Flatten; }
+    Shape outputShape(const Shape &input) const override
+    {
+        return Shape({input.numel()});
+    }
+    Tensor forward(const Tensor &input) const override
+    {
+        return input.reshaped(Shape({input.numel()}));
+    }
+};
+
+} // namespace reuse
+
+#endif // REUSE_DNN_NN_ACTIVATIONS_H

@@ -1,0 +1,167 @@
+#include "conv2d.h"
+
+#include "common/logging.h"
+#include "common/math_utils.h"
+
+namespace reuse {
+
+Conv2DLayer::Conv2DLayer(std::string name, int64_t in_channels,
+                         int64_t out_channels, int64_t kernel,
+                         int64_t stride)
+    : Layer(std::move(name)),
+      in_channels_(in_channels),
+      out_channels_(out_channels),
+      kernel_(kernel),
+      stride_(stride),
+      weights_(static_cast<size_t>(in_channels * out_channels * kernel *
+                                   kernel),
+               0.0f),
+      biases_(static_cast<size_t>(out_channels), 0.0f)
+{
+    REUSE_ASSERT(in_channels > 0 && out_channels > 0 && kernel > 0 &&
+                     stride > 0,
+                 "invalid conv2d parameters");
+}
+
+void
+Conv2DLayer::checkInput(const Shape &input) const
+{
+    REUSE_ASSERT(input.rank() == 3,
+                 name() << ": conv2d expects [C,H,W], got "
+                        << input.str());
+    REUSE_ASSERT(input.dim(0) == in_channels_,
+                 name() << ": expected " << in_channels_
+                        << " input channels, got " << input.dim(0));
+    REUSE_ASSERT(input.dim(1) >= kernel_ && input.dim(2) >= kernel_,
+                 name() << ": input " << input.str()
+                        << " smaller than kernel " << kernel_);
+}
+
+Shape
+Conv2DLayer::outputShape(const Shape &input) const
+{
+    checkInput(input);
+    const int64_t oh = (input.dim(1) - kernel_) / stride_ + 1;
+    const int64_t ow = (input.dim(2) - kernel_) / stride_ + 1;
+    return Shape({out_channels_, oh, ow});
+}
+
+Tensor
+Conv2DLayer::forward(const Tensor &input) const
+{
+    const Shape out_shape = outputShape(input.shape());
+    const int64_t h = input.shape().dim(1);
+    const int64_t w = input.shape().dim(2);
+    const int64_t oh = out_shape.dim(1);
+    const int64_t ow = out_shape.dim(2);
+
+    Tensor out(out_shape);
+    for (int64_t co = 0; co < out_channels_; ++co) {
+        const float b = biases_[static_cast<size_t>(co)];
+        float *out_map = &out.data()[static_cast<size_t>(co * oh * ow)];
+        for (int64_t i = 0; i < oh * ow; ++i)
+            out_map[i] = b;
+    }
+
+    // Output-stationary loop nest; the inner loop over output filters
+    // walks contiguous weights thanks to the input-major layout.
+    for (int64_t ci = 0; ci < in_channels_; ++ci) {
+        const float *in_map =
+            &input.data()[static_cast<size_t>(ci * h * w)];
+        for (int64_t oy = 0; oy < oh; ++oy) {
+            for (int64_t ox = 0; ox < ow; ++ox) {
+                for (int64_t ky = 0; ky < kernel_; ++ky) {
+                    const int64_t iy = oy * stride_ + ky;
+                    for (int64_t kx = 0; kx < kernel_; ++kx) {
+                        const int64_t ix = ox * stride_ + kx;
+                        const float in_v = in_map[iy * w + ix];
+                        if (in_v == 0.0f)
+                            continue;
+                        const float *w_row =
+                            &weights_[weightIndex(ci, 0, ky, kx)];
+                        for (int64_t co = 0; co < out_channels_; ++co) {
+                            out.data()[static_cast<size_t>(
+                                (co * oh + oy) * ow + ox)] +=
+                                in_v * w_row[co];
+                        }
+                    }
+                }
+            }
+        }
+    }
+    return out;
+}
+
+int64_t
+Conv2DLayer::paramCount() const
+{
+    return in_channels_ * out_channels_ * kernel_ * kernel_ +
+           out_channels_;
+}
+
+int64_t
+Conv2DLayer::macCount(const Shape &input) const
+{
+    const Shape out_shape = outputShape(input);
+    return out_shape.numel() * in_channels_ * kernel_ * kernel_;
+}
+
+void
+Conv2DLayer::applyDelta(const Shape &input_shape, int64_t ci, int64_t y,
+                        int64_t x, float delta, Tensor &out) const
+{
+    const Shape out_shape = outputShape(input_shape);
+    REUSE_ASSERT(out.shape() == out_shape,
+                 name() << ": output buffer shape mismatch");
+    const int64_t oh = out_shape.dim(1);
+    const int64_t ow = out_shape.dim(2);
+
+    // Output (oy, ox) with kernel offset (ky, kx) reads input
+    // (oy*stride + ky, ox*stride + kx); invert to find all outputs
+    // covering the changed pixel.
+    for (int64_t ky = 0; ky < kernel_; ++ky) {
+        const int64_t ry = y - ky;
+        if (ry < 0 || ry % stride_ != 0)
+            continue;
+        const int64_t oy = ry / stride_;
+        if (oy >= oh)
+            continue;
+        for (int64_t kx = 0; kx < kernel_; ++kx) {
+            const int64_t rx = x - kx;
+            if (rx < 0 || rx % stride_ != 0)
+                continue;
+            const int64_t ox = rx / stride_;
+            if (ox >= ow)
+                continue;
+            const float *w_row = &weights_[weightIndex(ci, 0, ky, kx)];
+            for (int64_t co = 0; co < out_channels_; ++co) {
+                out.data()[static_cast<size_t>((co * oh + oy) * ow +
+                                               ox)] += delta * w_row[co];
+            }
+        }
+    }
+}
+
+int64_t
+Conv2DLayer::affectedOutputs(const Shape &input_shape, int64_t y,
+                             int64_t x) const
+{
+    const Shape out_shape = outputShape(input_shape);
+    const int64_t oh = out_shape.dim(1);
+    const int64_t ow = out_shape.dim(2);
+    int64_t positions = 0;
+    for (int64_t ky = 0; ky < kernel_; ++ky) {
+        const int64_t ry = y - ky;
+        if (ry < 0 || ry % stride_ != 0 || ry / stride_ >= oh)
+            continue;
+        for (int64_t kx = 0; kx < kernel_; ++kx) {
+            const int64_t rx = x - kx;
+            if (rx < 0 || rx % stride_ != 0 || rx / stride_ >= ow)
+                continue;
+            ++positions;
+        }
+    }
+    return positions * out_channels_;
+}
+
+} // namespace reuse

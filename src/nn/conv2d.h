@@ -1,0 +1,106 @@
+/**
+ * @file
+ * 2D convolutional layer (valid padding, configurable stride), as used
+ * by the AutoPilot network.
+ *
+ * Weights are stored input-channel-major per kernel position so the
+ * set of weights touched by one input pixel (all output filters at one
+ * kernel offset) is contiguous, matching the accelerator's interleaved
+ * weight layout (Sec. IV-C).
+ */
+
+#ifndef REUSE_DNN_NN_CONV2D_H
+#define REUSE_DNN_NN_CONV2D_H
+
+#include "nn/layer.h"
+
+namespace reuse {
+
+/**
+ * 2D convolution: input [C_in, H, W] -> output [C_out, H', W'] with
+ * H' = (H - Kh) / stride + 1 (valid padding).
+ */
+class Conv2DLayer : public Layer
+{
+  public:
+    /**
+     * @param name Layer name used in reports.
+     * @param in_channels Number of input feature maps.
+     * @param out_channels Number of filters / output feature maps.
+     * @param kernel Kernel size K (square KxK kernels).
+     * @param stride Stride in both spatial dimensions.
+     */
+    Conv2DLayer(std::string name, int64_t in_channels,
+                int64_t out_channels, int64_t kernel, int64_t stride);
+
+    LayerKind kind() const override { return LayerKind::Conv2D; }
+    Shape outputShape(const Shape &input) const override;
+    Tensor forward(const Tensor &input) const override;
+    int64_t paramCount() const override;
+    int64_t macCount(const Shape &input) const override;
+
+    int64_t inChannels() const { return in_channels_; }
+    int64_t outChannels() const { return out_channels_; }
+    int64_t kernel() const { return kernel_; }
+    int64_t stride() const { return stride_; }
+
+    /**
+     * Weight for (input channel ci, output filter co, kernel row ky,
+     * kernel col kx).  Layout: w[((ci*K + ky)*K + kx)*C_out + co].
+     */
+    float weight(int64_t ci, int64_t co, int64_t ky, int64_t kx) const
+    {
+        return weights_[weightIndex(ci, co, ky, kx)];
+    }
+
+    /** Mutable access to the same weight. */
+    float &weight(int64_t ci, int64_t co, int64_t ky, int64_t kx)
+    {
+        return weights_[weightIndex(ci, co, ky, kx)];
+    }
+
+    /** Flat weight storage. */
+    std::vector<float> &weights() { return weights_; }
+    const std::vector<float> &weights() const { return weights_; }
+
+    /** Per-filter biases. */
+    std::vector<float> &biases() { return biases_; }
+    const std::vector<float> &biases() const { return biases_; }
+
+    /**
+     * Applies the delta-correction for a single changed input pixel
+     * (ci, y, x): every output neuron whose receptive field covers the
+     * pixel is corrected by delta * w.  `out` must hold the previous
+     * output of shape outputShape(input_shape).
+     */
+    void applyDelta(const Shape &input_shape, int64_t ci, int64_t y,
+                    int64_t x, float delta, Tensor &out) const;
+
+    /**
+     * Number of output neurons affected by one input pixel at (y, x),
+     * i.e. the number of MACs a changed input costs in reuse mode.
+     */
+    int64_t affectedOutputs(const Shape &input_shape, int64_t y,
+                            int64_t x) const;
+
+  private:
+    size_t weightIndex(int64_t ci, int64_t co, int64_t ky,
+                       int64_t kx) const
+    {
+        return static_cast<size_t>(
+            ((ci * kernel_ + ky) * kernel_ + kx) * out_channels_ + co);
+    }
+
+    void checkInput(const Shape &input) const;
+
+    int64_t in_channels_;
+    int64_t out_channels_;
+    int64_t kernel_;
+    int64_t stride_;
+    std::vector<float> weights_;
+    std::vector<float> biases_;
+};
+
+} // namespace reuse
+
+#endif // REUSE_DNN_NN_CONV2D_H

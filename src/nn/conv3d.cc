@@ -1,0 +1,198 @@
+#include "conv3d.h"
+
+#include "common/logging.h"
+
+namespace reuse {
+
+Conv3DLayer::Conv3DLayer(std::string name, int64_t in_channels,
+                         int64_t out_channels, int64_t kernel,
+                         int64_t pad)
+    : Layer(std::move(name)),
+      in_channels_(in_channels),
+      out_channels_(out_channels),
+      kernel_(kernel),
+      pad_(pad),
+      weights_(static_cast<size_t>(in_channels * out_channels * kernel *
+                                   kernel * kernel),
+               0.0f),
+      biases_(static_cast<size_t>(out_channels), 0.0f)
+{
+    REUSE_ASSERT(in_channels > 0 && out_channels > 0 && kernel > 0 &&
+                     pad >= 0,
+                 "invalid conv3d parameters");
+}
+
+void
+Conv3DLayer::checkInput(const Shape &input) const
+{
+    REUSE_ASSERT(input.rank() == 4,
+                 name() << ": conv3d expects [C,D,H,W], got "
+                        << input.str());
+    REUSE_ASSERT(input.dim(0) == in_channels_,
+                 name() << ": expected " << in_channels_
+                        << " input channels, got " << input.dim(0));
+    REUSE_ASSERT(input.dim(1) + 2 * pad_ >= kernel_ &&
+                     input.dim(2) + 2 * pad_ >= kernel_ &&
+                     input.dim(3) + 2 * pad_ >= kernel_,
+                 name() << ": input " << input.str()
+                        << " smaller than kernel");
+}
+
+Shape
+Conv3DLayer::outputShape(const Shape &input) const
+{
+    checkInput(input);
+    const int64_t od = input.dim(1) + 2 * pad_ - kernel_ + 1;
+    const int64_t oh = input.dim(2) + 2 * pad_ - kernel_ + 1;
+    const int64_t ow = input.dim(3) + 2 * pad_ - kernel_ + 1;
+    return Shape({out_channels_, od, oh, ow});
+}
+
+Tensor
+Conv3DLayer::forward(const Tensor &input) const
+{
+    const Shape out_shape = outputShape(input.shape());
+    const int64_t d = input.shape().dim(1);
+    const int64_t h = input.shape().dim(2);
+    const int64_t w = input.shape().dim(3);
+    const int64_t od = out_shape.dim(1);
+    const int64_t oh = out_shape.dim(2);
+    const int64_t ow = out_shape.dim(3);
+
+    Tensor out(out_shape);
+    for (int64_t co = 0; co < out_channels_; ++co) {
+        float *out_vol =
+            &out.data()[static_cast<size_t>(co * od * oh * ow)];
+        const float b = biases_[static_cast<size_t>(co)];
+        for (int64_t i = 0; i < od * oh * ow; ++i)
+            out_vol[i] = b;
+    }
+
+    // Input-stationary loop nest: for every input voxel, scatter its
+    // contribution to all covering outputs.  This is the dataflow the
+    // accelerator uses (Sec. IV-C) and lets forward() and applyDelta()
+    // share the exact same arithmetic.
+    for (int64_t ci = 0; ci < in_channels_; ++ci) {
+        const float *in_vol =
+            &input.data()[static_cast<size_t>(ci * d * h * w)];
+        for (int64_t iz = 0; iz < d; ++iz) {
+            for (int64_t iy = 0; iy < h; ++iy) {
+                for (int64_t ix = 0; ix < w; ++ix) {
+                    const float in_v =
+                        in_vol[(iz * h + iy) * w + ix];
+                    if (in_v == 0.0f)
+                        continue;
+                    for (int64_t kd = 0; kd < kernel_; ++kd) {
+                        const int64_t oz = iz + pad_ - kd;
+                        if (oz < 0 || oz >= od)
+                            continue;
+                        for (int64_t ky = 0; ky < kernel_; ++ky) {
+                            const int64_t oy = iy + pad_ - ky;
+                            if (oy < 0 || oy >= oh)
+                                continue;
+                            for (int64_t kx = 0; kx < kernel_; ++kx) {
+                                const int64_t ox = ix + pad_ - kx;
+                                if (ox < 0 || ox >= ow)
+                                    continue;
+                                const float *w_row = &weights_
+                                    [weightIndex(ci, 0, kd, ky, kx)];
+                                float *out_base = &out.data()
+                                    [static_cast<size_t>(
+                                        ((oz)*oh + oy) * ow + ox)];
+                                for (int64_t co = 0;
+                                     co < out_channels_; ++co) {
+                                    out_base[static_cast<size_t>(
+                                        co * od * oh * ow)] +=
+                                        in_v * w_row[co];
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    return out;
+}
+
+int64_t
+Conv3DLayer::paramCount() const
+{
+    return in_channels_ * out_channels_ * kernel_ * kernel_ * kernel_ +
+           out_channels_;
+}
+
+int64_t
+Conv3DLayer::macCount(const Shape &input) const
+{
+    const Shape out_shape = outputShape(input);
+    return out_shape.numel() * in_channels_ * kernel_ * kernel_ *
+           kernel_;
+}
+
+void
+Conv3DLayer::applyDelta(const Shape &input_shape, int64_t ci, int64_t d,
+                        int64_t y, int64_t x, float delta,
+                        Tensor &out) const
+{
+    const Shape out_shape = outputShape(input_shape);
+    REUSE_ASSERT(out.shape() == out_shape,
+                 name() << ": output buffer shape mismatch");
+    const int64_t od = out_shape.dim(1);
+    const int64_t oh = out_shape.dim(2);
+    const int64_t ow = out_shape.dim(3);
+
+    for (int64_t kd = 0; kd < kernel_; ++kd) {
+        const int64_t oz = d + pad_ - kd;
+        if (oz < 0 || oz >= od)
+            continue;
+        for (int64_t ky = 0; ky < kernel_; ++ky) {
+            const int64_t oy = y + pad_ - ky;
+            if (oy < 0 || oy >= oh)
+                continue;
+            for (int64_t kx = 0; kx < kernel_; ++kx) {
+                const int64_t ox = x + pad_ - kx;
+                if (ox < 0 || ox >= ow)
+                    continue;
+                const float *w_row =
+                    &weights_[weightIndex(ci, 0, kd, ky, kx)];
+                float *out_base = &out.data()[static_cast<size_t>(
+                    (oz * oh + oy) * ow + ox)];
+                for (int64_t co = 0; co < out_channels_; ++co) {
+                    out_base[static_cast<size_t>(co * od * oh * ow)] +=
+                        delta * w_row[co];
+                }
+            }
+        }
+    }
+}
+
+int64_t
+Conv3DLayer::affectedOutputs(const Shape &input_shape, int64_t d,
+                             int64_t y, int64_t x) const
+{
+    const Shape out_shape = outputShape(input_shape);
+    const int64_t od = out_shape.dim(1);
+    const int64_t oh = out_shape.dim(2);
+    const int64_t ow = out_shape.dim(3);
+    int64_t positions = 0;
+    for (int64_t kd = 0; kd < kernel_; ++kd) {
+        const int64_t oz = d + pad_ - kd;
+        if (oz < 0 || oz >= od)
+            continue;
+        for (int64_t ky = 0; ky < kernel_; ++ky) {
+            const int64_t oy = y + pad_ - ky;
+            if (oy < 0 || oy >= oh)
+                continue;
+            for (int64_t kx = 0; kx < kernel_; ++kx) {
+                const int64_t ox = x + pad_ - kx;
+                if (ox < 0 || ox >= ow)
+                    continue;
+                ++positions;
+            }
+        }
+    }
+    return positions * out_channels_;
+}
+
+} // namespace reuse

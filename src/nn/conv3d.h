@@ -1,0 +1,89 @@
+/**
+ * @file
+ * 3D convolutional layer (same or valid padding), as used by C3D for
+ * video classification (Eq. 2 of the paper).
+ *
+ * Input layout is [C, D, H, W]: feature maps, temporal depth, height,
+ * width.  Weights follow the same input-major interleaving as the
+ * other layers: all output filters for one (ci, kd, ky, kx) position
+ * are contiguous.
+ */
+
+#ifndef REUSE_DNN_NN_CONV3D_H
+#define REUSE_DNN_NN_CONV3D_H
+
+#include "nn/layer.h"
+
+namespace reuse {
+
+/**
+ * 3D convolution with cubic kernels KxKxK, stride 1, and optional
+ * symmetric zero padding (C3D uses K=3, pad=1 for shape-preserving
+ * convolutions).
+ */
+class Conv3DLayer : public Layer
+{
+  public:
+    /**
+     * @param name Layer name used in reports.
+     * @param in_channels Number of input feature maps N_if.
+     * @param out_channels Number of filters / output feature maps.
+     * @param kernel Cubic kernel size K.
+     * @param pad Symmetric zero padding in all three dimensions.
+     */
+    Conv3DLayer(std::string name, int64_t in_channels,
+                int64_t out_channels, int64_t kernel, int64_t pad);
+
+    LayerKind kind() const override { return LayerKind::Conv3D; }
+    Shape outputShape(const Shape &input) const override;
+    Tensor forward(const Tensor &input) const override;
+    int64_t paramCount() const override;
+    int64_t macCount(const Shape &input) const override;
+
+    int64_t inChannels() const { return in_channels_; }
+    int64_t outChannels() const { return out_channels_; }
+    int64_t kernel() const { return kernel_; }
+    int64_t pad() const { return pad_; }
+
+    /** Flat weight storage. */
+    std::vector<float> &weights() { return weights_; }
+    const std::vector<float> &weights() const { return weights_; }
+
+    /** Per-filter biases. */
+    std::vector<float> &biases() { return biases_; }
+    const std::vector<float> &biases() const { return biases_; }
+
+    /**
+     * Delta-correction for one changed input voxel (ci, d, y, x):
+     * corrects every output neuron whose receptive field covers it.
+     */
+    void applyDelta(const Shape &input_shape, int64_t ci, int64_t d,
+                    int64_t y, int64_t x, float delta, Tensor &out) const;
+
+    /** Output neurons affected by a change of input voxel (d, y, x). */
+    int64_t affectedOutputs(const Shape &input_shape, int64_t d,
+                            int64_t y, int64_t x) const;
+
+  private:
+    size_t weightIndex(int64_t ci, int64_t co, int64_t kd, int64_t ky,
+                       int64_t kx) const
+    {
+        return static_cast<size_t>(
+            (((ci * kernel_ + kd) * kernel_ + ky) * kernel_ + kx) *
+                out_channels_ +
+            co);
+    }
+
+    void checkInput(const Shape &input) const;
+
+    int64_t in_channels_;
+    int64_t out_channels_;
+    int64_t kernel_;
+    int64_t pad_;
+    std::vector<float> weights_;
+    std::vector<float> biases_;
+};
+
+} // namespace reuse
+
+#endif // REUSE_DNN_NN_CONV3D_H

@@ -1,0 +1,80 @@
+#include "fully_connected.h"
+
+#include "common/logging.h"
+
+namespace reuse {
+
+FullyConnectedLayer::FullyConnectedLayer(std::string name, int64_t inputs,
+                                         int64_t outputs)
+    : Layer(std::move(name)),
+      inputs_(inputs),
+      outputs_(outputs),
+      weights_(static_cast<size_t>(inputs * outputs), 0.0f),
+      biases_(static_cast<size_t>(outputs), 0.0f)
+{
+    REUSE_ASSERT(inputs > 0 && outputs > 0,
+                 "FC layer needs positive dims, got " << inputs << "x"
+                                                      << outputs);
+}
+
+Shape
+FullyConnectedLayer::outputShape(const Shape &input) const
+{
+    REUSE_ASSERT(input.numel() == inputs_,
+                 name() << ": input " << input.str() << " has "
+                        << input.numel() << " elements, expected "
+                        << inputs_);
+    return Shape({outputs_});
+}
+
+Tensor
+FullyConnectedLayer::forward(const Tensor &input) const
+{
+    REUSE_ASSERT(input.numel() == inputs_,
+                 name() << ": input has " << input.numel()
+                        << " elements, expected " << inputs_);
+    Tensor out(Shape({outputs_}));
+    for (int64_t o = 0; o < outputs_; ++o)
+        out[o] = biases_[static_cast<size_t>(o)];
+    // Input-major traversal matches the weight layout, so the inner
+    // loop walks contiguous memory.
+    for (int64_t i = 0; i < inputs_; ++i) {
+        const float in_v = input[i];
+        if (in_v == 0.0f)
+            continue;
+        const float *w_row = &weights_[static_cast<size_t>(i * outputs_)];
+        for (int64_t o = 0; o < outputs_; ++o)
+            out[o] += in_v * w_row[o];
+    }
+    return out;
+}
+
+int64_t
+FullyConnectedLayer::paramCount() const
+{
+    return inputs_ * outputs_ + outputs_;
+}
+
+int64_t
+FullyConnectedLayer::macCount(const Shape &input) const
+{
+    (void)input;
+    return inputs_ * outputs_;
+}
+
+void
+FullyConnectedLayer::applyDelta(int64_t input_index, float delta,
+                                std::vector<float> &outputs) const
+{
+    REUSE_ASSERT(input_index >= 0 && input_index < inputs_,
+                 name() << ": delta input index " << input_index
+                        << " out of range");
+    REUSE_ASSERT(static_cast<int64_t>(outputs.size()) == outputs_,
+                 name() << ": output buffer size mismatch");
+    const float *w_row =
+        &weights_[static_cast<size_t>(input_index * outputs_)];
+    for (int64_t o = 0; o < outputs_; ++o)
+        outputs[static_cast<size_t>(o)] += delta * w_row[o];
+}
+
+} // namespace reuse

@@ -1,0 +1,103 @@
+#include "initializers.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+#include "nn/conv2d.h"
+#include "nn/conv3d.h"
+#include "nn/fully_connected.h"
+#include "nn/lstm.h"
+
+namespace reuse {
+
+namespace {
+
+/** Standard deviation for Glorot-scaled Gaussian initialization. */
+float
+glorotStddev(int64_t fan_in, int64_t fan_out)
+{
+    return std::sqrt(2.0f / static_cast<float>(fan_in + fan_out));
+}
+
+} // namespace
+
+void
+initGlorot(FullyConnectedLayer &layer, Rng &rng, float bias_shift)
+{
+    const float sd = glorotStddev(layer.inputs(), layer.outputs());
+    rng.fillGaussian(layer.weights(), 0.0f, sd);
+    rng.fillGaussian(layer.biases(), bias_shift, 0.01f);
+}
+
+void
+initGlorot(Conv2DLayer &layer, Rng &rng, float bias_shift)
+{
+    const int64_t rf = layer.kernel() * layer.kernel();
+    const float sd =
+        glorotStddev(layer.inChannels() * rf, layer.outChannels() * rf);
+    rng.fillGaussian(layer.weights(), 0.0f, sd);
+    rng.fillGaussian(layer.biases(), bias_shift, 0.01f);
+}
+
+void
+initGlorot(Conv3DLayer &layer, Rng &rng, float bias_shift)
+{
+    const int64_t rf = layer.kernel() * layer.kernel() * layer.kernel();
+    const float sd =
+        glorotStddev(layer.inChannels() * rf, layer.outChannels() * rf);
+    rng.fillGaussian(layer.weights(), 0.0f, sd);
+    rng.fillGaussian(layer.biases(), bias_shift, 0.01f);
+}
+
+void
+initLstm(LstmCell &cell, Rng &rng)
+{
+    for (int g = 0; g < NumLstmGates; ++g) {
+        initGlorot(cell.feedForward(g), rng);
+        initGlorot(cell.recurrent(g), rng);
+        // Recurrent sublayers carry no bias of their own; the gate
+        // bias lives in the feed-forward sublayer.
+        std::fill(cell.recurrent(g).biases().begin(),
+                  cell.recurrent(g).biases().end(), 0.0f);
+    }
+    // Forget-gate bias of 1: the standard trick so freshly
+    // initialized cells retain state instead of forgetting it.
+    std::fill(cell.feedForward(GateForget).biases().begin(),
+              cell.feedForward(GateForget).biases().end(), 1.0f);
+}
+
+void
+initLstm(BiLstmLayer &layer, Rng &rng)
+{
+    initLstm(layer.forwardCell(), rng);
+    initLstm(layer.backwardCell(), rng);
+}
+
+void
+initNetwork(Network &network, Rng &rng)
+{
+    for (size_t i = 0; i < network.layerCount(); ++i) {
+        Layer &l = network.layer(i);
+        switch (l.kind()) {
+          case LayerKind::FullyConnected:
+            initGlorot(static_cast<FullyConnectedLayer &>(l), rng);
+            break;
+          case LayerKind::Conv2D:
+            initGlorot(static_cast<Conv2DLayer &>(l), rng);
+            break;
+          case LayerKind::Conv3D:
+            initGlorot(static_cast<Conv3DLayer &>(l), rng);
+            break;
+          case LayerKind::BiLstm:
+            initLstm(static_cast<BiLstmLayer &>(l), rng);
+            break;
+          case LayerKind::Lstm:
+            initLstm(static_cast<LstmLayer &>(l).cell(), rng);
+            break;
+          default:
+            break;
+        }
+    }
+}
+
+} // namespace reuse

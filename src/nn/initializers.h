@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Weight initialization for the model zoo.
+ *
+ * The reproduction has no access to trained weights (see DESIGN.md
+ * substitution table); weights are drawn from scaled-Gaussian
+ * (Glorot-style) distributions so activations stay in realistic
+ * ranges through deep stacks, which is what the quantizer's range
+ * profiling and the similarity analysis depend on.
+ */
+
+#ifndef REUSE_DNN_NN_INITIALIZERS_H
+#define REUSE_DNN_NN_INITIALIZERS_H
+
+#include "common/random.h"
+#include "nn/network.h"
+
+namespace reuse {
+
+class FullyConnectedLayer;
+class Conv2DLayer;
+class Conv3DLayer;
+class LstmCell;
+class BiLstmLayer;
+
+/**
+ * Glorot-scaled Gaussian init of an FC layer's weights and biases.
+ *
+ * `bias_shift` offsets every bias (in units of the unit-variance
+ * pre-activation scale).  Trained ReLU networks exhibit confident
+ * sparse activations — most units are off with a solid negative
+ * margin — which is what makes their deep activations stable across
+ * similar inputs.  Random symmetric weights put half the units right
+ * at the ReLU boundary instead; a negative bias shift restores the
+ * trained-network sparsity pattern (see DESIGN.md substitutions).
+ */
+void initGlorot(FullyConnectedLayer &layer, Rng &rng,
+                float bias_shift = 0.0f);
+
+/** Glorot-scaled Gaussian init of a conv2d layer. */
+void initGlorot(Conv2DLayer &layer, Rng &rng, float bias_shift = 0.0f);
+
+/** Glorot-scaled Gaussian init of a conv3d layer. */
+void initGlorot(Conv3DLayer &layer, Rng &rng, float bias_shift = 0.0f);
+
+/**
+ * Initializes an LSTM cell: Glorot gate weights plus the standard
+ * forget-gate bias of 1 so cell state carries information early on.
+ */
+void initLstm(LstmCell &cell, Rng &rng);
+
+/** Initializes both directions of a BiLSTM layer. */
+void initLstm(BiLstmLayer &layer, Rng &rng);
+
+/** Initializes every parameterized layer of a network. */
+void initNetwork(Network &network, Rng &rng);
+
+} // namespace reuse
+
+#endif // REUSE_DNN_NN_INITIALIZERS_H

@@ -1,0 +1,65 @@
+#include "layer.h"
+
+#include "common/logging.h"
+
+namespace reuse {
+
+const char *
+layerKindName(LayerKind kind)
+{
+    switch (kind) {
+      case LayerKind::FullyConnected:
+        return "FC";
+      case LayerKind::Conv2D:
+        return "CONV2D";
+      case LayerKind::Conv3D:
+        return "CONV3D";
+      case LayerKind::MaxPool2D:
+        return "POOL2D";
+      case LayerKind::MaxPool3D:
+        return "POOL3D";
+      case LayerKind::Activation:
+        return "ACT";
+      case LayerKind::Flatten:
+        return "FLATTEN";
+      case LayerKind::BiLstm:
+        return "BILSTM";
+      case LayerKind::Lstm:
+        return "LSTM";
+    }
+    return "UNKNOWN";
+}
+
+int64_t
+Layer::macCount(const Shape &input) const
+{
+    (void)input;
+    return 0;
+}
+
+std::vector<Tensor>
+Layer::forwardSequence(const std::vector<Tensor> &inputs) const
+{
+    std::vector<Tensor> outputs;
+    outputs.reserve(inputs.size());
+    for (const Tensor &in : inputs)
+        outputs.push_back(forward(in));
+    return outputs;
+}
+
+bool
+Layer::isReusable() const
+{
+    switch (kind()) {
+      case LayerKind::FullyConnected:
+      case LayerKind::Conv2D:
+      case LayerKind::Conv3D:
+      case LayerKind::BiLstm:
+      case LayerKind::Lstm:
+        return true;
+      default:
+        return false;
+    }
+}
+
+} // namespace reuse

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Abstract layer interface for the NN substrate.
+ *
+ * The substrate implements exactly the layer types the paper's four
+ * networks need: fully-connected, 2D/3D convolution, pooling,
+ * activations and bidirectional LSTM.  Layers own their parameters and
+ * provide reference (from-scratch) inference; the reuse engine in
+ * src/core re-executes FC/conv/LSTM layers incrementally.
+ */
+
+#ifndef REUSE_DNN_NN_LAYER_H
+#define REUSE_DNN_NN_LAYER_H
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace reuse {
+
+/** Discriminator for the concrete layer types. */
+enum class LayerKind {
+    FullyConnected,
+    Conv2D,
+    Conv3D,
+    MaxPool2D,
+    MaxPool3D,
+    Activation,
+    Flatten,
+    BiLstm,
+    Lstm,
+};
+
+/** Human-readable name of a layer kind. */
+const char *layerKindName(LayerKind kind);
+
+/**
+ * Base class of all layers.
+ *
+ * A layer maps one input tensor to one output tensor via forward().
+ * Recurrent layers additionally process whole sequences (see
+ * isRecurrent() / forwardSequence()); their single-step forward()
+ * panics because a bidirectional LSTM has no meaningful per-frame
+ * output in isolation.
+ */
+class Layer
+{
+  public:
+    explicit Layer(std::string name) : name_(std::move(name)) {}
+    virtual ~Layer() = default;
+
+    Layer(const Layer &) = delete;
+    Layer &operator=(const Layer &) = delete;
+
+    /** Layer name as used in reports ("FC3", "CONV2", ...). */
+    const std::string &name() const { return name_; }
+
+    /** Concrete type of this layer. */
+    virtual LayerKind kind() const = 0;
+
+    /** Output shape for a given input shape. */
+    virtual Shape outputShape(const Shape &input) const = 0;
+
+    /** Reference from-scratch inference for one input tensor. */
+    virtual Tensor forward(const Tensor &input) const = 0;
+
+    /** Number of trainable parameters (weights + biases). */
+    virtual int64_t paramCount() const { return 0; }
+
+    /**
+     * Multiply-accumulate operations performed by a from-scratch
+     * execution on an input of the given shape.
+     */
+    virtual int64_t macCount(const Shape &input) const;
+
+    /** True for layers processing sequences (BiLSTM). */
+    virtual bool isRecurrent() const { return false; }
+
+    /**
+     * Sequence inference; the default maps forward() over elements,
+     * which is correct for all feed-forward layers.
+     */
+    virtual std::vector<Tensor>
+    forwardSequence(const std::vector<Tensor> &inputs) const;
+
+    /**
+     * True for layers whose computation the reuse technique targets
+     * (FC, conv and recurrent layers; Sec. III of the paper).
+     */
+    bool isReusable() const;
+
+    /** Bytes of parameter storage at 32-bit precision. */
+    int64_t weightBytes() const { return paramCount() * 4; }
+
+  private:
+    std::string name_;
+};
+
+using LayerPtr = std::unique_ptr<Layer>;
+
+} // namespace reuse
+
+#endif // REUSE_DNN_NN_LAYER_H

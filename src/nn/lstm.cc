@@ -1,0 +1,231 @@
+#include "lstm.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/math_utils.h"
+
+namespace reuse {
+
+LstmCell::LstmCell(int64_t input_dim, int64_t cell_dim)
+    : input_dim_(input_dim), cell_dim_(cell_dim)
+{
+    REUSE_ASSERT(input_dim > 0 && cell_dim > 0,
+                 "invalid LSTM cell dimensions");
+    static const char *gate_names[NumLstmGates] = {"i", "f", "g", "o"};
+    for (int g = 0; g < NumLstmGates; ++g) {
+        wx_[static_cast<size_t>(g)] =
+            std::make_unique<FullyConnectedLayer>(
+                std::string("Wx_") + gate_names[g], input_dim, cell_dim);
+        wh_[static_cast<size_t>(g)] =
+            std::make_unique<FullyConnectedLayer>(
+                std::string("Wh_") + gate_names[g], cell_dim, cell_dim);
+    }
+}
+
+LstmCell::State
+LstmCell::initialState() const
+{
+    State s;
+    s.h.assign(static_cast<size_t>(cell_dim_), 0.0f);
+    s.c.assign(static_cast<size_t>(cell_dim_), 0.0f);
+    return s;
+}
+
+LstmCell::Preacts
+LstmCell::computePreacts(const std::vector<float> &x,
+                         const std::vector<float> &h_prev) const
+{
+    REUSE_ASSERT(static_cast<int64_t>(x.size()) == input_dim_,
+                 "LSTM x size mismatch");
+    REUSE_ASSERT(static_cast<int64_t>(h_prev.size()) == cell_dim_,
+                 "LSTM h size mismatch");
+    Preacts preacts;
+    const Tensor x_t(Shape({input_dim_}), x);
+    const Tensor h_t(Shape({cell_dim_}), h_prev);
+    for (int g = 0; g < NumLstmGates; ++g) {
+        const Tensor zx = wx_[static_cast<size_t>(g)]->forward(x_t);
+        const Tensor zh = wh_[static_cast<size_t>(g)]->forward(h_t);
+        auto &z = preacts[static_cast<size_t>(g)];
+        z.resize(static_cast<size_t>(cell_dim_));
+        for (int64_t j = 0; j < cell_dim_; ++j)
+            z[static_cast<size_t>(j)] = zx[j] + zh[j];
+    }
+    return preacts;
+}
+
+LstmCell::State
+LstmCell::finishStep(const Preacts &preacts,
+                     const std::vector<float> &c_prev) const
+{
+    REUSE_ASSERT(static_cast<int64_t>(c_prev.size()) == cell_dim_,
+                 "LSTM c size mismatch");
+    State s;
+    s.h.resize(static_cast<size_t>(cell_dim_));
+    s.c.resize(static_cast<size_t>(cell_dim_));
+    const auto &zi = preacts[GateInput];
+    const auto &zf = preacts[GateForget];
+    const auto &zg = preacts[GateCell];
+    const auto &zo = preacts[GateOutput];
+    for (size_t j = 0; j < s.h.size(); ++j) {
+        const float i_t = sigmoid(zi[j]);
+        const float f_t = sigmoid(zf[j]);
+        const float g_t = std::tanh(zg[j]);
+        const float o_t = sigmoid(zo[j]);
+        const float c_t = f_t * c_prev[j] + i_t * g_t;   // Eq. 7
+        s.c[j] = c_t;
+        s.h[j] = o_t * std::tanh(c_t);                   // Eq. 8
+    }
+    return s;
+}
+
+LstmCell::State
+LstmCell::step(const std::vector<float> &x, const State &prev) const
+{
+    return finishStep(computePreacts(x, prev.h), prev.c);
+}
+
+int64_t
+LstmCell::paramCount() const
+{
+    int64_t total = 0;
+    for (int g = 0; g < NumLstmGates; ++g) {
+        total += wx_[static_cast<size_t>(g)]->paramCount();
+        total += wh_[static_cast<size_t>(g)]->paramCount();
+    }
+    return total;
+}
+
+int64_t
+LstmCell::macCountPerStep() const
+{
+    return NumLstmGates *
+           (input_dim_ * cell_dim_ + cell_dim_ * cell_dim_);
+}
+
+LstmLayer::LstmLayer(std::string name, int64_t input_dim,
+                     int64_t cell_dim)
+    : Layer(std::move(name)),
+      input_dim_(input_dim),
+      cell_dim_(cell_dim),
+      cell_(input_dim, cell_dim)
+{
+}
+
+Shape
+LstmLayer::outputShape(const Shape &input) const
+{
+    REUSE_ASSERT(input.numel() == input_dim_,
+                 name() << ": per-step input has " << input.numel()
+                        << " elements, expected " << input_dim_);
+    return Shape({cell_dim_});
+}
+
+Tensor
+LstmLayer::forward(const Tensor &input) const
+{
+    (void)input;
+    panic(name() + ": LSTM has no single-step forward(); use "
+                   "forwardSequence()");
+}
+
+std::vector<Tensor>
+LstmLayer::forwardSequence(const std::vector<Tensor> &inputs) const
+{
+    std::vector<Tensor> outputs;
+    outputs.reserve(inputs.size());
+    LstmCell::State state = cell_.initialState();
+    for (const Tensor &in : inputs) {
+        REUSE_ASSERT(in.numel() == input_dim_,
+                     name() << ": step input size mismatch");
+        state = cell_.step(in.data(), state);
+        Tensor out(Shape({cell_dim_}));
+        for (int64_t j = 0; j < cell_dim_; ++j)
+            out[j] = state.h[static_cast<size_t>(j)];
+        outputs.push_back(std::move(out));
+    }
+    return outputs;
+}
+
+int64_t
+LstmLayer::paramCount() const
+{
+    return cell_.paramCount();
+}
+
+int64_t
+LstmLayer::macCount(const Shape &input) const
+{
+    (void)input;
+    return cell_.macCountPerStep();
+}
+
+BiLstmLayer::BiLstmLayer(std::string name, int64_t input_dim,
+                         int64_t cell_dim)
+    : Layer(std::move(name)),
+      input_dim_(input_dim),
+      cell_dim_(cell_dim),
+      forward_cell_(input_dim, cell_dim),
+      backward_cell_(input_dim, cell_dim)
+{
+}
+
+Shape
+BiLstmLayer::outputShape(const Shape &input) const
+{
+    REUSE_ASSERT(input.numel() == input_dim_,
+                 name() << ": per-step input has " << input.numel()
+                        << " elements, expected " << input_dim_);
+    return Shape({outputDim()});
+}
+
+Tensor
+BiLstmLayer::forward(const Tensor &input) const
+{
+    (void)input;
+    panic(name() + ": BiLSTM has no single-step forward(); use "
+                   "forwardSequence()");
+}
+
+std::vector<Tensor>
+BiLstmLayer::forwardSequence(const std::vector<Tensor> &inputs) const
+{
+    const size_t t_len = inputs.size();
+    std::vector<Tensor> outputs(t_len, Tensor(Shape({outputDim()})));
+
+    // Forward direction.
+    LstmCell::State state = forward_cell_.initialState();
+    for (size_t t = 0; t < t_len; ++t) {
+        REUSE_ASSERT(inputs[t].numel() == input_dim_,
+                     name() << ": step " << t << " input size mismatch");
+        state = forward_cell_.step(inputs[t].data(), state);
+        for (int64_t j = 0; j < cell_dim_; ++j)
+            outputs[t][j] = state.h[static_cast<size_t>(j)];
+    }
+
+    // Backward direction.
+    state = backward_cell_.initialState();
+    for (size_t t = t_len; t-- > 0;) {
+        state = backward_cell_.step(inputs[t].data(), state);
+        for (int64_t j = 0; j < cell_dim_; ++j)
+            outputs[t][cell_dim_ + j] = state.h[static_cast<size_t>(j)];
+    }
+    return outputs;
+}
+
+int64_t
+BiLstmLayer::paramCount() const
+{
+    return forward_cell_.paramCount() + backward_cell_.paramCount();
+}
+
+int64_t
+BiLstmLayer::macCount(const Shape &input) const
+{
+    (void)input;
+    // Per sequence element: both directions step once.
+    return forward_cell_.macCountPerStep() +
+           backward_cell_.macCountPerStep();
+}
+
+} // namespace reuse

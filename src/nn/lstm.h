@@ -1,0 +1,193 @@
+/**
+ * @file
+ * LSTM cell and bidirectional LSTM layer (Sec. II-C of the paper).
+ *
+ * Each of the four gates (input, forget, cell-updater, output) is a
+ * pair of fully-connected sublayers: one over the feed-forward input
+ * x_t and one over the recurrent input h_{t-1} (Eqs. 3-6).  Building
+ * the gates from FullyConnectedLayer lets the reuse engine correct
+ * gate pre-activations with the exact same delta kernel used for
+ * plain FC layers.
+ */
+
+#ifndef REUSE_DNN_NN_LSTM_H
+#define REUSE_DNN_NN_LSTM_H
+
+#include <array>
+
+#include "nn/fully_connected.h"
+#include "nn/layer.h"
+
+namespace reuse {
+
+/** Gate indices within an LSTM cell. */
+enum LstmGate : int {
+    GateInput = 0,
+    GateForget = 1,
+    GateCell = 2,
+    GateOutput = 3,
+    NumLstmGates = 4,
+};
+
+/**
+ * Single-direction LSTM cell.
+ *
+ * The cell's per-step state is (h, c); stepping the cell computes the
+ * four gate pre-activations, then combines them elementwise (Eqs. 7-8).
+ * The biases b_* are folded into the feed-forward sublayers.
+ */
+class LstmCell
+{
+  public:
+    /** Combined per-step state of an LSTM cell. */
+    struct State {
+        std::vector<float> h;   ///< Hidden output h_t.
+        std::vector<float> c;   ///< Cell state c_t.
+    };
+
+    /** Gate pre-activations before sigma/phi are applied. */
+    using Preacts =
+        std::array<std::vector<float>, NumLstmGates>;
+
+    /**
+     * @param input_dim Dimension of the feed-forward input x_t.
+     * @param cell_dim Dimension of the cell state / hidden output.
+     */
+    LstmCell(int64_t input_dim, int64_t cell_dim);
+
+    int64_t inputDim() const { return input_dim_; }
+    int64_t cellDim() const { return cell_dim_; }
+
+    /** Zero-initialized (h, c) for sequence start. */
+    State initialState() const;
+
+    /** Feed-forward sublayer (x-weights + bias) of `gate`. */
+    FullyConnectedLayer &feedForward(int gate)
+    {
+        return *wx_[static_cast<size_t>(gate)];
+    }
+    const FullyConnectedLayer &feedForward(int gate) const
+    {
+        return *wx_[static_cast<size_t>(gate)];
+    }
+
+    /** Recurrent sublayer (h-weights, zero bias) of `gate`. */
+    FullyConnectedLayer &recurrent(int gate)
+    {
+        return *wh_[static_cast<size_t>(gate)];
+    }
+    const FullyConnectedLayer &recurrent(int gate) const
+    {
+        return *wh_[static_cast<size_t>(gate)];
+    }
+
+    /**
+     * Computes the four gate pre-activations from scratch:
+     * z_g = Wx_g x + Wh_g h_prev + b_g.
+     */
+    Preacts computePreacts(const std::vector<float> &x,
+                           const std::vector<float> &h_prev) const;
+
+    /**
+     * Elementwise tail of the step: applies gate nonlinearities and
+     * Eqs. 7-8 to produce (h_t, c_t) from pre-activations and c_{t-1}.
+     */
+    State finishStep(const Preacts &preacts,
+                     const std::vector<float> &c_prev) const;
+
+    /** Full step: computePreacts + finishStep. */
+    State step(const std::vector<float> &x, const State &prev) const;
+
+    /** Total trainable parameters in the cell. */
+    int64_t paramCount() const;
+
+    /** MACs of one from-scratch cell step. */
+    int64_t macCountPerStep() const;
+
+  private:
+    int64_t input_dim_;
+    int64_t cell_dim_;
+    std::array<std::unique_ptr<FullyConnectedLayer>, NumLstmGates> wx_;
+    std::array<std::unique_ptr<FullyConnectedLayer>, NumLstmGates> wh_;
+};
+
+/**
+ * Unidirectional LSTM layer: a single cell run forward over the
+ * sequence; per-step output is h_t, so the layer's output dimension
+ * equals the cell dimension (Sec. II-C: a recurrent layer contains
+ * one or two LSTM cells).
+ */
+class LstmLayer : public Layer
+{
+  public:
+    /**
+     * @param name Layer name used in reports.
+     * @param input_dim Per-step input dimension.
+     * @param cell_dim Cell dimension.
+     */
+    LstmLayer(std::string name, int64_t input_dim, int64_t cell_dim);
+
+    LayerKind kind() const override { return LayerKind::Lstm; }
+    Shape outputShape(const Shape &input) const override;
+    Tensor forward(const Tensor &input) const override;
+    std::vector<Tensor>
+    forwardSequence(const std::vector<Tensor> &inputs) const override;
+    int64_t paramCount() const override;
+    int64_t macCount(const Shape &input) const override;
+    bool isRecurrent() const override { return true; }
+
+    int64_t inputDim() const { return input_dim_; }
+    int64_t cellDim() const { return cell_dim_; }
+
+    LstmCell &cell() { return cell_; }
+    const LstmCell &cell() const { return cell_; }
+
+  private:
+    int64_t input_dim_;
+    int64_t cell_dim_;
+    LstmCell cell_;
+};
+
+/**
+ * Bidirectional LSTM layer: a forward and a backward cell run over the
+ * sequence; per-step outputs are the concatenation [h_fw ; h_bw], so
+ * the layer's output dimension is 2 * cell_dim (Fig. 2).
+ */
+class BiLstmLayer : public Layer
+{
+  public:
+    /**
+     * @param name Layer name used in reports.
+     * @param input_dim Per-step input dimension.
+     * @param cell_dim Cell dimension of each direction.
+     */
+    BiLstmLayer(std::string name, int64_t input_dim, int64_t cell_dim);
+
+    LayerKind kind() const override { return LayerKind::BiLstm; }
+    Shape outputShape(const Shape &input) const override;
+    Tensor forward(const Tensor &input) const override;
+    std::vector<Tensor>
+    forwardSequence(const std::vector<Tensor> &inputs) const override;
+    int64_t paramCount() const override;
+    int64_t macCount(const Shape &input) const override;
+    bool isRecurrent() const override { return true; }
+
+    int64_t inputDim() const { return input_dim_; }
+    int64_t cellDim() const { return cell_dim_; }
+    int64_t outputDim() const { return 2 * cell_dim_; }
+
+    LstmCell &forwardCell() { return forward_cell_; }
+    const LstmCell &forwardCell() const { return forward_cell_; }
+    LstmCell &backwardCell() { return backward_cell_; }
+    const LstmCell &backwardCell() const { return backward_cell_; }
+
+  private:
+    int64_t input_dim_;
+    int64_t cell_dim_;
+    LstmCell forward_cell_;
+    LstmCell backward_cell_;
+};
+
+} // namespace reuse
+
+#endif // REUSE_DNN_NN_LSTM_H

@@ -1,0 +1,105 @@
+#include "network.h"
+
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace reuse {
+
+Network::Network(std::string name, Shape input_shape)
+    : name_(std::move(name)), input_shape_(std::move(input_shape))
+{
+}
+
+Layer &
+Network::addLayer(LayerPtr layer)
+{
+    REUSE_ASSERT(layer != nullptr, "addLayer(nullptr)");
+    layers_.push_back(std::move(layer));
+    return *layers_.back();
+}
+
+bool
+Network::isRecurrent() const
+{
+    for (const auto &l : layers_) {
+        if (l->isRecurrent())
+            return true;
+    }
+    return false;
+}
+
+std::vector<Shape>
+Network::layerInputShapes() const
+{
+    std::vector<Shape> shapes;
+    shapes.reserve(layers_.size());
+    Shape current = input_shape_;
+    for (const auto &l : layers_) {
+        shapes.push_back(current);
+        current = l->outputShape(current);
+    }
+    return shapes;
+}
+
+Shape
+Network::outputShape() const
+{
+    Shape current = input_shape_;
+    for (const auto &l : layers_)
+        current = l->outputShape(current);
+    return current;
+}
+
+Tensor
+Network::forward(const Tensor &input) const
+{
+    REUSE_ASSERT(!isRecurrent(),
+                 name_ << ": use forwardSequence() for recurrent nets");
+    Tensor current = input;
+    for (const auto &l : layers_)
+        current = l->forward(current);
+    return current;
+}
+
+std::vector<Tensor>
+Network::forwardSequence(const std::vector<Tensor> &inputs) const
+{
+    std::vector<Tensor> current = inputs;
+    for (const auto &l : layers_)
+        current = l->forwardSequence(current);
+    return current;
+}
+
+int64_t
+Network::paramCount() const
+{
+    int64_t total = 0;
+    for (const auto &l : layers_)
+        total += l->paramCount();
+    return total;
+}
+
+int64_t
+Network::macCountPerExecution() const
+{
+    int64_t total = 0;
+    Shape current = input_shape_;
+    for (const auto &l : layers_) {
+        total += l->macCount(current);
+        current = l->outputShape(current);
+    }
+    return total;
+}
+
+std::string
+Network::summary() const
+{
+    std::ostringstream oss;
+    oss << name_ << ": " << layers_.size() << " layers, "
+        << paramCount() << " params (" << weightBytes() / (1024 * 1024)
+        << " MB), input " << input_shape_.str();
+    return oss.str();
+}
+
+} // namespace reuse

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Sequential network container for the four evaluated DNNs.
+ */
+
+#ifndef REUSE_DNN_NN_NETWORK_H
+#define REUSE_DNN_NN_NETWORK_H
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/layer.h"
+
+namespace reuse {
+
+/**
+ * A sequential stack of layers with a fixed input shape.
+ *
+ * Feed-forward networks (MLP, CNN) run one tensor through all layers
+ * per execution via forward(); recurrent networks (stacked BiLSTM)
+ * process whole sequences layer-by-layer via forwardSequence(),
+ * matching the paper's execution order where each recurrent layer is
+ * executed back-to-back for every sequence element before the next
+ * layer starts (Sec. IV-D).
+ */
+class Network
+{
+  public:
+    /**
+     * @param name Network name ("Kaldi", "C3D", ...).
+     * @param input_shape Shape of one input frame/window.
+     */
+    Network(std::string name, Shape input_shape);
+
+    /** Appends a layer; returns a reference for chaining setup. */
+    Layer &addLayer(LayerPtr layer);
+
+    const std::string &name() const { return name_; }
+    const Shape &inputShape() const { return input_shape_; }
+
+    size_t layerCount() const { return layers_.size(); }
+    Layer &layer(size_t i) { return *layers_[i]; }
+    const Layer &layer(size_t i) const { return *layers_[i]; }
+
+    /** True when any layer is recurrent. */
+    bool isRecurrent() const;
+
+    /** Shape of each layer's input, derived from the network input. */
+    std::vector<Shape> layerInputShapes() const;
+
+    /** Shape of the network output for one execution. */
+    Shape outputShape() const;
+
+    /** From-scratch inference of one input (feed-forward nets only). */
+    Tensor forward(const Tensor &input) const;
+
+    /** From-scratch inference over an input sequence. */
+    std::vector<Tensor>
+    forwardSequence(const std::vector<Tensor> &inputs) const;
+
+    /** Total trainable parameters over all layers. */
+    int64_t paramCount() const;
+
+    /** Total parameter bytes at 32-bit precision. */
+    int64_t weightBytes() const { return paramCount() * 4; }
+
+    /** Total MACs of one from-scratch execution (per sequence element
+     *  for recurrent networks). */
+    int64_t macCountPerExecution() const;
+
+    /** One-line summary: name, layers, params. */
+    std::string summary() const;
+
+  private:
+    std::string name_;
+    Shape input_shape_;
+    std::vector<LayerPtr> layers_;
+};
+
+} // namespace reuse
+
+#endif // REUSE_DNN_NN_NETWORK_H

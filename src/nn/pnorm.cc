@@ -1,0 +1,41 @@
+#include "pnorm.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace reuse {
+
+PNormLayer::PNormLayer(std::string name, int64_t group)
+    : Layer(std::move(name)), group_(group)
+{
+    REUSE_ASSERT(group > 0, "p-norm group must be positive");
+}
+
+Shape
+PNormLayer::outputShape(const Shape &input) const
+{
+    REUSE_ASSERT(input.numel() % group_ == 0,
+                 name() << ": input size " << input.numel()
+                        << " not divisible by group " << group_);
+    return Shape({input.numel() / group_});
+}
+
+Tensor
+PNormLayer::forward(const Tensor &input) const
+{
+    const Shape out_shape = outputShape(input.shape());
+    Tensor out(out_shape);
+    const int64_t m = out_shape.numel();
+    for (int64_t j = 0; j < m; ++j) {
+        double s = 0.0;
+        for (int64_t g = 0; g < group_; ++g) {
+            const double v = input[j * group_ + g];
+            s += v * v;
+        }
+        out[j] = static_cast<float>(std::sqrt(s));
+    }
+    return out;
+}
+
+} // namespace reuse

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Group p-norm pooling layer, used by the Kaldi "generalized maxout"
+ * acoustic model: consecutive groups of G activations are reduced to
+ * their p-norm, shrinking e.g. 2000 units to 400 (Table I's FC
+ * dimension pattern 400 -> 2000 -> 400).
+ */
+
+#ifndef REUSE_DNN_NN_PNORM_H
+#define REUSE_DNN_NN_PNORM_H
+
+#include "nn/layer.h"
+
+namespace reuse {
+
+/**
+ * Reduces a rank-1 input of N elements to N/G outputs, each the
+ * p-norm of one group of G consecutive inputs (p = 2, the Kaldi
+ * default).
+ */
+class PNormLayer : public Layer
+{
+  public:
+    /**
+     * @param name Layer name used in reports.
+     * @param group Number of inputs pooled per output.
+     */
+    PNormLayer(std::string name, int64_t group);
+
+    LayerKind kind() const override { return LayerKind::Activation; }
+    Shape outputShape(const Shape &input) const override;
+    Tensor forward(const Tensor &input) const override;
+
+    int64_t group() const { return group_; }
+
+  private:
+    int64_t group_;
+};
+
+} // namespace reuse
+
+#endif // REUSE_DNN_NN_PNORM_H

@@ -1,0 +1,135 @@
+#include "pooling.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace reuse {
+
+MaxPool2DLayer::MaxPool2DLayer(std::string name, int64_t window)
+    : Layer(std::move(name)), window_(window)
+{
+    REUSE_ASSERT(window > 0, "pool window must be positive");
+}
+
+Shape
+MaxPool2DLayer::outputShape(const Shape &input) const
+{
+    REUSE_ASSERT(input.rank() == 3,
+                 name() << ": pool2d expects [C,H,W], got "
+                        << input.str());
+    return Shape({input.dim(0), input.dim(1) / window_,
+                  input.dim(2) / window_});
+}
+
+Tensor
+MaxPool2DLayer::forward(const Tensor &input) const
+{
+    const Shape out_shape = outputShape(input.shape());
+    const int64_t c = input.shape().dim(0);
+    const int64_t h = input.shape().dim(1);
+    const int64_t w = input.shape().dim(2);
+    const int64_t oh = out_shape.dim(1);
+    const int64_t ow = out_shape.dim(2);
+
+    Tensor out(out_shape);
+    for (int64_t ci = 0; ci < c; ++ci) {
+        const float *in_map =
+            &input.data()[static_cast<size_t>(ci * h * w)];
+        float *out_map =
+            &out.data()[static_cast<size_t>(ci * oh * ow)];
+        for (int64_t oy = 0; oy < oh; ++oy) {
+            for (int64_t ox = 0; ox < ow; ++ox) {
+                float m = in_map[(oy * window_) * w + ox * window_];
+                for (int64_t ky = 0; ky < window_; ++ky) {
+                    for (int64_t kx = 0; kx < window_; ++kx) {
+                        m = std::max(m,
+                                     in_map[(oy * window_ + ky) * w +
+                                            ox * window_ + kx]);
+                    }
+                }
+                out_map[oy * ow + ox] = m;
+            }
+        }
+    }
+    return out;
+}
+
+MaxPool3DLayer::MaxPool3DLayer(std::string name, int64_t depth_window,
+                               int64_t spatial_window, bool ceil_mode)
+    : Layer(std::move(name)),
+      depth_window_(depth_window),
+      spatial_window_(spatial_window),
+      ceil_mode_(ceil_mode)
+{
+    REUSE_ASSERT(depth_window > 0 && spatial_window > 0,
+                 "pool windows must be positive");
+}
+
+Shape
+MaxPool3DLayer::outputShape(const Shape &input) const
+{
+    REUSE_ASSERT(input.rank() == 4,
+                 name() << ": pool3d expects [C,D,H,W], got "
+                        << input.str());
+    auto div = [this](int64_t v, int64_t w) {
+        return ceil_mode_ ? (v + w - 1) / w : v / w;
+    };
+    return Shape({input.dim(0), div(input.dim(1), depth_window_),
+                  div(input.dim(2), spatial_window_),
+                  div(input.dim(3), spatial_window_)});
+}
+
+Tensor
+MaxPool3DLayer::forward(const Tensor &input) const
+{
+    const Shape out_shape = outputShape(input.shape());
+    const int64_t c = input.shape().dim(0);
+    const int64_t d = input.shape().dim(1);
+    const int64_t h = input.shape().dim(2);
+    const int64_t w = input.shape().dim(3);
+    const int64_t od = out_shape.dim(1);
+    const int64_t oh = out_shape.dim(2);
+    const int64_t ow = out_shape.dim(3);
+
+    Tensor out(out_shape);
+    for (int64_t ci = 0; ci < c; ++ci) {
+        const float *in_vol =
+            &input.data()[static_cast<size_t>(ci * d * h * w)];
+        float *out_vol =
+            &out.data()[static_cast<size_t>(ci * od * oh * ow)];
+        for (int64_t oz = 0; oz < od; ++oz) {
+            const int64_t zd = std::min(depth_window_,
+                                        d - oz * depth_window_);
+            for (int64_t oy = 0; oy < oh; ++oy) {
+                const int64_t yd = std::min(spatial_window_,
+                                            h - oy * spatial_window_);
+                for (int64_t ox = 0; ox < ow; ++ox) {
+                    const int64_t xd = std::min(
+                        spatial_window_, w - ox * spatial_window_);
+                    float m = in_vol[((oz * depth_window_) * h +
+                                      oy * spatial_window_) *
+                                         w +
+                                     ox * spatial_window_];
+                    for (int64_t kd = 0; kd < zd; ++kd) {
+                        for (int64_t ky = 0; ky < yd; ++ky) {
+                            for (int64_t kx = 0; kx < xd; ++kx) {
+                                m = std::max(
+                                    m,
+                                    in_vol[((oz * depth_window_ + kd) *
+                                                h +
+                                            oy * spatial_window_ + ky) *
+                                               w +
+                                           ox * spatial_window_ + kx]);
+                            }
+                        }
+                    }
+                    out_vol[(oz * oh + oy) * ow + ox] = m;
+                }
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace reuse

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Max-pooling layers for 2D ([C,H,W]) and 3D ([C,D,H,W]) tensors.
+ * C3D uses a 1x2x2 pool after CONV1 and 2x2x2 pools afterwards.
+ */
+
+#ifndef REUSE_DNN_NN_POOLING_H
+#define REUSE_DNN_NN_POOLING_H
+
+#include "nn/layer.h"
+
+namespace reuse {
+
+/**
+ * 2D max pooling with square window and equal stride (non-overlapping
+ * windows).  Truncates partial windows at the border.
+ */
+class MaxPool2DLayer : public Layer
+{
+  public:
+    MaxPool2DLayer(std::string name, int64_t window);
+
+    LayerKind kind() const override { return LayerKind::MaxPool2D; }
+    Shape outputShape(const Shape &input) const override;
+    Tensor forward(const Tensor &input) const override;
+
+    int64_t window() const { return window_; }
+
+  private:
+    int64_t window_;
+};
+
+/**
+ * 3D max pooling with independent temporal (depth) and spatial window
+ * sizes; strides equal the windows.  With `ceil_mode`, partial border
+ * windows produce an output (C3D's pool5 turns 7x7 into 4x4 this
+ * way, yielding the 8192-wide FC1 input of Table I).
+ */
+class MaxPool3DLayer : public Layer
+{
+  public:
+    MaxPool3DLayer(std::string name, int64_t depth_window,
+                   int64_t spatial_window, bool ceil_mode = false);
+
+    LayerKind kind() const override { return LayerKind::MaxPool3D; }
+    Shape outputShape(const Shape &input) const override;
+    Tensor forward(const Tensor &input) const override;
+
+    int64_t depthWindow() const { return depth_window_; }
+    int64_t spatialWindow() const { return spatial_window_; }
+    bool ceilMode() const { return ceil_mode_; }
+
+  private:
+    int64_t depth_window_;
+    int64_t spatial_window_;
+    bool ceil_mode_;
+};
+
+} // namespace reuse
+
+#endif // REUSE_DNN_NN_POOLING_H

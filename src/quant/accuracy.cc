@@ -1,0 +1,44 @@
+#include "accuracy.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "tensor/tensor_ops.h"
+
+namespace reuse {
+
+AccuracyReport
+compareOutputs(const std::vector<Tensor> &reference,
+               const std::vector<Tensor> &candidate)
+{
+    REUSE_ASSERT(reference.size() == candidate.size(),
+                 "output stream lengths differ: " << reference.size()
+                     << " vs " << candidate.size());
+    AccuracyReport report;
+    report.executions = static_cast<int64_t>(reference.size());
+    if (reference.empty()) {
+        report.top1Agreement = 1.0;
+        return report;
+    }
+
+    int64_t agree = 0;
+    double rel_sum = 0.0;
+    double rel_max = 0.0;
+    for (size_t i = 0; i < reference.size(); ++i) {
+        if (reference[i].argmax() == candidate[i].argmax())
+            ++agree;
+        const double ref_norm = reference[i].norm();
+        const double err = euclideanDistance(reference[i], candidate[i]);
+        const double rel = ref_norm > 0.0 ? err / ref_norm : err;
+        rel_sum += rel;
+        rel_max = std::max(rel_max, rel);
+    }
+    report.top1Agreement =
+        static_cast<double>(agree) / static_cast<double>(reference.size());
+    report.meanRelativeError =
+        rel_sum / static_cast<double>(reference.size());
+    report.maxRelativeError = rel_max;
+    return report;
+}
+
+} // namespace reuse

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Accuracy-degradation metrics for quantized / reuse-based inference.
+ *
+ * The paper reports absolute accuracy on labelled test sets (Table I);
+ * without trained models or datasets the reproduction measures
+ * degradation relative to the FP32 from-scratch network treated as a
+ * teacher (see DESIGN.md substitution table): top-1 agreement for
+ * classifiers and mean relative error for regressors.
+ */
+
+#ifndef REUSE_DNN_QUANT_ACCURACY_H
+#define REUSE_DNN_QUANT_ACCURACY_H
+
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace reuse {
+
+/** Aggregate degradation of one output stream versus a reference. */
+struct AccuracyReport {
+    /** Fraction of executions whose argmax matches the reference. */
+    double top1Agreement = 0.0;
+    /** Mean relative L2 error of the raw outputs vs. the reference. */
+    double meanRelativeError = 0.0;
+    /** Largest relative L2 error over all executions. */
+    double maxRelativeError = 0.0;
+    /** Number of executions compared. */
+    int64_t executions = 0;
+
+    /**
+     * Accuracy-loss proxy in percentage points, comparable to the
+     * paper's "baseline accuracy - quantization accuracy" column:
+     * (1 - top1Agreement) * 100.
+     */
+    double accuracyLossPct() const { return (1.0 - top1Agreement) * 100.0; }
+};
+
+/**
+ * Compares two output streams execution-by-execution; `reference` is
+ * the FP32 from-scratch output, `candidate` the quantized/reuse output.
+ */
+AccuracyReport compareOutputs(const std::vector<Tensor> &reference,
+                              const std::vector<Tensor> &candidate);
+
+} // namespace reuse
+
+#endif // REUSE_DNN_QUANT_ACCURACY_H

@@ -1,0 +1,120 @@
+#include "fixed_point.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/math_utils.h"
+#include "nn/conv2d.h"
+#include "nn/conv3d.h"
+#include "nn/fully_connected.h"
+#include "nn/lstm.h"
+
+namespace reuse {
+
+FixedPointFormat
+FixedPointFormat::forAbsMax(float absmax, int bits)
+{
+    REUSE_ASSERT(bits >= 2 && bits <= 16, "unsupported bit width "
+                                              << bits);
+    FixedPointFormat fmt;
+    fmt.bits = bits;
+    const float levels = static_cast<float>((1 << (bits - 1)) - 1);
+    fmt.scale = absmax > 0.0f ? absmax / levels : 1.0f;
+    return fmt;
+}
+
+float
+FixedPointFormat::snap(float v) const
+{
+    return decode(encode(v));
+}
+
+int32_t
+FixedPointFormat::encode(float v) const
+{
+    const int32_t code = static_cast<int32_t>(std::lround(v / scale));
+    return clamp(code, minInt(), maxInt());
+}
+
+namespace {
+
+float
+absMax(const std::vector<float> &values)
+{
+    float m = 0.0f;
+    for (float v : values)
+        m = std::max(m, std::fabs(v));
+    return m;
+}
+
+void
+snapAll(std::vector<float> &values, int bits)
+{
+    const FixedPointFormat fmt =
+        FixedPointFormat::forAbsMax(absMax(values), bits);
+    for (float &v : values)
+        v = fmt.snap(v);
+}
+
+void
+quantizeFc(FullyConnectedLayer &fc, int bits)
+{
+    snapAll(fc.weights(), bits);
+    snapAll(fc.biases(), bits);
+}
+
+void
+quantizeCell(LstmCell &cell, int bits)
+{
+    for (int g = 0; g < NumLstmGates; ++g) {
+        quantizeFc(cell.feedForward(g), bits);
+        quantizeFc(cell.recurrent(g), bits);
+    }
+}
+
+} // namespace
+
+void
+quantizeWeightsFixedPoint(Network &network, int bits)
+{
+    for (size_t li = 0; li < network.layerCount(); ++li) {
+        Layer &layer = network.layer(li);
+        switch (layer.kind()) {
+          case LayerKind::FullyConnected:
+            quantizeFc(static_cast<FullyConnectedLayer &>(layer), bits);
+            break;
+          case LayerKind::Conv2D: {
+            auto &conv = static_cast<Conv2DLayer &>(layer);
+            snapAll(conv.weights(), bits);
+            snapAll(conv.biases(), bits);
+            break;
+          }
+          case LayerKind::Conv3D: {
+            auto &conv = static_cast<Conv3DLayer &>(layer);
+            snapAll(conv.weights(), bits);
+            snapAll(conv.biases(), bits);
+            break;
+          }
+          case LayerKind::BiLstm: {
+            auto &lstm = static_cast<BiLstmLayer &>(layer);
+            quantizeCell(lstm.forwardCell(), bits);
+            quantizeCell(lstm.backwardCell(), bits);
+            break;
+          }
+          default:
+            break;
+        }
+    }
+}
+
+LinearQuantizer
+makeFixedPointInputQuantizer(const RangeProfiler &range, int bits)
+{
+    const auto [lo, hi] = range.clippedRange();
+    // A fixed-point input path constrains inputs to 2^bits levels
+    // over the profiled range.
+    return LinearQuantizer(1 << bits, lo, hi);
+}
+
+} // namespace reuse

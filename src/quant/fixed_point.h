@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Reduced-precision (8-bit fixed-point) support for the Sec. VI-A
+ * experiment: the reuse technique evaluated on top of an accelerator
+ * whose weights and inputs are 8-bit fixed-point values.
+ */
+
+#ifndef REUSE_DNN_QUANT_FIXED_POINT_H
+#define REUSE_DNN_QUANT_FIXED_POINT_H
+
+#include <cstdint>
+
+#include "nn/network.h"
+#include "quant/linear_quantizer.h"
+#include "quant/range_profiler.h"
+
+namespace reuse {
+
+/**
+ * Symmetric fixed-point format with `bits` total bits; values are
+ * represented as integer * scale with integers in
+ * [-2^(bits-1), 2^(bits-1) - 1].
+ */
+struct FixedPointFormat {
+    int bits = 8;
+    float scale = 1.0f;
+
+    /** Builds a format whose grid covers [-absmax, absmax]. */
+    static FixedPointFormat forAbsMax(float absmax, int bits = 8);
+
+    int32_t minInt() const { return -(1 << (bits - 1)); }
+    int32_t maxInt() const { return (1 << (bits - 1)) - 1; }
+
+    /** Rounds `v` to the nearest grid point (saturating). */
+    float snap(float v) const;
+
+    /** Integer code of `v` (saturating round). */
+    int32_t encode(float v) const;
+
+    /** Value of an integer code. */
+    float decode(int32_t code) const { return scale * static_cast<float>(code); }
+};
+
+/**
+ * Snaps every weight and bias of the network to an n-bit fixed-point
+ * grid sized per layer from the largest absolute parameter.  Models
+ * the reduced-precision accelerator's weight storage.
+ */
+void quantizeWeightsFixedPoint(Network &network, int bits = 8);
+
+/**
+ * Builds a LinearQuantizer equivalent to n-bit fixed-point input
+ * quantization over the profiled range: 2^bits clusters.  Used as the
+ * per-layer input quantizer of the reduced-precision accelerator.
+ */
+LinearQuantizer makeFixedPointInputQuantizer(const RangeProfiler &range,
+                                             int bits = 8);
+
+} // namespace reuse
+
+#endif // REUSE_DNN_QUANT_FIXED_POINT_H

@@ -1,0 +1,74 @@
+#include "layer_selection.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace reuse {
+
+std::vector<size_t>
+reusableLayerIndices(const Network &network)
+{
+    std::vector<size_t> indices;
+    for (size_t li = 0; li < network.layerCount(); ++li) {
+        if (network.layer(li).isReusable())
+            indices.push_back(li);
+    }
+    return indices;
+}
+
+int64_t
+layerOutputNeurons(const Network &network, size_t li)
+{
+    const std::vector<Shape> shapes = network.layerInputShapes();
+    REUSE_ASSERT(li < shapes.size(), "layer index out of range");
+    return network.layer(li).outputShape(shapes[li]).numel();
+}
+
+LayerSelectionResult
+selectLayersBackwards(const Network &network, const NetworkRanges &ranges,
+                      const LayerSelectionConfig &config,
+                      const AccuracyLossFn &loss_fn)
+{
+    LayerSelectionResult result;
+    result.plan = QuantizationPlan(network);
+
+    // Reusable layers from last to first.
+    std::vector<size_t> candidates = reusableLayerIndices(network);
+    std::reverse(candidates.begin(), candidates.end());
+
+    // Skip trailing tiny layers (paper: EESEN FC1 / AutoPilot FC5 are
+    // too small for the savings to matter).
+    size_t start = 0;
+    while (start < candidates.size() &&
+           layerOutputNeurons(network, candidates[start]) <
+               config.minOutputNeurons) {
+        ++start;
+    }
+
+    std::vector<size_t> selected;
+    double best_loss = 0.0;
+    for (size_t k = start; k < candidates.size(); ++k) {
+        std::vector<size_t> trial = selected;
+        trial.push_back(candidates[k]);
+        QuantizationPlan plan =
+            makePlan(network, ranges, config.clusters, trial);
+        const double loss = loss_fn(plan);
+        if (loss > config.maxAccuracyLossPct) {
+            // Stop at the first layer that overshoots the budget; the
+            // paper extends the quantized region contiguously from
+            // the back, so one rejection ends the search.
+            break;
+        }
+        selected = std::move(trial);
+        best_loss = loss;
+    }
+
+    std::sort(selected.begin(), selected.end());
+    result.selectedLayers = selected;
+    result.accuracyLossPct = best_loss;
+    result.plan = makePlan(network, ranges, config.clusters, selected);
+    return result;
+}
+
+} // namespace reuse

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Automatic selection of the layers where input quantization (and
+ * therefore computation reuse) is applied.
+ *
+ * Section III of the paper: quantizing every layer hurts accuracy
+ * because early-layer errors propagate, so quantization is applied
+ * selectively starting from the last (large) layer and extended
+ * backwards layer by layer while the accuracy loss stays negligible.
+ * Tiny output layers (EESEN FC1, AutoPilot FC5) are skipped since the
+ * potential savings there are negligible.
+ */
+
+#ifndef REUSE_DNN_QUANT_LAYER_SELECTION_H
+#define REUSE_DNN_QUANT_LAYER_SELECTION_H
+
+#include <functional>
+#include <vector>
+
+#include "nn/network.h"
+#include "quant/quantization_plan.h"
+#include "quant/range_profiler.h"
+
+namespace reuse {
+
+/** Configuration for the backwards layer-selection search. */
+struct LayerSelectionConfig {
+    /** Clusters for the linear quantizers being trialled. */
+    int clusters = 16;
+    /** Maximum tolerated accuracy loss, percentage points. */
+    double maxAccuracyLossPct = 1.5;
+    /**
+     * Reusable layers whose output dimension is at most this many
+     * neurons are skipped as "fairly small" starting points.
+     */
+    int64_t minOutputNeurons = 64;
+};
+
+/** Outcome of the selection search. */
+struct LayerSelectionResult {
+    /** Indices of layers selected for quantization. */
+    std::vector<size_t> selectedLayers;
+    /** Accuracy loss (pct points) of the final selection. */
+    double accuracyLossPct = 0.0;
+    /** Plan built from the final selection. */
+    QuantizationPlan plan;
+};
+
+/**
+ * Callback evaluating a candidate plan; returns the accuracy loss in
+ * percentage points (e.g. 0.47 for Kaldi in the paper).
+ */
+using AccuracyLossFn = std::function<double(const QuantizationPlan &)>;
+
+/**
+ * Greedy backwards search: orders the network's reusable layers from
+ * last to first, skips trailing layers smaller than
+ * `minOutputNeurons`, then extends the quantized set one layer at a
+ * time while `loss_fn` stays within budget.  Returns the largest
+ * in-budget selection found (extension stops at the first layer whose
+ * inclusion overshoots the budget, mirroring the paper's procedure).
+ */
+LayerSelectionResult
+selectLayersBackwards(const Network &network, const NetworkRanges &ranges,
+                      const LayerSelectionConfig &config,
+                      const AccuracyLossFn &loss_fn);
+
+/**
+ * Indices of the network's reusable layers in execution order.
+ */
+std::vector<size_t> reusableLayerIndices(const Network &network);
+
+/** Output-neuron count of layer `li` given the network input shape. */
+int64_t layerOutputNeurons(const Network &network, size_t li);
+
+} // namespace reuse
+
+#endif // REUSE_DNN_QUANT_LAYER_SELECTION_H

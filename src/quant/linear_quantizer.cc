@@ -1,0 +1,69 @@
+#include "linear_quantizer.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "common/logging.h"
+#include "common/math_utils.h"
+
+namespace reuse {
+
+LinearQuantizer::LinearQuantizer(int clusters, float range_min,
+                                 float range_max)
+    : clusters_(clusters), range_min_(range_min), range_max_(range_max)
+{
+    REUSE_ASSERT(clusters > 0, "quantizer needs a positive cluster count");
+    REUSE_ASSERT(range_max > range_min,
+                 "quantizer range [" << range_min << ", " << range_max
+                                     << "] is empty");
+    step_ = (range_max_ - range_min_) / static_cast<float>(clusters_);
+    min_index_ =
+        static_cast<int32_t>(std::lround(range_min_ / step_));
+    max_index_ =
+        static_cast<int32_t>(std::lround(range_max_ / step_));
+}
+
+int32_t
+LinearQuantizer::index(float v) const
+{
+    const int32_t idx = static_cast<int32_t>(std::lround(v / step_));
+    return clamp(idx, min_index_, max_index_);
+}
+
+Tensor
+LinearQuantizer::quantize(const Tensor &t) const
+{
+    Tensor out(t.shape());
+    for (int64_t i = 0; i < t.numel(); ++i)
+        out[i] = quantize(t[i]);
+    return out;
+}
+
+std::vector<int32_t>
+LinearQuantizer::indices(const Tensor &t) const
+{
+    std::vector<int32_t> out(static_cast<size_t>(t.numel()));
+    for (int64_t i = 0; i < t.numel(); ++i)
+        out[static_cast<size_t>(i)] = index(t[i]);
+    return out;
+}
+
+int
+LinearQuantizer::indexBits() const
+{
+    int bits = 1;
+    while ((1 << bits) < indexCount())
+        ++bits;
+    return bits;
+}
+
+std::string
+LinearQuantizer::str() const
+{
+    std::ostringstream oss;
+    oss << "LinearQuantizer(C=" << clusters_ << ", range=[" << range_min_
+        << ", " << range_max_ << "], step=" << step_ << ")";
+    return oss.str();
+}
+
+} // namespace reuse

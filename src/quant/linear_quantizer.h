@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Uniformly distributed linear quantization of layer inputs (Eq. 9 of
+ * the paper): Qval = round(input / step) * step, with the step derived
+ * from a profiled input range and a cluster count.
+ */
+
+#ifndef REUSE_DNN_QUANT_LINEAR_QUANTIZER_H
+#define REUSE_DNN_QUANT_LINEAR_QUANTIZER_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace reuse {
+
+/**
+ * Linear quantizer mapping floats to a small set of cluster centroids.
+ *
+ * The quantization index round(v / step) is what the accelerator
+ * stores in the I/O Buffer and compares across executions; the
+ * centroid index * step is the value computation proceeds with.
+ * Indices are clamped to the profiled range so out-of-range inputs
+ * saturate instead of growing the index table.
+ */
+class LinearQuantizer
+{
+  public:
+    /**
+     * @param clusters Number of clusters C spanning the range.
+     * @param range_min Profiled minimum input value.
+     * @param range_max Profiled maximum input value (> range_min).
+     */
+    LinearQuantizer(int clusters, float range_min, float range_max);
+
+    /** Number of clusters. */
+    int clusters() const { return clusters_; }
+
+    /** Quantization step (range / clusters). */
+    float step() const { return step_; }
+
+    /** Profiled range minimum. */
+    float rangeMin() const { return range_min_; }
+
+    /** Profiled range maximum. */
+    float rangeMax() const { return range_max_; }
+
+    /** Smallest representable index. */
+    int32_t minIndex() const { return min_index_; }
+
+    /** Largest representable index. */
+    int32_t maxIndex() const { return max_index_; }
+
+    /** Number of distinct indices (centroid-table entries). */
+    int32_t indexCount() const { return max_index_ - min_index_ + 1; }
+
+    /** Quantization index of `v`, clamped to the profiled range. */
+    int32_t index(float v) const;
+
+    /** Centroid value of an index: idx * step. */
+    float centroid(int32_t idx) const
+    {
+        return static_cast<float>(idx) * step_;
+    }
+
+    /** Quantized value of `v` (centroid of its index). */
+    float quantize(float v) const { return centroid(index(v)); }
+
+    /** Quantizes a whole tensor elementwise. */
+    Tensor quantize(const Tensor &t) const;
+
+    /** Quantization indices of a whole tensor. */
+    std::vector<int32_t> indices(const Tensor &t) const;
+
+    /** Bits needed to store one index. */
+    int indexBits() const;
+
+    /** Human-readable description. */
+    std::string str() const;
+
+  private:
+    int clusters_;
+    float range_min_;
+    float range_max_;
+    float step_;
+    int32_t min_index_;
+    int32_t max_index_;
+};
+
+} // namespace reuse
+
+#endif // REUSE_DNN_QUANT_LINEAR_QUANTIZER_H

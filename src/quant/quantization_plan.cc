@@ -1,0 +1,80 @@
+#include "quantization_plan.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace reuse {
+
+QuantizationPlan::QuantizationPlan(const Network &network)
+    : layers_(network.layerCount())
+{
+}
+
+void
+QuantizationPlan::disable(size_t i)
+{
+    REUSE_ASSERT(i < layers_.size(), "plan index out of range");
+    layers_[i].input.reset();
+    layers_[i].recurrent.reset();
+}
+
+size_t
+QuantizationPlan::enabledCount() const
+{
+    size_t n = 0;
+    for (const auto &l : layers_)
+        n += l.enabled() ? 1 : 0;
+    return n;
+}
+
+QuantizationPlan
+makePlan(const Network &network, const NetworkRanges &ranges,
+         int clusters, const std::vector<size_t> &enabled_layers)
+{
+    REUSE_ASSERT(ranges.layerInput.size() == network.layerCount(),
+                 "ranges were profiled on a different network");
+    QuantizationPlan plan(network);
+    for (size_t li : enabled_layers) {
+        REUSE_ASSERT(li < network.layerCount(),
+                     "enabled layer index " << li << " out of range");
+        const Layer &layer = network.layer(li);
+        if (!layer.isReusable()) {
+            warn("makePlan: layer " + layer.name() +
+                 " is not reusable; skipping");
+            continue;
+        }
+        REUSE_ASSERT(ranges.layerInput[li].hasData(),
+                     "no profiled range for layer " << layer.name());
+        const auto [lo, hi] = ranges.layerInput[li].clippedRange();
+        plan.layer(li).input.emplace(clusters, lo, hi);
+        if (layer.isRecurrent()) {
+            REUSE_ASSERT(ranges.layerRecurrent[li].hasData(),
+                         "no recurrent range for layer "
+                             << layer.name());
+            const auto [rlo, rhi] =
+                ranges.layerRecurrent[li].clippedRange();
+            plan.layer(li).recurrent.emplace(clusters, rlo, rhi);
+        }
+    }
+    return plan;
+}
+
+QuantizationPlan
+makePlanAllReusable(const Network &network, const NetworkRanges &ranges,
+                    int clusters,
+                    const std::vector<size_t> &excluded_layers)
+{
+    std::vector<size_t> enabled;
+    for (size_t li = 0; li < network.layerCount(); ++li) {
+        if (!network.layer(li).isReusable())
+            continue;
+        if (std::find(excluded_layers.begin(), excluded_layers.end(),
+                      li) != excluded_layers.end())
+            continue;
+        enabled.push_back(li);
+    }
+    return makePlan(network, ranges, clusters, enabled);
+}
+
+} // namespace reuse

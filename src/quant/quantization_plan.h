@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Per-layer quantization configuration of a network.
+ *
+ * A QuantizationPlan records, for every layer, whether input
+ * quantization (and therefore computation reuse) is applied and with
+ * which quantizer.  Recurrent layers carry a second quantizer for the
+ * hidden-state inputs h_{t-1}.
+ */
+
+#ifndef REUSE_DNN_QUANT_QUANTIZATION_PLAN_H
+#define REUSE_DNN_QUANT_QUANTIZATION_PLAN_H
+
+#include <optional>
+#include <vector>
+
+#include "nn/network.h"
+#include "quant/linear_quantizer.h"
+#include "quant/range_profiler.h"
+
+namespace reuse {
+
+/** Quantization setting of one layer. */
+struct LayerQuantization {
+    /** Quantizer for the layer's (feed-forward) inputs. */
+    std::optional<LinearQuantizer> input;
+    /** Quantizer for recurrent inputs (BiLSTM only). */
+    std::optional<LinearQuantizer> recurrent;
+
+    /** True when reuse/quantization is applied to this layer. */
+    bool enabled() const { return input.has_value(); }
+};
+
+/**
+ * Network-wide quantization plan: one LayerQuantization per layer.
+ */
+class QuantizationPlan
+{
+  public:
+    QuantizationPlan() = default;
+
+    /** Creates an all-disabled plan sized for `network`. */
+    explicit QuantizationPlan(const Network &network);
+
+    /** Number of layer slots. */
+    size_t size() const { return layers_.size(); }
+
+    /** Per-layer setting. */
+    LayerQuantization &layer(size_t i) { return layers_[i]; }
+    const LayerQuantization &layer(size_t i) const { return layers_[i]; }
+
+    /** Disables quantization for layer `i`. */
+    void disable(size_t i);
+
+    /** Number of layers with quantization enabled. */
+    size_t enabledCount() const;
+
+  private:
+    std::vector<LayerQuantization> layers_;
+};
+
+/**
+ * Builds a plan enabling quantization on the reusable layers selected
+ * by `enabled_layers` (indices into the network), using profiled
+ * ranges and the given cluster count.  Layers not in the list, and
+ * non-reusable layers, stay disabled.
+ */
+QuantizationPlan
+makePlan(const Network &network, const NetworkRanges &ranges,
+         int clusters, const std::vector<size_t> &enabled_layers);
+
+/**
+ * Builds a plan enabling quantization on every reusable layer except
+ * the given exclusions (e.g. the first conv of C3D, tiny output FCs).
+ */
+QuantizationPlan
+makePlanAllReusable(const Network &network, const NetworkRanges &ranges,
+                    int clusters,
+                    const std::vector<size_t> &excluded_layers = {});
+
+} // namespace reuse
+
+#endif // REUSE_DNN_QUANT_QUANTIZATION_PLAN_H

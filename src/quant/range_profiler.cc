@@ -1,0 +1,81 @@
+#include "range_profiler.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "nn/lstm.h"
+
+namespace reuse {
+
+void
+RangeProfiler::observe(const Tensor &t)
+{
+    for (int64_t i = 0; i < t.numel(); ++i)
+        stats_.add(t[i]);
+}
+
+float
+RangeProfiler::rangeMin() const
+{
+    REUSE_ASSERT(hasData(), "range profiler has no data");
+    return static_cast<float>(stats_.min());
+}
+
+float
+RangeProfiler::rangeMax() const
+{
+    REUSE_ASSERT(hasData(), "range profiler has no data");
+    return static_cast<float>(stats_.max());
+}
+
+std::pair<float, float>
+RangeProfiler::clippedRange(double sigmas) const
+{
+    REUSE_ASSERT(hasData(), "range profiler has no data");
+    const double lo =
+        std::max(stats_.min(), stats_.mean() - sigmas * stats_.stddev());
+    const double hi =
+        std::min(stats_.max(), stats_.mean() + sigmas * stats_.stddev());
+    float flo = static_cast<float>(lo);
+    float fhi = static_cast<float>(hi);
+    if (fhi <= flo) {
+        // Degenerate (constant) stream: widen artificially so a
+        // quantizer can still be built.
+        flo -= 0.5f;
+        fhi += 0.5f;
+    }
+    return {flo, fhi};
+}
+
+NetworkRanges
+profileNetworkRanges(const Network &network,
+                     const std::vector<Tensor> &inputs)
+{
+    NetworkRanges ranges;
+    ranges.layerInput.resize(network.layerCount());
+    ranges.layerRecurrent.resize(network.layerCount());
+
+    // Propagate the whole calibration set layer by layer; this also
+    // matches the recurrent execution order (layer-at-a-time).
+    std::vector<Tensor> current = inputs;
+    for (size_t li = 0; li < network.layerCount(); ++li) {
+        const Layer &layer = network.layer(li);
+        for (const Tensor &t : current)
+            ranges.layerInput[li].observe(t);
+
+        if (layer.isRecurrent()) {
+            // The recurrent inputs h_{t-1} of a BiLSTM direction are
+            // that direction's own outputs; profiling the layer's
+            // output stream (both halves) covers both directions.
+            std::vector<Tensor> outputs = layer.forwardSequence(current);
+            for (const Tensor &t : outputs)
+                ranges.layerRecurrent[li].observe(t);
+            current = std::move(outputs);
+        } else {
+            current = layer.forwardSequence(current);
+        }
+    }
+    return ranges;
+}
+
+} // namespace reuse

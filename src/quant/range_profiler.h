@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Input-range profiling for quantizer calibration.
+ *
+ * The paper derives each layer's quantization step from the input
+ * range observed on the training dataset (Sec. III).  RangeProfiler
+ * accumulates min/max (and distribution moments) over observed
+ * tensors; profileNetworkRanges() runs a network over calibration
+ * inputs and records the per-layer input ranges.
+ */
+
+#ifndef REUSE_DNN_QUANT_RANGE_PROFILER_H
+#define REUSE_DNN_QUANT_RANGE_PROFILER_H
+
+#include <vector>
+
+#include "common/stats.h"
+#include "nn/network.h"
+#include "tensor/tensor.h"
+
+namespace reuse {
+
+/**
+ * Accumulates the value range of a stream of tensors.
+ */
+class RangeProfiler
+{
+  public:
+    /** Observes every element of `t`. */
+    void observe(const Tensor &t);
+
+    /** Observes a single value. */
+    void observe(float v) { stats_.add(v); }
+
+    /** True when at least one value has been observed. */
+    bool hasData() const { return stats_.count() > 0; }
+
+    /** Smallest observed value. */
+    float rangeMin() const;
+
+    /** Largest observed value. */
+    float rangeMax() const;
+
+    /**
+     * Range clipped to mean +/- `sigmas` standard deviations and
+     * intersected with the observed min/max; robust to rare outliers
+     * that would otherwise blow up the quantization step.
+     */
+    std::pair<float, float> clippedRange(double sigmas = 6.0) const;
+
+    /** Underlying running statistics. */
+    const RunningStats &stats() const { return stats_; }
+
+  private:
+    RunningStats stats_;
+};
+
+/** Per-layer profiled ranges of a network. */
+struct NetworkRanges {
+    /** Input range of each layer, indexed like Network::layer(). */
+    std::vector<RangeProfiler> layerInput;
+    /**
+     * Recurrent-input (h) range of each layer; only meaningful for
+     * BiLSTM layers, empty profilers elsewhere.
+     */
+    std::vector<RangeProfiler> layerRecurrent;
+};
+
+/**
+ * Runs the network from scratch over the calibration inputs and
+ * profiles every layer's input range.  For recurrent networks the
+ * calibration inputs form one sequence; hidden-state streams are
+ * profiled as the recurrent ranges.
+ */
+NetworkRanges profileNetworkRanges(const Network &network,
+                                   const std::vector<Tensor> &inputs);
+
+} // namespace reuse
+
+#endif // REUSE_DNN_QUANT_RANGE_PROFILER_H

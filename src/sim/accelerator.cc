@@ -1,0 +1,213 @@
+#include "accelerator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "nn/conv2d.h"
+#include "nn/conv3d.h"
+#include "nn/lstm.h"
+#include "sim/cost_model.h"
+#include "sim/io_buffer_model.h"
+
+namespace reuse {
+
+AcceleratorSim::AcceleratorSim(AcceleratorParams params)
+    : params_(params)
+{
+}
+
+SimResult
+AcceleratorSim::simulate(const Network &network, AccelMode mode,
+                         const std::vector<ExecutionTrace> &traces) const
+{
+    SimResult result;
+    result.mode = mode;
+    result.residency = planResidency(network, params_);
+    result.perLayer.resize(network.layerCount());
+
+    const bool dram_acts = usesDramActivations(network);
+    const bool recurrent = network.isRecurrent();
+
+    // Stream-start weight load from main memory (the accelerator is
+    // power gated between streams; Sec. IV-A).
+    {
+        SimEvents load;
+        if (recurrent && !result.residency.fullyResident) {
+            // Each layer's weights are fetched once per sequence; the
+            // per-sequence cost is charged below per trace.
+        } else {
+            load.dramWeightBytes = result.residency.initialLoadBytes;
+            load.cycles = static_cast<double>(load.dramWeightBytes) /
+                          params_.dramBytesPerCycle();
+        }
+        result.totals += load;
+    }
+
+    for (const ExecutionTrace &trace : traces) {
+        for (const LayerExecRecord &rec : trace) {
+            REUSE_ASSERT(rec.layerIndex < network.layerCount(),
+                         "trace record for unknown layer");
+            LayerCostContext ctx;
+            ctx.weightsResident =
+                result.residency.resident[rec.layerIndex];
+            ctx.dramActivations = dram_acts;
+            ctx.layerWeightBytes =
+                network.layer(rec.layerIndex).paramCount() *
+                params_.weightBytes;
+            SimEvents ev = layerEvents(rec, ctx, params_);
+
+            if (recurrent && !result.residency.fullyResident &&
+                network.layer(rec.layerIndex).paramCount() > 0) {
+                // Layer weights streamed from DRAM once per sequence,
+                // overlapping compute (double-buffered loading).
+                SimEvents load;
+                load.dramWeightBytes =
+                    network.layer(rec.layerIndex).paramCount() *
+                    params_.weightBytes;
+                const double load_cycles =
+                    static_cast<double>(load.dramWeightBytes) /
+                    params_.dramBytesPerCycle();
+                ev.dramWeightBytes += load.dramWeightBytes;
+                ev.cycles = std::max(ev.cycles, load_cycles);
+            }
+
+            result.perLayer[rec.layerIndex] += ev;
+            result.totals += ev;
+        }
+        ++result.executions;
+    }
+
+    // Per-execution spill streaming for feed-forward networks is
+    // already part of layerEvents (non-resident layers charge their
+    // weight traffic to DRAM).
+
+    result.cycles = result.totals.cycles;
+    result.seconds = result.cycles * params_.secondsPerCycle();
+    return result;
+}
+
+ExecutionTrace
+synthesizeTrace(const Network &network,
+                const std::vector<double> &layer_similarity,
+                bool first_execution, int64_t sequence_length,
+                const std::vector<double> &layer_reuse)
+{
+    REUSE_ASSERT(layer_similarity.size() == network.layerCount(),
+                 "similarity vector sized for a different network");
+    REUSE_ASSERT(layer_reuse.empty() ||
+                     layer_reuse.size() == network.layerCount(),
+                 "reuse vector sized for a different network");
+    ExecutionTrace trace(network.layerCount());
+    const std::vector<Shape> in_shapes = network.layerInputShapes();
+
+    for (size_t li = 0; li < network.layerCount(); ++li) {
+        const Layer &layer = network.layer(li);
+        LayerExecRecord &rec = trace[li];
+        rec.layerIndex = li;
+        rec.kind = layer.kind();
+        if (layer.kind() == LayerKind::Conv2D) {
+            rec.kernelExtent =
+                static_cast<const Conv2DLayer &>(layer).kernel();
+        } else if (layer.kind() == LayerKind::Conv3D) {
+            rec.kernelExtent =
+                static_cast<const Conv3DLayer &>(layer).kernel();
+        }
+
+        const bool recurrent_layer = layer.isRecurrent();
+        const int64_t steps = recurrent_layer ? sequence_length : 1;
+        rec.steps = steps;
+
+        int64_t inputs = in_shapes[li].numel() * steps;
+        int64_t outputs = layer.outputShape(in_shapes[li]).numel() * steps;
+        int64_t macs = layer.macCount(in_shapes[li]) * steps;
+        if (layer.kind() == LayerKind::BiLstm) {
+            // BiLSTM records also cover the recurrent inputs and the
+            // four gate outputs per direction.
+            const auto &lstm = static_cast<const BiLstmLayer &>(layer);
+            inputs = steps * 2 * (lstm.inputDim() + lstm.cellDim());
+            outputs = steps * 2 * NumLstmGates * lstm.cellDim();
+        } else if (layer.kind() == LayerKind::Lstm) {
+            const auto &lstm = static_cast<const LstmLayer &>(layer);
+            inputs = steps * (lstm.inputDim() + lstm.cellDim());
+            outputs = steps * NumLstmGates * lstm.cellDim();
+        }
+        rec.inputsTotal = inputs;
+        rec.outputsTotal = outputs;
+        rec.macsFull = macs;
+
+        const double sim = layer_similarity[li];
+        const double reuse_frac =
+            (!layer_reuse.empty() && layer_reuse[li] >= 0.0)
+                ? layer_reuse[li]
+                : sim;
+        if (sim < 0.0 || !layer.isReusable()) {
+            rec.reuseEnabled = false;
+            rec.firstExecution = false;
+            rec.macsPerformed = macs;
+            continue;
+        }
+
+        rec.reuseEnabled = true;
+        if (first_execution) {
+            rec.firstExecution = true;
+            rec.macsPerformed = macs;
+            continue;
+        }
+        rec.firstExecution = false;
+        if (recurrent_layer && steps > 0) {
+            // Within a sequence, only the first timestep of each
+            // direction runs from scratch; the remaining steps reuse.
+            const double steady =
+                static_cast<double>(steps - 1) /
+                static_cast<double>(steps);
+            const double scratch = 1.0 - steady;
+            rec.inputsChecked = static_cast<int64_t>(
+                std::llround(steady * static_cast<double>(inputs)));
+            rec.inputsChanged = static_cast<int64_t>(
+                std::llround((1.0 - sim) *
+                             static_cast<double>(rec.inputsChecked)));
+            rec.macsPerformed = static_cast<int64_t>(std::llround(
+                scratch * static_cast<double>(macs) +
+                (1.0 - reuse_frac) * steady *
+                    static_cast<double>(macs)));
+        } else {
+            rec.inputsChecked = inputs;
+            rec.inputsChanged = static_cast<int64_t>(std::llround(
+                (1.0 - sim) * static_cast<double>(inputs)));
+            rec.macsPerformed = static_cast<int64_t>(std::llround(
+                (1.0 - reuse_frac) * static_cast<double>(macs)));
+        }
+    }
+    return trace;
+}
+
+SimResult
+AcceleratorSim::estimate(const Network &network, AccelMode mode,
+                         const std::vector<double> &layer_similarity,
+                         int64_t executions, int64_t sequence_length,
+                         const std::vector<double> &layer_reuse) const
+{
+    std::vector<double> sims = layer_similarity;
+    std::vector<double> reuse_fracs = layer_reuse;
+    if (mode == AccelMode::Baseline) {
+        // Baseline disables reuse everywhere.
+        std::fill(sims.begin(), sims.end(), -1.0);
+        reuse_fracs.clear();
+    }
+
+    std::vector<ExecutionTrace> traces;
+    traces.reserve(static_cast<size_t>(executions));
+    for (int64_t e = 0; e < executions; ++e) {
+        // Recurrent networks reset between sequences anyway; their
+        // per-sequence from-scratch cost is already folded into each
+        // synthesized trace, so no whole-trace first execution.
+        const bool first = (e == 0) && mode == AccelMode::Reuse &&
+                           !network.isRecurrent();
+        traces.push_back(synthesizeTrace(network, sims, first,
+                                         sequence_length, reuse_fracs));
+    }
+    return simulate(network, mode, traces);
+}
+
+} // namespace reuse

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Top-level accelerator simulator.
+ *
+ * The simulator is functional-plus-analytical: execution traces come
+ * from the reuse engine (which performs the real arithmetic), and the
+ * cost model converts each per-layer record into cycles and hardware
+ * events.  An analytic entry point synthesizes traces from per-layer
+ * similarity fractions, which lets paper-scale networks be costed
+ * from similarity measured on reduced-scale functional runs (see
+ * DESIGN.md).
+ */
+
+#ifndef REUSE_DNN_SIM_ACCELERATOR_H
+#define REUSE_DNN_SIM_ACCELERATOR_H
+
+#include <string>
+#include <vector>
+
+#include "core/exec_record.h"
+#include "nn/network.h"
+#include "sim/events.h"
+#include "sim/params.h"
+#include "sim/weights_residency.h"
+
+namespace reuse {
+
+/** Aggregated simulation outcome of one accelerator configuration. */
+struct SimResult {
+    /** Mode the simulation ran in. */
+    AccelMode mode = AccelMode::Baseline;
+    /** Total event counts, including stream-start weight loads. */
+    SimEvents totals;
+    /** Total cycles (== totals.cycles). */
+    double cycles = 0.0;
+    /** Wall-clock seconds at the configured frequency. */
+    double seconds = 0.0;
+    /** Number of whole-network executions simulated. */
+    int64_t executions = 0;
+    /** Per-layer aggregated events, indexed like the network. */
+    std::vector<SimEvents> perLayer;
+    /** Residency plan used. */
+    ResidencyPlan residency;
+
+    /** Cycles per execution. */
+    double cyclesPerExecution() const
+    {
+        return executions > 0 ? cycles / static_cast<double>(executions)
+                              : cycles;
+    }
+};
+
+/**
+ * Analytical simulator of the reuse-enabled DNN accelerator.
+ */
+class AcceleratorSim
+{
+  public:
+    /**
+     * @param params Hardware configuration (Table II defaults).
+     */
+    explicit AcceleratorSim(AcceleratorParams params = {});
+
+    /** The hardware configuration in use. */
+    const AcceleratorParams &params() const { return params_; }
+
+    /**
+     * Costs a stream of execution traces produced by the reuse
+     * engine.  `traces` holds one ExecutionTrace per execution (for
+     * recurrent networks: per sequence, with per-layer records
+     * aggregated over timesteps).  The first trace's stream-start
+     * weight load from main memory is included.
+     */
+    SimResult simulate(const Network &network, AccelMode mode,
+                       const std::vector<ExecutionTrace> &traces) const;
+
+    /**
+     * Analytic estimate: synthesizes `executions` steady-state traces
+     * (plus one from-scratch first execution) from per-layer input
+     * similarity.  `layer_similarity[li]` in [0,1] gives the fraction
+     * of unchanged inputs for reuse-enabled layer li; a negative
+     * value marks the layer as reuse-disabled.  `layer_reuse` (same
+     * indexing, may be empty) gives the fraction of MACs avoided,
+     * which for conv layers exceeds the input similarity because
+     * border inputs drive fewer outputs; when empty it defaults to
+     * the similarity.  For recurrent networks, `sequence_length`
+     * scales the per-trace work.
+     */
+    SimResult estimate(const Network &network, AccelMode mode,
+                       const std::vector<double> &layer_similarity,
+                       int64_t executions,
+                       int64_t sequence_length = 1,
+                       const std::vector<double> &layer_reuse = {}) const;
+
+  private:
+    AcceleratorParams params_;
+};
+
+/**
+ * Builds the synthetic execution trace used by AcceleratorSim::
+ * estimate(): one record per layer with counts derived from layer
+ * shapes and the given similarity.
+ */
+ExecutionTrace synthesizeTrace(const Network &network,
+                               const std::vector<double> &layer_similarity,
+                               bool first_execution,
+                               int64_t sequence_length,
+                               const std::vector<double> &layer_reuse = {});
+
+} // namespace reuse
+
+#endif // REUSE_DNN_SIM_ACCELERATOR_H

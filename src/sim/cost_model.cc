@@ -1,0 +1,251 @@
+#include "cost_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/math_utils.h"
+#include "nn/lstm.h"
+
+namespace reuse {
+
+bool
+isFcLike(LayerKind kind)
+{
+    return kind == LayerKind::FullyConnected ||
+           kind == LayerKind::BiLstm || kind == LayerKind::Lstm;
+}
+
+bool
+isConvKind(LayerKind kind)
+{
+    return kind == LayerKind::Conv2D || kind == LayerKind::Conv3D;
+}
+
+namespace {
+
+/**
+ * FC-like layer: one input drives `per_input_outputs` neurons; a
+ * processed (changed) input costs max(1, ceil(per_input_outputs /
+ * lanes)) cycles; unchanged inputs flow through the quantize/compare
+ * stage at `lanes` inputs per cycle.
+ */
+SimEvents
+fcLikeEvents(const LayerExecRecord &rec, const LayerCostContext &ctx,
+             const AcceleratorParams &p)
+{
+    SimEvents ev;
+    const int64_t lanes = p.lanes();
+    const int64_t n = std::max<int64_t>(rec.inputsTotal, 1);
+    const int64_t per_input_outputs =
+        rec.inputsTotal > 0 ? ceilDiv(rec.macsFull, rec.inputsTotal) : 0;
+    const int64_t cycles_per_processed =
+        std::max<int64_t>(1, ceilDiv(per_input_outputs, lanes));
+
+    const bool steady_reuse = rec.reuseEnabled && !rec.firstExecution;
+
+    if (steady_reuse) {
+        // Quantize/compare every input, correct only the changed ones.
+        ev.cycles = static_cast<double>(ceilDiv(n, lanes)) +
+                    static_cast<double>(rec.inputsChanged) *
+                        static_cast<double>(cycles_per_processed);
+        ev.quantOps = rec.inputsTotal;
+        ev.cmpOps = rec.inputsTotal;
+        // Old/new centroid values for the changed inputs.
+        ev.centroidBytes = rec.inputsChanged * 2 * 4;
+        // Read each input and its stored index; write back the
+        // indices that changed.
+        ev.ioReadBytes = rec.inputsTotal *
+                         (p.activationBytes + p.indexBytes);
+        ev.ioWriteBytes = rec.inputsChanged * p.indexBytes;
+        // Corrections: read previous outputs, add, write back.
+        ev.ioReadBytes += rec.macsPerformed * p.activationBytes;
+        ev.ioWriteBytes += rec.macsPerformed * p.activationBytes;
+        // One weight word per performed MAC.
+        const int64_t wbytes = rec.macsPerformed * p.weightBytes;
+        if (ctx.weightsResident)
+            ev.edramWeightBytes = wbytes;
+        else
+            ev.dramWeightBytes = wbytes;
+        // Delta multiply + accumulate per MAC, plus the quantize
+        // multiplies (scale by 1/step) in the CE.
+        ev.fpMul = rec.macsPerformed + rec.inputsTotal;
+        ev.fpAdd = rec.macsPerformed;
+    } else {
+        // From-scratch execution (baseline, or the first execution of
+        // a reuse-enabled layer).
+        ev.cycles = static_cast<double>(n) *
+                    static_cast<double>(cycles_per_processed);
+        ev.ioReadBytes = rec.inputsTotal * p.activationBytes;
+        ev.ioWriteBytes = rec.outputsTotal * p.activationBytes;
+        const int64_t wbytes =
+            (rec.macsPerformed + rec.outputsTotal) * p.weightBytes;
+        if (ctx.weightsResident)
+            ev.edramWeightBytes = wbytes;
+        else
+            ev.dramWeightBytes = wbytes;
+        ev.fpMul = rec.macsPerformed;
+        ev.fpAdd = rec.macsPerformed + rec.outputsTotal; // + biases
+        if (rec.reuseEnabled) {
+            // First execution still quantizes and stores the indices.
+            ev.quantOps = rec.inputsTotal;
+            ev.fpMul += rec.inputsTotal;
+            ev.ioWriteBytes += rec.inputsTotal * p.indexBytes;
+        }
+    }
+
+    if (rec.kind == LayerKind::BiLstm || rec.kind == LayerKind::Lstm) {
+        // Elementwise tail of the LSTM cells (Eqs. 7-8): sigmoid/tanh
+        // evaluations and elementwise mul/add per gate output, always
+        // computed from scratch.
+        ev.fpMul += rec.outputsTotal;
+        ev.fpAdd += rec.outputsTotal;
+        ev.cycles += static_cast<double>(
+            ceilDiv(rec.outputsTotal, p.lanes()));
+        ev.ioWriteBytes += rec.outputsTotal / NumLstmGates *
+                           p.activationBytes * 2; // h and c
+    }
+
+    // Results gathered over the ring to the I/O Buffer.
+    ev.ringBytes = rec.outputsTotal * p.activationBytes;
+    return ev;
+}
+
+/**
+ * Conv layer: blocked streaming keeps lanes busy; cycles are the
+ * maximum of the input-stream floor and the MAC throughput.
+ */
+SimEvents
+convEvents(const LayerExecRecord &rec, const LayerCostContext &ctx,
+           const AcceleratorParams &p)
+{
+    SimEvents ev;
+    const int64_t lanes = p.lanes();
+    const bool steady_reuse = rec.reuseEnabled && !rec.firstExecution;
+
+    if (steady_reuse) {
+        ev.cycles = std::max<double>(
+            static_cast<double>(ceilDiv(rec.inputsTotal, lanes)),
+            static_cast<double>(ceilDiv(rec.macsPerformed, lanes)));
+        ev.quantOps = rec.inputsTotal;
+        ev.cmpOps = rec.inputsTotal;
+        ev.centroidBytes = rec.inputsChanged * 2 * 4;
+        ev.fpMul = rec.macsPerformed + rec.inputsTotal;
+        ev.fpAdd = rec.macsPerformed;
+    } else {
+        ev.cycles = std::max<double>(
+            static_cast<double>(rec.inputsTotal),
+            static_cast<double>(ceilDiv(rec.macsPerformed, lanes)));
+        ev.fpMul = rec.macsPerformed;
+        ev.fpAdd = rec.macsPerformed + rec.outputsTotal; // + biases
+        if (rec.reuseEnabled) {
+            ev.quantOps = rec.inputsTotal;
+            ev.fpMul += rec.inputsTotal;
+        }
+    }
+
+    // Weight traffic: one weight word per MAC is read from the
+    // on-chip buffer; conv kernels are shared across inputs, so a
+    // non-resident layer additionally streams its (small relative to
+    // MACs) kernel footprint from DRAM once per execution.
+    ev.edramWeightBytes = rec.macsPerformed * p.weightBytes;
+    if (!ctx.weightsResident)
+        ev.dramWeightBytes = ctx.layerWeightBytes;
+
+    // Activation traffic: CNNs stream blocks through main memory
+    // (Sec. IV-C); otherwise the I/O Buffer holds them.
+    const int64_t in_bytes = rec.inputsTotal * p.activationBytes;
+    const int64_t out_bytes = rec.outputsTotal * p.activationBytes;
+    const int64_t idx_read = rec.inputsTotal * p.indexBytes;
+    const int64_t idx_write = steady_reuse
+                                  ? rec.inputsChanged * p.indexBytes
+                                  : rec.inputsTotal * p.indexBytes;
+    // Blocked streaming re-fetches a halo of (kernel - 1) elements
+    // around every block in both spatial dimensions.
+    const double halo_edge =
+        static_cast<double>(p.blockEdge + rec.kernelExtent - 1) /
+        static_cast<double>(p.blockEdge);
+    const double halo = halo_edge * halo_edge;
+    const int64_t in_bytes_dram =
+        static_cast<int64_t>(in_bytes * halo);
+    if (ctx.dramActivations) {
+        if (steady_reuse) {
+            // Every input block is fetched (all inputs must be
+            // quantized and compared), but only output blocks whose
+            // region contains a changed input are read, corrected and
+            // written back; untouched blocks stay in main memory.
+            const double touched =
+                rec.inputsChecked > 0
+                    ? static_cast<double>(rec.inputsChanged) /
+                          static_cast<double>(rec.inputsChecked)
+                    : 0.0;
+            const int64_t out_touched =
+                static_cast<int64_t>(out_bytes * touched);
+            ev.dramActivationBytes += in_bytes_dram + idx_read +
+                                      idx_write + 2 * out_touched;
+            ev.ioReadBytes = in_bytes + out_touched;
+            ev.ioWriteBytes = in_bytes + out_touched;
+        } else {
+            ev.dramActivationBytes += in_bytes_dram + out_bytes;
+            if (rec.reuseEnabled)
+                ev.dramActivationBytes += idx_read + idx_write;
+            ev.ioReadBytes = in_bytes;
+            ev.ioWriteBytes = in_bytes + out_bytes;
+        }
+    } else {
+        ev.ioReadBytes = in_bytes + (rec.reuseEnabled ? idx_read : 0) +
+                         (steady_reuse ? out_bytes : 0);
+        ev.ioWriteBytes = out_bytes +
+                          (rec.reuseEnabled ? idx_write : 0);
+    }
+
+    ev.ringBytes = rec.outputsTotal * p.activationBytes;
+    return ev;
+}
+
+/**
+ * Elementwise layers (activations, pooling, flatten): stream through
+ * the CE at `lanes` elements per cycle.
+ */
+SimEvents
+elementwiseEvents(const LayerExecRecord &rec, const LayerCostContext &ctx,
+                  const AcceleratorParams &p)
+{
+    SimEvents ev;
+    ev.cycles =
+        static_cast<double>(ceilDiv(rec.inputsTotal, p.lanes()));
+    ev.fpAdd = rec.inputsTotal;
+    const int64_t in_bytes = rec.inputsTotal * p.activationBytes;
+    const int64_t out_bytes = rec.outputsTotal * p.activationBytes;
+    if (ctx.dramActivations) {
+        ev.dramActivationBytes = in_bytes + out_bytes;
+    }
+    ev.ioReadBytes = in_bytes;
+    ev.ioWriteBytes = out_bytes;
+    return ev;
+}
+
+} // namespace
+
+SimEvents
+layerEvents(const LayerExecRecord &rec, const LayerCostContext &ctx,
+            const AcceleratorParams &params)
+{
+    SimEvents ev;
+    if (isFcLike(rec.kind)) {
+        ev = fcLikeEvents(rec, ctx, params);
+    } else if (isConvKind(rec.kind)) {
+        ev = convEvents(rec, ctx, params);
+    } else {
+        ev = elementwiseEvents(rec, ctx, params);
+    }
+
+    // DRAM transfers overlap compute; the layer takes the longer of
+    // the two.
+    const double dram_cycles =
+        static_cast<double>(ev.dramBytes()) / params.dramBytesPerCycle();
+    ev.cycles = std::max(ev.cycles, dram_cycles);
+    return ev;
+}
+
+} // namespace reuse

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Per-layer analytical cost model of the accelerator (Sec. IV).
+ *
+ * The model converts a LayerExecRecord (what a layer execution did:
+ * inputs checked/changed, MACs performed) into hardware events and
+ * pipelined cycles.  The same function serves baseline and reuse
+ * executions — a baseline record simply has every MAC performed —
+ * which guarantees the two configurations are costed consistently.
+ *
+ * Timing rules (derived from the pipeline described in Figs. 7-8):
+ *  - FC-like layers (FC, LSTM gates): one input feeds M output
+ *    neurons; the correction/compute of one input takes
+ *    max(1, ceil(M / lanes)) cycles; unchanged inputs only flow
+ *    through the quantize-and-compare stage, which processes `lanes`
+ *    inputs per cycle in the Compute Engine.
+ *  - Conv layers: blocked streaming keeps the lanes busy across
+ *    inputs; cycles = max(input-read floor, MACs / lanes).
+ *  - Weight traffic is one weight word per MAC, from eDRAM when the
+ *    layer is resident, from main memory otherwise; DRAM transfers
+ *    overlap compute, so layer time is max(compute, DRAM).
+ *  - Reuse corrections read and write the buffered outputs in the
+ *    I/O Buffer (CNNs: in main memory, Sec. IV-C).
+ */
+
+#ifndef REUSE_DNN_SIM_COST_MODEL_H
+#define REUSE_DNN_SIM_COST_MODEL_H
+
+#include "core/exec_record.h"
+#include "sim/events.h"
+#include "sim/params.h"
+
+namespace reuse {
+
+/** Where a layer's data lives for this simulation. */
+struct LayerCostContext {
+    /** True when the layer's weights are resident in eDRAM. */
+    bool weightsResident = true;
+    /**
+     * True when the layer's activations (and indices) stream through
+     * main memory instead of staying in the I/O Buffer (CNN path).
+     */
+    bool dramActivations = false;
+    /**
+     * Total parameter bytes of the layer.  Non-resident conv layers
+     * stream this footprint from DRAM once per execution (kernels
+     * are shared across all inputs), rather than one word per MAC.
+     */
+    int64_t layerWeightBytes = 0;
+};
+
+/**
+ * Computes the events of one layer execution described by `rec`.
+ */
+SimEvents layerEvents(const LayerExecRecord &rec,
+                      const LayerCostContext &ctx,
+                      const AcceleratorParams &params);
+
+/** True for layer kinds costed with the FC-like pipeline. */
+bool isFcLike(LayerKind kind);
+
+/** True for layer kinds costed with the conv pipeline. */
+bool isConvKind(LayerKind kind);
+
+} // namespace reuse
+
+#endif // REUSE_DNN_SIM_COST_MODEL_H

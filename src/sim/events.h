@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Event counts produced by the accelerator cost model.  Every timing
+ * and energy number in the simulator derives from these counts.
+ */
+
+#ifndef REUSE_DNN_SIM_EVENTS_H
+#define REUSE_DNN_SIM_EVENTS_H
+
+#include <cstdint>
+#include <string>
+
+namespace reuse {
+
+/**
+ * Hardware events of one layer execution (or an aggregate of many).
+ *
+ * Byte counts are raw data movement; op counts are individual
+ * functional-unit operations.  `cycles` is the pipelined execution
+ * time of the slice these events describe.
+ */
+struct SimEvents {
+    double cycles = 0.0;
+
+    /** Weight bytes read from the on-chip eDRAM Weights Buffer. */
+    int64_t edramWeightBytes = 0;
+    /** Weight bytes streamed from main memory (buffer misses). */
+    int64_t dramWeightBytes = 0;
+    /** Activation/index bytes moved to or from main memory (CNNs). */
+    int64_t dramActivationBytes = 0;
+    /** Bytes read from the SRAM I/O Buffer. */
+    int64_t ioReadBytes = 0;
+    /** Bytes written to the SRAM I/O Buffer. */
+    int64_t ioWriteBytes = 0;
+    /** Bytes read from the centroid table. */
+    int64_t centroidBytes = 0;
+    /** Bytes moved across the inter-tile ring. */
+    int64_t ringBytes = 0;
+
+    /** FP multiplications performed in the Compute Engine. */
+    int64_t fpMul = 0;
+    /** FP additions performed in the Compute Engine. */
+    int64_t fpAdd = 0;
+    /** Input quantization operations (divide + round in the CE). */
+    int64_t quantOps = 0;
+    /** Index comparisons (integer compare). */
+    int64_t cmpOps = 0;
+
+    SimEvents &operator+=(const SimEvents &o)
+    {
+        cycles += o.cycles;
+        edramWeightBytes += o.edramWeightBytes;
+        dramWeightBytes += o.dramWeightBytes;
+        dramActivationBytes += o.dramActivationBytes;
+        ioReadBytes += o.ioReadBytes;
+        ioWriteBytes += o.ioWriteBytes;
+        centroidBytes += o.centroidBytes;
+        ringBytes += o.ringBytes;
+        fpMul += o.fpMul;
+        fpAdd += o.fpAdd;
+        quantOps += o.quantOps;
+        cmpOps += o.cmpOps;
+        return *this;
+    }
+
+    /** Total main-memory traffic in bytes. */
+    int64_t dramBytes() const
+    {
+        return dramWeightBytes + dramActivationBytes;
+    }
+
+    /** Total FP operations. */
+    int64_t fpOps() const { return fpMul + fpAdd; }
+};
+
+} // namespace reuse
+
+#endif // REUSE_DNN_SIM_EVENTS_H

@@ -1,0 +1,213 @@
+#include "io_buffer_model.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/math_utils.h"
+#include "nn/conv2d.h"
+#include "nn/conv3d.h"
+#include "nn/lstm.h"
+
+namespace reuse {
+
+bool
+usesDramActivations(const Network &network)
+{
+    for (size_t li = 0; li < network.layerCount(); ++li) {
+        const LayerKind kind = network.layer(li).kind();
+        if (kind == LayerKind::Conv2D || kind == LayerKind::Conv3D)
+            return true;
+    }
+    return false;
+}
+
+namespace {
+
+/** Largest per-step activation width (elements) across the network. */
+int64_t
+maxActivationElems(const Network &network)
+{
+    int64_t max_elems = network.inputShape().numel();
+    Shape current = network.inputShape();
+    for (size_t li = 0; li < network.layerCount(); ++li) {
+        current = network.layer(li).outputShape(current);
+        max_elems = std::max(max_elems, current.numel());
+    }
+    return max_elems;
+}
+
+/** Largest input-channel and output-channel counts over conv layers. */
+void
+maxConvChannels(const Network &network, int64_t &max_in, int64_t &max_out,
+                int64_t &max_kernel)
+{
+    max_in = 0;
+    max_out = 0;
+    max_kernel = 0;
+    const std::vector<Shape> shapes = network.layerInputShapes();
+    for (size_t li = 0; li < network.layerCount(); ++li) {
+        const Layer &layer = network.layer(li);
+        if (layer.kind() == LayerKind::Conv2D) {
+            const Shape out = layer.outputShape(shapes[li]);
+            max_in = std::max(max_in, shapes[li].dim(0));
+            max_out = std::max(max_out, out.dim(0));
+            max_kernel = std::max(
+                max_kernel,
+                static_cast<const Conv2DLayer &>(layer).kernel());
+        } else if (layer.kind() == LayerKind::Conv3D) {
+            const Shape out = layer.outputShape(shapes[li]);
+            max_in = std::max(max_in, shapes[li].dim(0));
+            max_out = std::max(max_out, out.dim(0));
+            max_kernel = std::max(
+                max_kernel,
+                static_cast<const Conv3DLayer &>(layer).kernel());
+        }
+    }
+}
+
+} // namespace
+
+StorageFootprint
+computeStorageFootprint(const Network &network,
+                        const QuantizationPlan &plan,
+                        const AcceleratorParams &params)
+{
+    StorageFootprint fp;
+    const std::vector<Shape> in_shapes = network.layerInputShapes();
+    const bool cnn_path = usesDramActivations(network);
+
+    // --- Main memory: the model itself. ---
+    fp.mainMemoryBaselineBytes =
+        network.paramCount() * params.weightBytes;
+
+    if (cnn_path) {
+        // CNN: per-layer activations live in main memory.
+        // Elementwise activations and flatten run in place, so they
+        // add no distinct buffers.
+        int64_t act_bytes = network.inputShape().numel();
+        Shape current = network.inputShape();
+        for (size_t li = 0; li < network.layerCount(); ++li) {
+            const LayerKind kind = network.layer(li).kind();
+            current = network.layer(li).outputShape(current);
+            if (kind == LayerKind::Activation ||
+                kind == LayerKind::Flatten)
+                continue;
+            act_bytes += current.numel();
+        }
+        fp.mainMemoryBaselineBytes +=
+            act_bytes * params.activationBytes;
+
+        // Reuse adds the index planes of quantized layers.
+        int64_t index_bytes = 0;
+        for (size_t li = 0; li < network.layerCount(); ++li) {
+            if (plan.layer(li).enabled())
+                index_bytes += in_shapes[li].numel() * params.indexBytes;
+        }
+        fp.mainMemoryReuseBytes =
+            fp.mainMemoryBaselineBytes + index_bytes;
+    } else {
+        // MLP/RNN: activations stay on chip; no extra main memory.
+        fp.mainMemoryReuseBytes = fp.mainMemoryBaselineBytes;
+    }
+
+    // --- I/O Buffer. ---
+    if (cnn_path) {
+        // Blocked path: one block per input feature map (with a halo
+        // for the kernel footprint) plus one block per output feature
+        // map (Sec. IV-C / Sec. V).
+        int64_t max_in_ch = 0;
+        int64_t max_out_ch = 0;
+        int64_t max_kernel = 0;
+        maxConvChannels(network, max_in_ch, max_out_ch, max_kernel);
+        const int64_t block = params.blockEdge;
+        // Input blocks carry a (kernel - 1) halo so corrections near
+        // block borders see their full receptive fields.
+        const int64_t in_edge = block + std::max<int64_t>(
+                                            max_kernel - 1, 0);
+        const int64_t in_block_bytes =
+            in_edge * in_edge * params.activationBytes;
+        const int64_t out_block_bytes =
+            block * block * params.activationBytes;
+        fp.ioBufferBaselineBytes =
+            max_in_ch * in_block_bytes + max_out_ch * out_block_bytes;
+        // Reuse: the index of every element of the input blocks.
+        fp.ioBufferReuseBytes =
+            fp.ioBufferBaselineBytes +
+            max_in_ch * block * block * params.indexBytes;
+    } else if (network.isRecurrent()) {
+        // RNN: double-buffered per-step activations plus, with reuse,
+        // the buffered pre-activations (inputs/outputs of the four
+        // gates) and indices of one LSTM cell (Sec. IV-D).
+        const int64_t max_elems = maxActivationElems(network);
+        fp.ioBufferBaselineBytes =
+            2 * max_elems * params.activationBytes;
+        int64_t extra = 0;
+        for (size_t li = 0; li < network.layerCount(); ++li) {
+            if (!plan.layer(li).enabled())
+                continue;
+            const Layer &layer = network.layer(li);
+            if (layer.kind() == LayerKind::Lstm) {
+                const auto &lstm =
+                    static_cast<const LstmLayer &>(layer);
+                const int64_t per_cell =
+                    NumLstmGates * lstm.cellDim() *
+                        params.activationBytes +
+                    (lstm.inputDim() + lstm.cellDim()) *
+                        params.indexBytes;
+                extra = std::max(extra, per_cell);
+            } else if (layer.kind() == LayerKind::BiLstm) {
+                const auto &lstm =
+                    static_cast<const BiLstmLayer &>(layer);
+                // Per direction: 4 gate pre-activation vectors plus
+                // x- and h-index vectors.
+                // The two directions run one after the other over
+                // the sequence, so only one direction's gate
+                // pre-activations and indices are live at a time.
+                const int64_t per_dir =
+                    NumLstmGates * lstm.cellDim() *
+                        params.activationBytes +
+                    (lstm.inputDim() + lstm.cellDim()) *
+                        params.indexBytes;
+                extra = std::max(extra, per_dir);
+            } else {
+                const int64_t out_elems =
+                    layer.outputShape(in_shapes[li]).numel();
+                extra = std::max<int64_t>(
+                    extra, out_elems * params.activationBytes +
+                               in_shapes[li].numel() * params.indexBytes);
+            }
+        }
+        fp.ioBufferReuseBytes = fp.ioBufferBaselineBytes + extra;
+    } else {
+        // MLP: double-buffered widest layer; reuse additionally keeps
+        // the outputs of every enabled layer alive across executions
+        // plus their input indices (Fig. 7).
+        const int64_t max_elems = maxActivationElems(network);
+        fp.ioBufferBaselineBytes =
+            2 * max_elems * params.activationBytes;
+        int64_t extra = 0;
+        for (size_t li = 0; li < network.layerCount(); ++li) {
+            if (!plan.layer(li).enabled())
+                continue;
+            const Layer &layer = network.layer(li);
+            extra += layer.outputShape(in_shapes[li]).numel() *
+                     params.activationBytes;
+            extra += in_shapes[li].numel() * params.indexBytes;
+        }
+        fp.ioBufferReuseBytes = fp.ioBufferBaselineBytes + extra;
+    }
+
+    // --- Centroid table: one entry per cluster per enabled layer. ---
+    int64_t centroid_bytes = 0;
+    for (size_t li = 0; li < plan.size(); ++li) {
+        const LayerQuantization &lq = plan.layer(li);
+        if (lq.input.has_value())
+            centroid_bytes += lq.input->indexCount() * 4;
+        if (lq.recurrent.has_value())
+            centroid_bytes += lq.recurrent->indexCount() * 4;
+    }
+    fp.centroidTableBytes = centroid_bytes;
+    return fp;
+}
+
+} // namespace reuse

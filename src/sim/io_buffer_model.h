@@ -1,0 +1,51 @@
+/**
+ * @file
+ * I/O Buffer and main-memory capacity model (Table III of the paper).
+ *
+ * The baseline I/O Buffer double-buffers the activations flowing
+ * between two layers (MLP/RNN) or one input block plus one output
+ * block per feature map (blocked CNN path).  The reuse scheme adds
+ * storage for the quantization indices and for the buffered outputs
+ * of every reuse-enabled layer.
+ */
+
+#ifndef REUSE_DNN_SIM_IO_BUFFER_MODEL_H
+#define REUSE_DNN_SIM_IO_BUFFER_MODEL_H
+
+#include <cstdint>
+
+#include "nn/network.h"
+#include "quant/quantization_plan.h"
+#include "sim/params.h"
+
+namespace reuse {
+
+/** Storage requirements of one network configuration. */
+struct StorageFootprint {
+    /** I/O Buffer bytes required by the baseline configuration. */
+    int64_t ioBufferBaselineBytes = 0;
+    /** I/O Buffer bytes required with the reuse scheme. */
+    int64_t ioBufferReuseBytes = 0;
+    /** Main-memory bytes in the baseline (weights + CNN activations). */
+    int64_t mainMemoryBaselineBytes = 0;
+    /** Main-memory bytes with the reuse scheme (adds CNN indices). */
+    int64_t mainMemoryReuseBytes = 0;
+    /** Centroid-table bytes needed by the reuse scheme. */
+    int64_t centroidTableBytes = 0;
+};
+
+/** True when the network's activations stream through main memory
+ *  (the blocked CNN path of Sec. IV-C). */
+bool usesDramActivations(const Network &network);
+
+/**
+ * Computes the storage footprint of `network` under `plan` and
+ * `params`, reproducing the methodology behind Table III.
+ */
+StorageFootprint computeStorageFootprint(const Network &network,
+                                         const QuantizationPlan &plan,
+                                         const AcceleratorParams &params);
+
+} // namespace reuse
+
+#endif // REUSE_DNN_SIM_IO_BUFFER_MODEL_H

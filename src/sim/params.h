@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Accelerator configuration (Table II of the paper) and simulation
+ * modes.
+ */
+
+#ifndef REUSE_DNN_SIM_PARAMS_H
+#define REUSE_DNN_SIM_PARAMS_H
+
+#include <cstdint>
+
+namespace reuse {
+
+/** Whether the accelerator runs with or without the reuse scheme. */
+enum class AccelMode {
+    Baseline,   ///< From-scratch execution of every layer.
+    Reuse,      ///< Computation-reuse scheme enabled.
+};
+
+/**
+ * Parameters of the modelled accelerator.  Defaults reproduce
+ * Table II: 4 tiles, 32 FP multipliers + 32 FP adders per tile at
+ * 500 MHz, 36 MB of eDRAM for weights, a 1152/1280 KB SRAM I/O
+ * buffer, and a 16 GB/s LPDDR4 main memory.
+ */
+struct AcceleratorParams {
+    /** Core clock in Hz. */
+    double frequencyHz = 500e6;
+    /** Number of accelerator tiles connected in a ring. */
+    int tiles = 4;
+    /** 32-bit FP multipliers per tile. */
+    int multipliersPerTile = 32;
+    /** 32-bit FP adders per tile. */
+    int addersPerTile = 32;
+    /** eDRAM Weights Buffer capacity in bytes (36 MB total). */
+    int64_t weightsBufferBytes = 36ll * 1024 * 1024;
+    /** SRAM I/O Buffer capacity, baseline configuration (bytes). */
+    int64_t ioBufferBaselineBytes = 1152ll * 1024;
+    /** SRAM I/O Buffer capacity with the reuse scheme (bytes). */
+    int64_t ioBufferReuseBytes = 1280ll * 1024;
+    /** Centroid-table storage (1.25 KB in the paper). */
+    int64_t centroidTableBytes = 1280;
+    /** Main-memory bandwidth in bytes/second (LPDDR4 dual channel). */
+    double dramBandwidthBytesPerSec = 16e9;
+    /** Main-memory capacity in bytes (4 GB LPDDR4). */
+    int64_t dramBytes = 4ll * 1024 * 1024 * 1024;
+    /** Conv blocking: spatial block edge (16x16x1 blocks, Sec. V). */
+    int64_t blockEdge = 16;
+    /** Bytes per weight element (4 = fp32; 1 = 8-bit fixed point). */
+    int weightBytes = 4;
+    /** Bytes per activation element. */
+    int activationBytes = 4;
+    /** Bytes used to store one quantization index in buffers/DRAM. */
+    int indexBytes = 1;
+
+    /** Total FP multipliers across tiles (the SIMD lane count). */
+    int lanes() const { return tiles * multipliersPerTile; }
+
+    /** Main-memory bytes transferable per core cycle. */
+    double dramBytesPerCycle() const
+    {
+        return dramBandwidthBytesPerSec / frequencyHz;
+    }
+
+    /** Seconds per core cycle. */
+    double secondsPerCycle() const { return 1.0 / frequencyHz; }
+};
+
+} // namespace reuse
+
+#endif // REUSE_DNN_SIM_PARAMS_H

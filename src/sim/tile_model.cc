@@ -1,0 +1,62 @@
+#include "tile_model.h"
+
+#include "common/logging.h"
+#include "common/math_utils.h"
+
+namespace reuse {
+
+TileWorkDistribution
+distributeUnits(int64_t units, int tiles)
+{
+    REUSE_ASSERT(tiles > 0, "need at least one tile");
+    TileWorkDistribution d;
+    d.units = units;
+    if (units <= 0) {
+        d.unitsPerTile = 0;
+        d.activeTiles = 0;
+        d.imbalance = 1.0;
+        return d;
+    }
+    d.unitsPerTile = ceilDiv(units, tiles);
+    d.activeTiles = static_cast<int>(
+        std::min<int64_t>(tiles, ceilDiv(units, d.unitsPerTile)));
+    d.imbalance = static_cast<double>(d.unitsPerTile) *
+                  static_cast<double>(tiles) /
+                  static_cast<double>(units);
+    return d;
+}
+
+int64_t
+layerParallelUnits(LayerKind kind, int64_t output_neurons,
+                   int64_t output_channels)
+{
+    switch (kind) {
+      case LayerKind::FullyConnected:
+        return output_neurons;
+      case LayerKind::Conv2D:
+      case LayerKind::Conv3D:
+        return output_channels;
+      case LayerKind::BiLstm:
+      case LayerKind::Lstm:
+        // Four gates per cell are spread across tiles (Sec. IV-E).
+        return NumLstmGates;
+      default:
+        return output_neurons;
+    }
+}
+
+int64_t
+ringGatherBytes(int64_t output_bytes, int tiles)
+{
+    if (tiles <= 1)
+        return 0;
+    // (tiles - 1) of tiles shares travel, each an average of
+    // tiles / 2 hops on the bidirectional ring.
+    const double share =
+        static_cast<double>(output_bytes) / static_cast<double>(tiles);
+    const double travelling = share * static_cast<double>(tiles - 1);
+    const double hops = static_cast<double>(tiles) / 2.0;
+    return static_cast<int64_t>(travelling * hops);
+}
+
+} // namespace reuse

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Multi-tile work distribution (Sec. IV-E of the paper).
+ *
+ * The accelerator integrates several tiles connected in a ring.  Work
+ * is distributed per layer type: FC layers split output neurons
+ * across tiles, convolutional layers split filters, and recurrent
+ * layers assign LSTM gates to tiles.  Because these unit counts are
+ * not always multiples of the tile count, some tiles idle part of the
+ * time; this module quantifies that load imbalance and the ring
+ * traffic needed to gather results.
+ */
+
+#ifndef REUSE_DNN_SIM_TILE_MODEL_H
+#define REUSE_DNN_SIM_TILE_MODEL_H
+
+#include <cstdint>
+
+#include "nn/layer.h"
+#include "nn/lstm.h"
+#include "sim/params.h"
+
+namespace reuse {
+
+/** How one layer's work maps onto the tiles. */
+struct TileWorkDistribution {
+    /** Independent work units being distributed (neurons, filters,
+     *  gates). */
+    int64_t units = 0;
+    /** Units assigned to the most loaded tile. */
+    int64_t unitsPerTile = 0;
+    /** Tiles that receive at least one unit. */
+    int activeTiles = 0;
+    /**
+     * Slowdown of the real distribution versus a perfectly balanced
+     * one: (unitsPerTile * tiles) / units, >= 1.
+     */
+    double imbalance = 1.0;
+};
+
+/**
+ * Distributes `units` work items over `tiles` tiles (round-robin, as
+ * the Data Master does).
+ */
+TileWorkDistribution distributeUnits(int64_t units, int tiles);
+
+/**
+ * Work units a layer kind distributes across tiles (Sec. IV-E):
+ * output neurons for FC, output filters for conv, gates for LSTM.
+ *
+ * @param kind Layer type.
+ * @param output_neurons Total output neurons of the layer.
+ * @param output_channels Output feature maps (conv layers).
+ */
+int64_t layerParallelUnits(LayerKind kind, int64_t output_neurons,
+                           int64_t output_channels);
+
+/**
+ * Ring bytes needed to gather one execution's outputs to the tile
+ * that owns the I/O Buffer bank: every non-local tile forwards its
+ * share, each hop carrying it one step around the ring (average
+ * hop count tiles/2 on a bidirectional ring).
+ */
+int64_t ringGatherBytes(int64_t output_bytes, int tiles);
+
+} // namespace reuse
+
+#endif // REUSE_DNN_SIM_TILE_MODEL_H

@@ -1,0 +1,65 @@
+#include "weights_residency.h"
+
+namespace reuse {
+
+ResidencyPlan
+planResidency(const Network &network, const AcceleratorParams &params)
+{
+    ResidencyPlan plan;
+    plan.resident.resize(network.layerCount(), false);
+
+    // Parameter bytes per layer under the configured precision.
+    std::vector<int64_t> layer_bytes(network.layerCount(), 0);
+    for (size_t li = 0; li < network.layerCount(); ++li) {
+        layer_bytes[li] =
+            network.layer(li).paramCount() * params.weightBytes;
+        plan.totalWeightBytes += layer_bytes[li];
+    }
+
+    if (network.isRecurrent()) {
+        // One layer at a time is resident (Sec. V: for EESEN the
+        // buffer "stores the weights of one layer at a time").  Each
+        // layer's weights are fetched from DRAM once per sequence.
+        int64_t max_layer = 0;
+        for (size_t li = 0; li < network.layerCount(); ++li) {
+            plan.resident[li] =
+                layer_bytes[li] <= params.weightsBufferBytes;
+            if (plan.resident[li] && layer_bytes[li] > max_layer)
+                max_layer = layer_bytes[li];
+        }
+        if (plan.totalWeightBytes <= params.weightsBufferBytes) {
+            plan.fullyResident = true;
+            plan.initialLoadBytes = plan.totalWeightBytes;
+            plan.perExecutionStreamBytes = 0;
+        } else {
+            plan.fullyResident = false;
+            // Charged per layer per sequence by the simulator; the
+            // initial load covers the first layer only.
+            plan.initialLoadBytes = 0;
+            plan.perExecutionStreamBytes = 0;
+        }
+        return plan;
+    }
+
+    // Feed-forward: make layers resident greedily in execution order.
+    int64_t used = 0;
+    for (size_t li = 0; li < network.layerCount(); ++li) {
+        if (layer_bytes[li] == 0) {
+            plan.resident[li] = true;
+            continue;
+        }
+        if (used + layer_bytes[li] <= params.weightsBufferBytes) {
+            plan.resident[li] = true;
+            used += layer_bytes[li];
+            plan.initialLoadBytes += layer_bytes[li];
+        } else {
+            plan.resident[li] = false;
+            plan.perExecutionStreamBytes += layer_bytes[li];
+        }
+    }
+    plan.fullyResident =
+        plan.perExecutionStreamBytes == 0;
+    return plan;
+}
+
+} // namespace reuse

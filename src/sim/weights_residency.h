@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Weights Buffer residency planning (Sec. IV-A of the paper).
+ *
+ * If every layer's weights fit in the on-chip eDRAM they are loaded
+ * from main memory once per input stream and reused across all
+ * executions.  Otherwise the accelerator keeps as many layers as fit
+ * resident, and the remaining layers' weights are streamed from main
+ * memory on demand.  Recurrent networks process one layer across the
+ * whole sequence before the next, so they only ever need one layer's
+ * weights on chip at a time.
+ */
+
+#ifndef REUSE_DNN_SIM_WEIGHTS_RESIDENCY_H
+#define REUSE_DNN_SIM_WEIGHTS_RESIDENCY_H
+
+#include <vector>
+
+#include "nn/network.h"
+#include "sim/params.h"
+
+namespace reuse {
+
+/** Residency decision for the whole network. */
+struct ResidencyPlan {
+    /** Per-layer: true when the layer's weights stay in eDRAM. */
+    std::vector<bool> resident;
+    /** Bytes loaded from DRAM once at the start of every stream. */
+    int64_t initialLoadBytes = 0;
+    /**
+     * Weight bytes streamed from DRAM for every execution (sum of
+     * non-resident layers' weights); for recurrent networks this is
+     * instead charged once per layer per sequence.
+     */
+    int64_t perExecutionStreamBytes = 0;
+    /** Total weight bytes of the network. */
+    int64_t totalWeightBytes = 0;
+    /** True when the whole model fits on chip. */
+    bool fullyResident = false;
+};
+
+/**
+ * Plans weight residency for `network` under `params`.
+ *
+ * Layers are made resident greedily in execution order (the Data
+ * Master prefetches front-to-back); `weightBytes` per element comes
+ * from the params so the 8-bit fixed-point configuration shrinks the
+ * footprint accordingly.
+ */
+ResidencyPlan planResidency(const Network &network,
+                            const AcceleratorParams &params);
+
+} // namespace reuse
+
+#endif // REUSE_DNN_SIM_WEIGHTS_RESIDENCY_H

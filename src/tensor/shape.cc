@@ -1,0 +1,80 @@
+#include "shape.h"
+
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace reuse {
+
+Shape::Shape(std::initializer_list<int64_t> dims) : dims_(dims)
+{
+    for (int64_t d : dims_)
+        REUSE_ASSERT(d >= 0, "negative dimension " << d);
+}
+
+Shape::Shape(std::vector<int64_t> dims) : dims_(std::move(dims))
+{
+    for (int64_t d : dims_)
+        REUSE_ASSERT(d >= 0, "negative dimension " << d);
+}
+
+int64_t
+Shape::dim(size_t i) const
+{
+    REUSE_ASSERT(i < dims_.size(),
+                 "dim index " << i << " out of range for rank "
+                              << dims_.size());
+    return dims_[i];
+}
+
+int64_t
+Shape::numel() const
+{
+    int64_t n = 1;
+    for (int64_t d : dims_)
+        n *= d;
+    return n;
+}
+
+std::vector<int64_t>
+Shape::strides() const
+{
+    std::vector<int64_t> s(dims_.size(), 1);
+    for (size_t i = dims_.size(); i-- > 1;)
+        s[i - 1] = s[i] * dims_[i];
+    return s;
+}
+
+int64_t
+Shape::offset(const std::vector<int64_t> &index) const
+{
+    REUSE_ASSERT(index.size() == dims_.size(),
+                 "index rank " << index.size() << " vs shape rank "
+                               << dims_.size());
+    int64_t off = 0;
+    int64_t stride = 1;
+    for (size_t i = dims_.size(); i-- > 0;) {
+        REUSE_ASSERT(index[i] >= 0 && index[i] < dims_[i],
+                     "index " << index[i] << " out of range for dim "
+                              << i << " of size " << dims_[i]);
+        off += index[i] * stride;
+        stride *= dims_[i];
+    }
+    return off;
+}
+
+std::string
+Shape::str() const
+{
+    if (dims_.empty())
+        return "scalar";
+    std::ostringstream oss;
+    for (size_t i = 0; i < dims_.size(); ++i) {
+        if (i)
+            oss << "x";
+        oss << dims_[i];
+    }
+    return oss.str();
+}
+
+} // namespace reuse

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * N-dimensional shape descriptor for dense tensors.
+ */
+
+#ifndef REUSE_DNN_TENSOR_SHAPE_H
+#define REUSE_DNN_TENSOR_SHAPE_H
+
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace reuse {
+
+/**
+ * Shape of a dense row-major tensor.
+ *
+ * Dimensions are stored outermost-first.  A rank-0 shape denotes a
+ * scalar with one element.
+ */
+class Shape
+{
+  public:
+    Shape() = default;
+
+    /** Constructs a shape from a dimension list, e.g. {3, 66, 200}. */
+    Shape(std::initializer_list<int64_t> dims);
+
+    /** Constructs a shape from a vector of dimensions. */
+    explicit Shape(std::vector<int64_t> dims);
+
+    /** Number of dimensions. */
+    size_t rank() const { return dims_.size(); }
+
+    /** Size of dimension `i` (0 <= i < rank). */
+    int64_t dim(size_t i) const;
+
+    /** All dimensions, outermost first. */
+    const std::vector<int64_t> &dims() const { return dims_; }
+
+    /** Total number of elements (1 for scalars). */
+    int64_t numel() const;
+
+    /** Row-major strides, in elements. */
+    std::vector<int64_t> strides() const;
+
+    /** Flattens a multi-index into a row-major linear offset. */
+    int64_t offset(const std::vector<int64_t> &index) const;
+
+    /** Human-readable form, e.g. "3x66x200". */
+    std::string str() const;
+
+    bool operator==(const Shape &other) const
+    {
+        return dims_ == other.dims_;
+    }
+    bool operator!=(const Shape &other) const { return !(*this == other); }
+
+  private:
+    std::vector<int64_t> dims_;
+};
+
+} // namespace reuse
+
+#endif // REUSE_DNN_TENSOR_SHAPE_H

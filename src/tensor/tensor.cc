@@ -1,0 +1,112 @@
+#include "tensor.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace reuse {
+
+Tensor::Tensor() : shape_(), data_(1, 0.0f) {}
+
+Tensor::Tensor(Shape shape)
+    : shape_(std::move(shape)),
+      data_(static_cast<size_t>(shape_.numel()), 0.0f)
+{
+}
+
+Tensor::Tensor(Shape shape, float fill)
+    : shape_(std::move(shape)),
+      data_(static_cast<size_t>(shape_.numel()), fill)
+{
+}
+
+Tensor::Tensor(Shape shape, std::vector<float> data)
+    : shape_(std::move(shape)), data_(std::move(data))
+{
+    REUSE_ASSERT(static_cast<int64_t>(data_.size()) == shape_.numel(),
+                 "data size " << data_.size() << " != shape numel "
+                              << shape_.numel());
+}
+
+float &
+Tensor::at(int64_t i)
+{
+    REUSE_ASSERT(i >= 0 && i < numel(), "flat index " << i
+                     << " out of range for " << numel() << " elements");
+    return data_[static_cast<size_t>(i)];
+}
+
+float
+Tensor::at(int64_t i) const
+{
+    REUSE_ASSERT(i >= 0 && i < numel(), "flat index " << i
+                     << " out of range for " << numel() << " elements");
+    return data_[static_cast<size_t>(i)];
+}
+
+float
+Tensor::at(const std::vector<int64_t> &index) const
+{
+    return data_[static_cast<size_t>(shape_.offset(index))];
+}
+
+float &
+Tensor::at(const std::vector<int64_t> &index)
+{
+    return data_[static_cast<size_t>(shape_.offset(index))];
+}
+
+void
+Tensor::fill(float v)
+{
+    std::fill(data_.begin(), data_.end(), v);
+}
+
+Tensor
+Tensor::reshaped(Shape shape) const
+{
+    REUSE_ASSERT(shape.numel() == numel(),
+                 "reshape " << shape_.str() << " -> " << shape.str()
+                            << " changes element count");
+    return Tensor(std::move(shape), data_);
+}
+
+int64_t
+Tensor::argmax() const
+{
+    return static_cast<int64_t>(
+        std::max_element(data_.begin(), data_.end()) - data_.begin());
+}
+
+double
+Tensor::sum() const
+{
+    double s = 0.0;
+    for (float v : data_)
+        s += v;
+    return s;
+}
+
+double
+Tensor::norm() const
+{
+    double s = 0.0;
+    for (float v : data_)
+        s += static_cast<double>(v) * v;
+    return std::sqrt(s);
+}
+
+float
+Tensor::minValue() const
+{
+    return *std::min_element(data_.begin(), data_.end());
+}
+
+float
+Tensor::maxValue() const
+{
+    return *std::max_element(data_.begin(), data_.end());
+}
+
+} // namespace reuse

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Dense row-major float tensor, the common data type of the NN
+ * substrate, quantizer and reuse engine.
+ */
+
+#ifndef REUSE_DNN_TENSOR_TENSOR_H
+#define REUSE_DNN_TENSOR_TENSOR_H
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/shape.h"
+
+namespace reuse {
+
+/**
+ * Dense float tensor with value semantics.
+ *
+ * Storage is a contiguous row-major buffer.  The class deliberately
+ * stays small: layers index the flat buffer directly for speed, and
+ * the accelerator simulator only cares about element counts and raw
+ * data, never about fancy views.
+ */
+class Tensor
+{
+  public:
+    /** Creates an empty (rank-0, one-element) tensor. */
+    Tensor();
+
+    /** Creates a zero-filled tensor of the given shape. */
+    explicit Tensor(Shape shape);
+
+    /** Creates a tensor of the given shape filled with `fill`. */
+    Tensor(Shape shape, float fill);
+
+    /** Creates a tensor adopting `data`; size must match the shape. */
+    Tensor(Shape shape, std::vector<float> data);
+
+    /** Shape of the tensor. */
+    const Shape &shape() const { return shape_; }
+
+    /** Total number of elements. */
+    int64_t numel() const { return static_cast<int64_t>(data_.size()); }
+
+    /** Mutable flat element access. */
+    float &operator[](int64_t i) { return data_[static_cast<size_t>(i)]; }
+
+    /** Read-only flat element access. */
+    float operator[](int64_t i) const
+    {
+        return data_[static_cast<size_t>(i)];
+    }
+
+    /** Bounds-checked flat access (mutable). */
+    float &at(int64_t i);
+
+    /** Bounds-checked flat access (read-only). */
+    float at(int64_t i) const;
+
+    /** Multi-index access (read-only). */
+    float at(const std::vector<int64_t> &index) const;
+
+    /** Multi-index access (mutable). */
+    float &at(const std::vector<int64_t> &index);
+
+    /** Raw storage (read-only). */
+    const std::vector<float> &data() const { return data_; }
+
+    /** Raw storage (mutable). */
+    std::vector<float> &data() { return data_; }
+
+    /** Sets every element to `v`. */
+    void fill(float v);
+
+    /** Sets every element to zero. */
+    void zero() { fill(0.0f); }
+
+    /** Returns a copy reshaped to `shape` (numel must match). */
+    Tensor reshaped(Shape shape) const;
+
+    /** Index of the largest element (ties break to lowest index). */
+    int64_t argmax() const;
+
+    /** Sum of all elements (double accumulation). */
+    double sum() const;
+
+    /** L2 norm of the flattened tensor. */
+    double norm() const;
+
+    /** Smallest element. */
+    float minValue() const;
+
+    /** Largest element. */
+    float maxValue() const;
+
+  private:
+    Shape shape_;
+    std::vector<float> data_;
+};
+
+} // namespace reuse
+
+#endif // REUSE_DNN_TENSOR_TENSOR_H

@@ -1,0 +1,109 @@
+#include "tensor_ops.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace reuse {
+
+namespace {
+
+void
+checkSameShape(const Tensor &a, const Tensor &b, const char *op)
+{
+    REUSE_ASSERT(a.shape() == b.shape(),
+                 op << ": shape mismatch " << a.shape().str() << " vs "
+                    << b.shape().str());
+}
+
+} // namespace
+
+Tensor
+add(const Tensor &a, const Tensor &b)
+{
+    checkSameShape(a, b, "add");
+    Tensor out(a.shape());
+    for (int64_t i = 0; i < a.numel(); ++i)
+        out[i] = a[i] + b[i];
+    return out;
+}
+
+Tensor
+sub(const Tensor &a, const Tensor &b)
+{
+    checkSameShape(a, b, "sub");
+    Tensor out(a.shape());
+    for (int64_t i = 0; i < a.numel(); ++i)
+        out[i] = a[i] - b[i];
+    return out;
+}
+
+Tensor
+scale(const Tensor &a, float s)
+{
+    Tensor out(a.shape());
+    for (int64_t i = 0; i < a.numel(); ++i)
+        out[i] = a[i] * s;
+    return out;
+}
+
+double
+euclideanDistance(const Tensor &a, const Tensor &b)
+{
+    checkSameShape(a, b, "euclideanDistance");
+    double s = 0.0;
+    for (int64_t i = 0; i < a.numel(); ++i) {
+        const double d = static_cast<double>(a[i]) - b[i];
+        s += d * d;
+    }
+    return std::sqrt(s);
+}
+
+double
+relativeDifference(const Tensor &current, const Tensor &previous)
+{
+    const double prev_norm = previous.norm();
+    if (prev_norm == 0.0)
+        return 0.0;
+    return euclideanDistance(current, previous) / prev_norm;
+}
+
+double
+maxAbsDifference(const Tensor &a, const Tensor &b)
+{
+    checkSameShape(a, b, "maxAbsDifference");
+    double m = 0.0;
+    for (int64_t i = 0; i < a.numel(); ++i)
+        m = std::fmax(m, std::fabs(static_cast<double>(a[i]) - b[i]));
+    return m;
+}
+
+double
+exactMatchFraction(const Tensor &a, const Tensor &b)
+{
+    checkSameShape(a, b, "exactMatchFraction");
+    if (a.numel() == 0)
+        return 1.0;
+    int64_t same = 0;
+    for (int64_t i = 0; i < a.numel(); ++i)
+        same += (a[i] == b[i]) ? 1 : 0;
+    return static_cast<double>(same) / static_cast<double>(a.numel());
+}
+
+void
+axpy(float alpha, const Tensor &x, Tensor &y)
+{
+    checkSameShape(x, y, "axpy");
+    for (int64_t i = 0; i < x.numel(); ++i)
+        y[i] += alpha * x[i];
+}
+
+double
+mean(const Tensor &a)
+{
+    if (a.numel() == 0)
+        return 0.0;
+    return a.sum() / static_cast<double>(a.numel());
+}
+
+} // namespace reuse

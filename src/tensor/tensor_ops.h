@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Elementwise and reduction operations on tensors, including the
+ * relative-difference metric used by Figure 4 of the paper.
+ */
+
+#ifndef REUSE_DNN_TENSOR_TENSOR_OPS_H
+#define REUSE_DNN_TENSOR_TENSOR_OPS_H
+
+#include "tensor/tensor.h"
+
+namespace reuse {
+
+/** Elementwise a + b; shapes must match. */
+Tensor add(const Tensor &a, const Tensor &b);
+
+/** Elementwise a - b; shapes must match. */
+Tensor sub(const Tensor &a, const Tensor &b);
+
+/** Elementwise a * s. */
+Tensor scale(const Tensor &a, float s);
+
+/** Euclidean distance between the flattened tensors. */
+double euclideanDistance(const Tensor &a, const Tensor &b);
+
+/**
+ * Relative difference between consecutive input vectors, as defined in
+ * the paper's Figure 4: ||current - previous||_2 / ||previous||_2.
+ * Returns 0 when the previous vector has zero magnitude.
+ */
+double relativeDifference(const Tensor &current, const Tensor &previous);
+
+/** Largest absolute elementwise difference. */
+double maxAbsDifference(const Tensor &a, const Tensor &b);
+
+/**
+ * Fraction of elements that are bitwise-equal between the tensors;
+ * this is the paper's strict "input similarity" before quantization.
+ */
+double exactMatchFraction(const Tensor &a, const Tensor &b);
+
+/** In-place y += alpha * x (axpy); shapes must match. */
+void axpy(float alpha, const Tensor &x, Tensor &y);
+
+/** Mean of all elements. */
+double mean(const Tensor &a);
+
+} // namespace reuse
+
+#endif // REUSE_DNN_TENSOR_TENSOR_OPS_H

@@ -1,0 +1,318 @@
+#include "model_zoo.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+#include "nn/activations.h"
+#include "nn/conv2d.h"
+#include "nn/conv3d.h"
+#include "nn/fully_connected.h"
+#include "nn/initializers.h"
+#include "nn/lstm.h"
+#include "nn/pnorm.h"
+#include "nn/pooling.h"
+
+namespace reuse {
+
+namespace {
+
+/**
+ * RMS of ReLU(z - c) for z ~ N(0, 1): sqrt((1 + c^2) Phi(-c) -
+ * c phi(c)).  Used to propagate activation scale through shifted
+ * ReLU layers analytically.
+ */
+double
+postReluRms(double c)
+{
+    const double phi =
+        std::exp(-0.5 * c * c) / std::sqrt(2.0 * M_PI);
+    const double cdf = 0.5 * std::erfc(c / std::sqrt(2.0));
+    const double second_moment = (1.0 + c * c) * cdf - c * phi;
+    return std::sqrt(std::max(second_moment, 1e-12));
+}
+
+/**
+ * Re-initializes every ReLU-followed conv/FC layer with a bias of
+ * -shift_sigmas standard deviations of its pre-activation, so that
+ * activations show the confident sparsity of trained ReLU networks
+ * (most units off with a stable margin).  Without this, random
+ * symmetric weights leave half the units exactly at the ReLU
+ * boundary and deep-layer input similarity collapses -- trained
+ * feature detectors are invariant to small input changes, random
+ * projections are not (DESIGN.md substitutions).
+ *
+ * The pre-activation scale of each layer is propagated analytically:
+ * sigma_pre = w_sd * sqrt(fan_in) * rms_in, and the post-ReLU RMS
+ * follows from postReluRms().  The last `skip_tail` parameterized
+ * layers (network heads without ReLU) keep a zero shift.
+ */
+void
+applyCnnSparsity(Network &net, Rng &rng, float shift_sigmas,
+                 size_t skip_tail, double input_rms = 0.5)
+{
+    std::vector<size_t> params;
+    for (size_t li = 0; li < net.layerCount(); ++li) {
+        const LayerKind kind = net.layer(li).kind();
+        if (kind == LayerKind::FullyConnected ||
+            kind == LayerKind::Conv2D || kind == LayerKind::Conv3D)
+            params.push_back(li);
+    }
+    const size_t shifted =
+        params.size() > skip_tail ? params.size() - skip_tail : 0;
+
+    double rms = input_rms;
+    for (size_t k = 0; k < shifted; ++k) {
+        Layer &layer = net.layer(params[k]);
+        double fan_in = 0.0;
+        double fan_out = 0.0;
+        std::vector<float> *biases = nullptr;
+        switch (layer.kind()) {
+          case LayerKind::FullyConnected: {
+            auto &fc = static_cast<FullyConnectedLayer &>(layer);
+            initGlorot(fc, rng);
+            fan_in = static_cast<double>(fc.inputs());
+            fan_out = static_cast<double>(fc.outputs());
+            biases = &fc.biases();
+            break;
+          }
+          case LayerKind::Conv2D: {
+            auto &conv = static_cast<Conv2DLayer &>(layer);
+            initGlorot(conv, rng);
+            const double rf = static_cast<double>(conv.kernel() *
+                                                  conv.kernel());
+            fan_in = static_cast<double>(conv.inChannels()) * rf;
+            fan_out = static_cast<double>(conv.outChannels()) * rf;
+            biases = &conv.biases();
+            break;
+          }
+          case LayerKind::Conv3D: {
+            auto &conv = static_cast<Conv3DLayer &>(layer);
+            initGlorot(conv, rng);
+            const double rf = static_cast<double>(
+                conv.kernel() * conv.kernel() * conv.kernel());
+            fan_in = static_cast<double>(conv.inChannels()) * rf;
+            fan_out = static_cast<double>(conv.outChannels()) * rf;
+            biases = &conv.biases();
+            break;
+          }
+          default:
+            continue;
+        }
+        const double w_sd = std::sqrt(2.0 / (fan_in + fan_out));
+        const double sigma = w_sd * std::sqrt(fan_in) * rms;
+        std::fill(biases->begin(), biases->end(),
+                  static_cast<float>(-shift_sigmas * sigma));
+        rms = sigma * postReluRms(shift_sigmas);
+    }
+}
+
+} // namespace
+
+ModelBundle
+buildKaldi(Rng &rng)
+{
+    ModelBundle bundle;
+    auto net = std::make_unique<Network>("Kaldi", Shape({360}));
+
+    // 9-frame window x 40 features = 360 inputs.  The hidden blocks
+    // follow the generalized-maxout pattern: a 2000-wide FC followed
+    // by group-5 p-norm pooling back to 400.
+    net->addLayer(
+        std::make_unique<FullyConnectedLayer>("FC1", 360, 360));
+    net->addLayer(
+        std::make_unique<ActivationLayer>("ACT1", ActivationKind::ReLU));
+    net->addLayer(
+        std::make_unique<FullyConnectedLayer>("FC2", 360, 2000));
+    net->addLayer(std::make_unique<PNormLayer>("PNORM2", 5));
+    size_t fc3 = net->layerCount();
+    net->addLayer(
+        std::make_unique<FullyConnectedLayer>("FC3", 400, 2000));
+    net->addLayer(std::make_unique<PNormLayer>("PNORM3", 5));
+    size_t fc4 = net->layerCount();
+    net->addLayer(
+        std::make_unique<FullyConnectedLayer>("FC4", 400, 2000));
+    net->addLayer(std::make_unique<PNormLayer>("PNORM4", 5));
+    size_t fc5 = net->layerCount();
+    net->addLayer(
+        std::make_unique<FullyConnectedLayer>("FC5", 400, 2000));
+    net->addLayer(std::make_unique<PNormLayer>("PNORM5", 5));
+    size_t fc6 = net->layerCount();
+    net->addLayer(
+        std::make_unique<FullyConnectedLayer>("FC6", 400, 3482));
+    net->addLayer(std::make_unique<ActivationLayer>(
+        "SOFTMAX", ActivationKind::Softmax));
+
+    initNetwork(*net, rng);
+    bundle.network = std::move(net);
+    bundle.quantizedLayers = {fc3, fc4, fc5, fc6};
+    bundle.clusters = 16;
+    return bundle;
+}
+
+ModelBundle
+buildEesen(Rng &rng)
+{
+    ModelBundle bundle;
+    auto net = std::make_unique<Network>("EESEN", Shape({120}));
+
+    size_t l1 = net->layerCount();
+    net->addLayer(std::make_unique<BiLstmLayer>("BiLSTM1", 120, 320));
+    size_t l2 = net->layerCount();
+    net->addLayer(std::make_unique<BiLstmLayer>("BiLSTM2", 640, 320));
+    size_t l3 = net->layerCount();
+    net->addLayer(std::make_unique<BiLstmLayer>("BiLSTM3", 640, 320));
+    size_t l4 = net->layerCount();
+    net->addLayer(std::make_unique<BiLstmLayer>("BiLSTM4", 640, 320));
+    size_t l5 = net->layerCount();
+    net->addLayer(std::make_unique<BiLstmLayer>("BiLSTM5", 640, 320));
+    net->addLayer(std::make_unique<FullyConnectedLayer>("FC1", 640, 50));
+    net->addLayer(std::make_unique<ActivationLayer>(
+        "SOFTMAX", ActivationKind::Softmax));
+
+    initNetwork(*net, rng);
+    bundle.network = std::move(net);
+    bundle.quantizedLayers = {l1, l2, l3, l4, l5};
+    bundle.clusters = 16;
+    return bundle;
+}
+
+ModelBundle
+buildC3D(Rng &rng, int spatial_divisor)
+{
+    REUSE_ASSERT(spatial_divisor >= 1 && 112 % spatial_divisor == 0,
+                 "C3D spatial divisor must divide 112");
+    const int64_t s = 112 / spatial_divisor;
+
+    ModelBundle bundle;
+    auto net = std::make_unique<Network>("C3D", Shape({3, 16, s, s}));
+
+    auto conv = [&](const char *name, int64_t ci, int64_t co) {
+        return std::make_unique<Conv3DLayer>(name, ci, co, 3, 1);
+    };
+    auto relu = [&](const char *name) {
+        return std::make_unique<ActivationLayer>(name,
+                                                 ActivationKind::ReLU);
+    };
+
+    std::vector<size_t> quantized;
+    net->addLayer(conv("CONV1", 3, 64));
+    net->addLayer(relu("RELU1"));
+    // pool1: spatial only, preserving the 16-frame depth.
+    net->addLayer(
+        std::make_unique<MaxPool3DLayer>("POOL1", 1, 2, true));
+    quantized.push_back(net->layerCount());
+    net->addLayer(conv("CONV2", 64, 128));
+    net->addLayer(relu("RELU2"));
+    net->addLayer(
+        std::make_unique<MaxPool3DLayer>("POOL2", 2, 2, true));
+    quantized.push_back(net->layerCount());
+    net->addLayer(conv("CONV3", 128, 256));
+    net->addLayer(relu("RELU3"));
+    quantized.push_back(net->layerCount());
+    net->addLayer(conv("CONV4", 256, 256));
+    net->addLayer(relu("RELU4"));
+    net->addLayer(
+        std::make_unique<MaxPool3DLayer>("POOL4", 2, 2, true));
+    quantized.push_back(net->layerCount());
+    net->addLayer(conv("CONV5", 256, 512));
+    net->addLayer(relu("RELU5"));
+    quantized.push_back(net->layerCount());
+    net->addLayer(conv("CONV6", 512, 512));
+    net->addLayer(relu("RELU6"));
+    net->addLayer(
+        std::make_unique<MaxPool3DLayer>("POOL6", 2, 2, true));
+    quantized.push_back(net->layerCount());
+    net->addLayer(conv("CONV7", 512, 512));
+    net->addLayer(relu("RELU7"));
+    quantized.push_back(net->layerCount());
+    net->addLayer(conv("CONV8", 512, 512));
+    net->addLayer(relu("RELU8"));
+    net->addLayer(
+        std::make_unique<MaxPool3DLayer>("POOL8", 2, 2, true));
+    net->addLayer(std::make_unique<FlattenLayer>("FLAT"));
+
+    const int64_t fc_in = net->outputShape().numel();
+    quantized.push_back(net->layerCount());
+    net->addLayer(
+        std::make_unique<FullyConnectedLayer>("FC1", fc_in, 4096));
+    net->addLayer(relu("RELU_FC1"));
+    quantized.push_back(net->layerCount());
+    net->addLayer(
+        std::make_unique<FullyConnectedLayer>("FC2", 4096, 4096));
+    net->addLayer(relu("RELU_FC2"));
+    quantized.push_back(net->layerCount());
+    net->addLayer(
+        std::make_unique<FullyConnectedLayer>("FC3", 4096, 101));
+    net->addLayer(std::make_unique<ActivationLayer>(
+        "SOFTMAX", ActivationKind::Softmax));
+
+    initNetwork(*net, rng);
+    applyCnnSparsity(*net, rng, 0.5f, 1);
+    bundle.network = std::move(net);
+    bundle.quantizedLayers = std::move(quantized);
+    bundle.clusters = 32;
+    return bundle;
+}
+
+ModelBundle
+buildAutopilot(Rng &rng)
+{
+    ModelBundle bundle;
+    auto net =
+        std::make_unique<Network>("AutoPilot", Shape({3, 66, 200}));
+
+    auto relu = [&](const char *name) {
+        return std::make_unique<ActivationLayer>(name,
+                                                 ActivationKind::ReLU);
+    };
+
+    std::vector<size_t> quantized;
+    quantized.push_back(net->layerCount());
+    net->addLayer(std::make_unique<Conv2DLayer>("CONV1", 3, 24, 5, 2));
+    net->addLayer(relu("RELU1"));
+    quantized.push_back(net->layerCount());
+    net->addLayer(std::make_unique<Conv2DLayer>("CONV2", 24, 36, 5, 2));
+    net->addLayer(relu("RELU2"));
+    quantized.push_back(net->layerCount());
+    net->addLayer(std::make_unique<Conv2DLayer>("CONV3", 36, 48, 5, 2));
+    net->addLayer(relu("RELU3"));
+    quantized.push_back(net->layerCount());
+    net->addLayer(std::make_unique<Conv2DLayer>("CONV4", 48, 64, 3, 1));
+    net->addLayer(relu("RELU4"));
+    quantized.push_back(net->layerCount());
+    net->addLayer(std::make_unique<Conv2DLayer>("CONV5", 64, 64, 3, 1));
+    net->addLayer(relu("RELU5"));
+    net->addLayer(std::make_unique<FlattenLayer>("FLAT"));
+    quantized.push_back(net->layerCount());
+    net->addLayer(
+        std::make_unique<FullyConnectedLayer>("FC1", 1152, 1164));
+    net->addLayer(relu("RELU_FC1"));
+    quantized.push_back(net->layerCount());
+    net->addLayer(
+        std::make_unique<FullyConnectedLayer>("FC2", 1164, 100));
+    net->addLayer(relu("RELU_FC2"));
+    quantized.push_back(net->layerCount());
+    net->addLayer(std::make_unique<FullyConnectedLayer>("FC3", 100, 50));
+    net->addLayer(relu("RELU_FC3"));
+    quantized.push_back(net->layerCount());
+    net->addLayer(std::make_unique<FullyConnectedLayer>("FC4", 50, 10));
+    net->addLayer(relu("RELU_FC4"));
+    net->addLayer(std::make_unique<FullyConnectedLayer>("FC5", 10, 1));
+    net->addLayer(
+        std::make_unique<ActivationLayer>("ATAN", ActivationKind::Atan));
+
+    initNetwork(*net, rng);
+    applyCnnSparsity(*net, rng, 0.5f, 1);
+    bundle.network = std::move(net);
+    bundle.quantizedLayers = std::move(quantized);
+    bundle.clusters = 32;
+    return bundle;
+}
+
+std::vector<std::string>
+modelZooNames()
+{
+    return {"Kaldi", "EESEN", "C3D", "AutoPilot"};
+}
+
+} // namespace reuse

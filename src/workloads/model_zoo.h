@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Builders for the four evaluated DNNs with the exact layer
+ * topologies of Table I: Kaldi (MLP, acoustic scoring), EESEN
+ * (bidirectional-LSTM RNN, speech recognition), C3D (3D CNN, video
+ * classification) and AutoPilot (2D CNN, self-driving).
+ *
+ * Weights are randomly initialized (see DESIGN.md substitutions); the
+ * reuse statistics depend on input similarity and layer shapes, not
+ * on trained weight values.
+ */
+
+#ifndef REUSE_DNN_WORKLOADS_MODEL_ZOO_H
+#define REUSE_DNN_WORKLOADS_MODEL_ZOO_H
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "nn/network.h"
+
+namespace reuse {
+
+/** A network plus the paper's per-network evaluation settings. */
+struct ModelBundle {
+    std::unique_ptr<Network> network;
+    /**
+     * Layer indices where the paper applies input quantization
+     * (Table I rows with a reuse percentage).
+     */
+    std::vector<size_t> quantizedLayers;
+    /** Cluster count the paper found optimal (16 or 32; Sec. III). */
+    int clusters = 16;
+};
+
+/**
+ * Kaldi acoustic-scoring MLP: six FC layers (360-360, 360-2000, then
+ * 400-2000 p-norm blocks, 400-3482 output).  Quantization applies to
+ * FC3..FC6.
+ */
+ModelBundle buildKaldi(Rng &rng);
+
+/**
+ * EESEN speech-recognition RNN: five bidirectional LSTM layers
+ * (120/640 inputs, 320 cells) and a 640-50 FC output.  Quantization
+ * applies to all BiLSTM layers (the tiny FC is skipped).
+ */
+ModelBundle buildEesen(Rng &rng);
+
+/**
+ * C3D video-classification CNN: eight 3x3x3 conv layers with pooling
+ * and a 8192-4096-4096-101 FC head.  Quantization applies to
+ * CONV2..CONV8 and all FCs (CONV1 excluded; Sec. III).
+ *
+ * @param spatial_divisor Divides the 112x112 frame resolution for
+ *   tractable functional simulation (1 = paper scale).  Reuse
+ *   statistics are resolution-invariant; paper-scale costing uses
+ *   AcceleratorSim::estimate() with the measured similarities.
+ */
+ModelBundle buildC3D(Rng &rng, int spatial_divisor = 1);
+
+/**
+ * AutoPilot self-driving CNN: five conv layers (5x5 stride-2 and 3x3
+ * stride-1) and a 1152-1164-100-50-10-1 FC head with atan steering
+ * output.  Quantization applies to CONV1..FC4 (FC5 skipped).
+ */
+ModelBundle buildAutopilot(Rng &rng);
+
+/** Names of the four models, in the paper's order. */
+std::vector<std::string> modelZooNames();
+
+} // namespace reuse
+
+#endif // REUSE_DNN_WORKLOADS_MODEL_ZOO_H

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Interface of the synthetic input-sequence generators.
+ *
+ * The paper's workloads are streams of speech frames, video windows
+ * and dash-cam images; the generators reproduce the structural
+ * sources of temporal similarity those streams exhibit (quasi-
+ * stationary segments, static backgrounds, slow scene evolution) with
+ * tunable parameters.  See DESIGN.md for the substitution rationale.
+ */
+
+#ifndef REUSE_DNN_WORKLOADS_SEQUENCE_GENERATOR_H
+#define REUSE_DNN_WORKLOADS_SEQUENCE_GENERATOR_H
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace reuse {
+
+/**
+ * Produces a stream of network inputs with realistic temporal
+ * correlation.
+ */
+class SequenceGenerator
+{
+  public:
+    virtual ~SequenceGenerator() = default;
+
+    /** Shape of one generated input. */
+    virtual Shape inputShape() const = 0;
+
+    /** Next input in the stream. */
+    virtual Tensor next() = 0;
+
+    /** Restarts the stream (a new utterance / video / drive). */
+    virtual void reset(uint64_t seed) = 0;
+
+    /** Convenience: the next `count` inputs as a vector. */
+    std::vector<Tensor> take(size_t count);
+};
+
+} // namespace reuse
+
+#endif // REUSE_DNN_WORKLOADS_SEQUENCE_GENERATOR_H

@@ -1,0 +1,119 @@
+#include "speech_generator.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace reuse {
+
+std::vector<Tensor>
+SequenceGenerator::take(size_t count)
+{
+    std::vector<Tensor> out;
+    out.reserve(count);
+    for (size_t i = 0; i < count; ++i)
+        out.push_back(next());
+    return out;
+}
+
+SpeechFrameGenerator::SpeechFrameGenerator(SpeechParams params,
+                                           uint64_t seed)
+    : params_(params), rng_(seed)
+{
+    REUSE_ASSERT(params_.featureDim > 0, "featureDim must be positive");
+    reset(seed);
+}
+
+void
+SpeechFrameGenerator::reset(uint64_t seed)
+{
+    rng_.seed(seed);
+    target_.assign(static_cast<size_t>(params_.featureDim), 0.0f);
+    wander_.assign(static_cast<size_t>(params_.featureDim), 0.0f);
+    frames_left_ = 0;
+    startSegment();
+}
+
+void
+SpeechFrameGenerator::startSegment()
+{
+    for (auto &t : target_)
+        t = rng_.gaussian(0.0f, params_.targetScale);
+    std::fill(wander_.begin(), wander_.end(), 0.0f);
+    // Geometric segment length with the configured mean, at least one
+    // frame.
+    frames_left_ = 1;
+    const double p = 1.0 / params_.segmentMeanFrames;
+    while (!rng_.bernoulli(p))
+        ++frames_left_;
+}
+
+Tensor
+SpeechFrameGenerator::next()
+{
+    if (frames_left_ <= 0)
+        startSegment();
+    --frames_left_;
+
+    Tensor frame(Shape({params_.featureDim}));
+    const float rho = params_.wanderRho;
+    const float innov =
+        params_.wanderSigma * std::sqrt(1.0f - rho * rho);
+    for (int64_t i = 0; i < params_.featureDim; ++i) {
+        auto &w = wander_[static_cast<size_t>(i)];
+        w = rho * w + rng_.gaussian(0.0f, innov);
+        frame[i] = target_[static_cast<size_t>(i)] + w +
+                   rng_.gaussian(0.0f, params_.frameNoise);
+    }
+    return frame;
+}
+
+Shape
+SpeechFrameGenerator::inputShape() const
+{
+    return Shape({params_.featureDim});
+}
+
+SpeechWindowGenerator::SpeechWindowGenerator(SpeechParams params,
+                                             int64_t window_frames,
+                                             uint64_t seed)
+    : params_(params),
+      window_frames_(window_frames),
+      frames_(params, seed)
+{
+    REUSE_ASSERT(window_frames > 0, "window must be positive");
+    reset(seed);
+}
+
+void
+SpeechWindowGenerator::reset(uint64_t seed)
+{
+    frames_.reset(seed);
+    window_.clear();
+    while (static_cast<int64_t>(window_.size()) < window_frames_)
+        window_.push_back(frames_.next());
+}
+
+Shape
+SpeechWindowGenerator::inputShape() const
+{
+    return Shape({window_frames_ * params_.featureDim});
+}
+
+Tensor
+SpeechWindowGenerator::next()
+{
+    Tensor out(inputShape());
+    int64_t off = 0;
+    for (const Tensor &frame : window_) {
+        for (int64_t i = 0; i < frame.numel(); ++i)
+            out[off + i] = frame[i];
+        off += frame.numel();
+    }
+    // Slide by one frame for the next execution.
+    window_.pop_front();
+    window_.push_back(frames_.next());
+    return out;
+}
+
+} // namespace reuse

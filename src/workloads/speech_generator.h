@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Synthetic speech-feature generators.
+ *
+ * Speech features are quasi-stationary over phoneme-scale segments:
+ * within a segment the feature vector wanders slowly around a target;
+ * at segment boundaries it jumps to a new target.  The Kaldi
+ * generator additionally assembles the sliding 9-frame context window
+ * the MLP consumes (Fig. 1 of the paper), so consecutive network
+ * inputs differ by one frame plus per-frame wander.
+ */
+
+#ifndef REUSE_DNN_WORKLOADS_SPEECH_GENERATOR_H
+#define REUSE_DNN_WORKLOADS_SPEECH_GENERATOR_H
+
+#include <deque>
+
+#include "common/random.h"
+#include "workloads/sequence_generator.h"
+
+namespace reuse {
+
+/** Tunables of the synthetic speech-feature process. */
+struct SpeechParams {
+    /** Features per frame (40 for Kaldi, 120 for EESEN). */
+    int64_t featureDim = 40;
+    /** Mean phoneme-segment length in frames (geometric). */
+    double segmentMeanFrames = 12.0;
+    /** Std-dev of the per-segment target features. */
+    float targetScale = 1.0f;
+    /** AR(1) coefficient of the within-segment wander. */
+    float wanderRho = 0.995f;
+    /** Innovation std-dev of the within-segment wander. */
+    float wanderSigma = 0.02f;
+    /** Per-frame observation noise std-dev. */
+    float frameNoise = 0.01f;
+};
+
+/**
+ * Stream of single speech frames (featureDim values each); the EESEN
+ * RNN consumes these directly.
+ */
+class SpeechFrameGenerator : public SequenceGenerator
+{
+  public:
+    SpeechFrameGenerator(SpeechParams params, uint64_t seed);
+
+    Shape inputShape() const override;
+    Tensor next() override;
+    void reset(uint64_t seed) override;
+
+  private:
+    void startSegment();
+
+    SpeechParams params_;
+    Rng rng_;
+    std::vector<float> target_;
+    std::vector<float> wander_;
+    int64_t frames_left_ = 0;
+};
+
+/**
+ * Sliding window of `windowFrames` speech frames, flattened; the
+ * Kaldi MLP consumes one window per execution, advanced by one frame.
+ */
+class SpeechWindowGenerator : public SequenceGenerator
+{
+  public:
+    SpeechWindowGenerator(SpeechParams params, int64_t window_frames,
+                          uint64_t seed);
+
+    Shape inputShape() const override;
+    Tensor next() override;
+    void reset(uint64_t seed) override;
+
+  private:
+    SpeechParams params_;
+    int64_t window_frames_;
+    SpeechFrameGenerator frames_;
+    std::deque<Tensor> window_;
+};
+
+} // namespace reuse
+
+#endif // REUSE_DNN_WORKLOADS_SPEECH_GENERATOR_H

@@ -1,0 +1,240 @@
+#include "video_generator.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/math_utils.h"
+
+namespace reuse {
+
+VideoWindowGenerator::VideoWindowGenerator(VideoParams params,
+                                           uint64_t seed)
+    : params_(params), rng_(seed)
+{
+    reset(seed);
+}
+
+void
+VideoWindowGenerator::reset(uint64_t seed)
+{
+    rng_.seed(seed);
+    newScene();
+}
+
+void
+VideoWindowGenerator::newScene()
+{
+    const int64_t h = params_.height;
+    const int64_t w = params_.width;
+    background_.assign(static_cast<size_t>(3 * h * w), 0.0f);
+
+    // Smooth background: sum of a few low-frequency sinusoids per
+    // channel, normalized into [0.2, 0.8].
+    for (int c = 0; c < 3; ++c) {
+        const float fx = rng_.uniform(0.5f, 2.5f);
+        const float fy = rng_.uniform(0.5f, 2.5f);
+        const float phase = rng_.uniform(0.0f, 6.28f);
+        const float base = rng_.uniform(0.35f, 0.65f);
+        for (int64_t y = 0; y < h; ++y) {
+            for (int64_t x = 0; x < w; ++x) {
+                const float v =
+                    base +
+                    0.15f * std::sin(fx * 6.28f * x / w + phase) *
+                        std::cos(fy * 6.28f * y / h);
+                background_[static_cast<size_t>((c * h + y) * w + x)] =
+                    clamp(v, 0.0f, 1.0f);
+            }
+        }
+    }
+
+    objects_.clear();
+    const int64_t edge = std::max<int64_t>(
+        2, static_cast<int64_t>(params_.objectScale * w));
+    for (int i = 0; i < params_.objects; ++i) {
+        MovingObject obj;
+        obj.w = edge;
+        obj.h = edge;
+        obj.x = rng_.uniform(0.0f, static_cast<float>(w - edge));
+        obj.y = rng_.uniform(0.0f, static_cast<float>(h - edge));
+        const double angle = rng_.uniform(0.0f, 6.28f);
+        obj.vx = params_.objectSpeed * std::cos(angle);
+        obj.vy = params_.objectSpeed * std::sin(angle);
+        for (int c = 0; c < 3; ++c)
+            obj.value[c] = rng_.uniform(0.0f, 1.0f);
+        objects_.push_back(obj);
+    }
+}
+
+void
+VideoWindowGenerator::stepScene()
+{
+    const int64_t h = params_.height;
+    const int64_t w = params_.width;
+    for (auto &obj : objects_) {
+        obj.x += obj.vx;
+        obj.y += obj.vy;
+        // Bounce off the frame borders.
+        if (obj.x < 0.0 || obj.x > static_cast<double>(w - obj.w)) {
+            obj.vx = -obj.vx;
+            obj.x = clamp(obj.x, 0.0, static_cast<double>(w - obj.w));
+        }
+        if (obj.y < 0.0 || obj.y > static_cast<double>(h - obj.h)) {
+            obj.vy = -obj.vy;
+            obj.y = clamp(obj.y, 0.0, static_cast<double>(h - obj.h));
+        }
+    }
+}
+
+void
+VideoWindowGenerator::renderFrame(Tensor &window, int64_t frame_idx)
+{
+    const int64_t h = params_.height;
+    const int64_t w = params_.width;
+    const int64_t d = params_.framesPerWindow;
+    for (int c = 0; c < 3; ++c) {
+        for (int64_t y = 0; y < h; ++y) {
+            for (int64_t x = 0; x < w; ++x) {
+                float v = background_[static_cast<size_t>(
+                    (c * h + y) * w + x)];
+                for (const auto &obj : objects_) {
+                    if (x >= static_cast<int64_t>(obj.x) &&
+                        x < static_cast<int64_t>(obj.x) + obj.w &&
+                        y >= static_cast<int64_t>(obj.y) &&
+                        y < static_cast<int64_t>(obj.y) + obj.h) {
+                        v = obj.value[c];
+                    }
+                }
+                if (params_.pixelNoise > 0.0f)
+                    v += rng_.gaussian(0.0f, params_.pixelNoise);
+                window.data()[static_cast<size_t>(
+                    ((c * d + frame_idx) * h + y) * w + x)] =
+                    clamp(v, 0.0f, 1.0f);
+            }
+        }
+    }
+}
+
+Shape
+VideoWindowGenerator::inputShape() const
+{
+    return Shape(
+        {3, params_.framesPerWindow, params_.height, params_.width});
+}
+
+Tensor
+VideoWindowGenerator::next()
+{
+    if (rng_.bernoulli(params_.sceneCutProb))
+        newScene();
+    Tensor window(inputShape());
+    for (int64_t f = 0; f < params_.framesPerWindow; ++f) {
+        renderFrame(window, f);
+        stepScene();
+    }
+    return window;
+}
+
+DrivingFrameGenerator::DrivingFrameGenerator(DrivingParams params,
+                                             uint64_t seed)
+    : params_(params), rng_(seed)
+{
+    reset(seed);
+}
+
+void
+DrivingFrameGenerator::reset(uint64_t seed)
+{
+    rng_.seed(seed);
+    lane_offset_ = 0.0;
+    lane_velocity_ = 0.0;
+    jitter_phase_ = rng_.uniform(0.0f, 6.28f);
+    light_ = 1.0f;
+    frame_counter_ = 0;
+}
+
+Shape
+DrivingFrameGenerator::inputShape() const
+{
+    return Shape({3, params_.height, params_.width});
+}
+
+Tensor
+DrivingFrameGenerator::next()
+{
+    const int64_t h = params_.height;
+    const int64_t w = params_.width;
+
+    // Evolve the scene: lane curvature as a random walk on the lane
+    // velocity, bounded offset; smooth camera jitter; illumination
+    // wander.
+    lane_velocity_ =
+        clamp(lane_velocity_ + rng_.gaussian(0.0f, 0.02f), -0.5, 0.5);
+    lane_offset_ = clamp(lane_offset_ +
+                             params_.laneDrift * lane_velocity_,
+                         -8.0, 8.0);
+    jitter_phase_ += 0.7;
+    const double jitter = params_.jitterAmp * std::sin(jitter_phase_);
+    light_ = params_.lightRho * light_ +
+             (1.0f - params_.lightRho) * 1.0f +
+             rng_.gaussian(0.0f, params_.lightSigma);
+    ++frame_counter_;
+
+    Tensor frame(inputShape());
+    const double horizon = 0.35 * static_cast<double>(h);
+    for (int64_t y = 0; y < h; ++y) {
+        const bool sky = static_cast<double>(y) < horizon;
+        // Road widens towards the bottom of the image.
+        const double depth =
+            sky ? 0.0
+                : (static_cast<double>(y) - horizon) /
+                      (static_cast<double>(h) - horizon);
+        const double center =
+            0.5 * static_cast<double>(w) + lane_offset_ * depth + jitter;
+        const double half_road = (0.15 + 0.35 * depth) *
+                                 static_cast<double>(w);
+        for (int64_t x = 0; x < w; ++x) {
+            float r, g, b;
+            if (sky) {
+                const float t = static_cast<float>(y) /
+                                static_cast<float>(h);
+                r = 0.45f + 0.2f * t;
+                g = 0.60f + 0.15f * t;
+                b = 0.85f;
+            } else {
+                const double dx =
+                    std::fabs(static_cast<double>(x) - center);
+                if (dx < half_road) {
+                    // Road surface with dashed center line.  The dash
+                    // phase is static: a trained network is invariant
+                    // to texture phase, but the random-weight
+                    // substitute is not, so animating it would
+                    // artificially destroy deep-layer similarity
+                    // (DESIGN.md substitution notes).
+                    const bool marker =
+                        dx < 0.015 * static_cast<double>(w) &&
+                        (y / 6) % 2 == 0;
+                    const float shade =
+                        0.30f + 0.10f * static_cast<float>(depth);
+                    r = g = b = marker ? 0.9f : shade;
+                } else {
+                    // Grass shoulder.
+                    r = 0.25f;
+                    g = 0.55f - 0.1f * static_cast<float>(depth);
+                    b = 0.2f;
+                }
+            }
+            const float noise =
+                params_.pixelNoise > 0.0f
+                    ? rng_.gaussian(0.0f, params_.pixelNoise)
+                    : 0.0f;
+            const float vals[3] = {r, g, b};
+            for (int c = 0; c < 3; ++c) {
+                frame.data()[static_cast<size_t>((c * h + y) * w + x)] =
+                    clamp(vals[c] * light_ + noise, 0.0f, 1.0f);
+            }
+        }
+    }
+    return frame;
+}
+
+} // namespace reuse

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Synthetic video generators for the two CNN workloads.
+ *
+ * VideoWindowGenerator feeds C3D: non-overlapping windows of 16
+ * consecutive frames of a scene with a static background and a few
+ * moving objects, plus sensor noise — consecutive windows share the
+ * static pixels, which is exactly the similarity the paper exploits.
+ *
+ * DrivingFrameGenerator feeds AutoPilot: a single front-camera frame
+ * per execution of a slowly evolving road scene (drifting lane
+ * markers, small camera jitter, gradual illumination change).
+ */
+
+#ifndef REUSE_DNN_WORKLOADS_VIDEO_GENERATOR_H
+#define REUSE_DNN_WORKLOADS_VIDEO_GENERATOR_H
+
+#include "common/random.h"
+#include "workloads/sequence_generator.h"
+
+namespace reuse {
+
+/** Tunables of the synthetic video scene. */
+struct VideoParams {
+    int64_t height = 112;
+    int64_t width = 112;
+    int64_t framesPerWindow = 16;
+    /** Number of moving rectangular objects. */
+    int objects = 3;
+    /** Object edge length as a fraction of the frame edge. */
+    double objectScale = 0.2;
+    /** Object speed in pixels per frame. */
+    double objectSpeed = 1.5;
+    /** Per-pixel per-frame sensor noise std-dev. */
+    float pixelNoise = 0.004f;
+    /** Probability of a scene cut at a window boundary. */
+    double sceneCutProb = 0.02;
+};
+
+/**
+ * C3D input stream: tensors of shape [3, frames, H, W]; consecutive
+ * windows cover disjoint frame ranges of the same evolving scene.
+ */
+class VideoWindowGenerator : public SequenceGenerator
+{
+  public:
+    VideoWindowGenerator(VideoParams params, uint64_t seed);
+
+    Shape inputShape() const override;
+    Tensor next() override;
+    void reset(uint64_t seed) override;
+
+  private:
+    struct MovingObject {
+        double x, y, vx, vy;
+        int64_t w, h;
+        float value[3];
+    };
+
+    void newScene();
+    void renderFrame(Tensor &window, int64_t frame_idx);
+    void stepScene();
+
+    VideoParams params_;
+    Rng rng_;
+    std::vector<float> background_;   // [3, H, W]
+    std::vector<MovingObject> objects_;
+};
+
+/** Tunables of the synthetic driving scene. */
+struct DrivingParams {
+    int64_t height = 66;
+    int64_t width = 200;
+    /** Lane-marker drift in pixels per frame (road curvature). */
+    double laneDrift = 0.15;
+    /** Camera jitter amplitude in pixels. */
+    double jitterAmp = 0.08;
+    /** Illumination drift per frame (multiplicative AR(1) wander). */
+    float lightRho = 0.995f;
+    float lightSigma = 0.002f;
+    /** Per-pixel sensor noise std-dev. */
+    float pixelNoise = 0.004f;
+};
+
+/**
+ * AutoPilot input stream: tensors of shape [3, H, W], one camera
+ * frame per execution.
+ */
+class DrivingFrameGenerator : public SequenceGenerator
+{
+  public:
+    DrivingFrameGenerator(DrivingParams params, uint64_t seed);
+
+    Shape inputShape() const override;
+    Tensor next() override;
+    void reset(uint64_t seed) override;
+
+    /** Current lane-center offset (ground truth for steering). */
+    double laneOffset() const { return lane_offset_; }
+
+  private:
+    DrivingParams params_;
+    Rng rng_;
+    double lane_offset_ = 0.0;
+    double lane_velocity_ = 0.0;
+    double jitter_phase_ = 0.0;
+    float light_ = 1.0f;
+    int64_t frame_counter_ = 0;
+};
+
+} // namespace reuse
+
+#endif // REUSE_DNN_WORKLOADS_VIDEO_GENERATOR_H

@@ -1,0 +1,117 @@
+/** @file Unit tests for the CPU/GPU roofline models. */
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "nn/conv2d.h"
+#include "nn/fully_connected.h"
+#include "nn/initializers.h"
+#include "baseline/platform_model.h"
+
+namespace reuse {
+namespace {
+
+TEST(PlatformSpec, PublishedPeaks)
+{
+    const auto cpu = PlatformSpec::cpuI7_7700K();
+    const auto gpu = PlatformSpec::gpuGTX1080();
+    // i7-7700K AVX2 peak ~537 GFLOP/s; GTX 1080 ~9.3 TFLOP/s.
+    EXPECT_NEAR(cpu.peakFlops, 537.6e9, 1e9);
+    EXPECT_NEAR(gpu.peakFlops, 9.32e12, 0.1e12);
+    EXPECT_GT(gpu.memBandwidth, cpu.memBandwidth);
+    EXPECT_GT(gpu.sustainedPowerW, cpu.sustainedPowerW);
+}
+
+struct Fixture {
+    Rng rng{91};
+    Network fc_net{"fc", Shape({1024})};
+    Network conv_net{"conv", Shape({16, 64, 64})};
+
+    Fixture()
+    {
+        fc_net.addLayer(
+            std::make_unique<FullyConnectedLayer>("FC", 1024, 1024));
+        conv_net.addLayer(
+            std::make_unique<Conv2DLayer>("C", 16, 32, 3, 1));
+        initNetwork(fc_net, rng);
+        initNetwork(conv_net, rng);
+    }
+};
+
+TEST(PlatformModel, TimeScalesWithExecutions)
+{
+    Fixture f;
+    const auto cpu = PlatformSpec::cpuI7_7700K();
+    const auto r1 = runOnPlatform(f.fc_net, cpu, 1);
+    const auto r10 = runOnPlatform(f.fc_net, cpu, 10);
+    EXPECT_NEAR(r10.seconds, 10.0 * r1.seconds, 1e-12);
+    EXPECT_NEAR(r10.joules, 10.0 * r1.joules, 1e-12);
+}
+
+TEST(PlatformModel, EnergyIsPowerTimesTime)
+{
+    Fixture f;
+    const auto gpu = PlatformSpec::gpuGTX1080();
+    const auto r = runOnPlatform(f.fc_net, gpu, 5);
+    EXPECT_NEAR(r.joules, r.seconds * gpu.sustainedPowerW, 1e-12);
+}
+
+TEST(PlatformModel, Batch1FcIsMemoryBoundOnGpu)
+{
+    Fixture f;
+    const auto gpu = PlatformSpec::gpuGTX1080();
+    const auto r = runOnPlatform(f.fc_net, gpu, 1);
+    // Weight streaming floor: params * 4 bytes / bandwidth.
+    const double mem_floor =
+        static_cast<double>(f.fc_net.paramCount()) * 4.0 /
+        gpu.memBandwidth;
+    EXPECT_GE(r.seconds, mem_floor);
+}
+
+TEST(PlatformModel, GpuFasterThanCpuOnDenseConv)
+{
+    Fixture f;
+    const auto cpu = runOnPlatform(
+        f.conv_net, PlatformSpec::cpuI7_7700K(), 1);
+    const auto gpu = runOnPlatform(
+        f.conv_net, PlatformSpec::gpuGTX1080(), 1);
+    EXPECT_LT(gpu.seconds, cpu.seconds);
+}
+
+TEST(PlatformModel, CpuUsesLessPowerButMoreTime)
+{
+    Fixture f;
+    const auto cpu = runOnPlatform(
+        f.conv_net, PlatformSpec::cpuI7_7700K(), 1);
+    const auto gpu = runOnPlatform(
+        f.conv_net, PlatformSpec::gpuGTX1080(), 1);
+    EXPECT_GT(cpu.seconds, gpu.seconds);
+    EXPECT_LT(cpu.joules / cpu.seconds, gpu.joules / gpu.seconds);
+}
+
+TEST(PlatformModel, SequenceLengthScalesRecurrentWork)
+{
+    Rng rng(92);
+    Network rnn("rnn", Shape({64}));
+    rnn.addLayer(std::make_unique<FullyConnectedLayer>("FC", 64, 64));
+    initNetwork(rnn, rng);
+    // Feed-forward nets ignore sequence length.
+    const auto cpu = PlatformSpec::cpuI7_7700K();
+    const auto a = runOnPlatform(rnn, cpu, 1, 1);
+    const auto b = runOnPlatform(rnn, cpu, 1, 100);
+    EXPECT_DOUBLE_EQ(a.seconds, b.seconds);
+}
+
+TEST(PlatformModel, OverheadChargedPerExecution)
+{
+    Rng rng(93);
+    Network tiny("tiny", Shape({2}));
+    tiny.addLayer(std::make_unique<FullyConnectedLayer>("FC", 2, 2));
+    initNetwork(tiny, rng);
+    const auto gpu = PlatformSpec::gpuGTX1080();
+    const auto r = runOnPlatform(tiny, gpu, 1);
+    EXPECT_GE(r.seconds, gpu.perExecutionOverheadSec);
+}
+
+} // namespace
+} // namespace reuse

@@ -1,0 +1,63 @@
+/** @file Unit tests for small numeric helpers. */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/math_utils.h"
+
+namespace reuse {
+namespace {
+
+TEST(CeilDiv, ExactAndInexact)
+{
+    EXPECT_EQ(ceilDiv(10, 5), 2);
+    EXPECT_EQ(ceilDiv(11, 5), 3);
+    EXPECT_EQ(ceilDiv(0, 5), 0);
+    EXPECT_EQ(ceilDiv(1, 128), 1);
+}
+
+TEST(RoundUp, ToMultiples)
+{
+    EXPECT_EQ(roundUp(10, 8), 16);
+    EXPECT_EQ(roundUp(16, 8), 16);
+    EXPECT_EQ(roundUp(0, 8), 0);
+}
+
+TEST(Clamp, AllBranches)
+{
+    EXPECT_EQ(clamp(5, 0, 10), 5);
+    EXPECT_EQ(clamp(-1, 0, 10), 0);
+    EXPECT_EQ(clamp(42, 0, 10), 10);
+    EXPECT_FLOAT_EQ(clamp(0.5f, 0.0f, 1.0f), 0.5f);
+}
+
+TEST(AlmostEqual, RelativeAndAbsolute)
+{
+    EXPECT_TRUE(almostEqual(1.0, 1.0));
+    EXPECT_TRUE(almostEqual(1.0, 1.0 + 1e-9));
+    EXPECT_FALSE(almostEqual(1.0, 1.1));
+    EXPECT_TRUE(almostEqual(0.0, 1e-12));
+    EXPECT_TRUE(almostEqual(1e6, 1e6 * (1.0 + 1e-8)));
+}
+
+TEST(Sigmoid, KnownValues)
+{
+    EXPECT_FLOAT_EQ(sigmoid(0.0f), 0.5f);
+    EXPECT_NEAR(sigmoid(100.0f), 1.0f, 1e-6);
+    EXPECT_NEAR(sigmoid(-100.0f), 0.0f, 1e-6);
+    // Symmetry: sigma(-x) = 1 - sigma(x).
+    for (float x : {0.5f, 1.0f, 2.0f, 5.0f})
+        EXPECT_NEAR(sigmoid(-x), 1.0f - sigmoid(x), 1e-6f);
+}
+
+TEST(Sigmoid, MatchesNaiveFormulaInStableRange)
+{
+    for (float x = -5.0f; x <= 5.0f; x += 0.25f) {
+        const float naive = 1.0f / (1.0f + std::exp(-x));
+        EXPECT_NEAR(sigmoid(x), naive, 1e-6f);
+    }
+}
+
+} // namespace
+} // namespace reuse

@@ -1,0 +1,121 @@
+/** @file Unit tests for the seedable random source. */
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace reuse {
+namespace {
+
+TEST(Rng, SameSeedSameStream)
+{
+    Rng a(123), b(123);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.uniform(), b.uniform());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    int differing = 0;
+    for (int i = 0; i < 32; ++i)
+        differing += (a.uniform() != b.uniform()) ? 1 : 0;
+    EXPECT_GT(differing, 0);
+}
+
+TEST(Rng, ReseedRestartsStream)
+{
+    Rng a(7);
+    const float first = a.uniform();
+    a.uniform();
+    a.seed(7);
+    EXPECT_EQ(a.uniform(), first);
+}
+
+TEST(Rng, UniformRespectsBounds)
+{
+    Rng r(99);
+    for (int i = 0; i < 1000; ++i) {
+        const float v = r.uniform(-2.0f, 3.0f);
+        EXPECT_GE(v, -2.0f);
+        EXPECT_LT(v, 3.0f);
+    }
+}
+
+TEST(Rng, UniformIntRespectsBounds)
+{
+    Rng r(5);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 2000; ++i) {
+        const int64_t v = r.uniformInt(2, 5);
+        EXPECT_GE(v, 2);
+        EXPECT_LE(v, 5);
+        saw_lo |= (v == 2);
+        saw_hi |= (v == 5);
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, GaussianMomentsRoughlyCorrect)
+{
+    Rng r(31);
+    double sum = 0.0, sq = 0.0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) {
+        const double v = r.gaussian(2.0f, 0.5f);
+        sum += v;
+        sq += v * v;
+    }
+    const double mean = sum / n;
+    const double var = sq / n - mean * mean;
+    EXPECT_NEAR(mean, 2.0, 0.02);
+    EXPECT_NEAR(var, 0.25, 0.02);
+}
+
+TEST(Rng, BernoulliProbability)
+{
+    Rng r(8);
+    int hits = 0;
+    const int n = 10000;
+    for (int i = 0; i < n; ++i)
+        hits += r.bernoulli(0.3) ? 1 : 0;
+    EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.03);
+}
+
+TEST(Rng, FillGaussianFillsAll)
+{
+    Rng r(77);
+    std::vector<float> v(64, 0.0f);
+    r.fillGaussian(v, 10.0f, 0.1f);
+    for (float x : v)
+        EXPECT_NEAR(x, 10.0f, 1.0f);
+}
+
+TEST(Rng, FillUniformFillsWithinBounds)
+{
+    Rng r(78);
+    std::vector<float> v(64, -1.0f);
+    r.fillUniform(v, 0.0f, 1.0f);
+    for (float x : v) {
+        EXPECT_GE(x, 0.0f);
+        EXPECT_LT(x, 1.0f);
+    }
+}
+
+TEST(Rng, ForkProducesIndependentStream)
+{
+    Rng a(55);
+    Rng child = a.fork();
+    // The fork must not replay the parent's stream.
+    Rng parent_copy(55);
+    parent_copy.fork();
+    EXPECT_EQ(a.uniform(), parent_copy.uniform());
+    // Child stream deterministic given the parent seed.
+    Rng a2(55);
+    Rng child2 = a2.fork();
+    EXPECT_EQ(child.uniform(), child2.uniform());
+}
+
+} // namespace
+} // namespace reuse

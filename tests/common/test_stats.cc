@@ -1,0 +1,118 @@
+/** @file Unit tests for the stat counters and running statistics. */
+
+#include <gtest/gtest.h>
+
+#include "common/stats.h"
+
+namespace reuse {
+namespace {
+
+TEST(Counter, StartsAtZero)
+{
+    Counter c;
+    EXPECT_EQ(c.value(), 0.0);
+    EXPECT_EQ(c.samples(), 0u);
+    EXPECT_EQ(c.mean(), 0.0);
+}
+
+TEST(Counter, AccumulatesAndCounts)
+{
+    Counter c;
+    c.add(2.5);
+    c.add(1.5);
+    c.inc();
+    EXPECT_DOUBLE_EQ(c.value(), 5.0);
+    EXPECT_EQ(c.samples(), 3u);
+    EXPECT_NEAR(c.mean(), 5.0 / 3.0, 1e-12);
+}
+
+TEST(Counter, ResetClears)
+{
+    Counter c;
+    c.add(7.0);
+    c.reset();
+    EXPECT_EQ(c.value(), 0.0);
+    EXPECT_EQ(c.samples(), 0u);
+}
+
+TEST(StatRegistry, GetCreatesOnFirstUse)
+{
+    StatRegistry reg;
+    EXPECT_FALSE(reg.has("a.b"));
+    reg.get("a.b").inc();
+    EXPECT_TRUE(reg.has("a.b"));
+    EXPECT_EQ(reg.get("a.b").value(), 1.0);
+}
+
+TEST(StatRegistry, SumWithPrefix)
+{
+    StatRegistry reg;
+    reg.get("sim.tile0.macs").add(10);
+    reg.get("sim.tile1.macs").add(20);
+    reg.get("energy.total").add(99);
+    EXPECT_DOUBLE_EQ(reg.sumWithPrefix("sim."), 30.0);
+    EXPECT_DOUBLE_EQ(reg.sumWithPrefix("energy."), 99.0);
+    EXPECT_DOUBLE_EQ(reg.sumWithPrefix("none."), 0.0);
+}
+
+TEST(StatRegistry, ResetAllClearsEverything)
+{
+    StatRegistry reg;
+    reg.get("x").add(5);
+    reg.get("y").add(6);
+    reg.resetAll();
+    EXPECT_EQ(reg.get("x").value(), 0.0);
+    EXPECT_EQ(reg.get("y").value(), 0.0);
+}
+
+TEST(StatRegistry, DumpContainsNamesAndValues)
+{
+    StatRegistry reg;
+    reg.get("alpha").add(3);
+    const std::string d = reg.dump();
+    EXPECT_NE(d.find("alpha"), std::string::npos);
+    EXPECT_NE(d.find("3"), std::string::npos);
+}
+
+TEST(RunningStats, EmptyIsSafe)
+{
+    RunningStats s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_EQ(s.mean(), 0.0);
+    EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStats, MeanMinMaxSum)
+{
+    RunningStats s;
+    for (double v : {1.0, 2.0, 3.0, 4.0})
+        s.add(v);
+    EXPECT_DOUBLE_EQ(s.mean(), 2.5);
+    EXPECT_DOUBLE_EQ(s.min(), 1.0);
+    EXPECT_DOUBLE_EQ(s.max(), 4.0);
+    EXPECT_DOUBLE_EQ(s.sum(), 10.0);
+    EXPECT_EQ(s.count(), 4u);
+}
+
+TEST(RunningStats, VarianceMatchesClosedForm)
+{
+    RunningStats s;
+    for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        s.add(v);
+    // Known population variance of this classic sample is 4.
+    EXPECT_NEAR(s.variance(), 4.0, 1e-9);
+    EXPECT_NEAR(s.stddev(), 2.0, 1e-9);
+}
+
+TEST(RunningStats, SingleSampleHasZeroVariance)
+{
+    RunningStats s;
+    s.add(42.0);
+    EXPECT_EQ(s.variance(), 0.0);
+    EXPECT_DOUBLE_EQ(s.mean(), 42.0);
+    EXPECT_DOUBLE_EQ(s.min(), 42.0);
+    EXPECT_DOUBLE_EQ(s.max(), 42.0);
+}
+
+} // namespace
+} // namespace reuse

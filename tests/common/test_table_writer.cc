@@ -1,0 +1,74 @@
+/** @file Unit tests for table/CSV formatting helpers. */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/table_writer.h"
+
+namespace reuse {
+namespace {
+
+TEST(TableWriter, PrintsHeadersAndRows)
+{
+    TableWriter t({"Layer", "Reuse"});
+    t.addRow({"FC3", "75%"});
+    t.addRow({"FC4", "66%"});
+    std::ostringstream oss;
+    t.print(oss);
+    const std::string s = oss.str();
+    EXPECT_NE(s.find("Layer"), std::string::npos);
+    EXPECT_NE(s.find("FC3"), std::string::npos);
+    EXPECT_NE(s.find("66%"), std::string::npos);
+    EXPECT_EQ(t.rowCount(), 2u);
+}
+
+TEST(TableWriter, CsvIsCommaSeparated)
+{
+    TableWriter t({"a", "b"});
+    t.addRow({"1", "2"});
+    std::ostringstream oss;
+    t.printCsv(oss);
+    EXPECT_EQ(oss.str(), "a,b\n1,2\n");
+}
+
+TEST(TableWriter, AlignsColumns)
+{
+    TableWriter t({"x", "y"});
+    t.addRow({"longvalue", "1"});
+    std::ostringstream oss;
+    t.print(oss);
+    // Every printed line has the same length when columns align.
+    std::istringstream lines(oss.str());
+    std::string line;
+    size_t len = 0;
+    while (std::getline(lines, line)) {
+        if (len == 0)
+            len = line.size();
+        EXPECT_EQ(line.size(), len);
+    }
+}
+
+TEST(FormatDouble, RespectsDecimals)
+{
+    EXPECT_EQ(formatDouble(3.14159, 2), "3.14");
+    EXPECT_EQ(formatDouble(2.0, 0), "2");
+    EXPECT_EQ(formatDouble(-1.5, 1), "-1.5");
+}
+
+TEST(FormatPercent, ConvertsRatio)
+{
+    EXPECT_EQ(formatPercent(0.631, 1), "63.1%");
+    EXPECT_EQ(formatPercent(1.0, 0), "100%");
+}
+
+TEST(FormatBytes, PicksUnits)
+{
+    EXPECT_EQ(formatBytes(512), "512.0 B");
+    EXPECT_EQ(formatBytes(2048), "2.00 KB");
+    EXPECT_EQ(formatBytes(3.5 * 1024 * 1024), "3.50 MB");
+    EXPECT_EQ(formatBytes(2.0 * 1024 * 1024 * 1024), "2.00 GB");
+}
+
+} // namespace
+} // namespace reuse

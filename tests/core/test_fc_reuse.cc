@@ -1,0 +1,193 @@
+/** @file Unit tests for incremental FC execution (Sec. IV-B). */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/random.h"
+#include "core/fc_reuse.h"
+#include "nn/initializers.h"
+
+namespace reuse {
+namespace {
+
+struct Fixture {
+    Rng rng{31};
+    FullyConnectedLayer fc{"fc", 16, 12};
+    LinearQuantizer quant{16, -3.0f, 3.0f};
+
+    Fixture() { initGlorot(fc, rng); }
+
+    Tensor randomInput()
+    {
+        Tensor t(Shape({16}));
+        rng.fillGaussian(t.data(), 0.0f, 1.0f);
+        return t;
+    }
+};
+
+TEST(FcReuse, FirstExecutionIsFromScratchOnCentroids)
+{
+    Fixture f;
+    FcReuseState state(f.fc, f.quant);
+    EXPECT_FALSE(state.hasPrev());
+    LayerExecRecord rec;
+    const Tensor in = f.randomInput();
+    const Tensor out = state.execute(in, rec);
+    EXPECT_TRUE(rec.firstExecution);
+    EXPECT_TRUE(rec.reuseEnabled);
+    EXPECT_EQ(rec.macsPerformed, rec.macsFull);
+    EXPECT_EQ(rec.inputsChecked, 0);
+    EXPECT_TRUE(state.hasPrev());
+
+    const Tensor want = f.fc.forward(f.quant.quantize(in));
+    for (int64_t o = 0; o < out.numel(); ++o)
+        EXPECT_NEAR(out[o], want[o], 1e-5f);
+}
+
+TEST(FcReuse, IdenticalInputSkipsEverything)
+{
+    Fixture f;
+    FcReuseState state(f.fc, f.quant);
+    LayerExecRecord rec;
+    const Tensor in = f.randomInput();
+    const Tensor first = state.execute(in, rec);
+    const Tensor second = state.execute(in, rec);
+    EXPECT_FALSE(rec.firstExecution);
+    EXPECT_EQ(rec.inputsChanged, 0);
+    EXPECT_EQ(rec.macsPerformed, 0);
+    EXPECT_DOUBLE_EQ(rec.similarity(), 1.0);
+    EXPECT_DOUBLE_EQ(rec.reuseFraction(), 1.0);
+    for (int64_t o = 0; o < first.numel(); ++o)
+        EXPECT_EQ(second[o], first[o]);
+}
+
+TEST(FcReuse, SubQuantizationNoiseIsInvisible)
+{
+    Fixture f;
+    FcReuseState state(f.fc, f.quant);
+    LayerExecRecord rec;
+    Tensor in = f.randomInput();
+    // Keep inputs near centroids so tiny noise cannot flip indices.
+    for (int64_t i = 0; i < in.numel(); ++i)
+        in[i] = f.quant.quantize(in[i]);
+    state.execute(in, rec);
+    Tensor noisy = in;
+    for (int64_t i = 0; i < noisy.numel(); ++i)
+        noisy[i] += 0.1f * f.quant.step() *
+                    (i % 2 == 0 ? 1.0f : -1.0f);
+    state.execute(noisy, rec);
+    EXPECT_EQ(rec.inputsChanged, 0);
+}
+
+TEST(FcReuse, MatchesFromScratchOverRandomStream)
+{
+    // The central invariant: reuse-based output equals a from-scratch
+    // execution on the quantized input, for every frame of a stream.
+    Fixture f;
+    FcReuseState state(f.fc, f.quant);
+    LayerExecRecord rec;
+    Tensor in = f.randomInput();
+    for (int frame = 0; frame < 50; ++frame) {
+        // Random walk keeps consecutive inputs correlated.
+        for (int64_t i = 0; i < in.numel(); ++i)
+            in[i] += f.rng.gaussian(0.0f, 0.15f);
+        const Tensor out = state.execute(in, rec);
+        const Tensor want = f.fc.forward(f.quant.quantize(in));
+        for (int64_t o = 0; o < out.numel(); ++o)
+            EXPECT_NEAR(out[o], want[o], 1e-4f)
+                << "frame " << frame << " output " << o;
+    }
+}
+
+TEST(FcReuse, CountsChangedInputsExactly)
+{
+    Fixture f;
+    FcReuseState state(f.fc, f.quant);
+    LayerExecRecord rec;
+    Tensor in(Shape({16}), 0.0f);
+    state.execute(in, rec);
+    // Move exactly three inputs by more than one step.
+    Tensor in2 = in;
+    in2[1] += 2.0f * f.quant.step();
+    in2[7] -= 2.0f * f.quant.step();
+    in2[15] += 2.0f * f.quant.step();
+    state.execute(in2, rec);
+    EXPECT_EQ(rec.inputsChanged, 3);
+    EXPECT_EQ(rec.macsPerformed, 3 * f.fc.outputs());
+    EXPECT_NEAR(rec.similarity(), 13.0 / 16.0, 1e-12);
+}
+
+TEST(FcReuse, ResetForcesFromScratch)
+{
+    Fixture f;
+    FcReuseState state(f.fc, f.quant);
+    LayerExecRecord rec;
+    state.execute(f.randomInput(), rec);
+    state.reset();
+    EXPECT_FALSE(state.hasPrev());
+    state.execute(f.randomInput(), rec);
+    EXPECT_TRUE(rec.firstExecution);
+}
+
+TEST(FcReuse, DriftStaysBoundedOverLongStream)
+{
+    // Incremental corrections accumulate FP error; over hundreds of
+    // frames the divergence from from-scratch must stay tiny.
+    Fixture f;
+    FcReuseState state(f.fc, f.quant);
+    LayerExecRecord rec;
+    Tensor in = f.randomInput();
+    double worst = 0.0;
+    for (int frame = 0; frame < 400; ++frame) {
+        for (int64_t i = 0; i < in.numel(); ++i)
+            in[i] += f.rng.gaussian(0.0f, 0.1f);
+        // Bound the walk so the quantizer range keeps making sense.
+        for (int64_t i = 0; i < in.numel(); ++i)
+            in[i] = std::clamp(in[i], -3.0f, 3.0f);
+        const Tensor out = state.execute(in, rec);
+        const Tensor want = f.fc.forward(f.quant.quantize(in));
+        for (int64_t o = 0; o < out.numel(); ++o)
+            worst = std::max(worst,
+                             std::fabs(static_cast<double>(out[o]) -
+                                       want[o]));
+    }
+    EXPECT_LT(worst, 1e-3);
+}
+
+class FcReuseShapeSweep
+    : public ::testing::TestWithParam<std::pair<int64_t, int64_t>>
+{
+};
+
+TEST_P(FcReuseShapeSweep, InvariantHoldsForShape)
+{
+    const auto [n, m] = GetParam();
+    Rng rng(100 + n + m);
+    FullyConnectedLayer fc("fc", n, m);
+    initGlorot(fc, rng);
+    LinearQuantizer quant(16, -3.0f, 3.0f);
+    FcReuseState state(fc, quant);
+    LayerExecRecord rec;
+    Tensor in(Shape({n}));
+    rng.fillGaussian(in.data(), 0.0f, 1.0f);
+    for (int frame = 0; frame < 10; ++frame) {
+        for (int64_t i = 0; i < n; ++i)
+            in[i] += rng.gaussian(0.0f, 0.2f);
+        const Tensor out = state.execute(in, rec);
+        const Tensor want = fc.forward(quant.quantize(in));
+        for (int64_t o = 0; o < m; ++o)
+            EXPECT_NEAR(out[o], want[o], 1e-4f);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, FcReuseShapeSweep,
+    ::testing::Values(std::pair<int64_t, int64_t>{1, 1},
+                      std::pair<int64_t, int64_t>{1, 64},
+                      std::pair<int64_t, int64_t>{64, 1},
+                      std::pair<int64_t, int64_t>{33, 47},
+                      std::pair<int64_t, int64_t>{128, 128}));
+
+} // namespace
+} // namespace reuse

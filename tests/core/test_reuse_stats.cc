@@ -1,0 +1,103 @@
+/** @file Unit tests for the reuse statistics collector. */
+
+#include <gtest/gtest.h>
+
+#include "core/reuse_stats.h"
+
+namespace reuse {
+namespace {
+
+LayerExecRecord
+record(size_t li, bool enabled, bool first, int64_t checked,
+       int64_t changed, int64_t full, int64_t performed)
+{
+    LayerExecRecord r;
+    r.layerIndex = li;
+    r.kind = LayerKind::FullyConnected;
+    r.reuseEnabled = enabled;
+    r.firstExecution = first;
+    r.inputsChecked = checked;
+    r.inputsChanged = changed;
+    r.macsFull = full;
+    r.macsPerformed = performed;
+    return r;
+}
+
+TEST(LayerExecRecord, DerivedMetrics)
+{
+    const auto r = record(0, true, false, 100, 25, 1000, 250);
+    EXPECT_DOUBLE_EQ(r.similarity(), 0.75);
+    EXPECT_DOUBLE_EQ(r.reuseFraction(), 0.75);
+}
+
+TEST(LayerExecRecord, EmptyRecordIsSafe)
+{
+    const LayerExecRecord r;
+    EXPECT_DOUBLE_EQ(r.similarity(), 0.0);
+    EXPECT_DOUBLE_EQ(r.reuseFraction(), 0.0);
+}
+
+TEST(ReuseStatsCollector, FirstExecutionsExcludedFromSteadyState)
+{
+    ReuseStatsCollector c({"L0"});
+    c.addTrace({record(0, true, true, 0, 0, 1000, 1000)});
+    c.addTrace({record(0, true, false, 10, 2, 1000, 200)});
+    const auto &s = c.layers()[0];
+    EXPECT_EQ(s.firstExecutions, 1);
+    EXPECT_EQ(s.executions, 1);
+    EXPECT_EQ(s.macsFull, 1000);
+    EXPECT_EQ(s.macsPerformed, 200);
+    EXPECT_EQ(s.macsFullAll, 2000);
+    EXPECT_EQ(s.macsPerformedAll, 1200);
+    EXPECT_DOUBLE_EQ(s.similarity(), 0.8);
+    EXPECT_DOUBLE_EQ(s.computationReuse(), 0.8);
+}
+
+TEST(ReuseStatsCollector, MeanSimilarityOverEnabledLayers)
+{
+    ReuseStatsCollector c({"A", "B", "C"});
+    // A: 75% similar; B disabled; C: 25% similar.
+    c.addTrace({record(0, true, false, 100, 25, 100, 25),
+                record(1, false, false, 0, 0, 100, 100),
+                record(2, true, false, 100, 75, 100, 75)});
+    EXPECT_DOUBLE_EQ(c.meanSimilarity(), 0.5);
+    EXPECT_DOUBLE_EQ(c.meanComputationReuse(), 0.5);
+}
+
+TEST(ReuseStatsCollector, NetworkReuseIsMacWeighted)
+{
+    ReuseStatsCollector c({"big", "small"});
+    // Big layer 90% reuse, small layer 0% (disabled).
+    c.addTrace({record(0, true, false, 10, 1, 900, 90),
+                record(1, false, false, 0, 0, 100, 100)});
+    EXPECT_NEAR(c.networkComputationReuse(),
+                1.0 - (90.0 + 100.0) / 1000.0, 1e-12);
+}
+
+TEST(ReuseStatsCollector, ResetKeepsNames)
+{
+    ReuseStatsCollector c({"X"});
+    c.addTrace({record(0, true, false, 10, 5, 10, 5)});
+    c.reset();
+    EXPECT_EQ(c.layers()[0].layerName, "X");
+    EXPECT_EQ(c.layers()[0].executions, 0);
+    EXPECT_EQ(c.layers()[0].macsFull, 0);
+}
+
+TEST(ReuseStatsCollector, GrowsForUnknownLayers)
+{
+    ReuseStatsCollector c;
+    c.addTrace({record(3, true, false, 1, 0, 1, 0)});
+    EXPECT_EQ(c.layers().size(), 4u);
+}
+
+TEST(ReuseStatsCollector, EmptyCollectorMeansZero)
+{
+    ReuseStatsCollector c({"A"});
+    EXPECT_EQ(c.meanSimilarity(), 0.0);
+    EXPECT_EQ(c.meanComputationReuse(), 0.0);
+    EXPECT_EQ(c.networkComputationReuse(), 0.0);
+}
+
+} // namespace
+} // namespace reuse

@@ -1,0 +1,120 @@
+/** @file Unit tests for the energy model and breakdown. */
+
+#include <gtest/gtest.h>
+
+#include "energy/energy_model.h"
+
+namespace reuse {
+namespace {
+
+SimEvents
+someEvents()
+{
+    SimEvents ev;
+    ev.cycles = 1000;
+    ev.edramWeightBytes = 1 << 20;
+    ev.dramWeightBytes = 1 << 18;
+    ev.dramActivationBytes = 1 << 16;
+    ev.ioReadBytes = 1 << 19;
+    ev.ioWriteBytes = 1 << 19;
+    ev.centroidBytes = 128;
+    ev.ringBytes = 4096;
+    ev.fpMul = 1 << 20;
+    ev.fpAdd = 1 << 20;
+    ev.quantOps = 1 << 12;
+    ev.cmpOps = 1 << 12;
+    return ev;
+}
+
+TEST(EnergyModel, BreakdownSumsToTotal)
+{
+    const EnergyTable table;
+    const auto e = computeEnergy(someEvents(), 1e-3, table);
+    double sum = 0.0;
+    for (const auto &[name, joules] : e.named())
+        sum += joules;
+    EXPECT_NEAR(sum, e.total(), 1e-15);
+    EXPECT_EQ(e.named().size(), 6u);
+}
+
+TEST(EnergyModel, AllComponentsPositiveForMixedEvents)
+{
+    const EnergyTable table;
+    const auto e = computeEnergy(someEvents(), 1e-3, table);
+    EXPECT_GT(e.weightsBuffer, 0.0);
+    EXPECT_GT(e.ioBuffer, 0.0);
+    EXPECT_GT(e.computeEngine, 0.0);
+    EXPECT_GT(e.mainMemory, 0.0);
+    EXPECT_GT(e.interconnect, 0.0);
+    EXPECT_GT(e.staticEnergy, 0.0);
+}
+
+TEST(EnergyModel, ZeroEventsOnlyStatic)
+{
+    const EnergyTable table;
+    const auto e = computeEnergy(SimEvents{}, 2e-3, table);
+    EXPECT_EQ(e.weightsBuffer, 0.0);
+    EXPECT_EQ(e.mainMemory, 0.0);
+    EXPECT_NEAR(e.staticEnergy, table.totalStaticW() * 2e-3, 1e-15);
+    EXPECT_NEAR(e.total(), e.staticEnergy, 1e-15);
+}
+
+TEST(EnergyModel, EnergyScalesLinearlyWithEvents)
+{
+    const EnergyTable table;
+    SimEvents ev = someEvents();
+    const auto e1 = computeEnergy(ev, 0.0, table);
+    SimEvents ev2 = ev;
+    ev2 += ev;
+    const auto e2 = computeEnergy(ev2, 0.0, table);
+    EXPECT_NEAR(e2.total(), 2.0 * e1.total(), 1e-12);
+}
+
+TEST(EnergyModel, DramDominatesPerByte)
+{
+    // A DRAM byte must cost more than an eDRAM byte, which must cost
+    // more than an SRAM byte: the ordering the paper's savings hinge
+    // on.
+    const EnergyTable t;
+    EXPECT_GT(t.dramPJPerByte, t.edramReadPJPerByte);
+    EXPECT_GT(t.edramReadPJPerByte, t.sramPJPerByte);
+    EXPECT_GT(t.sramPJPerByte, t.centroidPJPerByte);
+}
+
+TEST(EnergyModel, StaticEnergyGrowsWithTime)
+{
+    const EnergyTable table;
+    const auto fast = computeEnergy(SimEvents{}, 1e-3, table);
+    const auto slow = computeEnergy(SimEvents{}, 2e-3, table);
+    EXPECT_GT(slow.staticEnergy, fast.staticEnergy);
+}
+
+TEST(EnergyModel, EnergyDelayProduct)
+{
+    const EnergyTable table;
+    const auto e = computeEnergy(someEvents(), 1e-3, table);
+    EXPECT_NEAR(energyDelay(e, 1e-3), e.total() * 1e-3, 1e-18);
+}
+
+TEST(EnergyModel, FixedPointTableIsCheaper)
+{
+    const EnergyTable fp32;
+    const EnergyTable fp8 = EnergyTable::fixedPoint8();
+    EXPECT_LT(fp8.fpMulPJ, fp32.fpMulPJ);
+    EXPECT_LT(fp8.fpAddPJ, fp32.fpAddPJ);
+    EXPECT_LT(fp8.ceStaticW, fp32.ceStaticW);
+}
+
+TEST(EnergyModel, SimResultOverload)
+{
+    SimResult result;
+    result.totals = someEvents();
+    result.seconds = 1e-3;
+    const auto a = computeEnergy(result);
+    const auto b = computeEnergy(result.totals, result.seconds,
+                                 EnergyTable{});
+    EXPECT_DOUBLE_EQ(a.total(), b.total());
+}
+
+} // namespace
+} // namespace reuse

@@ -1,0 +1,150 @@
+/** @file Unit tests for the experiment harness. */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "harness/experiment.h"
+#include "harness/paper_reference.h"
+#include "harness/trace_dump.h"
+#include "harness/workload_setup.h"
+
+namespace reuse {
+namespace {
+
+WorkloadSetupConfig
+tinyConfig()
+{
+    WorkloadSetupConfig cfg;
+    cfg.calibrationFrames = 12;
+    cfg.c3dSpatialDivisor = 8;
+    return cfg;
+}
+
+TEST(PaperReference, AllFourNetworksListed)
+{
+    const auto &refs = paperReferences();
+    EXPECT_EQ(refs.size(), 4u);
+    for (const char *name : {"Kaldi", "EESEN", "C3D", "AutoPilot"})
+        EXPECT_EQ(refs.count(name), 1u) << name;
+    EXPECT_DOUBLE_EQ(refs.at("Kaldi").speedup, 1.9);
+    EXPECT_DOUBLE_EQ(refs.at("AutoPilot").speedup, 5.2);
+    EXPECT_EQ(refs.at("C3D").layerReuse.size(), 10u);
+}
+
+TEST(PaperReference, AveragesMatchPaperText)
+{
+    const PaperAverages avg;
+    EXPECT_DOUBLE_EQ(avg.inputSimilarity, 0.61);
+    EXPECT_DOUBLE_EQ(avg.computationReuse, 0.66);
+    EXPECT_DOUBLE_EQ(avg.speedup, 3.5);
+    EXPECT_DOUBLE_EQ(avg.energySavings, 0.63);
+}
+
+TEST(WorkloadSetup, KaldiAssembles)
+{
+    Workload w = setupKaldi(tinyConfig());
+    EXPECT_EQ(w.name, "Kaldi");
+    EXPECT_FALSE(w.recurrent);
+    EXPECT_EQ(w.plan.enabledCount(), 4u);
+    EXPECT_EQ(w.generator->inputShape(), Shape({360}));
+    const Tensor frame = w.generator->next();
+    EXPECT_EQ(frame.numel(), 360);
+}
+
+TEST(WorkloadSetup, EesenAssembles)
+{
+    Workload w = setupEesen(tinyConfig());
+    EXPECT_TRUE(w.recurrent);
+    EXPECT_EQ(w.plan.enabledCount(), 5u);
+    // BiLSTM layers carry recurrent quantizers.
+    for (size_t li = 0; li < w.plan.size(); ++li) {
+        if (w.plan.layer(li).enabled())
+            EXPECT_TRUE(w.plan.layer(li).recurrent.has_value());
+    }
+}
+
+TEST(WorkloadSetup, ByNameDispatch)
+{
+    for (const char *name : {"Kaldi", "EESEN", "AutoPilot"}) {
+        Workload w = setupWorkload(name, tinyConfig());
+        EXPECT_EQ(w.name, name);
+    }
+}
+
+TEST(WorkloadSetup, SeedsMakeRunsReproducible)
+{
+    WorkloadSetupConfig cfg = tinyConfig();
+    Workload a = setupKaldi(cfg);
+    Workload b = setupKaldi(cfg);
+    const Tensor fa = a.generator->next();
+    const Tensor fb = b.generator->next();
+    for (int64_t i = 0; i < fa.numel(); ++i)
+        EXPECT_EQ(fa[i], fb[i]);
+}
+
+TEST(Experiment, MeasureFillsAllOutputs)
+{
+    Workload w = setupKaldi(tinyConfig());
+    const auto inputs = w.generator->take(6);
+    const auto m = measureWorkload(*w.bundle.network, w.plan, inputs);
+    EXPECT_EQ(m.traces.size(), 6u);
+    EXPECT_EQ(m.layerSimilarity.size(),
+              w.bundle.network->layerCount());
+    EXPECT_EQ(m.layerReuse.size(), w.bundle.network->layerCount());
+    EXPECT_EQ(m.accuracy.executions, 6);
+    // Disabled layers marked -1, enabled in [0, 1].
+    for (size_t li = 0; li < m.layerSimilarity.size(); ++li) {
+        if (w.plan.layer(li).enabled()) {
+            EXPECT_GE(m.layerSimilarity[li], 0.0);
+            EXPECT_LE(m.layerSimilarity[li], 1.0);
+        } else {
+            EXPECT_EQ(m.layerSimilarity[li], -1.0);
+        }
+    }
+}
+
+TEST(Experiment, SkippingReferenceSkipsAccuracy)
+{
+    Workload w = setupKaldi(tinyConfig());
+    MeasureOptions opts;
+    opts.withReference = false;
+    const auto m = measureWorkload(*w.bundle.network, w.plan,
+                                   w.generator->take(4), opts);
+    EXPECT_EQ(m.accuracy.executions, 0);
+    EXPECT_EQ(m.traces.size(), 4u);
+}
+
+TEST(TraceDump, CsvHasHeaderAndRows)
+{
+    Workload w = setupKaldi(tinyConfig());
+    MeasureOptions opts;
+    opts.withReference = false;
+    const auto m = measureWorkload(*w.bundle.network, w.plan,
+                                   w.generator->take(3), opts);
+    std::ostringstream oss;
+    dumpTracesCsv(oss, *w.bundle.network, m.traces);
+    const std::string csv = oss.str();
+    EXPECT_NE(csv.find("execution,layer,name"), std::string::npos);
+    EXPECT_NE(csv.find("FC3"), std::string::npos);
+    // Header + 3 executions x layerCount rows.
+    const size_t rows =
+        static_cast<size_t>(std::count(csv.begin(), csv.end(), '\n'));
+    EXPECT_EQ(rows, 1 + 3 * w.bundle.network->layerCount());
+}
+
+TEST(TraceDump, StatsCsv)
+{
+    Workload w = setupKaldi(tinyConfig());
+    MeasureOptions opts;
+    opts.withReference = false;
+    const auto m = measureWorkload(*w.bundle.network, w.plan,
+                                   w.generator->take(3), opts);
+    std::ostringstream oss;
+    dumpStatsCsv(oss, m.stats);
+    EXPECT_NE(oss.str().find("computation_reuse"), std::string::npos);
+    EXPECT_NE(oss.str().find("FC6"), std::string::npos);
+}
+
+} // namespace
+} // namespace reuse

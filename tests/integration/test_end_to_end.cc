@@ -1,0 +1,142 @@
+/** @file End-to-end integration tests on the paper workloads. */
+
+#include <gtest/gtest.h>
+
+#include "harness/experiment.h"
+#include "harness/workload_setup.h"
+#include "energy/energy_model.h"
+#include "sim/accelerator.h"
+#include "sim/io_buffer_model.h"
+
+namespace reuse {
+namespace {
+
+WorkloadSetupConfig
+smallConfig()
+{
+    WorkloadSetupConfig cfg;
+    cfg.calibrationFrames = 24;
+    cfg.c3dSpatialDivisor = 8;
+    return cfg;
+}
+
+TEST(EndToEnd, KaldiReuseMatchesReferenceAndSavesWork)
+{
+    Workload w = setupKaldi(smallConfig());
+    const auto inputs = w.generator->take(30);
+    const auto m = measureWorkload(*w.bundle.network, w.plan, inputs);
+
+    // Accuracy proxy: near-total agreement with FP32 from scratch.
+    EXPECT_GT(m.accuracy.top1Agreement, 0.9);
+    EXPECT_LT(m.accuracy.meanRelativeError, 0.2);
+
+    // Quantized layers show substantial similarity and reuse.
+    EXPECT_GT(m.stats.meanSimilarity(), 0.35);
+    EXPECT_GT(m.stats.meanComputationReuse(), 0.35);
+
+    // Trace covers every execution and layer.
+    EXPECT_EQ(m.traces.size(), inputs.size());
+    EXPECT_EQ(m.traces[0].size(), w.bundle.network->layerCount());
+}
+
+TEST(EndToEnd, KaldiSpeedupAndEnergyInPaperBand)
+{
+    Workload w = setupKaldi(smallConfig());
+    const auto inputs = w.generator->take(40);
+    const auto m = measureWorkload(*w.bundle.network, w.plan, inputs);
+
+    AcceleratorSim sim;
+    const auto reuse =
+        sim.simulate(*w.bundle.network, AccelMode::Reuse, m.traces);
+    const auto baseline = sim.estimate(
+        *w.bundle.network, AccelMode::Baseline,
+        std::vector<double>(w.bundle.network->layerCount(), -1.0),
+        static_cast<int64_t>(inputs.size()));
+    const double speedup = baseline.cycles / reuse.cycles;
+    // Paper: 1.9x for Kaldi.  Allow a generous band.
+    EXPECT_GT(speedup, 1.2);
+    EXPECT_LT(speedup, 3.5);
+
+    const auto e_base = computeEnergy(baseline);
+    const auto e_reuse = computeEnergy(reuse);
+    EXPECT_LT(e_reuse.total(), e_base.total());
+}
+
+TEST(EndToEnd, EesenSequenceReuse)
+{
+    Workload w = setupEesen(smallConfig());
+    const auto seq = w.generator->take(24);
+    const auto m = measureWorkload(*w.bundle.network, w.plan, seq);
+    EXPECT_GT(m.stats.meanSimilarity(), 0.2);
+    EXPECT_GT(m.accuracy.top1Agreement, 0.7);
+    // One trace per sequence for recurrent nets.
+    EXPECT_EQ(m.traces.size(), 1u);
+    const auto &rec = m.traces[0][w.bundle.quantizedLayers[0]];
+    EXPECT_EQ(rec.kind, LayerKind::BiLstm);
+    EXPECT_EQ(rec.steps, 24);
+}
+
+TEST(EndToEnd, AutopilotConvReuse)
+{
+    Workload w = setupAutopilot(smallConfig());
+    const auto inputs = w.generator->take(10);
+    const auto m = measureWorkload(*w.bundle.network, w.plan, inputs);
+    // Driving scenes are highly static: strong reuse expected.
+    EXPECT_GT(m.stats.meanSimilarity(), 0.5);
+    EXPECT_GT(m.stats.meanComputationReuse(), 0.5);
+    EXPECT_LT(m.accuracy.meanRelativeError, 0.5);
+}
+
+TEST(EndToEnd, C3DScaledVideoReuse)
+{
+    Workload w = setupC3D(smallConfig());
+    const auto inputs = w.generator->take(6);
+    const auto m = measureWorkload(*w.bundle.network, w.plan, inputs);
+    EXPECT_GT(m.stats.meanSimilarity(), 0.4);
+    EXPECT_GT(m.accuracy.top1Agreement, 0.6);
+}
+
+TEST(EndToEnd, StorageFootprintOrdersMatchTableIII)
+{
+    // Relative ordering of I/O buffer needs across the four nets
+    // must match Table III: C3D >> AutoPilot > Kaldi > EESEN.
+    WorkloadSetupConfig cfg = smallConfig();
+    AcceleratorParams p;
+
+    Workload kaldi = setupKaldi(cfg);
+    Workload eesen = setupEesen(cfg);
+    const auto fp_kaldi = computeStorageFootprint(
+        *kaldi.bundle.network, kaldi.plan, p);
+    const auto fp_eesen = computeStorageFootprint(
+        *eesen.bundle.network, eesen.plan, p);
+    EXPECT_GT(fp_kaldi.ioBufferReuseBytes,
+              fp_eesen.ioBufferReuseBytes);
+    // Reuse adds storage in both cases.
+    EXPECT_GT(fp_kaldi.ioBufferReuseBytes,
+              fp_kaldi.ioBufferBaselineBytes);
+    EXPECT_GT(fp_eesen.ioBufferReuseBytes,
+              fp_eesen.ioBufferBaselineBytes);
+}
+
+TEST(EndToEnd, ReuseNeverChangesResultsMoreThanQuantization)
+{
+    // The reuse machinery itself must not add error beyond what
+    // quantization already causes: compare reuse outputs against
+    // from-scratch-on-quantized-inputs outputs layer by layer via
+    // the whole network (fine quantizer -> near-exact agreement).
+    Workload w = setupKaldi(smallConfig());
+    // Rebuild the plan with very fine quantization.
+    auto gen = std::move(w.generator);
+    const auto calib = gen->take(16);
+    const QuantizationPlan fine_plan =
+        calibratePlan(*w.bundle.network, calib, 4096,
+                      w.bundle.quantizedLayers);
+    const auto inputs = gen->take(10);
+    const auto m =
+        measureWorkload(*w.bundle.network, fine_plan, inputs);
+    EXPECT_GT(m.accuracy.top1Agreement, 0.99);
+    EXPECT_LT(m.accuracy.meanRelativeError, 1e-2);
+}
+
+} // namespace
+} // namespace reuse

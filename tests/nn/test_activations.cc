@@ -1,0 +1,114 @@
+/** @file Unit tests for activation and flatten layers. */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/activations.h"
+
+namespace reuse {
+namespace {
+
+Tensor
+vec(std::vector<float> v)
+{
+    const int64_t n = static_cast<int64_t>(v.size());
+    return Tensor(Shape({n}), std::move(v));
+}
+
+TEST(Activation, ReLUClampsNegatives)
+{
+    ActivationLayer relu("relu", ActivationKind::ReLU);
+    const Tensor out = relu.forward(vec({-1.0f, 0.0f, 2.5f}));
+    EXPECT_EQ(out[0], 0.0f);
+    EXPECT_EQ(out[1], 0.0f);
+    EXPECT_EQ(out[2], 2.5f);
+}
+
+TEST(Activation, SigmoidRange)
+{
+    ActivationLayer sig("sig", ActivationKind::Sigmoid);
+    const Tensor out = sig.forward(vec({-100.0f, 0.0f, 100.0f}));
+    EXPECT_NEAR(out[0], 0.0f, 1e-6f);
+    EXPECT_FLOAT_EQ(out[1], 0.5f);
+    EXPECT_NEAR(out[2], 1.0f, 1e-6f);
+}
+
+TEST(Activation, TanhMatchesStd)
+{
+    ActivationLayer t("tanh", ActivationKind::Tanh);
+    const Tensor out = t.forward(vec({-1.0f, 0.5f}));
+    EXPECT_FLOAT_EQ(out[0], std::tanh(-1.0f));
+    EXPECT_FLOAT_EQ(out[1], std::tanh(0.5f));
+}
+
+TEST(Activation, AtanMatchesStd)
+{
+    ActivationLayer a("atan", ActivationKind::Atan);
+    const Tensor out = a.forward(vec({2.0f}));
+    EXPECT_FLOAT_EQ(out[0], std::atan(2.0f));
+}
+
+TEST(Activation, IdentityPassesThrough)
+{
+    ActivationLayer id("id", ActivationKind::Identity);
+    const Tensor out = id.forward(vec({1.0f, -2.0f}));
+    EXPECT_EQ(out[0], 1.0f);
+    EXPECT_EQ(out[1], -2.0f);
+}
+
+TEST(Activation, SoftmaxSumsToOne)
+{
+    ActivationLayer sm("sm", ActivationKind::Softmax);
+    const Tensor out = sm.forward(vec({1.0f, 2.0f, 3.0f}));
+    double sum = 0.0;
+    for (int64_t i = 0; i < 3; ++i) {
+        EXPECT_GT(out[i], 0.0f);
+        sum += out[i];
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-6);
+    EXPECT_GT(out[2], out[1]);
+    EXPECT_GT(out[1], out[0]);
+}
+
+TEST(Activation, SoftmaxStableForLargeInputs)
+{
+    ActivationLayer sm("sm", ActivationKind::Softmax);
+    const Tensor out = sm.forward(vec({1000.0f, 1000.0f}));
+    EXPECT_NEAR(out[0], 0.5f, 1e-6f);
+    EXPECT_NEAR(out[1], 0.5f, 1e-6f);
+}
+
+TEST(Activation, PreservesShape)
+{
+    ActivationLayer relu("relu", ActivationKind::ReLU);
+    const Tensor in(Shape({2, 3, 4}), -1.0f);
+    EXPECT_EQ(relu.outputShape(in.shape()), in.shape());
+    EXPECT_EQ(relu.forward(in).shape(), in.shape());
+}
+
+TEST(Activation, NotReusable)
+{
+    ActivationLayer relu("relu", ActivationKind::ReLU);
+    EXPECT_FALSE(relu.isReusable());
+    EXPECT_EQ(relu.paramCount(), 0);
+}
+
+TEST(Flatten, ProducesRank1)
+{
+    FlattenLayer flat("flat");
+    const Tensor in(Shape({2, 3}), 1.5f);
+    const Tensor out = flat.forward(in);
+    EXPECT_EQ(out.shape(), Shape({6}));
+    EXPECT_EQ(out[5], 1.5f);
+}
+
+TEST(ActivationKindName, AllNamed)
+{
+    EXPECT_STREQ(activationKindName(ActivationKind::ReLU), "relu");
+    EXPECT_STREQ(activationKindName(ActivationKind::Softmax), "softmax");
+    EXPECT_STREQ(activationKindName(ActivationKind::Atan), "atan");
+}
+
+} // namespace
+} // namespace reuse

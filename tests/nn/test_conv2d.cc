@@ -1,0 +1,148 @@
+/** @file Unit tests for the 2D convolutional layer. */
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "nn/conv2d.h"
+#include "nn/initializers.h"
+
+namespace reuse {
+namespace {
+
+/** Naive direct convolution used as the reference implementation. */
+Tensor
+naiveConv2d(const Conv2DLayer &layer, const Tensor &in)
+{
+    const Shape out_shape = layer.outputShape(in.shape());
+    const int64_t oh = out_shape.dim(1);
+    const int64_t ow = out_shape.dim(2);
+    const int64_t w = in.shape().dim(2);
+    Tensor out(out_shape);
+    for (int64_t co = 0; co < layer.outChannels(); ++co) {
+        for (int64_t oy = 0; oy < oh; ++oy) {
+            for (int64_t ox = 0; ox < ow; ++ox) {
+                double acc = layer.biases()[static_cast<size_t>(co)];
+                for (int64_t ci = 0; ci < layer.inChannels(); ++ci) {
+                    for (int64_t ky = 0; ky < layer.kernel(); ++ky) {
+                        for (int64_t kx = 0; kx < layer.kernel(); ++kx) {
+                            const int64_t iy = oy * layer.stride() + ky;
+                            const int64_t ix = ox * layer.stride() + kx;
+                            acc += layer.weight(ci, co, ky, kx) *
+                                   in.data()[static_cast<size_t>(
+                                       (ci * in.shape().dim(1) + iy) *
+                                           w +
+                                       ix)];
+                        }
+                    }
+                }
+                out.at({co, oy, ox}) = static_cast<float>(acc);
+            }
+        }
+    }
+    return out;
+}
+
+struct Conv2dCase {
+    int64_t ci, co, k, stride, h, w;
+};
+
+class Conv2dParam : public ::testing::TestWithParam<Conv2dCase>
+{
+};
+
+TEST_P(Conv2dParam, ForwardMatchesNaive)
+{
+    const Conv2dCase c = GetParam();
+    Rng rng(7);
+    Conv2DLayer conv("conv", c.ci, c.co, c.k, c.stride);
+    initGlorot(conv, rng);
+    Tensor in(Shape({c.ci, c.h, c.w}));
+    rng.fillGaussian(in.data(), 0.0f, 1.0f);
+    const Tensor got = conv.forward(in);
+    const Tensor want = naiveConv2d(conv, in);
+    ASSERT_EQ(got.shape(), want.shape());
+    for (int64_t i = 0; i < got.numel(); ++i)
+        EXPECT_NEAR(got[i], want[i], 1e-4f) << "at " << i;
+}
+
+TEST_P(Conv2dParam, ApplyDeltaMatchesRecompute)
+{
+    const Conv2dCase c = GetParam();
+    Rng rng(9);
+    Conv2DLayer conv("conv", c.ci, c.co, c.k, c.stride);
+    initGlorot(conv, rng);
+    Tensor in(Shape({c.ci, c.h, c.w}));
+    rng.fillGaussian(in.data(), 0.0f, 1.0f);
+    Tensor out = conv.forward(in);
+
+    // Change a handful of pixels and correct incrementally.
+    Tensor in2 = in;
+    for (int rep = 0; rep < 4; ++rep) {
+        const int64_t ci = rng.uniformInt(0, c.ci - 1);
+        const int64_t y = rng.uniformInt(0, c.h - 1);
+        const int64_t x = rng.uniformInt(0, c.w - 1);
+        const float delta = rng.gaussian(0.0f, 0.5f);
+        in2.at({ci, y, x}) += delta;
+        conv.applyDelta(in.shape(), ci, y, x, delta, out);
+    }
+    const Tensor ref = conv.forward(in2);
+    for (int64_t i = 0; i < out.numel(); ++i)
+        EXPECT_NEAR(out[i], ref[i], 1e-4f) << "at " << i;
+}
+
+TEST_P(Conv2dParam, AffectedOutputsMatchesDeltaFootprint)
+{
+    const Conv2dCase c = GetParam();
+    Rng rng(13);
+    Conv2DLayer conv("conv", c.ci, c.co, c.k, c.stride);
+    // Unit weights so any touched output changes.
+    for (auto &w : conv.weights())
+        w = 1.0f;
+    const Shape in_shape({c.ci, c.h, c.w});
+    for (int rep = 0; rep < 4; ++rep) {
+        const int64_t y = rng.uniformInt(0, c.h - 1);
+        const int64_t x = rng.uniformInt(0, c.w - 1);
+        Tensor probe(conv.outputShape(in_shape));
+        conv.applyDelta(in_shape, 0, y, x, 1.0f, probe);
+        int64_t touched = 0;
+        for (int64_t i = 0; i < probe.numel(); ++i)
+            touched += probe[i] != 0.0f ? 1 : 0;
+        EXPECT_EQ(touched, conv.affectedOutputs(in_shape, y, x));
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, Conv2dParam,
+    ::testing::Values(Conv2dCase{1, 1, 3, 1, 6, 6},
+                      Conv2dCase{2, 3, 3, 1, 8, 8},
+                      Conv2dCase{3, 4, 5, 2, 12, 14},
+                      Conv2dCase{2, 2, 3, 2, 9, 9},
+                      Conv2dCase{4, 8, 1, 1, 5, 5},
+                      Conv2dCase{3, 24, 5, 2, 17, 21}));
+
+TEST(Conv2d, OutputShapeValidPadding)
+{
+    Conv2DLayer conv("conv", 3, 24, 5, 2);
+    // AutoPilot CONV1: 3x66x200 -> 24x31x98.
+    EXPECT_EQ(conv.outputShape(Shape({3, 66, 200})),
+              Shape({24, 31, 98}));
+}
+
+TEST(Conv2d, ParamAndMacCounts)
+{
+    Conv2DLayer conv("conv", 3, 24, 5, 2);
+    EXPECT_EQ(conv.paramCount(), 3 * 24 * 25 + 24);
+    EXPECT_EQ(conv.macCount(Shape({3, 66, 200})),
+              24 * 31 * 98 * 3 * 25);
+    EXPECT_TRUE(conv.isReusable());
+}
+
+TEST(Conv2dDeath, WrongChannelsPanics)
+{
+    Conv2DLayer conv("conv", 3, 4, 3, 1);
+    EXPECT_DEATH((void)conv.forward(Tensor(Shape({2, 8, 8}))),
+                 "input channels");
+}
+
+} // namespace
+} // namespace reuse

@@ -1,0 +1,167 @@
+/** @file Unit tests for the 3D convolutional layer. */
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "nn/conv3d.h"
+#include "nn/initializers.h"
+
+namespace reuse {
+namespace {
+
+/** Naive direct 3D convolution used as the reference. */
+Tensor
+naiveConv3d(const Conv3DLayer &layer, const Tensor &in)
+{
+    const Shape out_shape = layer.outputShape(in.shape());
+    const int64_t d = in.shape().dim(1);
+    const int64_t h = in.shape().dim(2);
+    const int64_t w = in.shape().dim(3);
+    const int64_t od = out_shape.dim(1);
+    const int64_t oh = out_shape.dim(2);
+    const int64_t ow = out_shape.dim(3);
+    const int64_t k = layer.kernel();
+    const int64_t pad = layer.pad();
+
+    Tensor out(out_shape);
+    for (int64_t co = 0; co < layer.outChannels(); ++co) {
+        for (int64_t oz = 0; oz < od; ++oz) {
+            for (int64_t oy = 0; oy < oh; ++oy) {
+                for (int64_t ox = 0; ox < ow; ++ox) {
+                    double acc =
+                        layer.biases()[static_cast<size_t>(co)];
+                    for (int64_t ci = 0; ci < layer.inChannels();
+                         ++ci) {
+                        for (int64_t kd = 0; kd < k; ++kd) {
+                            for (int64_t ky = 0; ky < k; ++ky) {
+                                for (int64_t kx = 0; kx < k; ++kx) {
+                                    const int64_t iz = oz - pad + kd;
+                                    const int64_t iy = oy - pad + ky;
+                                    const int64_t ix = ox - pad + kx;
+                                    if (iz < 0 || iz >= d || iy < 0 ||
+                                        iy >= h || ix < 0 || ix >= w)
+                                        continue;
+                                    const size_t widx =
+                                        static_cast<size_t>(
+                                            (((ci * k + kd) * k + ky) *
+                                                 k +
+                                             kx) *
+                                                layer.outChannels() +
+                                            co);
+                                    acc +=
+                                        layer.weights()[widx] *
+                                        in.data()[static_cast<size_t>(
+                                            ((ci * d + iz) * h + iy) *
+                                                w +
+                                            ix)];
+                                }
+                            }
+                        }
+                    }
+                    out.at({co, oz, oy, ox}) = static_cast<float>(acc);
+                }
+            }
+        }
+    }
+    return out;
+}
+
+struct Conv3dCase {
+    int64_t ci, co, k, pad, d, h, w;
+};
+
+class Conv3dParam : public ::testing::TestWithParam<Conv3dCase>
+{
+};
+
+TEST_P(Conv3dParam, ForwardMatchesNaive)
+{
+    const Conv3dCase c = GetParam();
+    Rng rng(17);
+    Conv3DLayer conv("conv", c.ci, c.co, c.k, c.pad);
+    initGlorot(conv, rng);
+    Tensor in(Shape({c.ci, c.d, c.h, c.w}));
+    rng.fillGaussian(in.data(), 0.0f, 1.0f);
+    const Tensor got = conv.forward(in);
+    const Tensor want = naiveConv3d(conv, in);
+    ASSERT_EQ(got.shape(), want.shape());
+    for (int64_t i = 0; i < got.numel(); ++i)
+        EXPECT_NEAR(got[i], want[i], 1e-4f) << "at " << i;
+}
+
+TEST_P(Conv3dParam, ApplyDeltaMatchesRecompute)
+{
+    const Conv3dCase c = GetParam();
+    Rng rng(19);
+    Conv3DLayer conv("conv", c.ci, c.co, c.k, c.pad);
+    initGlorot(conv, rng);
+    Tensor in(Shape({c.ci, c.d, c.h, c.w}));
+    rng.fillGaussian(in.data(), 0.0f, 1.0f);
+    Tensor out = conv.forward(in);
+
+    Tensor in2 = in;
+    for (int rep = 0; rep < 3; ++rep) {
+        const int64_t ci = rng.uniformInt(0, c.ci - 1);
+        const int64_t z = rng.uniformInt(0, c.d - 1);
+        const int64_t y = rng.uniformInt(0, c.h - 1);
+        const int64_t x = rng.uniformInt(0, c.w - 1);
+        const float delta = rng.gaussian(0.0f, 0.5f);
+        in2.at({ci, z, y, x}) += delta;
+        conv.applyDelta(in.shape(), ci, z, y, x, delta, out);
+    }
+    const Tensor ref = conv.forward(in2);
+    for (int64_t i = 0; i < out.numel(); ++i)
+        EXPECT_NEAR(out[i], ref[i], 1e-4f) << "at " << i;
+}
+
+TEST_P(Conv3dParam, AffectedOutputsMatchesDeltaFootprint)
+{
+    const Conv3dCase c = GetParam();
+    Conv3DLayer conv("conv", c.ci, c.co, c.k, c.pad);
+    for (auto &w : conv.weights())
+        w = 1.0f;
+    const Shape in_shape({c.ci, c.d, c.h, c.w});
+    Rng rng(23);
+    for (int rep = 0; rep < 3; ++rep) {
+        const int64_t z = rng.uniformInt(0, c.d - 1);
+        const int64_t y = rng.uniformInt(0, c.h - 1);
+        const int64_t x = rng.uniformInt(0, c.w - 1);
+        Tensor probe(conv.outputShape(in_shape));
+        conv.applyDelta(in_shape, 0, z, y, x, 1.0f, probe);
+        int64_t touched = 0;
+        for (int64_t i = 0; i < probe.numel(); ++i)
+            touched += probe[i] != 0.0f ? 1 : 0;
+        EXPECT_EQ(touched, conv.affectedOutputs(in_shape, z, y, x));
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, Conv3dParam,
+    ::testing::Values(Conv3dCase{1, 1, 3, 1, 4, 5, 5},
+                      Conv3dCase{2, 3, 3, 1, 4, 6, 6},
+                      Conv3dCase{3, 4, 3, 0, 5, 5, 5},
+                      Conv3dCase{2, 2, 1, 0, 3, 4, 4}));
+
+TEST(Conv3d, SamePaddingPreservesShape)
+{
+    Conv3DLayer conv("conv", 3, 64, 3, 1);
+    // C3D CONV1: 3x16x112x112 -> 64x16x112x112.
+    EXPECT_EQ(conv.outputShape(Shape({3, 16, 14, 14})),
+              Shape({64, 16, 14, 14}));
+}
+
+TEST(Conv3d, ParamCount)
+{
+    Conv3DLayer conv("conv", 3, 64, 3, 1);
+    EXPECT_EQ(conv.paramCount(), 3 * 64 * 27 + 64);
+}
+
+TEST(Conv3dDeath, WrongRankPanics)
+{
+    Conv3DLayer conv("conv", 3, 4, 3, 1);
+    EXPECT_DEATH((void)conv.forward(Tensor(Shape({3, 8, 8}))),
+                 "expects");
+}
+
+} // namespace
+} // namespace reuse

@@ -1,0 +1,137 @@
+/** @file Unit tests for the sequential network container. */
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "nn/activations.h"
+#include "nn/fully_connected.h"
+#include "nn/initializers.h"
+#include "nn/lstm.h"
+#include "nn/network.h"
+
+namespace reuse {
+namespace {
+
+std::unique_ptr<Network>
+smallMlp(Rng &rng)
+{
+    auto net = std::make_unique<Network>("mlp", Shape({4}));
+    net->addLayer(std::make_unique<FullyConnectedLayer>("FC1", 4, 6));
+    net->addLayer(
+        std::make_unique<ActivationLayer>("RELU", ActivationKind::ReLU));
+    net->addLayer(std::make_unique<FullyConnectedLayer>("FC2", 6, 3));
+    initNetwork(*net, rng);
+    return net;
+}
+
+TEST(Network, LayerBookkeeping)
+{
+    Rng rng(1);
+    auto net = smallMlp(rng);
+    EXPECT_EQ(net->layerCount(), 3u);
+    EXPECT_EQ(net->layer(0).name(), "FC1");
+    EXPECT_FALSE(net->isRecurrent());
+    EXPECT_EQ(net->outputShape(), Shape({3}));
+}
+
+TEST(Network, LayerInputShapesChain)
+{
+    Rng rng(1);
+    auto net = smallMlp(rng);
+    const auto shapes = net->layerInputShapes();
+    ASSERT_EQ(shapes.size(), 3u);
+    EXPECT_EQ(shapes[0], Shape({4}));
+    EXPECT_EQ(shapes[1], Shape({6}));
+    EXPECT_EQ(shapes[2], Shape({6}));
+}
+
+TEST(Network, ForwardChainsLayers)
+{
+    Rng rng(2);
+    auto net = smallMlp(rng);
+    Tensor in(Shape({4}));
+    rng.fillGaussian(in.data(), 0.0f, 1.0f);
+    const Tensor out = net->forward(in);
+    // Manual chaining must agree.
+    Tensor manual = net->layer(0).forward(in);
+    manual = net->layer(1).forward(manual);
+    manual = net->layer(2).forward(manual);
+    for (int64_t i = 0; i < out.numel(); ++i)
+        EXPECT_FLOAT_EQ(out[i], manual[i]);
+}
+
+TEST(Network, ForwardSequenceMapsForFeedForward)
+{
+    Rng rng(3);
+    auto net = smallMlp(rng);
+    std::vector<Tensor> inputs;
+    for (int i = 0; i < 3; ++i) {
+        Tensor t(Shape({4}));
+        rng.fillGaussian(t.data(), 0.0f, 1.0f);
+        inputs.push_back(t);
+    }
+    const auto outs = net->forwardSequence(inputs);
+    ASSERT_EQ(outs.size(), 3u);
+    for (size_t i = 0; i < 3; ++i) {
+        const Tensor direct = net->forward(inputs[i]);
+        for (int64_t j = 0; j < direct.numel(); ++j)
+            EXPECT_FLOAT_EQ(outs[i][j], direct[j]);
+    }
+}
+
+TEST(Network, ParamAndMacTotals)
+{
+    Rng rng(4);
+    auto net = smallMlp(rng);
+    EXPECT_EQ(net->paramCount(), (4 * 6 + 6) + (6 * 3 + 3));
+    EXPECT_EQ(net->macCountPerExecution(), 4 * 6 + 6 * 3);
+    EXPECT_EQ(net->weightBytes(), net->paramCount() * 4);
+}
+
+TEST(Network, RecurrentDetection)
+{
+    Network net("rnn", Shape({5}));
+    net.addLayer(std::make_unique<BiLstmLayer>("L1", 5, 4));
+    net.addLayer(std::make_unique<FullyConnectedLayer>("FC", 8, 2));
+    EXPECT_TRUE(net.isRecurrent());
+    EXPECT_EQ(net.outputShape(), Shape({2}));
+}
+
+TEST(Network, RecurrentSequenceRuns)
+{
+    Rng rng(5);
+    Network net("rnn", Shape({5}));
+    net.addLayer(std::make_unique<BiLstmLayer>("L1", 5, 4));
+    net.addLayer(std::make_unique<FullyConnectedLayer>("FC", 8, 2));
+    initNetwork(net, rng);
+    std::vector<Tensor> seq;
+    for (int t = 0; t < 6; ++t) {
+        Tensor x(Shape({5}));
+        rng.fillGaussian(x.data(), 0.0f, 1.0f);
+        seq.push_back(x);
+    }
+    const auto outs = net.forwardSequence(seq);
+    ASSERT_EQ(outs.size(), 6u);
+    for (const auto &o : outs)
+        EXPECT_EQ(o.shape(), Shape({2}));
+}
+
+TEST(Network, SummaryMentionsNameAndLayers)
+{
+    Rng rng(6);
+    auto net = smallMlp(rng);
+    const std::string s = net->summary();
+    EXPECT_NE(s.find("mlp"), std::string::npos);
+    EXPECT_NE(s.find("3 layers"), std::string::npos);
+}
+
+TEST(NetworkDeath, ForwardOnRecurrentPanics)
+{
+    Network net("rnn", Shape({5}));
+    net.addLayer(std::make_unique<BiLstmLayer>("L1", 5, 4));
+    EXPECT_DEATH((void)net.forward(Tensor(Shape({5}))),
+                 "forwardSequence");
+}
+
+} // namespace
+} // namespace reuse

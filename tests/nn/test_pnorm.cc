@@ -1,0 +1,68 @@
+/** @file Unit tests for the group p-norm layer. */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/pnorm.h"
+
+namespace reuse {
+namespace {
+
+TEST(PNorm, ReducesByGroup)
+{
+    PNormLayer p("pnorm", 5);
+    EXPECT_EQ(p.outputShape(Shape({2000})), Shape({400}));
+}
+
+TEST(PNorm, ComputesL2NormOfGroups)
+{
+    PNormLayer p("pnorm", 2);
+    Tensor in(Shape({4}), std::vector<float>{3, 4, 0, -5});
+    const Tensor out = p.forward(in);
+    EXPECT_FLOAT_EQ(out[0], 5.0f);
+    EXPECT_FLOAT_EQ(out[1], 5.0f);
+}
+
+TEST(PNorm, OutputIsNonNegative)
+{
+    PNormLayer p("pnorm", 3);
+    Tensor in(Shape({6}), std::vector<float>{-1, -2, -3, -4, -5, -6});
+    const Tensor out = p.forward(in);
+    for (int64_t i = 0; i < out.numel(); ++i)
+        EXPECT_GE(out[i], 0.0f);
+}
+
+TEST(PNorm, ZeroInputGivesZero)
+{
+    PNormLayer p("pnorm", 4);
+    const Tensor out = p.forward(Tensor(Shape({8})));
+    for (int64_t i = 0; i < out.numel(); ++i)
+        EXPECT_EQ(out[i], 0.0f);
+}
+
+TEST(PNorm, GroupOfOneIsAbs)
+{
+    PNormLayer p("pnorm", 1);
+    Tensor in(Shape({3}), std::vector<float>{-2, 0, 2});
+    const Tensor out = p.forward(in);
+    EXPECT_FLOAT_EQ(out[0], 2.0f);
+    EXPECT_FLOAT_EQ(out[1], 0.0f);
+    EXPECT_FLOAT_EQ(out[2], 2.0f);
+}
+
+TEST(PNorm, NotReusable)
+{
+    PNormLayer p("pnorm", 5);
+    EXPECT_FALSE(p.isReusable());
+    EXPECT_EQ(p.macCount(Shape({2000})), 0);
+}
+
+TEST(PNormDeath, IndivisibleSizePanics)
+{
+    PNormLayer p("pnorm", 3);
+    EXPECT_DEATH((void)p.outputShape(Shape({10})), "divisible");
+}
+
+} // namespace
+} // namespace reuse

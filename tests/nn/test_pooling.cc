@@ -1,0 +1,96 @@
+/** @file Unit tests for max-pooling layers. */
+
+#include <gtest/gtest.h>
+
+#include "nn/pooling.h"
+
+namespace reuse {
+namespace {
+
+TEST(MaxPool2D, PicksWindowMaxima)
+{
+    MaxPool2DLayer pool("pool", 2);
+    Tensor in(Shape({1, 2, 4}),
+              std::vector<float>{1, 2, 3, 4,
+                                 5, 6, 7, 8});
+    const Tensor out = pool.forward(in);
+    EXPECT_EQ(out.shape(), Shape({1, 1, 2}));
+    EXPECT_EQ(out[0], 6.0f);
+    EXPECT_EQ(out[1], 8.0f);
+}
+
+TEST(MaxPool2D, PerChannelIndependence)
+{
+    MaxPool2DLayer pool("pool", 2);
+    Tensor in(Shape({2, 2, 2}));
+    in.at({0, 0, 0}) = 9.0f;
+    in.at({1, 1, 1}) = -1.0f;
+    in.at({1, 0, 0}) = -5.0f;
+    const Tensor out = pool.forward(in);
+    EXPECT_EQ(out.at({0, 0, 0}), 9.0f);
+    EXPECT_EQ(out.at({1, 0, 0}), 0.0f);
+}
+
+TEST(MaxPool2D, TruncatesPartialWindows)
+{
+    MaxPool2DLayer pool("pool", 2);
+    EXPECT_EQ(pool.outputShape(Shape({1, 5, 7})), Shape({1, 2, 3}));
+}
+
+TEST(MaxPool3D, FloorModeShapes)
+{
+    MaxPool3DLayer pool("pool", 2, 2, false);
+    EXPECT_EQ(pool.outputShape(Shape({64, 16, 56, 56})),
+              Shape({64, 8, 28, 28}));
+    EXPECT_EQ(pool.outputShape(Shape({512, 2, 7, 7})),
+              Shape({512, 1, 3, 3}));
+}
+
+TEST(MaxPool3D, CeilModeShapes)
+{
+    MaxPool3DLayer pool("pool", 2, 2, true);
+    // C3D pool5: 512x2x7x7 -> 512x1x4x4 (8192-wide FC1 input).
+    EXPECT_EQ(pool.outputShape(Shape({512, 2, 7, 7})),
+              Shape({512, 1, 4, 4}));
+}
+
+TEST(MaxPool3D, DepthPreservingPool)
+{
+    MaxPool3DLayer pool("pool", 1, 2, true);
+    EXPECT_EQ(pool.outputShape(Shape({64, 16, 112, 112})),
+              Shape({64, 16, 56, 56}));
+}
+
+TEST(MaxPool3D, ValuesInCeilMode)
+{
+    MaxPool3DLayer pool("pool", 2, 2, true);
+    Tensor in(Shape({1, 1, 3, 3}));
+    for (int64_t i = 0; i < 9; ++i)
+        in[i] = static_cast<float>(i);
+    const Tensor out = pool.forward(in);
+    EXPECT_EQ(out.shape(), Shape({1, 1, 2, 2}));
+    EXPECT_EQ(out.at({0, 0, 0, 0}), 4.0f);  // max of 0,1,3,4
+    EXPECT_EQ(out.at({0, 0, 0, 1}), 5.0f);  // partial col window
+    EXPECT_EQ(out.at({0, 0, 1, 0}), 7.0f);  // partial row window
+    EXPECT_EQ(out.at({0, 0, 1, 1}), 8.0f);  // single corner element
+}
+
+TEST(MaxPool3D, NegativeValuesHandled)
+{
+    MaxPool3DLayer pool("pool", 1, 2, false);
+    Tensor in(Shape({1, 1, 2, 2}), -3.0f);
+    in[1] = -1.0f;
+    const Tensor out = pool.forward(in);
+    EXPECT_EQ(out[0], -1.0f);
+}
+
+TEST(PoolLayers, NotReusable)
+{
+    MaxPool2DLayer p2("p", 2);
+    MaxPool3DLayer p3("p", 2, 2);
+    EXPECT_FALSE(p2.isReusable());
+    EXPECT_FALSE(p3.isReusable());
+}
+
+} // namespace
+} // namespace reuse

@@ -1,0 +1,67 @@
+/** @file Unit tests for accuracy-degradation metrics. */
+
+#include <gtest/gtest.h>
+
+#include "quant/accuracy.h"
+
+namespace reuse {
+namespace {
+
+Tensor
+vec(std::vector<float> v)
+{
+    const int64_t n = static_cast<int64_t>(v.size());
+    return Tensor(Shape({n}), std::move(v));
+}
+
+TEST(Accuracy, IdenticalStreamsScorePerfect)
+{
+    std::vector<Tensor> ref{vec({1, 2, 3}), vec({3, 2, 1})};
+    const AccuracyReport r = compareOutputs(ref, ref);
+    EXPECT_DOUBLE_EQ(r.top1Agreement, 1.0);
+    EXPECT_DOUBLE_EQ(r.meanRelativeError, 0.0);
+    EXPECT_DOUBLE_EQ(r.accuracyLossPct(), 0.0);
+    EXPECT_EQ(r.executions, 2);
+}
+
+TEST(Accuracy, ArgmaxDisagreementCounted)
+{
+    std::vector<Tensor> ref{vec({1, 2}), vec({2, 1})};
+    std::vector<Tensor> cand{vec({2, 1}), vec({2, 1})};
+    const AccuracyReport r = compareOutputs(ref, cand);
+    EXPECT_DOUBLE_EQ(r.top1Agreement, 0.5);
+    EXPECT_DOUBLE_EQ(r.accuracyLossPct(), 50.0);
+}
+
+TEST(Accuracy, RelativeErrorComputed)
+{
+    std::vector<Tensor> ref{vec({3, 4})};         // norm 5
+    std::vector<Tensor> cand{vec({3, 4 + 5})};    // distance 5
+    const AccuracyReport r = compareOutputs(ref, cand);
+    EXPECT_DOUBLE_EQ(r.meanRelativeError, 1.0);
+    EXPECT_DOUBLE_EQ(r.maxRelativeError, 1.0);
+}
+
+TEST(Accuracy, MaxTracksWorstExecution)
+{
+    std::vector<Tensor> ref{vec({1, 0}), vec({1, 0})};
+    std::vector<Tensor> cand{vec({1, 0}), vec({0, 1})};
+    const AccuracyReport r = compareOutputs(ref, cand);
+    EXPECT_GT(r.maxRelativeError, r.meanRelativeError - 1e-12);
+}
+
+TEST(Accuracy, EmptyStreamsArePerfect)
+{
+    const AccuracyReport r = compareOutputs({}, {});
+    EXPECT_DOUBLE_EQ(r.top1Agreement, 1.0);
+    EXPECT_EQ(r.executions, 0);
+}
+
+TEST(AccuracyDeath, LengthMismatchPanics)
+{
+    std::vector<Tensor> a{vec({1})};
+    EXPECT_DEATH((void)compareOutputs(a, {}), "lengths differ");
+}
+
+} // namespace
+} // namespace reuse

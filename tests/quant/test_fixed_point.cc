@@ -1,0 +1,101 @@
+/** @file Unit tests for the 8-bit fixed-point path (Sec. VI-A). */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/random.h"
+#include "nn/fully_connected.h"
+#include "nn/initializers.h"
+#include "nn/network.h"
+#include "quant/fixed_point.h"
+
+namespace reuse {
+namespace {
+
+TEST(FixedPointFormat, GridCoversAbsMax)
+{
+    const auto fmt = FixedPointFormat::forAbsMax(1.27f, 8);
+    EXPECT_EQ(fmt.minInt(), -128);
+    EXPECT_EQ(fmt.maxInt(), 127);
+    EXPECT_NEAR(fmt.decode(fmt.maxInt()), 1.27f, 1e-5f);
+}
+
+TEST(FixedPointFormat, SnapRoundsAndSaturates)
+{
+    const auto fmt = FixedPointFormat::forAbsMax(1.27f, 8);
+    EXPECT_NEAR(fmt.snap(0.005f), 0.01f, 1e-5f);
+    EXPECT_NEAR(fmt.snap(100.0f), fmt.decode(127), 1e-5f);
+    EXPECT_NEAR(fmt.snap(-100.0f), fmt.decode(-128), 1e-5f);
+}
+
+TEST(FixedPointFormat, EncodeDecodeRoundTrip)
+{
+    const auto fmt = FixedPointFormat::forAbsMax(2.0f, 8);
+    Rng rng(1);
+    for (int i = 0; i < 200; ++i) {
+        const float v = rng.uniform(-2.0f, 2.0f);
+        const int32_t code = fmt.encode(v);
+        EXPECT_GE(code, fmt.minInt());
+        EXPECT_LE(code, fmt.maxInt());
+        EXPECT_LE(std::fabs(fmt.decode(code) - v),
+                  fmt.scale / 2 + 1e-6f);
+        EXPECT_EQ(fmt.encode(fmt.decode(code)), code);
+    }
+}
+
+TEST(FixedPointFormat, ZeroAbsMaxIsSafe)
+{
+    const auto fmt = FixedPointFormat::forAbsMax(0.0f, 8);
+    EXPECT_EQ(fmt.snap(0.0f), 0.0f);
+}
+
+TEST(QuantizeWeights, SnapsAllFcParams)
+{
+    Rng rng(2);
+    Network net("mlp", Shape({8}));
+    net.addLayer(std::make_unique<FullyConnectedLayer>("FC", 8, 4));
+    initNetwork(net, rng);
+    quantizeWeightsFixedPoint(net, 8);
+    auto &fc = static_cast<FullyConnectedLayer &>(net.layer(0));
+    // All weights lie on a 255-point grid: check each is an integer
+    // multiple of the layer scale.
+    float absmax = 0.0f;
+    for (float w : fc.weights())
+        absmax = std::max(absmax, std::fabs(w));
+    const auto fmt = FixedPointFormat::forAbsMax(absmax, 8);
+    for (float w : fc.weights()) {
+        const float ratio = w / fmt.scale;
+        EXPECT_NEAR(ratio, std::round(ratio), 1e-3f);
+    }
+}
+
+TEST(QuantizeWeights, SmallPerturbationOfOutputs)
+{
+    Rng rng(3);
+    Network net("mlp", Shape({16}));
+    net.addLayer(std::make_unique<FullyConnectedLayer>("FC", 16, 8));
+    initNetwork(net, rng);
+    Tensor in(Shape({16}));
+    rng.fillGaussian(in.data(), 0.0f, 1.0f);
+    const Tensor before = net.forward(in);
+    quantizeWeightsFixedPoint(net, 8);
+    const Tensor after = net.forward(in);
+    for (int64_t i = 0; i < before.numel(); ++i)
+        EXPECT_NEAR(before[i], after[i],
+                    0.05f * std::max(1.0f, std::fabs(before[i])));
+}
+
+TEST(FixedPointInputQuantizer, Has256Clusters)
+{
+    RangeProfiler p;
+    Rng rng(4);
+    for (int i = 0; i < 1000; ++i)
+        p.observe(rng.gaussian(0.0f, 1.0f));
+    const LinearQuantizer q = makeFixedPointInputQuantizer(p, 8);
+    EXPECT_EQ(q.clusters(), 256);
+    EXPECT_LT(q.step(), 0.1f);
+}
+
+} // namespace
+} // namespace reuse

@@ -1,0 +1,115 @@
+/** @file Unit tests for the backwards layer-selection algorithm. */
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "nn/activations.h"
+#include "nn/fully_connected.h"
+#include "nn/initializers.h"
+#include "quant/layer_selection.h"
+
+namespace reuse {
+namespace {
+
+struct Fixture {
+    Rng rng{21};
+    Network net{"mlp", Shape({8})};
+    NetworkRanges ranges;
+
+    Fixture()
+    {
+        net.addLayer(
+            std::make_unique<FullyConnectedLayer>("FC1", 8, 128));
+        net.addLayer(std::make_unique<ActivationLayer>(
+            "RELU1", ActivationKind::ReLU));
+        net.addLayer(
+            std::make_unique<FullyConnectedLayer>("FC2", 128, 256));
+        net.addLayer(std::make_unique<ActivationLayer>(
+            "RELU2", ActivationKind::ReLU));
+        net.addLayer(
+            std::make_unique<FullyConnectedLayer>("FC3", 256, 128));
+        net.addLayer(
+            std::make_unique<FullyConnectedLayer>("FC4", 128, 10));
+        initNetwork(net, rng);
+        std::vector<Tensor> inputs;
+        for (int i = 0; i < 8; ++i) {
+            Tensor t(Shape({8}));
+            rng.fillGaussian(t.data(), 0.0f, 1.0f);
+            inputs.push_back(t);
+        }
+        ranges = profileNetworkRanges(net, inputs);
+    }
+};
+
+TEST(ReusableLayerIndices, FindsOnlyReusable)
+{
+    Fixture f;
+    const auto idx = reusableLayerIndices(f.net);
+    EXPECT_EQ(idx, (std::vector<size_t>{0, 2, 4, 5}));
+}
+
+TEST(LayerOutputNeurons, MatchesShapes)
+{
+    Fixture f;
+    EXPECT_EQ(layerOutputNeurons(f.net, 0), 128);
+    EXPECT_EQ(layerOutputNeurons(f.net, 5), 10);
+}
+
+TEST(SelectLayers, ZeroLossSelectsAll)
+{
+    Fixture f;
+    LayerSelectionConfig cfg;
+    cfg.minOutputNeurons = 64;
+    cfg.maxAccuracyLossPct = 1.0;
+    const auto result = selectLayersBackwards(
+        f.net, f.ranges, cfg,
+        [](const QuantizationPlan &) { return 0.0; });
+    // FC4 (10 outputs) is skipped as tiny; everything else selected.
+    EXPECT_EQ(result.selectedLayers, (std::vector<size_t>{0, 2, 4}));
+    EXPECT_EQ(result.plan.enabledCount(), 3u);
+}
+
+TEST(SelectLayers, SkipsTinyTrailingLayers)
+{
+    Fixture f;
+    LayerSelectionConfig cfg;
+    cfg.minOutputNeurons = 64;
+    const auto result = selectLayersBackwards(
+        f.net, f.ranges, cfg,
+        [](const QuantizationPlan &) { return 0.0; });
+    for (size_t li : result.selectedLayers)
+        EXPECT_NE(li, 5u);
+}
+
+TEST(SelectLayers, StopsAtBudgetViolation)
+{
+    Fixture f;
+    LayerSelectionConfig cfg;
+    cfg.minOutputNeurons = 64;
+    cfg.maxAccuracyLossPct = 1.0;
+    // Loss grows with the number of quantized layers: 0.4 per layer,
+    // so two layers fit (0.8) but three (1.2) do not.
+    const auto result = selectLayersBackwards(
+        f.net, f.ranges, cfg, [](const QuantizationPlan &plan) {
+            return 0.4 * static_cast<double>(plan.enabledCount());
+        });
+    EXPECT_EQ(result.selectedLayers.size(), 2u);
+    // Selection extends from the back: FC3 (4) then FC2 (2).
+    EXPECT_EQ(result.selectedLayers, (std::vector<size_t>{2, 4}));
+    EXPECT_NEAR(result.accuracyLossPct, 0.8, 1e-12);
+}
+
+TEST(SelectLayers, FirstLayerOverBudgetSelectsNothing)
+{
+    Fixture f;
+    LayerSelectionConfig cfg;
+    cfg.maxAccuracyLossPct = 0.5;
+    const auto result = selectLayersBackwards(
+        f.net, f.ranges, cfg,
+        [](const QuantizationPlan &) { return 10.0; });
+    EXPECT_TRUE(result.selectedLayers.empty());
+    EXPECT_EQ(result.plan.enabledCount(), 0u);
+}
+
+} // namespace
+} // namespace reuse

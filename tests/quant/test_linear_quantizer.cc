@@ -1,0 +1,136 @@
+/** @file Unit tests for linear quantization (Eq. 9 of the paper). */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/random.h"
+#include "quant/linear_quantizer.h"
+
+namespace reuse {
+namespace {
+
+TEST(LinearQuantizer, StepIsRangeOverClusters)
+{
+    LinearQuantizer q(16, -2.0f, 2.0f);
+    EXPECT_FLOAT_EQ(q.step(), 0.25f);
+    EXPECT_EQ(q.clusters(), 16);
+}
+
+TEST(LinearQuantizer, RoundsToNearestCentroid)
+{
+    LinearQuantizer q(4, -1.0f, 1.0f);   // step = 0.5
+    EXPECT_FLOAT_EQ(q.quantize(0.0f), 0.0f);
+    EXPECT_FLOAT_EQ(q.quantize(0.24f), 0.0f);
+    EXPECT_FLOAT_EQ(q.quantize(0.26f), 0.5f);
+    EXPECT_FLOAT_EQ(q.quantize(-0.74f), -0.5f);
+    EXPECT_FLOAT_EQ(q.quantize(-0.76f), -1.0f);
+}
+
+TEST(LinearQuantizer, SaturatesOutsideRange)
+{
+    LinearQuantizer q(4, -1.0f, 1.0f);
+    EXPECT_FLOAT_EQ(q.quantize(100.0f), 1.0f);
+    EXPECT_FLOAT_EQ(q.quantize(-100.0f), -1.0f);
+    EXPECT_EQ(q.index(100.0f), q.maxIndex());
+    EXPECT_EQ(q.index(-100.0f), q.minIndex());
+}
+
+TEST(LinearQuantizer, QuantizationIsIdempotent)
+{
+    Rng rng(1);
+    LinearQuantizer q(16, -3.0f, 3.0f);
+    for (int i = 0; i < 200; ++i) {
+        const float v = rng.uniform(-4.0f, 4.0f);
+        const float once = q.quantize(v);
+        EXPECT_FLOAT_EQ(q.quantize(once), once);
+        EXPECT_EQ(q.index(once), q.index(v));
+    }
+}
+
+TEST(LinearQuantizer, ErrorBoundedByHalfStep)
+{
+    Rng rng(2);
+    LinearQuantizer q(32, -1.0f, 1.0f);
+    for (int i = 0; i < 500; ++i) {
+        const float v = rng.uniform(-1.0f, 1.0f);
+        EXPECT_LE(std::fabs(q.quantize(v) - v), q.step() / 2 + 1e-6f);
+    }
+}
+
+TEST(LinearQuantizer, CentroidIsIndexTimesStep)
+{
+    LinearQuantizer q(8, -2.0f, 2.0f);
+    for (int32_t idx = q.minIndex(); idx <= q.maxIndex(); ++idx)
+        EXPECT_FLOAT_EQ(q.centroid(idx),
+                        static_cast<float>(idx) * q.step());
+}
+
+TEST(LinearQuantizer, AsymmetricRange)
+{
+    LinearQuantizer q(10, 0.0f, 5.0f);   // step 0.5
+    EXPECT_FLOAT_EQ(q.step(), 0.5f);
+    EXPECT_EQ(q.index(0.0f), 0);
+    EXPECT_EQ(q.index(5.0f), 10);
+    EXPECT_FLOAT_EQ(q.quantize(2.6f), 2.5f);
+}
+
+TEST(LinearQuantizer, TensorOverloads)
+{
+    LinearQuantizer q(4, -1.0f, 1.0f);
+    Tensor t(Shape({3}), std::vector<float>{0.1f, 0.6f, -0.9f});
+    const Tensor qt = q.quantize(t);
+    EXPECT_FLOAT_EQ(qt[0], 0.0f);
+    EXPECT_FLOAT_EQ(qt[1], 0.5f);
+    EXPECT_FLOAT_EQ(qt[2], -1.0f);
+    const auto idx = q.indices(t);
+    EXPECT_EQ(idx[0], 0);
+    EXPECT_EQ(idx[1], 1);
+    EXPECT_EQ(idx[2], -2);
+}
+
+class QuantizerClusterSweep : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(QuantizerClusterSweep, MoreClustersNeverIncreaseError)
+{
+    // Property: doubling the cluster count halves the step and cannot
+    // increase the worst-case quantization error.
+    const int clusters = GetParam();
+    LinearQuantizer coarse(clusters, -1.0f, 1.0f);
+    LinearQuantizer fine(clusters * 2, -1.0f, 1.0f);
+    EXPECT_LT(fine.step(), coarse.step());
+    Rng rng(3);
+    double coarse_err = 0.0, fine_err = 0.0;
+    for (int i = 0; i < 1000; ++i) {
+        const float v = rng.uniform(-1.0f, 1.0f);
+        coarse_err += std::fabs(coarse.quantize(v) - v);
+        fine_err += std::fabs(fine.quantize(v) - v);
+    }
+    EXPECT_LT(fine_err, coarse_err);
+}
+
+TEST_P(QuantizerClusterSweep, IndexBitsCoverIndexCount)
+{
+    const int clusters = GetParam();
+    LinearQuantizer q(clusters, -1.0f, 1.0f);
+    EXPECT_GE(1 << q.indexBits(), q.indexCount());
+    EXPECT_LT(1 << (q.indexBits() - 1), q.indexCount());
+}
+
+INSTANTIATE_TEST_SUITE_P(PaperConfigs, QuantizerClusterSweep,
+                         ::testing::Values(8, 12, 16, 32));
+
+TEST(LinearQuantizerDeath, EmptyRangePanics)
+{
+    EXPECT_DEATH(LinearQuantizer(16, 1.0f, 1.0f), "empty");
+}
+
+TEST(LinearQuantizerDeath, ZeroClustersPanics)
+{
+    EXPECT_DEATH(LinearQuantizer(0, -1.0f, 1.0f), "positive");
+}
+
+} // namespace
+} // namespace reuse

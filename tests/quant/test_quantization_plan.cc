@@ -1,0 +1,116 @@
+/** @file Unit tests for the per-layer quantization plan. */
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "nn/activations.h"
+#include "nn/fully_connected.h"
+#include "nn/initializers.h"
+#include "nn/lstm.h"
+#include "quant/quantization_plan.h"
+
+namespace reuse {
+namespace {
+
+struct Fixture {
+    Rng rng{7};
+    Network net{"mlp", Shape({4})};
+    NetworkRanges ranges;
+
+    Fixture()
+    {
+        net.addLayer(
+            std::make_unique<FullyConnectedLayer>("FC1", 4, 8));
+        net.addLayer(std::make_unique<ActivationLayer>(
+            "RELU", ActivationKind::ReLU));
+        net.addLayer(
+            std::make_unique<FullyConnectedLayer>("FC2", 8, 3));
+        initNetwork(net, rng);
+        std::vector<Tensor> inputs;
+        for (int i = 0; i < 6; ++i) {
+            Tensor t(Shape({4}));
+            rng.fillGaussian(t.data(), 0.0f, 1.0f);
+            inputs.push_back(t);
+        }
+        ranges = profileNetworkRanges(net, inputs);
+    }
+};
+
+TEST(QuantizationPlan, DefaultAllDisabled)
+{
+    Fixture f;
+    QuantizationPlan plan(f.net);
+    EXPECT_EQ(plan.size(), 3u);
+    EXPECT_EQ(plan.enabledCount(), 0u);
+    for (size_t i = 0; i < plan.size(); ++i)
+        EXPECT_FALSE(plan.layer(i).enabled());
+}
+
+TEST(QuantizationPlan, MakePlanEnablesRequestedLayers)
+{
+    Fixture f;
+    const QuantizationPlan plan = makePlan(f.net, f.ranges, 16, {2});
+    EXPECT_TRUE(plan.layer(2).enabled());
+    EXPECT_FALSE(plan.layer(0).enabled());
+    EXPECT_EQ(plan.enabledCount(), 1u);
+    EXPECT_EQ(plan.layer(2).input->clusters(), 16);
+}
+
+TEST(QuantizationPlan, QuantizerRangeFromProfile)
+{
+    Fixture f;
+    const QuantizationPlan plan = makePlan(f.net, f.ranges, 16, {2});
+    // FC2 sits after a ReLU, so its profiled range floor is >= 0.
+    EXPECT_GE(plan.layer(2).input->rangeMin(), -1e-6f);
+}
+
+TEST(QuantizationPlan, NonReusableLayersSkippedWithWarning)
+{
+    Fixture f;
+    const QuantizationPlan plan = makePlan(f.net, f.ranges, 16, {1});
+    EXPECT_FALSE(plan.layer(1).enabled());
+    EXPECT_EQ(plan.enabledCount(), 0u);
+}
+
+TEST(QuantizationPlan, AllReusableWithExclusions)
+{
+    Fixture f;
+    const QuantizationPlan all =
+        makePlanAllReusable(f.net, f.ranges, 16);
+    EXPECT_EQ(all.enabledCount(), 2u);
+    const QuantizationPlan excl =
+        makePlanAllReusable(f.net, f.ranges, 16, {0});
+    EXPECT_EQ(excl.enabledCount(), 1u);
+    EXPECT_FALSE(excl.layer(0).enabled());
+    EXPECT_TRUE(excl.layer(2).enabled());
+}
+
+TEST(QuantizationPlan, DisableClearsQuantizers)
+{
+    Fixture f;
+    QuantizationPlan plan = makePlan(f.net, f.ranges, 16, {0, 2});
+    plan.disable(0);
+    EXPECT_FALSE(plan.layer(0).enabled());
+    EXPECT_EQ(plan.enabledCount(), 1u);
+}
+
+TEST(QuantizationPlan, RecurrentLayersGetRecurrentQuantizer)
+{
+    Rng rng(9);
+    Network net("rnn", Shape({5}));
+    net.addLayer(std::make_unique<BiLstmLayer>("L1", 5, 4));
+    initNetwork(net, rng);
+    std::vector<Tensor> seq;
+    for (int t = 0; t < 6; ++t) {
+        Tensor x(Shape({5}));
+        rng.fillGaussian(x.data(), 0.0f, 1.0f);
+        seq.push_back(x);
+    }
+    const NetworkRanges ranges = profileNetworkRanges(net, seq);
+    const QuantizationPlan plan = makePlan(net, ranges, 16, {0});
+    ASSERT_TRUE(plan.layer(0).enabled());
+    EXPECT_TRUE(plan.layer(0).recurrent.has_value());
+}
+
+} // namespace
+} // namespace reuse

@@ -1,0 +1,108 @@
+/** @file Unit tests for range profiling. */
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "nn/activations.h"
+#include "nn/fully_connected.h"
+#include "nn/initializers.h"
+#include "nn/lstm.h"
+#include "quant/range_profiler.h"
+
+namespace reuse {
+namespace {
+
+TEST(RangeProfiler, TracksMinMax)
+{
+    RangeProfiler p;
+    EXPECT_FALSE(p.hasData());
+    p.observe(Tensor(Shape({3}), std::vector<float>{-2.0f, 0.0f, 5.0f}));
+    EXPECT_TRUE(p.hasData());
+    EXPECT_FLOAT_EQ(p.rangeMin(), -2.0f);
+    EXPECT_FLOAT_EQ(p.rangeMax(), 5.0f);
+}
+
+TEST(RangeProfiler, AccumulatesAcrossTensors)
+{
+    RangeProfiler p;
+    p.observe(Tensor(Shape({2}), std::vector<float>{1.0f, 2.0f}));
+    p.observe(Tensor(Shape({2}), std::vector<float>{-7.0f, 0.5f}));
+    EXPECT_FLOAT_EQ(p.rangeMin(), -7.0f);
+    EXPECT_FLOAT_EQ(p.rangeMax(), 2.0f);
+}
+
+TEST(RangeProfiler, ClippedRangeExcludesOutliers)
+{
+    RangeProfiler p;
+    Rng rng(1);
+    for (int i = 0; i < 10000; ++i)
+        p.observe(rng.gaussian(0.0f, 1.0f));
+    p.observe(1000.0f);   // gross outlier
+    const auto [lo, hi] = p.clippedRange(6.0);
+    EXPECT_LT(hi, 100.0f);
+    EXPECT_GT(hi, 3.0f);
+    EXPECT_LT(lo, -3.0f);
+}
+
+TEST(RangeProfiler, ClippedRangeNeverEmpty)
+{
+    RangeProfiler p;
+    for (int i = 0; i < 10; ++i)
+        p.observe(1.0f);   // constant stream
+    const auto [lo, hi] = p.clippedRange();
+    EXPECT_LT(lo, hi);
+}
+
+TEST(ProfileNetworkRanges, CapturesPerLayerInputs)
+{
+    Rng rng(2);
+    Network net("mlp", Shape({4}));
+    net.addLayer(std::make_unique<FullyConnectedLayer>("FC1", 4, 8));
+    net.addLayer(
+        std::make_unique<ActivationLayer>("RELU", ActivationKind::ReLU));
+    net.addLayer(std::make_unique<FullyConnectedLayer>("FC2", 8, 2));
+    initNetwork(net, rng);
+
+    std::vector<Tensor> inputs;
+    for (int i = 0; i < 5; ++i) {
+        Tensor t(Shape({4}));
+        rng.fillGaussian(t.data(), 0.0f, 1.0f);
+        inputs.push_back(t);
+    }
+    const NetworkRanges ranges = profileNetworkRanges(net, inputs);
+    ASSERT_EQ(ranges.layerInput.size(), 3u);
+    EXPECT_TRUE(ranges.layerInput[0].hasData());
+    EXPECT_TRUE(ranges.layerInput[2].hasData());
+    // ReLU output feeds FC2, so FC2's profiled minimum is >= 0.
+    EXPECT_GE(ranges.layerInput[2].rangeMin(), 0.0f);
+    // Feed-forward layers have no recurrent ranges.
+    EXPECT_FALSE(ranges.layerRecurrent[0].hasData());
+}
+
+TEST(ProfileNetworkRanges, RecurrentRangesForLstm)
+{
+    Rng rng(3);
+    Network net("rnn", Shape({5}));
+    net.addLayer(std::make_unique<BiLstmLayer>("L1", 5, 4));
+    initNetwork(net, rng);
+    std::vector<Tensor> seq;
+    for (int t = 0; t < 8; ++t) {
+        Tensor x(Shape({5}));
+        rng.fillGaussian(x.data(), 0.0f, 1.0f);
+        seq.push_back(x);
+    }
+    const NetworkRanges ranges = profileNetworkRanges(net, seq);
+    EXPECT_TRUE(ranges.layerRecurrent[0].hasData());
+    // Hidden outputs are bounded by the LSTM nonlinearity.
+    EXPECT_GE(ranges.layerRecurrent[0].rangeMin(), -1.0f);
+    EXPECT_LE(ranges.layerRecurrent[0].rangeMax(), 1.0f);
+}
+
+TEST(RangeProfilerDeath, NoDataPanics)
+{
+    RangeProfiler p;
+    EXPECT_DEATH((void)p.rangeMin(), "no data");
+}
+
+} // namespace
+} // namespace reuse

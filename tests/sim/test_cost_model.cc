@@ -1,0 +1,264 @@
+/** @file Unit tests for the per-layer accelerator cost model. */
+
+#include <gtest/gtest.h>
+
+#include "sim/cost_model.h"
+
+namespace reuse {
+namespace {
+
+LayerExecRecord
+fcRecord(int64_t n, int64_t m, bool enabled, bool first,
+         int64_t changed)
+{
+    LayerExecRecord r;
+    r.layerIndex = 0;
+    r.kind = LayerKind::FullyConnected;
+    r.reuseEnabled = enabled;
+    r.firstExecution = first;
+    r.inputsTotal = n;
+    r.outputsTotal = m;
+    r.macsFull = n * m;
+    if (enabled && !first) {
+        r.inputsChecked = n;
+        r.inputsChanged = changed;
+        r.macsPerformed = changed * m;
+    } else {
+        r.macsPerformed = r.macsFull;
+    }
+    return r;
+}
+
+TEST(CostModel, KindClassification)
+{
+    EXPECT_TRUE(isFcLike(LayerKind::FullyConnected));
+    EXPECT_TRUE(isFcLike(LayerKind::BiLstm));
+    EXPECT_FALSE(isFcLike(LayerKind::Conv2D));
+    EXPECT_TRUE(isConvKind(LayerKind::Conv2D));
+    EXPECT_TRUE(isConvKind(LayerKind::Conv3D));
+    EXPECT_FALSE(isConvKind(LayerKind::Activation));
+}
+
+TEST(CostModel, BaselineFcCyclesArePerInputPipelined)
+{
+    AcceleratorParams p;   // 128 lanes
+    const auto rec = fcRecord(400, 2000, false, false, 0);
+    const auto ev = layerEvents(rec, {}, p);
+    // ceil(2000 / 128) = 16 cycles per input.
+    EXPECT_DOUBLE_EQ(ev.cycles, 400.0 * 16.0);
+    EXPECT_EQ(ev.fpMul, 400 * 2000);
+    // MAC adds plus one bias add per output.
+    EXPECT_EQ(ev.fpAdd, 400 * 2000 + 2000);
+    EXPECT_EQ(ev.quantOps, 0);
+}
+
+TEST(CostModel, BaselineSmallOutputHasInputFloor)
+{
+    AcceleratorParams p;
+    // EESEN FC1-like: 640 inputs, 50 outputs (< 128 lanes).
+    const auto rec = fcRecord(640, 50, false, false, 0);
+    const auto ev = layerEvents(rec, {}, p);
+    EXPECT_DOUBLE_EQ(ev.cycles, 640.0);
+}
+
+TEST(CostModel, ReuseFcSkipsUnchangedInputs)
+{
+    AcceleratorParams p;
+    const auto baseline = fcRecord(400, 2000, false, false, 0);
+    const auto reuse = fcRecord(400, 2000, true, false, 100);
+    const auto ev_b = layerEvents(baseline, {}, p);
+    const auto ev_r = layerEvents(reuse, {}, p);
+    // 25% changed -> roughly 4x fewer cycles.
+    EXPECT_NEAR(ev_b.cycles / ev_r.cycles, 4.0, 0.05);
+    EXPECT_EQ(ev_r.quantOps, 400);
+    EXPECT_EQ(ev_r.cmpOps, 400);
+    EXPECT_LT(ev_r.edramWeightBytes, ev_b.edramWeightBytes);
+}
+
+TEST(CostModel, FullySimilarReuseCostsOnlyCompareStage)
+{
+    AcceleratorParams p;
+    const auto rec = fcRecord(400, 2000, true, false, 0);
+    const auto ev = layerEvents(rec, {}, p);
+    // ceil(400/128) = 4 cycles of vectorized quantize/compare.
+    EXPECT_DOUBLE_EQ(ev.cycles, 4.0);
+    EXPECT_EQ(ev.edramWeightBytes, 0);
+}
+
+TEST(CostModel, ReuseCyclesMonotonicInChangedInputs)
+{
+    AcceleratorParams p;
+    double prev = -1.0;
+    for (int64_t changed : {0, 50, 100, 200, 400}) {
+        const auto ev =
+            layerEvents(fcRecord(400, 2000, true, false, changed), {}, p);
+        EXPECT_GT(ev.cycles, prev);
+        prev = ev.cycles;
+    }
+}
+
+TEST(CostModel, NonResidentWeightsGoToDram)
+{
+    AcceleratorParams p;
+    LayerCostContext ctx;
+    ctx.weightsResident = false;
+    const auto rec = fcRecord(400, 2000, false, false, 0);
+    const auto ev = layerEvents(rec, ctx, p);
+    EXPECT_EQ(ev.edramWeightBytes, 0);
+    EXPECT_GT(ev.dramWeightBytes, 0);
+    // DRAM streaming of 400*2000*4 bytes at 32 B/cycle dominates the
+    // 6400 compute cycles.
+    EXPECT_GT(ev.cycles, 6400.0);
+}
+
+TEST(CostModel, DramOverlapTakesMax)
+{
+    AcceleratorParams p;
+    LayerCostContext ctx;
+    ctx.weightsResident = false;
+    const auto rec = fcRecord(400, 2000, false, false, 0);
+    const auto ev = layerEvents(rec, ctx, p);
+    const double dram_cycles =
+        static_cast<double>(ev.dramBytes()) / p.dramBytesPerCycle();
+    EXPECT_DOUBLE_EQ(ev.cycles, dram_cycles);
+}
+
+TEST(CostModel, ConvBaselineLaneBound)
+{
+    AcceleratorParams p;
+    LayerExecRecord rec;
+    rec.kind = LayerKind::Conv2D;
+    rec.inputsTotal = 1000;
+    rec.outputsTotal = 5000;
+    rec.macsFull = 1000 * 600;
+    rec.macsPerformed = rec.macsFull;
+    rec.kernelExtent = 5;
+    const auto ev = layerEvents(rec, {}, p);
+    // MAC-bound: 600000 / 128 = 4687.5 -> 4688 > 1000-input floor.
+    EXPECT_NEAR(ev.cycles, 4688.0, 1.0);
+}
+
+TEST(CostModel, ConvReuseUsesPerformedMacs)
+{
+    AcceleratorParams p;
+    LayerExecRecord rec;
+    rec.kind = LayerKind::Conv2D;
+    rec.reuseEnabled = true;
+    rec.inputsTotal = 1000;
+    rec.inputsChecked = 1000;
+    rec.inputsChanged = 100;
+    rec.outputsTotal = 5000;
+    rec.macsFull = 600000;
+    rec.macsPerformed = 60000;
+    rec.kernelExtent = 3;
+    const auto ev = layerEvents(rec, {}, p);
+    EXPECT_NEAR(ev.cycles, 60000.0 / 128.0, 1.0);
+    EXPECT_EQ(ev.quantOps, 1000);
+}
+
+TEST(CostModel, ConvDramActivationsWithHalo)
+{
+    AcceleratorParams p;   // blockEdge 16
+    LayerCostContext ctx;
+    ctx.dramActivations = true;
+    LayerExecRecord rec;
+    rec.kind = LayerKind::Conv2D;
+    rec.inputsTotal = 1024;
+    rec.outputsTotal = 1024;
+    rec.macsFull = 1024 * 9;
+    rec.macsPerformed = rec.macsFull;
+    rec.kernelExtent = 3;
+    const auto ev = layerEvents(rec, ctx, p);
+    // Input traffic inflated by the halo factor (18/16)^2.
+    const double halo = (18.0 / 16.0) * (18.0 / 16.0);
+    EXPECT_EQ(ev.dramActivationBytes,
+              static_cast<int64_t>(1024 * 4 * halo) + 1024 * 4);
+}
+
+TEST(CostModel, ReuseConvDramTrafficScalesWithChanges)
+{
+    AcceleratorParams p;
+    LayerCostContext ctx;
+    ctx.dramActivations = true;
+    LayerExecRecord base;
+    base.kind = LayerKind::Conv2D;
+    base.inputsTotal = 1024;
+    base.outputsTotal = 1024;
+    base.macsFull = 1024 * 9;
+    base.macsPerformed = base.macsFull;
+    base.kernelExtent = 3;
+    const auto ev_b = layerEvents(base, ctx, p);
+
+    // High similarity: untouched output blocks stay in DRAM, so the
+    // reuse configuration moves fewer activation bytes despite the
+    // added index traffic.
+    LayerExecRecord mostly_same = base;
+    mostly_same.reuseEnabled = true;
+    mostly_same.firstExecution = false;
+    mostly_same.inputsChecked = 1024;
+    mostly_same.inputsChanged = 100;
+    mostly_same.macsPerformed = 100 * 9;
+    const auto ev_similar = layerEvents(mostly_same, ctx, p);
+    EXPECT_LT(ev_similar.dramActivationBytes,
+              ev_b.dramActivationBytes);
+
+    // Zero similarity: every output block is read, corrected and
+    // written back, plus the index planes -- more traffic than the
+    // baseline's single output write.
+    LayerExecRecord all_changed = mostly_same;
+    all_changed.inputsChanged = 1024;
+    all_changed.macsPerformed = all_changed.macsFull;
+    const auto ev_worst = layerEvents(all_changed, ctx, p);
+    EXPECT_GT(ev_worst.dramActivationBytes, ev_b.dramActivationBytes);
+}
+
+TEST(CostModel, ElementwiseLayersAreCheap)
+{
+    AcceleratorParams p;
+    LayerExecRecord rec;
+    rec.kind = LayerKind::Activation;
+    rec.inputsTotal = 1280;
+    rec.outputsTotal = 1280;
+    const auto ev = layerEvents(rec, {}, p);
+    EXPECT_DOUBLE_EQ(ev.cycles, 10.0);
+    EXPECT_EQ(ev.edramWeightBytes, 0);
+}
+
+TEST(CostModel, LstmRecordIncludesElementwiseTail)
+{
+    AcceleratorParams p;
+    LayerExecRecord rec;
+    rec.kind = LayerKind::BiLstm;
+    rec.reuseEnabled = true;
+    rec.firstExecution = false;
+    rec.steps = 10;
+    rec.inputsTotal = 10 * 2 * (64 + 32);
+    rec.inputsChecked = rec.inputsTotal;
+    rec.inputsChanged = 100;
+    rec.outputsTotal = 10 * 2 * 4 * 32;
+    rec.macsFull = 10 * 2 * 4 * (64 * 32 + 32 * 32);
+    rec.macsPerformed = 100 * 4 * 32;
+    const auto ev = layerEvents(rec, {}, p);
+    // fpMul includes corrections + quantize + elementwise tail.
+    EXPECT_GE(ev.fpMul, rec.macsPerformed + rec.inputsTotal +
+                            rec.outputsTotal);
+}
+
+TEST(CostModel, EventsAddUp)
+{
+    SimEvents a, b;
+    a.cycles = 10;
+    a.fpMul = 5;
+    a.edramWeightBytes = 100;
+    b.cycles = 2;
+    b.fpMul = 7;
+    b.dramWeightBytes = 50;
+    a += b;
+    EXPECT_DOUBLE_EQ(a.cycles, 12.0);
+    EXPECT_EQ(a.fpMul, 12);
+    EXPECT_EQ(a.dramBytes(), 50);
+    EXPECT_EQ(a.fpOps(), 12);
+}
+
+} // namespace
+} // namespace reuse

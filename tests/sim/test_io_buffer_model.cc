@@ -1,0 +1,167 @@
+/** @file Unit tests for the storage-footprint model (Table III). */
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "nn/activations.h"
+#include "nn/conv2d.h"
+#include "nn/fully_connected.h"
+#include "nn/initializers.h"
+#include "nn/lstm.h"
+#include "quant/range_profiler.h"
+#include "sim/io_buffer_model.h"
+
+namespace reuse {
+namespace {
+
+TEST(DramActivations, OnlyCnnsUseDram)
+{
+    Network mlp("mlp", Shape({4}));
+    mlp.addLayer(std::make_unique<FullyConnectedLayer>("FC", 4, 4));
+    EXPECT_FALSE(usesDramActivations(mlp));
+
+    Network cnn("cnn", Shape({1, 8, 8}));
+    cnn.addLayer(std::make_unique<Conv2DLayer>("C", 1, 2, 3, 1));
+    EXPECT_TRUE(usesDramActivations(cnn));
+
+    Network rnn("rnn", Shape({5}));
+    rnn.addLayer(std::make_unique<BiLstmLayer>("L", 5, 4));
+    EXPECT_FALSE(usesDramActivations(rnn));
+}
+
+struct MlpFixture {
+    Rng rng{71};
+    Network net{"mlp", Shape({8})};
+    QuantizationPlan plan;
+
+    MlpFixture()
+    {
+        net.addLayer(
+            std::make_unique<FullyConnectedLayer>("FC1", 8, 64));
+        net.addLayer(
+            std::make_unique<FullyConnectedLayer>("FC2", 64, 32));
+        initNetwork(net, rng);
+        std::vector<Tensor> calib;
+        for (int i = 0; i < 4; ++i) {
+            Tensor t(Shape({8}));
+            rng.fillGaussian(t.data(), 0.0f, 1.0f);
+            calib.push_back(t);
+        }
+        const auto ranges = profileNetworkRanges(net, calib);
+        plan = makePlan(net, ranges, 16, {0, 1});
+    }
+};
+
+TEST(StorageFootprint, MlpBaselineDoubleBuffersWidestLayer)
+{
+    MlpFixture f;
+    AcceleratorParams p;
+    const auto fp = computeStorageFootprint(f.net, f.plan, p);
+    // Widest activation is 64 elements -> 2 * 64 * 4 bytes.
+    EXPECT_EQ(fp.ioBufferBaselineBytes, 2 * 64 * 4);
+}
+
+TEST(StorageFootprint, MlpReuseAddsOutputsAndIndices)
+{
+    MlpFixture f;
+    AcceleratorParams p;
+    const auto fp = computeStorageFootprint(f.net, f.plan, p);
+    // Extra: FC1 outputs (64*4) + FC1 indices (8) + FC2 outputs
+    // (32*4) + FC2 indices (64).
+    EXPECT_EQ(fp.ioBufferReuseBytes,
+              fp.ioBufferBaselineBytes +
+                  64 * 4 + 8 * p.indexBytes + 32 * 4 +
+                  64 * p.indexBytes);
+}
+
+TEST(StorageFootprint, MlpMainMemoryUnchangedByReuse)
+{
+    MlpFixture f;
+    AcceleratorParams p;
+    const auto fp = computeStorageFootprint(f.net, f.plan, p);
+    EXPECT_EQ(fp.mainMemoryBaselineBytes, f.net.paramCount() * 4);
+    EXPECT_EQ(fp.mainMemoryReuseBytes, fp.mainMemoryBaselineBytes);
+}
+
+TEST(StorageFootprint, DisabledPlanAddsNothing)
+{
+    MlpFixture f;
+    AcceleratorParams p;
+    const auto fp =
+        computeStorageFootprint(f.net, QuantizationPlan(f.net), p);
+    EXPECT_EQ(fp.ioBufferReuseBytes, fp.ioBufferBaselineBytes);
+    EXPECT_EQ(fp.centroidTableBytes, 0);
+}
+
+TEST(StorageFootprint, CnnBlockedBuffers)
+{
+    Rng rng(72);
+    Network net("cnn", Shape({3, 32, 32}));
+    net.addLayer(std::make_unique<Conv2DLayer>("C1", 3, 8, 3, 1));
+    net.addLayer(std::make_unique<Conv2DLayer>("C2", 8, 16, 3, 1));
+    initNetwork(net, rng);
+    std::vector<Tensor> calib;
+    for (int i = 0; i < 2; ++i) {
+        Tensor t(Shape({3, 32, 32}));
+        rng.fillGaussian(t.data(), 0.0f, 1.0f);
+        calib.push_back(t);
+    }
+    const auto ranges = profileNetworkRanges(net, calib);
+    const auto plan = makePlan(net, ranges, 32, {0, 1});
+    AcceleratorParams p;
+    const auto fp = computeStorageFootprint(net, plan, p);
+    // Max in channels 8 (haloed 18x18 blocks for the 3x3 kernel),
+    // max out channels 16 (plain 16x16 blocks), 4 B elements.
+    const int64_t in_block = 18 * 18 * 4;
+    const int64_t out_block = 16 * 16 * 4;
+    EXPECT_EQ(fp.ioBufferBaselineBytes, 8 * in_block + 16 * out_block);
+    // Reuse adds one index byte per (un-haloed) input-block element.
+    EXPECT_EQ(fp.ioBufferReuseBytes,
+              fp.ioBufferBaselineBytes + 8 * 16 * 16 * p.indexBytes);
+    // CNN main memory holds activations and gains index planes.
+    EXPECT_GT(fp.mainMemoryBaselineBytes, net.paramCount() * 4);
+    EXPECT_GT(fp.mainMemoryReuseBytes, fp.mainMemoryBaselineBytes);
+}
+
+TEST(StorageFootprint, RnnReuseExtraIsPerCellNotPerLayer)
+{
+    Rng rng(73);
+    Network net("rnn", Shape({12}));
+    net.addLayer(std::make_unique<BiLstmLayer>("L1", 12, 8));
+    net.addLayer(std::make_unique<BiLstmLayer>("L2", 16, 8));
+    initNetwork(net, rng);
+    std::vector<Tensor> seq;
+    for (int t = 0; t < 6; ++t) {
+        Tensor x(Shape({12}));
+        rng.fillGaussian(x.data(), 0.0f, 1.0f);
+        seq.push_back(x);
+    }
+    const auto ranges = profileNetworkRanges(net, seq);
+    const auto plan = makePlan(net, ranges, 16, {0, 1});
+    AcceleratorParams p;
+    const auto fp = computeStorageFootprint(net, plan, p);
+    // The reuse extra covers ONE direction of ONE layer's cell state
+    // (max over layers), not the sum: recurrent layers run one at a
+    // time and the two directions run back-to-back.
+    const int64_t l2_per_dir =
+        4 * 8 * 4 + (16 + 8) * p.indexBytes;
+    EXPECT_EQ(fp.ioBufferReuseBytes - fp.ioBufferBaselineBytes,
+              l2_per_dir);
+}
+
+TEST(StorageFootprint, CentroidTableCountsEnabledQuantizers)
+{
+    MlpFixture f;
+    AcceleratorParams p;
+    const auto fp = computeStorageFootprint(f.net, f.plan, p);
+    int64_t expected = 0;
+    for (size_t li = 0; li < f.plan.size(); ++li) {
+        if (f.plan.layer(li).enabled())
+            expected += f.plan.layer(li).input->indexCount() * 4;
+    }
+    EXPECT_EQ(fp.centroidTableBytes, expected);
+    EXPECT_GT(fp.centroidTableBytes, 0);
+}
+
+} // namespace
+} // namespace reuse

@@ -1,0 +1,90 @@
+/** @file Unit tests for multi-tile work distribution (Sec. IV-E). */
+
+#include <gtest/gtest.h>
+
+#include "sim/tile_model.h"
+
+namespace reuse {
+namespace {
+
+TEST(TileModel, EvenSplitIsBalanced)
+{
+    const auto d = distributeUnits(2000, 4);
+    EXPECT_EQ(d.unitsPerTile, 500);
+    EXPECT_EQ(d.activeTiles, 4);
+    EXPECT_DOUBLE_EQ(d.imbalance, 1.0);
+}
+
+TEST(TileModel, UnevenSplitHasImbalance)
+{
+    // 3482 outputs over 4 tiles: 871 on the busiest tile.
+    const auto d = distributeUnits(3482, 4);
+    EXPECT_EQ(d.unitsPerTile, 871);
+    EXPECT_EQ(d.activeTiles, 4);
+    EXPECT_NEAR(d.imbalance, 871.0 * 4.0 / 3482.0, 1e-12);
+    EXPECT_GT(d.imbalance, 1.0);
+}
+
+TEST(TileModel, FewerUnitsThanTiles)
+{
+    const auto d = distributeUnits(3, 8);
+    EXPECT_EQ(d.unitsPerTile, 1);
+    EXPECT_EQ(d.activeTiles, 3);
+    // Five tiles idle: imbalance 8/3.
+    EXPECT_NEAR(d.imbalance, 8.0 / 3.0, 1e-12);
+}
+
+TEST(TileModel, SingleTileIsTrivial)
+{
+    const auto d = distributeUnits(1000, 1);
+    EXPECT_EQ(d.unitsPerTile, 1000);
+    EXPECT_EQ(d.activeTiles, 1);
+    EXPECT_DOUBLE_EQ(d.imbalance, 1.0);
+}
+
+TEST(TileModel, ZeroUnitsIsSafe)
+{
+    const auto d = distributeUnits(0, 4);
+    EXPECT_EQ(d.unitsPerTile, 0);
+    EXPECT_EQ(d.activeTiles, 0);
+    EXPECT_DOUBLE_EQ(d.imbalance, 1.0);
+}
+
+TEST(TileModel, ImbalanceShrinksWithMoreUnits)
+{
+    // Relative rounding waste decreases as units grow.
+    const double small = distributeUnits(5, 4).imbalance;
+    const double large = distributeUnits(5000, 4).imbalance;
+    EXPECT_GT(small, large);
+}
+
+TEST(TileModel, ParallelUnitsPerLayerKind)
+{
+    EXPECT_EQ(layerParallelUnits(LayerKind::FullyConnected, 2000, 0),
+              2000);
+    EXPECT_EQ(layerParallelUnits(LayerKind::Conv2D, 24 * 31 * 98, 24),
+              24);
+    EXPECT_EQ(layerParallelUnits(LayerKind::Conv3D, 1000, 512), 512);
+    // LSTM gates map one per tile (4 gates).
+    EXPECT_EQ(layerParallelUnits(LayerKind::BiLstm, 640, 0), 4);
+}
+
+TEST(TileModel, RingGatherScalesWithTiles)
+{
+    EXPECT_EQ(ringGatherBytes(4096, 1), 0);
+    const int64_t four = ringGatherBytes(4096, 4);
+    const int64_t eight = ringGatherBytes(4096, 8);
+    EXPECT_GT(four, 0);
+    // More tiles -> more hops for the same payload.
+    EXPECT_GT(eight, four);
+}
+
+TEST(TileModel, RingGatherFormula)
+{
+    // 4 tiles: 3/4 of the bytes travel an average of 2 hops.
+    EXPECT_EQ(ringGatherBytes(4000, 4),
+              static_cast<int64_t>(4000.0 * 3.0 / 4.0 * 2.0));
+}
+
+} // namespace
+} // namespace reuse

@@ -1,0 +1,104 @@
+/** @file Unit tests for the dense float tensor. */
+
+#include <gtest/gtest.h>
+
+#include "tensor/tensor.h"
+
+namespace reuse {
+namespace {
+
+TEST(Tensor, ZeroInitialized)
+{
+    Tensor t(Shape({2, 3}));
+    EXPECT_EQ(t.numel(), 6);
+    for (int64_t i = 0; i < t.numel(); ++i)
+        EXPECT_EQ(t[i], 0.0f);
+}
+
+TEST(Tensor, FillConstructor)
+{
+    Tensor t(Shape({4}), 2.5f);
+    for (int64_t i = 0; i < 4; ++i)
+        EXPECT_EQ(t[i], 2.5f);
+}
+
+TEST(Tensor, AdoptsData)
+{
+    Tensor t(Shape({3}), std::vector<float>{1, 2, 3});
+    EXPECT_EQ(t[0], 1.0f);
+    EXPECT_EQ(t[2], 3.0f);
+}
+
+TEST(Tensor, MultiIndexAccess)
+{
+    Tensor t(Shape({2, 3}));
+    t.at({1, 2}) = 7.0f;
+    EXPECT_EQ(t[5], 7.0f);
+    EXPECT_EQ(t.at({1, 2}), 7.0f);
+}
+
+TEST(Tensor, FillAndZero)
+{
+    Tensor t(Shape({5}));
+    t.fill(3.0f);
+    EXPECT_EQ(t[4], 3.0f);
+    t.zero();
+    EXPECT_EQ(t[4], 0.0f);
+}
+
+TEST(Tensor, ReshapePreservesData)
+{
+    Tensor t(Shape({2, 3}), std::vector<float>{1, 2, 3, 4, 5, 6});
+    Tensor r = t.reshaped(Shape({3, 2}));
+    EXPECT_EQ(r.shape(), Shape({3, 2}));
+    for (int64_t i = 0; i < 6; ++i)
+        EXPECT_EQ(r[i], t[i]);
+}
+
+TEST(Tensor, ArgmaxFindsFirstLargest)
+{
+    Tensor t(Shape({5}), std::vector<float>{1, 5, 3, 5, 2});
+    EXPECT_EQ(t.argmax(), 1);
+}
+
+TEST(Tensor, SumAndNorm)
+{
+    Tensor t(Shape({4}), std::vector<float>{3, 4, 0, 0});
+    EXPECT_DOUBLE_EQ(t.sum(), 7.0);
+    EXPECT_DOUBLE_EQ(t.norm(), 5.0);
+}
+
+TEST(Tensor, MinMax)
+{
+    Tensor t(Shape({4}), std::vector<float>{-2, 7, 0, 3});
+    EXPECT_EQ(t.minValue(), -2.0f);
+    EXPECT_EQ(t.maxValue(), 7.0f);
+}
+
+TEST(Tensor, DefaultIsScalar)
+{
+    Tensor t;
+    EXPECT_EQ(t.numel(), 1);
+    EXPECT_EQ(t[0], 0.0f);
+}
+
+TEST(TensorDeath, BadAtPanics)
+{
+    Tensor t(Shape({2}));
+    EXPECT_DEATH((void)t.at(int64_t{5}), "out of range");
+}
+
+TEST(TensorDeath, ReshapeMismatchPanics)
+{
+    Tensor t(Shape({2, 3}));
+    EXPECT_DEATH((void)t.reshaped(Shape({7})), "element count");
+}
+
+TEST(TensorDeath, DataSizeMismatchPanics)
+{
+    EXPECT_DEATH(Tensor(Shape({3}), std::vector<float>{1, 2}),
+                 "data size");
+}
+
+} // namespace
+} // namespace reuse

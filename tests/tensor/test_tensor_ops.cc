@@ -1,0 +1,91 @@
+/** @file Unit tests for elementwise tensor operations. */
+
+#include <gtest/gtest.h>
+
+#include "tensor/tensor_ops.h"
+
+namespace reuse {
+namespace {
+
+Tensor
+vec(std::vector<float> v)
+{
+    const int64_t n = static_cast<int64_t>(v.size());
+    return Tensor(Shape({n}), std::move(v));
+}
+
+TEST(TensorOps, AddSubScale)
+{
+    const Tensor a = vec({1, 2, 3});
+    const Tensor b = vec({4, 5, 6});
+    const Tensor s = add(a, b);
+    EXPECT_EQ(s[0], 5.0f);
+    EXPECT_EQ(s[2], 9.0f);
+    const Tensor d = sub(b, a);
+    EXPECT_EQ(d[0], 3.0f);
+    const Tensor m = scale(a, 2.0f);
+    EXPECT_EQ(m[2], 6.0f);
+}
+
+TEST(TensorOps, EuclideanDistance)
+{
+    const Tensor a = vec({0, 0});
+    const Tensor b = vec({3, 4});
+    EXPECT_DOUBLE_EQ(euclideanDistance(a, b), 5.0);
+    EXPECT_DOUBLE_EQ(euclideanDistance(a, a), 0.0);
+}
+
+TEST(TensorOps, RelativeDifferenceDefinition)
+{
+    // Fig. 4 metric: ||cur - prev|| / ||prev||.
+    const Tensor prev = vec({3, 4});       // norm 5
+    const Tensor cur = vec({3, 4 + 5});    // distance 5
+    EXPECT_DOUBLE_EQ(relativeDifference(cur, prev), 1.0);
+}
+
+TEST(TensorOps, RelativeDifferenceZeroPrev)
+{
+    const Tensor prev = vec({0, 0});
+    const Tensor cur = vec({1, 1});
+    EXPECT_DOUBLE_EQ(relativeDifference(cur, prev), 0.0);
+}
+
+TEST(TensorOps, MaxAbsDifference)
+{
+    const Tensor a = vec({1, -5, 2});
+    const Tensor b = vec({1, 5, 2});
+    EXPECT_DOUBLE_EQ(maxAbsDifference(a, b), 10.0);
+}
+
+TEST(TensorOps, ExactMatchFraction)
+{
+    const Tensor a = vec({1, 2, 3, 4});
+    const Tensor b = vec({1, 2, 9, 4});
+    EXPECT_DOUBLE_EQ(exactMatchFraction(a, b), 0.75);
+    EXPECT_DOUBLE_EQ(exactMatchFraction(a, a), 1.0);
+}
+
+TEST(TensorOps, Axpy)
+{
+    const Tensor x = vec({1, 2});
+    Tensor y = vec({10, 20});
+    axpy(0.5f, x, y);
+    EXPECT_EQ(y[0], 10.5f);
+    EXPECT_EQ(y[1], 21.0f);
+}
+
+TEST(TensorOps, Mean)
+{
+    EXPECT_DOUBLE_EQ(mean(vec({1, 2, 3, 4})), 2.5);
+}
+
+TEST(TensorOpsDeath, ShapeMismatchPanics)
+{
+    const Tensor a = vec({1, 2});
+    const Tensor b = vec({1, 2, 3});
+    EXPECT_DEATH((void)add(a, b), "shape mismatch");
+    EXPECT_DEATH((void)euclideanDistance(a, b), "shape mismatch");
+}
+
+} // namespace
+} // namespace reuse

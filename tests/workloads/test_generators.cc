@@ -1,0 +1,178 @@
+/** @file Unit tests for the synthetic sequence generators. */
+
+#include <gtest/gtest.h>
+
+#include "tensor/tensor_ops.h"
+#include "workloads/speech_generator.h"
+#include "workloads/video_generator.h"
+
+namespace reuse {
+namespace {
+
+TEST(SpeechFrameGenerator, ShapeAndDeterminism)
+{
+    SpeechParams p;
+    p.featureDim = 40;
+    SpeechFrameGenerator a(p, 5), b(p, 5);
+    EXPECT_EQ(a.inputShape(), Shape({40}));
+    for (int i = 0; i < 10; ++i) {
+        const Tensor ta = a.next();
+        const Tensor tb = b.next();
+        for (int64_t j = 0; j < 40; ++j)
+            EXPECT_EQ(ta[j], tb[j]);
+    }
+}
+
+TEST(SpeechFrameGenerator, ConsecutiveFramesAreSimilar)
+{
+    SpeechParams p;
+    SpeechFrameGenerator g(p, 11);
+    Tensor prev = g.next();
+    double total_rel = 0.0;
+    const int n = 200;
+    for (int i = 0; i < n; ++i) {
+        const Tensor cur = g.next();
+        total_rel += relativeDifference(cur, prev);
+        prev = cur;
+    }
+    // The paper reports <14% average relative difference for its
+    // DNNs' inputs; the synthetic stream must be in that regime.
+    EXPECT_LT(total_rel / n, 0.30);
+    EXPECT_GT(total_rel / n, 0.0);
+}
+
+TEST(SpeechFrameGenerator, ResetReproducesStream)
+{
+    SpeechParams p;
+    SpeechFrameGenerator g(p, 3);
+    const Tensor first = g.next();
+    g.next();
+    g.reset(3);
+    const Tensor again = g.next();
+    for (int64_t j = 0; j < first.numel(); ++j)
+        EXPECT_EQ(first[j], again[j]);
+}
+
+TEST(SpeechWindowGenerator, WindowSlidesByOneFrame)
+{
+    SpeechParams p;
+    p.featureDim = 4;
+    SpeechWindowGenerator g(p, 3, 21);
+    EXPECT_EQ(g.inputShape(), Shape({12}));
+    const Tensor w1 = g.next();
+    const Tensor w2 = g.next();
+    // Frames 1..2 of w1 must equal frames 0..1 of w2.
+    for (int64_t i = 0; i < 8; ++i)
+        EXPECT_EQ(w1[4 + i], w2[i]);
+}
+
+TEST(SpeechWindowGenerator, TakeProducesRequestedCount)
+{
+    SpeechParams p;
+    SpeechWindowGenerator g(p, 9, 22);
+    const auto frames = g.take(7);
+    EXPECT_EQ(frames.size(), 7u);
+    for (const auto &f : frames)
+        EXPECT_EQ(f.numel(), 9 * 40);
+}
+
+TEST(VideoWindowGenerator, ShapeAndRange)
+{
+    VideoParams p;
+    p.height = 16;
+    p.width = 16;
+    p.framesPerWindow = 4;
+    VideoWindowGenerator g(p, 31);
+    const Tensor w = g.next();
+    EXPECT_EQ(w.shape(), Shape({3, 4, 16, 16}));
+    for (int64_t i = 0; i < w.numel(); ++i) {
+        EXPECT_GE(w[i], 0.0f);
+        EXPECT_LE(w[i], 1.0f);
+    }
+}
+
+TEST(VideoWindowGenerator, StaticBackgroundGivesSimilarWindows)
+{
+    VideoParams p;
+    p.height = 24;
+    p.width = 24;
+    p.framesPerWindow = 4;
+    p.objects = 1;
+    p.objectScale = 0.2;
+    p.pixelNoise = 0.0f;
+    p.sceneCutProb = 0.0;
+    VideoWindowGenerator g(p, 32);
+    const Tensor w1 = g.next();
+    const Tensor w2 = g.next();
+    // With a static background and one small object, most pixels are
+    // bitwise identical across consecutive windows.
+    EXPECT_GT(exactMatchFraction(w1, w2), 0.8);
+}
+
+TEST(VideoWindowGenerator, NoiseBreaksExactMatches)
+{
+    VideoParams p;
+    p.height = 16;
+    p.width = 16;
+    p.framesPerWindow = 2;
+    p.pixelNoise = 0.01f;
+    VideoWindowGenerator g(p, 33);
+    const Tensor w1 = g.next();
+    const Tensor w2 = g.next();
+    EXPECT_LT(exactMatchFraction(w1, w2), 0.2);
+    // ...but windows stay numerically close (small frames make the
+    // moving object a large relative share).
+    EXPECT_LT(relativeDifference(w2, w1), 0.35);
+}
+
+TEST(DrivingFrameGenerator, ShapeAndRange)
+{
+    DrivingParams p;
+    DrivingFrameGenerator g(p, 41);
+    const Tensor f = g.next();
+    EXPECT_EQ(f.shape(), Shape({3, 66, 200}));
+    for (int64_t i = 0; i < f.numel(); ++i) {
+        EXPECT_GE(f[i], 0.0f);
+        EXPECT_LE(f[i], 1.0f);
+    }
+}
+
+TEST(DrivingFrameGenerator, ConsecutiveFramesSimilar)
+{
+    DrivingParams p;
+    DrivingFrameGenerator g(p, 42);
+    Tensor prev = g.next();
+    double rel = 0.0;
+    for (int i = 0; i < 20; ++i) {
+        const Tensor cur = g.next();
+        rel += relativeDifference(cur, prev);
+        prev = cur;
+    }
+    EXPECT_LT(rel / 20, 0.15);
+}
+
+TEST(DrivingFrameGenerator, LaneOffsetBounded)
+{
+    DrivingParams p;
+    DrivingFrameGenerator g(p, 43);
+    for (int i = 0; i < 300; ++i) {
+        g.next();
+        EXPECT_LE(std::abs(g.laneOffset()), 8.0);
+    }
+}
+
+TEST(DrivingFrameGenerator, SceneHasSkyRoadStructure)
+{
+    DrivingParams p;
+    p.pixelNoise = 0.0f;
+    DrivingFrameGenerator g(p, 44);
+    const Tensor f = g.next();
+    // Sky (top rows) is bluer than the road surface (bottom rows,
+    // probed off the white center-line marker).
+    const float sky_blue = f.at({2, 2, 100});
+    const float road_blue = f.at({2, 60, 130});
+    EXPECT_GT(sky_blue, road_blue);
+}
+
+} // namespace
+} // namespace reuse

@@ -1,0 +1,207 @@
+/** @file Unit tests for the four Table-I network topologies. */
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "nn/fully_connected.h"
+#include "nn/lstm.h"
+#include "workloads/model_zoo.h"
+
+namespace reuse {
+namespace {
+
+TEST(ModelZoo, KaldiShapesMatchTableI)
+{
+    Rng rng(1);
+    const auto bundle = buildKaldi(rng);
+    const Network &net = *bundle.network;
+    EXPECT_EQ(net.inputShape(), Shape({360}));
+    EXPECT_EQ(net.outputShape(), Shape({3482}));
+    EXPECT_FALSE(net.isRecurrent());
+    // Table I: FC dims 360-360, 360-2000, 400-2000 x3, 400-3482.
+    const auto shapes = net.layerInputShapes();
+    int fc_seen = 0;
+    for (size_t li = 0; li < net.layerCount(); ++li) {
+        if (net.layer(li).kind() != LayerKind::FullyConnected)
+            continue;
+        const auto &fc =
+            static_cast<const FullyConnectedLayer &>(net.layer(li));
+        switch (fc_seen) {
+          case 0:
+            EXPECT_EQ(fc.inputs(), 360);
+            EXPECT_EQ(fc.outputs(), 360);
+            break;
+          case 1:
+            EXPECT_EQ(fc.inputs(), 360);
+            EXPECT_EQ(fc.outputs(), 2000);
+            break;
+          case 5:
+            EXPECT_EQ(fc.inputs(), 400);
+            EXPECT_EQ(fc.outputs(), 3482);
+            break;
+          default:
+            EXPECT_EQ(fc.inputs(), 400);
+            EXPECT_EQ(fc.outputs(), 2000);
+            break;
+        }
+        EXPECT_EQ(shapes[li].numel(), fc.inputs());
+        ++fc_seen;
+    }
+    EXPECT_EQ(fc_seen, 6);
+    // ~18 MB of weights (Table I header).
+    const double mb = static_cast<double>(net.weightBytes()) /
+                      (1024.0 * 1024.0);
+    EXPECT_NEAR(mb, 18.0, 2.0);
+    // Quantization applies to FC3..FC6 (4 layers).
+    EXPECT_EQ(bundle.quantizedLayers.size(), 4u);
+    EXPECT_EQ(bundle.clusters, 16);
+}
+
+TEST(ModelZoo, KaldiForwardRuns)
+{
+    Rng rng(2);
+    const auto bundle = buildKaldi(rng);
+    Tensor in(Shape({360}));
+    rng.fillGaussian(in.data(), 0.0f, 1.0f);
+    const Tensor out = bundle.network->forward(in);
+    EXPECT_EQ(out.numel(), 3482);
+    // Softmax output sums to 1.
+    EXPECT_NEAR(out.sum(), 1.0, 1e-4);
+}
+
+TEST(ModelZoo, EesenShapesMatchTableI)
+{
+    Rng rng(3);
+    const auto bundle = buildEesen(rng);
+    const Network &net = *bundle.network;
+    EXPECT_TRUE(net.isRecurrent());
+    EXPECT_EQ(net.inputShape(), Shape({120}));
+    EXPECT_EQ(net.outputShape(), Shape({50}));
+    // 5 BiLSTM layers with 320 cells each.
+    int lstm_seen = 0;
+    for (size_t li = 0; li < net.layerCount(); ++li) {
+        if (net.layer(li).kind() != LayerKind::BiLstm)
+            continue;
+        const auto &l =
+            static_cast<const BiLstmLayer &>(net.layer(li));
+        EXPECT_EQ(l.cellDim(), 320);
+        EXPECT_EQ(l.inputDim(), lstm_seen == 0 ? 120 : 640);
+        EXPECT_EQ(l.outputDim(), 640);
+        ++lstm_seen;
+    }
+    EXPECT_EQ(lstm_seen, 5);
+    const double mb = static_cast<double>(net.weightBytes()) /
+                      (1024.0 * 1024.0);
+    EXPECT_NEAR(mb, 42.0, 4.0);
+    EXPECT_EQ(bundle.quantizedLayers.size(), 5u);
+    EXPECT_EQ(bundle.clusters, 16);
+}
+
+TEST(ModelZoo, C3DFullScaleShapesMatchTableI)
+{
+    Rng rng(4);
+    const auto bundle = buildC3D(rng, 1);
+    const Network &net = *bundle.network;
+    EXPECT_EQ(net.inputShape(), Shape({3, 16, 112, 112}));
+    EXPECT_EQ(net.outputShape(), Shape({101}));
+    // FC1 input must be 8192 = 512 x 1 x 4 x 4 (Table I).
+    for (size_t li = 0; li < net.layerCount(); ++li) {
+        if (net.layer(li).kind() == LayerKind::FullyConnected) {
+            const auto &fc = static_cast<const FullyConnectedLayer &>(
+                net.layer(li));
+            EXPECT_EQ(fc.inputs(), 8192);
+            EXPECT_EQ(fc.outputs(), 4096);
+            break;
+        }
+    }
+    const double mb = static_cast<double>(net.weightBytes()) /
+                      (1024.0 * 1024.0);
+    EXPECT_NEAR(mb, 300.0, 30.0);
+    // CONV1 excluded: CONV2..CONV8 + FC1..FC3 = 10 quantized layers.
+    EXPECT_EQ(bundle.quantizedLayers.size(), 10u);
+    EXPECT_EQ(bundle.clusters, 32);
+}
+
+TEST(ModelZoo, C3DScaledForwardRuns)
+{
+    Rng rng(5);
+    const auto bundle = buildC3D(rng, 8);   // 14x14 frames
+    Tensor in(bundle.network->inputShape());
+    rng.fillUniform(in.data(), 0.0f, 1.0f);
+    const Tensor out = bundle.network->forward(in);
+    EXPECT_EQ(out.numel(), 101);
+    EXPECT_NEAR(out.sum(), 1.0, 1e-4);
+}
+
+TEST(ModelZoo, AutopilotShapesMatchTableI)
+{
+    Rng rng(6);
+    const auto bundle = buildAutopilot(rng);
+    const Network &net = *bundle.network;
+    EXPECT_EQ(net.inputShape(), Shape({3, 66, 200}));
+    EXPECT_EQ(net.outputShape(), Shape({1}));
+    const auto shapes = net.layerInputShapes();
+    // Table I conv output dims.
+    const std::vector<Shape> expected_conv_outs = {
+        Shape({24, 31, 98}), Shape({36, 14, 47}), Shape({48, 5, 22}),
+        Shape({64, 3, 20}), Shape({64, 1, 18})};
+    size_t conv_seen = 0;
+    for (size_t li = 0; li < net.layerCount(); ++li) {
+        if (net.layer(li).kind() != LayerKind::Conv2D)
+            continue;
+        EXPECT_EQ(net.layer(li).outputShape(shapes[li]),
+                  expected_conv_outs[conv_seen])
+            << net.layer(li).name();
+        ++conv_seen;
+    }
+    EXPECT_EQ(conv_seen, 5u);
+    const double mb = static_cast<double>(net.weightBytes()) /
+                      (1024.0 * 1024.0);
+    EXPECT_NEAR(mb, 6.3, 1.0);
+    // CONV1..FC4 quantized (9 layers); FC5 skipped.
+    EXPECT_EQ(bundle.quantizedLayers.size(), 9u);
+    EXPECT_EQ(bundle.clusters, 32);
+}
+
+TEST(ModelZoo, AutopilotForwardRuns)
+{
+    Rng rng(7);
+    const auto bundle = buildAutopilot(rng);
+    Tensor in(Shape({3, 66, 200}));
+    rng.fillUniform(in.data(), 0.0f, 1.0f);
+    const Tensor out = bundle.network->forward(in);
+    EXPECT_EQ(out.numel(), 1);
+    // atan output is bounded.
+    EXPECT_LT(std::abs(out[0]), 1.5708f);
+}
+
+TEST(ModelZoo, QuantizedLayersAreReusable)
+{
+    Rng rng(8);
+    for (const auto &name : modelZooNames()) {
+        ModelBundle bundle;
+        if (name == "Kaldi")
+            bundle = buildKaldi(rng);
+        else if (name == "EESEN")
+            bundle = buildEesen(rng);
+        else if (name == "C3D")
+            bundle = buildC3D(rng, 8);
+        else
+            bundle = buildAutopilot(rng);
+        for (size_t li : bundle.quantizedLayers) {
+            EXPECT_TRUE(bundle.network->layer(li).isReusable())
+                << name << " layer " << li;
+        }
+    }
+}
+
+TEST(ModelZoo, NamesListedInPaperOrder)
+{
+    const auto names = modelZooNames();
+    ASSERT_EQ(names.size(), 4u);
+    EXPECT_EQ(names[0], "Kaldi");
+    EXPECT_EQ(names[3], "AutoPilot");
+}
+
+} // namespace
+} // namespace reuse
