@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_clusters.dir/ablation_clusters.cc.o"
+  "CMakeFiles/ablation_clusters.dir/ablation_clusters.cc.o.d"
+  "ablation_clusters"
+  "ablation_clusters.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_clusters.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_refresh.dir/ablation_refresh.cc.o"
+  "CMakeFiles/ablation_refresh.dir/ablation_refresh.cc.o.d"
+  "ablation_refresh"
+  "ablation_refresh.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_refresh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_tiles.dir/ablation_tiles.cc.o"
+  "CMakeFiles/ablation_tiles.dir/ablation_tiles.cc.o.d"
+  "ablation_tiles"
+  "ablation_tiles.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_tiles.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

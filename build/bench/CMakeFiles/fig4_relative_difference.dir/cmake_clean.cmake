@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_relative_difference.dir/fig4_relative_difference.cc.o"
+  "CMakeFiles/fig4_relative_difference.dir/fig4_relative_difference.cc.o.d"
+  "fig4_relative_difference"
+  "fig4_relative_difference.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_relative_difference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_similarity_reuse.dir/fig5_similarity_reuse.cc.o"
+  "CMakeFiles/fig5_similarity_reuse.dir/fig5_similarity_reuse.cc.o.d"
+  "fig5_similarity_reuse"
+  "fig5_similarity_reuse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_similarity_reuse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

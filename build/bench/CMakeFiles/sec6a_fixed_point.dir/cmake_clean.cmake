@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec6a_fixed_point.dir/sec6a_fixed_point.cc.o"
+  "CMakeFiles/sec6a_fixed_point.dir/sec6a_fixed_point.cc.o.d"
+  "sec6a_fixed_point"
+  "sec6a_fixed_point.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec6a_fixed_point.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

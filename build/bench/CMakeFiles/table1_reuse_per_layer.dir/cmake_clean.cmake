@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_reuse_per_layer.dir/table1_reuse_per_layer.cc.o"
+  "CMakeFiles/table1_reuse_per_layer.dir/table1_reuse_per_layer.cc.o.d"
+  "table1_reuse_per_layer"
+  "table1_reuse_per_layer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_reuse_per_layer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

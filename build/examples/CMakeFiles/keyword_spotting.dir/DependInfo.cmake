@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/keyword_spotting.cpp" "examples/CMakeFiles/keyword_spotting.dir/keyword_spotting.cpp.o" "gcc" "examples/CMakeFiles/keyword_spotting.dir/keyword_spotting.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/harness/CMakeFiles/reuse_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/reuse_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/energy/CMakeFiles/reuse_energy.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/reuse_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/reuse_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/reuse_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/quant/CMakeFiles/reuse_quant.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/reuse_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/reuse_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/reuse_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/self_driving.dir/self_driving.cpp.o"
+  "CMakeFiles/self_driving.dir/self_driving.cpp.o.d"
+  "self_driving"
+  "self_driving.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/self_driving.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/video_classification.dir/video_classification.cpp.o"
+  "CMakeFiles/video_classification.dir/video_classification.cpp.o.d"
+  "video_classification"
+  "video_classification.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/video_classification.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reuse_baseline.dir/platform_model.cc.o"
+  "CMakeFiles/reuse_baseline.dir/platform_model.cc.o.d"
+  "libreuse_baseline.a"
+  "libreuse_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reuse_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reuse_common.dir/logging.cc.o"
+  "CMakeFiles/reuse_common.dir/logging.cc.o.d"
+  "CMakeFiles/reuse_common.dir/random.cc.o"
+  "CMakeFiles/reuse_common.dir/random.cc.o.d"
+  "CMakeFiles/reuse_common.dir/stats.cc.o"
+  "CMakeFiles/reuse_common.dir/stats.cc.o.d"
+  "CMakeFiles/reuse_common.dir/table_writer.cc.o"
+  "CMakeFiles/reuse_common.dir/table_writer.cc.o.d"
+  "libreuse_common.a"
+  "libreuse_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reuse_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libreuse_common.a"
+)

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/conv_reuse.cc" "src/core/CMakeFiles/reuse_core.dir/conv_reuse.cc.o" "gcc" "src/core/CMakeFiles/reuse_core.dir/conv_reuse.cc.o.d"
+  "/root/repo/src/core/fc_reuse.cc" "src/core/CMakeFiles/reuse_core.dir/fc_reuse.cc.o" "gcc" "src/core/CMakeFiles/reuse_core.dir/fc_reuse.cc.o.d"
+  "/root/repo/src/core/lstm_reuse.cc" "src/core/CMakeFiles/reuse_core.dir/lstm_reuse.cc.o" "gcc" "src/core/CMakeFiles/reuse_core.dir/lstm_reuse.cc.o.d"
+  "/root/repo/src/core/reuse_engine.cc" "src/core/CMakeFiles/reuse_core.dir/reuse_engine.cc.o" "gcc" "src/core/CMakeFiles/reuse_core.dir/reuse_engine.cc.o.d"
+  "/root/repo/src/core/reuse_stats.cc" "src/core/CMakeFiles/reuse_core.dir/reuse_stats.cc.o" "gcc" "src/core/CMakeFiles/reuse_core.dir/reuse_stats.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/quant/CMakeFiles/reuse_quant.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/reuse_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/reuse_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/reuse_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

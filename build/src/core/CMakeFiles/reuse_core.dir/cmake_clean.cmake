@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reuse_core.dir/conv_reuse.cc.o"
+  "CMakeFiles/reuse_core.dir/conv_reuse.cc.o.d"
+  "CMakeFiles/reuse_core.dir/fc_reuse.cc.o"
+  "CMakeFiles/reuse_core.dir/fc_reuse.cc.o.d"
+  "CMakeFiles/reuse_core.dir/lstm_reuse.cc.o"
+  "CMakeFiles/reuse_core.dir/lstm_reuse.cc.o.d"
+  "CMakeFiles/reuse_core.dir/reuse_engine.cc.o"
+  "CMakeFiles/reuse_core.dir/reuse_engine.cc.o.d"
+  "CMakeFiles/reuse_core.dir/reuse_stats.cc.o"
+  "CMakeFiles/reuse_core.dir/reuse_stats.cc.o.d"
+  "libreuse_core.a"
+  "libreuse_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reuse_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reuse_energy.dir/energy_model.cc.o"
+  "CMakeFiles/reuse_energy.dir/energy_model.cc.o.d"
+  "libreuse_energy.a"
+  "libreuse_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reuse_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

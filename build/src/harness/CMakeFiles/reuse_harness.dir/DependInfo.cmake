@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/harness/experiment.cc" "src/harness/CMakeFiles/reuse_harness.dir/experiment.cc.o" "gcc" "src/harness/CMakeFiles/reuse_harness.dir/experiment.cc.o.d"
+  "/root/repo/src/harness/headline.cc" "src/harness/CMakeFiles/reuse_harness.dir/headline.cc.o" "gcc" "src/harness/CMakeFiles/reuse_harness.dir/headline.cc.o.d"
+  "/root/repo/src/harness/paper_reference.cc" "src/harness/CMakeFiles/reuse_harness.dir/paper_reference.cc.o" "gcc" "src/harness/CMakeFiles/reuse_harness.dir/paper_reference.cc.o.d"
+  "/root/repo/src/harness/trace_dump.cc" "src/harness/CMakeFiles/reuse_harness.dir/trace_dump.cc.o" "gcc" "src/harness/CMakeFiles/reuse_harness.dir/trace_dump.cc.o.d"
+  "/root/repo/src/harness/workload_setup.cc" "src/harness/CMakeFiles/reuse_harness.dir/workload_setup.cc.o" "gcc" "src/harness/CMakeFiles/reuse_harness.dir/workload_setup.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/reuse_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/quant/CMakeFiles/reuse_quant.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/reuse_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/reuse_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/energy/CMakeFiles/reuse_energy.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/reuse_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/reuse_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/reuse_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/reuse_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reuse_harness.dir/experiment.cc.o"
+  "CMakeFiles/reuse_harness.dir/experiment.cc.o.d"
+  "CMakeFiles/reuse_harness.dir/headline.cc.o"
+  "CMakeFiles/reuse_harness.dir/headline.cc.o.d"
+  "CMakeFiles/reuse_harness.dir/paper_reference.cc.o"
+  "CMakeFiles/reuse_harness.dir/paper_reference.cc.o.d"
+  "CMakeFiles/reuse_harness.dir/trace_dump.cc.o"
+  "CMakeFiles/reuse_harness.dir/trace_dump.cc.o.d"
+  "CMakeFiles/reuse_harness.dir/workload_setup.cc.o"
+  "CMakeFiles/reuse_harness.dir/workload_setup.cc.o.d"
+  "libreuse_harness.a"
+  "libreuse_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reuse_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/activations.cc" "src/nn/CMakeFiles/reuse_nn.dir/activations.cc.o" "gcc" "src/nn/CMakeFiles/reuse_nn.dir/activations.cc.o.d"
+  "/root/repo/src/nn/conv2d.cc" "src/nn/CMakeFiles/reuse_nn.dir/conv2d.cc.o" "gcc" "src/nn/CMakeFiles/reuse_nn.dir/conv2d.cc.o.d"
+  "/root/repo/src/nn/conv3d.cc" "src/nn/CMakeFiles/reuse_nn.dir/conv3d.cc.o" "gcc" "src/nn/CMakeFiles/reuse_nn.dir/conv3d.cc.o.d"
+  "/root/repo/src/nn/fully_connected.cc" "src/nn/CMakeFiles/reuse_nn.dir/fully_connected.cc.o" "gcc" "src/nn/CMakeFiles/reuse_nn.dir/fully_connected.cc.o.d"
+  "/root/repo/src/nn/initializers.cc" "src/nn/CMakeFiles/reuse_nn.dir/initializers.cc.o" "gcc" "src/nn/CMakeFiles/reuse_nn.dir/initializers.cc.o.d"
+  "/root/repo/src/nn/layer.cc" "src/nn/CMakeFiles/reuse_nn.dir/layer.cc.o" "gcc" "src/nn/CMakeFiles/reuse_nn.dir/layer.cc.o.d"
+  "/root/repo/src/nn/lstm.cc" "src/nn/CMakeFiles/reuse_nn.dir/lstm.cc.o" "gcc" "src/nn/CMakeFiles/reuse_nn.dir/lstm.cc.o.d"
+  "/root/repo/src/nn/network.cc" "src/nn/CMakeFiles/reuse_nn.dir/network.cc.o" "gcc" "src/nn/CMakeFiles/reuse_nn.dir/network.cc.o.d"
+  "/root/repo/src/nn/pnorm.cc" "src/nn/CMakeFiles/reuse_nn.dir/pnorm.cc.o" "gcc" "src/nn/CMakeFiles/reuse_nn.dir/pnorm.cc.o.d"
+  "/root/repo/src/nn/pooling.cc" "src/nn/CMakeFiles/reuse_nn.dir/pooling.cc.o" "gcc" "src/nn/CMakeFiles/reuse_nn.dir/pooling.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/reuse_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/reuse_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reuse_nn.dir/activations.cc.o"
+  "CMakeFiles/reuse_nn.dir/activations.cc.o.d"
+  "CMakeFiles/reuse_nn.dir/conv2d.cc.o"
+  "CMakeFiles/reuse_nn.dir/conv2d.cc.o.d"
+  "CMakeFiles/reuse_nn.dir/conv3d.cc.o"
+  "CMakeFiles/reuse_nn.dir/conv3d.cc.o.d"
+  "CMakeFiles/reuse_nn.dir/fully_connected.cc.o"
+  "CMakeFiles/reuse_nn.dir/fully_connected.cc.o.d"
+  "CMakeFiles/reuse_nn.dir/initializers.cc.o"
+  "CMakeFiles/reuse_nn.dir/initializers.cc.o.d"
+  "CMakeFiles/reuse_nn.dir/layer.cc.o"
+  "CMakeFiles/reuse_nn.dir/layer.cc.o.d"
+  "CMakeFiles/reuse_nn.dir/lstm.cc.o"
+  "CMakeFiles/reuse_nn.dir/lstm.cc.o.d"
+  "CMakeFiles/reuse_nn.dir/network.cc.o"
+  "CMakeFiles/reuse_nn.dir/network.cc.o.d"
+  "CMakeFiles/reuse_nn.dir/pnorm.cc.o"
+  "CMakeFiles/reuse_nn.dir/pnorm.cc.o.d"
+  "CMakeFiles/reuse_nn.dir/pooling.cc.o"
+  "CMakeFiles/reuse_nn.dir/pooling.cc.o.d"
+  "libreuse_nn.a"
+  "libreuse_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reuse_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/quant/accuracy.cc" "src/quant/CMakeFiles/reuse_quant.dir/accuracy.cc.o" "gcc" "src/quant/CMakeFiles/reuse_quant.dir/accuracy.cc.o.d"
+  "/root/repo/src/quant/fixed_point.cc" "src/quant/CMakeFiles/reuse_quant.dir/fixed_point.cc.o" "gcc" "src/quant/CMakeFiles/reuse_quant.dir/fixed_point.cc.o.d"
+  "/root/repo/src/quant/layer_selection.cc" "src/quant/CMakeFiles/reuse_quant.dir/layer_selection.cc.o" "gcc" "src/quant/CMakeFiles/reuse_quant.dir/layer_selection.cc.o.d"
+  "/root/repo/src/quant/linear_quantizer.cc" "src/quant/CMakeFiles/reuse_quant.dir/linear_quantizer.cc.o" "gcc" "src/quant/CMakeFiles/reuse_quant.dir/linear_quantizer.cc.o.d"
+  "/root/repo/src/quant/quantization_plan.cc" "src/quant/CMakeFiles/reuse_quant.dir/quantization_plan.cc.o" "gcc" "src/quant/CMakeFiles/reuse_quant.dir/quantization_plan.cc.o.d"
+  "/root/repo/src/quant/range_profiler.cc" "src/quant/CMakeFiles/reuse_quant.dir/range_profiler.cc.o" "gcc" "src/quant/CMakeFiles/reuse_quant.dir/range_profiler.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nn/CMakeFiles/reuse_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/reuse_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/reuse_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

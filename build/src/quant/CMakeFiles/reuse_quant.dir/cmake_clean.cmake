@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reuse_quant.dir/accuracy.cc.o"
+  "CMakeFiles/reuse_quant.dir/accuracy.cc.o.d"
+  "CMakeFiles/reuse_quant.dir/fixed_point.cc.o"
+  "CMakeFiles/reuse_quant.dir/fixed_point.cc.o.d"
+  "CMakeFiles/reuse_quant.dir/layer_selection.cc.o"
+  "CMakeFiles/reuse_quant.dir/layer_selection.cc.o.d"
+  "CMakeFiles/reuse_quant.dir/linear_quantizer.cc.o"
+  "CMakeFiles/reuse_quant.dir/linear_quantizer.cc.o.d"
+  "CMakeFiles/reuse_quant.dir/quantization_plan.cc.o"
+  "CMakeFiles/reuse_quant.dir/quantization_plan.cc.o.d"
+  "CMakeFiles/reuse_quant.dir/range_profiler.cc.o"
+  "CMakeFiles/reuse_quant.dir/range_profiler.cc.o.d"
+  "libreuse_quant.a"
+  "libreuse_quant.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reuse_quant.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/accelerator.cc" "src/sim/CMakeFiles/reuse_sim.dir/accelerator.cc.o" "gcc" "src/sim/CMakeFiles/reuse_sim.dir/accelerator.cc.o.d"
+  "/root/repo/src/sim/cost_model.cc" "src/sim/CMakeFiles/reuse_sim.dir/cost_model.cc.o" "gcc" "src/sim/CMakeFiles/reuse_sim.dir/cost_model.cc.o.d"
+  "/root/repo/src/sim/io_buffer_model.cc" "src/sim/CMakeFiles/reuse_sim.dir/io_buffer_model.cc.o" "gcc" "src/sim/CMakeFiles/reuse_sim.dir/io_buffer_model.cc.o.d"
+  "/root/repo/src/sim/tile_model.cc" "src/sim/CMakeFiles/reuse_sim.dir/tile_model.cc.o" "gcc" "src/sim/CMakeFiles/reuse_sim.dir/tile_model.cc.o.d"
+  "/root/repo/src/sim/weights_residency.cc" "src/sim/CMakeFiles/reuse_sim.dir/weights_residency.cc.o" "gcc" "src/sim/CMakeFiles/reuse_sim.dir/weights_residency.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/reuse_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/quant/CMakeFiles/reuse_quant.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/reuse_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/reuse_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/reuse_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reuse_sim.dir/accelerator.cc.o"
+  "CMakeFiles/reuse_sim.dir/accelerator.cc.o.d"
+  "CMakeFiles/reuse_sim.dir/cost_model.cc.o"
+  "CMakeFiles/reuse_sim.dir/cost_model.cc.o.d"
+  "CMakeFiles/reuse_sim.dir/io_buffer_model.cc.o"
+  "CMakeFiles/reuse_sim.dir/io_buffer_model.cc.o.d"
+  "CMakeFiles/reuse_sim.dir/tile_model.cc.o"
+  "CMakeFiles/reuse_sim.dir/tile_model.cc.o.d"
+  "CMakeFiles/reuse_sim.dir/weights_residency.cc.o"
+  "CMakeFiles/reuse_sim.dir/weights_residency.cc.o.d"
+  "libreuse_sim.a"
+  "libreuse_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reuse_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reuse_tensor.dir/shape.cc.o"
+  "CMakeFiles/reuse_tensor.dir/shape.cc.o.d"
+  "CMakeFiles/reuse_tensor.dir/tensor.cc.o"
+  "CMakeFiles/reuse_tensor.dir/tensor.cc.o.d"
+  "CMakeFiles/reuse_tensor.dir/tensor_ops.cc.o"
+  "CMakeFiles/reuse_tensor.dir/tensor_ops.cc.o.d"
+  "libreuse_tensor.a"
+  "libreuse_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reuse_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/model_zoo.cc" "src/workloads/CMakeFiles/reuse_workloads.dir/model_zoo.cc.o" "gcc" "src/workloads/CMakeFiles/reuse_workloads.dir/model_zoo.cc.o.d"
+  "/root/repo/src/workloads/speech_generator.cc" "src/workloads/CMakeFiles/reuse_workloads.dir/speech_generator.cc.o" "gcc" "src/workloads/CMakeFiles/reuse_workloads.dir/speech_generator.cc.o.d"
+  "/root/repo/src/workloads/video_generator.cc" "src/workloads/CMakeFiles/reuse_workloads.dir/video_generator.cc.o" "gcc" "src/workloads/CMakeFiles/reuse_workloads.dir/video_generator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nn/CMakeFiles/reuse_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/reuse_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/reuse_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reuse_workloads.dir/model_zoo.cc.o"
+  "CMakeFiles/reuse_workloads.dir/model_zoo.cc.o.d"
+  "CMakeFiles/reuse_workloads.dir/speech_generator.cc.o"
+  "CMakeFiles/reuse_workloads.dir/speech_generator.cc.o.d"
+  "CMakeFiles/reuse_workloads.dir/video_generator.cc.o"
+  "CMakeFiles/reuse_workloads.dir/video_generator.cc.o.d"
+  "libreuse_workloads.a"
+  "libreuse_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reuse_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core.dir/core/test_conv_reuse.cc.o"
+  "CMakeFiles/test_core.dir/core/test_conv_reuse.cc.o.d"
+  "CMakeFiles/test_core.dir/core/test_fc_reuse.cc.o"
+  "CMakeFiles/test_core.dir/core/test_fc_reuse.cc.o.d"
+  "CMakeFiles/test_core.dir/core/test_lstm_layer_reuse.cc.o"
+  "CMakeFiles/test_core.dir/core/test_lstm_layer_reuse.cc.o.d"
+  "CMakeFiles/test_core.dir/core/test_lstm_reuse.cc.o"
+  "CMakeFiles/test_core.dir/core/test_lstm_reuse.cc.o.d"
+  "CMakeFiles/test_core.dir/core/test_reuse_engine.cc.o"
+  "CMakeFiles/test_core.dir/core/test_reuse_engine.cc.o.d"
+  "CMakeFiles/test_core.dir/core/test_reuse_stats.cc.o"
+  "CMakeFiles/test_core.dir/core/test_reuse_stats.cc.o.d"
+  "test_core"
+  "test_core.pdb"
+  "test_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

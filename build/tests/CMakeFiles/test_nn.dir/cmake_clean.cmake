@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nn.dir/nn/test_activations.cc.o"
+  "CMakeFiles/test_nn.dir/nn/test_activations.cc.o.d"
+  "CMakeFiles/test_nn.dir/nn/test_conv2d.cc.o"
+  "CMakeFiles/test_nn.dir/nn/test_conv2d.cc.o.d"
+  "CMakeFiles/test_nn.dir/nn/test_conv3d.cc.o"
+  "CMakeFiles/test_nn.dir/nn/test_conv3d.cc.o.d"
+  "CMakeFiles/test_nn.dir/nn/test_fully_connected.cc.o"
+  "CMakeFiles/test_nn.dir/nn/test_fully_connected.cc.o.d"
+  "CMakeFiles/test_nn.dir/nn/test_lstm.cc.o"
+  "CMakeFiles/test_nn.dir/nn/test_lstm.cc.o.d"
+  "CMakeFiles/test_nn.dir/nn/test_lstm_uni.cc.o"
+  "CMakeFiles/test_nn.dir/nn/test_lstm_uni.cc.o.d"
+  "CMakeFiles/test_nn.dir/nn/test_network.cc.o"
+  "CMakeFiles/test_nn.dir/nn/test_network.cc.o.d"
+  "CMakeFiles/test_nn.dir/nn/test_pnorm.cc.o"
+  "CMakeFiles/test_nn.dir/nn/test_pnorm.cc.o.d"
+  "CMakeFiles/test_nn.dir/nn/test_pooling.cc.o"
+  "CMakeFiles/test_nn.dir/nn/test_pooling.cc.o.d"
+  "test_nn"
+  "test_nn.pdb"
+  "test_nn[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_quant.dir/quant/test_accuracy.cc.o"
+  "CMakeFiles/test_quant.dir/quant/test_accuracy.cc.o.d"
+  "CMakeFiles/test_quant.dir/quant/test_fixed_point.cc.o"
+  "CMakeFiles/test_quant.dir/quant/test_fixed_point.cc.o.d"
+  "CMakeFiles/test_quant.dir/quant/test_layer_selection.cc.o"
+  "CMakeFiles/test_quant.dir/quant/test_layer_selection.cc.o.d"
+  "CMakeFiles/test_quant.dir/quant/test_linear_quantizer.cc.o"
+  "CMakeFiles/test_quant.dir/quant/test_linear_quantizer.cc.o.d"
+  "CMakeFiles/test_quant.dir/quant/test_quantization_plan.cc.o"
+  "CMakeFiles/test_quant.dir/quant/test_quantization_plan.cc.o.d"
+  "CMakeFiles/test_quant.dir/quant/test_range_profiler.cc.o"
+  "CMakeFiles/test_quant.dir/quant/test_range_profiler.cc.o.d"
+  "test_quant"
+  "test_quant.pdb"
+  "test_quant[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_quant.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim.dir/sim/test_accelerator.cc.o"
+  "CMakeFiles/test_sim.dir/sim/test_accelerator.cc.o.d"
+  "CMakeFiles/test_sim.dir/sim/test_cost_model.cc.o"
+  "CMakeFiles/test_sim.dir/sim/test_cost_model.cc.o.d"
+  "CMakeFiles/test_sim.dir/sim/test_io_buffer_model.cc.o"
+  "CMakeFiles/test_sim.dir/sim/test_io_buffer_model.cc.o.d"
+  "CMakeFiles/test_sim.dir/sim/test_residency.cc.o"
+  "CMakeFiles/test_sim.dir/sim/test_residency.cc.o.d"
+  "CMakeFiles/test_sim.dir/sim/test_tile_model.cc.o"
+  "CMakeFiles/test_sim.dir/sim/test_tile_model.cc.o.d"
+  "test_sim"
+  "test_sim.pdb"
+  "test_sim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
