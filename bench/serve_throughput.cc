@@ -1,0 +1,232 @@
+/**
+ * @file
+ * Serving-runtime benchmark (an extension beyond the paper): many
+ * concurrent input streams, each carrying its own reuse state, served
+ * by a shared immutable engine on a worker pool.
+ *
+ * Three claims are measured on the Kaldi workload:
+ *   1. Throughput scales with worker threads (sessions are
+ *      independent, the engine is stateless, so frames of different
+ *      sessions execute in parallel).
+ *   2. Per-session computation reuse matches a dedicated
+ *      single-stream engine (within 2pp): multiplexing sessions does
+ *      not dilute the temporal similarity each stream carries.
+ *   3. Under a reuse-buffer memory budget, evicted sessions degrade
+ *      to from-scratch execution and re-warm with outputs
+ *      bit-identical to a reference that resets at the same frames.
+ */
+
+#include <chrono>
+#include <cmath>
+#include <future>
+#include <iostream>
+#include <thread>
+#include <vector>
+
+#include "common/table_writer.h"
+#include "core/reuse_engine.h"
+#include "harness/workload_setup.h"
+#include "serve/streaming_server.h"
+#include "workloads/multi_session_generator.h"
+
+using namespace reuse;
+
+namespace {
+
+double
+secondsSince(std::chrono::steady_clock::time_point t0)
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - t0)
+        .count();
+}
+
+/** Dedicated single-stream run: reuse ratio of one warm engine. */
+double
+singleStreamReuse(const ReuseEngine &engine,
+                  const std::vector<Tensor> &frames)
+{
+    ReuseState state = engine.makeState();
+    ReuseStatsCollector stats = engine.makeStatsCollector();
+    ExecutionTrace trace;
+    for (const Tensor &in : frames) {
+        engine.execute(state, in, trace);
+        stats.addTrace(trace);
+    }
+    return stats.networkComputationReuse();
+}
+
+} // namespace
+
+int
+main()
+{
+    std::cout << "Multi-stream serving throughput (Kaldi workload)\n"
+              << "Hardware threads available: "
+              << std::thread::hardware_concurrency() << "\n\n";
+
+    WorkloadSetupConfig cfg;
+    Workload w = setupKaldi(cfg);
+    ReuseEngine engine(*w.bundle.network, w.plan);
+
+    const size_t kFrames = 48;
+    const size_t kMaxSessions = 64;
+    const uint64_t kBaseSeed = 2024;
+
+    // Pre-generate every session's stream so timed regions contain
+    // only serving work.
+    MultiSessionGenerator streams(w.makeGenerator, kMaxSessions,
+                                  kBaseSeed);
+    std::vector<std::vector<Tensor>> inputs;
+    for (size_t s = 0; s < kMaxSessions; ++s)
+        inputs.push_back(streams.take(s, kFrames));
+
+    // Single-stream baseline: a dedicated engine per stream, averaged
+    // over a few streams to smooth per-seed variation.
+    double baseline = 0.0;
+    const size_t kBaselineStreams = 4;
+    for (size_t s = 0; s < kBaselineStreams; ++s)
+        baseline += singleStreamReuse(engine, inputs[s]);
+    baseline /= double(kBaselineStreams);
+    std::cout << "Single-stream baseline reuse: "
+              << formatPercent(baseline) << " over " << kFrames
+              << " frames\n\n";
+
+    // ---- 1+2: thread x session sweep --------------------------------
+    TableWriter t({"Sessions", "Workers", "Frames/s", "p50 us",
+                   "p95 us", "p99 us", "Mean reuse", "vs baseline"});
+    for (size_t sessions : {8ul, 64ul}) {
+        for (size_t threads : {1ul, 2ul, 4ul, 8ul}) {
+            StreamingServer::Config scfg;
+            scfg.workerThreads = threads;
+            StreamingServer server(engine, scfg);
+
+            std::vector<SessionId> ids;
+            for (size_t s = 0; s < sessions; ++s)
+                ids.push_back(server.openSession(
+                    "default",
+                    MultiSessionGenerator::sessionSeed(kBaseSeed, s)));
+
+            const auto t0 = std::chrono::steady_clock::now();
+            for (size_t i = 0; i < kFrames; ++i)
+                for (size_t s = 0; s < sessions; ++s)
+                    server.submitFrame(ids[s], inputs[s][i]);
+            server.drain();
+            const double secs = secondsSince(t0);
+
+            double mean_reuse = 0.0;
+            for (SessionId id : ids)
+                mean_reuse += server.sessionSnapshot(id).reuseRatio;
+            mean_reuse /= double(sessions);
+
+            const ServeMetrics &m = server.metrics();
+            const double fps = double(m.framesCompleted()) / secs;
+            t.addRow({std::to_string(sessions),
+                      std::to_string(threads),
+                      formatDouble(fps, 0),
+                      formatDouble(m.latency().percentile(0.50), 0),
+                      formatDouble(m.latency().percentile(0.95), 0),
+                      formatDouble(m.latency().percentile(0.99), 0),
+                      formatPercent(mean_reuse),
+                      formatDouble((mean_reuse - baseline) * 100.0, 2) +
+                          "pp"});
+        }
+    }
+    t.print(std::cout);
+    std::cout << "Expected shape: frames/s grows with workers (up to "
+                 "the hardware threads available); mean per-session "
+                 "reuse stays within 2pp of the single-stream "
+                 "baseline.\n\n";
+
+    // ---- 3: budget-forced eviction, degradation and re-warm ---------
+    // Phased activity: two groups of 8 sessions take turns being
+    // active (users come and go) under a budget that holds only one
+    // group's reuse buffers.  When group A returns in phase 3 its
+    // buffers are long evicted: its first frame back runs cold
+    // (degraded), re-warms, and pushes group B out in turn.
+    const size_t kEvictSessions = 16;
+    const size_t kGroup = kEvictSessions / 2;
+    const size_t kPhaseFrames = 16;
+    ReuseState probe = engine.makeState();
+    ExecutionTrace probe_trace;
+    engine.execute(probe, inputs[0][0], probe_trace);
+    const int64_t per_session = probe.memoryBytes();
+
+    StreamingServer::Config scfg;
+    scfg.workerThreads = 4;
+    scfg.memoryBudgetBytes = per_session * int64_t(kGroup) +
+                             per_session / 2;
+    StreamingServer server(engine, scfg);
+
+    std::vector<SessionId> ids;
+    std::vector<std::vector<std::future<Tensor>>> futures(
+        kEvictSessions);
+    std::vector<std::vector<Tensor>> sent(kEvictSessions);
+    for (size_t s = 0; s < kEvictSessions; ++s)
+        ids.push_back(server.openSession(
+            "default",
+            MultiSessionGenerator::sessionSeed(kBaseSeed, s)));
+
+    // Phase 1: group A active.  Phase 2: group B active (its warm-up
+    // pushes A's buffers out).  Phase 3: group A returns.
+    auto run_phase = [&](size_t first_session, size_t first_frame) {
+        for (size_t i = 0; i < kPhaseFrames; ++i) {
+            for (size_t s = first_session;
+                 s < first_session + kGroup; ++s) {
+                const Tensor &in = inputs[s][first_frame + i];
+                sent[s].push_back(in);
+                futures[s].push_back(server.submitFrame(ids[s], in));
+            }
+        }
+        server.drain();
+    };
+    run_phase(0, 0);
+    run_phase(kGroup, 0);
+    run_phase(0, kPhaseFrames);
+
+    // Verify: replay each stream on a dedicated state, resetting at
+    // exactly the frames the server executed cold; outputs must be
+    // bit-identical.
+    size_t mismatches = 0;
+    size_t cold_total = 0;
+    double returning_reuse = 0.0;
+    for (size_t s = 0; s < kEvictSessions; ++s) {
+        const auto snap = server.sessionSnapshot(ids[s]);
+        cold_total += snap.coldFrames.size();
+        if (s < kGroup)
+            returning_reuse += snap.reuseRatio;
+        ReuseState state = engine.makeState();
+        ExecutionTrace trace;
+        for (size_t i = 0; i < sent[s].size(); ++i) {
+            for (uint64_t cold : snap.coldFrames)
+                if (cold == i)
+                    state.reset();
+            const Tensor want = engine.execute(state, sent[s][i], trace);
+            const Tensor got = futures[s][i].get();
+            for (int64_t j = 0; j < want.numel(); ++j)
+                if (got[j] != want[j])
+                    ++mismatches;
+        }
+    }
+    returning_reuse /= double(kGroup);
+
+    std::cout << "Budget-forced eviction (" << kEvictSessions
+              << " sessions in two phased groups, budget "
+              << formatBytes(double(scfg.memoryBudgetBytes))
+              << " holds one group, 4 workers):\n"
+              << "  evictions:              "
+              << server.sessionManager().evictionCount() << "\n"
+              << "  cold (degraded) frames: " << cold_total << " of "
+              << kEvictSessions * kPhaseFrames + kGroup * kPhaseFrames
+              << "\n"
+              << "  returning group's reuse: "
+              << formatPercent(returning_reuse) << " over "
+              << 2 * kPhaseFrames << " frames (baseline "
+              << formatPercent(baseline) << " without eviction)\n"
+              << "  outputs vs reset-replay reference: "
+              << (mismatches == 0 ? "bit-identical"
+                                  : std::to_string(mismatches) +
+                                        " MISMATCHES")
+              << "\n";
+    return mismatches == 0 ? 0 : 1;
+}

@@ -1,0 +1,111 @@
+#include "latency_histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/stats.h"
+
+namespace reuse {
+
+int
+LatencyHistogram::bucketIndex(double micros)
+{
+    if (!(micros > 1.0))
+        return 0;
+    // Position on the log2 axis, scaled to kSubBuckets per octave.
+    const double pos = std::log2(micros) * kSubBuckets;
+    const int idx = static_cast<int>(pos);
+    return std::min(idx, kBuckets - 1);
+}
+
+double
+LatencyHistogram::bucketLowerBound(int index)
+{
+    return std::exp2(static_cast<double>(index) / kSubBuckets);
+}
+
+double
+LatencyHistogram::bucketUpperBound(int index)
+{
+    return std::exp2(static_cast<double>(index + 1) / kSubBuckets);
+}
+
+void
+LatencyHistogram::record(double micros)
+{
+    buckets_[static_cast<size_t>(bucketIndex(micros))].fetch_add(
+        1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    atomicAddDouble(sum_, micros);
+}
+
+uint64_t
+LatencyHistogram::count() const
+{
+    return count_.load(std::memory_order_relaxed);
+}
+
+double
+LatencyHistogram::sum() const
+{
+    return sum_.load(std::memory_order_relaxed);
+}
+
+double
+LatencyHistogram::mean() const
+{
+    const uint64_t n = count();
+    return n == 0 ? 0.0 : sum() / static_cast<double>(n);
+}
+
+double
+LatencyHistogram::percentile(double p) const
+{
+    const uint64_t n = count();
+    if (n == 0)
+        return 0.0;
+    p = std::clamp(p, 0.0, 1.0);
+    const double target = p * static_cast<double>(n);
+    uint64_t seen = 0;
+    for (int i = 0; i < kBuckets; ++i) {
+        const uint64_t in_bucket =
+            buckets_[static_cast<size_t>(i)].load(
+                std::memory_order_relaxed);
+        if (in_bucket == 0)
+            continue;
+        if (static_cast<double>(seen + in_bucket) >= target) {
+            const double frac =
+                in_bucket == 0
+                    ? 0.0
+                    : (target - static_cast<double>(seen)) /
+                          static_cast<double>(in_bucket);
+            const double lo = bucketLowerBound(i);
+            const double hi = bucketUpperBound(i);
+            return lo + frac * (hi - lo);
+        }
+        seen += in_bucket;
+    }
+    return bucketUpperBound(kBuckets - 1);
+}
+
+void
+LatencyHistogram::reset()
+{
+    for (auto &b : buckets_)
+        b.store(0, std::memory_order_relaxed);
+    count_.store(0, std::memory_order_relaxed);
+    sum_.store(0.0, std::memory_order_relaxed);
+}
+
+std::string
+LatencyHistogram::summary() const
+{
+    std::ostringstream oss;
+    oss << count() << " samples, mean " << mean() << " us, p50 "
+        << percentile(0.50) << " us, p95 " << percentile(0.95)
+        << " us, p99 " << percentile(0.99) << " us";
+    return oss.str();
+}
+
+} // namespace reuse

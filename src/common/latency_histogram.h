@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Lock-free latency histogram with percentile queries.
+ *
+ * Fixed geometric buckets (8 sub-buckets per power of two, ~9%
+ * relative resolution) spanning 1 microsecond to ~1 hour.  record()
+ * is a single relaxed atomic increment, so worker threads can log
+ * every frame's latency without contending; percentile() scans the
+ * buckets and interpolates inside the winning bucket.
+ */
+
+#ifndef REUSE_DNN_COMMON_LATENCY_HISTOGRAM_H
+#define REUSE_DNN_COMMON_LATENCY_HISTOGRAM_H
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace reuse {
+
+/**
+ * Thread-safe histogram of latency samples in microseconds.
+ */
+class LatencyHistogram
+{
+  public:
+    LatencyHistogram() = default;
+
+    /** Records one latency sample (microseconds; clamped to range). */
+    void record(double micros);
+
+    /** Number of samples recorded. */
+    uint64_t count() const;
+
+    /** Sum of all recorded samples (microseconds). */
+    double sum() const;
+
+    /** Mean latency in microseconds (0 when empty). */
+    double mean() const;
+
+    /**
+     * Approximate p-quantile in microseconds, p in [0, 1]; linear
+     * interpolation within the selected bucket.  0 when empty.
+     */
+    double percentile(double p) const;
+
+    /** Clears all buckets. */
+    void reset();
+
+    /** One-line summary: count, mean, p50/p95/p99. */
+    std::string summary() const;
+
+  private:
+    // log2(1h in us) ~ 31.7; 32 octaves * 8 sub-buckets.
+    static constexpr int kSubBuckets = 8;
+    static constexpr int kOctaves = 32;
+    static constexpr int kBuckets = kOctaves * kSubBuckets;
+
+    static int bucketIndex(double micros);
+    static double bucketLowerBound(int index);
+    static double bucketUpperBound(int index);
+
+    std::array<std::atomic<uint64_t>, kBuckets> buckets_{};
+    std::atomic<uint64_t> count_{0};
+    std::atomic<double> sum_{0.0};
+};
+
+} // namespace reuse
+
+#endif // REUSE_DNN_COMMON_LATENCY_HISTOGRAM_H

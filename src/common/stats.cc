@@ -8,6 +8,7 @@ namespace reuse {
 void
 StatRegistry::resetAll()
 {
+    std::lock_guard<std::mutex> lock(mu_);
     for (auto &kv : counters_)
         kv.second.reset();
 }
@@ -15,6 +16,7 @@ StatRegistry::resetAll()
 double
 StatRegistry::sumWithPrefix(const std::string &prefix) const
 {
+    std::lock_guard<std::mutex> lock(mu_);
     double total = 0.0;
     for (const auto &kv : counters_) {
         if (kv.first.rfind(prefix, 0) == 0)
@@ -26,6 +28,7 @@ StatRegistry::sumWithPrefix(const std::string &prefix) const
 std::string
 StatRegistry::dump() const
 {
+    std::lock_guard<std::mutex> lock(mu_);
     std::ostringstream oss;
     for (const auto &kv : counters_)
         oss << kv.first << " " << kv.second.value() << "\n";

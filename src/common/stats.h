@@ -5,71 +5,129 @@
  * Components register Counter objects in a StatRegistry; the harness
  * dumps all counters at the end of an experiment.  Counters are plain
  * doubles so they can also carry derived quantities (ratios, averages).
+ *
+ * Counters are safe for concurrent add()/inc() from many threads (the
+ * serving runtime's worker pool increments them on every frame), and
+ * StatRegistry::get() is safe for concurrent first-use registration.
+ * Reads concurrent with writes see atomically-updated values but no
+ * cross-counter snapshot consistency.
  */
 
 #ifndef REUSE_DNN_COMMON_STATS_H
 #define REUSE_DNN_COMMON_STATS_H
 
+#include <atomic>
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <string>
 #include <vector>
 
 namespace reuse {
 
+/** Atomically adds `v` to `target` (CAS loop; pre-C++20-fetch_add). */
+inline void
+atomicAddDouble(std::atomic<double> &target, double v)
+{
+    double cur = target.load(std::memory_order_relaxed);
+    while (!target.compare_exchange_weak(cur, cur + v,
+                                         std::memory_order_relaxed)) {
+    }
+}
+
 /**
- * Accumulating scalar statistic.
+ * Accumulating scalar statistic; concurrent add()/inc() are safe.
  */
 class Counter
 {
   public:
     Counter() = default;
 
+    Counter(const Counter &other)
+        : value_(other.value_.load(std::memory_order_relaxed)),
+          samples_(other.samples_.load(std::memory_order_relaxed))
+    {
+    }
+
+    Counter &operator=(const Counter &other)
+    {
+        value_.store(other.value_.load(std::memory_order_relaxed),
+                     std::memory_order_relaxed);
+        samples_.store(other.samples_.load(std::memory_order_relaxed),
+                       std::memory_order_relaxed);
+        return *this;
+    }
+
     /** Adds `v` to the counter. */
-    void add(double v) { value_ += v; ++samples_; }
+    void add(double v)
+    {
+        atomicAddDouble(value_, v);
+        samples_.fetch_add(1, std::memory_order_relaxed);
+    }
 
     /** Increments the counter by one. */
     void inc() { add(1.0); }
 
     /** Resets the counter to zero. */
-    void reset() { value_ = 0.0; samples_ = 0; }
+    void reset()
+    {
+        value_.store(0.0, std::memory_order_relaxed);
+        samples_.store(0, std::memory_order_relaxed);
+    }
 
     /** Accumulated value. */
-    double value() const { return value_; }
+    double value() const
+    {
+        return value_.load(std::memory_order_relaxed);
+    }
 
     /** Number of add() calls, for computing means. */
-    uint64_t samples() const { return samples_; }
+    uint64_t samples() const
+    {
+        return samples_.load(std::memory_order_relaxed);
+    }
 
     /** Mean of the added values (0 when empty). */
     double mean() const
     {
-        return samples_ == 0 ? 0.0
-                             : value_ / static_cast<double>(samples_);
+        const uint64_t n = samples();
+        return n == 0 ? 0.0 : value() / static_cast<double>(n);
     }
 
   private:
-    double value_ = 0.0;
-    uint64_t samples_ = 0;
+    std::atomic<double> value_{0.0};
+    std::atomic<uint64_t> samples_{0};
 };
 
 /**
  * Flat registry of named counters.
  *
  * Names use '.'-separated hierarchies ("sim.tile0.weight_fetches").
+ * get() may be called concurrently; returned references stay valid
+ * for the registry's lifetime (std::map nodes are stable).
  */
 class StatRegistry
 {
   public:
     /** Returns (creating on first use) the counter with this name. */
-    Counter &get(const std::string &name) { return counters_[name]; }
+    Counter &get(const std::string &name)
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        return counters_[name];
+    }
 
     /** True when a counter with this name has been created. */
     bool has(const std::string &name) const
     {
+        std::lock_guard<std::mutex> lock(mu_);
         return counters_.count(name) > 0;
     }
 
-    /** Read-only view of all counters, sorted by name. */
+    /**
+     * Read-only view of all counters, sorted by name.  Not safe
+     * against concurrent registration of *new* counters; counter
+     * values themselves may be updated concurrently.
+     */
     const std::map<std::string, Counter> &all() const { return counters_; }
 
     /** Resets every registered counter. */
@@ -82,11 +140,13 @@ class StatRegistry
     std::string dump() const;
 
   private:
+    mutable std::mutex mu_;
     std::map<std::string, Counter> counters_;
 };
 
 /**
  * Online accumulator for mean / min / max / stddev of a sample stream.
+ * Single-writer; use one instance per thread or guard externally.
  */
 class RunningStats
 {

@@ -9,10 +9,10 @@ ConvReuseState::ConvReuseState(const Conv2DLayer &layer,
                                LinearQuantizer quantizer)
     : conv2d_(&layer),
       input_shape_(std::move(input_shape)),
-      quantizer_(std::move(quantizer)),
-      prev_output_(layer.outputShape(input_shape_))
+      quantizer_(std::move(quantizer))
 {
-    prev_indices_.resize(static_cast<size_t>(input_shape_.numel()));
+    // Buffers are allocated lazily by the first execute(): a state
+    // that never runs (or was evicted) holds no memory.
 }
 
 ConvReuseState::ConvReuseState(const Conv3DLayer &layer,
@@ -20,10 +20,27 @@ ConvReuseState::ConvReuseState(const Conv3DLayer &layer,
                                LinearQuantizer quantizer)
     : conv3d_(&layer),
       input_shape_(std::move(input_shape)),
-      quantizer_(std::move(quantizer)),
-      prev_output_(layer.outputShape(input_shape_))
+      quantizer_(std::move(quantizer))
 {
-    prev_indices_.resize(static_cast<size_t>(input_shape_.numel()));
+}
+
+void
+ConvReuseState::releaseBuffers()
+{
+    has_prev_ = false;
+    std::vector<int32_t>().swap(prev_indices_);
+    prev_output_ = Tensor();
+}
+
+int64_t
+ConvReuseState::memoryBytes() const
+{
+    return static_cast<int64_t>(prev_indices_.capacity() *
+                                sizeof(int32_t)) +
+           (prev_output_.numel() > 1
+                ? prev_output_.numel() *
+                      static_cast<int64_t>(sizeof(float))
+                : 0);
 }
 
 Tensor
@@ -49,11 +66,12 @@ ConvReuseState::executeConv2d(const Tensor &input, LayerExecRecord &rec)
     rec.kernelExtent = layer.kernel();
     rec.reuseEnabled = true;
     rec.inputsTotal = n;
-    rec.outputsTotal = prev_output_.numel();
+    rec.outputsTotal = layer.outputShape(input_shape_).numel();
     rec.macsFull = layer.macCount(input_shape_);
     rec.steps = 1;
 
     if (!has_prev_) {
+        prev_indices_.resize(static_cast<size_t>(n));
         Tensor quantized(input.shape());
         for (int64_t i = 0; i < n; ++i) {
             const int32_t idx = quantizer_.index(input[i]);
@@ -104,11 +122,12 @@ ConvReuseState::executeConv3d(const Tensor &input, LayerExecRecord &rec)
     rec.kernelExtent = layer.kernel();
     rec.reuseEnabled = true;
     rec.inputsTotal = n;
-    rec.outputsTotal = prev_output_.numel();
+    rec.outputsTotal = layer.outputShape(input_shape_).numel();
     rec.macsFull = layer.macCount(input_shape_);
     rec.steps = 1;
 
     if (!has_prev_) {
+        prev_indices_.resize(static_cast<size_t>(n));
         Tensor quantized(input.shape());
         for (int64_t i = 0; i < n; ++i) {
             const int32_t idx = quantizer_.index(input[i]);

@@ -45,6 +45,15 @@ class ConvReuseState
     /** Drops the buffered execution (stream boundary). */
     void reset() { has_prev_ = false; }
 
+    /**
+     * Drops the buffered execution AND frees the buffer storage
+     * (session eviction).  The next execute() re-allocates lazily.
+     */
+    void releaseBuffers();
+
+    /** Bytes currently held by the prev-indices/output buffers. */
+    int64_t memoryBytes() const;
+
     /** True when a previous execution is buffered. */
     bool hasPrev() const { return has_prev_; }
 

@@ -8,8 +8,24 @@ FcReuseState::FcReuseState(const FullyConnectedLayer &layer,
                            LinearQuantizer quantizer)
     : layer_(layer), quantizer_(std::move(quantizer))
 {
-    prev_indices_.resize(static_cast<size_t>(layer_.inputs()));
-    prev_outputs_.resize(static_cast<size_t>(layer_.outputs()));
+    // Buffers are allocated lazily by the first execute(): a state
+    // that never runs (or was evicted) holds no memory.
+}
+
+void
+FcReuseState::releaseBuffers()
+{
+    has_prev_ = false;
+    std::vector<int32_t>().swap(prev_indices_);
+    std::vector<float>().swap(prev_outputs_);
+}
+
+int64_t
+FcReuseState::memoryBytes() const
+{
+    return static_cast<int64_t>(
+        prev_indices_.capacity() * sizeof(int32_t) +
+        prev_outputs_.capacity() * sizeof(float));
 }
 
 Tensor
@@ -30,7 +46,9 @@ FcReuseState::execute(const Tensor &input, LayerExecRecord &rec)
     if (!has_prev_) {
         // First execution: quantize every input, store the indices,
         // and compute from scratch on the centroids (Fig. 7, top
-        // path).
+        // path).  Buffers may have been released by an eviction.
+        prev_indices_.resize(static_cast<size_t>(n));
+        prev_outputs_.resize(static_cast<size_t>(m));
         Tensor quantized(input.shape());
         for (int64_t i = 0; i < n; ++i) {
             const int32_t idx = quantizer_.index(input[i]);

@@ -44,6 +44,15 @@ class FcReuseState
     /** Drops the buffered execution (stream/sequence boundary). */
     void reset() { has_prev_ = false; }
 
+    /**
+     * Drops the buffered execution AND frees the buffer storage
+     * (session eviction).  The next execute() re-allocates lazily.
+     */
+    void releaseBuffers();
+
+    /** Bytes currently held by the prev-indices/outputs buffers. */
+    int64_t memoryBytes() const;
+
     /** True when a previous execution is buffered. */
     bool hasPrev() const { return has_prev_; }
 

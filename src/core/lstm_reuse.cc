@@ -11,8 +11,7 @@ LstmCellReuseState::LstmCellReuseState(const LstmCell &cell,
       x_quant_(std::move(x_quantizer)),
       h_quant_(std::move(h_quantizer))
 {
-    prev_x_indices_.resize(static_cast<size_t>(cell_.inputDim()));
-    prev_h_indices_.resize(static_cast<size_t>(cell_.cellDim()));
+    // Index buffers are allocated lazily by the first step().
     reset();
 }
 
@@ -22,6 +21,28 @@ LstmCellReuseState::reset()
     has_prev_ = false;
     h_.assign(static_cast<size_t>(cell_.cellDim()), 0.0f);
     c_.assign(static_cast<size_t>(cell_.cellDim()), 0.0f);
+}
+
+void
+LstmCellReuseState::releaseBuffers()
+{
+    std::vector<int32_t>().swap(prev_x_indices_);
+    std::vector<int32_t>().swap(prev_h_indices_);
+    for (auto &gate : preacts_)
+        std::vector<float>().swap(gate);
+    reset();
+}
+
+int64_t
+LstmCellReuseState::memoryBytes() const
+{
+    int64_t bytes = static_cast<int64_t>(
+        prev_x_indices_.capacity() * sizeof(int32_t) +
+        prev_h_indices_.capacity() * sizeof(int32_t) +
+        (h_.capacity() + c_.capacity()) * sizeof(float));
+    for (const auto &gate : preacts_)
+        bytes += static_cast<int64_t>(gate.capacity() * sizeof(float));
+    return bytes;
 }
 
 std::vector<float>
@@ -40,6 +61,9 @@ LstmCellReuseState::step(const std::vector<float> &x, LayerExecRecord &rec)
     if (!has_prev_) {
         // Sequence start: quantize x and the (zero) initial h, and
         // compute the gate pre-activations from scratch on centroids.
+        // Buffers may have been released by an eviction.
+        prev_x_indices_.resize(static_cast<size_t>(in_dim));
+        prev_h_indices_.resize(static_cast<size_t>(cell_dim));
         std::vector<float> qx(static_cast<size_t>(in_dim));
         for (int64_t i = 0; i < in_dim; ++i) {
             const int32_t idx = x_quant_.index(x[static_cast<size_t>(i)]);

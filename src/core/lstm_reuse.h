@@ -51,6 +51,12 @@ class LstmCellReuseState
     /** Resets to the initial (h=0, c=0, no history) state. */
     void reset();
 
+    /** reset() + frees index/pre-activation storage (eviction). */
+    void releaseBuffers();
+
+    /** Bytes currently held by the buffered indices/pre-activations. */
+    int64_t memoryBytes() const;
+
   private:
     const LstmCell &cell_;
     LinearQuantizer x_quant_;
@@ -81,6 +87,12 @@ class LstmLayerReuseState
     /** Resets the cell (sequence boundary). */
     void reset();
 
+    /** reset() + frees buffer storage (eviction). */
+    void releaseBuffers() { cell_.releaseBuffers(); }
+
+    /** Bytes currently held by the cell's reuse buffers. */
+    int64_t memoryBytes() const { return cell_.memoryBytes(); }
+
   private:
     const LstmLayer &layer_;
     LstmCellReuseState cell_;
@@ -106,6 +118,19 @@ class BiLstmReuseState
 
     /** Resets both directions (sequence boundary). */
     void reset();
+
+    /** reset() + frees buffer storage in both directions (eviction). */
+    void releaseBuffers()
+    {
+        forward_.releaseBuffers();
+        backward_.releaseBuffers();
+    }
+
+    /** Bytes currently held by both directions' reuse buffers. */
+    int64_t memoryBytes() const
+    {
+        return forward_.memoryBytes() + backward_.memoryBytes();
+    }
 
   private:
     const BiLstmLayer &layer_;

@@ -26,14 +26,21 @@ ReuseEngine::ReuseEngine(const Network &network, QuantizationPlan plan,
       plan_(std::move(plan)),
       config_(config),
       layer_input_shapes_(network.layerInputShapes()),
-      fc_states_(network.layerCount()),
-      conv_states_(network.layerCount()),
-      lstm_states_(network.layerCount()),
-      uni_lstm_states_(network.layerCount()),
       stats_(layerNames(network))
 {
     REUSE_ASSERT(plan_.size() == network_.layerCount(),
                  "plan sized for a different network");
+    state_ = makeState();
+}
+
+ReuseState
+ReuseEngine::makeState() const
+{
+    ReuseState state;
+    state.fc_.resize(network_.layerCount());
+    state.conv_.resize(network_.layerCount());
+    state.lstm_.resize(network_.layerCount());
+    state.uni_lstm_.resize(network_.layerCount());
     for (size_t li = 0; li < network_.layerCount(); ++li) {
         const LayerQuantization &lq = plan_.layer(li);
         if (!lq.enabled())
@@ -41,17 +48,17 @@ ReuseEngine::ReuseEngine(const Network &network, QuantizationPlan plan,
         const Layer &layer = network_.layer(li);
         switch (layer.kind()) {
           case LayerKind::FullyConnected:
-            fc_states_[li] = std::make_unique<FcReuseState>(
+            state.fc_[li] = std::make_unique<FcReuseState>(
                 static_cast<const FullyConnectedLayer &>(layer),
                 *lq.input);
             break;
           case LayerKind::Conv2D:
-            conv_states_[li] = std::make_unique<ConvReuseState>(
+            state.conv_[li] = std::make_unique<ConvReuseState>(
                 static_cast<const Conv2DLayer &>(layer),
                 layer_input_shapes_[li], *lq.input);
             break;
           case LayerKind::Conv3D:
-            conv_states_[li] = std::make_unique<ConvReuseState>(
+            state.conv_[li] = std::make_unique<ConvReuseState>(
                 static_cast<const Conv3DLayer &>(layer),
                 layer_input_shapes_[li], *lq.input);
             break;
@@ -59,7 +66,7 @@ ReuseEngine::ReuseEngine(const Network &network, QuantizationPlan plan,
             REUSE_ASSERT(lq.recurrent.has_value(),
                          "BiLSTM layer " << layer.name()
                              << " needs a recurrent quantizer");
-            lstm_states_[li] = std::make_unique<BiLstmReuseState>(
+            state.lstm_[li] = std::make_unique<BiLstmReuseState>(
                 static_cast<const BiLstmLayer &>(layer), *lq.input,
                 *lq.recurrent);
             break;
@@ -67,7 +74,7 @@ ReuseEngine::ReuseEngine(const Network &network, QuantizationPlan plan,
             REUSE_ASSERT(lq.recurrent.has_value(),
                          "LSTM layer " << layer.name()
                              << " needs a recurrent quantizer");
-            uni_lstm_states_[li] =
+            state.uni_lstm_[li] =
                 std::make_unique<LstmLayerReuseState>(
                     static_cast<const LstmLayer &>(layer), *lq.input,
                     *lq.recurrent);
@@ -78,28 +85,26 @@ ReuseEngine::ReuseEngine(const Network &network, QuantizationPlan plan,
             break;
         }
     }
+    return state;
+}
+
+ReuseStatsCollector
+ReuseEngine::makeStatsCollector() const
+{
+    return ReuseStatsCollector(layerNames(network_));
+}
+
+void
+ReuseEngine::checkState(const ReuseState &state) const
+{
+    REUSE_ASSERT(state.layerCount() == network_.layerCount(),
+                 "ReuseState not created by this engine's makeState()");
 }
 
 void
 ReuseEngine::resetState()
 {
-    for (auto &s : fc_states_) {
-        if (s)
-            s->reset();
-    }
-    for (auto &s : conv_states_) {
-        if (s)
-            s->reset();
-    }
-    for (auto &s : lstm_states_) {
-        if (s)
-            s->reset();
-    }
-    for (auto &s : uni_lstm_states_) {
-        if (s)
-            s->reset();
-    }
-    executions_since_refresh_ = 0;
+    state_.reset();
 }
 
 void
@@ -126,16 +131,16 @@ ReuseEngine::recordFromScratch(size_t li, const Shape &in_shape,
 }
 
 Tensor
-ReuseEngine::executeLayer(size_t li, const Tensor &input,
-                          LayerExecRecord &rec)
+ReuseEngine::executeLayer(ReuseState &state, size_t li,
+                          const Tensor &input, LayerExecRecord &rec) const
 {
     rec.layerIndex = li;
-    if (fc_states_[li]) {
-        Tensor out = fc_states_[li]->execute(input, rec);
+    if (state.fc_[li]) {
+        Tensor out = state.fc_[li]->execute(input, rec);
         return out;
     }
-    if (conv_states_[li]) {
-        Tensor out = conv_states_[li]->execute(input, rec);
+    if (state.conv_[li]) {
+        Tensor out = state.conv_[li]->execute(input, rec);
         return out;
     }
     recordFromScratch(li, input.shape(), rec);
@@ -143,59 +148,73 @@ ReuseEngine::executeLayer(size_t li, const Tensor &input,
 }
 
 Tensor
-ReuseEngine::execute(const Tensor &input)
+ReuseEngine::execute(ReuseState &state, const Tensor &input,
+                     ExecutionTrace &trace) const
 {
     REUSE_ASSERT(!network_.isRecurrent(),
                  "use executeSequence() for recurrent networks");
+    checkState(state);
 
     if (config_.refreshPeriod > 0 &&
-        executions_since_refresh_ >= config_.refreshPeriod) {
-        resetState();
+        state.executions_since_refresh_ >= config_.refreshPeriod) {
+        state.reset();
     }
-    ++executions_since_refresh_;
+    ++state.executions_since_refresh_;
 
-    last_trace_.clear();
-    last_trace_.resize(network_.layerCount());
+    trace.clear();
+    trace.resize(network_.layerCount());
     Tensor current = input;
     for (size_t li = 0; li < network_.layerCount(); ++li)
-        current = executeLayer(li, current, last_trace_[li]);
-    stats_.addTrace(last_trace_);
+        current = executeLayer(state, li, current, trace[li]);
     return current;
 }
 
-std::vector<Tensor>
-ReuseEngine::executeSequence(const std::vector<Tensor> &inputs)
+Tensor
+ReuseEngine::execute(const Tensor &input)
 {
+    Tensor out = execute(state_, input, last_trace_);
+    stats_.addTrace(last_trace_);
+    return out;
+}
+
+std::vector<Tensor>
+ReuseEngine::executeSequence(ReuseState &state,
+                             const std::vector<Tensor> &inputs,
+                             ExecutionTrace &trace) const
+{
+    checkState(state);
+
     if (!network_.isRecurrent()) {
         // Feed-forward: the sequence is a stream of frames.
         std::vector<Tensor> outputs;
         outputs.reserve(inputs.size());
         ExecutionTrace combined;
+        ExecutionTrace frame_trace;
         for (const Tensor &in : inputs) {
-            outputs.push_back(execute(in));
-            combined.insert(combined.end(), last_trace_.begin(),
-                            last_trace_.end());
+            outputs.push_back(execute(state, in, frame_trace));
+            combined.insert(combined.end(), frame_trace.begin(),
+                            frame_trace.end());
         }
-        last_trace_ = std::move(combined);
+        trace = std::move(combined);
         return outputs;
     }
 
     // Recurrent: the whole sequence flows layer-by-layer (Sec. IV-D);
     // each call is a fresh utterance, so reuse state starts clean.
-    resetState();
-    last_trace_.clear();
-    last_trace_.resize(network_.layerCount());
+    state.reset();
+    trace.clear();
+    trace.resize(network_.layerCount());
     std::vector<Tensor> current = inputs;
     for (size_t li = 0; li < network_.layerCount(); ++li) {
-        LayerExecRecord &rec = last_trace_[li];
+        LayerExecRecord &rec = trace[li];
         rec.layerIndex = li;
         const Layer &layer = network_.layer(li);
-        if (lstm_states_[li]) {
-            current = lstm_states_[li]->executeSequence(current, rec);
-        } else if (uni_lstm_states_[li]) {
+        if (state.lstm_[li]) {
+            current = state.lstm_[li]->executeSequence(current, rec);
+        } else if (state.uni_lstm_[li]) {
             current =
-                uni_lstm_states_[li]->executeSequence(current, rec);
-        } else if (fc_states_[li]) {
+                state.uni_lstm_[li]->executeSequence(current, rec);
+        } else if (state.fc_[li]) {
             // Per-timestep reuse for FC layers inside an RNN: the
             // previous execution is the previous sequence element.
             std::vector<Tensor> outputs;
@@ -204,7 +223,8 @@ ReuseEngine::executeSequence(const std::vector<Tensor> &inputs)
             bool first = true;
             for (const Tensor &in : current) {
                 step_rec = LayerExecRecord{};
-                outputs.push_back(fc_states_[li]->execute(in, step_rec));
+                outputs.push_back(
+                    state.fc_[li]->execute(in, step_rec));
                 rec.kind = step_rec.kind;
                 rec.reuseEnabled = true;
                 rec.firstExecution = first && step_rec.firstExecution;
@@ -237,8 +257,31 @@ ReuseEngine::executeSequence(const std::vector<Tensor> &inputs)
             current = std::move(outputs);
         }
     }
-    stats_.addTrace(last_trace_);
     return current;
+}
+
+std::vector<Tensor>
+ReuseEngine::executeSequence(const std::vector<Tensor> &inputs)
+{
+    if (!network_.isRecurrent()) {
+        // Feed-forward: per-frame stats accumulation, as if the caller
+        // had invoked execute() frame by frame.
+        std::vector<Tensor> outputs;
+        outputs.reserve(inputs.size());
+        ExecutionTrace combined;
+        for (const Tensor &in : inputs) {
+            outputs.push_back(execute(in));
+            combined.insert(combined.end(), last_trace_.begin(),
+                            last_trace_.end());
+        }
+        last_trace_ = std::move(combined);
+        return outputs;
+    }
+
+    std::vector<Tensor> outputs =
+        executeSequence(state_, inputs, last_trace_);
+    stats_.addTrace(last_trace_);
+    return outputs;
 }
 
 } // namespace reuse

@@ -5,6 +5,14 @@
  * the remaining layers from scratch, while recording per-layer
  * execution traces for the statistics collector and the accelerator
  * simulator.
+ *
+ * The engine itself is immutable once constructed (network, plan,
+ * config); all per-stream mutable state lives in a ReuseState.  The
+ * stateless execute(ReuseState&, ...) const overloads are safe to
+ * call from many threads concurrently as long as each ReuseState is
+ * used by one thread at a time — this is what the serving runtime
+ * (src/serve) builds on.  The legacy stateful execute(input) API
+ * drives an internal ReuseState for single-stream use.
  */
 
 #ifndef REUSE_DNN_CORE_REUSE_ENGINE_H
@@ -13,10 +21,8 @@
 #include <memory>
 #include <vector>
 
-#include "core/conv_reuse.h"
 #include "core/exec_record.h"
-#include "core/fc_reuse.h"
-#include "core/lstm_reuse.h"
+#include "core/reuse_state.h"
 #include "core/reuse_stats.h"
 #include "nn/network.h"
 #include "quant/quantization_plan.h"
@@ -34,7 +40,7 @@ struct ReuseEngineConfig {
 };
 
 /**
- * Stateful engine implementing the paper's reuse-based inference.
+ * Engine implementing the paper's reuse-based inference.
  *
  * For feed-forward networks, call execute() once per frame; the
  * engine compares each enabled layer's quantized inputs against the
@@ -54,6 +60,38 @@ class ReuseEngine
     ReuseEngine(const Network &network, QuantizationPlan plan,
                 ReuseEngineConfig config = {});
 
+    // ------------------------------------------------------------------
+    // Stateless API: per-stream state owned by the caller.  Thread-safe
+    // for concurrent calls with distinct states.
+    // ------------------------------------------------------------------
+
+    /** Builds a fresh (cold) per-stream state for this engine. */
+    ReuseState makeState() const;
+
+    /** Builds a stats collector labelled with this network's layers. */
+    ReuseStatsCollector makeStatsCollector() const;
+
+    /**
+     * Executes one frame of the stream owned by `state` (feed-forward
+     * networks only), filling `trace` with per-layer records.
+     */
+    Tensor execute(ReuseState &state, const Tensor &input,
+                   ExecutionTrace &trace) const;
+
+    /**
+     * Executes an input sequence against `state`.  For recurrent
+     * networks the whole sequence flows layer-by-layer (state is
+     * reset at the sequence boundary); for feed-forward networks this
+     * maps execute() over the elements and concatenates the traces.
+     */
+    std::vector<Tensor> executeSequence(ReuseState &state,
+                                        const std::vector<Tensor> &inputs,
+                                        ExecutionTrace &trace) const;
+
+    // ------------------------------------------------------------------
+    // Legacy single-stream API, driving an internal state.
+    // ------------------------------------------------------------------
+
     /** Executes one frame (feed-forward networks only). */
     Tensor execute(const Tensor &input);
 
@@ -66,6 +104,9 @@ class ReuseEngine
 
     /** Drops all buffered state (new stream / utterance / video). */
     void resetState();
+
+    /** The internal single-stream state. */
+    const ReuseState &state() const { return state_; }
 
     /** Trace of the most recent execute()/executeSequence() call. */
     const ExecutionTrace &lastTrace() const { return last_trace_; }
@@ -82,28 +123,27 @@ class ReuseEngine
     /** The active quantization plan. */
     const QuantizationPlan &plan() const { return plan_; }
 
+    /** The engine tunables. */
+    const ReuseEngineConfig &config() const { return config_; }
+
   private:
     /** Executes one feed-forward layer with or without reuse. */
-    Tensor executeLayer(size_t li, const Tensor &input,
-                        LayerExecRecord &rec);
+    Tensor executeLayer(ReuseState &state, size_t li, const Tensor &input,
+                        LayerExecRecord &rec) const;
 
     /** Fills a record for a from-scratch (non-reuse) execution. */
     void recordFromScratch(size_t li, const Shape &in_shape,
                            LayerExecRecord &rec) const;
+
+    /** Panics when `state` was not created by this engine's makeState. */
+    void checkState(const ReuseState &state) const;
 
     const Network &network_;
     QuantizationPlan plan_;
     ReuseEngineConfig config_;
     std::vector<Shape> layer_input_shapes_;
 
-    // Per-layer reuse states; index aligned with network layers, null
-    // where reuse is disabled or the kind does not match.
-    std::vector<std::unique_ptr<FcReuseState>> fc_states_;
-    std::vector<std::unique_ptr<ConvReuseState>> conv_states_;
-    std::vector<std::unique_ptr<BiLstmReuseState>> lstm_states_;
-    std::vector<std::unique_ptr<LstmLayerReuseState>> uni_lstm_states_;
-
-    int64_t executions_since_refresh_ = 0;
+    ReuseState state_;
     ExecutionTrace last_trace_;
     ReuseStatsCollector stats_;
 };

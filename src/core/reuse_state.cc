@@ -1,0 +1,100 @@
+#include "reuse_state.h"
+
+namespace reuse {
+
+namespace {
+
+template <typename T>
+std::vector<std::unique_ptr<T>>
+cloneStates(const std::vector<std::unique_ptr<T>> &src)
+{
+    std::vector<std::unique_ptr<T>> out(src.size());
+    for (size_t i = 0; i < src.size(); ++i) {
+        if (src[i])
+            out[i] = std::make_unique<T>(*src[i]);
+    }
+    return out;
+}
+
+template <typename T>
+void
+forEach(std::vector<std::unique_ptr<T>> &states, void (T::*fn)())
+{
+    for (auto &s : states) {
+        if (s)
+            (s.get()->*fn)();
+    }
+}
+
+} // namespace
+
+ReuseState
+ReuseState::clone() const
+{
+    ReuseState copy;
+    copy.fc_ = cloneStates(fc_);
+    copy.conv_ = cloneStates(conv_);
+    copy.lstm_ = cloneStates(lstm_);
+    copy.uni_lstm_ = cloneStates(uni_lstm_);
+    copy.executions_since_refresh_ = executions_since_refresh_;
+    return copy;
+}
+
+void
+ReuseState::reset()
+{
+    forEach(fc_, &FcReuseState::reset);
+    forEach(conv_, &ConvReuseState::reset);
+    forEach(lstm_, &BiLstmReuseState::reset);
+    forEach(uni_lstm_, &LstmLayerReuseState::reset);
+    executions_since_refresh_ = 0;
+}
+
+void
+ReuseState::releaseBuffers()
+{
+    forEach(fc_, &FcReuseState::releaseBuffers);
+    forEach(conv_, &ConvReuseState::releaseBuffers);
+    forEach(lstm_, &BiLstmReuseState::releaseBuffers);
+    forEach(uni_lstm_, &LstmLayerReuseState::releaseBuffers);
+    executions_since_refresh_ = 0;
+}
+
+int64_t
+ReuseState::memoryBytes() const
+{
+    int64_t bytes = 0;
+    for (const auto &s : fc_) {
+        if (s)
+            bytes += s->memoryBytes();
+    }
+    for (const auto &s : conv_) {
+        if (s)
+            bytes += s->memoryBytes();
+    }
+    for (const auto &s : lstm_) {
+        if (s)
+            bytes += s->memoryBytes();
+    }
+    for (const auto &s : uni_lstm_) {
+        if (s)
+            bytes += s->memoryBytes();
+    }
+    return bytes;
+}
+
+bool
+ReuseState::warm() const
+{
+    for (const auto &s : fc_) {
+        if (s && s->hasPrev())
+            return true;
+    }
+    for (const auto &s : conv_) {
+        if (s && s->hasPrev())
+            return true;
+    }
+    return executions_since_refresh_ > 0;
+}
+
+} // namespace reuse

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Per-stream reuse state, factored out of the reuse engine so that
+ * many concurrent streams (serving sessions) can share one immutable
+ * engine.  A ReuseState owns every buffer the paper's technique needs
+ * to carry between consecutive executions of one input stream: the
+ * previous quantized input indices and previous outputs of every
+ * enabled layer, plus the refresh counter.
+ */
+
+#ifndef REUSE_DNN_CORE_REUSE_STATE_H
+#define REUSE_DNN_CORE_REUSE_STATE_H
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/conv_reuse.h"
+#include "core/fc_reuse.h"
+#include "core/lstm_reuse.h"
+
+namespace reuse {
+
+/**
+ * The mutable, per-stream half of reuse-based inference.
+ *
+ * Created by ReuseEngine::makeState(); one instance per concurrent
+ * input stream.  Movable (hand a session its state), cloneable (fork
+ * a warmed stream), and evictable: releaseBuffers() frees the buffer
+ * memory so a serving runtime can reclaim it under a budget, after
+ * which the next execution simply runs from scratch and re-warms.
+ *
+ * A default-constructed ReuseState is empty and only valid for an
+ * engine whose network it was sized for via ReuseEngine::makeState().
+ */
+class ReuseState
+{
+  public:
+    ReuseState() = default;
+    ReuseState(ReuseState &&) = default;
+    ReuseState &operator=(ReuseState &&) = default;
+    ReuseState(const ReuseState &) = delete;
+    ReuseState &operator=(const ReuseState &) = delete;
+
+    /** Deep copy (buffers and history included). */
+    ReuseState clone() const;
+
+    /**
+     * Drops all buffered history (stream boundary / refresh); buffer
+     * storage stays allocated for the next frame.
+     */
+    void reset();
+
+    /**
+     * Drops all buffered history AND frees the buffer storage
+     * (session eviction).  The stream degrades to a from-scratch
+     * execution on its next frame and re-warms automatically.
+     */
+    void releaseBuffers();
+
+    /** Bytes currently held by all per-layer reuse buffers. */
+    int64_t memoryBytes() const;
+
+    /** True when any layer has a buffered previous execution. */
+    bool warm() const;
+
+    /** Number of layers this state was sized for (0 when empty). */
+    size_t layerCount() const { return fc_.size(); }
+
+    /** Executions since the last refresh/reset (drift control). */
+    int64_t executionsSinceRefresh() const
+    {
+        return executions_since_refresh_;
+    }
+
+  private:
+    friend class ReuseEngine;
+
+    // Index aligned with network layers; null where reuse is disabled
+    // or the layer kind does not match.
+    std::vector<std::unique_ptr<FcReuseState>> fc_;
+    std::vector<std::unique_ptr<ConvReuseState>> conv_;
+    std::vector<std::unique_ptr<BiLstmReuseState>> lstm_;
+    std::vector<std::unique_ptr<LstmLayerReuseState>> uni_lstm_;
+
+    int64_t executions_since_refresh_ = 0;
+};
+
+} // namespace reuse
+
+#endif // REUSE_DNN_CORE_REUSE_STATE_H

@@ -47,6 +47,9 @@ setupKaldi(const WorkloadSetupConfig &config)
     gen->reset(config.seed + 1000);
     w.generator = std::move(gen);
     w.recurrent = false;
+    w.makeGenerator = [sp](uint64_t seed) {
+        return std::make_unique<SpeechWindowGenerator>(sp, 9, seed);
+    };
     return w;
 }
 
@@ -72,6 +75,9 @@ setupEesen(const WorkloadSetupConfig &config)
     gen->reset(config.seed + 2000);
     w.generator = std::move(gen);
     w.recurrent = true;
+    w.makeGenerator = [sp](uint64_t seed) {
+        return std::make_unique<SpeechFrameGenerator>(sp, seed);
+    };
     return w;
 }
 
@@ -103,6 +109,9 @@ setupC3D(const WorkloadSetupConfig &config)
     gen->reset(config.seed + 3000);
     w.generator = std::move(gen);
     w.recurrent = false;
+    w.makeGenerator = [vp](uint64_t seed) {
+        return std::make_unique<VideoWindowGenerator>(vp, seed);
+    };
     return w;
 }
 
@@ -132,6 +141,9 @@ setupAutopilot(const WorkloadSetupConfig &config)
     gen->reset(config.seed + 4000);
     w.generator = std::move(gen);
     w.recurrent = false;
+    w.makeGenerator = [dp](uint64_t seed) {
+        return std::make_unique<DrivingFrameGenerator>(dp, seed);
+    };
     return w;
 }
 

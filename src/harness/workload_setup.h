@@ -9,6 +9,7 @@
 #ifndef REUSE_DNN_HARNESS_WORKLOAD_SETUP_H
 #define REUSE_DNN_HARNESS_WORKLOAD_SETUP_H
 
+#include <functional>
 #include <memory>
 #include <string>
 
@@ -32,6 +33,14 @@ struct Workload {
      * built separately.
      */
     int spatialDivisor = 1;
+    /**
+     * Builds an additional stream of this workload's input process
+     * from a seed, with the same generator parameters as `generator`.
+     * Multi-session serving uses this to give every session its own
+     * decorrelated stream (see workloads/multi_session_generator.h).
+     */
+    std::function<std::unique_ptr<SequenceGenerator>(uint64_t)>
+        makeGenerator;
 };
 
 /**

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Bounded multi-producer multi-consumer FIFO queue.
+ *
+ * The serving runtime's admission path: submitters block when the
+ * queue is full (backpressure instead of unbounded memory growth),
+ * workers block when it is empty.  close() releases everybody so the
+ * server can shut down: pending items are still drained by pop(),
+ * after which pop() returns false.
+ */
+
+#ifndef REUSE_DNN_SERVE_BOUNDED_QUEUE_H
+#define REUSE_DNN_SERVE_BOUNDED_QUEUE_H
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <utility>
+
+namespace reuse {
+
+/**
+ * Mutex/condvar bounded MPMC queue.  All operations are thread-safe.
+ */
+template <typename T>
+class BoundedQueue
+{
+  public:
+    /** @param capacity Maximum queued items (>= 1). */
+    explicit BoundedQueue(size_t capacity)
+        : capacity_(capacity == 0 ? 1 : capacity)
+    {
+    }
+
+    /**
+     * Enqueues `item`, blocking while the queue is full.  Returns
+     * false (dropping the item) when the queue is closed.
+     */
+    bool push(T item)
+    {
+        std::unique_lock<std::mutex> lock(mu_);
+        not_full_.wait(lock, [&] {
+            return closed_ || items_.size() < capacity_;
+        });
+        if (closed_)
+            return false;
+        items_.push_back(std::move(item));
+        lock.unlock();
+        not_empty_.notify_one();
+        return true;
+    }
+
+    /** Enqueues without blocking; false when full or closed. */
+    bool tryPush(T item)
+    {
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            if (closed_ || items_.size() >= capacity_)
+                return false;
+            items_.push_back(std::move(item));
+        }
+        not_empty_.notify_one();
+        return true;
+    }
+
+    /**
+     * Dequeues into `out`, blocking while the queue is empty.
+     * Returns false once the queue is closed AND drained.
+     */
+    bool pop(T &out)
+    {
+        std::unique_lock<std::mutex> lock(mu_);
+        not_empty_.wait(lock,
+                        [&] { return closed_ || !items_.empty(); });
+        if (items_.empty())
+            return false;
+        out = std::move(items_.front());
+        items_.pop_front();
+        lock.unlock();
+        not_full_.notify_one();
+        return true;
+    }
+
+    /** Closes the queue, waking all blocked producers/consumers. */
+    void close()
+    {
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            closed_ = true;
+        }
+        not_full_.notify_all();
+        not_empty_.notify_all();
+    }
+
+    /** Current queue depth. */
+    size_t size() const
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        return items_.size();
+    }
+
+    /** Configured capacity. */
+    size_t capacity() const { return capacity_; }
+
+    /** True once close() has been called. */
+    bool closed() const
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        return closed_;
+    }
+
+  private:
+    mutable std::mutex mu_;
+    std::condition_variable not_full_;
+    std::condition_variable not_empty_;
+    std::deque<T> items_;
+    const size_t capacity_;
+    bool closed_ = false;
+};
+
+} // namespace reuse
+
+#endif // REUSE_DNN_SERVE_BOUNDED_QUEUE_H

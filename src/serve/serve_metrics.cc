@@ -1,0 +1,38 @@
+#include "serve_metrics.h"
+
+namespace reuse {
+
+void
+ServeMetrics::reset()
+{
+    frames_submitted_.store(0, std::memory_order_relaxed);
+    frames_completed_.store(0, std::memory_order_relaxed);
+    sessions_opened_.store(0, std::memory_order_relaxed);
+    sessions_closed_.store(0, std::memory_order_relaxed);
+    evictions_.store(0, std::memory_order_relaxed);
+    queue_peak_.store(0, std::memory_order_relaxed);
+    latency_.reset();
+}
+
+void
+ServeMetrics::publishTo(StatRegistry &registry,
+                        const std::string &prefix) const
+{
+    auto set = [&](const std::string &name, double v) {
+        Counter &c = registry.get(prefix + "." + name);
+        c.reset();
+        c.add(v);
+    };
+    set("frames_submitted", static_cast<double>(framesSubmitted()));
+    set("frames_completed", static_cast<double>(framesCompleted()));
+    set("sessions_opened", static_cast<double>(sessionsOpened()));
+    set("sessions_closed", static_cast<double>(sessionsClosed()));
+    set("evictions", static_cast<double>(evictions()));
+    set("queue_peak", static_cast<double>(queuePeak()));
+    set("latency_mean_us", latency_.mean());
+    set("latency_p50_us", latency_.percentile(0.50));
+    set("latency_p95_us", latency_.percentile(0.95));
+    set("latency_p99_us", latency_.percentile(0.99));
+}
+
+} // namespace reuse

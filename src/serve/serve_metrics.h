@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Thread-safe serving metrics: frame throughput, end-to-end latency
+ * percentiles (queue wait + execution), queue depth and session
+ * lifecycle counts.  Workers update these on every frame with relaxed
+ * atomics; publishTo() surfaces a snapshot through the repo-wide
+ * StatRegistry so the harness dumps serving counters next to the
+ * simulator's.
+ */
+
+#ifndef REUSE_DNN_SERVE_SERVE_METRICS_H
+#define REUSE_DNN_SERVE_SERVE_METRICS_H
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "common/latency_histogram.h"
+#include "common/stats.h"
+
+namespace reuse {
+
+/**
+ * Aggregate metrics of one StreamingServer instance.
+ */
+class ServeMetrics
+{
+  public:
+    /** A frame entered the admission queue. */
+    void frameSubmitted()
+    {
+        frames_submitted_.fetch_add(1, std::memory_order_relaxed);
+    }
+
+    /**
+     * A frame finished executing.
+     * @param latency_us Submit-to-completion latency in microseconds.
+     */
+    void frameCompleted(double latency_us)
+    {
+        frames_completed_.fetch_add(1, std::memory_order_relaxed);
+        latency_.record(latency_us);
+    }
+
+    void sessionOpened()
+    {
+        sessions_opened_.fetch_add(1, std::memory_order_relaxed);
+    }
+
+    void sessionClosed()
+    {
+        sessions_closed_.fetch_add(1, std::memory_order_relaxed);
+    }
+
+    /** A session's reuse buffers were dropped under memory pressure. */
+    void eviction()
+    {
+        evictions_.fetch_add(1, std::memory_order_relaxed);
+    }
+
+    /** Tracks the deepest admission-queue occupancy observed. */
+    void observeQueueDepth(size_t depth)
+    {
+        uint64_t cur = queue_peak_.load(std::memory_order_relaxed);
+        while (depth > cur &&
+               !queue_peak_.compare_exchange_weak(
+                   cur, depth, std::memory_order_relaxed)) {
+        }
+    }
+
+    uint64_t framesSubmitted() const
+    {
+        return frames_submitted_.load(std::memory_order_relaxed);
+    }
+
+    uint64_t framesCompleted() const
+    {
+        return frames_completed_.load(std::memory_order_relaxed);
+    }
+
+    uint64_t sessionsOpened() const
+    {
+        return sessions_opened_.load(std::memory_order_relaxed);
+    }
+
+    uint64_t sessionsClosed() const
+    {
+        return sessions_closed_.load(std::memory_order_relaxed);
+    }
+
+    uint64_t evictions() const
+    {
+        return evictions_.load(std::memory_order_relaxed);
+    }
+
+    uint64_t queuePeak() const
+    {
+        return queue_peak_.load(std::memory_order_relaxed);
+    }
+
+    /** Submit-to-completion latency distribution (microseconds). */
+    const LatencyHistogram &latency() const { return latency_; }
+
+    /** Zeroes every metric. */
+    void reset();
+
+    /**
+     * Writes a snapshot of all metrics into `registry` under
+     * "<prefix>." counter names (e.g. serve.frames_completed,
+     * serve.latency_p99_us).
+     */
+    void publishTo(StatRegistry &registry,
+                   const std::string &prefix = "serve") const;
+
+  private:
+    std::atomic<uint64_t> frames_submitted_{0};
+    std::atomic<uint64_t> frames_completed_{0};
+    std::atomic<uint64_t> sessions_opened_{0};
+    std::atomic<uint64_t> sessions_closed_{0};
+    std::atomic<uint64_t> evictions_{0};
+    std::atomic<uint64_t> queue_peak_{0};
+    LatencyHistogram latency_;
+};
+
+} // namespace reuse
+
+#endif // REUSE_DNN_SERVE_SERVE_METRICS_H

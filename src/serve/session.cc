@@ -1,0 +1,29 @@
+#include "session.h"
+
+namespace reuse {
+
+Session::Session(SessionId id, const ReuseEngine &engine, uint64_t seed)
+    : id_(id),
+      seed_(seed),
+      engine_(engine),
+      state_(engine.makeState()),
+      stats_(engine.makeStatsCollector())
+{
+}
+
+Session::Snapshot
+Session::snapshot() const
+{
+    std::lock_guard<std::mutex> lock(state_mu_);
+    Snapshot snap;
+    snap.framesCompleted = frames_completed_;
+    snap.evictions = evictions_;
+    snap.reuseRatio = stats_.networkComputationReuse();
+    snap.similarity = stats_.meanSimilarity();
+    snap.stateBytes = state_.memoryBytes();
+    snap.warm = state_.warm();
+    snap.coldFrames = cold_frames_;
+    return snap;
+}
+
+} // namespace reuse

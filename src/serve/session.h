@@ -1,0 +1,139 @@
+/**
+ * @file
+ * One serving session: the unit of per-stream reuse state.
+ *
+ * A session owns everything one temporal input stream (a user's
+ * speech session, a dash-cam feed) carries between frames: its
+ * ReuseState (previous quantized inputs + previous outputs per
+ * layer, refresh counter), a per-session reuse-statistics collector,
+ * an RNG seed identifying the stream, and its pending-frame FIFO.
+ *
+ * Lifecycle: open (StreamingServer::openSession) → frames
+ * (submitFrame, executed in order by the worker pool) → close.
+ * Between frames the session's reuse buffers may be *evicted* by the
+ * SessionManager under memory pressure; the session then degrades to
+ * a from-scratch execution on its next frame and re-warms, which
+ * preserves the correctness invariant (outputs always match what a
+ * dedicated single-stream engine with a reset at the same frame
+ * would produce).
+ *
+ * Locking: `queue_mu_` guards the scheduling half (pending frames,
+ * in-flight flag), `state_mu_` guards the execution half (ReuseState,
+ * stats).  Lock order when both are needed: never hold `state_mu_`
+ * while acquiring a SessionManager or server lock; `state_mu_` may be
+ * acquired while holding the manager lock (eviction path).
+ */
+
+#ifndef REUSE_DNN_SERVE_SESSION_H
+#define REUSE_DNN_SERVE_SESSION_H
+
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <mutex>
+#include <vector>
+
+#include "core/reuse_engine.h"
+#include "tensor/tensor.h"
+
+namespace reuse {
+
+/** Opaque handle of an open serving session. */
+using SessionId = uint64_t;
+
+/** One frame waiting to be executed for a session. */
+struct FrameRequest {
+    Tensor input;
+    std::promise<Tensor> result;
+    std::chrono::steady_clock::time_point enqueued;
+    /** 0-based index of this frame within its session's stream. */
+    uint64_t frameIndex = 0;
+};
+
+/**
+ * Per-stream serving state.  Instances are created and managed by
+ * StreamingServer/SessionManager; user code refers to sessions by
+ * SessionId and reads progress through Snapshot.
+ */
+class Session
+{
+  public:
+    /**
+     * @param id Server-assigned handle.
+     * @param engine Shared immutable engine executing this session's
+     *   model; must outlive the session.
+     * @param seed Stream identity (workload generators derive their
+     *   RNG stream from it).
+     */
+    Session(SessionId id, const ReuseEngine &engine, uint64_t seed);
+
+    SessionId id() const { return id_; }
+
+    /** The stream's RNG seed (identity of the input sequence). */
+    uint64_t seed() const { return seed_; }
+
+    /** The engine executing this session's model. */
+    const ReuseEngine &engine() const { return engine_; }
+
+    /** Point-in-time view of a session's progress and reuse health. */
+    struct Snapshot {
+        uint64_t framesCompleted = 0;
+        /** Times this session's reuse buffers were evicted. */
+        uint64_t evictions = 0;
+        /** MAC-weighted network computation reuse accumulated so far. */
+        double reuseRatio = 0.0;
+        /** Mean input similarity over reuse-enabled layers. */
+        double similarity = 0.0;
+        /** Bytes currently held by the session's reuse buffers. */
+        int64_t stateBytes = 0;
+        /** True when the session has buffered history to reuse. */
+        bool warm = false;
+        /**
+         * Frame indices that executed cold because of an eviction
+         * (NOT counting the stream's first frame or periodic
+         * refreshes).  Lets callers replay a reference run with
+         * resets at exactly these frames.
+         */
+        std::vector<uint64_t> coldFrames;
+    };
+
+    /** Thread-safe snapshot (may briefly block a worker). */
+    Snapshot snapshot() const;
+
+  private:
+    friend class StreamingServer;
+    friend class SessionManager;
+
+    const SessionId id_;
+    const uint64_t seed_;
+    const ReuseEngine &engine_;
+
+    // --- Scheduling half, guarded by queue_mu_ -----------------------
+    std::mutex queue_mu_;
+    std::deque<FrameRequest> pending_;
+    /** True while the session sits in the run queue or executes. */
+    bool inflight_ = false;
+    /** Set by closeSession(); rejects further submits. */
+    bool closing_ = false;
+    /** Next frame index to assign at submit time. */
+    uint64_t next_frame_index_ = 0;
+
+    // --- Execution half, guarded by state_mu_ ------------------------
+    mutable std::mutex state_mu_;
+    ReuseState state_;
+    ReuseStatsCollector stats_;
+    uint64_t frames_completed_ = 0;
+    uint64_t evictions_ = 0;
+    /** True between an eviction and the next executed frame. */
+    bool evicted_since_last_frame_ = false;
+    std::vector<uint64_t> cold_frames_;
+
+    // --- SessionManager accounting, guarded by the manager ----------
+    int64_t charged_bytes_ = 0;
+    uint64_t last_used_tick_ = 0;
+};
+
+} // namespace reuse
+
+#endif // REUSE_DNN_SERVE_SESSION_H

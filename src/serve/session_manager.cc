@@ -1,0 +1,127 @@
+#include "session_manager.h"
+
+#include <limits>
+
+#include "common/logging.h"
+
+namespace reuse {
+
+SessionManager::SessionManager(Config config, ServeMetrics *metrics)
+    : config_(config), metrics_(metrics)
+{
+}
+
+std::shared_ptr<Session>
+SessionManager::create(const ReuseEngine &engine, uint64_t seed)
+{
+    auto session = std::make_shared<Session>(allocateId(), engine, seed);
+    std::lock_guard<std::mutex> lock(mu_);
+    sessions_.emplace(session->id(), session);
+    return session;
+}
+
+std::shared_ptr<Session>
+SessionManager::find(SessionId id) const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = sessions_.find(id);
+    return it == sessions_.end() ? nullptr : it->second;
+}
+
+void
+SessionManager::remove(SessionId id)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = sessions_.find(id);
+    if (it == sessions_.end())
+        return;
+    charged_.fetch_sub(it->second->charged_bytes_,
+                       std::memory_order_relaxed);
+    sessions_.erase(it);
+}
+
+void
+SessionManager::evictLocked(Session &victim)
+{
+    victim.state_.releaseBuffers();
+    const int64_t residual = victim.state_.memoryBytes();
+    charged_.fetch_add(residual - victim.charged_bytes_,
+                       std::memory_order_relaxed);
+    victim.charged_bytes_ = residual;
+    victim.evictions_ += 1;
+    victim.evicted_since_last_frame_ = true;
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+    if (metrics_ != nullptr)
+        metrics_->eviction();
+}
+
+void
+SessionManager::enforceBudgetLocked(const Session *exclude)
+{
+    if (config_.memoryBudgetBytes < 0)
+        return;
+    while (charged_.load(std::memory_order_relaxed) >
+           config_.memoryBudgetBytes) {
+        Session *victim = nullptr;
+        uint64_t oldest = std::numeric_limits<uint64_t>::max();
+        for (auto &kv : sessions_) {
+            Session *s = kv.second.get();
+            if (s == exclude || s->charged_bytes_ <= 0)
+                continue;
+            if (s->last_used_tick_ < oldest) {
+                oldest = s->last_used_tick_;
+                victim = s;
+            }
+        }
+        if (victim == nullptr)
+            return;     // nothing evictable; tolerate over-budget
+        // Skip (and stop considering) sessions mid-execution: their
+        // tick will be re-bumped when they finish anyway.
+        std::unique_lock<std::mutex> state_lock(victim->state_mu_,
+                                                std::try_to_lock);
+        if (!state_lock.owns_lock()) {
+            // Pretend it was just used so the scan moves on.
+            victim->last_used_tick_ = ++tick_;
+            continue;
+        }
+        evictLocked(*victim);
+    }
+}
+
+void
+SessionManager::noteExecution(Session &session)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    int64_t bytes = 0;
+    {
+        std::lock_guard<std::mutex> state_lock(session.state_mu_);
+        bytes = session.state_.memoryBytes();
+    }
+    charged_.fetch_add(bytes - session.charged_bytes_,
+                       std::memory_order_relaxed);
+    session.charged_bytes_ = bytes;
+    session.last_used_tick_ = ++tick_;
+    enforceBudgetLocked(&session);
+}
+
+bool
+SessionManager::forceEvict(SessionId id)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = sessions_.find(id);
+    if (it == sessions_.end())
+        return false;
+    Session &victim = *it->second;
+    std::lock_guard<std::mutex> state_lock(victim.state_mu_);
+    evictLocked(victim);
+    return true;
+}
+
+size_t
+SessionManager::sessionCount() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return sessions_.size();
+}
+
+} // namespace reuse

@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Session registry + reuse-buffer memory governor.
+ *
+ * The paper's technique trades memory (previous quantized inputs and
+ * previous outputs per layer, Table III) for computation.  At serving
+ * scale that memory is the scarce resource: thousands of concurrent
+ * sessions each pin one ReuseState worth of buffers.  The
+ * SessionManager accounts every session's buffer bytes and, when a
+ * configurable budget is exceeded, evicts the least-recently-used
+ * session's buffers.  An evicted session is NOT closed: its next
+ * frame simply executes from scratch (exactly like a stream's first
+ * frame) and re-warms the buffers, so correctness is never affected —
+ * only the reuse ratio of the frames right after the eviction.
+ *
+ * Lock order: the manager lock may be held while acquiring a
+ * session's state_mu_ (blocking in forceEvict/remove, try_lock in the
+ * LRU sweep so sessions mid-execution are skipped); the reverse order
+ * is forbidden.
+ */
+
+#ifndef REUSE_DNN_SERVE_SESSION_MANAGER_H
+#define REUSE_DNN_SERVE_SESSION_MANAGER_H
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "serve/serve_metrics.h"
+#include "serve/session.h"
+
+namespace reuse {
+
+/**
+ * Owns all live sessions and enforces the reuse-memory budget.
+ */
+class SessionManager
+{
+  public:
+    struct Config {
+        /**
+         * Total bytes all sessions' reuse buffers may occupy;
+         * negative = unlimited.  A single session larger than the
+         * budget is tolerated (there is nothing left to evict).
+         */
+        int64_t memoryBudgetBytes = -1;
+    };
+
+    /** Unlimited-budget manager. */
+    SessionManager() : SessionManager(Config(), nullptr) {}
+
+    /**
+     * @param config Budget configuration.
+     * @param metrics Optional sink for eviction events.
+     */
+    explicit SessionManager(Config config,
+                            ServeMetrics *metrics = nullptr);
+
+    /** Creates and registers a session; returns it. */
+    std::shared_ptr<Session> create(const ReuseEngine &engine,
+                                    uint64_t seed);
+
+    /** Finds a session by id (nullptr when unknown/closed). */
+    std::shared_ptr<Session> find(SessionId id) const;
+
+    /** Unregisters a session and releases its memory charge. */
+    void remove(SessionId id);
+
+    /**
+     * Called by a worker after executing a frame for `session` (with
+     * the session's state_mu_ NOT held): re-charges the session's
+     * buffer bytes, bumps its LRU tick, and evicts LRU sessions while
+     * over budget.  Sessions currently executing are skipped.
+     */
+    void noteExecution(Session &session);
+
+    /**
+     * Deterministically evicts one session's reuse buffers (test and
+     * operations hook).  Returns false when the id is unknown.
+     * Blocks until the session is not executing.
+     */
+    bool forceEvict(SessionId id);
+
+    /** Bytes currently charged across all sessions. */
+    int64_t chargedBytes() const
+    {
+        return charged_.load(std::memory_order_relaxed);
+    }
+
+    /** Total evictions performed (budget-forced + forced). */
+    uint64_t evictionCount() const
+    {
+        return evictions_.load(std::memory_order_relaxed);
+    }
+
+    /** Number of registered sessions. */
+    size_t sessionCount() const;
+
+    /** The configured budget (negative = unlimited). */
+    int64_t memoryBudgetBytes() const
+    {
+        return config_.memoryBudgetBytes;
+    }
+
+    /** Next fresh session id (used by the server). */
+    SessionId allocateId()
+    {
+        return next_id_.fetch_add(1, std::memory_order_relaxed);
+    }
+
+  private:
+    /**
+     * Evicts LRU sessions until the charge fits the budget; `exclude`
+     * (the session that just ran) is never a victim.  Caller holds
+     * mu_.
+     */
+    void enforceBudgetLocked(const Session *exclude);
+
+    /** Releases one session's buffers and fixes accounting; caller
+     *  holds mu_ and victim.state_mu_. */
+    void evictLocked(Session &victim);
+
+    mutable std::mutex mu_;
+    Config config_;
+    ServeMetrics *metrics_;
+    std::unordered_map<SessionId, std::shared_ptr<Session>> sessions_;
+    std::atomic<int64_t> charged_{0};
+    std::atomic<uint64_t> evictions_{0};
+    std::atomic<uint64_t> next_id_{1};
+    uint64_t tick_ = 0;
+};
+
+} // namespace reuse
+
+#endif // REUSE_DNN_SERVE_SESSION_MANAGER_H

@@ -1,0 +1,221 @@
+#include "streaming_server.h"
+
+#include "common/logging.h"
+
+namespace reuse {
+
+namespace {
+
+double
+elapsedMicros(std::chrono::steady_clock::time_point since)
+{
+    return std::chrono::duration<double, std::micro>(
+               std::chrono::steady_clock::now() - since)
+        .count();
+}
+
+} // namespace
+
+StreamingServer::StreamingServer(const ReuseEngine &engine, Config config)
+    : StreamingServer({{std::string("default"), &engine}}, config)
+{
+}
+
+StreamingServer::StreamingServer(
+    const std::vector<std::pair<std::string, const ReuseEngine *>> &zoo,
+    Config config)
+    : manager_(SessionManager::Config{config.memoryBudgetBytes},
+               &metrics_),
+      queue_(config.queueCapacity)
+{
+    REUSE_ASSERT(!zoo.empty(), "server needs at least one model");
+    for (const auto &[name, engine] : zoo) {
+        REUSE_ASSERT(engine != nullptr, "null engine for " << name);
+        REUSE_ASSERT(!engine->network().isRecurrent(),
+                     "serving executes per-frame; recurrent model "
+                         << name << " is not servable");
+        const bool inserted = zoo_.emplace(name, engine).second;
+        REUSE_ASSERT(inserted, "duplicate model name " << name);
+    }
+    start(config.workerThreads == 0 ? 1 : config.workerThreads);
+}
+
+StreamingServer::~StreamingServer()
+{
+    stop();
+}
+
+void
+StreamingServer::start(size_t worker_threads)
+{
+    workers_.reserve(worker_threads);
+    for (size_t i = 0; i < worker_threads; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+void
+StreamingServer::stop()
+{
+    if (stopped_.exchange(true))
+        return;
+    queue_.close();
+    for (auto &w : workers_) {
+        if (w.joinable())
+            w.join();
+    }
+}
+
+SessionId
+StreamingServer::openSession(const std::string &model, uint64_t seed)
+{
+    auto it = zoo_.find(model);
+    REUSE_ASSERT(it != zoo_.end(), "unknown model " << model);
+    REUSE_ASSERT(!stopped_.load(), "server is stopped");
+    auto session = manager_.create(*it->second, seed);
+    metrics_.sessionOpened();
+    return session->id();
+}
+
+std::future<Tensor>
+StreamingServer::submitFrame(SessionId id, Tensor input)
+{
+    REUSE_ASSERT(!stopped_.load(), "server is stopped");
+    std::shared_ptr<Session> session = manager_.find(id);
+    REUSE_ASSERT(session != nullptr, "unknown session " << id);
+
+    FrameRequest req;
+    req.input = std::move(input);
+    req.enqueued = std::chrono::steady_clock::now();
+    std::future<Tensor> future = req.result.get_future();
+
+    bool need_enqueue = false;
+    {
+        std::lock_guard<std::mutex> lock(session->queue_mu_);
+        REUSE_ASSERT(!session->closing_,
+                     "session " << id << " is closing");
+        req.frameIndex = session->next_frame_index_++;
+        session->pending_.push_back(std::move(req));
+        if (!session->inflight_) {
+            session->inflight_ = true;
+            need_enqueue = true;
+        }
+    }
+    outstanding_.fetch_add(1, std::memory_order_relaxed);
+    metrics_.frameSubmitted();
+    metrics_.observeQueueDepth(queue_.size() + 1);
+
+    if (need_enqueue && !queue_.push(session)) {
+        // Server stopped between the checks; the pending request's
+        // promise will be broken when the session is destroyed.
+        std::lock_guard<std::mutex> lock(session->queue_mu_);
+        session->inflight_ = false;
+    }
+    return future;
+}
+
+void
+StreamingServer::workerLoop()
+{
+    std::shared_ptr<Session> session;
+    while (queue_.pop(session)) {
+        FrameRequest req;
+        {
+            std::lock_guard<std::mutex> lock(session->queue_mu_);
+            REUSE_ASSERT(!session->pending_.empty(),
+                         "scheduled session has no pending frame");
+            req = std::move(session->pending_.front());
+            session->pending_.pop_front();
+        }
+
+        Tensor output;
+        ExecutionTrace trace;
+        {
+            std::lock_guard<std::mutex> lock(session->state_mu_);
+            if (session->evicted_since_last_frame_) {
+                session->cold_frames_.push_back(req.frameIndex);
+                session->evicted_since_last_frame_ = false;
+            }
+            output = session->engine().execute(session->state_,
+                                               req.input, trace);
+            session->stats_.addTrace(trace);
+            session->frames_completed_ += 1;
+        }
+        manager_.noteExecution(*session);
+
+        req.result.set_value(std::move(output));
+        metrics_.frameCompleted(elapsedMicros(req.enqueued));
+
+        bool more = false;
+        {
+            std::lock_guard<std::mutex> lock(session->queue_mu_);
+            more = !session->pending_.empty();
+            if (!more)
+                session->inflight_ = false;
+        }
+        if (more)
+            queue_.push(session);
+
+        outstanding_.fetch_sub(1, std::memory_order_relaxed);
+        {
+            std::lock_guard<std::mutex> lock(drain_mu_);
+        }
+        drain_cv_.notify_all();
+        session.reset();
+    }
+}
+
+void
+StreamingServer::drain()
+{
+    std::unique_lock<std::mutex> lock(drain_mu_);
+    drain_cv_.wait(lock, [&] {
+        return outstanding_.load(std::memory_order_relaxed) == 0;
+    });
+}
+
+void
+StreamingServer::closeSession(SessionId id)
+{
+    std::shared_ptr<Session> session = manager_.find(id);
+    REUSE_ASSERT(session != nullptr, "unknown session " << id);
+    {
+        std::lock_guard<std::mutex> lock(session->queue_mu_);
+        session->closing_ = true;
+    }
+    // Wait for this session's pending frames to finish.
+    {
+        std::unique_lock<std::mutex> lock(drain_mu_);
+        drain_cv_.wait(lock, [&] {
+            std::lock_guard<std::mutex> qlock(session->queue_mu_);
+            return session->pending_.empty() && !session->inflight_;
+        });
+    }
+    manager_.remove(id);
+    metrics_.sessionClosed();
+}
+
+Session::Snapshot
+StreamingServer::sessionSnapshot(SessionId id) const
+{
+    std::shared_ptr<Session> session = manager_.find(id);
+    REUSE_ASSERT(session != nullptr, "unknown session " << id);
+    return session->snapshot();
+}
+
+void
+StreamingServer::publishStats(StatRegistry &registry) const
+{
+    metrics_.publishTo(registry);
+    auto set = [&](const std::string &name, double v) {
+        Counter &c = registry.get(name);
+        c.reset();
+        c.add(v);
+    };
+    set("serve.sessions_live",
+        static_cast<double>(manager_.sessionCount()));
+    set("serve.state_bytes",
+        static_cast<double>(manager_.chargedBytes()));
+    set("serve.queue_depth", static_cast<double>(queue_.size()));
+}
+
+} // namespace reuse

@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Multi-stream serving runtime for reuse-based inference.
+ *
+ * Multiplexes many concurrent sessions — each a temporal input stream
+ * with its own per-stream reuse state — over a shared zoo of
+ * immutable ReuseEngines, executing frames on a worker thread pool
+ * fed by a bounded MPMC queue.
+ *
+ * Ordering & parallelism model (session pinning): a session is in the
+ * run queue at most once.  A worker that pops a session executes
+ * exactly one of its pending frames, then re-enqueues the session if
+ * more frames are waiting.  Frames of one session therefore execute
+ * serially in submission order against its ReuseState (the paper's
+ * incremental correction is inherently sequential per stream), while
+ * frames of different sessions execute in parallel.  This makes the
+ * runtime's outputs bit-identical to N independent single-stream
+ * ReuseEngine runs, for any worker count.
+ *
+ * Memory: per-session reuse buffers live under the SessionManager's
+ * budget; evicted sessions degrade to from-scratch execution on their
+ * next frame and re-warm (see session_manager.h).
+ */
+
+#ifndef REUSE_DNN_SERVE_STREAMING_SERVER_H
+#define REUSE_DNN_SERVE_STREAMING_SERVER_H
+
+#include <atomic>
+#include <condition_variable>
+#include <future>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "serve/bounded_queue.h"
+#include "serve/serve_metrics.h"
+#include "serve/session_manager.h"
+
+namespace reuse {
+
+/**
+ * Streaming inference server over one or more shared ReuseEngines.
+ */
+class StreamingServer
+{
+  public:
+    struct Config {
+        /** Worker threads executing frames. */
+        size_t workerThreads = 4;
+        /** Bound of the admission queue (sessions awaiting a worker). */
+        size_t queueCapacity = 1024;
+        /** Reuse-buffer budget across sessions; negative = unlimited. */
+        int64_t memoryBudgetBytes = -1;
+    };
+
+    /** Single-model server; the engine is registered as "default". */
+    explicit StreamingServer(const ReuseEngine &engine)
+        : StreamingServer(engine, Config())
+    {
+    }
+
+    StreamingServer(const ReuseEngine &engine, Config config);
+
+    /**
+     * Multi-model server over a model zoo.
+     * @param zoo (name, engine) pairs; engines must outlive the
+     *   server and must be feed-forward (serving is per-frame).
+     */
+    StreamingServer(
+        const std::vector<std::pair<std::string, const ReuseEngine *>>
+            &zoo,
+        Config config);
+
+    /** Stops workers; pending unexecuted frames see broken promises. */
+    ~StreamingServer();
+
+    StreamingServer(const StreamingServer &) = delete;
+    StreamingServer &operator=(const StreamingServer &) = delete;
+
+    /**
+     * Opens a session against `model`.
+     * @param seed Stream identity, recorded on the session (workload
+     *   generators derive their RNG stream from it).
+     */
+    SessionId openSession(const std::string &model = "default",
+                          uint64_t seed = 0);
+
+    /**
+     * Enqueues one frame for `id`.  Blocks for backpressure when the
+     * admission queue is full.  The returned future yields the
+     * frame's network output; frames of one session complete in
+     * submission order.
+     */
+    std::future<Tensor> submitFrame(SessionId id, Tensor input);
+
+    /**
+     * Waits for the session's pending frames to finish, then removes
+     * it (releasing its reuse-buffer charge).
+     */
+    void closeSession(SessionId id);
+
+    /** Waits until every submitted frame has completed. */
+    void drain();
+
+    /** Stops the worker pool (idempotent; also run by the dtor). */
+    void stop();
+
+    /** Point-in-time view of one session. */
+    Session::Snapshot sessionSnapshot(SessionId id) const;
+
+    /** Deterministically evicts one session's reuse buffers. */
+    bool forceEvict(SessionId id)
+    {
+        return manager_.forceEvict(id);
+    }
+
+    /** Aggregate serving metrics. */
+    const ServeMetrics &metrics() const { return metrics_; }
+
+    /** The memory governor (budget, evictions, charged bytes). */
+    const SessionManager &sessionManager() const { return manager_; }
+    SessionManager &sessionManager() { return manager_; }
+
+    /**
+     * Publishes serving metrics plus live-session gauges into
+     * `registry` under "serve.".
+     */
+    void publishStats(StatRegistry &registry) const;
+
+    /** Number of worker threads. */
+    size_t workerCount() const { return workers_.size(); }
+
+  private:
+    void start(size_t worker_threads);
+    void workerLoop();
+
+    std::map<std::string, const ReuseEngine *> zoo_;
+    ServeMetrics metrics_;
+    SessionManager manager_;
+    BoundedQueue<std::shared_ptr<Session>> queue_;
+    std::vector<std::thread> workers_;
+
+    std::atomic<uint64_t> outstanding_{0};
+    std::mutex drain_mu_;
+    std::condition_variable drain_cv_;
+    std::atomic<bool> stopped_{false};
+};
+
+} // namespace reuse
+
+#endif // REUSE_DNN_SERVE_STREAMING_SERVER_H

@@ -1,0 +1,25 @@
+#include "multi_session_generator.h"
+
+#include "common/logging.h"
+
+namespace reuse {
+
+MultiSessionGenerator::MultiSessionGenerator(Factory factory,
+                                             size_t sessions,
+                                             uint64_t base_seed)
+    : factory_(std::move(factory))
+{
+    REUSE_ASSERT(factory_ != nullptr, "null stream factory");
+    streams_.reserve(sessions);
+    for (size_t i = 0; i < sessions; ++i)
+        streams_.push_back(factory_(sessionSeed(base_seed, i)));
+}
+
+void
+MultiSessionGenerator::resetAll(uint64_t base_seed)
+{
+    for (size_t i = 0; i < streams_.size(); ++i)
+        streams_[i]->reset(sessionSeed(base_seed, i));
+}
+
+} // namespace reuse

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * N correlated-but-independent input streams for multi-session
+ * serving experiments.
+ *
+ * Each stream is produced by its own SequenceGenerator instance
+ * (same process parameters, distinct seed), modelling N users whose
+ * sensors sample N different slowly-changing worlds: every stream
+ * exhibits the temporal similarity the paper exploits, but streams
+ * are mutually uncorrelated, so cross-session reuse is (correctly)
+ * impossible and each session must carry its own state.
+ */
+
+#ifndef REUSE_DNN_WORKLOADS_MULTI_SESSION_GENERATOR_H
+#define REUSE_DNN_WORKLOADS_MULTI_SESSION_GENERATOR_H
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "workloads/sequence_generator.h"
+
+namespace reuse {
+
+/**
+ * A bundle of per-session input streams.
+ */
+class MultiSessionGenerator
+{
+  public:
+    /** Builds one stream from a seed. */
+    using Factory =
+        std::function<std::unique_ptr<SequenceGenerator>(uint64_t)>;
+
+    /**
+     * @param factory Stream builder (one call per session).
+     * @param sessions Number of streams.
+     * @param base_seed Seed of stream 0; stream i uses
+     *   sessionSeed(base_seed, i).
+     */
+    MultiSessionGenerator(Factory factory, size_t sessions,
+                          uint64_t base_seed);
+
+    /** The seed assigned to stream `i` (decorrelated from i-1). */
+    static uint64_t sessionSeed(uint64_t base_seed, size_t i)
+    {
+        // Large odd stride keeps per-session RNG streams apart even
+        // for generators that fold the seed into small state.
+        return base_seed + 0x9e3779b97f4a7c15ULL * (i + 1);
+    }
+
+    size_t sessionCount() const { return streams_.size(); }
+
+    /** Stream of session `i`. */
+    SequenceGenerator &stream(size_t i) { return *streams_.at(i); }
+
+    /** Next frame of session `i`. */
+    Tensor next(size_t i) { return stream(i).next(); }
+
+    /** The next `count` frames of session `i`. */
+    std::vector<Tensor> take(size_t i, size_t count)
+    {
+        return stream(i).take(count);
+    }
+
+    /** Restarts every stream from a new base seed. */
+    void resetAll(uint64_t base_seed);
+
+  private:
+    Factory factory_;
+    std::vector<std::unique_ptr<SequenceGenerator>> streams_;
+};
+
+} // namespace reuse
+
+#endif // REUSE_DNN_WORKLOADS_MULTI_SESSION_GENERATOR_H

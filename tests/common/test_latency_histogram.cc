@@ -1,0 +1,94 @@
+/** @file Unit tests for the lock-free latency histogram. */
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "common/latency_histogram.h"
+
+namespace reuse {
+namespace {
+
+TEST(LatencyHistogram, EmptyIsSafe)
+{
+    LatencyHistogram h;
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_EQ(h.sum(), 0.0);
+    EXPECT_EQ(h.mean(), 0.0);
+    EXPECT_EQ(h.percentile(0.5), 0.0);
+}
+
+TEST(LatencyHistogram, CountSumMean)
+{
+    LatencyHistogram h;
+    h.record(100.0);
+    h.record(200.0);
+    h.record(300.0);
+    EXPECT_EQ(h.count(), 3u);
+    EXPECT_DOUBLE_EQ(h.sum(), 600.0);
+    EXPECT_DOUBLE_EQ(h.mean(), 200.0);
+}
+
+TEST(LatencyHistogram, PercentilesApproximateWithinBucketResolution)
+{
+    LatencyHistogram h;
+    for (int i = 1; i <= 1000; ++i)
+        h.record(double(i));
+    // Geometric buckets give ~9% relative resolution.
+    EXPECT_NEAR(h.percentile(0.50), 500.0, 500.0 * 0.10);
+    EXPECT_NEAR(h.percentile(0.95), 950.0, 950.0 * 0.10);
+    EXPECT_NEAR(h.percentile(0.99), 990.0, 990.0 * 0.10);
+    // Percentiles are monotone in p.
+    EXPECT_LE(h.percentile(0.5), h.percentile(0.95));
+    EXPECT_LE(h.percentile(0.95), h.percentile(0.99));
+}
+
+TEST(LatencyHistogram, OutOfRangeSamplesAreClamped)
+{
+    LatencyHistogram h;
+    h.record(0.0);
+    h.record(-5.0);
+    h.record(1e12);
+    EXPECT_EQ(h.count(), 3u);
+    EXPECT_GE(h.percentile(0.99), h.percentile(0.01));
+}
+
+TEST(LatencyHistogram, ResetClears)
+{
+    LatencyHistogram h;
+    h.record(50.0);
+    h.reset();
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_EQ(h.sum(), 0.0);
+    EXPECT_EQ(h.percentile(0.5), 0.0);
+}
+
+TEST(LatencyHistogram, SummaryMentionsCount)
+{
+    LatencyHistogram h;
+    h.record(10.0);
+    h.record(20.0);
+    EXPECT_NE(h.summary().find("2"), std::string::npos);
+}
+
+TEST(LatencyHistogram, ConcurrentRecordsLoseNothing)
+{
+    LatencyHistogram h;
+    const int kThreads = 8;
+    const int kSamples = 5000;
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&h] {
+            for (int i = 1; i <= kSamples; ++i)
+                h.record(double(i % 1000 + 1));
+        });
+    }
+    for (auto &t : threads)
+        t.join();
+    EXPECT_EQ(h.count(), uint64_t(kThreads) * kSamples);
+    EXPECT_GT(h.percentile(0.5), 0.0);
+}
+
+} // namespace
+} // namespace reuse

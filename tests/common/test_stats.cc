@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <thread>
+#include <vector>
+
 #include "common/stats.h"
 
 namespace reuse {
@@ -33,6 +36,51 @@ TEST(Counter, ResetClears)
     c.reset();
     EXPECT_EQ(c.value(), 0.0);
     EXPECT_EQ(c.samples(), 0u);
+}
+
+TEST(Counter, ConcurrentAddsLoseNothing)
+{
+    // Serving workers bump shared counters on every frame; adds from
+    // many threads must all land (CAS loop in atomicAddDouble).
+    Counter c;
+    const int kThreads = 8;
+    const int kAdds = 10000;
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&c] {
+            for (int i = 0; i < kAdds; ++i)
+                c.add(1.0);
+        });
+    }
+    for (auto &t : threads)
+        t.join();
+    EXPECT_DOUBLE_EQ(c.value(), double(kThreads) * kAdds);
+    EXPECT_EQ(c.samples(), uint64_t(kThreads) * kAdds);
+}
+
+TEST(StatRegistry, ConcurrentGetAndAddIsSafe)
+{
+    StatRegistry reg;
+    const int kThreads = 8;
+    const int kAdds = 2000;
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&reg, t] {
+            // Half the threads hammer a shared counter, half also
+            // register their own (concurrent first-use creation).
+            for (int i = 0; i < kAdds; ++i) {
+                reg.get("shared").inc();
+                reg.get("own." + std::to_string(t)).inc();
+            }
+        });
+    }
+    for (auto &t : threads)
+        t.join();
+    EXPECT_DOUBLE_EQ(reg.get("shared").value(),
+                     double(kThreads) * kAdds);
+    for (int t = 0; t < kThreads; ++t)
+        EXPECT_DOUBLE_EQ(reg.get("own." + std::to_string(t)).value(),
+                         kAdds);
 }
 
 TEST(StatRegistry, GetCreatesOnFirstUse)

@@ -1,0 +1,138 @@
+/** @file Unit tests for the bounded MPMC admission queue. */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "serve/bounded_queue.h"
+
+namespace reuse {
+namespace {
+
+TEST(BoundedQueue, FifoOrder)
+{
+    BoundedQueue<int> q(8);
+    for (int i = 0; i < 5; ++i)
+        EXPECT_TRUE(q.push(i));
+    EXPECT_EQ(q.size(), 5u);
+    int v = -1;
+    for (int i = 0; i < 5; ++i) {
+        EXPECT_TRUE(q.pop(v));
+        EXPECT_EQ(v, i);
+    }
+    EXPECT_EQ(q.size(), 0u);
+}
+
+TEST(BoundedQueue, TryPushFailsWhenFull)
+{
+    BoundedQueue<int> q(2);
+    EXPECT_TRUE(q.tryPush(1));
+    EXPECT_TRUE(q.tryPush(2));
+    EXPECT_FALSE(q.tryPush(3));
+    int v = 0;
+    EXPECT_TRUE(q.pop(v));
+    EXPECT_TRUE(q.tryPush(3));
+}
+
+TEST(BoundedQueue, ZeroCapacityClampsToOne)
+{
+    BoundedQueue<int> q(0);
+    EXPECT_EQ(q.capacity(), 1u);
+    EXPECT_TRUE(q.tryPush(7));
+    EXPECT_FALSE(q.tryPush(8));
+}
+
+TEST(BoundedQueue, CloseDrainsThenPopReturnsFalse)
+{
+    BoundedQueue<int> q(8);
+    q.push(1);
+    q.push(2);
+    q.close();
+    EXPECT_TRUE(q.closed());
+    int v = 0;
+    EXPECT_TRUE(q.pop(v));
+    EXPECT_EQ(v, 1);
+    EXPECT_TRUE(q.pop(v));
+    EXPECT_EQ(v, 2);
+    EXPECT_FALSE(q.pop(v));
+}
+
+TEST(BoundedQueue, PushAfterCloseIsRejected)
+{
+    BoundedQueue<int> q(8);
+    q.close();
+    EXPECT_FALSE(q.push(1));
+    EXPECT_FALSE(q.tryPush(1));
+}
+
+TEST(BoundedQueue, FullPushBlocksUntilPop)
+{
+    BoundedQueue<int> q(1);
+    ASSERT_TRUE(q.push(1));
+    std::atomic<bool> pushed{false};
+    std::thread producer([&] {
+        EXPECT_TRUE(q.push(2));
+        pushed.store(true);
+    });
+    // The producer must be blocked on the full queue.
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    EXPECT_FALSE(pushed.load());
+    int v = 0;
+    EXPECT_TRUE(q.pop(v));
+    producer.join();
+    EXPECT_TRUE(pushed.load());
+    EXPECT_TRUE(q.pop(v));
+    EXPECT_EQ(v, 2);
+}
+
+TEST(BoundedQueue, CloseReleasesBlockedProducer)
+{
+    BoundedQueue<int> q(1);
+    ASSERT_TRUE(q.push(1));
+    std::thread producer([&] { EXPECT_FALSE(q.push(2)); });
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    q.close();
+    producer.join();
+}
+
+TEST(BoundedQueue, ConcurrentProducersConsumersLoseNothing)
+{
+    const int kProducers = 4;
+    const int kConsumers = 4;
+    const int kPerProducer = 2000;
+    BoundedQueue<int> q(16);
+
+    std::atomic<long long> consumed_sum{0};
+    std::atomic<int> consumed_count{0};
+    std::vector<std::thread> threads;
+    for (int c = 0; c < kConsumers; ++c) {
+        threads.emplace_back([&] {
+            int v = 0;
+            while (q.pop(v)) {
+                consumed_sum.fetch_add(v);
+                consumed_count.fetch_add(1);
+            }
+        });
+    }
+    std::vector<std::thread> producers;
+    for (int p = 0; p < kProducers; ++p) {
+        producers.emplace_back([&, p] {
+            for (int i = 0; i < kPerProducer; ++i)
+                EXPECT_TRUE(q.push(p * kPerProducer + i));
+        });
+    }
+    for (auto &t : producers)
+        t.join();
+    q.close();
+    for (auto &t : threads)
+        t.join();
+
+    const long long n = kProducers * kPerProducer;
+    EXPECT_EQ(consumed_count.load(), n);
+    EXPECT_EQ(consumed_sum.load(), n * (n - 1) / 2);
+}
+
+} // namespace
+} // namespace reuse

@@ -1,0 +1,246 @@
+/** @file Unit tests for the session registry and memory governor. */
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "core/reuse_engine.h"
+#include "nn/activations.h"
+#include "nn/fully_connected.h"
+#include "nn/initializers.h"
+#include "quant/range_profiler.h"
+#include "serve/streaming_server.h"
+
+namespace reuse {
+namespace {
+
+struct ServeFixture {
+    Rng rng{81};
+    Network net{"mlp", Shape({6})};
+    std::vector<Tensor> calib;
+    QuantizationPlan plan{net};
+
+    ServeFixture()
+    {
+        net.addLayer(
+            std::make_unique<FullyConnectedLayer>("FC1", 6, 10));
+        net.addLayer(std::make_unique<ActivationLayer>(
+            "RELU", ActivationKind::ReLU));
+        net.addLayer(
+            std::make_unique<FullyConnectedLayer>("FC2", 10, 4));
+        initNetwork(net, rng);
+        for (int i = 0; i < 10; ++i) {
+            Tensor t(Shape({6}));
+            rng.fillGaussian(t.data(), 0.0f, 1.0f);
+            calib.push_back(t);
+        }
+        plan = makePlan(net, profileNetworkRanges(net, calib), 64,
+                        {0, 2});
+    }
+
+    std::vector<Tensor> stream(size_t frames, float sigma = 0.05f)
+    {
+        std::vector<Tensor> s;
+        Tensor x(Shape({6}));
+        rng.fillGaussian(x.data(), 0.0f, 1.0f);
+        for (size_t i = 0; i < frames; ++i) {
+            for (int64_t j = 0; j < 6; ++j)
+                x[j] += rng.gaussian(0.0f, sigma);
+            s.push_back(x);
+        }
+        return s;
+    }
+
+    /** Reuse-buffer bytes of one warmed-up session of this model. */
+    int64_t warmStateBytes(const ReuseEngine &engine)
+    {
+        ReuseState s = engine.makeState();
+        ExecutionTrace t;
+        engine.execute(s, calib[0], t);
+        return s.memoryBytes();
+    }
+};
+
+TEST(SessionManager, CreateFindRemove)
+{
+    ServeFixture f;
+    ReuseEngine engine(f.net, f.plan);
+    SessionManager mgr;
+
+    auto a = mgr.create(engine, 1);
+    auto b = mgr.create(engine, 2);
+    EXPECT_NE(a->id(), b->id());
+    EXPECT_EQ(mgr.sessionCount(), 2u);
+    EXPECT_EQ(mgr.find(a->id()), a);
+    EXPECT_EQ(mgr.find(9999), nullptr);
+
+    mgr.remove(a->id());
+    EXPECT_EQ(mgr.sessionCount(), 1u);
+    EXPECT_EQ(mgr.find(a->id()), nullptr);
+    // Removing twice is harmless.
+    mgr.remove(a->id());
+    EXPECT_EQ(mgr.sessionCount(), 1u);
+}
+
+TEST(SessionManager, ColdSessionChargesNothing)
+{
+    ServeFixture f;
+    ReuseEngine engine(f.net, f.plan);
+    SessionManager mgr;
+    auto s = mgr.create(engine, 1);
+    mgr.noteExecution(*s);
+    EXPECT_EQ(mgr.chargedBytes(), 0);
+    EXPECT_EQ(mgr.evictionCount(), 0u);
+    EXPECT_FALSE(s->snapshot().warm);
+}
+
+TEST(SessionManager, ForceEvictUnknownIdReturnsFalse)
+{
+    SessionManager mgr;
+    EXPECT_FALSE(mgr.forceEvict(123));
+}
+
+TEST(SessionManager, ExecutionChargesWarmBytes)
+{
+    ServeFixture f;
+    ReuseEngine engine(f.net, f.plan);
+    const int64_t per_session = f.warmStateBytes(engine);
+    ASSERT_GT(per_session, 0);
+
+    StreamingServer::Config cfg;
+    cfg.workerThreads = 1;
+    StreamingServer server(engine, cfg);
+    const SessionId id = server.openSession();
+    for (const Tensor &in : f.stream(3))
+        server.submitFrame(id, in).get();
+
+    EXPECT_EQ(server.sessionManager().chargedBytes(), per_session);
+    const auto snap = server.sessionSnapshot(id);
+    EXPECT_TRUE(snap.warm);
+    EXPECT_EQ(snap.stateBytes, per_session);
+    EXPECT_EQ(snap.framesCompleted, 3u);
+}
+
+TEST(SessionManager, ForceEvictReleasesChargeAndSessionRewarms)
+{
+    ServeFixture f;
+    ReuseEngine engine(f.net, f.plan);
+    StreamingServer::Config cfg;
+    cfg.workerThreads = 1;
+    StreamingServer server(engine, cfg);
+    const SessionId id = server.openSession();
+    const auto frames = f.stream(6);
+    for (size_t i = 0; i < 3; ++i)
+        server.submitFrame(id, frames[i]).get();
+
+    ASSERT_TRUE(server.forceEvict(id));
+    auto snap = server.sessionSnapshot(id);
+    EXPECT_FALSE(snap.warm);
+    EXPECT_EQ(snap.evictions, 1u);
+    EXPECT_EQ(server.sessionManager().chargedBytes(), 0);
+    EXPECT_EQ(server.sessionManager().evictionCount(), 1u);
+
+    // Next frame runs cold and re-warms the buffers.
+    server.submitFrame(id, frames[3]).get();
+    snap = server.sessionSnapshot(id);
+    EXPECT_TRUE(snap.warm);
+    ASSERT_EQ(snap.coldFrames.size(), 1u);
+    EXPECT_EQ(snap.coldFrames[0], 3u);
+    EXPECT_GT(server.sessionManager().chargedBytes(), 0);
+}
+
+TEST(SessionManager, BudgetEvictsLeastRecentlyUsedSession)
+{
+    ServeFixture f;
+    ReuseEngine engine(f.net, f.plan);
+    const int64_t per_session = f.warmStateBytes(engine);
+
+    StreamingServer::Config cfg;
+    cfg.workerThreads = 1;
+    // Room for two warm sessions (plus slack), not three.
+    cfg.memoryBudgetBytes = per_session * 5 / 2;
+    StreamingServer server(engine, cfg);
+
+    const SessionId s0 = server.openSession("default", 0);
+    const SessionId s1 = server.openSession("default", 1);
+    const SessionId s2 = server.openSession("default", 2);
+    const auto frames = f.stream(4);
+
+    // Warm the sessions in order; the third exceeds the budget and
+    // must evict the least recently used (s0).
+    server.submitFrame(s0, frames[0]).get();
+    server.submitFrame(s1, frames[1]).get();
+    server.submitFrame(s2, frames[2]).get();
+
+    EXPECT_EQ(server.sessionManager().evictionCount(), 1u);
+    EXPECT_LE(server.sessionManager().chargedBytes(),
+              cfg.memoryBudgetBytes);
+    EXPECT_FALSE(server.sessionSnapshot(s0).warm);
+    EXPECT_TRUE(server.sessionSnapshot(s1).warm);
+    EXPECT_TRUE(server.sessionSnapshot(s2).warm);
+
+    // Re-warming s0 now pushes out s1 (the new LRU).
+    server.submitFrame(s0, frames[3]).get();
+    EXPECT_EQ(server.sessionManager().evictionCount(), 2u);
+    EXPECT_TRUE(server.sessionSnapshot(s0).warm);
+    EXPECT_FALSE(server.sessionSnapshot(s1).warm);
+    EXPECT_TRUE(server.sessionSnapshot(s2).warm);
+}
+
+TEST(SessionManager, SingleOversizedSessionIsTolerated)
+{
+    ServeFixture f;
+    ReuseEngine engine(f.net, f.plan);
+    StreamingServer::Config cfg;
+    cfg.workerThreads = 1;
+    cfg.memoryBudgetBytes = 1;  // smaller than any warm session
+    StreamingServer server(engine, cfg);
+    const SessionId id = server.openSession();
+    // The only candidate is the session that just ran; it is never
+    // evicted (nothing would be left to serve from), so the charge
+    // may exceed the budget.
+    server.submitFrame(id, f.calib[0]).get();
+    EXPECT_TRUE(server.sessionSnapshot(id).warm);
+    EXPECT_GT(server.sessionManager().chargedBytes(),
+              cfg.memoryBudgetBytes);
+}
+
+TEST(SessionManager, UnlimitedBudgetNeverEvicts)
+{
+    ServeFixture f;
+    ReuseEngine engine(f.net, f.plan);
+    StreamingServer::Config cfg;
+    cfg.workerThreads = 2;
+    StreamingServer server(engine, cfg);
+    std::vector<SessionId> ids;
+    for (int i = 0; i < 8; ++i)
+        ids.push_back(server.openSession("default", i));
+    for (int round = 0; round < 3; ++round)
+        for (SessionId id : ids)
+            server.submitFrame(id, f.calib[round]);
+    server.drain();
+    EXPECT_EQ(server.sessionManager().evictionCount(), 0u);
+    for (SessionId id : ids)
+        EXPECT_TRUE(server.sessionSnapshot(id).warm);
+}
+
+TEST(SessionManager, CloseReleasesCharge)
+{
+    ServeFixture f;
+    ReuseEngine engine(f.net, f.plan);
+    StreamingServer::Config cfg;
+    cfg.workerThreads = 1;
+    StreamingServer server(engine, cfg);
+    const SessionId a = server.openSession();
+    const SessionId b = server.openSession();
+    server.submitFrame(a, f.calib[0]).get();
+    server.submitFrame(b, f.calib[1]).get();
+    const int64_t both = server.sessionManager().chargedBytes();
+    ASSERT_GT(both, 0);
+
+    server.closeSession(a);
+    EXPECT_EQ(server.sessionManager().sessionCount(), 1u);
+    EXPECT_EQ(server.sessionManager().chargedBytes(), both / 2);
+}
+
+} // namespace
+} // namespace reuse

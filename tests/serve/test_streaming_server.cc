@@ -1,0 +1,348 @@
+/**
+ * @file
+ * Integration tests for the multi-stream serving runtime: interleaved
+ * sessions must be bit-identical to independent single-stream runs,
+ * including across evictions, re-warming and refresh boundaries.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <future>
+#include <vector>
+
+#include "common/random.h"
+#include "core/reuse_engine.h"
+#include "nn/activations.h"
+#include "nn/fully_connected.h"
+#include "nn/initializers.h"
+#include "nn/lstm.h"
+#include "quant/range_profiler.h"
+#include "serve/streaming_server.h"
+
+namespace reuse {
+namespace {
+
+struct ServerFixture {
+    Rng rng{91};
+    Network net{"mlp", Shape({6})};
+    std::vector<Tensor> calib;
+    QuantizationPlan plan{net};
+
+    ServerFixture()
+    {
+        net.addLayer(
+            std::make_unique<FullyConnectedLayer>("FC1", 6, 10));
+        net.addLayer(std::make_unique<ActivationLayer>(
+            "RELU", ActivationKind::ReLU));
+        net.addLayer(
+            std::make_unique<FullyConnectedLayer>("FC2", 10, 4));
+        initNetwork(net, rng);
+        for (int i = 0; i < 10; ++i) {
+            Tensor t(Shape({6}));
+            rng.fillGaussian(t.data(), 0.0f, 1.0f);
+            calib.push_back(t);
+        }
+        plan = makePlan(net, profileNetworkRanges(net, calib), 64,
+                        {0, 2});
+    }
+
+    /** A fresh correlated stream; distinct `seed`s decorrelate. */
+    std::vector<Tensor> stream(size_t frames, uint64_t seed)
+    {
+        Rng r(seed);
+        std::vector<Tensor> s;
+        Tensor x(Shape({6}));
+        r.fillGaussian(x.data(), 0.0f, 1.0f);
+        for (size_t i = 0; i < frames; ++i) {
+            for (int64_t j = 0; j < 6; ++j)
+                x[j] += r.gaussian(0.0f, 0.05f);
+            s.push_back(x);
+        }
+        return s;
+    }
+};
+
+void
+expectIdentical(const Tensor &a, const Tensor &b)
+{
+    ASSERT_EQ(a.numel(), b.numel());
+    for (int64_t j = 0; j < a.numel(); ++j)
+        EXPECT_FLOAT_EQ(a[j], b[j]);
+}
+
+/**
+ * Reference for one stream: a dedicated state over the same engine,
+ * reset exactly at `cold_frames` (the frames the server executed
+ * cold after an eviction).
+ */
+std::vector<Tensor>
+referenceRun(const ReuseEngine &engine, const std::vector<Tensor> &frames,
+             const std::vector<uint64_t> &cold_frames = {})
+{
+    ReuseState state = engine.makeState();
+    ExecutionTrace trace;
+    std::vector<Tensor> outputs;
+    for (size_t i = 0; i < frames.size(); ++i) {
+        if (std::find(cold_frames.begin(), cold_frames.end(), i) !=
+            cold_frames.end())
+            state.reset();
+        outputs.push_back(engine.execute(state, frames[i], trace));
+    }
+    return outputs;
+}
+
+TEST(StreamingServer, InterleavedSessionsMatchIndependentRuns)
+{
+    ServerFixture f;
+    ReuseEngine engine(f.net, f.plan);
+    const size_t kSessions = 6;
+    const size_t kFrames = 20;
+
+    StreamingServer::Config cfg;
+    cfg.workerThreads = 4;
+    StreamingServer server(engine, cfg);
+
+    std::vector<SessionId> ids;
+    std::vector<std::vector<Tensor>> streams;
+    for (size_t s = 0; s < kSessions; ++s) {
+        ids.push_back(server.openSession("default", s));
+        streams.push_back(f.stream(kFrames, 1000 + 77 * s));
+    }
+
+    // Interleave: frame i of every session before frame i+1 of any.
+    std::vector<std::vector<std::future<Tensor>>> futures(kSessions);
+    for (size_t i = 0; i < kFrames; ++i)
+        for (size_t s = 0; s < kSessions; ++s)
+            futures[s].push_back(
+                server.submitFrame(ids[s], streams[s][i]));
+    server.drain();
+
+    for (size_t s = 0; s < kSessions; ++s) {
+        const auto want = referenceRun(engine, streams[s]);
+        for (size_t i = 0; i < kFrames; ++i)
+            expectIdentical(futures[s][i].get(), want[i]);
+        const auto snap = server.sessionSnapshot(ids[s]);
+        EXPECT_EQ(snap.framesCompleted, kFrames);
+        EXPECT_EQ(snap.evictions, 0u);
+        EXPECT_GT(snap.reuseRatio, 0.0);
+    }
+}
+
+TEST(StreamingServer, FramesOfOneSessionCompleteInSubmissionOrder)
+{
+    ServerFixture f;
+    ReuseEngine engine(f.net, f.plan);
+    StreamingServer::Config cfg;
+    cfg.workerThreads = 8;  // many workers, one session: still serial
+    StreamingServer server(engine, cfg);
+    const SessionId id = server.openSession();
+    const auto frames = f.stream(50, 7);
+
+    std::vector<std::future<Tensor>> futures;
+    for (const Tensor &in : frames)
+        futures.push_back(server.submitFrame(id, in));
+
+    const auto want = referenceRun(engine, frames);
+    for (size_t i = 0; i < frames.size(); ++i)
+        expectIdentical(futures[i].get(), want[i]);
+}
+
+TEST(StreamingServer, EvictedSessionDegradesThenRewarms)
+{
+    ServerFixture f;
+    ReuseEngine engine(f.net, f.plan);
+    StreamingServer::Config cfg;
+    cfg.workerThreads = 2;
+    StreamingServer server(engine, cfg);
+    const SessionId id = server.openSession();
+    const auto frames = f.stream(10, 13);
+
+    std::vector<Tensor> got;
+    for (size_t i = 0; i < 5; ++i)
+        got.push_back(server.submitFrame(id, frames[i]).get());
+    ASSERT_TRUE(server.forceEvict(id));
+    for (size_t i = 5; i < frames.size(); ++i)
+        got.push_back(server.submitFrame(id, frames[i]).get());
+
+    const auto snap = server.sessionSnapshot(id);
+    EXPECT_EQ(snap.evictions, 1u);
+    ASSERT_EQ(snap.coldFrames.size(), 1u);
+    EXPECT_EQ(snap.coldFrames[0], 5u);
+    EXPECT_TRUE(snap.warm);
+
+    const auto want = referenceRun(engine, frames, {5});
+    for (size_t i = 0; i < frames.size(); ++i)
+        expectIdentical(got[i], want[i]);
+}
+
+TEST(StreamingServer, RefreshBoundaryMatchesReference)
+{
+    ServerFixture f;
+    ReuseEngineConfig ecfg;
+    ecfg.refreshPeriod = 4;
+    ReuseEngine engine(f.net, f.plan, ecfg);
+    StreamingServer::Config cfg;
+    cfg.workerThreads = 2;
+    StreamingServer server(engine, cfg);
+    const SessionId id = server.openSession();
+    const auto frames = f.stream(11, 17);
+
+    std::vector<std::future<Tensor>> futures;
+    for (const Tensor &in : frames)
+        futures.push_back(server.submitFrame(id, in));
+    server.drain();
+
+    // The external-state reference applies the same refresh period.
+    const auto want = referenceRun(engine, frames);
+    for (size_t i = 0; i < frames.size(); ++i)
+        expectIdentical(futures[i].get(), want[i]);
+    // Refreshes are not evictions.
+    EXPECT_EQ(server.sessionSnapshot(id).evictions, 0u);
+    EXPECT_TRUE(server.sessionSnapshot(id).coldFrames.empty());
+}
+
+TEST(StreamingServer, BudgetForcedEvictionsReplayExactly)
+{
+    ServerFixture f;
+    ReuseEngine engine(f.net, f.plan);
+    // Budget fits roughly one of the three sessions, forcing steady
+    // eviction churn at nondeterministic points in the interleaving.
+    ReuseState probe = engine.makeState();
+    ExecutionTrace trace;
+    engine.execute(probe, f.calib[0], trace);
+
+    StreamingServer::Config cfg;
+    cfg.workerThreads = 4;
+    cfg.memoryBudgetBytes = probe.memoryBytes() * 3 / 2;
+    StreamingServer server(engine, cfg);
+
+    const size_t kSessions = 3;
+    const size_t kFrames = 12;
+    std::vector<SessionId> ids;
+    std::vector<std::vector<Tensor>> streams;
+    std::vector<std::vector<std::future<Tensor>>> futures(kSessions);
+    for (size_t s = 0; s < kSessions; ++s) {
+        ids.push_back(server.openSession("default", s));
+        streams.push_back(f.stream(kFrames, 500 + 31 * s));
+    }
+    for (size_t i = 0; i < kFrames; ++i)
+        for (size_t s = 0; s < kSessions; ++s)
+            futures[s].push_back(
+                server.submitFrame(ids[s], streams[s][i]));
+    server.drain();
+
+    EXPECT_GT(server.sessionManager().evictionCount(), 0u);
+
+    // Whatever frames ran cold, replaying a dedicated state with
+    // resets at exactly those frames must reproduce every output.
+    for (size_t s = 0; s < kSessions; ++s) {
+        const auto snap = server.sessionSnapshot(ids[s]);
+        const auto want =
+            referenceRun(engine, streams[s], snap.coldFrames);
+        for (size_t i = 0; i < kFrames; ++i)
+            expectIdentical(futures[s][i].get(), want[i]);
+    }
+}
+
+TEST(StreamingServer, MultiModelZooRoutesByName)
+{
+    ServerFixture f;
+    ReuseEngine engine_a(f.net, f.plan);
+
+    Rng rng(92);
+    Network other("tiny", Shape({6}));
+    other.addLayer(std::make_unique<FullyConnectedLayer>("FC", 6, 3));
+    initNetwork(other, rng);
+    ReuseEngine engine_b(other, QuantizationPlan(other));
+
+    StreamingServer::Config cfg;
+    cfg.workerThreads = 2;
+    StreamingServer server({{"speech", &engine_a}, {"tiny", &engine_b}},
+                           cfg);
+    const SessionId a = server.openSession("speech");
+    const SessionId b = server.openSession("tiny");
+
+    const Tensor out_a = server.submitFrame(a, f.calib[0]).get();
+    const Tensor out_b = server.submitFrame(b, f.calib[1]).get();
+    EXPECT_EQ(out_a.numel(), 4);
+    EXPECT_EQ(out_b.numel(), 3);
+    expectIdentical(out_b, other.forward(f.calib[1]));
+}
+
+TEST(StreamingServer, MetricsCountFramesAndSessions)
+{
+    ServerFixture f;
+    ReuseEngine engine(f.net, f.plan);
+    StreamingServer::Config cfg;
+    cfg.workerThreads = 2;
+    StreamingServer server(engine, cfg);
+    const SessionId a = server.openSession();
+    const SessionId b = server.openSession();
+    const auto frames = f.stream(8, 23);
+    for (const Tensor &in : frames) {
+        server.submitFrame(a, in);
+        server.submitFrame(b, in);
+    }
+    server.drain();
+    server.closeSession(b);
+
+    const ServeMetrics &m = server.metrics();
+    EXPECT_EQ(m.framesSubmitted(), 16u);
+    EXPECT_EQ(m.framesCompleted(), 16u);
+    EXPECT_EQ(m.sessionsOpened(), 2u);
+    EXPECT_EQ(m.sessionsClosed(), 1u);
+    EXPECT_EQ(m.latency().count(), 16u);
+    EXPECT_GT(m.latency().percentile(0.99), 0.0);
+    EXPECT_GE(m.queuePeak(), 1u);
+
+    StatRegistry reg;
+    server.publishStats(reg);
+    EXPECT_DOUBLE_EQ(reg.get("serve.frames_completed").value(), 16.0);
+    EXPECT_DOUBLE_EQ(reg.get("serve.sessions_live").value(), 1.0);
+    EXPECT_TRUE(reg.has("serve.latency_p99_us"));
+    EXPECT_TRUE(reg.has("serve.queue_depth"));
+}
+
+TEST(StreamingServer, CloseSessionWaitsForPendingFrames)
+{
+    ServerFixture f;
+    ReuseEngine engine(f.net, f.plan);
+    StreamingServer::Config cfg;
+    cfg.workerThreads = 1;
+    StreamingServer server(engine, cfg);
+    const SessionId id = server.openSession();
+    std::vector<std::future<Tensor>> futures;
+    for (const Tensor &in : f.stream(20, 29))
+        futures.push_back(server.submitFrame(id, in));
+    server.closeSession(id);
+    // Every accepted frame completed before the session was removed.
+    for (auto &fut : futures)
+        EXPECT_GT(fut.get().numel(), 0);
+    EXPECT_EQ(server.sessionManager().sessionCount(), 0u);
+}
+
+TEST(StreamingServer, StopIsIdempotentAndDrainsWorkers)
+{
+    ServerFixture f;
+    ReuseEngine engine(f.net, f.plan);
+    StreamingServer server(engine);
+    const SessionId id = server.openSession();
+    auto fut = server.submitFrame(id, f.calib[0]);
+    fut.get();
+    server.stop();
+    server.stop();
+}
+
+TEST(StreamingServerDeath, RecurrentModelIsRejected)
+{
+    Rng rng(93);
+    Network rnn("rnn", Shape({5}));
+    rnn.addLayer(std::make_unique<BiLstmLayer>("L1", 5, 4));
+    initNetwork(rnn, rng);
+    ReuseEngine engine(rnn, QuantizationPlan(rnn));
+    EXPECT_DEATH({ StreamingServer server(engine); }, "recurrent");
+}
+
+} // namespace
+} // namespace reuse
