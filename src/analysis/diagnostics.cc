@@ -1,0 +1,103 @@
+#include "diagnostics.h"
+
+#include <sstream>
+
+namespace reuse {
+
+const char *
+severityName(Severity severity)
+{
+    switch (severity) {
+      case Severity::Info:
+        return "info";
+      case Severity::Warning:
+        return "warning";
+      case Severity::Error:
+        return "error";
+    }
+    return "unknown";
+}
+
+std::string
+Diagnostic::str() const
+{
+    std::ostringstream oss;
+    oss << severityName(severity) << " " << id;
+    if (layer >= 0) {
+        oss << " [layer " << layer;
+        if (!layerName.empty())
+            oss << " " << layerName;
+        oss << "]";
+    }
+    oss << ": " << message;
+    return oss.str();
+}
+
+void
+DiagnosticReport::add(Diagnostic diagnostic)
+{
+    diags_.push_back(std::move(diagnostic));
+}
+
+void
+DiagnosticReport::error(const char *id, std::string message, int layer,
+                        std::string layer_name)
+{
+    add({Severity::Error, id, std::move(message), layer,
+         std::move(layer_name)});
+}
+
+void
+DiagnosticReport::warning(const char *id, std::string message, int layer,
+                          std::string layer_name)
+{
+    add({Severity::Warning, id, std::move(message), layer,
+         std::move(layer_name)});
+}
+
+void
+DiagnosticReport::info(const char *id, std::string message, int layer,
+                       std::string layer_name)
+{
+    add({Severity::Info, id, std::move(message), layer,
+         std::move(layer_name)});
+}
+
+void
+DiagnosticReport::merge(const DiagnosticReport &other)
+{
+    diags_.insert(diags_.end(), other.diags_.begin(),
+                  other.diags_.end());
+}
+
+size_t
+DiagnosticReport::count(Severity severity) const
+{
+    size_t n = 0;
+    for (const Diagnostic &d : diags_) {
+        if (d.severity == severity)
+            ++n;
+    }
+    return n;
+}
+
+const Diagnostic *
+DiagnosticReport::find(const std::string &id) const
+{
+    for (const Diagnostic &d : diags_) {
+        if (d.id == id)
+            return &d;
+    }
+    return nullptr;
+}
+
+std::string
+DiagnosticReport::str() const
+{
+    std::ostringstream oss;
+    for (const Diagnostic &d : diags_)
+        oss << d.str() << "\n";
+    return oss.str();
+}
+
+} // namespace reuse

@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Typed diagnostics produced by the static model analyzer.
+ *
+ * Every diagnostic carries a stable ID (documented in DESIGN.md), a
+ * severity, and a locus (the layer index it refers to, or the whole
+ * model).  Reports are plain values: the analyzer never terminates
+ * the process, so callers can decide whether a finding is fatal
+ * (engine construction), recoverable (session admission), or merely
+ * informative (the validate_model CLI).
+ */
+
+#ifndef REUSE_DNN_ANALYSIS_DIAGNOSTICS_H
+#define REUSE_DNN_ANALYSIS_DIAGNOSTICS_H
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace reuse {
+
+/** Severity of one diagnostic. */
+enum class Severity {
+    Info,
+    Warning,
+    Error,
+};
+
+/** Human-readable severity name ("error", ...). */
+const char *severityName(Severity severity);
+
+/**
+ * Stable diagnostic IDs.  Never renumber: tests, logs and operator
+ * runbooks refer to these.  Families: SH* shape/graph validation,
+ * QP* quantization-plan consistency, RS* reuse safety, MF* memory
+ * footprint, IN* informational.
+ */
+namespace diag {
+
+/** Network has no layers. */
+inline constexpr const char *kEmptyNetwork = "SH001";
+/** A layer rejects the shape produced by its predecessor. */
+inline constexpr const char *kShapeMismatch = "SH002";
+/** The network input (or a layer output) has a degenerate shape. */
+inline constexpr const char *kDegenerateShape = "SH003";
+/** Plan has a different layer count than the network. */
+inline constexpr const char *kPlanSizeMismatch = "QP001";
+/** An enabled layer's quantizer has an unusable range/step. */
+inline constexpr const char *kQuantizerInvalid = "QP002";
+/** Reuse enabled on a must-recompute (non-incremental) layer. */
+inline constexpr const char *kReuseOnUnsafeLayer = "RS001";
+/** Recurrent layer enabled without a recurrent quantizer. */
+inline constexpr const char *kMissingRecurrentQuantizer = "RS002";
+/** Quantization range risks overflowing delta accumulation. */
+inline constexpr const char *kDeltaOverflowRisk = "RS003";
+/** Per-session reuse state exceeds the memory budget. */
+inline constexpr const char *kFootprintOverBudget = "MF001";
+/** Model summary (layers, params, output shape). */
+inline constexpr const char *kModelSummary = "IN001";
+/** Estimated per-session reuse-state footprint. */
+inline constexpr const char *kFootprintSummary = "IN002";
+
+} // namespace diag
+
+/** One finding of the static analyzer. */
+struct Diagnostic {
+    Severity severity = Severity::Info;
+    /** Stable ID, e.g. "SH002". */
+    std::string id;
+    /** Human-readable description of the finding. */
+    std::string message;
+    /** Layer index the finding refers to; -1 = whole model. */
+    int layer = -1;
+    /** Name of that layer; empty for whole-model findings. */
+    std::string layerName;
+
+    /** One-line rendering: "error SH002 [layer 3 FC2]: ...". */
+    std::string str() const;
+};
+
+/**
+ * Ordered collection of diagnostics from one or more analyzer
+ * passes.
+ */
+class DiagnosticReport
+{
+  public:
+    /** Appends a diagnostic. */
+    void add(Diagnostic diagnostic);
+
+    /** Appends an error with the given ID and locus. */
+    void error(const char *id, std::string message, int layer = -1,
+               std::string layer_name = {});
+
+    /** Appends a warning with the given ID and locus. */
+    void warning(const char *id, std::string message, int layer = -1,
+                 std::string layer_name = {});
+
+    /** Appends an info finding with the given ID and locus. */
+    void info(const char *id, std::string message, int layer = -1,
+              std::string layer_name = {});
+
+    /** Appends all diagnostics of `other`. */
+    void merge(const DiagnosticReport &other);
+
+    /** All findings, in emission order. */
+    const std::vector<Diagnostic> &diagnostics() const
+    {
+        return diags_;
+    }
+
+    size_t size() const { return diags_.size(); }
+    bool empty() const { return diags_.empty(); }
+
+    /** Number of findings at the given severity. */
+    size_t count(Severity severity) const;
+
+    /** True when any finding is an error. */
+    bool hasErrors() const { return count(Severity::Error) > 0; }
+
+    /** True when a finding with this ID is present. */
+    bool has(const std::string &id) const
+    {
+        return find(id) != nullptr;
+    }
+
+    /** First finding with this ID (nullptr when absent). */
+    const Diagnostic *find(const std::string &id) const;
+
+    /** Multi-line rendering, one diagnostic per line. */
+    std::string str() const;
+
+  private:
+    std::vector<Diagnostic> diags_;
+};
+
+} // namespace reuse
+
+#endif // REUSE_DNN_ANALYSIS_DIAGNOSTICS_H

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Static model validator: analyzes a Network + QuantizationPlan
+ * before any execution and produces a typed DiagnosticReport.
+ *
+ * Three passes (Sec. IV of the paper motivates each):
+ *
+ *  1. Shape inference & graph validation — walks the layer graph
+ *     through Layer::inferOutputShape(), rejecting mismatched layer
+ *     chains before any buffer is allocated (SH*).
+ *
+ *  2. Reuse-safety analysis — the incremental-update rule
+ *     z'_o = z_o + (c'_i - c_i) * W_io (Eq. 10) is only sound for
+ *     layers whose outputs are linear in their inputs (FC, conv,
+ *     LSTM gate pre-activations).  The pass verifies the plan only
+ *     enables reuse on such layers, that recurrent layers carry an
+ *     h-quantizer, and that quantization ranges cannot overflow a
+ *     32-bit fixed-point delta accumulation (QP*, RS*).
+ *
+ *  3. Memory-footprint estimation — computes the warm per-session
+ *     ReuseState bytes from shapes and checks them against a
+ *     SessionManager budget, so undersized budgets surface at load
+ *     time instead of as runtime eviction thrash (MF*).
+ *
+ * The validator never terminates the process; callers decide what a
+ * finding means (ReuseEngine construction treats errors as fatal,
+ * session admission rejects, the validate_model CLI just prints).
+ */
+
+#ifndef REUSE_DNN_ANALYSIS_MODEL_VALIDATOR_H
+#define REUSE_DNN_ANALYSIS_MODEL_VALIDATOR_H
+
+#include <cstdint>
+
+#include "analysis/diagnostics.h"
+#include "nn/network.h"
+#include "quant/quantization_plan.h"
+
+namespace reuse {
+
+/** Tunables of a full validateModel() run. */
+struct ValidatorOptions {
+    /**
+     * Per-session reuse-state budget to check the footprint against;
+     * negative skips the budget check (the footprint is still
+     * estimated and reported as IN002).
+     */
+    int64_t memoryBudgetBytes = -1;
+    /** Emit IN* informational diagnostics alongside findings. */
+    bool emitInfo = true;
+};
+
+/**
+ * True when the paper's incremental update (Eq. 10) is sound for
+ * this layer kind: the layer's pre-activation outputs are linear in
+ * its inputs.  Pooling, nonlinear activations and p-norm must be
+ * recomputed from scratch (their cost is negligible; Sec. III).
+ */
+bool isIncrementallyUpdatable(LayerKind kind);
+
+/** Pass 1: shape inference & graph validation (SH*). */
+DiagnosticReport validateShapes(const Network &network);
+
+/** Pass 2: reuse-safety analysis of the plan (QP*, RS*). */
+DiagnosticReport validateReuseSafety(const Network &network,
+                                     const QuantizationPlan &plan);
+
+/**
+ * Pass 3: memory-footprint estimation (MF*, IN002).  Requires a
+ * shape-valid network (run validateShapes first).  `budget_bytes`
+ * negative skips the budget comparison.
+ */
+DiagnosticReport validateMemoryFootprint(const Network &network,
+                                         const QuantizationPlan &plan,
+                                         int64_t budget_bytes,
+                                         bool emit_info = true);
+
+/**
+ * Runs all three passes.  The memory pass is skipped when the shape
+ * pass found errors (footprints cannot be computed from an invalid
+ * graph).
+ */
+DiagnosticReport validateModel(const Network &network,
+                               const QuantizationPlan &plan,
+                               const ValidatorOptions &options = {});
+
+/**
+ * Estimated bytes of one warm ReuseState for this network + plan:
+ * the per-layer previous-input index and previous-output buffers of
+ * every enabled layer (Table III of the paper).  Matches
+ * ReuseState::memoryBytes() after the first executed frame.
+ * Requires a shape-valid network.
+ */
+int64_t estimateReuseStateBytes(const Network &network,
+                                const QuantizationPlan &plan);
+
+/**
+ * Warm reuse-state bytes of one layer given its input shape; 0 when
+ * the plan disables the layer or its kind holds no reuse state.
+ */
+int64_t estimateLayerStateBytes(const Layer &layer, const Shape &input,
+                                const LayerQuantization &lq);
+
+} // namespace reuse
+
+#endif // REUSE_DNN_ANALYSIS_MODEL_VALIDATOR_H

@@ -1,5 +1,6 @@
 #include "reuse_engine.h"
 
+#include "analysis/model_validator.h"
 #include "common/logging.h"
 #include "nn/conv2d.h"
 #include "nn/conv3d.h"
@@ -25,11 +26,22 @@ ReuseEngine::ReuseEngine(const Network &network, QuantizationPlan plan,
     : network_(network),
       plan_(std::move(plan)),
       config_(config),
-      layer_input_shapes_(network.layerInputShapes()),
       stats_(layerNames(network))
 {
-    REUSE_ASSERT(plan_.size() == network_.layerCount(),
-                 "plan sized for a different network");
+    // Static validation before any buffer is allocated: an engine
+    // over an inconsistent network/plan would otherwise fail deep in
+    // execution (or silently corrupt reuse state).
+    DiagnosticReport report = validateShapes(network_);
+    report.merge(validateReuseSafety(network_, plan_));
+    for (const Diagnostic &d : report.diagnostics()) {
+        if (d.severity == Severity::Warning)
+            warn(d.str());
+    }
+    if (report.hasErrors()) {
+        fatal(network_.name() + ": model validation failed\n" +
+              report.str());
+    }
+    layer_input_shapes_ = network.layerInputShapes();
     state_ = makeState();
 }
 

@@ -1,5 +1,6 @@
 #include "workload_setup.h"
 
+#include "analysis/model_validator.h"
 #include "common/logging.h"
 #include "harness/experiment.h"
 #include "workloads/speech_generator.h"
@@ -8,6 +9,29 @@
 namespace reuse {
 
 namespace {
+
+/**
+ * Statically validates an assembled workload before handing it to
+ * callers: a workload with a broken layer chain or an unsafe plan
+ * would otherwise surface mid-measurement.
+ */
+Workload
+validated(Workload w)
+{
+    ValidatorOptions options;
+    options.emitInfo = false;
+    const DiagnosticReport report =
+        validateModel(*w.bundle.network, w.plan, options);
+    for (const Diagnostic &d : report.diagnostics()) {
+        if (d.severity == Severity::Warning)
+            warn(w.name + ": " + d.str());
+    }
+    if (report.hasErrors()) {
+        fatal(w.name + ": workload failed static validation\n" +
+              report.str());
+    }
+    return w;
+}
 
 /**
  * Calibrates the plan using a stream freshly drawn from the same
@@ -50,7 +74,7 @@ setupKaldi(const WorkloadSetupConfig &config)
     w.makeGenerator = [sp](uint64_t seed) {
         return std::make_unique<SpeechWindowGenerator>(sp, 9, seed);
     };
-    return w;
+    return validated(std::move(w));
 }
 
 Workload
@@ -78,7 +102,7 @@ setupEesen(const WorkloadSetupConfig &config)
     w.makeGenerator = [sp](uint64_t seed) {
         return std::make_unique<SpeechFrameGenerator>(sp, seed);
     };
-    return w;
+    return validated(std::move(w));
 }
 
 Workload
@@ -112,7 +136,7 @@ setupC3D(const WorkloadSetupConfig &config)
     w.makeGenerator = [vp](uint64_t seed) {
         return std::make_unique<VideoWindowGenerator>(vp, seed);
     };
-    return w;
+    return validated(std::move(w));
 }
 
 Workload
@@ -144,7 +168,7 @@ setupAutopilot(const WorkloadSetupConfig &config)
     w.makeGenerator = [dp](uint64_t seed) {
         return std::make_unique<DrivingFrameGenerator>(dp, seed);
     };
-    return w;
+    return validated(std::move(w));
 }
 
 Workload

@@ -36,7 +36,10 @@ class ActivationLayer : public Layer
     ActivationLayer(std::string name, ActivationKind activation);
 
     LayerKind kind() const override { return LayerKind::Activation; }
-    Shape outputShape(const Shape &input) const override { return input; }
+    ShapeInference inferOutputShape(const Shape &input) const override
+    {
+        return ShapeInference::ok(input);
+    }
     Tensor forward(const Tensor &input) const override;
 
     /** Which function this layer applies. */
@@ -56,9 +59,9 @@ class FlattenLayer : public Layer
     explicit FlattenLayer(std::string name) : Layer(std::move(name)) {}
 
     LayerKind kind() const override { return LayerKind::Flatten; }
-    Shape outputShape(const Shape &input) const override
+    ShapeInference inferOutputShape(const Shape &input) const override
     {
-        return Shape({input.numel()});
+        return ShapeInference::ok(Shape({input.numel()}));
     }
     Tensor forward(const Tensor &input) const override
     {

@@ -34,7 +34,7 @@ class Conv2DLayer : public Layer
                 int64_t out_channels, int64_t kernel, int64_t stride);
 
     LayerKind kind() const override { return LayerKind::Conv2D; }
-    Shape outputShape(const Shape &input) const override;
+    ShapeInference inferOutputShape(const Shape &input) const override;
     Tensor forward(const Tensor &input) const override;
     int64_t paramCount() const override;
     int64_t macCount(const Shape &input) const override;
@@ -91,7 +91,8 @@ class Conv2DLayer : public Layer
             ((ci * kernel_ + ky) * kernel_ + kx) * out_channels_ + co);
     }
 
-    void checkInput(const Shape &input) const;
+    /** Empty string when `input` is acceptable, else the reason. */
+    std::string checkInput(const Shape &input) const;
 
     int64_t in_channels_;
     int64_t out_channels_;

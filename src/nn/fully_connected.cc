@@ -1,5 +1,7 @@
 #include "fully_connected.h"
 
+#include <sstream>
+
 #include "common/logging.h"
 
 namespace reuse {
@@ -17,14 +19,16 @@ FullyConnectedLayer::FullyConnectedLayer(std::string name, int64_t inputs,
                                                       << outputs);
 }
 
-Shape
-FullyConnectedLayer::outputShape(const Shape &input) const
+ShapeInference
+FullyConnectedLayer::inferOutputShape(const Shape &input) const
 {
-    REUSE_ASSERT(input.numel() == inputs_,
-                 name() << ": input " << input.str() << " has "
-                        << input.numel() << " elements, expected "
-                        << inputs_);
-    return Shape({outputs_});
+    if (input.numel() != inputs_) {
+        std::ostringstream oss;
+        oss << name() << ": input " << input.str() << " has "
+            << input.numel() << " elements, expected " << inputs_;
+        return ShapeInference::fail(oss.str());
+    }
+    return ShapeInference::ok(Shape({outputs_}));
 }
 
 Tensor

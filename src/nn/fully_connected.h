@@ -32,7 +32,7 @@ class FullyConnectedLayer : public Layer
     FullyConnectedLayer(std::string name, int64_t inputs, int64_t outputs);
 
     LayerKind kind() const override { return LayerKind::FullyConnected; }
-    Shape outputShape(const Shape &input) const override;
+    ShapeInference inferOutputShape(const Shape &input) const override;
     Tensor forward(const Tensor &input) const override;
     int64_t paramCount() const override;
     int64_t macCount(const Shape &input) const override;

@@ -30,6 +30,14 @@ layerKindName(LayerKind kind)
     return "UNKNOWN";
 }
 
+Shape
+Layer::outputShape(const Shape &input) const
+{
+    ShapeInference inf = inferOutputShape(input);
+    REUSE_ASSERT(inf.valid(), inf.reason());
+    return inf.shape();
+}
+
 int64_t
 Layer::macCount(const Shape &input) const
 {

@@ -14,6 +14,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -36,6 +37,47 @@ enum class LayerKind {
 
 /** Human-readable name of a layer kind. */
 const char *layerKindName(LayerKind kind);
+
+/**
+ * Result of non-panicking shape inference: either the inferred output
+ * shape or a human-readable reason why the input shape is invalid for
+ * the layer.  This is the static analyzer's view of a layer; the
+ * panicking Layer::outputShape() is a thin wrapper over it.
+ */
+class ShapeInference
+{
+  public:
+    /** Successful inference producing `shape`. */
+    static ShapeInference ok(Shape shape)
+    {
+        ShapeInference r;
+        r.shape_ = std::move(shape);
+        return r;
+    }
+
+    /** Failed inference with a diagnostic reason. */
+    static ShapeInference fail(std::string reason)
+    {
+        ShapeInference r;
+        r.reason_ = std::move(reason);
+        return r;
+    }
+
+    /** True when an output shape was inferred. */
+    bool valid() const { return shape_.has_value(); }
+
+    /** The inferred shape; only meaningful when valid(). */
+    const Shape &shape() const { return *shape_; }
+
+    /** Why inference failed; empty when valid(). */
+    const std::string &reason() const { return reason_; }
+
+  private:
+    ShapeInference() = default;
+
+    std::optional<Shape> shape_;
+    std::string reason_;
+};
 
 /**
  * Base class of all layers.
@@ -61,8 +103,20 @@ class Layer
     /** Concrete type of this layer. */
     virtual LayerKind kind() const = 0;
 
-    /** Output shape for a given input shape. */
-    virtual Shape outputShape(const Shape &input) const = 0;
+    /**
+     * Non-panicking shape inference: the output shape this layer
+     * produces for `input`, or the reason the input is unacceptable.
+     * The static analyzer (src/analysis) walks the layer graph through
+     * this method before any buffer is allocated.
+     */
+    virtual ShapeInference inferOutputShape(const Shape &input) const = 0;
+
+    /**
+     * Output shape for a given input shape; panics (internal error)
+     * when inference fails.  Execution paths that already validated
+     * the model use this convenience wrapper.
+     */
+    Shape outputShape(const Shape &input) const;
 
     /** Reference from-scratch inference for one input tensor. */
     virtual Tensor forward(const Tensor &input) const = 0;

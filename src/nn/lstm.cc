@@ -1,6 +1,7 @@
 #include "lstm.h"
 
 #include <cmath>
+#include <sstream>
 
 #include "common/logging.h"
 #include "common/math_utils.h"
@@ -112,13 +113,16 @@ LstmLayer::LstmLayer(std::string name, int64_t input_dim,
 {
 }
 
-Shape
-LstmLayer::outputShape(const Shape &input) const
+ShapeInference
+LstmLayer::inferOutputShape(const Shape &input) const
 {
-    REUSE_ASSERT(input.numel() == input_dim_,
-                 name() << ": per-step input has " << input.numel()
-                        << " elements, expected " << input_dim_);
-    return Shape({cell_dim_});
+    if (input.numel() != input_dim_) {
+        std::ostringstream oss;
+        oss << name() << ": per-step input has " << input.numel()
+            << " elements, expected " << input_dim_;
+        return ShapeInference::fail(oss.str());
+    }
+    return ShapeInference::ok(Shape({cell_dim_}));
 }
 
 Tensor
@@ -170,13 +174,16 @@ BiLstmLayer::BiLstmLayer(std::string name, int64_t input_dim,
 {
 }
 
-Shape
-BiLstmLayer::outputShape(const Shape &input) const
+ShapeInference
+BiLstmLayer::inferOutputShape(const Shape &input) const
 {
-    REUSE_ASSERT(input.numel() == input_dim_,
-                 name() << ": per-step input has " << input.numel()
-                        << " elements, expected " << input_dim_);
-    return Shape({outputDim()});
+    if (input.numel() != input_dim_) {
+        std::ostringstream oss;
+        oss << name() << ": per-step input has " << input.numel()
+            << " elements, expected " << input_dim_;
+        return ShapeInference::fail(oss.str());
+    }
+    return ShapeInference::ok(Shape({outputDim()}));
 }
 
 Tensor

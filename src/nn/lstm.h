@@ -128,7 +128,7 @@ class LstmLayer : public Layer
     LstmLayer(std::string name, int64_t input_dim, int64_t cell_dim);
 
     LayerKind kind() const override { return LayerKind::Lstm; }
-    Shape outputShape(const Shape &input) const override;
+    ShapeInference inferOutputShape(const Shape &input) const override;
     Tensor forward(const Tensor &input) const override;
     std::vector<Tensor>
     forwardSequence(const std::vector<Tensor> &inputs) const override;
@@ -164,7 +164,7 @@ class BiLstmLayer : public Layer
     BiLstmLayer(std::string name, int64_t input_dim, int64_t cell_dim);
 
     LayerKind kind() const override { return LayerKind::BiLstm; }
-    Shape outputShape(const Shape &input) const override;
+    ShapeInference inferOutputShape(const Shape &input) const override;
     Tensor forward(const Tensor &input) const override;
     std::vector<Tensor>
     forwardSequence(const std::vector<Tensor> &inputs) const override;

@@ -1,6 +1,7 @@
 #include "pnorm.h"
 
 #include <cmath>
+#include <sstream>
 
 #include "common/logging.h"
 
@@ -12,13 +13,16 @@ PNormLayer::PNormLayer(std::string name, int64_t group)
     REUSE_ASSERT(group > 0, "p-norm group must be positive");
 }
 
-Shape
-PNormLayer::outputShape(const Shape &input) const
+ShapeInference
+PNormLayer::inferOutputShape(const Shape &input) const
 {
-    REUSE_ASSERT(input.numel() % group_ == 0,
-                 name() << ": input size " << input.numel()
-                        << " not divisible by group " << group_);
-    return Shape({input.numel() / group_});
+    if (input.numel() % group_ != 0) {
+        std::ostringstream oss;
+        oss << name() << ": input size " << input.numel()
+            << " not divisible by group " << group_;
+        return ShapeInference::fail(oss.str());
+    }
+    return ShapeInference::ok(Shape({input.numel() / group_}));
 }
 
 Tensor

@@ -28,7 +28,7 @@ class PNormLayer : public Layer
     PNormLayer(std::string name, int64_t group);
 
     LayerKind kind() const override { return LayerKind::Activation; }
-    Shape outputShape(const Shape &input) const override;
+    ShapeInference inferOutputShape(const Shape &input) const override;
     Tensor forward(const Tensor &input) const override;
 
     int64_t group() const { return group_; }

@@ -1,6 +1,7 @@
 #include "pooling.h"
 
 #include <algorithm>
+#include <sstream>
 
 #include "common/logging.h"
 
@@ -12,14 +13,24 @@ MaxPool2DLayer::MaxPool2DLayer(std::string name, int64_t window)
     REUSE_ASSERT(window > 0, "pool window must be positive");
 }
 
-Shape
-MaxPool2DLayer::outputShape(const Shape &input) const
+ShapeInference
+MaxPool2DLayer::inferOutputShape(const Shape &input) const
 {
-    REUSE_ASSERT(input.rank() == 3,
-                 name() << ": pool2d expects [C,H,W], got "
-                        << input.str());
-    return Shape({input.dim(0), input.dim(1) / window_,
-                  input.dim(2) / window_});
+    if (input.rank() != 3) {
+        std::ostringstream oss;
+        oss << name() << ": pool2d expects [C,H,W], got "
+            << input.str();
+        return ShapeInference::fail(oss.str());
+    }
+    if (input.dim(1) < window_ || input.dim(2) < window_) {
+        std::ostringstream oss;
+        oss << name() << ": input " << input.str()
+            << " smaller than pool window " << window_;
+        return ShapeInference::fail(oss.str());
+    }
+    return ShapeInference::ok(Shape({input.dim(0),
+                                     input.dim(1) / window_,
+                                     input.dim(2) / window_}));
 }
 
 Tensor
@@ -66,18 +77,29 @@ MaxPool3DLayer::MaxPool3DLayer(std::string name, int64_t depth_window,
                  "pool windows must be positive");
 }
 
-Shape
-MaxPool3DLayer::outputShape(const Shape &input) const
+ShapeInference
+MaxPool3DLayer::inferOutputShape(const Shape &input) const
 {
-    REUSE_ASSERT(input.rank() == 4,
-                 name() << ": pool3d expects [C,D,H,W], got "
-                        << input.str());
+    if (input.rank() != 4) {
+        std::ostringstream oss;
+        oss << name() << ": pool3d expects [C,D,H,W], got "
+            << input.str();
+        return ShapeInference::fail(oss.str());
+    }
     auto div = [this](int64_t v, int64_t w) {
         return ceil_mode_ ? (v + w - 1) / w : v / w;
     };
-    return Shape({input.dim(0), div(input.dim(1), depth_window_),
-                  div(input.dim(2), spatial_window_),
-                  div(input.dim(3), spatial_window_)});
+    const Shape out({input.dim(0), div(input.dim(1), depth_window_),
+                     div(input.dim(2), spatial_window_),
+                     div(input.dim(3), spatial_window_)});
+    if (out.dim(1) == 0 || out.dim(2) == 0 || out.dim(3) == 0) {
+        std::ostringstream oss;
+        oss << name() << ": input " << input.str()
+            << " smaller than pool windows " << depth_window_ << "/"
+            << spatial_window_;
+        return ShapeInference::fail(oss.str());
+    }
+    return ShapeInference::ok(out);
 }
 
 Tensor

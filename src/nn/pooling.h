@@ -21,7 +21,7 @@ class MaxPool2DLayer : public Layer
     MaxPool2DLayer(std::string name, int64_t window);
 
     LayerKind kind() const override { return LayerKind::MaxPool2D; }
-    Shape outputShape(const Shape &input) const override;
+    ShapeInference inferOutputShape(const Shape &input) const override;
     Tensor forward(const Tensor &input) const override;
 
     int64_t window() const { return window_; }
@@ -43,7 +43,7 @@ class MaxPool3DLayer : public Layer
                    int64_t spatial_window, bool ceil_mode = false);
 
     LayerKind kind() const override { return LayerKind::MaxPool3D; }
-    Shape outputShape(const Shape &input) const override;
+    ShapeInference inferOutputShape(const Shape &input) const override;
     Tensor forward(const Tensor &input) const override;
 
     int64_t depthWindow() const { return depth_window_; }

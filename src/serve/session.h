@@ -42,6 +42,13 @@ namespace reuse {
 /** Opaque handle of an open serving session. */
 using SessionId = uint64_t;
 
+/**
+ * Sentinel returned by StreamingServer::openSession when admission is
+ * rejected (e.g. the session's reuse-state footprint alone exceeds
+ * the memory budget).  Real ids start at 1.
+ */
+constexpr SessionId kInvalidSessionId = 0;
+
 /** One frame waiting to be executed for a session. */
 struct FrameRequest {
     Tensor input;

@@ -2,6 +2,7 @@
 
 #include <limits>
 
+#include "analysis/model_validator.h"
 #include "common/logging.h"
 
 namespace reuse {
@@ -11,13 +12,32 @@ SessionManager::SessionManager(Config config, ServeMetrics *metrics)
 {
 }
 
+SessionManager::Admission
+SessionManager::tryCreate(const ReuseEngine &engine, uint64_t seed)
+{
+    Admission admission;
+    admission.report = validateMemoryFootprint(
+        engine.network(), engine.plan(), config_.memoryBudgetBytes,
+        /*emit_info=*/false);
+    if (admission.report.hasErrors())
+        return admission;
+    admission.session =
+        std::make_shared<Session>(allocateId(), engine, seed);
+    std::lock_guard<std::mutex> lock(mu_);
+    sessions_.emplace(admission.session->id(), admission.session);
+    return admission;
+}
+
 std::shared_ptr<Session>
 SessionManager::create(const ReuseEngine &engine, uint64_t seed)
 {
-    auto session = std::make_shared<Session>(allocateId(), engine, seed);
-    std::lock_guard<std::mutex> lock(mu_);
-    sessions_.emplace(session->id(), session);
-    return session;
+    Admission admission = tryCreate(engine, seed);
+    if (admission.session == nullptr) {
+        fatal(engine.network().name() +
+              ": session admission rejected\n" +
+              admission.report.str());
+    }
+    return admission.session;
 }
 
 std::shared_ptr<Session>

@@ -29,6 +29,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "analysis/diagnostics.h"
 #include "serve/serve_metrics.h"
 #include "serve/session.h"
 
@@ -43,10 +44,23 @@ class SessionManager
     struct Config {
         /**
          * Total bytes all sessions' reuse buffers may occupy;
-         * negative = unlimited.  A single session larger than the
-         * budget is tolerated (there is nothing left to evict).
+         * negative = unlimited.  A session whose warm footprint alone
+         * exceeds the budget is rejected at admission (tryCreate):
+         * admitting it would only lead to eviction thrash, since
+         * there is nothing that could be evicted to make it fit.
          */
         int64_t memoryBudgetBytes = -1;
+    };
+
+    /** Outcome of a tryCreate() admission attempt. */
+    struct Admission {
+        /** The admitted session; nullptr when admission was denied. */
+        std::shared_ptr<Session> session;
+        /**
+         * The static-analysis findings behind the decision (MF001 on
+         * rejection, the IN002 footprint estimate otherwise).
+         */
+        DiagnosticReport report;
     };
 
     /** Unlimited-budget manager. */
@@ -59,7 +73,19 @@ class SessionManager
     explicit SessionManager(Config config,
                             ServeMetrics *metrics = nullptr);
 
-    /** Creates and registers a session; returns it. */
+    /**
+     * Admission-checked session creation: estimates the engine's warm
+     * per-session reuse-state footprint and rejects the session
+     * (nullptr + MF001 diagnostic) when that footprint alone exceeds
+     * the memory budget.  Admitted sessions are registered.
+     */
+    Admission tryCreate(const ReuseEngine &engine, uint64_t seed);
+
+    /**
+     * Creates and registers a session; returns it.  Fatal when
+     * admission is rejected — callers that can degrade gracefully
+     * should use tryCreate().
+     */
     std::shared_ptr<Session> create(const ReuseEngine &engine,
                                     uint64_t seed);
 

@@ -71,9 +71,15 @@ StreamingServer::openSession(const std::string &model, uint64_t seed)
     auto it = zoo_.find(model);
     REUSE_ASSERT(it != zoo_.end(), "unknown model " << model);
     REUSE_ASSERT(!stopped_.load(), "server is stopped");
-    auto session = manager_.create(*it->second, seed);
+    SessionManager::Admission admission =
+        manager_.tryCreate(*it->second, seed);
+    if (admission.session == nullptr) {
+        warn(model + ": session admission rejected\n" +
+             admission.report.str());
+        return kInvalidSessionId;
+    }
     metrics_.sessionOpened();
-    return session->id();
+    return admission.session->id();
 }
 
 std::future<Tensor>

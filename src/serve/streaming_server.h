@@ -81,7 +81,9 @@ class StreamingServer
     StreamingServer &operator=(const StreamingServer &) = delete;
 
     /**
-     * Opens a session against `model`.
+     * Opens a session against `model`.  Returns kInvalidSessionId
+     * (with a logged MF001 diagnostic) when the session's reuse-state
+     * footprint alone exceeds the memory budget.
      * @param seed Stream identity, recorded on the session (workload
      *   generators derive their RNG stream from it).
      */

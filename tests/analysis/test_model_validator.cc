@@ -1,0 +1,369 @@
+/** @file Unit tests for the static model validator. */
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "analysis/model_validator.h"
+#include "common/random.h"
+#include "core/reuse_engine.h"
+#include "harness/workload_setup.h"
+#include "nn/activations.h"
+#include "nn/conv2d.h"
+#include "nn/fully_connected.h"
+#include "nn/initializers.h"
+#include "nn/lstm.h"
+#include "nn/pooling.h"
+#include "quant/range_profiler.h"
+#include "serve/streaming_server.h"
+
+namespace reuse {
+namespace {
+
+/** Well-formed two-FC network with reuse enabled on both FCs. */
+struct ValidFixture {
+    Rng rng{91};
+    Network net{"mlp", Shape({6})};
+    std::vector<Tensor> calib;
+    QuantizationPlan plan{net};
+
+    ValidFixture()
+    {
+        net.addLayer(
+            std::make_unique<FullyConnectedLayer>("FC1", 6, 10));
+        net.addLayer(std::make_unique<ActivationLayer>(
+            "RELU", ActivationKind::ReLU));
+        net.addLayer(
+            std::make_unique<FullyConnectedLayer>("FC2", 10, 4));
+        initNetwork(net, rng);
+        for (int i = 0; i < 10; ++i) {
+            Tensor t(Shape({6}));
+            rng.fillGaussian(t.data(), 0.0f, 1.0f);
+            calib.push_back(t);
+        }
+        plan = makePlan(net, profileNetworkRanges(net, calib), 64,
+                        {0, 2});
+    }
+};
+
+TEST(ModelValidator, ReuseSafetyClassification)
+{
+    EXPECT_TRUE(isIncrementallyUpdatable(LayerKind::FullyConnected));
+    EXPECT_TRUE(isIncrementallyUpdatable(LayerKind::Conv2D));
+    EXPECT_TRUE(isIncrementallyUpdatable(LayerKind::Conv3D));
+    EXPECT_TRUE(isIncrementallyUpdatable(LayerKind::Lstm));
+    EXPECT_TRUE(isIncrementallyUpdatable(LayerKind::BiLstm));
+    EXPECT_FALSE(isIncrementallyUpdatable(LayerKind::MaxPool2D));
+    EXPECT_FALSE(isIncrementallyUpdatable(LayerKind::MaxPool3D));
+    EXPECT_FALSE(isIncrementallyUpdatable(LayerKind::Activation));
+    EXPECT_FALSE(isIncrementallyUpdatable(LayerKind::Flatten));
+}
+
+TEST(ModelValidator, ValidModelProducesNoFindings)
+{
+    ValidFixture f;
+    const DiagnosticReport report = validateModel(f.net, f.plan);
+    EXPECT_FALSE(report.hasErrors());
+    EXPECT_EQ(report.count(Severity::Warning), 0u);
+    // Informational summaries are still emitted.
+    EXPECT_TRUE(report.has(diag::kModelSummary));
+    EXPECT_TRUE(report.has(diag::kFootprintSummary));
+}
+
+TEST(ModelValidator, InfoCanBeSuppressed)
+{
+    ValidFixture f;
+    ValidatorOptions options;
+    options.emitInfo = false;
+    const DiagnosticReport report =
+        validateModel(f.net, f.plan, options);
+    EXPECT_TRUE(report.diagnostics().empty());
+}
+
+TEST(ModelValidator, EmptyNetworkIsSH001)
+{
+    Network net("empty", Shape({4}));
+    const DiagnosticReport report = validateShapes(net);
+    ASSERT_TRUE(report.hasErrors());
+    EXPECT_TRUE(report.has(diag::kEmptyNetwork));
+}
+
+TEST(ModelValidator, MismatchedLayerChainIsSH002)
+{
+    Network net("broken", Shape({8}));
+    net.addLayer(std::make_unique<FullyConnectedLayer>("FC1", 8, 16));
+    net.addLayer(std::make_unique<FullyConnectedLayer>("FC2", 32, 4));
+    const DiagnosticReport report = validateShapes(net);
+    ASSERT_TRUE(report.hasErrors());
+    const Diagnostic *d = report.find(diag::kShapeMismatch);
+    ASSERT_NE(d, nullptr);
+    EXPECT_EQ(d->layer, 1);
+    EXPECT_EQ(d->layerName, "FC2");
+}
+
+TEST(ModelValidator, DegenerateInputShapeIsSH003)
+{
+    Network net("degenerate", Shape({0}));
+    net.addLayer(std::make_unique<FullyConnectedLayer>("FC1", 1, 4));
+    const DiagnosticReport report = validateShapes(net);
+    ASSERT_TRUE(report.hasErrors());
+    EXPECT_TRUE(report.has(diag::kDegenerateShape));
+}
+
+TEST(ModelValidator, PooledAwayInputIsShapeError)
+{
+    // 2x2 pooling over a 4x3x3 input leaves 1x1; a second pooling has
+    // nothing left to pool and must be rejected statically.
+    Network net("overpooled", Shape({4, 3, 3}));
+    net.addLayer(std::make_unique<MaxPool2DLayer>("P1", 2));
+    net.addLayer(std::make_unique<MaxPool2DLayer>("P2", 2));
+    const DiagnosticReport report = validateShapes(net);
+    EXPECT_TRUE(report.hasErrors());
+}
+
+TEST(ModelValidator, PlanSizeMismatchIsQP001)
+{
+    ValidFixture f;
+    const QuantizationPlan empty_plan;
+    const DiagnosticReport report =
+        validateReuseSafety(f.net, empty_plan);
+    ASSERT_TRUE(report.hasErrors());
+    EXPECT_TRUE(report.has(diag::kPlanSizeMismatch));
+}
+
+TEST(ModelValidator, NonFiniteQuantizerStepIsQP002)
+{
+    ValidFixture f;
+    // A float range this wide overflows to an infinite step.
+    f.plan.layer(0).input =
+        LinearQuantizer(16, -3.0e38f, 3.0e38f);
+    const DiagnosticReport report =
+        validateReuseSafety(f.net, f.plan);
+    ASSERT_TRUE(report.hasErrors());
+    const Diagnostic *d = report.find(diag::kQuantizerInvalid);
+    ASSERT_NE(d, nullptr);
+    EXPECT_EQ(d->layer, 0);
+}
+
+TEST(ModelValidator, ReuseOnPoolingIsRS001)
+{
+    Network net("pooled", Shape({2, 8, 8}));
+    net.addLayer(std::make_unique<MaxPool2DLayer>("POOL", 2));
+    QuantizationPlan plan(net);
+    plan.layer(0).input = LinearQuantizer(16, -1.0f, 1.0f);
+    const DiagnosticReport report = validateReuseSafety(net, plan);
+    ASSERT_TRUE(report.hasErrors());
+    const Diagnostic *d = report.find(diag::kReuseOnUnsafeLayer);
+    ASSERT_NE(d, nullptr);
+    EXPECT_EQ(d->layerName, "POOL");
+}
+
+TEST(ModelValidator, LstmWithoutRecurrentQuantizerIsRS002)
+{
+    Rng rng(93);
+    Network net("rnn", Shape({6}));
+    net.addLayer(std::make_unique<BiLstmLayer>("BLSTM", 6, 5));
+    initNetwork(net, rng);
+    QuantizationPlan plan(net);
+    plan.layer(0).input = LinearQuantizer(16, -4.0f, 4.0f);
+    const DiagnosticReport report = validateReuseSafety(net, plan);
+    ASSERT_TRUE(report.hasErrors());
+    EXPECT_TRUE(report.has(diag::kMissingRecurrentQuantizer));
+}
+
+TEST(ModelValidator, OverflowProneQuantizerIsRS003)
+{
+    ValidFixture f;
+    // 2^22 clusters over fan-in 6 accumulates past 2^31 in the worst
+    // case (6 * 2^22 * 127 ≈ 3.2e9 > INT32_MAX).
+    f.plan.layer(0).input = LinearQuantizer(1 << 22, -1.0f, 1.0f);
+    const DiagnosticReport report =
+        validateReuseSafety(f.net, f.plan);
+    EXPECT_FALSE(report.hasErrors());  // a warning, not an error
+    const Diagnostic *d = report.find(diag::kDeltaOverflowRisk);
+    ASSERT_NE(d, nullptr);
+    EXPECT_EQ(d->severity, Severity::Warning);
+}
+
+TEST(ModelValidator, PaperScaleClustersDoNotWarn)
+{
+    ValidFixture f;  // 64 clusters, the paper's upper ablation point
+    const DiagnosticReport report =
+        validateReuseSafety(f.net, f.plan);
+    EXPECT_EQ(report.count(Severity::Warning), 0u);
+}
+
+TEST(ModelValidator, FootprintEstimateMatchesWarmFcState)
+{
+    ValidFixture f;
+    const int64_t estimate = estimateReuseStateBytes(f.net, f.plan);
+    EXPECT_GT(estimate, 0);
+
+    ReuseEngine engine(f.net, f.plan);
+    ReuseState state = engine.makeState();
+    ExecutionTrace trace;
+    engine.execute(state, f.calib[0], trace);
+    EXPECT_EQ(estimate, state.memoryBytes());
+}
+
+TEST(ModelValidator, FootprintEstimateMatchesWarmConvState)
+{
+    Rng rng(95);
+    Network net("cnn", Shape({2, 10, 10}));
+    net.addLayer(
+        std::make_unique<Conv2DLayer>("CONV", 2, 3, 3, 1));
+    net.addLayer(std::make_unique<ActivationLayer>(
+        "RELU", ActivationKind::ReLU));
+    initNetwork(net, rng);
+    std::vector<Tensor> calib;
+    for (int i = 0; i < 6; ++i) {
+        Tensor t(Shape({2, 10, 10}));
+        rng.fillGaussian(t.data(), 0.0f, 1.0f);
+        calib.push_back(t);
+    }
+    const QuantizationPlan plan =
+        makePlan(net, profileNetworkRanges(net, calib), 32, {0});
+
+    const int64_t estimate = estimateReuseStateBytes(net, plan);
+    EXPECT_GT(estimate, 0);
+
+    ReuseEngine engine(net, plan);
+    ReuseState state = engine.makeState();
+    ExecutionTrace trace;
+    engine.execute(state, calib[0], trace);
+    EXPECT_EQ(estimate, state.memoryBytes());
+}
+
+TEST(ModelValidator, FootprintEstimateMatchesWarmLstmState)
+{
+    Rng rng(97);
+    Network net("rnn", Shape({6}));
+    net.addLayer(std::make_unique<BiLstmLayer>("BLSTM", 6, 5));
+    initNetwork(net, rng);
+    std::vector<Tensor> calib;
+    for (int i = 0; i < 8; ++i) {
+        Tensor t(Shape({6}));
+        rng.fillGaussian(t.data(), 0.0f, 1.0f);
+        calib.push_back(t);
+    }
+    const QuantizationPlan plan =
+        makePlan(net, profileNetworkRanges(net, calib), 16, {0});
+    ASSERT_TRUE(plan.layer(0).recurrent.has_value());
+
+    const int64_t estimate = estimateReuseStateBytes(net, plan);
+    EXPECT_GT(estimate, 0);
+
+    ReuseEngine engine(net, plan);
+    ReuseState state = engine.makeState();
+    ExecutionTrace trace;
+    engine.executeSequence(state, calib, trace);
+    EXPECT_EQ(estimate, state.memoryBytes());
+}
+
+TEST(ModelValidator, FootprintOverBudgetIsMF001)
+{
+    ValidFixture f;
+    const int64_t bytes = estimateReuseStateBytes(f.net, f.plan);
+    const DiagnosticReport over =
+        validateMemoryFootprint(f.net, f.plan, bytes - 1);
+    ASSERT_TRUE(over.hasErrors());
+    EXPECT_TRUE(over.has(diag::kFootprintOverBudget));
+
+    const DiagnosticReport fits =
+        validateMemoryFootprint(f.net, f.plan, bytes);
+    EXPECT_FALSE(fits.hasErrors());
+
+    const DiagnosticReport unlimited =
+        validateMemoryFootprint(f.net, f.plan, -1);
+    EXPECT_FALSE(unlimited.hasErrors());
+}
+
+TEST(ModelValidator, MemoryPassSkippedOnShapeErrors)
+{
+    Network net("broken", Shape({8}));
+    net.addLayer(std::make_unique<FullyConnectedLayer>("FC1", 8, 16));
+    net.addLayer(std::make_unique<FullyConnectedLayer>("FC2", 32, 4));
+    QuantizationPlan plan(net);
+    ValidatorOptions options;
+    options.memoryBudgetBytes = 1;
+    const DiagnosticReport report = validateModel(net, plan, options);
+    EXPECT_TRUE(report.has(diag::kShapeMismatch));
+    // No MF001: footprints cannot be computed from an invalid graph.
+    EXPECT_FALSE(report.has(diag::kFootprintOverBudget));
+}
+
+TEST(ModelValidator, EngineConstructionRejectsBrokenModel)
+{
+    Network net("broken", Shape({8}));
+    net.addLayer(std::make_unique<FullyConnectedLayer>("FC1", 8, 16));
+    net.addLayer(std::make_unique<FullyConnectedLayer>("FC2", 32, 4));
+    QuantizationPlan plan(net);
+    EXPECT_DEATH(ReuseEngine(net, plan), "model validation failed");
+}
+
+TEST(ModelValidator, EngineConstructionRejectsUnsafePlan)
+{
+    Network net("pooled", Shape({2, 8, 8}));
+    net.addLayer(std::make_unique<MaxPool2DLayer>("POOL", 2));
+    QuantizationPlan plan(net);
+    plan.layer(0).input = LinearQuantizer(16, -1.0f, 1.0f);
+    EXPECT_DEATH(ReuseEngine(net, plan), "RS001");
+}
+
+TEST(ModelValidator, SessionAdmissionRejectsOversizedFootprint)
+{
+    ValidFixture f;
+    ReuseEngine engine(f.net, f.plan);
+
+    SessionManager::Config cfg;
+    cfg.memoryBudgetBytes = 1;  // smaller than any warm session
+    SessionManager mgr(cfg);
+    SessionManager::Admission admission = mgr.tryCreate(engine, 7);
+    EXPECT_EQ(admission.session, nullptr);
+    EXPECT_TRUE(admission.report.has(diag::kFootprintOverBudget));
+    EXPECT_EQ(mgr.sessionCount(), 0u);
+}
+
+TEST(ModelValidator, SessionAdmissionAcceptsWithinBudget)
+{
+    ValidFixture f;
+    ReuseEngine engine(f.net, f.plan);
+
+    SessionManager::Config cfg;
+    cfg.memoryBudgetBytes =
+        estimateReuseStateBytes(f.net, f.plan) * 2;
+    SessionManager mgr(cfg);
+    SessionManager::Admission admission = mgr.tryCreate(engine, 7);
+    ASSERT_NE(admission.session, nullptr);
+    EXPECT_FALSE(admission.report.hasErrors());
+    EXPECT_EQ(mgr.sessionCount(), 1u);
+}
+
+TEST(ModelValidator, ZooWorkloadsValidateClean)
+{
+    WorkloadSetupConfig cfg;
+    cfg.calibrationFrames = 8;
+    for (const std::string &name : modelZooNames()) {
+        const Workload w = setupWorkload(name, cfg);
+        const DiagnosticReport report =
+            validateModel(*w.bundle.network, w.plan);
+        EXPECT_FALSE(report.hasErrors()) << name << ":\n"
+                                         << report.str();
+        EXPECT_EQ(report.count(Severity::Warning), 0u) << name;
+    }
+}
+
+TEST(ModelValidator, DiagnosticRenderingIncludesIdAndLocus)
+{
+    DiagnosticReport report;
+    report.error(diag::kShapeMismatch, "size mismatch", 3, "FC2");
+    report.warning(diag::kDeltaOverflowRisk, "wide range");
+    const std::string text = report.str();
+    EXPECT_NE(text.find("SH002"), std::string::npos);
+    EXPECT_NE(text.find("layer 3"), std::string::npos);
+    EXPECT_NE(text.find("FC2"), std::string::npos);
+    EXPECT_NE(text.find("RS003"), std::string::npos);
+}
+
+} // namespace
+} // namespace reuse

@@ -59,8 +59,9 @@ TEST(WorkloadSetup, EesenAssembles)
     EXPECT_EQ(w.plan.enabledCount(), 5u);
     // BiLSTM layers carry recurrent quantizers.
     for (size_t li = 0; li < w.plan.size(); ++li) {
-        if (w.plan.layer(li).enabled())
+        if (w.plan.layer(li).enabled()) {
             EXPECT_TRUE(w.plan.layer(li).recurrent.has_value());
+        }
     }
 }
 

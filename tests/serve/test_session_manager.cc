@@ -186,7 +186,7 @@ TEST(SessionManager, BudgetEvictsLeastRecentlyUsedSession)
     EXPECT_TRUE(server.sessionSnapshot(s2).warm);
 }
 
-TEST(SessionManager, SingleOversizedSessionIsTolerated)
+TEST(SessionManager, OversizedSessionIsRejectedAtAdmission)
 {
     ServeFixture f;
     ReuseEngine engine(f.net, f.plan);
@@ -194,14 +194,32 @@ TEST(SessionManager, SingleOversizedSessionIsTolerated)
     cfg.workerThreads = 1;
     cfg.memoryBudgetBytes = 1;  // smaller than any warm session
     StreamingServer server(engine, cfg);
+    // A session whose footprint alone exceeds the budget would only
+    // thrash (admitted cold, evicted before ever reusing), so
+    // admission rejects it up front instead of tolerating it.
     const SessionId id = server.openSession();
-    // The only candidate is the session that just ran; it is never
-    // evicted (nothing would be left to serve from), so the charge
-    // may exceed the budget.
-    server.submitFrame(id, f.calib[0]).get();
-    EXPECT_TRUE(server.sessionSnapshot(id).warm);
-    EXPECT_GT(server.sessionManager().chargedBytes(),
-              cfg.memoryBudgetBytes);
+    EXPECT_EQ(id, kInvalidSessionId);
+    EXPECT_EQ(server.sessionManager().sessionCount(), 0u);
+    EXPECT_EQ(server.sessionManager().chargedBytes(), 0);
+}
+
+TEST(SessionManager, AdmissionBudgetCountsFootprintNotSessions)
+{
+    ServeFixture f;
+    ReuseEngine engine(f.net, f.plan);
+    const int64_t per_session = f.warmStateBytes(engine);
+
+    StreamingServer::Config cfg;
+    cfg.workerThreads = 1;
+    // One warm session fits, so admission accepts any number of
+    // sessions (the LRU governor handles aggregate pressure).
+    cfg.memoryBudgetBytes = per_session;
+    StreamingServer server(engine, cfg);
+    const SessionId a = server.openSession("default", 0);
+    const SessionId b = server.openSession("default", 1);
+    EXPECT_NE(a, kInvalidSessionId);
+    EXPECT_NE(b, kInvalidSessionId);
+    EXPECT_EQ(server.sessionManager().sessionCount(), 2u);
 }
 
 TEST(SessionManager, UnlimitedBudgetNeverEvicts)

@@ -1,0 +1,189 @@
+/**
+ * @file
+ * validate_model: runs the static model validator (shape inference,
+ * reuse-safety analysis, memory-footprint estimation) over the model
+ * zoo — or deliberately broken models with --broken — and prints the
+ * resulting diagnostics.
+ *
+ * Exit status is 0 when no validated model produced an error
+ * diagnostic, 1 otherwise, so the tool can gate CI and model drops.
+ */
+
+#include <cstdint>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "analysis/model_validator.h"
+#include "harness/workload_setup.h"
+#include "nn/fully_connected.h"
+#include "nn/pooling.h"
+#include "workloads/model_zoo.h"
+
+namespace {
+
+using namespace reuse;
+
+void
+usage(std::ostream &os)
+{
+    os << "usage: validate_model [options]\n"
+          "\n"
+          "Statically validates networks + quantization plans and\n"
+          "prints a diagnostic report per model.\n"
+          "\n"
+          "options:\n"
+          "  --model NAME     validate one zoo model (default: all)\n"
+          "  --budget BYTES   per-session reuse-state budget to check\n"
+          "                   the footprint against (default: none)\n"
+          "  --broken         validate three deliberately broken\n"
+          "                   models instead, demonstrating the\n"
+          "                   diagnostic IDs they trigger\n"
+          "  --help           print this message\n";
+}
+
+/** Prints one model's report under a header; returns its error count. */
+size_t
+printReport(const std::string &name, const DiagnosticReport &report)
+{
+    std::cout << "== " << name << " ==\n";
+    if (report.diagnostics().empty()) {
+        std::cout << "  (no diagnostics)\n";
+    } else {
+        for (const Diagnostic &d : report.diagnostics())
+            std::cout << "  " << d.str() << "\n";
+    }
+    const size_t errors = report.count(Severity::Error);
+    std::cout << "  " << errors << " error(s), "
+              << report.count(Severity::Warning) << " warning(s)\n\n";
+    return errors;
+}
+
+/** Validates one zoo workload; returns its error count. */
+size_t
+validateZooModel(const std::string &name, int64_t budget_bytes)
+{
+    WorkloadSetupConfig cfg;
+    // Calibration only sets quantizer ranges; a short stream is
+    // plenty for static validation and keeps the tool fast.
+    cfg.calibrationFrames = 16;
+    Workload w = setupWorkload(name, cfg);
+    ValidatorOptions options;
+    options.memoryBudgetBytes = budget_bytes;
+    const DiagnosticReport report =
+        validateModel(*w.bundle.network, w.plan, options);
+    return printReport(name, report);
+}
+
+/**
+ * Builds and validates three broken models, one per analyzer pass,
+ * and checks each produces its documented diagnostic ID.  Returns
+ * true when every expected ID appeared.
+ */
+bool
+demoBrokenModels()
+{
+    bool all_found = true;
+    auto expect = [&](const DiagnosticReport &report,
+                      const std::string &name, const char *id) {
+        printReport(name, report);
+        if (!report.has(id)) {
+            std::cout << "  MISSING expected diagnostic " << id
+                      << "\n\n";
+            all_found = false;
+        }
+    };
+
+    // 1. Mismatched layer chain: FC expecting 32 inputs fed 16
+    //    outputs (SH002, shape pass).
+    {
+        Network net("broken-shapes", Shape({64}));
+        net.addLayer(std::make_unique<FullyConnectedLayer>(
+            "FC0", 64, 16));
+        net.addLayer(std::make_unique<FullyConnectedLayer>(
+            "FC1", 32, 8));
+        QuantizationPlan plan(net);
+        expect(validateModel(net, plan), "broken-shapes",
+               diag::kShapeMismatch);
+    }
+
+    // 2. Reuse enabled on a non-linear layer: pooling cannot take
+    //    the incremental update of Eq. 10 (RS001, safety pass).
+    {
+        Network net("broken-reuse", Shape({4, 8, 8}));
+        net.addLayer(
+            std::make_unique<MaxPool2DLayer>("Pool", 2));
+        QuantizationPlan plan(net);
+        plan.layer(0).input = LinearQuantizer(16, -1.0f, 1.0f);
+        expect(validateModel(net, plan), "broken-reuse",
+               diag::kReuseOnUnsafeLayer);
+    }
+
+    // 3. Session footprint larger than the whole serving budget
+    //    (MF001, memory pass).
+    {
+        Network net("broken-budget", Shape({256}));
+        net.addLayer(std::make_unique<FullyConnectedLayer>(
+            "FC0", 256, 256));
+        QuantizationPlan plan(net);
+        plan.layer(0).input = LinearQuantizer(16, -1.0f, 1.0f);
+        ValidatorOptions options;
+        options.memoryBudgetBytes = 64;
+        expect(validateModel(net, plan, options), "broken-budget",
+               diag::kFootprintOverBudget);
+    }
+
+    return all_found;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string model;
+    int64_t budget_bytes = -1;
+    bool broken = false;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--help" || arg == "-h") {
+            usage(std::cout);
+            return 0;
+        } else if (arg == "--broken") {
+            broken = true;
+        } else if (arg == "--model" && i + 1 < argc) {
+            model = argv[++i];
+        } else if (arg == "--budget" && i + 1 < argc) {
+            budget_bytes = std::strtoll(argv[++i], nullptr, 10);
+        } else {
+            std::cerr << "unknown option: " << arg << "\n";
+            usage(std::cerr);
+            return 2;
+        }
+    }
+
+    if (broken) {
+        std::cout << "Validating deliberately broken models; each "
+                     "must produce its documented diagnostic.\n\n";
+        const bool ok = demoBrokenModels();
+        std::cout << (ok ? "all expected diagnostics produced\n"
+                         : "expected diagnostics missing\n");
+        return ok ? 0 : 1;
+    }
+
+    size_t errors = 0;
+    const std::vector<std::string> names =
+        model.empty() ? modelZooNames()
+                      : std::vector<std::string>{model};
+    for (const std::string &name : names)
+        errors += validateZooModel(name, budget_bytes);
+
+    if (errors > 0) {
+        std::cout << errors << " validation error(s)\n";
+        return 1;
+    }
+    std::cout << "all models validated clean\n";
+    return 0;
+}
