@@ -1,17 +1,37 @@
 /**
  * @file
- * Google-benchmark microbenchmarks of the core kernels: from-scratch
- * versus reuse-based execution of FC, conv and LSTM layers at several
- * similarity levels.  These measure the host-side software kernels
- * (not the modelled accelerator) and demonstrate that the incremental
- * algorithm also pays off in software when similarity is high.
+ * Microbenchmarks of the core kernels, in two modes:
+ *
+ *  - default: google-benchmark suite of from-scratch versus
+ *    reuse-based execution of FC and conv layers at several
+ *    similarity levels;
+ *  - `--json=PATH`: a hand-rolled scalar-versus-blocked comparison of
+ *    the delta-update kernels that verifies bit-exactness while
+ *    timing, writes machine-readable records (ns per delta update,
+ *    effective GB/s, speedup per layer shape) to PATH, and with
+ *    `--min-speedup=X` exits non-zero when any FC shape with >= 1024
+ *    outputs at 10-40% changed inputs falls below X (the CI
+ *    perf-smoke gate).
+ *
+ * These measure the host-side software kernels (not the modelled
+ * accelerator) and demonstrate that the incremental algorithm also
+ * pays off in software when similarity is high.
  */
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
 #include "common/random.h"
 #include "core/conv_reuse.h"
 #include "core/fc_reuse.h"
+#include "kernels/delta_kernels.h"
 #include "nn/initializers.h"
 
 namespace reuse {
@@ -136,7 +156,279 @@ BM_Quantize(benchmark::State &state)
 }
 BENCHMARK(BM_Quantize)->Arg(400)->Arg(39600);
 
+// ---------------------------------------------------------------
+// JSON mode: scalar vs blocked delta-update kernels.
+// ---------------------------------------------------------------
+
+/** One timed comparison of the FC delta-update kernels. */
+struct KernelRecord {
+    std::string kernel;
+    int64_t n = 0;
+    int64_t m = 0;
+    double change_fraction = 0.0;
+    int64_t changed = 0;
+    double scalar_ns = 0.0;
+    double blocked_ns = 0.0;
+    double speedup = 0.0;
+    double ns_per_delta_update = 0.0;
+    double gbps = 0.0;
+    bool bit_exact = false;
+};
+
+/**
+ * Times `fn` as the minimum over `reps` measurements of `iters`
+ * invocations each, returning ns per invocation.
+ */
+template <typename Fn>
+double
+timeNs(int reps, int iters, Fn &&fn)
+{
+    using Clock = std::chrono::steady_clock;
+    double best = 0.0;
+    for (int r = 0; r < reps; ++r) {
+        const Clock::time_point t0 = Clock::now();
+        for (int it = 0; it < iters; ++it)
+            fn();
+        const Clock::time_point t1 = Clock::now();
+        const double ns =
+            static_cast<double>(
+                std::chrono::duration_cast<std::chrono::nanoseconds>(
+                    t1 - t0)
+                    .count()) /
+            iters;
+        if (r == 0 || ns < best)
+            best = ns;
+    }
+    return best;
+}
+
+/** Picks an iteration count so one measurement is ~milliseconds. */
+int
+itersFor(int64_t macs)
+{
+    const int64_t target_macs = 16'000'000;
+    const int64_t iters = target_macs / (macs > 0 ? macs : 1);
+    return static_cast<int>(iters < 1 ? 1 : (iters > 2000 ? 2000 : iters));
+}
+
+/** Builds a change list of exactly `changed` distinct positions. */
+kernels::ChangeList
+exactChanges(int64_t n, int64_t changed, Rng &rng)
+{
+    kernels::ChangeList changes;
+    // Evenly spread positions: representative of the paper's
+    // uncorrelated per-element changes, deterministic run-to-run.
+    for (int64_t c = 0; c < changed; ++c) {
+        const int64_t pos = (c * n) / (changed > 0 ? changed : 1);
+        changes.push(static_cast<int32_t>(pos),
+                     rng.gaussian(0.0f, 0.5f));
+    }
+    return changes;
+}
+
+KernelRecord
+benchFcDelta(int64_t n, int64_t m, double fraction, Rng &rng)
+{
+    KernelRecord rec;
+    rec.kernel = "fc_delta";
+    rec.n = n;
+    rec.m = m;
+    rec.change_fraction = fraction;
+    rec.changed = static_cast<int64_t>(fraction * n);
+
+    std::vector<float> weights(static_cast<size_t>(n * m));
+    rng.fillGaussian(weights, 0.0f, 0.1f);
+    std::vector<float> base(static_cast<size_t>(m));
+    rng.fillGaussian(base, 0.0f, 1.0f);
+    const kernels::ChangeList changes = exactChanges(n, rec.changed, rng);
+
+    // Bit-exactness is part of the benchmark contract: a fast wrong
+    // kernel must fail the gate.
+    std::vector<float> scalar_out = base;
+    std::vector<float> blocked_out = base;
+    kernels::applyDeltasScalar(changes, weights.data(), m,
+                               scalar_out.data());
+    kernels::applyDeltasBlocked(changes, weights.data(), m,
+                                blocked_out.data());
+    rec.bit_exact = std::memcmp(scalar_out.data(), blocked_out.data(),
+                                scalar_out.size() * sizeof(float)) == 0;
+
+    const int64_t macs = rec.changed * m;
+    const int iters = itersFor(macs);
+    std::vector<float> out = base;
+    rec.scalar_ns = timeNs(5, iters, [&] {
+        kernels::applyDeltasScalar(changes, weights.data(), m,
+                                   out.data());
+    });
+    out = base;
+    rec.blocked_ns = timeNs(5, iters, [&] {
+        kernels::applyDeltasBlocked(changes, weights.data(), m,
+                                    out.data());
+    });
+    rec.speedup = rec.blocked_ns > 0.0 ? rec.scalar_ns / rec.blocked_ns
+                                       : 0.0;
+    rec.ns_per_delta_update = rec.blocked_ns;
+    // Bytes streamed by the blocked form: one weight row per change
+    // plus one read+write of the output vector.
+    const double bytes = static_cast<double>(rec.changed * m) * 4.0 +
+                         static_cast<double>(m) * 8.0;
+    rec.gbps = rec.blocked_ns > 0.0 ? bytes / rec.blocked_ns : 0.0;
+    return rec;
+}
+
+KernelRecord
+benchFcGemv(int64_t n, int64_t m, Rng &rng)
+{
+    KernelRecord rec;
+    rec.kernel = "fc_gemv";
+    rec.n = n;
+    rec.m = m;
+    rec.change_fraction = 1.0;
+    rec.changed = n;
+
+    std::vector<float> weights(static_cast<size_t>(n * m));
+    rng.fillGaussian(weights, 0.0f, 0.1f);
+    std::vector<float> biases(static_cast<size_t>(m));
+    rng.fillGaussian(biases, 0.0f, 1.0f);
+    std::vector<float> input(static_cast<size_t>(n));
+    rng.fillGaussian(input, 0.0f, 1.0f);
+
+    std::vector<float> scalar_out(static_cast<size_t>(m));
+    std::vector<float> blocked_out(static_cast<size_t>(m));
+    kernels::gemvScalar(input.data(), n, weights.data(), biases.data(),
+                        m, scalar_out.data());
+    kernels::gemvBlockedRange(input.data(), n, weights.data(),
+                              biases.data(), m, 0, m,
+                              blocked_out.data());
+    rec.bit_exact = std::memcmp(scalar_out.data(), blocked_out.data(),
+                                scalar_out.size() * sizeof(float)) == 0;
+
+    const int iters = itersFor(n * m);
+    std::vector<float> out(static_cast<size_t>(m));
+    rec.scalar_ns = timeNs(5, iters, [&] {
+        kernels::gemvScalar(input.data(), n, weights.data(),
+                            biases.data(), m, out.data());
+    });
+    rec.blocked_ns = timeNs(5, iters, [&] {
+        kernels::gemvBlockedRange(input.data(), n, weights.data(),
+                                  biases.data(), m, 0, m, out.data());
+    });
+    rec.speedup = rec.blocked_ns > 0.0 ? rec.scalar_ns / rec.blocked_ns
+                                       : 0.0;
+    rec.ns_per_delta_update = rec.blocked_ns;
+    const double bytes = static_cast<double>(n * m) * 4.0 +
+                         static_cast<double>(m) * 8.0;
+    rec.gbps = rec.blocked_ns > 0.0 ? bytes / rec.blocked_ns : 0.0;
+    return rec;
+}
+
+void
+writeJson(const std::string &path,
+          const std::vector<KernelRecord> &records)
+{
+    std::ofstream out(path);
+    out << "{\n  \"bench\": \"micro_kernels\",\n  \"records\": [\n";
+    for (size_t i = 0; i < records.size(); ++i) {
+        const KernelRecord &r = records[i];
+        char buf[512];
+        std::snprintf(
+            buf, sizeof(buf),
+            "    {\"kernel\": \"%s\", \"n\": %lld, \"m\": %lld, "
+            "\"change_fraction\": %.2f, \"changed\": %lld, "
+            "\"scalar_ns\": %.1f, \"blocked_ns\": %.1f, "
+            "\"ns_per_delta_update\": %.1f, \"speedup\": %.3f, "
+            "\"effective_gbps\": %.3f, \"bit_exact\": %s}%s\n",
+            r.kernel.c_str(), static_cast<long long>(r.n),
+            static_cast<long long>(r.m), r.change_fraction,
+            static_cast<long long>(r.changed), r.scalar_ns,
+            r.blocked_ns, r.ns_per_delta_update, r.speedup, r.gbps,
+            r.bit_exact ? "true" : "false",
+            i + 1 < records.size() ? "," : "");
+        out << buf;
+    }
+    out << "  ]\n}\n";
+}
+
+/**
+ * Runs the scalar-versus-blocked comparison, writes `json_path`, and
+ * returns the process exit code (non-zero when bit-exactness fails
+ * or a gated shape misses `min_speedup`).
+ */
+int
+runJsonBench(const std::string &json_path, double min_speedup)
+{
+    Rng rng(7);
+    std::vector<KernelRecord> records;
+    const struct {
+        int64_t n, m;
+    } shapes[] = {{400, 2000}, {1152, 1164}, {1024, 1024}, {512, 4096}};
+    for (const auto &s : shapes) {
+        for (const double fraction : {0.1, 0.2, 0.4, 1.0})
+            records.push_back(benchFcDelta(s.n, s.m, fraction, rng));
+        records.push_back(benchFcGemv(s.n, s.m, rng));
+    }
+
+    writeJson(json_path, records);
+
+    int rc = 0;
+    for (const KernelRecord &r : records) {
+        std::printf("%-8s n=%5lld m=%5lld changed=%5lld (%3.0f%%)  "
+                    "scalar %9.1f ns  blocked %9.1f ns  "
+                    "speedup %5.2fx  %6.2f GB/s  %s\n",
+                    r.kernel.c_str(), static_cast<long long>(r.n),
+                    static_cast<long long>(r.m),
+                    static_cast<long long>(r.changed),
+                    100.0 * r.change_fraction, r.scalar_ns,
+                    r.blocked_ns, r.speedup, r.gbps,
+                    r.bit_exact ? "bit-exact" : "MISMATCH");
+        if (!r.bit_exact) {
+            std::printf("FAIL: %s n=%lld m=%lld not bit-exact\n",
+                        r.kernel.c_str(), static_cast<long long>(r.n),
+                        static_cast<long long>(r.m));
+            rc = 1;
+        }
+        // The perf gate covers the acceptance shape class: FC delta
+        // updates with >= 1024 outputs at 10-40% changed inputs.
+        const bool gated = r.kernel == "fc_delta" && r.m >= 1024 &&
+                           r.change_fraction >= 0.1 - 1e-9 &&
+                           r.change_fraction <= 0.4 + 1e-9;
+        if (gated && r.speedup < min_speedup) {
+            std::printf("FAIL: fc_delta n=%lld m=%lld at %.0f%% "
+                        "changed: speedup %.2fx < required %.2fx\n",
+                        static_cast<long long>(r.n),
+                        static_cast<long long>(r.m),
+                        100.0 * r.change_fraction, r.speedup,
+                        min_speedup);
+            rc = 1;
+        }
+    }
+    std::printf("wrote %s (%zu records)\n", json_path.c_str(),
+                records.size());
+    return rc;
+}
+
 } // namespace
 } // namespace reuse
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    std::string json_path;
+    double min_speedup = 0.0;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg.rfind("--json=", 0) == 0)
+            json_path = arg.substr(7);
+        else if (arg.rfind("--min-speedup=", 0) == 0)
+            min_speedup = std::stod(arg.substr(14));
+    }
+    if (!json_path.empty())
+        return reuse::runJsonBench(json_path, min_speedup);
+
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

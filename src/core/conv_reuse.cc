@@ -1,6 +1,7 @@
 #include "conv_reuse.h"
 
 #include "common/logging.h"
+#include "kernels/delta_kernels.h"
 
 namespace reuse {
 
@@ -30,11 +31,14 @@ ConvReuseState::releaseBuffers()
     has_prev_ = false;
     std::vector<int32_t>().swap(prev_indices_);
     prev_output_ = Tensor();
+    changes_.releaseStorage();
 }
 
 int64_t
 ConvReuseState::memoryBytes() const
 {
+    // Change-list scratch excluded: transient per-frame storage the
+    // static footprint estimator (analysis/) mirrors exactly.
     return static_cast<int64_t>(prev_indices_.capacity() *
                                 sizeof(int32_t)) +
            (prev_output_.numel() > 1
@@ -54,6 +58,26 @@ ConvReuseState::execute(const Tensor &input, LayerExecRecord &rec)
     return executeConv3d(input, rec);
 }
 
+bool
+ConvReuseState::firstExecution(const Tensor &input, LayerExecRecord &rec,
+                               const Layer &layer)
+{
+    if (has_prev_)
+        return false;
+    const int64_t n = input.numel();
+    prev_indices_.resize(static_cast<size_t>(n));
+    Tensor quantized(input.shape());
+    kernels::quantizeWithIndices(input.data().data(), n,
+                                 quantizer_.scanParams(),
+                                 prev_indices_.data(),
+                                 quantized.data().data());
+    prev_output_ = layer.forward(quantized);
+    has_prev_ = true;
+    rec.firstExecution = true;
+    rec.macsPerformed = rec.macsFull;
+    return true;
+}
+
 Tensor
 ConvReuseState::executeConv2d(const Tensor &input, LayerExecRecord &rec)
 {
@@ -61,48 +85,41 @@ ConvReuseState::executeConv2d(const Tensor &input, LayerExecRecord &rec)
     const int64_t n = input.numel();
     const int64_t h = input_shape_.dim(1);
     const int64_t w = input_shape_.dim(2);
+    const Shape out_shape = layer.outputShape(input_shape_);
 
     rec.kind = LayerKind::Conv2D;
     rec.kernelExtent = layer.kernel();
     rec.reuseEnabled = true;
     rec.inputsTotal = n;
-    rec.outputsTotal = layer.outputShape(input_shape_).numel();
+    rec.outputsTotal = out_shape.numel();
     rec.macsFull = layer.macCount(input_shape_);
     rec.steps = 1;
 
-    if (!has_prev_) {
-        prev_indices_.resize(static_cast<size_t>(n));
-        Tensor quantized(input.shape());
-        for (int64_t i = 0; i < n; ++i) {
-            const int32_t idx = quantizer_.index(input[i]);
-            prev_indices_[static_cast<size_t>(i)] = idx;
-            quantized[i] = quantizer_.centroid(idx);
-        }
-        prev_output_ = layer.forward(quantized);
-        has_prev_ = true;
-        rec.firstExecution = true;
-        rec.macsPerformed = rec.macsFull;
+    if (firstExecution(input, rec, layer))
         return prev_output_;
-    }
 
     rec.firstExecution = false;
     rec.inputsChecked = n;
-    int64_t changed = 0;
+    const int64_t changed = kernels::scanChanges(
+        input.data().data(), n, quantizer_.scanParams(),
+        prev_indices_.data(), changes_);
     int64_t macs = 0;
-    for (int64_t i = 0; i < n; ++i) {
-        const int32_t idx = quantizer_.index(input[i]);
-        const int32_t prev = prev_indices_[static_cast<size_t>(i)];
-        if (idx == prev)
-            continue;
-        const float delta =
-            quantizer_.centroid(idx) - quantizer_.centroid(prev);
-        const int64_t ci = i / (h * w);
-        const int64_t y = (i / w) % h;
-        const int64_t x = i % w;
-        layer.applyDelta(input_shape_, ci, y, x, delta, prev_output_);
-        macs += layer.affectedOutputs(input_shape_, y, x);
-        prev_indices_[static_cast<size_t>(i)] = idx;
-        ++changed;
+    if (changed > 0) {
+        kernels::Conv2dGeometry geom;
+        geom.in_h = h;
+        geom.in_w = w;
+        geom.out_channels = layer.outChannels();
+        geom.out_h = out_shape.dim(1);
+        geom.out_w = out_shape.dim(2);
+        geom.kernel = layer.kernel();
+        geom.stride = layer.stride();
+        kernels::applyConvDeltas2d(changes_, geom,
+                                   layer.weights().data(),
+                                   prev_output_.data().data());
+        for (const int32_t i : changes_.positions) {
+            macs += layer.affectedOutputs(input_shape_, (i / w) % h,
+                                          i % w);
+        }
     }
     rec.inputsChanged = changed;
     rec.macsPerformed = macs;
@@ -117,50 +134,44 @@ ConvReuseState::executeConv3d(const Tensor &input, LayerExecRecord &rec)
     const int64_t d = input_shape_.dim(1);
     const int64_t h = input_shape_.dim(2);
     const int64_t w = input_shape_.dim(3);
+    const Shape out_shape = layer.outputShape(input_shape_);
 
     rec.kind = LayerKind::Conv3D;
     rec.kernelExtent = layer.kernel();
     rec.reuseEnabled = true;
     rec.inputsTotal = n;
-    rec.outputsTotal = layer.outputShape(input_shape_).numel();
+    rec.outputsTotal = out_shape.numel();
     rec.macsFull = layer.macCount(input_shape_);
     rec.steps = 1;
 
-    if (!has_prev_) {
-        prev_indices_.resize(static_cast<size_t>(n));
-        Tensor quantized(input.shape());
-        for (int64_t i = 0; i < n; ++i) {
-            const int32_t idx = quantizer_.index(input[i]);
-            prev_indices_[static_cast<size_t>(i)] = idx;
-            quantized[i] = quantizer_.centroid(idx);
-        }
-        prev_output_ = layer.forward(quantized);
-        has_prev_ = true;
-        rec.firstExecution = true;
-        rec.macsPerformed = rec.macsFull;
+    if (firstExecution(input, rec, layer))
         return prev_output_;
-    }
 
     rec.firstExecution = false;
     rec.inputsChecked = n;
-    int64_t changed = 0;
+    const int64_t changed = kernels::scanChanges(
+        input.data().data(), n, quantizer_.scanParams(),
+        prev_indices_.data(), changes_);
     int64_t macs = 0;
-    for (int64_t i = 0; i < n; ++i) {
-        const int32_t idx = quantizer_.index(input[i]);
-        const int32_t prev = prev_indices_[static_cast<size_t>(i)];
-        if (idx == prev)
-            continue;
-        const float delta =
-            quantizer_.centroid(idx) - quantizer_.centroid(prev);
-        const int64_t ci = i / (d * h * w);
-        const int64_t z = (i / (h * w)) % d;
-        const int64_t y = (i / w) % h;
-        const int64_t x = i % w;
-        layer.applyDelta(input_shape_, ci, z, y, x, delta,
-                         prev_output_);
-        macs += layer.affectedOutputs(input_shape_, z, y, x);
-        prev_indices_[static_cast<size_t>(i)] = idx;
-        ++changed;
+    if (changed > 0) {
+        kernels::Conv3dGeometry geom;
+        geom.in_d = d;
+        geom.in_h = h;
+        geom.in_w = w;
+        geom.out_channels = layer.outChannels();
+        geom.out_d = out_shape.dim(1);
+        geom.out_h = out_shape.dim(2);
+        geom.out_w = out_shape.dim(3);
+        geom.kernel = layer.kernel();
+        geom.pad = layer.pad();
+        kernels::applyConvDeltas3d(changes_, geom,
+                                   layer.weights().data(),
+                                   prev_output_.data().data());
+        for (const int32_t i : changes_.positions) {
+            macs += layer.affectedOutputs(input_shape_,
+                                          (i / (h * w)) % d,
+                                          (i / w) % h, i % w);
+        }
     }
     rec.inputsChanged = changed;
     rec.macsPerformed = macs;

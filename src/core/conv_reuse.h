@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "core/exec_record.h"
+#include "kernels/change_list.h"
 #include "nn/conv2d.h"
 #include "nn/conv3d.h"
 #include "quant/linear_quantizer.h"
@@ -64,6 +65,14 @@ class ConvReuseState
     Tensor executeConv2d(const Tensor &input, LayerExecRecord &rec);
     Tensor executeConv3d(const Tensor &input, LayerExecRecord &rec);
 
+    /**
+     * Runs the shared from-scratch path when no previous execution
+     * is buffered; returns true when it did (output in
+     * prev_output_).
+     */
+    bool firstExecution(const Tensor &input, LayerExecRecord &rec,
+                        const Layer &layer);
+
     const Conv2DLayer *conv2d_ = nullptr;
     const Conv3DLayer *conv3d_ = nullptr;
     Shape input_shape_;
@@ -71,6 +80,8 @@ class ConvReuseState
     bool has_prev_ = false;
     std::vector<int32_t> prev_indices_;
     Tensor prev_output_;
+    /** Per-frame (position, delta) scratch, reused across frames. */
+    kernels::ChangeList changes_;
 };
 
 } // namespace reuse

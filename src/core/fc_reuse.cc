@@ -1,6 +1,7 @@
 #include "fc_reuse.h"
 
 #include "common/logging.h"
+#include "kernels/delta_kernels.h"
 
 namespace reuse {
 
@@ -18,11 +19,16 @@ FcReuseState::releaseBuffers()
     has_prev_ = false;
     std::vector<int32_t>().swap(prev_indices_);
     std::vector<float>().swap(prev_outputs_);
+    changes_.releaseStorage();
 }
 
 int64_t
 FcReuseState::memoryBytes() const
 {
+    // The change-list scratch is deliberately excluded: it is
+    // transient per-frame storage (bounded by ~3 ints per input),
+    // and the static footprint estimator (analysis/) mirrors this
+    // accounting exactly.
     return static_cast<int64_t>(
         prev_indices_.capacity() * sizeof(int32_t) +
         prev_outputs_.capacity() * sizeof(float));
@@ -35,6 +41,7 @@ FcReuseState::execute(const Tensor &input, LayerExecRecord &rec)
                  layer_.name() << ": reuse input size mismatch");
     const int64_t n = layer_.inputs();
     const int64_t m = layer_.outputs();
+    const kernels::QuantScanParams q = quantizer_.scanParams();
 
     rec.kind = LayerKind::FullyConnected;
     rec.reuseEnabled = true;
@@ -50,11 +57,9 @@ FcReuseState::execute(const Tensor &input, LayerExecRecord &rec)
         prev_indices_.resize(static_cast<size_t>(n));
         prev_outputs_.resize(static_cast<size_t>(m));
         Tensor quantized(input.shape());
-        for (int64_t i = 0; i < n; ++i) {
-            const int32_t idx = quantizer_.index(input[i]);
-            prev_indices_[static_cast<size_t>(i)] = idx;
-            quantized[i] = quantizer_.centroid(idx);
-        }
+        kernels::quantizeWithIndices(input.data().data(), n, q,
+                                     prev_indices_.data(),
+                                     quantized.data().data());
         const Tensor out = layer_.forward(quantized);
         for (int64_t o = 0; o < m; ++o)
             prev_outputs_[static_cast<size_t>(o)] = out[o];
@@ -67,28 +72,21 @@ FcReuseState::execute(const Tensor &input, LayerExecRecord &rec)
         return out;
     }
 
-    // Subsequent executions: compare indices, correct only changes.
+    // Subsequent executions: scan changed indices into a compact
+    // change list, then apply the whole list one output block at a
+    // time (blocked Eq. 10).
     rec.firstExecution = false;
     rec.inputsChecked = n;
-    int64_t changed = 0;
-    for (int64_t i = 0; i < n; ++i) {
-        const int32_t idx = quantizer_.index(input[i]);
-        const int32_t prev = prev_indices_[static_cast<size_t>(i)];
-        if (idx == prev)
-            continue;
-        const float delta =
-            quantizer_.centroid(idx) - quantizer_.centroid(prev);
-        layer_.applyDelta(i, delta, prev_outputs_);
-        prev_indices_[static_cast<size_t>(i)] = idx;
-        ++changed;
+    const int64_t changed = kernels::scanChanges(
+        input.data().data(), n, q, prev_indices_.data(), changes_);
+    if (changed > 0) {
+        kernels::applyDeltas(changes_, layer_.weights().data(), m,
+                             prev_outputs_.data());
     }
     rec.inputsChanged = changed;
     rec.macsPerformed = changed * m;
 
-    Tensor out(Shape({m}));
-    for (int64_t o = 0; o < m; ++o)
-        out[o] = prev_outputs_[static_cast<size_t>(o)];
-    return out;
+    return Tensor(Shape({m}), prev_outputs_);
 }
 
 } // namespace reuse

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "core/exec_record.h"
+#include "kernels/change_list.h"
 #include "nn/fully_connected.h"
 #include "quant/linear_quantizer.h"
 
@@ -74,6 +75,8 @@ class FcReuseState
     bool has_prev_ = false;
     std::vector<int32_t> prev_indices_;
     std::vector<float> prev_outputs_;
+    /** Per-frame (position, delta) scratch, reused across frames. */
+    kernels::ChangeList changes_;
 };
 
 } // namespace reuse

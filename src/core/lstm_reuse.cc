@@ -1,6 +1,7 @@
 #include "lstm_reuse.h"
 
 #include "common/logging.h"
+#include "kernels/delta_kernels.h"
 
 namespace reuse {
 
@@ -30,6 +31,8 @@ LstmCellReuseState::releaseBuffers()
     std::vector<int32_t>().swap(prev_h_indices_);
     for (auto &gate : preacts_)
         std::vector<float>().swap(gate);
+    x_changes_.releaseStorage();
+    h_changes_.releaseStorage();
     reset();
 }
 
@@ -65,53 +68,45 @@ LstmCellReuseState::step(const std::vector<float> &x, LayerExecRecord &rec)
         prev_x_indices_.resize(static_cast<size_t>(in_dim));
         prev_h_indices_.resize(static_cast<size_t>(cell_dim));
         std::vector<float> qx(static_cast<size_t>(in_dim));
-        for (int64_t i = 0; i < in_dim; ++i) {
-            const int32_t idx = x_quant_.index(x[static_cast<size_t>(i)]);
-            prev_x_indices_[static_cast<size_t>(i)] = idx;
-            qx[static_cast<size_t>(i)] = x_quant_.centroid(idx);
-        }
+        kernels::quantizeWithIndices(x.data(), in_dim,
+                                     x_quant_.scanParams(),
+                                     prev_x_indices_.data(), qx.data());
         std::vector<float> qh(static_cast<size_t>(cell_dim));
-        for (int64_t j = 0; j < cell_dim; ++j) {
-            const int32_t idx = h_quant_.index(h_[static_cast<size_t>(j)]);
-            prev_h_indices_[static_cast<size_t>(j)] = idx;
-            qh[static_cast<size_t>(j)] = h_quant_.centroid(idx);
-        }
+        kernels::quantizeWithIndices(h_.data(), cell_dim,
+                                     h_quant_.scanParams(),
+                                     prev_h_indices_.data(), qh.data());
         preacts_ = cell_.computePreacts(qx, qh);
         has_prev_ = true;
         rec.macsPerformed += full_macs;
     } else {
-        // Steady state: one comparison per input, corrections applied
-        // to all four gates (the gates share the inputs; Sec. IV-D).
+        // Steady state: one comparison per input.  Each change list
+        // is scanned once and then applied to all four gates (the
+        // gates share their inputs; Sec. IV-D), one gate matrix at a
+        // time so each blocked sweep streams a single weight matrix.
         rec.inputsChecked += in_dim + cell_dim;
-        int64_t changed_x = 0;
-        for (int64_t i = 0; i < in_dim; ++i) {
-            const int32_t idx = x_quant_.index(x[static_cast<size_t>(i)]);
-            const int32_t prev = prev_x_indices_[static_cast<size_t>(i)];
-            if (idx == prev)
-                continue;
-            const float delta =
-                x_quant_.centroid(idx) - x_quant_.centroid(prev);
+        const int64_t changed_x =
+            kernels::scanChanges(x.data(), in_dim,
+                                 x_quant_.scanParams(),
+                                 prev_x_indices_.data(), x_changes_);
+        if (changed_x > 0) {
             for (int g = 0; g < NumLstmGates; ++g) {
-                cell_.feedForward(g).applyDelta(
-                    i, delta, preacts_[static_cast<size_t>(g)]);
+                kernels::applyDeltas(
+                    x_changes_,
+                    cell_.feedForward(g).weights().data(), cell_dim,
+                    preacts_[static_cast<size_t>(g)].data());
             }
-            prev_x_indices_[static_cast<size_t>(i)] = idx;
-            ++changed_x;
         }
-        int64_t changed_h = 0;
-        for (int64_t j = 0; j < cell_dim; ++j) {
-            const int32_t idx = h_quant_.index(h_[static_cast<size_t>(j)]);
-            const int32_t prev = prev_h_indices_[static_cast<size_t>(j)];
-            if (idx == prev)
-                continue;
-            const float delta =
-                h_quant_.centroid(idx) - h_quant_.centroid(prev);
+        const int64_t changed_h =
+            kernels::scanChanges(h_.data(), cell_dim,
+                                 h_quant_.scanParams(),
+                                 prev_h_indices_.data(), h_changes_);
+        if (changed_h > 0) {
             for (int g = 0; g < NumLstmGates; ++g) {
-                cell_.recurrent(g).applyDelta(
-                    j, delta, preacts_[static_cast<size_t>(g)]);
+                kernels::applyDeltas(
+                    h_changes_, cell_.recurrent(g).weights().data(),
+                    cell_dim,
+                    preacts_[static_cast<size_t>(g)].data());
             }
-            prev_h_indices_[static_cast<size_t>(j)] = idx;
-            ++changed_h;
         }
         rec.inputsChanged += changed_x + changed_h;
         rec.macsPerformed += (changed_x + changed_h) * NumLstmGates *

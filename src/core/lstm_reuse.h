@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "core/exec_record.h"
+#include "kernels/change_list.h"
 #include "nn/lstm.h"
 #include "quant/linear_quantizer.h"
 
@@ -67,6 +68,9 @@ class LstmCellReuseState
     LstmCell::Preacts preacts_;
     std::vector<float> h_;
     std::vector<float> c_;
+    /** Per-step (position, delta) scratch, reused across steps. */
+    kernels::ChangeList x_changes_;
+    kernels::ChangeList h_changes_;
 };
 
 /**

@@ -175,10 +175,18 @@ ReuseEngine::execute(ReuseState &state, const Tensor &input,
 
     trace.clear();
     trace.resize(network_.layerCount());
-    Tensor current = input;
-    for (size_t li = 0; li < network_.layerCount(); ++li)
-        current = executeLayer(state, li, current, trace[li]);
-    return current;
+    if (network_.layerCount() == 0)
+        return input;
+    // Chain layer outputs through a pointer so the input tensor is
+    // never copied: the first layer reads `input` directly, later
+    // layers read the previous layer's output in place.
+    const Tensor *current = &input;
+    Tensor next;
+    for (size_t li = 0; li < network_.layerCount(); ++li) {
+        next = executeLayer(state, li, *current, trace[li]);
+        current = &next;
+    }
+    return next;
 }
 
 Tensor
@@ -260,8 +268,9 @@ ReuseEngine::executeSequence(ReuseState &state,
             outputs.reserve(current.size());
             for (const Tensor &in : current) {
                 rec.inputsTotal += in.numel();
-                rec.macsFull += layer.macCount(in.shape());
-                rec.macsPerformed += layer.macCount(in.shape());
+                const int64_t macs = layer.macCount(in.shape());
+                rec.macsFull += macs;
+                rec.macsPerformed += macs;
                 Tensor out = layer.forward(in);
                 rec.outputsTotal += out.numel();
                 outputs.push_back(std::move(out));

@@ -1,0 +1,74 @@
+#include "change_list.h"
+
+namespace reuse {
+namespace kernels {
+
+int64_t
+ChangeList::memoryBytes() const
+{
+    return static_cast<int64_t>(
+        positions.capacity() * sizeof(int32_t) +
+        deltas.capacity() * sizeof(float) +
+        scratch_indices.capacity() * sizeof(int32_t));
+}
+
+void
+ChangeList::releaseStorage()
+{
+    std::vector<int32_t>().swap(positions);
+    std::vector<float>().swap(deltas);
+    std::vector<int32_t>().swap(scratch_indices);
+}
+
+void
+quantizeWithIndices(const float *input, int64_t n,
+                    const QuantScanParams &q, int32_t *indices,
+                    float *centroids)
+{
+    if (indices != nullptr && centroids != nullptr) {
+        for (int64_t i = 0; i < n; ++i) {
+            const int32_t idx = quantIndex(q, input[i]);
+            indices[i] = idx;
+            centroids[i] = quantCentroid(q, idx);
+        }
+    } else if (indices != nullptr) {
+        for (int64_t i = 0; i < n; ++i)
+            indices[i] = quantIndex(q, input[i]);
+    } else if (centroids != nullptr) {
+        for (int64_t i = 0; i < n; ++i)
+            centroids[i] = quantCentroid(q, quantIndex(q, input[i]));
+    }
+}
+
+int64_t
+scanChanges(const float *input, int64_t n, const QuantScanParams &q,
+            int32_t *prev_indices, ChangeList &out)
+{
+    out.clear();
+    out.scratch_indices.resize(static_cast<size_t>(n));
+    int32_t *__restrict cur = out.scratch_indices.data();
+
+    // Phase 1: quantize every input with the hoisted parameters.
+    for (int64_t i = 0; i < n; ++i)
+        cur[i] = quantIndex(q, input[i]);
+
+    // Phase 2: compare int32 indices and gather mismatches.  The
+    // delta is computed as centroid(new) - centroid(old) — not
+    // (new - old) * step — to stay bit-identical with the original
+    // interleaved path.
+    int64_t changed = 0;
+    for (int64_t i = 0; i < n; ++i) {
+        const int32_t idx = cur[i];
+        const int32_t prev = prev_indices[i];
+        if (idx == prev)
+            continue;
+        out.push(static_cast<int32_t>(i),
+                 quantCentroid(q, idx) - quantCentroid(q, prev));
+        prev_indices[i] = idx;
+        ++changed;
+    }
+    return changed;
+}
+
+} // namespace kernels
+} // namespace reuse

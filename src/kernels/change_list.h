@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Change-list batching for the reuse hot path.
+ *
+ * The paper's incremental update (Eq. 10) touches only the inputs
+ * whose quantization index changed since the previous execution.  The
+ * original software path interleaved the index comparison with the
+ * delta application, so every changed input re-streamed the full
+ * output vector.  The kernel layer splits the work in two phases:
+ *
+ *   1. scanChanges() walks the inputs once, quantizes them with
+ *      hoisted quantizer parameters, compares against the buffered
+ *      int32 indices (a SIMD-friendly compare loop) and emits a
+ *      compact (index, delta) change list;
+ *   2. the apply kernels (delta_kernels.h) sweep the whole change
+ *      list one output block at a time, so the output stays resident
+ *      in L1 across all changed inputs.
+ */
+
+#ifndef REUSE_DNN_KERNELS_CHANGE_LIST_H
+#define REUSE_DNN_KERNELS_CHANGE_LIST_H
+
+#include <cstdint>
+#include <vector>
+
+#include "kernels/quant_scan.h"
+
+namespace reuse {
+namespace kernels {
+
+/**
+ * Compact list of changed inputs: parallel arrays of input positions
+ * and centroid deltas (c'_i - c_i).  Structure-of-arrays so the apply
+ * kernels read each with unit stride.
+ */
+struct ChangeList {
+    std::vector<int32_t> positions;  ///< Changed input positions.
+    std::vector<float> deltas;       ///< Centroid delta per change.
+
+    /** Number of changed inputs. */
+    size_t size() const { return positions.size(); }
+
+    /** True when no input changed. */
+    bool empty() const { return positions.empty(); }
+
+    /** Clears the list, keeping capacity for the next frame. */
+    void
+    clear()
+    {
+        positions.clear();
+        deltas.clear();
+    }
+
+    /** Appends one change. */
+    void
+    push(int32_t position, float delta)
+    {
+        positions.push_back(position);
+        deltas.push_back(delta);
+    }
+
+    /** Bytes currently held by the list (capacity, incl. scratch). */
+    int64_t memoryBytes() const;
+
+    /** Frees all storage (session eviction). */
+    void releaseStorage();
+
+    /**
+     * Scratch for the scan's quantize pass; exposed so reuse states
+     * can account for it, not part of the list proper.
+     */
+    std::vector<int32_t> scratch_indices;
+};
+
+/**
+ * Quantizes `input[0..n)`, writing the index of every element to
+ * `indices` and its centroid value to `centroids`.  Used by the
+ * first-execution (from-scratch) path.  Either output may be null to
+ * skip it.
+ */
+void quantizeWithIndices(const float *input, int64_t n,
+                         const QuantScanParams &q, int32_t *indices,
+                         float *centroids);
+
+/**
+ * Scans one input vector against the buffered indices of the
+ * previous execution.
+ *
+ * Phase 1 quantizes all `n` inputs into `out.scratch_indices`;
+ * phase 2 compares them against `prev_indices` and appends a
+ * (position, delta) entry to `out` for every mismatch, updating
+ * `prev_indices` in place.  `out` is cleared first; capacity is
+ * retained across frames.
+ *
+ * @return The number of changed inputs (== out.size()).
+ */
+int64_t scanChanges(const float *input, int64_t n,
+                    const QuantScanParams &q, int32_t *prev_indices,
+                    ChangeList &out);
+
+} // namespace kernels
+} // namespace reuse
+
+#endif // REUSE_DNN_KERNELS_CHANGE_LIST_H

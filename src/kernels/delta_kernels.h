@@ -1,0 +1,191 @@
+/**
+ * @file
+ * Vectorized, cache-blocked delta-update kernels for the reuse hot
+ * path (Eq. 10: z'_o = z_o + (c'_i - c_i) * W_io).
+ *
+ * Every kernel exists in two forms:
+ *
+ *  - a *scalar reference* (…Scalar), compiled with vectorization
+ *    disabled, that performs the operations in the same per-output
+ *    order the original interleaved code used;
+ *  - a *blocked* form that applies the whole change list one output
+ *    block (kDeltaBlockFloats floats, 4 KB) at a time.  The output
+ *    block stays resident in L1 across all changed inputs, and the
+ *    inner loop is a restrict-qualified unit-stride
+ *    multiply-accumulate written to auto-vectorize.
+ *
+ * Both forms perform the identical floating-point operations in the
+ * identical per-output-element order, so their results are
+ * bit-identical (tested).  The dispatching entry points pick the
+ * implementation at runtime (REUSE_KERNELS=scalar forces the
+ * reference) and partition the output range over the kernel thread
+ * pool when the update is large enough (changed × outputs ≥
+ * threshold), which also preserves bit-exactness because chunk
+ * boundaries are deterministic and disjoint.
+ *
+ * All kernels operate on raw pointers: weights are input-major
+ * (weight(i, o) at w[i * m + o], the paper's interleaved Weights
+ * Buffer layout), and the weight and output buffers must not alias.
+ */
+
+#ifndef REUSE_DNN_KERNELS_DELTA_KERNELS_H
+#define REUSE_DNN_KERNELS_DELTA_KERNELS_H
+
+#include <cstdint>
+
+#include "kernels/change_list.h"
+#include "kernels/thread_pool.h"
+
+namespace reuse {
+namespace kernels {
+
+/** Output-block size of the blocked kernels: 4 KB of float32. */
+constexpr int64_t kDeltaBlockFloats = 1024;
+
+/** Thread-pool chunk: 4 blocks (16 KB) per unit of work. */
+constexpr int64_t kDeltaChunkFloats = 4 * kDeltaBlockFloats;
+
+/** Output-channel block of the conv delta kernels. */
+constexpr int64_t kConvCoBlock = 16;
+
+/**
+ * Default MAC threshold (changed × outputs) above which a dispatched
+ * kernel partitions its output range across the thread pool.  Below
+ * it, threading overhead exceeds the win.
+ */
+constexpr int64_t kDefaultParallelMacThreshold = 1 << 20;
+
+/**
+ * Runtime kernel-dispatch configuration.  The process-wide default
+ * is read once from the environment: REUSE_KERNELS=scalar forces
+ * the scalar reference kernels, REUSE_KERNEL_PAR_THRESHOLD overrides
+ * the threading threshold (negative disables threading), and
+ * REUSE_KERNEL_THREADS sizes the pool (see thread_pool.h).
+ */
+struct DeltaDispatch {
+    /** False forces the scalar reference implementation. */
+    bool blocked = true;
+    /** MAC count at which to thread; negative = never. */
+    int64_t parallel_mac_threshold = kDefaultParallelMacThreshold;
+    /** Pool to thread on; null = KernelThreadPool::global(). */
+    KernelThreadPool *pool = nullptr;
+};
+
+/** Process-wide dispatch configuration (env-derived, cached). */
+const DeltaDispatch &defaultDispatch();
+
+// ---------------------------------------------------------------
+// Fully-connected / LSTM-gate delta update:
+//   out[o] += delta_c * w[pos_c * m + o]  for every change c.
+// ---------------------------------------------------------------
+
+/** Scalar reference: per change, one full sweep of the outputs. */
+void applyDeltasScalar(const ChangeList &changes, const float *weights,
+                       int64_t m, float *out);
+
+/** Blocked + vectorized form over the output range [begin, end). */
+void applyDeltasBlockedRange(const ChangeList &changes,
+                             const float *weights, int64_t m,
+                             int64_t begin, int64_t end, float *out);
+
+/** Blocked + vectorized form over the whole output vector. */
+void applyDeltasBlocked(const ChangeList &changes, const float *weights,
+                        int64_t m, float *out);
+
+/** Dispatched form (implementation choice + optional threading). */
+void applyDeltas(const ChangeList &changes, const float *weights,
+                 int64_t m, float *out,
+                 const DeltaDispatch &dispatch = defaultDispatch());
+
+// ---------------------------------------------------------------
+// From-scratch GEMV for the first execution of an FC layer:
+//   out[o] = biases[o] + sum_i input[i] * w[i * m + o].
+// Zero inputs are skipped (quantized inputs are frequently zero).
+// ---------------------------------------------------------------
+
+/** Scalar reference: bias fill, then one row sweep per input. */
+void gemvScalar(const float *input, int64_t n, const float *weights,
+                const float *biases, int64_t m, float *out);
+
+/** Blocked + vectorized form over the output range [begin, end). */
+void gemvBlockedRange(const float *input, int64_t n,
+                      const float *weights, const float *biases,
+                      int64_t m, int64_t begin, int64_t end, float *out);
+
+/** Dispatched form of the from-scratch GEMV. */
+void gemv(const float *input, int64_t n, const float *weights,
+          const float *biases, int64_t m, float *out,
+          const DeltaDispatch &dispatch = defaultDispatch());
+
+// ---------------------------------------------------------------
+// Convolution delta scatter: every output neuron whose receptive
+// field covers a changed input is corrected by delta * weight.
+// Change positions are flat input indices (ci, y, x) / (ci, d, y, x)
+// in row-major order, as produced by scanChanges() over the input
+// volume.
+// ---------------------------------------------------------------
+
+/** Geometry of a 2D conv delta update (valid padding + stride). */
+struct Conv2dGeometry {
+    int64_t in_h = 0;          ///< Input height H.
+    int64_t in_w = 0;          ///< Input width W.
+    int64_t out_channels = 0;  ///< Output feature maps C_out.
+    int64_t out_h = 0;         ///< Output height.
+    int64_t out_w = 0;         ///< Output width.
+    int64_t kernel = 0;        ///< Square kernel size K.
+    int64_t stride = 0;        ///< Spatial stride.
+};
+
+/** Geometry of a 3D conv delta update (stride 1 + zero padding). */
+struct Conv3dGeometry {
+    int64_t in_d = 0;          ///< Input depth D.
+    int64_t in_h = 0;          ///< Input height H.
+    int64_t in_w = 0;          ///< Input width W.
+    int64_t out_channels = 0;  ///< Output feature maps C_out.
+    int64_t out_d = 0;         ///< Output depth.
+    int64_t out_h = 0;         ///< Output height.
+    int64_t out_w = 0;         ///< Output width.
+    int64_t kernel = 0;        ///< Cubic kernel size K.
+    int64_t pad = 0;           ///< Symmetric zero padding.
+};
+
+/** Scalar reference: change-major per-window scatter. */
+void applyConvDeltas2dScalar(const ChangeList &changes,
+                             const Conv2dGeometry &g,
+                             const float *weights, float *out);
+
+/**
+ * Blocked form: sweeps the change list once per block of
+ * kConvCoBlock output channels, so the touched output lines of a
+ * channel block stay cached across spatially clustered changes.
+ */
+void applyConvDeltas2dBlocked(const ChangeList &changes,
+                              const Conv2dGeometry &g,
+                              const float *weights, float *out);
+
+/** Dispatched form (implementation choice + optional threading). */
+void applyConvDeltas2d(const ChangeList &changes,
+                       const Conv2dGeometry &g, const float *weights,
+                       float *out,
+                       const DeltaDispatch &dispatch = defaultDispatch());
+
+/** Scalar reference: change-major per-window scatter (3D). */
+void applyConvDeltas3dScalar(const ChangeList &changes,
+                             const Conv3dGeometry &g,
+                             const float *weights, float *out);
+
+/** Blocked form over output-channel blocks (3D). */
+void applyConvDeltas3dBlocked(const ChangeList &changes,
+                              const Conv3dGeometry &g,
+                              const float *weights, float *out);
+
+/** Dispatched form (3D). */
+void applyConvDeltas3d(const ChangeList &changes,
+                       const Conv3dGeometry &g, const float *weights,
+                       float *out,
+                       const DeltaDispatch &dispatch = defaultDispatch());
+
+} // namespace kernels
+} // namespace reuse
+
+#endif // REUSE_DNN_KERNELS_DELTA_KERNELS_H

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Scalar reference implementations of the delta-update kernels.
+ *
+ * These reproduce the original interleaved hot path's operation
+ * order exactly (per change, one full sweep of the affected
+ * outputs) and serve as the correctness reference the blocked
+ * kernels are tested against, and as the baseline the perf-smoke CI
+ * job compares against.  This translation unit is compiled with
+ * auto-vectorization disabled (see CMakeLists.txt), so the measured
+ * scalar-vs-blocked speedup reflects what blocking + SIMD buy.
+ */
+
+#include "delta_kernels.h"
+
+namespace reuse {
+namespace kernels {
+
+void
+applyDeltasScalar(const ChangeList &changes, const float *weights,
+                  int64_t m, float *out)
+{
+    const size_t k = changes.size();
+    for (size_t c = 0; c < k; ++c) {
+        const float d = changes.deltas[c];
+        const float *w_row =
+            weights +
+            static_cast<int64_t>(changes.positions[c]) * m;
+        for (int64_t o = 0; o < m; ++o)
+            out[o] += d * w_row[o];
+    }
+}
+
+void
+gemvScalar(const float *input, int64_t n, const float *weights,
+           const float *biases, int64_t m, float *out)
+{
+    for (int64_t o = 0; o < m; ++o)
+        out[o] = biases[o];
+    for (int64_t i = 0; i < n; ++i) {
+        const float v = input[i];
+        if (v == 0.0f)
+            continue;
+        const float *w_row = weights + i * m;
+        for (int64_t o = 0; o < m; ++o)
+            out[o] += v * w_row[o];
+    }
+}
+
+void
+applyConvDeltas2dScalar(const ChangeList &changes,
+                        const Conv2dGeometry &g, const float *weights,
+                        float *out)
+{
+    const size_t k = changes.size();
+    const int64_t hw = g.in_h * g.in_w;
+    const int64_t out_map = g.out_h * g.out_w;
+    for (size_t c = 0; c < k; ++c) {
+        const int64_t i = changes.positions[c];
+        const float d = changes.deltas[c];
+        const int64_t ci = i / hw;
+        const int64_t y = (i / g.in_w) % g.in_h;
+        const int64_t x = i % g.in_w;
+        for (int64_t ky = 0; ky < g.kernel; ++ky) {
+            const int64_t ry = y - ky;
+            if (ry < 0 || ry % g.stride != 0)
+                continue;
+            const int64_t oy = ry / g.stride;
+            if (oy >= g.out_h)
+                continue;
+            for (int64_t kx = 0; kx < g.kernel; ++kx) {
+                const int64_t rx = x - kx;
+                if (rx < 0 || rx % g.stride != 0)
+                    continue;
+                const int64_t ox = rx / g.stride;
+                if (ox >= g.out_w)
+                    continue;
+                const float *w_row =
+                    weights +
+                    ((ci * g.kernel + ky) * g.kernel + kx) *
+                        g.out_channels;
+                float *dst = out + oy * g.out_w + ox;
+                for (int64_t co = 0; co < g.out_channels; ++co)
+                    dst[co * out_map] += d * w_row[co];
+            }
+        }
+    }
+}
+
+void
+applyConvDeltas3dScalar(const ChangeList &changes,
+                        const Conv3dGeometry &g, const float *weights,
+                        float *out)
+{
+    const size_t k = changes.size();
+    const int64_t hw = g.in_h * g.in_w;
+    const int64_t dhw = g.in_d * hw;
+    const int64_t out_map = g.out_d * g.out_h * g.out_w;
+    for (size_t c = 0; c < k; ++c) {
+        const int64_t i = changes.positions[c];
+        const float dv = changes.deltas[c];
+        const int64_t ci = i / dhw;
+        const int64_t z = (i / hw) % g.in_d;
+        const int64_t y = (i / g.in_w) % g.in_h;
+        const int64_t x = i % g.in_w;
+        for (int64_t kd = 0; kd < g.kernel; ++kd) {
+            const int64_t oz = z + g.pad - kd;
+            if (oz < 0 || oz >= g.out_d)
+                continue;
+            for (int64_t ky = 0; ky < g.kernel; ++ky) {
+                const int64_t oy = y + g.pad - ky;
+                if (oy < 0 || oy >= g.out_h)
+                    continue;
+                for (int64_t kx = 0; kx < g.kernel; ++kx) {
+                    const int64_t ox = x + g.pad - kx;
+                    if (ox < 0 || ox >= g.out_w)
+                        continue;
+                    const float *w_row =
+                        weights +
+                        (((ci * g.kernel + kd) * g.kernel + ky) *
+                             g.kernel +
+                         kx) *
+                            g.out_channels;
+                    float *dst =
+                        out + (oz * g.out_h + oy) * g.out_w + ox;
+                    for (int64_t co = 0; co < g.out_channels; ++co)
+                        dst[co * out_map] += dv * w_row[co];
+                }
+            }
+        }
+    }
+}
+
+} // namespace kernels
+} // namespace reuse

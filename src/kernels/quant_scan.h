@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Hoisted, inline quantization-index computation shared by every
+ * reuse hot loop.
+ *
+ * LinearQuantizer::index() is semantically one division, one rounding
+ * and one clamp, but calling it per element re-reads the quantizer
+ * members through the object pointer on every iteration.  The hot
+ * loops instead copy the three parameters into a QuantScanParams
+ * value once (registers for the whole loop) and call quantIndex(),
+ * which is the single definition of the index function: the
+ * LinearQuantizer delegates to it, so both paths agree bit-exactly.
+ */
+
+#ifndef REUSE_DNN_KERNELS_QUANT_SCAN_H
+#define REUSE_DNN_KERNELS_QUANT_SCAN_H
+
+#include <cmath>
+#include <cstdint>
+
+namespace reuse {
+namespace kernels {
+
+/** Parameters of a linear quantizer, hoisted out of the hot loop. */
+struct QuantScanParams {
+    float step;         ///< Quantization step (range / clusters).
+    int32_t min_index;  ///< Smallest representable index.
+    int32_t max_index;  ///< Largest representable index.
+};
+
+/**
+ * Quantization index of `v`: round(v / step) clamped to the profiled
+ * range.  Branchless except for the clamp min/max selects.
+ */
+inline int32_t
+quantIndex(const QuantScanParams &q, float v)
+{
+    const int32_t idx = static_cast<int32_t>(std::lround(v / q.step));
+    const int32_t lo = idx < q.min_index ? q.min_index : idx;
+    return lo > q.max_index ? q.max_index : lo;
+}
+
+/** Centroid value of an index: idx * step. */
+inline float
+quantCentroid(const QuantScanParams &q, int32_t idx)
+{
+    return static_cast<float>(idx) * q.step;
+}
+
+} // namespace kernels
+} // namespace reuse
+
+#endif // REUSE_DNN_KERNELS_QUANT_SCAN_H

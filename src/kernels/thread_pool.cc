@@ -1,0 +1,145 @@
+#include "thread_pool.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "common/math_utils.h"
+
+namespace reuse {
+namespace kernels {
+
+namespace {
+
+size_t
+defaultWorkerCount()
+{
+    if (const char *env = std::getenv("REUSE_KERNEL_THREADS")) {
+        const long v = std::strtol(env, nullptr, 10);
+        return v > 0 ? static_cast<size_t>(v) : 0;
+    }
+    // The calling thread participates, so on an H-hardware-thread
+    // machine H-1 workers saturate it; cap at 3 workers (4-way
+    // layer parallelism) — delta updates are memory bound and wider
+    // fan-out mostly adds synchronization cost.  Single-core
+    // machines get zero workers: parallelFor() runs inline.
+    const unsigned hw = std::thread::hardware_concurrency();
+    if (hw <= 1)
+        return 0;
+    return std::min<size_t>(3, hw - 1);
+}
+
+} // namespace
+
+KernelThreadPool::KernelThreadPool(size_t workers)
+{
+    workers_.reserve(workers);
+    for (size_t i = 0; i < workers; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+KernelThreadPool::~KernelThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stop_ = true;
+    }
+    work_cv_.notify_all();
+    for (std::thread &t : workers_)
+        t.join();
+}
+
+KernelThreadPool &
+KernelThreadPool::global()
+{
+    static KernelThreadPool pool(defaultWorkerCount());
+    return pool;
+}
+
+void
+KernelThreadPool::runChunks(Job &job)
+{
+    for (;;) {
+        const int64_t c =
+            job.next.fetch_add(1, std::memory_order_relaxed);
+        if (c >= job.chunks)
+            break;
+        const int64_t begin = c * job.grain;
+        const int64_t end = std::min(job.total, begin + job.grain);
+        (*job.fn)(begin, end);
+        if (job.done.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+            job.chunks) {
+            std::lock_guard<std::mutex> lock(mutex_);
+            done_cv_.notify_all();
+        }
+    }
+}
+
+void
+KernelThreadPool::workerLoop()
+{
+    uint64_t seen = 0;
+    std::unique_lock<std::mutex> lock(mutex_);
+    for (;;) {
+        work_cv_.wait(lock, [&] {
+            return stop_ || (generation_ != seen);
+        });
+        if (stop_)
+            return;
+        seen = generation_;
+        Job *job = current_;
+        if (job == nullptr)
+            continue;  // Job already retired; nothing to do.
+        ++workers_in_job_;
+        lock.unlock();
+        runChunks(*job);
+        lock.lock();
+        --workers_in_job_;
+        done_cv_.notify_all();
+    }
+}
+
+void
+KernelThreadPool::parallelFor(int64_t total, int64_t grain,
+                              const ChunkFn &fn)
+{
+    if (total <= 0)
+        return;
+    if (grain <= 0)
+        grain = total;
+    if (workers_.empty() || total <= grain) {
+        // Inline execution with identical chunk boundaries, so the
+        // result is bit-identical to the threaded path.
+        for (int64_t begin = 0; begin < total; begin += grain)
+            fn(begin, std::min(total, begin + grain));
+        return;
+    }
+
+    std::lock_guard<std::mutex> job_lock(job_mutex_);
+    Job job;
+    job.fn = &fn;
+    job.total = total;
+    job.grain = grain;
+    job.chunks = ceilDiv(total, grain);
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        current_ = &job;
+        ++generation_;
+    }
+    work_cv_.notify_all();
+    runChunks(job);
+    {
+        // Wait until every chunk ran AND every worker left the job,
+        // so `job` (on this stack frame) cannot be touched after we
+        // return.
+        std::unique_lock<std::mutex> lock(mutex_);
+        done_cv_.wait(lock, [&] {
+            return workers_in_job_ == 0 &&
+                   job.done.load(std::memory_order_acquire) ==
+                       job.chunks;
+        });
+        current_ = nullptr;
+    }
+}
+
+} // namespace kernels
+} // namespace reuse

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Small persistent thread pool for intra-layer kernel parallelism.
+ *
+ * Large FC / LSTM-gate delta updates partition their output range
+ * across the pool so single-session latency improves, not just
+ * cross-session throughput (the serve worker pool parallelizes
+ * across sessions; this pool parallelizes inside one layer).
+ *
+ * Design mirrors the serve worker-pool idioms (mutex + condvar
+ * signalling, persistent threads joined on destruction).  One job
+ * runs at a time; concurrent parallelFor() callers serialize on the
+ * job mutex, which is fine because only above-threshold layer
+ * updates reach the pool at all.
+ *
+ * Determinism: chunk boundaries depend only on (total, grain), never
+ * on the worker count or scheduling, and chunks are disjoint — so a
+ * kernel whose chunks don't overlap produces bit-identical results
+ * for any pool size, including zero workers (inline execution).
+ */
+
+#ifndef REUSE_DNN_KERNELS_THREAD_POOL_H
+#define REUSE_DNN_KERNELS_THREAD_POOL_H
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace reuse {
+namespace kernels {
+
+/**
+ * Persistent worker pool executing chunked parallel-for jobs.
+ */
+class KernelThreadPool
+{
+  public:
+    /** Function applied to one chunk [begin, end) of the range. */
+    using ChunkFn = std::function<void(int64_t begin, int64_t end)>;
+
+    /**
+     * @param workers Number of persistent worker threads.  The
+     *   calling thread always participates in a job, so effective
+     *   parallelism is workers + 1; zero workers means parallelFor()
+     *   runs inline.
+     */
+    explicit KernelThreadPool(size_t workers);
+
+    /** Stops and joins the workers. */
+    ~KernelThreadPool();
+
+    KernelThreadPool(const KernelThreadPool &) = delete;
+    KernelThreadPool &operator=(const KernelThreadPool &) = delete;
+
+    /**
+     * Process-wide pool used by the kernel dispatchers.  Sized from
+     * REUSE_KERNEL_THREADS when set; otherwise uses a small default
+     * derived from the hardware concurrency (0 workers on
+     * single-core machines).  Created on first use.
+     */
+    static KernelThreadPool &global();
+
+    /**
+     * Splits [0, total) into ceil(total/grain) chunks of `grain`
+     * elements and runs `fn` on every chunk, distributing chunks
+     * over the workers and the calling thread.  Blocks until all
+     * chunks completed.  Safe to call from multiple threads
+     * (concurrent jobs serialize).
+     */
+    void parallelFor(int64_t total, int64_t grain, const ChunkFn &fn);
+
+    /** Number of persistent worker threads. */
+    size_t workerCount() const { return workers_.size(); }
+
+  private:
+    struct Job {
+        const ChunkFn *fn = nullptr;
+        int64_t total = 0;
+        int64_t grain = 0;
+        int64_t chunks = 0;
+        std::atomic<int64_t> next{0};
+        std::atomic<int64_t> done{0};
+    };
+
+    void workerLoop();
+    void runChunks(Job &job);
+
+    std::vector<std::thread> workers_;
+
+    /** Serializes whole jobs from concurrent callers. */
+    std::mutex job_mutex_;
+
+    /** Guards the signalling state below. */
+    std::mutex mutex_;
+    std::condition_variable work_cv_;
+    std::condition_variable done_cv_;
+    Job *current_ = nullptr;
+    uint64_t generation_ = 0;
+    int workers_in_job_ = 0;
+    bool stop_ = false;
+};
+
+} // namespace kernels
+} // namespace reuse
+
+#endif // REUSE_DNN_KERNELS_THREAD_POOL_H

@@ -3,6 +3,7 @@
 #include <sstream>
 
 #include "common/logging.h"
+#include "kernels/delta_kernels.h"
 
 namespace reuse {
 
@@ -38,18 +39,10 @@ FullyConnectedLayer::forward(const Tensor &input) const
                  name() << ": input has " << input.numel()
                         << " elements, expected " << inputs_);
     Tensor out(Shape({outputs_}));
-    for (int64_t o = 0; o < outputs_; ++o)
-        out[o] = biases_[static_cast<size_t>(o)];
-    // Input-major traversal matches the weight layout, so the inner
-    // loop walks contiguous memory.
-    for (int64_t i = 0; i < inputs_; ++i) {
-        const float in_v = input[i];
-        if (in_v == 0.0f)
-            continue;
-        const float *w_row = &weights_[static_cast<size_t>(i * outputs_)];
-        for (int64_t o = 0; o < outputs_; ++o)
-            out[o] += in_v * w_row[o];
-    }
+    // Blocked GEMV over the input-major weights; zero (quantized)
+    // inputs are skipped inside the kernel.
+    kernels::gemv(input.data().data(), inputs_, weights_.data(),
+                  biases_.data(), outputs_, out.data().data());
     return out;
 }
 

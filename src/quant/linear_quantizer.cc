@@ -4,7 +4,6 @@
 #include <sstream>
 
 #include "common/logging.h"
-#include "common/math_utils.h"
 
 namespace reuse {
 
@@ -23,19 +22,15 @@ LinearQuantizer::LinearQuantizer(int clusters, float range_min,
         static_cast<int32_t>(std::lround(range_max_ / step_));
 }
 
-int32_t
-LinearQuantizer::index(float v) const
-{
-    const int32_t idx = static_cast<int32_t>(std::lround(v / step_));
-    return clamp(idx, min_index_, max_index_);
-}
-
 Tensor
 LinearQuantizer::quantize(const Tensor &t) const
 {
     Tensor out(t.shape());
+    const kernels::QuantScanParams q = scanParams();
+    const float *in = t.data().data();
+    float *dst = out.data().data();
     for (int64_t i = 0; i < t.numel(); ++i)
-        out[i] = quantize(t[i]);
+        dst[i] = kernels::quantCentroid(q, kernels::quantIndex(q, in[i]));
     return out;
 }
 
@@ -43,8 +38,10 @@ std::vector<int32_t>
 LinearQuantizer::indices(const Tensor &t) const
 {
     std::vector<int32_t> out(static_cast<size_t>(t.numel()));
+    const kernels::QuantScanParams q = scanParams();
+    const float *in = t.data().data();
     for (int64_t i = 0; i < t.numel(); ++i)
-        out[static_cast<size_t>(i)] = index(t[i]);
+        out[static_cast<size_t>(i)] = kernels::quantIndex(q, in[i]);
     return out;
 }
 

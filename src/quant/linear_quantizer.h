@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "kernels/quant_scan.h"
 #include "tensor/tensor.h"
 
 namespace reuse {
@@ -56,8 +57,22 @@ class LinearQuantizer
     /** Number of distinct indices (centroid-table entries). */
     int32_t indexCount() const { return max_index_ - min_index_ + 1; }
 
+    /**
+     * Hot-loop parameter pack: copy once before a per-element loop
+     * (kernels::quantIndex) instead of re-deriving the members per
+     * call.  index() delegates to the same function, so the two
+     * paths agree bit-exactly.
+     */
+    kernels::QuantScanParams scanParams() const
+    {
+        return {step_, min_index_, max_index_};
+    }
+
     /** Quantization index of `v`, clamped to the profiled range. */
-    int32_t index(float v) const;
+    int32_t index(float v) const
+    {
+        return kernels::quantIndex(scanParams(), v);
+    }
 
     /** Centroid value of an index: idx * step. */
     float centroid(int32_t idx) const

@@ -1,0 +1,390 @@
+/**
+ * @file
+ * Bit-exactness tests for the blocked/vectorized delta kernels
+ * against their scalar references, across odd sizes (outputs not a
+ * multiple of the block or vector width), empty and full change
+ * lists, and explicit thread-pool dispatch.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.h"
+#include "kernels/change_list.h"
+#include "kernels/delta_kernels.h"
+#include "kernels/thread_pool.h"
+#include "quant/linear_quantizer.h"
+
+namespace reuse {
+namespace {
+
+using kernels::ChangeList;
+using kernels::Conv2dGeometry;
+using kernels::Conv3dGeometry;
+using kernels::DeltaDispatch;
+using kernels::KernelThreadPool;
+
+/** Builds a change list over [0, n) with roughly `fraction` changed. */
+ChangeList
+makeChanges(int64_t n, double fraction, Rng &rng)
+{
+    ChangeList changes;
+    for (int64_t i = 0; i < n; ++i) {
+        if (rng.bernoulli(fraction))
+            changes.push(static_cast<int32_t>(i),
+                         rng.gaussian(0.0f, 0.5f));
+    }
+    return changes;
+}
+
+std::vector<float>
+randomVector(size_t n, Rng &rng)
+{
+    std::vector<float> v(n);
+    rng.fillGaussian(v, 0.0f, 1.0f);
+    return v;
+}
+
+// The output sizes deliberately include 1 (single-output layer),
+// non-multiples of the SIMD width (3, 17, 33, 1023, 1025, 4099), an
+// exact block (1024) and multiple blocks (2048).
+const int64_t kOutputSizes[] = {1, 3, 17, 33, 1000, 1023, 1024, 1025,
+                                2048, 4099};
+
+TEST(ApplyDeltas, BlockedMatchesScalarBitExact)
+{
+    Rng rng(101);
+    const int64_t n = 57;
+    for (const int64_t m : kOutputSizes) {
+        const std::vector<float> weights =
+            randomVector(static_cast<size_t>(n * m), rng);
+        const std::vector<float> base =
+            randomVector(static_cast<size_t>(m), rng);
+        for (const double fraction : {0.0, 0.1, 0.5, 1.0}) {
+            const ChangeList changes = makeChanges(n, fraction, rng);
+            std::vector<float> scalar = base;
+            std::vector<float> blocked = base;
+            kernels::applyDeltasScalar(changes, weights.data(), m,
+                                       scalar.data());
+            kernels::applyDeltasBlocked(changes, weights.data(), m,
+                                        blocked.data());
+            for (int64_t o = 0; o < m; ++o) {
+                ASSERT_EQ(scalar[static_cast<size_t>(o)],
+                          blocked[static_cast<size_t>(o)])
+                    << "m=" << m << " fraction=" << fraction
+                    << " o=" << o;
+            }
+        }
+    }
+}
+
+TEST(ApplyDeltas, ThreadedMatchesScalarBitExact)
+{
+    Rng rng(102);
+    KernelThreadPool pool(3);
+    DeltaDispatch dispatch;
+    dispatch.parallel_mac_threshold = 0;  // always thread
+    dispatch.pool = &pool;
+    const int64_t n = 73;
+    for (const int64_t m : {1, 33, 1024, 4099, 9000}) {
+        const std::vector<float> weights = randomVector(
+            static_cast<size_t>(n) * static_cast<size_t>(m), rng);
+        const std::vector<float> base =
+            randomVector(static_cast<size_t>(m), rng);
+        const ChangeList changes = makeChanges(n, 0.3, rng);
+        std::vector<float> scalar = base;
+        std::vector<float> threaded = base;
+        kernels::applyDeltasScalar(changes, weights.data(), m,
+                                   scalar.data());
+        kernels::applyDeltas(changes, weights.data(), m,
+                             threaded.data(), dispatch);
+        for (int64_t o = 0; o < m; ++o) {
+            ASSERT_EQ(scalar[static_cast<size_t>(o)],
+                      threaded[static_cast<size_t>(o)])
+                << "m=" << m << " o=" << o;
+        }
+    }
+}
+
+TEST(ApplyDeltas, ScalarDispatchMatchesBlocked)
+{
+    Rng rng(103);
+    const int64_t n = 19;
+    const int64_t m = 257;
+    const std::vector<float> weights =
+        randomVector(static_cast<size_t>(n * m), rng);
+    const std::vector<float> base =
+        randomVector(static_cast<size_t>(m), rng);
+    const ChangeList changes = makeChanges(n, 0.4, rng);
+
+    DeltaDispatch scalar_dispatch;
+    scalar_dispatch.blocked = false;
+    std::vector<float> a = base;
+    std::vector<float> b = base;
+    kernels::applyDeltas(changes, weights.data(), m, a.data(),
+                         scalar_dispatch);
+    kernels::applyDeltasBlocked(changes, weights.data(), m, b.data());
+    for (int64_t o = 0; o < m; ++o)
+        ASSERT_EQ(a[static_cast<size_t>(o)], b[static_cast<size_t>(o)]);
+}
+
+TEST(ApplyDeltas, EmptyChangeListIsANoOp)
+{
+    Rng rng(104);
+    const int64_t m = 1025;
+    const std::vector<float> weights =
+        randomVector(static_cast<size_t>(4 * m), rng);
+    const std::vector<float> base =
+        randomVector(static_cast<size_t>(m), rng);
+    ChangeList changes;
+    std::vector<float> out = base;
+    kernels::applyDeltasBlocked(changes, weights.data(), m, out.data());
+    EXPECT_EQ(out, base);
+}
+
+TEST(Gemv, BlockedMatchesScalarBitExact)
+{
+    Rng rng(105);
+    const int64_t n = 41;
+    for (const int64_t m : kOutputSizes) {
+        const std::vector<float> weights =
+            randomVector(static_cast<size_t>(n * m), rng);
+        const std::vector<float> biases =
+            randomVector(static_cast<size_t>(m), rng);
+        std::vector<float> input =
+            randomVector(static_cast<size_t>(n), rng);
+        // Sprinkle zeros: both forms must take the skip-zero path at
+        // the same elements.
+        for (size_t i = 0; i < input.size(); i += 3)
+            input[i] = 0.0f;
+        std::vector<float> scalar(static_cast<size_t>(m));
+        std::vector<float> blocked(static_cast<size_t>(m));
+        kernels::gemvScalar(input.data(), n, weights.data(),
+                            biases.data(), m, scalar.data());
+        kernels::gemvBlockedRange(input.data(), n, weights.data(),
+                                  biases.data(), m, 0, m,
+                                  blocked.data());
+        for (int64_t o = 0; o < m; ++o) {
+            ASSERT_EQ(scalar[static_cast<size_t>(o)],
+                      blocked[static_cast<size_t>(o)])
+                << "m=" << m << " o=" << o;
+        }
+    }
+}
+
+TEST(Gemv, ThreadedMatchesScalarBitExact)
+{
+    Rng rng(106);
+    KernelThreadPool pool(2);
+    DeltaDispatch dispatch;
+    dispatch.parallel_mac_threshold = 0;
+    dispatch.pool = &pool;
+    const int64_t n = 64;
+    const int64_t m = 4099;
+    const std::vector<float> weights =
+        randomVector(static_cast<size_t>(n * m), rng);
+    const std::vector<float> biases =
+        randomVector(static_cast<size_t>(m), rng);
+    const std::vector<float> input =
+        randomVector(static_cast<size_t>(n), rng);
+    std::vector<float> scalar(static_cast<size_t>(m));
+    std::vector<float> threaded(static_cast<size_t>(m));
+    kernels::gemvScalar(input.data(), n, weights.data(), biases.data(),
+                        m, scalar.data());
+    kernels::gemv(input.data(), n, weights.data(), biases.data(), m,
+                  threaded.data(), dispatch);
+    for (int64_t o = 0; o < m; ++o)
+        ASSERT_EQ(scalar[static_cast<size_t>(o)],
+                  threaded[static_cast<size_t>(o)]);
+}
+
+TEST(ScanChanges, MatchesNaiveQuantizerLoop)
+{
+    Rng rng(107);
+    const int64_t n = 513;
+    LinearQuantizer quant(64, -2.0f, 2.0f);
+    const kernels::QuantScanParams q = quant.scanParams();
+
+    std::vector<float> prev = randomVector(static_cast<size_t>(n), rng);
+    std::vector<int32_t> prev_indices(static_cast<size_t>(n));
+    std::vector<int32_t> naive_indices(static_cast<size_t>(n));
+    for (int64_t i = 0; i < n; ++i) {
+        prev_indices[static_cast<size_t>(i)] =
+            quant.index(prev[static_cast<size_t>(i)]);
+        naive_indices[static_cast<size_t>(i)] =
+            prev_indices[static_cast<size_t>(i)];
+    }
+
+    std::vector<float> next = prev;
+    for (size_t i = 0; i < next.size(); i += 4)
+        next[i] += rng.gaussian(0.0f, 0.5f);
+
+    // Naive reference: the original interleaved comparison.
+    std::vector<int32_t> want_positions;
+    std::vector<float> want_deltas;
+    for (int64_t i = 0; i < n; ++i) {
+        const int32_t idx = quant.index(next[static_cast<size_t>(i)]);
+        if (idx != naive_indices[static_cast<size_t>(i)]) {
+            want_positions.push_back(static_cast<int32_t>(i));
+            want_deltas.push_back(
+                quant.centroid(idx) -
+                quant.centroid(naive_indices[static_cast<size_t>(i)]));
+            naive_indices[static_cast<size_t>(i)] = idx;
+        }
+    }
+
+    ChangeList changes;
+    const int64_t changed = kernels::scanChanges(
+        next.data(), n, q, prev_indices.data(), changes);
+    EXPECT_EQ(changed, static_cast<int64_t>(want_positions.size()));
+    ASSERT_EQ(changes.positions, want_positions);
+    ASSERT_EQ(changes.deltas.size(), want_deltas.size());
+    for (size_t c = 0; c < want_deltas.size(); ++c)
+        EXPECT_EQ(changes.deltas[c], want_deltas[c]) << "change " << c;
+    EXPECT_EQ(prev_indices, naive_indices);
+}
+
+TEST(ScanChanges, AllAndNoneChanged)
+{
+    Rng rng(108);
+    const int64_t n = 100;
+    LinearQuantizer quant(32, -1.0f, 1.0f);
+    const kernels::QuantScanParams q = quant.scanParams();
+    std::vector<float> input = randomVector(static_cast<size_t>(n), rng);
+    std::vector<int32_t> prev_indices(static_cast<size_t>(n), 9999);
+
+    ChangeList changes;
+    EXPECT_EQ(kernels::scanChanges(input.data(), n, q,
+                                   prev_indices.data(), changes),
+              n);
+    // Second scan of the identical input: nothing changed.
+    EXPECT_EQ(kernels::scanChanges(input.data(), n, q,
+                                   prev_indices.data(), changes),
+              0);
+    EXPECT_TRUE(changes.empty());
+}
+
+TEST(QuantizeWithIndices, MatchesQuantizer)
+{
+    Rng rng(109);
+    const int64_t n = 321;
+    LinearQuantizer quant(128, -3.0f, 3.0f);
+    const std::vector<float> input =
+        randomVector(static_cast<size_t>(n), rng);
+    std::vector<int32_t> indices(static_cast<size_t>(n));
+    std::vector<float> centroids(static_cast<size_t>(n));
+    kernels::quantizeWithIndices(input.data(), n, quant.scanParams(),
+                                 indices.data(), centroids.data());
+    for (int64_t i = 0; i < n; ++i) {
+        const size_t s = static_cast<size_t>(i);
+        EXPECT_EQ(indices[s], quant.index(input[s])) << "i=" << i;
+        EXPECT_EQ(centroids[s], quant.centroid(indices[s]))
+            << "i=" << i;
+    }
+}
+
+TEST(ConvDeltas2d, BlockedMatchesScalarBitExact)
+{
+    Rng rng(110);
+    // Geometries chosen so out_channels is not a multiple of the
+    // channel block (16): 1, 3, 17, 33.
+    struct Case {
+        int64_t c_in, h, w, c_out, kernel, stride;
+    };
+    const Case cases[] = {
+        {1, 7, 7, 1, 3, 1},   {2, 9, 11, 3, 3, 2},
+        {3, 12, 12, 17, 5, 1}, {2, 16, 16, 33, 3, 2},
+    };
+    for (const Case &c : cases) {
+        Conv2dGeometry g;
+        g.in_h = c.h;
+        g.in_w = c.w;
+        g.out_channels = c.c_out;
+        g.out_h = (c.h - c.kernel) / c.stride + 1;
+        g.out_w = (c.w - c.kernel) / c.stride + 1;
+        g.kernel = c.kernel;
+        g.stride = c.stride;
+        const int64_t n = c.c_in * c.h * c.w;
+        const std::vector<float> weights = randomVector(
+            static_cast<size_t>(c.c_in * c.kernel * c.kernel * c.c_out),
+            rng);
+        const std::vector<float> base = randomVector(
+            static_cast<size_t>(c.c_out * g.out_h * g.out_w), rng);
+        for (const double fraction : {0.0, 0.2, 1.0}) {
+            const ChangeList changes = makeChanges(n, fraction, rng);
+            std::vector<float> scalar = base;
+            std::vector<float> blocked = base;
+            kernels::applyConvDeltas2dScalar(changes, g, weights.data(),
+                                             scalar.data());
+            kernels::applyConvDeltas2dBlocked(changes, g,
+                                              weights.data(),
+                                              blocked.data());
+            ASSERT_EQ(scalar, blocked)
+                << "c_out=" << c.c_out << " fraction=" << fraction;
+        }
+    }
+}
+
+TEST(ConvDeltas3d, BlockedMatchesScalarBitExact)
+{
+    Rng rng(111);
+    struct Case {
+        int64_t c_in, d, h, w, c_out, kernel, pad;
+    };
+    const Case cases[] = {
+        {1, 4, 6, 6, 1, 3, 1},
+        {2, 5, 7, 7, 3, 3, 0},
+        {2, 6, 8, 8, 17, 3, 1},
+    };
+    for (const Case &c : cases) {
+        Conv3dGeometry g;
+        g.in_d = c.d;
+        g.in_h = c.h;
+        g.in_w = c.w;
+        g.out_channels = c.c_out;
+        g.out_d = c.d + 2 * c.pad - c.kernel + 1;
+        g.out_h = c.h + 2 * c.pad - c.kernel + 1;
+        g.out_w = c.w + 2 * c.pad - c.kernel + 1;
+        g.kernel = c.kernel;
+        g.pad = c.pad;
+        const int64_t n = c.c_in * c.d * c.h * c.w;
+        const std::vector<float> weights = randomVector(
+            static_cast<size_t>(c.c_in * c.kernel * c.kernel *
+                                c.kernel * c.c_out),
+            rng);
+        const std::vector<float> base = randomVector(
+            static_cast<size_t>(c.c_out * g.out_d * g.out_h * g.out_w),
+            rng);
+        for (const double fraction : {0.0, 0.3, 1.0}) {
+            const ChangeList changes = makeChanges(n, fraction, rng);
+            std::vector<float> scalar = base;
+            std::vector<float> blocked = base;
+            kernels::applyConvDeltas3dScalar(changes, g, weights.data(),
+                                             scalar.data());
+            kernels::applyConvDeltas3dBlocked(changes, g,
+                                              weights.data(),
+                                              blocked.data());
+            ASSERT_EQ(scalar, blocked)
+                << "c_out=" << c.c_out << " fraction=" << fraction;
+        }
+    }
+}
+
+TEST(ChangeListStorage, ReleaseStorageFreesEverything)
+{
+    Rng rng(112);
+    ChangeList changes;
+    std::vector<float> input = randomVector(256, rng);
+    std::vector<int32_t> prev(256, -777);
+    kernels::scanChanges(input.data(), 256, {0.1f, -100, 100},
+                         prev.data(), changes);
+    EXPECT_GT(changes.memoryBytes(), 0);
+    changes.releaseStorage();
+    EXPECT_EQ(changes.memoryBytes(), 0);
+    EXPECT_TRUE(changes.empty());
+}
+
+} // namespace
+} // namespace reuse
