@@ -1,0 +1,59 @@
+/**
+ * @file
+ * FNV-1a checksumming of raw buffers.
+ *
+ * The serving runtime checksums each session's ReuseState between
+ * frames so silently corrupted reuse buffers (the failure mode Eq. 10
+ * state is exposed to) are detected on dequeue and recovered by a
+ * reset instead of poisoning every subsequent frame.  FNV-1a is not
+ * cryptographic — it is a cheap integrity check against random
+ * corruption, chosen for its trivial, dependency-free inner loop.
+ */
+
+#ifndef REUSE_DNN_COMMON_CHECKSUM_H
+#define REUSE_DNN_COMMON_CHECKSUM_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace reuse {
+
+/** Initial FNV-1a state (offset basis). */
+inline uint64_t
+checksumInit()
+{
+    return 1469598103934665603ull;
+}
+
+/** Folds `n` raw bytes into checksum state `h`. */
+inline void
+checksumBytes(uint64_t &h, const void *data, size_t n)
+{
+    const unsigned char *p = static_cast<const unsigned char *>(data);
+    for (size_t i = 0; i < n; ++i) {
+        h ^= p[i];
+        h *= 1099511628211ull;
+    }
+}
+
+/** Folds one trivially-copyable value into `h`. */
+template <typename T>
+inline void
+checksumValue(uint64_t &h, const T &value)
+{
+    checksumBytes(h, &value, sizeof(T));
+}
+
+/** Folds a whole vector's elements into `h` (size included). */
+template <typename T>
+inline void
+checksumVector(uint64_t &h, const std::vector<T> &values)
+{
+    checksumValue(h, values.size());
+    checksumBytes(h, values.data(), values.size() * sizeof(T));
+}
+
+} // namespace reuse
+
+#endif // REUSE_DNN_COMMON_CHECKSUM_H

@@ -68,6 +68,18 @@ class Counter
     /** Increments the counter by one. */
     void inc() { add(1.0); }
 
+    /**
+     * Replaces the value (gauge semantics, one sample).  Unlike a
+     * reset()+add() pair this cannot interleave with a concurrent
+     * set() into a doubled value: each store is a plain overwrite,
+     * so concurrent setters leave one writer's value, never a sum.
+     */
+    void set(double v)
+    {
+        value_.store(v, std::memory_order_relaxed);
+        samples_.store(1, std::memory_order_relaxed);
+    }
+
     /** Resets the counter to zero. */
     void reset()
     {

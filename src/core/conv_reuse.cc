@@ -1,6 +1,10 @@
 #include "conv_reuse.h"
 
+#include <cstring>
+
+#include "common/checksum.h"
 #include "common/logging.h"
+#include "fault/fault_injector.h"
 #include "kernels/delta_kernels.h"
 
 namespace reuse {
@@ -32,6 +36,35 @@ ConvReuseState::releaseBuffers()
     std::vector<int32_t>().swap(prev_indices_);
     prev_output_ = Tensor();
     changes_.releaseStorage();
+}
+
+void
+ConvReuseState::hashInto(uint64_t &h) const
+{
+    checksumValue(h, has_prev_);
+    if (!has_prev_)
+        return;
+    checksumVector(h, prev_indices_);
+    checksumValue(h, prev_output_.numel());
+    checksumBytes(h, prev_output_.data().data(),
+                  static_cast<size_t>(prev_output_.numel()) *
+                      sizeof(float));
+}
+
+bool
+ConvReuseState::debugCorruptBuffer(uint64_t seed)
+{
+    if (!has_prev_ || prev_output_.numel() <= 0)
+        return false;
+    float *data = prev_output_.data().data();
+    const size_t victim =
+        seed % static_cast<size_t>(prev_output_.numel());
+    const uint32_t bit = static_cast<uint32_t>((seed >> 16) % 23);
+    uint32_t raw = 0;
+    std::memcpy(&raw, &data[victim], sizeof(raw));
+    raw ^= (1u << bit);
+    std::memcpy(&data[victim], &raw, sizeof(raw));
+    return true;
 }
 
 int64_t
@@ -100,11 +133,17 @@ ConvReuseState::executeConv2d(const Tensor &input, LayerExecRecord &rec)
 
     rec.firstExecution = false;
     rec.inputsChecked = n;
+    kernels::QuantScanParams scan = quantizer_.scanParams();
+    fault::perturbScanParams(LayerKind::Conv2D, scan);
+    fault::corruptIndices(LayerKind::Conv2D, prev_indices_.data(), n);
+    fault::corruptFloats(LayerKind::Conv2D,
+                         prev_output_.data().data(),
+                         prev_output_.numel());
     const int64_t changed = kernels::scanChanges(
-        input.data().data(), n, quantizer_.scanParams(),
-        prev_indices_.data(), changes_);
+        input.data().data(), n, scan, prev_indices_.data(), changes_);
+    fault::truncateChanges(LayerKind::Conv2D, changes_);
     int64_t macs = 0;
-    if (changed > 0) {
+    if (!changes_.empty()) {
         kernels::Conv2dGeometry geom;
         geom.in_h = h;
         geom.in_w = w;
@@ -149,11 +188,17 @@ ConvReuseState::executeConv3d(const Tensor &input, LayerExecRecord &rec)
 
     rec.firstExecution = false;
     rec.inputsChecked = n;
+    kernels::QuantScanParams scan = quantizer_.scanParams();
+    fault::perturbScanParams(LayerKind::Conv3D, scan);
+    fault::corruptIndices(LayerKind::Conv3D, prev_indices_.data(), n);
+    fault::corruptFloats(LayerKind::Conv3D,
+                         prev_output_.data().data(),
+                         prev_output_.numel());
     const int64_t changed = kernels::scanChanges(
-        input.data().data(), n, quantizer_.scanParams(),
-        prev_indices_.data(), changes_);
+        input.data().data(), n, scan, prev_indices_.data(), changes_);
+    fault::truncateChanges(LayerKind::Conv3D, changes_);
     int64_t macs = 0;
-    if (changed > 0) {
+    if (!changes_.empty()) {
         kernels::Conv3dGeometry geom;
         geom.in_d = d;
         geom.in_h = h;

@@ -61,6 +61,16 @@ class ConvReuseState
     /** The input quantizer in use. */
     const LinearQuantizer &quantizer() const { return quantizer_; }
 
+    /** Folds the buffered state into checksum state `h`. */
+    void hashInto(uint64_t &h) const;
+
+    /**
+     * Testing hook: flips one seed-selected mantissa bit in the
+     * buffered output volume (between-frame corruption).  Returns
+     * false when nothing is buffered.
+     */
+    bool debugCorruptBuffer(uint64_t seed);
+
   private:
     Tensor executeConv2d(const Tensor &input, LayerExecRecord &rec);
     Tensor executeConv3d(const Tensor &input, LayerExecRecord &rec);

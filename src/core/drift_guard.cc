@@ -1,0 +1,49 @@
+#include "drift_guard.h"
+
+#include <cfloat>
+
+namespace reuse {
+
+double
+DriftGuard::driftIncrement(const LayerExecRecord &rec)
+{
+    if (!rec.reuseEnabled || rec.firstExecution)
+        return 0.0;
+    return static_cast<double>(rec.macsPerformed) *
+           static_cast<double>(FLT_EPSILON);
+}
+
+bool
+DriftGuard::shouldRefresh(const ReuseState &state) const
+{
+    if (refresh_period_ > 0 &&
+        state.executions_since_refresh_ >= refresh_period_)
+        return true;
+    if (drift_bound_ > 0.0) {
+        for (const double d : state.accumulated_drift_) {
+            if (d >= drift_bound_)
+                return true;
+        }
+    }
+    return false;
+}
+
+void
+DriftGuard::accumulate(ReuseState &state,
+                       const ExecutionTrace &trace) const
+{
+    if (drift_bound_ <= 0.0)
+        return;
+    for (const LayerExecRecord &rec : trace) {
+        if (!rec.reuseEnabled ||
+            rec.layerIndex >= state.accumulated_drift_.size())
+            continue;
+        double &drift = state.accumulated_drift_[rec.layerIndex];
+        if (rec.firstExecution)
+            drift = 0.0;
+        else
+            drift += driftIncrement(rec);
+    }
+}
+
+} // namespace reuse

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Accumulated-delta drift guard for incremental (Eq. 10) execution.
+ *
+ * Every incremental correction z' = z + (c' - c) * W rounds once in
+ * fp32, and the buffered output carries the rounded value into the
+ * next frame — so the deviation from a from-scratch execution on the
+ * same quantized inputs grows with the number of incremental MACs
+ * applied since the last full recompute.  Per correction MAC the
+ * rounding error is bounded by eps * |z| (eps = FLT_EPSILON), giving
+ * the accumulated relative bound
+ *
+ *     |z_reuse - z_scratch| / |z| <= N_inc * eps
+ *
+ * where N_inc is the incremental MACs applied to the layer since its
+ * last from-scratch execution (DESIGN.md section 10 derives this from
+ * Eq. 10).  The guard tracks N_inc * eps per layer and triggers a
+ * bounded full refresh — graceful degradation to the existing
+ * from-scratch path — when either the bound or a frame-count budget
+ * is exceeded.  Refreshes it forces are marked driftRefresh on the
+ * execution records and surface through ReuseStats.
+ */
+
+#ifndef REUSE_DNN_CORE_DRIFT_GUARD_H
+#define REUSE_DNN_CORE_DRIFT_GUARD_H
+
+#include "core/exec_record.h"
+#include "core/reuse_state.h"
+
+namespace reuse {
+
+/**
+ * Stateless refresh policy; per-stream accumulators live in the
+ * ReuseState so one guard serves all concurrent streams.
+ */
+class DriftGuard
+{
+  public:
+    /**
+     * @param refresh_period Frame-count budget: refresh after this
+     *   many executions since the last reset (0 disables).
+     * @param drift_bound Accumulated relative drift estimate at which
+     *   a layer forces a refresh (0 disables).
+     */
+    DriftGuard(int refresh_period, double drift_bound)
+        : refresh_period_(refresh_period), drift_bound_(drift_bound)
+    {
+    }
+
+    /** True when either trigger is configured. */
+    bool enabled() const
+    {
+        return refresh_period_ > 0 || drift_bound_ > 0.0;
+    }
+
+    /** True when `state` must be refreshed before its next frame. */
+    bool shouldRefresh(const ReuseState &state) const;
+
+    /** Folds one executed frame's records into `state`'s drift. */
+    void accumulate(ReuseState &state, const ExecutionTrace &trace) const;
+
+    /**
+     * Drift-estimate increment of one steady-state layer execution:
+     * incremental MACs times the fp32 rounding unit.
+     */
+    static double driftIncrement(const LayerExecRecord &rec);
+
+    /** The configured frame-count budget (0 = disabled). */
+    int refreshPeriod() const { return refresh_period_; }
+
+    /** The configured accumulated-drift bound (0 = disabled). */
+    double driftBound() const { return drift_bound_; }
+
+  private:
+    int refresh_period_;
+    double drift_bound_;
+};
+
+} // namespace reuse
+
+#endif // REUSE_DNN_CORE_DRIFT_GUARD_H

@@ -34,6 +34,12 @@ struct LayerExecRecord {
      * start, or a periodic refresh).
      */
     bool firstExecution = false;
+    /**
+     * True when this from-scratch execution was forced by the drift
+     * guard (accumulated-delta bound or frame-count budget exceeded),
+     * as opposed to a stream's natural first frame.
+     */
+    bool driftRefresh = false;
     /** Inputs quantized and compared against the previous indices. */
     int64_t inputsChecked = 0;
     /** Inputs whose quantized index differed (corrections needed). */

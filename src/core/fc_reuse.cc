@@ -1,6 +1,10 @@
 #include "fc_reuse.h"
 
+#include <cstring>
+
+#include "common/checksum.h"
 #include "common/logging.h"
+#include "fault/fault_injector.h"
 #include "kernels/delta_kernels.h"
 
 namespace reuse {
@@ -20,6 +24,30 @@ FcReuseState::releaseBuffers()
     std::vector<int32_t>().swap(prev_indices_);
     std::vector<float>().swap(prev_outputs_);
     changes_.releaseStorage();
+}
+
+void
+FcReuseState::hashInto(uint64_t &h) const
+{
+    checksumValue(h, has_prev_);
+    if (!has_prev_)
+        return;
+    checksumVector(h, prev_indices_);
+    checksumVector(h, prev_outputs_);
+}
+
+bool
+FcReuseState::debugCorruptBuffer(uint64_t seed)
+{
+    if (!has_prev_ || prev_outputs_.empty())
+        return false;
+    const size_t victim = seed % prev_outputs_.size();
+    const uint32_t bit = static_cast<uint32_t>((seed >> 16) % 23);
+    uint32_t raw = 0;
+    std::memcpy(&raw, &prev_outputs_[victim], sizeof(raw));
+    raw ^= (1u << bit);
+    std::memcpy(&prev_outputs_[victim], &raw, sizeof(raw));
+    return true;
 }
 
 int64_t
@@ -77,9 +105,16 @@ FcReuseState::execute(const Tensor &input, LayerExecRecord &rec)
     // time (blocked Eq. 10).
     rec.firstExecution = false;
     rec.inputsChecked = n;
+    kernels::QuantScanParams scan = q;
+    fault::perturbScanParams(LayerKind::FullyConnected, scan);
+    fault::corruptIndices(LayerKind::FullyConnected,
+                          prev_indices_.data(), n);
+    fault::corruptFloats(LayerKind::FullyConnected,
+                         prev_outputs_.data(), m);
     const int64_t changed = kernels::scanChanges(
-        input.data().data(), n, q, prev_indices_.data(), changes_);
-    if (changed > 0) {
+        input.data().data(), n, scan, prev_indices_.data(), changes_);
+    fault::truncateChanges(LayerKind::FullyConnected, changes_);
+    if (!changes_.empty()) {
         kernels::applyDeltas(changes_, layer_.weights().data(), m,
                              prev_outputs_.data());
     }

@@ -69,6 +69,16 @@ class FcReuseState
     /** The input quantizer in use. */
     const LinearQuantizer &quantizer() const { return quantizer_; }
 
+    /** Folds the buffered state into checksum state `h`. */
+    void hashInto(uint64_t &h) const;
+
+    /**
+     * Testing hook: flips one seed-selected mantissa bit in the
+     * buffered outputs (between-frame corruption).  Returns false
+     * when nothing is buffered.
+     */
+    bool debugCorruptBuffer(uint64_t seed);
+
   private:
     const FullyConnectedLayer &layer_;
     LinearQuantizer quantizer_;

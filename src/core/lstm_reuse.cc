@@ -1,16 +1,20 @@
 #include "lstm_reuse.h"
 
+#include "common/checksum.h"
 #include "common/logging.h"
+#include "fault/fault_injector.h"
 #include "kernels/delta_kernels.h"
 
 namespace reuse {
 
 LstmCellReuseState::LstmCellReuseState(const LstmCell &cell,
                                        LinearQuantizer x_quantizer,
-                                       LinearQuantizer h_quantizer)
+                                       LinearQuantizer h_quantizer,
+                                       LayerKind owner_kind)
     : cell_(cell),
       x_quant_(std::move(x_quantizer)),
-      h_quant_(std::move(h_quantizer))
+      h_quant_(std::move(h_quantizer)),
+      owner_kind_(owner_kind)
 {
     // Index buffers are allocated lazily by the first step().
     reset();
@@ -34,6 +38,20 @@ LstmCellReuseState::releaseBuffers()
     x_changes_.releaseStorage();
     h_changes_.releaseStorage();
     reset();
+}
+
+void
+LstmCellReuseState::hashInto(uint64_t &h) const
+{
+    checksumValue(h, has_prev_);
+    if (!has_prev_)
+        return;
+    checksumVector(h, prev_x_indices_);
+    checksumVector(h, prev_h_indices_);
+    for (const auto &gate : preacts_)
+        checksumVector(h, gate);
+    checksumVector(h, h_);
+    checksumVector(h, c_);
 }
 
 int64_t
@@ -84,11 +102,20 @@ LstmCellReuseState::step(const std::vector<float> &x, LayerExecRecord &rec)
         // gates share their inputs; Sec. IV-D), one gate matrix at a
         // time so each blocked sweep streams a single weight matrix.
         rec.inputsChecked += in_dim + cell_dim;
+        kernels::QuantScanParams x_scan = x_quant_.scanParams();
+        fault::perturbScanParams(owner_kind_, x_scan);
+        fault::corruptIndices(owner_kind_, prev_x_indices_.data(),
+                              in_dim);
+        if (!preacts_[0].empty()) {
+            fault::corruptFloats(
+                owner_kind_, preacts_[0].data(),
+                static_cast<int64_t>(preacts_[0].size()));
+        }
         const int64_t changed_x =
-            kernels::scanChanges(x.data(), in_dim,
-                                 x_quant_.scanParams(),
+            kernels::scanChanges(x.data(), in_dim, x_scan,
                                  prev_x_indices_.data(), x_changes_);
-        if (changed_x > 0) {
+        fault::truncateChanges(owner_kind_, x_changes_);
+        if (!x_changes_.empty()) {
             for (int g = 0; g < NumLstmGates; ++g) {
                 kernels::applyDeltas(
                     x_changes_,
@@ -125,7 +152,7 @@ LstmLayerReuseState::LstmLayerReuseState(const LstmLayer &layer,
                                          LinearQuantizer h_quantizer)
     : layer_(layer),
       cell_(layer.cell(), std::move(x_quantizer),
-            std::move(h_quantizer))
+            std::move(h_quantizer), LayerKind::Lstm)
 {
 }
 

@@ -37,9 +37,12 @@ class LstmCellReuseState
      * @param cell The LSTM cell; must outlive this state.
      * @param x_quantizer Quantizer for feed-forward inputs.
      * @param h_quantizer Quantizer for recurrent inputs.
+     * @param owner_kind Layer kind of the owning layer, used to
+     *        target fault-injection at uni- vs bidirectional LSTMs.
      */
     LstmCellReuseState(const LstmCell &cell, LinearQuantizer x_quantizer,
-                       LinearQuantizer h_quantizer);
+                       LinearQuantizer h_quantizer,
+                       LayerKind owner_kind = LayerKind::BiLstm);
 
     /**
      * Advances the cell one timestep with reuse.  Accumulates what
@@ -58,10 +61,14 @@ class LstmCellReuseState
     /** Bytes currently held by the buffered indices/pre-activations. */
     int64_t memoryBytes() const;
 
+    /** Folds the buffered step state into checksum state `h`. */
+    void hashInto(uint64_t &h) const;
+
   private:
     const LstmCell &cell_;
     LinearQuantizer x_quant_;
     LinearQuantizer h_quant_;
+    LayerKind owner_kind_;
     bool has_prev_ = false;
     std::vector<int32_t> prev_x_indices_;
     std::vector<int32_t> prev_h_indices_;
@@ -96,6 +103,9 @@ class LstmLayerReuseState
 
     /** Bytes currently held by the cell's reuse buffers. */
     int64_t memoryBytes() const { return cell_.memoryBytes(); }
+
+    /** Folds the cell's buffered state into checksum state `h`. */
+    void hashInto(uint64_t &h) const { cell_.hashInto(h); }
 
   private:
     const LstmLayer &layer_;
@@ -134,6 +144,13 @@ class BiLstmReuseState
     int64_t memoryBytes() const
     {
         return forward_.memoryBytes() + backward_.memoryBytes();
+    }
+
+    /** Folds both directions' buffered state into checksum state. */
+    void hashInto(uint64_t &h) const
+    {
+        forward_.hashInto(h);
+        backward_.hashInto(h);
     }
 
   private:

@@ -2,6 +2,7 @@
 
 #include "analysis/model_validator.h"
 #include "common/logging.h"
+#include "fault/fault_injector.h"
 #include "nn/conv2d.h"
 #include "nn/conv3d.h"
 
@@ -26,6 +27,7 @@ ReuseEngine::ReuseEngine(const Network &network, QuantizationPlan plan,
     : network_(network),
       plan_(std::move(plan)),
       config_(config),
+      drift_guard_(config.refreshPeriod, config.driftBound),
       stats_(layerNames(network))
 {
     // Static validation before any buffer is allocated: an engine
@@ -97,6 +99,7 @@ ReuseEngine::makeState() const
             break;
         }
     }
+    state.accumulated_drift_.assign(network_.layerCount(), 0.0);
     return state;
 }
 
@@ -166,11 +169,11 @@ ReuseEngine::execute(ReuseState &state, const Tensor &input,
     REUSE_ASSERT(!network_.isRecurrent(),
                  "use executeSequence() for recurrent networks");
     checkState(state);
+    fault::maybeStall();
 
-    if (config_.refreshPeriod > 0 &&
-        state.executions_since_refresh_ >= config_.refreshPeriod) {
+    const bool refreshed = drift_guard_.shouldRefresh(state);
+    if (refreshed)
         state.reset();
-    }
     ++state.executions_since_refresh_;
 
     trace.clear();
@@ -186,6 +189,13 @@ ReuseEngine::execute(ReuseState &state, const Tensor &input,
         next = executeLayer(state, li, *current, trace[li]);
         current = &next;
     }
+    if (refreshed) {
+        for (LayerExecRecord &rec : trace) {
+            if (rec.reuseEnabled && rec.firstExecution)
+                rec.driftRefresh = true;
+        }
+    }
+    drift_guard_.accumulate(state, trace);
     return next;
 }
 
@@ -203,6 +213,7 @@ ReuseEngine::executeSequence(ReuseState &state,
                              ExecutionTrace &trace) const
 {
     checkState(state);
+    fault::maybeStall();
 
     if (!network_.isRecurrent()) {
         // Feed-forward: the sequence is a stream of frames.

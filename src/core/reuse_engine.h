@@ -21,6 +21,7 @@
 #include <memory>
 #include <vector>
 
+#include "core/drift_guard.h"
 #include "core/exec_record.h"
 #include "core/reuse_state.h"
 #include "core/reuse_stats.h"
@@ -37,6 +38,12 @@ struct ReuseEngineConfig {
      * corrections; 0 disables refresh (the paper's configuration).
      */
     int refreshPeriod = 0;
+    /**
+     * Accumulated relative drift estimate (incremental MACs since the
+     * last refresh times FLT_EPSILON; see DriftGuard) at which any
+     * layer forces a full refresh; 0 disables the bound.
+     */
+    double driftBound = 0.0;
 };
 
 /**
@@ -126,6 +133,9 @@ class ReuseEngine
     /** The engine tunables. */
     const ReuseEngineConfig &config() const { return config_; }
 
+    /** The refresh policy derived from the config. */
+    const DriftGuard &driftGuard() const { return drift_guard_; }
+
   private:
     /** Executes one feed-forward layer with or without reuse. */
     Tensor executeLayer(ReuseState &state, size_t li, const Tensor &input,
@@ -141,6 +151,7 @@ class ReuseEngine
     const Network &network_;
     QuantizationPlan plan_;
     ReuseEngineConfig config_;
+    DriftGuard drift_guard_;
     std::vector<Shape> layer_input_shapes_;
 
     ReuseState state_;

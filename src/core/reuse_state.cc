@@ -1,5 +1,9 @@
 #include "reuse_state.h"
 
+#include <algorithm>
+
+#include "common/checksum.h"
+
 namespace reuse {
 
 namespace {
@@ -37,6 +41,7 @@ ReuseState::clone() const
     copy.lstm_ = cloneStates(lstm_);
     copy.uni_lstm_ = cloneStates(uni_lstm_);
     copy.executions_since_refresh_ = executions_since_refresh_;
+    copy.accumulated_drift_ = accumulated_drift_;
     return copy;
 }
 
@@ -48,6 +53,8 @@ ReuseState::reset()
     forEach(lstm_, &BiLstmReuseState::reset);
     forEach(uni_lstm_, &LstmLayerReuseState::reset);
     executions_since_refresh_ = 0;
+    std::fill(accumulated_drift_.begin(), accumulated_drift_.end(),
+              0.0);
 }
 
 void
@@ -58,6 +65,8 @@ ReuseState::releaseBuffers()
     forEach(lstm_, &BiLstmReuseState::releaseBuffers);
     forEach(uni_lstm_, &LstmLayerReuseState::releaseBuffers);
     executions_since_refresh_ = 0;
+    std::fill(accumulated_drift_.begin(), accumulated_drift_.end(),
+              0.0);
 }
 
 int64_t
@@ -81,6 +90,52 @@ ReuseState::memoryBytes() const
             bytes += s->memoryBytes();
     }
     return bytes;
+}
+
+uint64_t
+ReuseState::checksum() const
+{
+    uint64_t h = checksumInit();
+    checksumValue(h, executions_since_refresh_);
+    for (size_t li = 0; li < fc_.size(); ++li) {
+        // Layer index + which-kind tags keep equal buffer contents at
+        // different positions from colliding.
+        if (fc_[li]) {
+            checksumValue(h, li);
+            fc_[li]->hashInto(h);
+        }
+        if (conv_[li]) {
+            checksumValue(h, ~li);
+            conv_[li]->hashInto(h);
+        }
+        if (lstm_[li]) {
+            checksumValue(h, li * 2 + 1);
+            lstm_[li]->hashInto(h);
+        }
+        if (uni_lstm_[li]) {
+            checksumValue(h, li * 2);
+            uni_lstm_[li]->hashInto(h);
+        }
+    }
+    return h;
+}
+
+bool
+ReuseState::debugCorruptBuffer(uint64_t seed)
+{
+#if REUSE_FAULT_INJECTION
+    for (auto &s : fc_) {
+        if (s && s->hasPrev())
+            return s->debugCorruptBuffer(seed);
+    }
+    for (auto &s : conv_) {
+        if (s && s->hasPrev())
+            return s->debugCorruptBuffer(seed);
+    }
+#else
+    (void)seed;
+#endif
+    return false;
 }
 
 bool

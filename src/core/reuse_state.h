@@ -73,8 +73,37 @@ class ReuseState
         return executions_since_refresh_;
     }
 
+    /**
+     * Per-layer accumulated drift estimate (incremental MACs since
+     * the layer's last from-scratch execution, times FLT_EPSILON);
+     * maintained by the engine's DriftGuard, empty when the engine
+     * has no drift bound configured.
+     */
+    const std::vector<double> &accumulatedDrift() const
+    {
+        return accumulated_drift_;
+    }
+
+    /**
+     * Order-stable FNV-1a checksum over every buffered byte this
+     * state carries between frames (previous indices, previous
+     * outputs / pre-activations, counters).  The serving runtime
+     * validates it on dequeue to detect between-frame corruption.
+     */
+    uint64_t checksum() const;
+
+    /**
+     * Testing hook (active only when the build compiles fault
+     * injection in): flips one seed-selected mantissa bit in the
+     * first warm layer's buffered outputs, simulating between-frame
+     * state corruption.  Returns false when nothing is warm or the
+     * hooks are compiled out.
+     */
+    bool debugCorruptBuffer(uint64_t seed);
+
   private:
     friend class ReuseEngine;
+    friend class DriftGuard;
 
     // Index aligned with network layers; null where reuse is disabled
     // or the layer kind does not match.
@@ -84,6 +113,8 @@ class ReuseState
     std::vector<std::unique_ptr<LstmLayerReuseState>> uni_lstm_;
 
     int64_t executions_since_refresh_ = 0;
+    /** Per-layer drift accumulators (see accumulatedDrift()). */
+    std::vector<double> accumulated_drift_;
 };
 
 } // namespace reuse

@@ -25,6 +25,8 @@ ReuseStatsCollector::addTrace(const ExecutionTrace &trace)
         s.macsPerformedAll += rec.macsPerformed;
         if (rec.firstExecution) {
             ++s.firstExecutions;
+            if (rec.driftRefresh)
+                ++s.driftRefreshes;
             continue;
         }
         ++s.executions;

@@ -25,6 +25,8 @@ struct LayerReuseStats {
     int64_t executions = 0;
     /** First/refresh (from-scratch) executions seen. */
     int64_t firstExecutions = 0;
+    /** Subset of firstExecutions forced by the DriftGuard. */
+    int64_t driftRefreshes = 0;
 
     int64_t inputsChecked = 0;
     int64_t inputsChanged = 0;

@@ -1,0 +1,260 @@
+#include "fault_injector.h"
+
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+#include "kernels/thread_pool.h"
+
+namespace reuse {
+namespace fault {
+
+namespace {
+
+/** splitmix64: tiny, high-quality, and seed-deterministic. */
+uint64_t
+nextRandom(uint64_t &state)
+{
+    state += 0x9e3779b97f4a7c15ull;
+    uint64_t z = state;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+} // namespace
+
+const char *
+faultKindName(FaultKind kind)
+{
+    switch (kind) {
+      case FaultKind::OutputBitFlip: return "output-bit-flip";
+      case FaultKind::IndexBitFlip: return "index-bit-flip";
+      case FaultKind::QuantScaleDrift: return "quant-scale-drift";
+      case FaultKind::StaleChangeList: return "stale-change-list";
+      case FaultKind::DroppedFrame: return "dropped-frame";
+      case FaultKind::DuplicatedFrame: return "duplicated-frame";
+      case FaultKind::WorkerStall: return "worker-stall";
+    }
+    return "unknown";
+}
+
+std::optional<FaultKind>
+parseFaultKind(const std::string &name)
+{
+    for (int i = 0; i < kNumFaultKinds; ++i) {
+        const FaultKind kind = static_cast<FaultKind>(i);
+        if (name == faultKindName(kind))
+            return kind;
+    }
+    return std::nullopt;
+}
+
+FaultInjector &
+FaultInjector::global()
+{
+    static FaultInjector injector;
+    return injector;
+}
+
+void
+FaultInjector::arm(const FaultPlan &plan)
+{
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        plan_ = plan;
+        invocations_ = 0;
+        fires_ = 0;
+        ++epoch_;
+    }
+    // The stall hook reaches the kernel thread pool through a generic
+    // chunk hook (the kernel layer sits below src/fault and cannot
+    // link it).  Installing is idempotent and the hook no-ops while
+    // disarmed.
+    kernels::KernelThreadPool::setChunkHook(
+        [] { FaultInjector::global().maybeStall(); });
+    armed_.store(true, std::memory_order_release);
+    disarm_cv_.notify_all();
+}
+
+void
+FaultInjector::disarm()
+{
+    armed_.store(false, std::memory_order_release);
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++epoch_;
+    }
+    disarm_cv_.notify_all();
+}
+
+uint64_t
+FaultInjector::invocations() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return invocations_;
+}
+
+uint64_t
+FaultInjector::fires() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return fires_;
+}
+
+bool
+FaultInjector::frameFaultsArmed() const
+{
+    if (!armed())
+        return false;
+    std::lock_guard<std::mutex> lock(mu_);
+    return plan_.kind == FaultKind::DroppedFrame ||
+           plan_.kind == FaultKind::DuplicatedFrame;
+}
+
+bool
+FaultInjector::shouldFire(FaultKind hook_kind,
+                          std::optional<LayerKind> layer_kind,
+                          uint64_t *rng_seed)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!armed_.load(std::memory_order_relaxed))
+        return false;
+    if (plan_.kind != hook_kind)
+        return false;
+    if (plan_.layerKind.has_value() &&
+        (!layer_kind.has_value() || *plan_.layerKind != *layer_kind))
+        return false;
+    ++invocations_;
+    if (invocations_ < plan_.fireAtInvocation)
+        return false;
+    if (plan_.maxFires >= 0 &&
+        fires_ >= static_cast<uint64_t>(plan_.maxFires))
+        return false;
+    ++fires_;
+    // An independent stream per fire keeps repeated fires from
+    // corrupting the same element over and over.
+    *rng_seed = plan_.seed * 0x2545f4914f6cdd1dull + fires_;
+    return true;
+}
+
+void
+FaultInjector::corruptFloats(LayerKind kind, float *data, int64_t n)
+{
+    if (!armed() || data == nullptr || n <= 0)
+        return;
+    uint64_t seed = 0;
+    if (!shouldFire(FaultKind::OutputBitFlip, kind, &seed))
+        return;
+    const int64_t victim =
+        static_cast<int64_t>(nextRandom(seed) % static_cast<uint64_t>(n));
+    const uint32_t bit = static_cast<uint32_t>(nextRandom(seed) % 23);
+    uint32_t raw = 0;
+    std::memcpy(&raw, &data[victim], sizeof(raw));
+    raw ^= (1u << bit);
+    std::memcpy(&data[victim], &raw, sizeof(raw));
+}
+
+void
+FaultInjector::corruptIndices(LayerKind kind, int32_t *data, int64_t n)
+{
+    if (!armed() || data == nullptr || n <= 0)
+        return;
+    uint64_t seed = 0;
+    if (!shouldFire(FaultKind::IndexBitFlip, kind, &seed))
+        return;
+    const int64_t victim =
+        static_cast<int64_t>(nextRandom(seed) % static_cast<uint64_t>(n));
+    const uint32_t bit = static_cast<uint32_t>(nextRandom(seed) % 8);
+    data[victim] ^= static_cast<int32_t>(1u << bit);
+}
+
+void
+FaultInjector::perturbScanParams(LayerKind kind,
+                                 kernels::QuantScanParams &params)
+{
+    if (!armed())
+        return;
+    uint64_t seed = 0;
+    if (!shouldFire(FaultKind::QuantScaleDrift, kind, &seed))
+        return;
+    double scale = 1.5;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        scale = plan_.scaleFactor;
+    }
+    params.step = static_cast<float>(params.step * scale);
+}
+
+void
+FaultInjector::truncateChanges(LayerKind kind,
+                               kernels::ChangeList &changes)
+{
+    if (!armed() || changes.empty())
+        return;
+    uint64_t seed = 0;
+    if (!shouldFire(FaultKind::StaleChangeList, kind, &seed))
+        return;
+    // Keep a strict prefix: at least one scanned change goes missing,
+    // so the buffered outputs are updated against stale corrections
+    // while the prev-indices already advanced (the dangerous half of
+    // a torn scan/apply).
+    const size_t keep =
+        static_cast<size_t>(nextRandom(seed) % changes.size());
+    changes.positions.resize(keep);
+    changes.deltas.resize(keep);
+}
+
+bool
+FaultInjector::shouldDropFrame()
+{
+    if (!armed())
+        return false;
+    uint64_t seed = 0;
+    return shouldFire(FaultKind::DroppedFrame, std::nullopt, &seed);
+}
+
+bool
+FaultInjector::shouldDuplicateFrame()
+{
+    if (!armed())
+        return false;
+    uint64_t seed = 0;
+    return shouldFire(FaultKind::DuplicatedFrame, std::nullopt, &seed);
+}
+
+void
+FaultInjector::maybeStall()
+{
+    if (!armed())
+        return;
+    uint64_t seed = 0;
+    if (!shouldFire(FaultKind::WorkerStall, std::nullopt, &seed))
+        return;
+    int64_t stall_micros = 0;
+    uint64_t epoch = 0;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        stall_micros = plan_.stallMicros;
+        epoch = epoch_;
+    }
+    if (stall_micros >= 0) {
+        std::this_thread::sleep_for(
+            std::chrono::microseconds(stall_micros));
+        return;
+    }
+    // Blocking stall: park until disarm() (or a new plan) so tests can
+    // hold a worker provably busy while probing overload shedding.
+    stalled_.fetch_add(1, std::memory_order_acq_rel);
+    {
+        std::unique_lock<std::mutex> lock(mu_);
+        disarm_cv_.wait(lock, [&] {
+            return epoch_ != epoch ||
+                   !armed_.load(std::memory_order_relaxed);
+        });
+    }
+    stalled_.fetch_sub(1, std::memory_order_acq_rel);
+}
+
+} // namespace fault
+} // namespace reuse

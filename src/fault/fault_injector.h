@@ -1,0 +1,268 @@
+/**
+ * @file
+ * Deterministic, seedable fault injection for the reuse paths.
+ *
+ * Eq. 10 makes every frame's output depend on buffered per-stream
+ * state (previous quantized indices, previous outputs, gate
+ * pre-activations), so a single corrupted buffer silently poisons all
+ * subsequent frames until a refresh.  The injector plants exactly the
+ * corruptions that matter for that failure mode — bit-flips in the
+ * buffered outputs or indices, quantizer-scale drift, stale (partially
+ * applied) change lists, dropped/duplicated frames, and worker
+ * stalls — at a deterministic, seed-controlled point in the stream, so
+ * tests and the fault-campaign CLI can assert that the drift guard /
+ * refresh / re-warm machinery actually restores bit-exact outputs.
+ *
+ * The hooks compile to inline no-ops unless the build defines
+ * REUSE_FAULT_INJECTION (default ON outside Release; see the
+ * top-level CMakeLists).  When compiled in but disarmed, each hook
+ * costs one relaxed atomic load.
+ *
+ * Corruptions are bounded on purpose: float flips touch mantissa bits
+ * only and index flips touch the low 8 bits, so a corrupted value
+ * stays finite and in the representable index range.  This keeps the
+ * injected runs sanitizer-clean (no NaN fed to lround) while still
+ * producing silently-wrong outputs — the failure mode under test.
+ */
+
+#ifndef REUSE_DNN_FAULT_FAULT_INJECTOR_H
+#define REUSE_DNN_FAULT_FAULT_INJECTOR_H
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+
+#include "kernels/change_list.h"
+#include "kernels/quant_scan.h"
+#include "nn/layer.h"
+
+namespace reuse {
+namespace fault {
+
+/** The registered fault types. */
+enum class FaultKind {
+    /** Flip a mantissa bit in a buffered output / pre-activation. */
+    OutputBitFlip,
+    /** Flip a low bit in a buffered quantized-input index. */
+    IndexBitFlip,
+    /** Multiply the quantizer step by scaleFactor for one scan. */
+    QuantScaleDrift,
+    /** Truncate a scanned change list before it is applied. */
+    StaleChangeList,
+    /** Drop a frame before execution (server/driver level). */
+    DroppedFrame,
+    /** Execute a frame twice (at-least-once delivery). */
+    DuplicatedFrame,
+    /** Stall a worker inside kernel execution. */
+    WorkerStall,
+};
+
+constexpr int kNumFaultKinds = 7;
+
+/** Stable lower-case name of a fault kind (CLI flag values). */
+const char *faultKindName(FaultKind kind);
+
+/** Parses a faultKindName(); nullopt when unknown. */
+std::optional<FaultKind> parseFaultKind(const std::string &name);
+
+/** True when the build compiled the injection hooks in. */
+constexpr bool
+injectionCompiledIn()
+{
+#if REUSE_FAULT_INJECTION
+    return true;
+#else
+    return false;
+#endif
+}
+
+/**
+ * One armed fault: what to inject, where, and when.
+ *
+ * Hook invocations that match `kind` (and `layerKind`, when set) are
+ * counted; the fault fires on the `fireAtInvocation`-th matching
+ * invocation and keeps firing on subsequent matches until `maxFires`
+ * is reached.  All randomness (victim element, bit position) derives
+ * from `seed`, so a given plan corrupts identically on every run.
+ */
+struct FaultPlan {
+    FaultKind kind = FaultKind::OutputBitFlip;
+    /** Only hooks reporting this layer kind fire; nullopt = any. */
+    std::optional<LayerKind> layerKind;
+    /** 1-based matching invocation on which the fault first fires. */
+    uint64_t fireAtInvocation = 1;
+    /** Maximum times the fault fires; <0 = unlimited. */
+    int maxFires = 1;
+    /** Seed for the victim-selection RNG. */
+    uint64_t seed = 1;
+    /** Step multiplier for QuantScaleDrift. */
+    double scaleFactor = 1.5;
+    /**
+     * Stall duration for WorkerStall in microseconds; negative means
+     * block until disarm() (deterministic overload in tests).
+     */
+    int64_t stallMicros = 200;
+};
+
+/**
+ * Process-wide fault injector.  arm() replaces the active plan and
+ * resets the invocation/fire counters; disarm() deactivates it and
+ * releases any thread blocked in a WorkerStall.  Thread-safe.
+ */
+class FaultInjector
+{
+  public:
+    static FaultInjector &global();
+
+    /** Activates `plan`, resetting counters; replaces any prior plan. */
+    void arm(const FaultPlan &plan);
+
+    /** Deactivates injection and unblocks blocking stalls. */
+    void disarm();
+
+    /** True while a plan is armed. */
+    bool armed() const
+    {
+        return armed_.load(std::memory_order_relaxed);
+    }
+
+    /** Matching hook invocations observed since arm(). */
+    uint64_t invocations() const;
+
+    /** Times the armed fault actually fired since arm(). */
+    uint64_t fires() const;
+
+    /** Threads currently blocked inside a WorkerStall. */
+    uint64_t stalledCount() const
+    {
+        return stalled_.load(std::memory_order_acquire);
+    }
+
+    /** True when a DroppedFrame/DuplicatedFrame plan is armed. */
+    bool frameFaultsArmed() const;
+
+    // ------------------------------------------------------------------
+    // Hooks, called from the reuse paths.  Each is a no-op unless a
+    // matching plan is armed.
+    // ------------------------------------------------------------------
+
+    /** OutputBitFlip: flips a mantissa bit of one element of `data`. */
+    void corruptFloats(LayerKind kind, float *data, int64_t n);
+
+    /** IndexBitFlip: flips a low bit of one element of `data`. */
+    void corruptIndices(LayerKind kind, int32_t *data, int64_t n);
+
+    /** QuantScaleDrift: perturbs the scan step for this one scan. */
+    void perturbScanParams(LayerKind kind,
+                           kernels::QuantScanParams &params);
+
+    /** StaleChangeList: truncates `changes` before it is applied. */
+    void truncateChanges(LayerKind kind, kernels::ChangeList &changes);
+
+    /** DroppedFrame: true when the current frame must be dropped. */
+    bool shouldDropFrame();
+
+    /** DuplicatedFrame: true when the current frame runs twice. */
+    bool shouldDuplicateFrame();
+
+    /** WorkerStall: sleeps (or blocks until disarm) when firing. */
+    void maybeStall();
+
+  private:
+    FaultInjector() = default;
+
+    /**
+     * Counts a matching invocation and decides whether to fire;
+     * returns the per-fire RNG stream when firing.
+     */
+    bool shouldFire(FaultKind hook_kind,
+                    std::optional<LayerKind> layer_kind,
+                    uint64_t *rng_seed);
+
+    std::atomic<bool> armed_{false};
+    std::atomic<uint64_t> stalled_{0};
+
+    mutable std::mutex mu_;
+    std::condition_variable disarm_cv_;
+    FaultPlan plan_;
+    uint64_t invocations_ = 0;
+    uint64_t fires_ = 0;
+    uint64_t epoch_ = 0;
+};
+
+// ----------------------------------------------------------------------
+// Free-function hooks used by src/core and src/serve.  When the build
+// compiles injection out these are inline no-ops, so the reuse paths
+// carry zero overhead.
+// ----------------------------------------------------------------------
+
+#if REUSE_FAULT_INJECTION
+
+inline void
+corruptFloats(LayerKind kind, float *data, int64_t n)
+{
+    FaultInjector::global().corruptFloats(kind, data, n);
+}
+
+inline void
+corruptIndices(LayerKind kind, int32_t *data, int64_t n)
+{
+    FaultInjector::global().corruptIndices(kind, data, n);
+}
+
+inline void
+perturbScanParams(LayerKind kind, kernels::QuantScanParams &params)
+{
+    FaultInjector::global().perturbScanParams(kind, params);
+}
+
+inline void
+truncateChanges(LayerKind kind, kernels::ChangeList &changes)
+{
+    FaultInjector::global().truncateChanges(kind, changes);
+}
+
+inline bool
+shouldDropFrame()
+{
+    return FaultInjector::global().shouldDropFrame();
+}
+
+inline bool
+shouldDuplicateFrame()
+{
+    return FaultInjector::global().shouldDuplicateFrame();
+}
+
+inline void
+maybeStall()
+{
+    FaultInjector::global().maybeStall();
+}
+
+inline bool
+frameFaultsArmed()
+{
+    return FaultInjector::global().frameFaultsArmed();
+}
+
+#else
+
+inline void corruptFloats(LayerKind, float *, int64_t) {}
+inline void corruptIndices(LayerKind, int32_t *, int64_t) {}
+inline void perturbScanParams(LayerKind, kernels::QuantScanParams &) {}
+inline void truncateChanges(LayerKind, kernels::ChangeList &) {}
+inline bool shouldDropFrame() { return false; }
+inline bool shouldDuplicateFrame() { return false; }
+inline void maybeStall() {}
+inline bool frameFaultsArmed() { return false; }
+
+#endif // REUSE_FAULT_INJECTION
+
+} // namespace fault
+} // namespace reuse
+
+#endif // REUSE_DNN_FAULT_FAULT_INJECTOR_H

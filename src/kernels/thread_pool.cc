@@ -10,6 +10,16 @@ namespace kernels {
 
 namespace {
 
+std::atomic<KernelThreadPool::ChunkHook> g_chunk_hook{nullptr};
+
+void
+runChunkHook()
+{
+    if (KernelThreadPool::ChunkHook hook =
+            g_chunk_hook.load(std::memory_order_acquire))
+        hook();
+}
+
 size_t
 defaultWorkerCount()
 {
@@ -56,6 +66,12 @@ KernelThreadPool::global()
 }
 
 void
+KernelThreadPool::setChunkHook(ChunkHook hook)
+{
+    g_chunk_hook.store(hook, std::memory_order_release);
+}
+
+void
 KernelThreadPool::runChunks(Job &job)
 {
     for (;;) {
@@ -65,6 +81,7 @@ KernelThreadPool::runChunks(Job &job)
             break;
         const int64_t begin = c * job.grain;
         const int64_t end = std::min(job.total, begin + job.grain);
+        runChunkHook();
         (*job.fn)(begin, end);
         if (job.done.fetch_add(1, std::memory_order_acq_rel) + 1 ==
             job.chunks) {
@@ -109,8 +126,10 @@ KernelThreadPool::parallelFor(int64_t total, int64_t grain,
     if (workers_.empty() || total <= grain) {
         // Inline execution with identical chunk boundaries, so the
         // result is bit-identical to the threaded path.
-        for (int64_t begin = 0; begin < total; begin += grain)
+        for (int64_t begin = 0; begin < total; begin += grain) {
+            runChunkHook();
             fn(begin, std::min(total, begin + grain));
+        }
         return;
     }
 

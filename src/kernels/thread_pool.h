@@ -73,6 +73,17 @@ class KernelThreadPool
      */
     void parallelFor(int64_t total, int64_t grain, const ChunkFn &fn);
 
+    /**
+     * Process-wide hook invoked once per chunk, on the executing
+     * thread, before the chunk body runs — on the pooled AND the
+     * inline path, so it fires for any pool size.  Used by the fault
+     * injector (src/fault) to model worker stalls; nullptr (the
+     * default) disables it.  The hook must not call back into the
+     * pool.
+     */
+    using ChunkHook = void (*)();
+    static void setChunkHook(ChunkHook hook);
+
     /** Number of persistent worker threads. */
     size_t workerCount() const { return workers_.size(); }
 

@@ -10,6 +10,10 @@ ServeMetrics::reset()
     sessions_opened_.store(0, std::memory_order_relaxed);
     sessions_closed_.store(0, std::memory_order_relaxed);
     evictions_.store(0, std::memory_order_relaxed);
+    frames_shed_.store(0, std::memory_order_relaxed);
+    frames_dropped_.store(0, std::memory_order_relaxed);
+    frames_duplicated_.store(0, std::memory_order_relaxed);
+    corruption_recoveries_.store(0, std::memory_order_relaxed);
     queue_peak_.store(0, std::memory_order_relaxed);
     latency_.reset();
 }
@@ -18,16 +22,22 @@ void
 ServeMetrics::publishTo(StatRegistry &registry,
                         const std::string &prefix) const
 {
+    // Counter::set() replaces the value atomically: the previous
+    // reset()+add() pair could interleave with a concurrent publisher
+    // and lose or double a sample.
     auto set = [&](const std::string &name, double v) {
-        Counter &c = registry.get(prefix + "." + name);
-        c.reset();
-        c.add(v);
+        registry.get(prefix + "." + name).set(v);
     };
     set("frames_submitted", static_cast<double>(framesSubmitted()));
     set("frames_completed", static_cast<double>(framesCompleted()));
     set("sessions_opened", static_cast<double>(sessionsOpened()));
     set("sessions_closed", static_cast<double>(sessionsClosed()));
     set("evictions", static_cast<double>(evictions()));
+    set("frames_shed", static_cast<double>(framesShed()));
+    set("frames_dropped", static_cast<double>(framesDropped()));
+    set("frames_duplicated", static_cast<double>(framesDuplicated()));
+    set("corruption_recoveries",
+        static_cast<double>(corruptionRecoveries()));
     set("queue_peak", static_cast<double>(queuePeak()));
     set("latency_mean_us", latency_.mean());
     set("latency_p50_us", latency_.percentile(0.50));

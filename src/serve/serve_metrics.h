@@ -58,6 +58,30 @@ class ServeMetrics
         evictions_.fetch_add(1, std::memory_order_relaxed);
     }
 
+    /** A submit was rejected with a retry/backoff hint (overload). */
+    void frameShed()
+    {
+        frames_shed_.fetch_add(1, std::memory_order_relaxed);
+    }
+
+    /** A frame was answered with the previous output (fault drop). */
+    void frameDropped()
+    {
+        frames_dropped_.fetch_add(1, std::memory_order_relaxed);
+    }
+
+    /** A frame was executed twice (fault duplicate). */
+    void frameDuplicated()
+    {
+        frames_duplicated_.fetch_add(1, std::memory_order_relaxed);
+    }
+
+    /** Corrupted session state was detected and re-warmed. */
+    void corruptionRecovery()
+    {
+        corruption_recoveries_.fetch_add(1, std::memory_order_relaxed);
+    }
+
     /** Tracks the deepest admission-queue occupancy observed. */
     void observeQueueDepth(size_t depth)
     {
@@ -93,6 +117,26 @@ class ServeMetrics
         return evictions_.load(std::memory_order_relaxed);
     }
 
+    uint64_t framesShed() const
+    {
+        return frames_shed_.load(std::memory_order_relaxed);
+    }
+
+    uint64_t framesDropped() const
+    {
+        return frames_dropped_.load(std::memory_order_relaxed);
+    }
+
+    uint64_t framesDuplicated() const
+    {
+        return frames_duplicated_.load(std::memory_order_relaxed);
+    }
+
+    uint64_t corruptionRecoveries() const
+    {
+        return corruption_recoveries_.load(std::memory_order_relaxed);
+    }
+
     uint64_t queuePeak() const
     {
         return queue_peak_.load(std::memory_order_relaxed);
@@ -118,6 +162,10 @@ class ServeMetrics
     std::atomic<uint64_t> sessions_opened_{0};
     std::atomic<uint64_t> sessions_closed_{0};
     std::atomic<uint64_t> evictions_{0};
+    std::atomic<uint64_t> frames_shed_{0};
+    std::atomic<uint64_t> frames_dropped_{0};
+    std::atomic<uint64_t> frames_duplicated_{0};
+    std::atomic<uint64_t> corruption_recoveries_{0};
     std::atomic<uint64_t> queue_peak_{0};
     LatencyHistogram latency_;
 };

@@ -22,6 +22,9 @@ Session::snapshot() const
     snap.similarity = stats_.meanSimilarity();
     snap.stateBytes = state_.memoryBytes();
     snap.warm = state_.warm();
+    snap.corruptionRecoveries = corruption_recoveries_;
+    snap.droppedFrames = dropped_frames_;
+    snap.duplicatedFrames = duplicated_frames_;
     snap.coldFrames = cold_frames_;
     return snap;
 }

@@ -96,6 +96,12 @@ class Session
         int64_t stateBytes = 0;
         /** True when the session has buffered history to reuse. */
         bool warm = false;
+        /** Times corrupted state was detected and re-warmed. */
+        uint64_t corruptionRecoveries = 0;
+        /** Frames answered with the previous output (fault drops). */
+        uint64_t droppedFrames = 0;
+        /** Frames executed twice (fault duplicates). */
+        uint64_t duplicatedFrames = 0;
         /**
          * Frame indices that executed cold because of an eviction
          * (NOT counting the stream's first frame or periodic
@@ -135,6 +141,19 @@ class Session
     /** True between an eviction and the next executed frame. */
     bool evicted_since_last_frame_ = false;
     std::vector<uint64_t> cold_frames_;
+    /**
+     * Checksum of state_ stamped after the previous frame; compared
+     * on dequeue when Config::validateState is set.  Invalidated by
+     * evictions (the manager mutates state_ legitimately).
+     */
+    uint64_t state_checksum_ = 0;
+    bool checksum_valid_ = false;
+    uint64_t corruption_recoveries_ = 0;
+    uint64_t dropped_frames_ = 0;
+    uint64_t duplicated_frames_ = 0;
+    /** Last frame's output, replayed for dropped frames. */
+    Tensor last_output_;
+    bool has_last_output_ = false;
 
     // --- SessionManager accounting, guarded by the manager ----------
     int64_t charged_bytes_ = 0;

@@ -70,6 +70,9 @@ SessionManager::evictLocked(Session &victim)
     victim.charged_bytes_ = residual;
     victim.evictions_ += 1;
     victim.evicted_since_last_frame_ = true;
+    // The eviction legitimately mutates the state the checksum
+    // covers; the next dequeue must not flag it as corruption.
+    victim.checksum_valid_ = false;
     evictions_.fetch_add(1, std::memory_order_relaxed);
     if (metrics_ != nullptr)
         metrics_->eviction();
@@ -122,6 +125,15 @@ SessionManager::noteExecution(Session &session)
     session.charged_bytes_ = bytes;
     session.last_used_tick_ = ++tick_;
     enforceBudgetLocked(&session);
+}
+
+void
+SessionManager::noteCorruptionRecovery(Session &session)
+{
+    session.corruption_recoveries_ += 1;
+    corruption_recoveries_.fetch_add(1, std::memory_order_relaxed);
+    if (metrics_ != nullptr)
+        metrics_->corruptionRecovery();
 }
 
 bool

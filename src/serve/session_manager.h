@@ -110,6 +110,19 @@ class SessionManager
      */
     bool forceEvict(SessionId id);
 
+    /**
+     * Records that a worker detected corrupted reuse state on
+     * `session` and re-warmed it.  Called with the session's
+     * state_mu_ held (takes no manager lock).
+     */
+    void noteCorruptionRecovery(Session &session);
+
+    /** Total corruption recoveries across all sessions. */
+    uint64_t corruptionRecoveryCount() const
+    {
+        return corruption_recoveries_.load(std::memory_order_relaxed);
+    }
+
     /** Bytes currently charged across all sessions. */
     int64_t chargedBytes() const
     {
@@ -155,6 +168,7 @@ class SessionManager
     std::unordered_map<SessionId, std::shared_ptr<Session>> sessions_;
     std::atomic<int64_t> charged_{0};
     std::atomic<uint64_t> evictions_{0};
+    std::atomic<uint64_t> corruption_recoveries_{0};
     std::atomic<uint64_t> next_id_{1};
     uint64_t tick_ = 0;
 };

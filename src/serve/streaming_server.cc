@@ -1,6 +1,7 @@
 #include "streaming_server.h"
 
 #include "common/logging.h"
+#include "fault/fault_injector.h"
 
 namespace reuse {
 
@@ -24,7 +25,8 @@ StreamingServer::StreamingServer(const ReuseEngine &engine, Config config)
 StreamingServer::StreamingServer(
     const std::vector<std::pair<std::string, const ReuseEngine *>> &zoo,
     Config config)
-    : manager_(SessionManager::Config{config.memoryBudgetBytes},
+    : config_(config),
+      manager_(SessionManager::Config{config.memoryBudgetBytes},
                &metrics_),
       queue_(config.queueCapacity)
 {
@@ -119,6 +121,127 @@ StreamingServer::submitFrame(SessionId id, Tensor input)
     return future;
 }
 
+StreamingServer::SubmitOutcome
+StreamingServer::trySubmitFrame(SessionId id, Tensor input)
+{
+    REUSE_ASSERT(!stopped_.load(), "server is stopped");
+    std::shared_ptr<Session> session = manager_.find(id);
+    REUSE_ASSERT(session != nullptr, "unknown session " << id);
+
+    SubmitOutcome outcome;
+    // Backoff hint: the rough end-to-end cost of one queued frame at
+    // the current service rate (floor of 1ms before any completion).
+    const double mean_us = metrics_.latency().mean();
+    outcome.retryAfterMicros =
+        mean_us > 0.0 ? static_cast<int64_t>(mean_us) : 1000;
+
+    FrameRequest req;
+    req.input = std::move(input);
+    req.enqueued = std::chrono::steady_clock::now();
+    std::future<Tensor> future = req.result.get_future();
+
+    {
+        std::lock_guard<std::mutex> lock(session->queue_mu_);
+        REUSE_ASSERT(!session->closing_,
+                     "session " << id << " is closing");
+        if (config_.maxPendingPerSession > 0 &&
+            session->pending_.size() >= config_.maxPendingPerSession) {
+            outcome.status = SubmitOutcome::Status::Shed;
+            metrics_.frameShed();
+            return outcome;
+        }
+        // Reserve the run-queue slot before publishing the frame; a
+        // worker popping the session blocks on queue_mu_ until the
+        // frame is in pending_, so it never sees an empty queue.
+        if (!session->inflight_ && !queue_.tryPush(session)) {
+            outcome.status = SubmitOutcome::Status::Shed;
+            metrics_.frameShed();
+            return outcome;
+        }
+        req.frameIndex = session->next_frame_index_++;
+        session->pending_.push_back(std::move(req));
+        session->inflight_ = true;
+    }
+    outstanding_.fetch_add(1, std::memory_order_relaxed);
+    metrics_.frameSubmitted();
+    metrics_.observeQueueDepth(queue_.size());
+    outcome.result = std::move(future);
+    return outcome;
+}
+
+bool
+StreamingServer::debugCorruptSessionState(SessionId id, uint64_t seed)
+{
+    std::shared_ptr<Session> session = manager_.find(id);
+    REUSE_ASSERT(session != nullptr, "unknown session " << id);
+    std::lock_guard<std::mutex> lock(session->state_mu_);
+    return session->state_.debugCorruptBuffer(seed);
+}
+
+Tensor
+StreamingServer::executeFrame(Session &session, FrameRequest &req)
+{
+    // Frame-delivery faults are decided outside the state lock: they
+    // model the transport, not the execution.
+    bool dropped = false;
+    bool duplicated = false;
+    if (fault::frameFaultsArmed()) {
+        dropped = fault::shouldDropFrame();
+        if (!dropped)
+            duplicated = fault::shouldDuplicateFrame();
+    }
+
+    Tensor output;
+    ExecutionTrace trace;
+    {
+        std::lock_guard<std::mutex> lock(session.state_mu_);
+        if (dropped && session.has_last_output_) {
+            // Stale-prediction delivery: answer with the previous
+            // frame's output and leave the reuse state untouched, so
+            // the stream continues exactly as if the frame never
+            // arrived.
+            output = session.last_output_;
+            session.dropped_frames_ += 1;
+            metrics_.frameDropped();
+        } else {
+            if (config_.validateState && session.checksum_valid_ &&
+                session.state_.checksum() != session.state_checksum_) {
+                // State corrupted between frames: degrade this frame
+                // to a from-scratch execution and re-warm, instead of
+                // silently poisoning every subsequent frame.
+                session.state_.reset();
+                session.cold_frames_.push_back(req.frameIndex);
+                session.evicted_since_last_frame_ = false;
+                manager_.noteCorruptionRecovery(session);
+            }
+            if (session.evicted_since_last_frame_) {
+                session.cold_frames_.push_back(req.frameIndex);
+                session.evicted_since_last_frame_ = false;
+            }
+            output = session.engine().execute(session.state_,
+                                              req.input, trace);
+            session.stats_.addTrace(trace);
+            if (duplicated) {
+                // At-least-once delivery: the frame executes again
+                // against the updated state.
+                output = session.engine().execute(session.state_,
+                                                  req.input, trace);
+                session.stats_.addTrace(trace);
+                session.duplicated_frames_ += 1;
+                metrics_.frameDuplicated();
+            }
+            session.last_output_ = output;
+            session.has_last_output_ = true;
+            if (config_.validateState) {
+                session.state_checksum_ = session.state_.checksum();
+                session.checksum_valid_ = true;
+            }
+        }
+        session.frames_completed_ += 1;
+    }
+    return output;
+}
+
 void
 StreamingServer::workerLoop()
 {
@@ -133,19 +256,7 @@ StreamingServer::workerLoop()
             session->pending_.pop_front();
         }
 
-        Tensor output;
-        ExecutionTrace trace;
-        {
-            std::lock_guard<std::mutex> lock(session->state_mu_);
-            if (session->evicted_since_last_frame_) {
-                session->cold_frames_.push_back(req.frameIndex);
-                session->evicted_since_last_frame_ = false;
-            }
-            output = session->engine().execute(session->state_,
-                                               req.input, trace);
-            session->stats_.addTrace(trace);
-            session->frames_completed_ += 1;
-        }
+        Tensor output = executeFrame(*session, req);
         manager_.noteExecution(*session);
 
         req.result.set_value(std::move(output));
@@ -213,9 +324,7 @@ StreamingServer::publishStats(StatRegistry &registry) const
 {
     metrics_.publishTo(registry);
     auto set = [&](const std::string &name, double v) {
-        Counter &c = registry.get(name);
-        c.reset();
-        c.add(v);
+        registry.get(name).set(v);
     };
     set("serve.sessions_live",
         static_cast<double>(manager_.sessionCount()));

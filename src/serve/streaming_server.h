@@ -54,6 +54,33 @@ class StreamingServer
         size_t queueCapacity = 1024;
         /** Reuse-buffer budget across sessions; negative = unlimited. */
         int64_t memoryBudgetBytes = -1;
+        /**
+         * Validate each session's reuse-state checksum on dequeue and
+         * re-warm (reset + cold frame) instead of executing on
+         * corrupted buffers.  Costs one state walk per frame.
+         */
+        bool validateState = false;
+        /**
+         * trySubmitFrame() sheds when a session already has this many
+         * pending frames (0 = no per-session bound).
+         */
+        size_t maxPendingPerSession = 0;
+    };
+
+    /** Outcome of a non-blocking trySubmitFrame(). */
+    struct SubmitOutcome {
+        enum class Status {
+            /** Frame accepted; `result` is valid. */
+            Accepted,
+            /** Overloaded; retry after `retryAfterMicros`. */
+            Shed,
+        };
+        Status status = Status::Accepted;
+        std::future<Tensor> result;
+        /** Backoff hint for Shed (rough time for one queued frame). */
+        int64_t retryAfterMicros = 0;
+
+        bool accepted() const { return status == Status::Accepted; }
     };
 
     /** Single-model server; the engine is registered as "default". */
@@ -99,6 +126,22 @@ class StreamingServer
     std::future<Tensor> submitFrame(SessionId id, Tensor input);
 
     /**
+     * Non-blocking submitFrame(): instead of blocking for
+     * backpressure, sheds the frame — with a retry/backoff hint —
+     * when the session's pending queue is at maxPendingPerSession or
+     * the admission queue is full.
+     */
+    SubmitOutcome trySubmitFrame(SessionId id, Tensor input);
+
+    /**
+     * Testing hook: flips one bit in `id`'s buffered reuse state so
+     * the next frame's checksum validation must detect and recover
+     * it.  Returns false when the session has nothing buffered or the
+     * build compiled injection out.
+     */
+    bool debugCorruptSessionState(SessionId id, uint64_t seed);
+
+    /**
      * Waits for the session's pending frames to finish, then removes
      * it (releasing its reuse-buffer charge).
      */
@@ -139,6 +182,15 @@ class StreamingServer
     void start(size_t worker_threads);
     void workerLoop();
 
+    /**
+     * Executes `req` against `session` (the dequeue half of a pop)
+     * and returns the frame's output.  The caller fulfils the promise
+     * only after the manager's memory accounting ran, so a completed
+     * future implies settled accounting.
+     */
+    Tensor executeFrame(Session &session, FrameRequest &req);
+
+    Config config_;
     std::map<std::string, const ReuseEngine *> zoo_;
     ServeMetrics metrics_;
     SessionManager manager_;

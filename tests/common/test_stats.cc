@@ -58,6 +58,72 @@ TEST(Counter, ConcurrentAddsLoseNothing)
     EXPECT_EQ(c.samples(), uint64_t(kThreads) * kAdds);
 }
 
+TEST(Counter, SetHasGaugeSemantics)
+{
+    Counter c;
+    c.add(3.0);
+    c.add(4.0);
+    c.set(9.5);
+    EXPECT_DOUBLE_EQ(c.value(), 9.5);
+    EXPECT_EQ(c.samples(), 1u);
+    EXPECT_DOUBLE_EQ(c.mean(), 9.5);
+}
+
+TEST(Counter, ConcurrentSettersNeverProduceASum)
+{
+    // Metric publishers re-stamp gauges concurrently (serve's
+    // publishStats may race the harness).  A reset()+add() pair can
+    // interleave into old+new; set() must always leave exactly one
+    // writer's value.
+    Counter c;
+    const int kThreads = 4;
+    const int kSets = 20000;
+    std::vector<std::thread> threads;
+    std::atomic<bool> bad{false};
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&c, t] {
+            for (int i = 0; i < kSets; ++i)
+                c.set(100.0 + t);
+        });
+    }
+    threads.emplace_back([&c, &bad] {
+        for (int i = 0; i < kSets; ++i) {
+            const double v = c.value();
+            if (v != 0.0 && (v < 100.0 || v > 103.0))
+                bad.store(true, std::memory_order_relaxed);
+        }
+    });
+    for (auto &t : threads)
+        t.join();
+    EXPECT_FALSE(bad.load()) << "observed a torn/summed gauge value";
+    EXPECT_GE(c.value(), 100.0);
+    EXPECT_LE(c.value(), 103.0);
+    EXPECT_EQ(c.samples(), 1u);
+}
+
+TEST(Counter, ConcurrentSetAndAddKeepsSamplesConsistent)
+{
+    // One publisher stamping a gauge while recorders increment: the
+    // final sample count must equal what the operations after the
+    // last set() produced — never a doubled or negative count.
+    Counter c;
+    std::thread publisher([&c] {
+        for (int i = 0; i < 5000; ++i)
+            c.set(1.0);
+    });
+    std::thread recorder([&c] {
+        for (int i = 0; i < 5000; ++i)
+            c.inc();
+    });
+    publisher.join();
+    recorder.join();
+    // After both writers quiesce the counter reflects the last set()
+    // plus any adds that landed after it.
+    EXPECT_GE(c.samples(), 1u);
+    EXPECT_LE(c.samples(), 5001u);
+    EXPECT_GE(c.value(), 1.0);
+}
+
 TEST(StatRegistry, ConcurrentGetAndAddIsSafe)
 {
     StatRegistry reg;

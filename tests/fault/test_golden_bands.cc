@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Golden-band regression test for the Table I reproduction: each
+ * reuse-enabled layer's measured computation reuse must stay inside
+ * the band recorded in EXPERIMENTS.md (measured value +/- 6 pct
+ * points).  Guards the whole stack — generators, quantizer
+ * calibration, scan/delta kernels, engine — against silent drift that
+ * per-unit tests cannot see.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "harness/experiment.h"
+#include "harness/workload_setup.h"
+
+namespace reuse {
+namespace {
+
+struct Band {
+    std::string layer;
+    /** EXPERIMENTS.md measured reuse (fraction). */
+    double center;
+};
+
+/** Half-width of every band, in reuse fraction. */
+constexpr double kBandHalfWidth = 0.06;
+
+void
+expectReuseBands(const std::string &workload, size_t frames,
+                 const std::vector<Band> &bands)
+{
+    WorkloadSetupConfig cfg;
+    Workload w = setupWorkload(workload, cfg);
+    const auto inputs = w.generator->take(frames);
+    MeasureOptions opt;
+    opt.withReference = false;
+    const WorkloadMeasurement m =
+        measureWorkload(*w.bundle.network, w.plan, inputs, opt);
+
+    for (const Band &band : bands) {
+        const LayerReuseStats *found = nullptr;
+        for (const auto &ls : m.stats.layers()) {
+            if (ls.layerName == band.layer) {
+                found = &ls;
+                break;
+            }
+        }
+        ASSERT_NE(found, nullptr)
+            << workload << ": no stats for layer " << band.layer;
+        EXPECT_TRUE(found->reuseEnabled)
+            << workload << "." << band.layer;
+        const double lo =
+            std::max(0.0, band.center - kBandHalfWidth);
+        const double hi =
+            std::min(1.0, band.center + kBandHalfWidth);
+        const double reuse = found->computationReuse();
+        EXPECT_GE(reuse, lo)
+            << workload << "." << band.layer
+            << " reuse regressed below its EXPERIMENTS.md band";
+        EXPECT_LE(reuse, hi)
+            << workload << "." << band.layer
+            << " reuse drifted above its EXPERIMENTS.md band";
+    }
+}
+
+TEST(GoldenBands, KaldiReusePerLayer)
+{
+    expectReuseBands("Kaldi", 48,
+                     {{"FC3", 0.62},
+                      {"FC4", 0.68},
+                      {"FC5", 0.75},
+                      {"FC6", 0.74}});
+}
+
+TEST(GoldenBands, EesenReusePerLayer)
+{
+    expectReuseBands("EESEN", 40,
+                     {{"BiLSTM1", 0.56},
+                      {"BiLSTM2", 0.56},
+                      {"BiLSTM3", 0.65},
+                      {"BiLSTM4", 0.71},
+                      {"BiLSTM5", 0.73}});
+}
+
+TEST(GoldenBands, C3DReusePerLayer)
+{
+    // FC1 is a documented scale artifact (EXPERIMENTS.md) and is
+    // deliberately not banded.
+    expectReuseBands("C3D", 5,
+                     {{"CONV2", 0.80},
+                      {"CONV3", 0.71},
+                      {"CONV4", 0.75},
+                      {"CONV5", 0.73},
+                      {"CONV6", 0.79},
+                      {"CONV7", 0.83},
+                      {"CONV8", 0.89},
+                      {"FC2", 0.67},
+                      {"FC3", 0.64}});
+}
+
+TEST(GoldenBands, AutoPilotReusePerLayer)
+{
+    expectReuseBands("AutoPilot", 12,
+                     {{"CONV1", 0.95},
+                      {"CONV2", 0.97},
+                      {"CONV3", 0.94},
+                      {"CONV4", 0.90},
+                      {"CONV5", 0.86},
+                      {"FC1", 0.84},
+                      {"FC2", 0.91},
+                      {"FC3", 1.00},
+                      {"FC4", 1.00}});
+}
+
+} // namespace
+} // namespace reuse

@@ -1,0 +1,461 @@
+/**
+ * @file
+ * Property-based differential tests: randomized topologies x random
+ * frame sequences, reuse path vs from-scratch golden via the
+ * differential oracle.
+ *
+ * Two regimes:
+ *
+ *  - Dyadic exact-arithmetic domain.  Weights/biases are multiples of
+ *    1/8, inputs multiples of 1/4, and the quantizer step is 1/4
+ *    (LinearQuantizer(64, -8, 8)), so every product is a multiple of
+ *    1/32 and every intermediate sum stays far below 2^24 such units.
+ *    All fp32 operations are then exact, which makes the incremental
+ *    path z' = z + (c' - c) W mathematically identical to the
+ *    from-scratch sum — the reuse output must match the golden run
+ *    BIT-EXACTLY in quantized space, for any topology and stream.
+ *
+ *  - General fp32 (Gaussian weights/streams).  The incremental path
+ *    may differ from scratch by accumulated rounding only, so the
+ *    oracle diff must stay within a small epsilon; replaying the same
+ *    stream on a fresh state must still be bit-exact (determinism).
+ *
+ * Together >100 seeded cases cover FC / conv2d / conv3d / LSTM /
+ * BiLSTM layers, odd sizes, and mixed stacks.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "core/reuse_engine.h"
+#include "nn/activations.h"
+#include "nn/conv2d.h"
+#include "nn/conv3d.h"
+#include "nn/fully_connected.h"
+#include "nn/initializers.h"
+#include "nn/lstm.h"
+#include "quant/range_profiler.h"
+#include "support/diff_oracle.h"
+
+namespace reuse {
+namespace {
+
+using testing::OracleReport;
+using testing::diffAgainstReplay;
+using testing::diffAgainstScratch;
+using testing::diffSequencesAgainstReplay;
+
+/** Quantizer whose centroids are exact multiples of 1/4. */
+LinearQuantizer
+dyadicQuantizer()
+{
+    return LinearQuantizer(64, -8.0f, 8.0f);
+}
+
+/** A random multiple of 1/8 in [-1/2, 1/2]. */
+float
+dyadicWeight(Rng &rng)
+{
+    return static_cast<float>(rng.uniformInt(-4, 4)) / 8.0f;
+}
+
+/** A random multiple of 1/4 in [-8, 8]. */
+float
+dyadicInput(Rng &rng)
+{
+    return static_cast<float>(rng.uniformInt(-32, 32)) / 4.0f;
+}
+
+void
+dyadicize(std::vector<float> &values, Rng &rng)
+{
+    for (float &v : values)
+        v = dyadicWeight(rng);
+}
+
+int64_t
+pickOdd(Rng &rng, int lo, int hi)
+{
+    return 2 * rng.uniformInt(lo, hi) + 1;    // odd in [2lo+1, 2hi+1]
+}
+
+/**
+ * Frame stream of dyadic inputs: a base frame plus per-frame sparse
+ * mutations, so consecutive frames are similar (the reuse steady
+ * path actually runs) but never identical.
+ */
+std::vector<Tensor>
+dyadicStream(Rng &rng, const Shape &shape, size_t frames)
+{
+    std::vector<Tensor> stream;
+    Tensor x(shape);
+    for (int64_t i = 0; i < x.numel(); ++i)
+        x[i] = dyadicInput(rng);
+    for (size_t f = 0; f < frames; ++f) {
+        for (int64_t i = 0; i < x.numel(); ++i) {
+            if (rng.uniform(0.0f, 1.0f) < 0.35f)
+                x[i] = dyadicInput(rng);
+        }
+        stream.push_back(x);
+    }
+    return stream;
+}
+
+/** Gaussian random-walk frame stream (general fp32 regime). */
+std::vector<Tensor>
+gaussianStream(Rng &rng, const Shape &shape, size_t frames,
+               float sigma)
+{
+    std::vector<Tensor> stream;
+    Tensor x(shape);
+    rng.fillGaussian(x.data(), 0.0f, 1.0f);
+    for (size_t f = 0; f < frames; ++f) {
+        for (int64_t i = 0; i < x.numel(); ++i)
+            x[i] += rng.gaussian(0.0f, sigma);
+        stream.push_back(x);
+    }
+    return stream;
+}
+
+/**
+ * Runs `inputs` through a fresh state of `engine`, recording whether
+ * any steady-state layer execution actually skipped work (so the test
+ * exercises the delta path rather than trivially re-running full
+ * layers).
+ */
+std::vector<Tensor>
+runStream(const ReuseEngine &engine, const std::vector<Tensor> &inputs,
+          bool *saw_reuse = nullptr)
+{
+    ReuseState state = engine.makeState();
+    ExecutionTrace trace;
+    std::vector<Tensor> outputs;
+    outputs.reserve(inputs.size());
+    for (const Tensor &in : inputs) {
+        outputs.push_back(engine.execute(state, in, trace));
+        if (saw_reuse != nullptr) {
+            for (const LayerExecRecord &rec : trace) {
+                if (rec.reuseEnabled && !rec.firstExecution &&
+                    rec.macsPerformed < rec.macsFull)
+                    *saw_reuse = true;
+            }
+        }
+    }
+    return outputs;
+}
+
+/** Network plus the indices of its reuse-enabled layers. */
+struct BuiltNet {
+    std::unique_ptr<Network> net;
+    std::vector<size_t> reusable;
+};
+
+BuiltNet
+buildDyadicFcNet(Rng &rng)
+{
+    const int64_t in_dim = pickOdd(rng, 2, 6);
+    BuiltNet b;
+    b.net = std::make_unique<Network>("prop_fc", Shape({in_dim}));
+    const int n_layers = rng.uniformInt(2, 3);
+    int64_t d = in_dim;
+    size_t li = 0;
+    for (int l = 0; l < n_layers; ++l) {
+        const int64_t out = pickOdd(rng, 2, 8);
+        auto fc = std::make_unique<FullyConnectedLayer>(
+            "FC" + std::to_string(l + 1), d, out);
+        dyadicize(fc->weights(), rng);
+        dyadicize(fc->biases(), rng);
+        b.net->addLayer(std::move(fc));
+        b.reusable.push_back(li++);
+        if (l + 1 < n_layers) {
+            b.net->addLayer(std::make_unique<ActivationLayer>(
+                "RELU" + std::to_string(l + 1),
+                ActivationKind::ReLU));
+            ++li;
+        }
+        d = out;
+    }
+    return b;
+}
+
+BuiltNet
+buildDyadicConv2dNet(Rng &rng)
+{
+    const int64_t ch = rng.uniformInt(1, 3);
+    const int64_t h = pickOdd(rng, 2, 4);
+    const int64_t w = pickOdd(rng, 2, 4);
+    BuiltNet b;
+    b.net =
+        std::make_unique<Network>("prop_conv2d", Shape({ch, h, w}));
+    auto conv = std::make_unique<Conv2DLayer>(
+        "CONV1", ch, pickOdd(rng, 1, 2), 3, 1);
+    dyadicize(conv->weights(), rng);
+    dyadicize(conv->biases(), rng);
+    const Shape conv_out =
+        conv->inferOutputShape(Shape({ch, h, w})).shape();
+    b.net->addLayer(std::move(conv));
+    b.reusable.push_back(0);
+    b.net->addLayer(std::make_unique<ActivationLayer>(
+        "RELU1", ActivationKind::ReLU));
+    auto fc = std::make_unique<FullyConnectedLayer>(
+        "FC1", conv_out.numel(), pickOdd(rng, 2, 5));
+    dyadicize(fc->weights(), rng);
+    dyadicize(fc->biases(), rng);
+    b.net->addLayer(std::move(fc));
+    b.reusable.push_back(2);
+    return b;
+}
+
+BuiltNet
+buildDyadicConv3dNet(Rng &rng)
+{
+    const int64_t ch = rng.uniformInt(1, 2);
+    const int64_t d = pickOdd(rng, 1, 2);
+    const int64_t h = pickOdd(rng, 1, 2);
+    const int64_t w = pickOdd(rng, 1, 2);
+    BuiltNet b;
+    b.net = std::make_unique<Network>("prop_conv3d",
+                                      Shape({ch, d, h, w}));
+    auto conv = std::make_unique<Conv3DLayer>(
+        "CONV1", ch, rng.uniformInt(2, 4), 3, 1);
+    dyadicize(conv->weights(), rng);
+    dyadicize(conv->biases(), rng);
+    const Shape conv_out =
+        conv->inferOutputShape(Shape({ch, d, h, w})).shape();
+    b.net->addLayer(std::move(conv));
+    b.reusable.push_back(0);
+    auto fc = std::make_unique<FullyConnectedLayer>(
+        "FC1", conv_out.numel(), pickOdd(rng, 1, 4));
+    dyadicize(fc->weights(), rng);
+    dyadicize(fc->biases(), rng);
+    b.net->addLayer(std::move(fc));
+    b.reusable.push_back(1);
+    return b;
+}
+
+/** Conv2d -> ReLU -> FC -> ReLU -> FC mixed stack. */
+BuiltNet
+buildDyadicMixedNet(Rng &rng)
+{
+    const int64_t ch = rng.uniformInt(1, 2);
+    const int64_t h = pickOdd(rng, 2, 3);
+    const int64_t w = pickOdd(rng, 2, 3);
+    BuiltNet b;
+    b.net = std::make_unique<Network>("prop_mixed", Shape({ch, h, w}));
+    auto conv =
+        std::make_unique<Conv2DLayer>("CONV1", ch, 3, 3, 1);
+    dyadicize(conv->weights(), rng);
+    dyadicize(conv->biases(), rng);
+    const Shape conv_out =
+        conv->inferOutputShape(Shape({ch, h, w})).shape();
+    b.net->addLayer(std::move(conv));
+    b.reusable.push_back(0);
+    b.net->addLayer(std::make_unique<ActivationLayer>(
+        "RELU1", ActivationKind::ReLU));
+    const int64_t mid = pickOdd(rng, 2, 5);
+    auto fc1 = std::make_unique<FullyConnectedLayer>(
+        "FC1", conv_out.numel(), mid);
+    dyadicize(fc1->weights(), rng);
+    dyadicize(fc1->biases(), rng);
+    b.net->addLayer(std::move(fc1));
+    b.reusable.push_back(2);
+    b.net->addLayer(std::make_unique<ActivationLayer>(
+        "RELU2", ActivationKind::ReLU));
+    auto fc2 = std::make_unique<FullyConnectedLayer>(
+        "FC2", mid, pickOdd(rng, 1, 3));
+    dyadicize(fc2->weights(), rng);
+    dyadicize(fc2->biases(), rng);
+    b.net->addLayer(std::move(fc2));
+    b.reusable.push_back(4);
+    return b;
+}
+
+QuantizationPlan
+dyadicPlan(const BuiltNet &b)
+{
+    QuantizationPlan plan(*b.net);
+    for (const size_t i : b.reusable)
+        plan.layer(i).input = dyadicQuantizer();
+    return plan;
+}
+
+/**
+ * The dyadic bit-exactness property: reuse output over the whole
+ * stream is bitwise identical to a from-scratch golden run.
+ */
+void
+expectDyadicBitExact(const BuiltNet &b, Rng &rng, uint64_t seed)
+{
+    SCOPED_TRACE(::testing::Message()
+                 << b.net->name() << " seed=" << seed);
+    ReuseEngine engine(*b.net, dyadicPlan(b));
+    const auto inputs =
+        dyadicStream(rng, b.net->inputShape(), 8);
+    bool saw_reuse = false;
+    const auto outputs = runStream(engine, inputs, &saw_reuse);
+    const OracleReport report =
+        diffAgainstScratch(engine, inputs, outputs);
+    EXPECT_TRUE(report.allBitExact())
+        << "first mismatch at frame " << report.firstMismatchFrame
+        << ", max |diff| " << report.maxAbsDiff;
+    EXPECT_TRUE(saw_reuse)
+        << "stream never exercised the incremental path";
+}
+
+TEST(PropertyDifferential, DyadicFcStreamsMatchScratchBitExactly)
+{
+    for (uint64_t seed = 1; seed <= 24; ++seed) {
+        Rng rng(1000 + seed);
+        const BuiltNet b = buildDyadicFcNet(rng);
+        expectDyadicBitExact(b, rng, seed);
+    }
+}
+
+TEST(PropertyDifferential, DyadicConv2dStreamsMatchScratchBitExactly)
+{
+    for (uint64_t seed = 1; seed <= 16; ++seed) {
+        Rng rng(2000 + seed);
+        const BuiltNet b = buildDyadicConv2dNet(rng);
+        expectDyadicBitExact(b, rng, seed);
+    }
+}
+
+TEST(PropertyDifferential, DyadicConv3dStreamsMatchScratchBitExactly)
+{
+    for (uint64_t seed = 1; seed <= 12; ++seed) {
+        Rng rng(3000 + seed);
+        const BuiltNet b = buildDyadicConv3dNet(rng);
+        expectDyadicBitExact(b, rng, seed);
+    }
+}
+
+TEST(PropertyDifferential, DyadicMixedTopologiesMatchScratchBitExactly)
+{
+    for (uint64_t seed = 1; seed <= 12; ++seed) {
+        Rng rng(4000 + seed);
+        const BuiltNet b = buildDyadicMixedNet(rng);
+        expectDyadicBitExact(b, rng, seed);
+    }
+}
+
+/**
+ * General-fp32 property: the reuse path stays within a small epsilon
+ * of from-scratch (rounding only), and a replay of the same stream on
+ * a fresh state is bit-identical (determinism).
+ */
+void
+expectGaussianWithinEpsilon(BuiltNet &b, Rng &rng, uint64_t seed)
+{
+    SCOPED_TRACE(::testing::Message()
+                 << b.net->name() << " seed=" << seed);
+    initNetwork(*b.net, rng);
+    std::vector<Tensor> calib;
+    for (int i = 0; i < 12; ++i) {
+        Tensor t(b.net->inputShape());
+        rng.fillGaussian(t.data(), 0.0f, 1.0f);
+        calib.push_back(t);
+    }
+    const NetworkRanges ranges = profileNetworkRanges(*b.net, calib);
+    const QuantizationPlan plan =
+        makePlan(*b.net, ranges, 64, b.reusable);
+    ReuseEngine engine(*b.net, plan);
+
+    const auto inputs =
+        gaussianStream(rng, b.net->inputShape(), 8, 0.15f);
+    const auto outputs = runStream(engine, inputs);
+    const OracleReport scratch =
+        diffAgainstScratch(engine, inputs, outputs);
+    EXPECT_LT(scratch.maxAbsDiff, 5e-3f)
+        << "incremental path drifted from scratch beyond rounding";
+    const OracleReport replay =
+        diffAgainstReplay(engine, inputs, outputs);
+    EXPECT_TRUE(replay.allBitExact())
+        << "replay diverged at frame " << replay.firstMismatchFrame;
+}
+
+TEST(PropertyDifferential, GaussianFcStreamsStayWithinRounding)
+{
+    for (uint64_t seed = 1; seed <= 16; ++seed) {
+        Rng rng(5000 + seed);
+        BuiltNet b = buildDyadicFcNet(rng);    // topology only
+        expectGaussianWithinEpsilon(b, rng, seed);
+    }
+}
+
+TEST(PropertyDifferential, GaussianConvStreamsStayWithinRounding)
+{
+    for (uint64_t seed = 1; seed <= 12; ++seed) {
+        Rng rng(6000 + seed);
+        BuiltNet b = (seed % 2 == 0) ? buildDyadicConv3dNet(rng)
+                                     : buildDyadicConv2dNet(rng);
+        expectGaussianWithinEpsilon(b, rng, seed);
+    }
+}
+
+/**
+ * Recurrent property: executeSequence is deterministic under replay
+ * (bit-exact on a fresh state fed the same sequences) and tracks the
+ * FP32 reference within the quantization tolerance.
+ */
+TEST(PropertyDifferential, RecurrentSequencesReplayExactly)
+{
+    for (uint64_t seed = 1; seed <= 12; ++seed) {
+        Rng rng(7000 + seed);
+        const int64_t in_dim = pickOdd(rng, 2, 5);
+        const int64_t cell_dim = pickOdd(rng, 1, 4);
+        const bool bidir = (seed % 2 == 0);
+        Network net("prop_lstm", Shape({in_dim}));
+        if (bidir) {
+            net.addLayer(std::make_unique<BiLstmLayer>(
+                "BLSTM1", in_dim, cell_dim));
+        } else {
+            net.addLayer(std::make_unique<LstmLayer>(
+                "LSTM1", in_dim, cell_dim));
+        }
+        initNetwork(net, rng);
+        SCOPED_TRACE(::testing::Message()
+                     << (bidir ? "bilstm" : "lstm")
+                     << " seed=" << seed);
+
+        QuantizationPlan plan(net);
+        plan.layer(0).input = LinearQuantizer(1024, -4.0f, 4.0f);
+        plan.layer(0).recurrent = LinearQuantizer(1024, -1.0f, 1.0f);
+        ReuseEngine engine(net, plan);
+
+        std::vector<std::vector<Tensor>> sequences;
+        for (int s = 0; s < 3; ++s)
+            sequences.push_back(
+                gaussianStream(rng, net.inputShape(), 6, 0.1f));
+
+        ReuseState state = engine.makeState();
+        ExecutionTrace trace;
+        std::vector<std::vector<Tensor>> outputs;
+        for (const auto &seq : sequences)
+            outputs.push_back(
+                engine.executeSequence(state, seq, trace));
+
+        const OracleReport replay =
+            diffSequencesAgainstReplay(engine, sequences, outputs);
+        EXPECT_TRUE(replay.allBitExact())
+            << "replay diverged at sequence "
+            << replay.firstMismatchFrame;
+
+        // Fine-grained quantizers keep the reuse path close to the
+        // FP32 reference (same tolerance as the unit tests).
+        for (size_t s = 0; s < sequences.size(); ++s) {
+            const auto want = net.forwardSequence(sequences[s]);
+            ASSERT_EQ(outputs[s].size(), want.size());
+            for (size_t t = 0; t < want.size(); ++t)
+                for (int64_t j = 0; j < want[t].numel(); ++j)
+                    EXPECT_NEAR(outputs[s][t][j], want[t][j], 8e-2f);
+        }
+    }
+}
+
+} // namespace
+} // namespace reuse

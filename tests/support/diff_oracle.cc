@@ -1,0 +1,151 @@
+#include "diff_oracle.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#include "common/logging.h"
+
+namespace reuse {
+namespace testing {
+
+namespace {
+
+/** Folds one (golden, actual) frame pair into `report`. */
+void
+recordFrame(OracleReport &report, const Tensor &golden,
+            const Tensor &actual)
+{
+    REUSE_ASSERT(golden.numel() == actual.numel(),
+                 "oracle: frame size mismatch");
+    const size_t frame = report.frames;
+    const float *g = golden.data().data();
+    const float *a = actual.data().data();
+    const size_t n = static_cast<size_t>(golden.numel());
+
+    float frame_max = 0.0f;
+    for (size_t i = 0; i < n; ++i)
+        frame_max = std::max(frame_max, std::fabs(g[i] - a[i]));
+    const bool bit_exact =
+        std::memcmp(g, a, n * sizeof(float)) == 0;
+
+    report.frames += 1;
+    report.frameMaxAbs.push_back(frame_max);
+    report.frameBitExact.push_back(bit_exact);
+    report.maxAbsDiff = std::max(report.maxAbsDiff, frame_max);
+    report.meanAbsDiff += frame_max;
+    if (!bit_exact) {
+        if (report.mismatchedFrames == 0)
+            report.firstMismatchFrame = frame;
+        report.mismatchedFrames += 1;
+    }
+}
+
+void
+finish(OracleReport &report)
+{
+    if (report.frames > 0)
+        report.meanAbsDiff /= static_cast<double>(report.frames);
+}
+
+OracleReport
+diffAgainstEngine(const ReuseEngine &golden_engine,
+                  const std::vector<Tensor> &inputs,
+                  const std::vector<Tensor> &outputs,
+                  const std::vector<uint64_t> &resets_before)
+{
+    REUSE_ASSERT(inputs.size() == outputs.size(),
+                 "oracle: " << inputs.size() << " inputs vs "
+                            << outputs.size() << " outputs");
+    OracleReport report;
+    ReuseState state = golden_engine.makeState();
+    ExecutionTrace trace;
+    size_t next_reset = 0;
+    for (size_t i = 0; i < inputs.size(); ++i) {
+        while (next_reset < resets_before.size() &&
+               resets_before[next_reset] < i)
+            ++next_reset;
+        if (next_reset < resets_before.size() &&
+            resets_before[next_reset] == i)
+            state.reset();
+        const Tensor golden =
+            golden_engine.execute(state, inputs[i], trace);
+        recordFrame(report, golden, outputs[i]);
+    }
+    finish(report);
+    return report;
+}
+
+} // namespace
+
+OracleReport
+diffAgainstReplay(const ReuseEngine &engine,
+                  const std::vector<Tensor> &inputs,
+                  const std::vector<Tensor> &outputs,
+                  const std::vector<uint64_t> &resetsBefore)
+{
+    return diffAgainstEngine(engine, inputs, outputs, resetsBefore);
+}
+
+OracleReport
+diffAgainstScratch(const ReuseEngine &engine,
+                   const std::vector<Tensor> &inputs,
+                   const std::vector<Tensor> &outputs)
+{
+    ReuseEngineConfig scratch_config;
+    scratch_config.refreshPeriod = 1;
+    ReuseEngine scratch(engine.network(), engine.plan(),
+                        scratch_config);
+    return diffAgainstEngine(scratch, inputs, outputs, {});
+}
+
+OracleReport
+diffSequencesAgainstReplay(
+    const ReuseEngine &engine,
+    const std::vector<std::vector<Tensor>> &sequences,
+    const std::vector<std::vector<Tensor>> &outputs)
+{
+    REUSE_ASSERT(sequences.size() == outputs.size(),
+                 "oracle: sequence count mismatch");
+    OracleReport report;
+    ReuseState state = engine.makeState();
+    ExecutionTrace trace;
+    for (size_t s = 0; s < sequences.size(); ++s) {
+        const std::vector<Tensor> golden =
+            engine.executeSequence(state, sequences[s], trace);
+        REUSE_ASSERT(golden.size() == outputs[s].size(),
+                     "oracle: sequence " << s << " length mismatch");
+        // One oracle "frame" per sequence: fold the per-timestep
+        // outputs into a single concatenated comparison.
+        float frame_max = 0.0f;
+        bool bit_exact = true;
+        for (size_t t = 0; t < golden.size(); ++t) {
+            const float *g = golden[t].data().data();
+            const float *a = outputs[s][t].data().data();
+            REUSE_ASSERT(golden[t].numel() == outputs[s][t].numel(),
+                         "oracle: timestep size mismatch");
+            const size_t n = static_cast<size_t>(golden[t].numel());
+            for (size_t i = 0; i < n; ++i) {
+                frame_max = std::max(frame_max,
+                                     std::fabs(g[i] - a[i]));
+            }
+            bit_exact = bit_exact &&
+                        std::memcmp(g, a, n * sizeof(float)) == 0;
+        }
+        report.frames += 1;
+        report.frameMaxAbs.push_back(frame_max);
+        report.frameBitExact.push_back(bit_exact);
+        report.maxAbsDiff = std::max(report.maxAbsDiff, frame_max);
+        report.meanAbsDiff += frame_max;
+        if (!bit_exact) {
+            if (report.mismatchedFrames == 0)
+                report.firstMismatchFrame = s;
+            report.mismatchedFrames += 1;
+        }
+    }
+    finish(report);
+    return report;
+}
+
+} // namespace testing
+} // namespace reuse

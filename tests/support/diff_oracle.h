@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Differential test oracle: runs the reuse path against a golden
+ * from-scratch (or per-frame-refresh) execution over a whole frame
+ * sequence and reports where and by how much the two diverge.
+ *
+ * The oracle is the correctness backbone of the fault tests: after a
+ * fault is injected and the drift-guard / re-warm machinery has done
+ * its job, the post-recovery frames must match the golden run
+ * bit-exactly (in an exact-arithmetic domain) or within an epsilon
+ * (general fp32).  Shared by the unit/property tests and the
+ * tools/fault_campaign CLI.
+ */
+
+#ifndef REUSE_DNN_TESTS_SUPPORT_DIFF_ORACLE_H
+#define REUSE_DNN_TESTS_SUPPORT_DIFF_ORACLE_H
+
+#include <cstdint>
+#include <vector>
+
+#include "core/reuse_engine.h"
+#include "tensor/tensor.h"
+
+namespace reuse {
+namespace testing {
+
+/** Per-sequence comparison result of one differential run. */
+struct OracleReport {
+    /** Frames (or sequences) compared. */
+    size_t frames = 0;
+    /** Largest elementwise |a - b| across all frames. */
+    float maxAbsDiff = 0.0f;
+    /** Mean over frames of each frame's max |a - b|. */
+    double meanAbsDiff = 0.0;
+    /** Frames with any non-bit-identical element. */
+    size_t mismatchedFrames = 0;
+    /** Index of the first non-bit-identical frame (or frames). */
+    size_t firstMismatchFrame = 0;
+    /** Per-frame max |a - b|. */
+    std::vector<float> frameMaxAbs;
+    /** Per-frame bit-exactness. */
+    std::vector<bool> frameBitExact;
+
+    /** True when every frame matched bit-exactly. */
+    bool allBitExact() const { return mismatchedFrames == 0; }
+
+    /** True when every frame from `start` on matched bit-exactly. */
+    bool bitExactFrom(size_t start) const
+    {
+        for (size_t i = start; i < frameBitExact.size(); ++i) {
+            if (!frameBitExact[i])
+                return false;
+        }
+        return true;
+    }
+};
+
+/**
+ * Feed-forward oracle: compares `outputs` (what the system under test
+ * produced for `inputs`, in order) against a golden replay on a fresh
+ * state of `engine`.  `resetsBefore` lists frame indices before which
+ * the golden state is reset — pass the session's coldFrames (plus any
+ * schedule-deterministic refreshes are handled by the engine itself,
+ * since the golden replay uses the same config).
+ */
+OracleReport diffAgainstReplay(const ReuseEngine &engine,
+                               const std::vector<Tensor> &inputs,
+                               const std::vector<Tensor> &outputs,
+                               const std::vector<uint64_t> &resetsBefore =
+                                   {});
+
+/**
+ * Feed-forward oracle against a per-frame-refresh golden: each golden
+ * frame executes from scratch on the quantized input (refreshPeriod=1
+ * engine over the same network/plan), which is the paper's exact
+ * semantics of "no reuse in quantized space".
+ */
+OracleReport diffAgainstScratch(const ReuseEngine &engine,
+                                const std::vector<Tensor> &inputs,
+                                const std::vector<Tensor> &outputs);
+
+/**
+ * Recurrent oracle: compares per-sequence outputs (flattened over
+ * timesteps) of the system under test against a golden replay on a
+ * fresh state.  reports one "frame" per sequence.
+ */
+OracleReport diffSequencesAgainstReplay(
+    const ReuseEngine &engine,
+    const std::vector<std::vector<Tensor>> &sequences,
+    const std::vector<std::vector<Tensor>> &outputs);
+
+} // namespace testing
+} // namespace reuse
+
+#endif // REUSE_DNN_TESTS_SUPPORT_DIFF_ORACLE_H
