@@ -18,6 +18,8 @@
 
 #include <chrono>
 #include <cmath>
+#include <cstdio>
+#include <fstream>
 #include <future>
 #include <iostream>
 #include <thread>
@@ -26,6 +28,8 @@
 #include "common/table_writer.h"
 #include "core/reuse_engine.h"
 #include "harness/workload_setup.h"
+#include "obs/trace_exporter.h"
+#include "obs/trace_recorder.h"
 #include "serve/streaming_server.h"
 #include "workloads/multi_session_generator.h"
 
@@ -56,11 +60,156 @@ singleStreamReuse(const ReuseEngine &engine,
     return stats.networkComputationReuse();
 }
 
+/**
+ * CI perf-smoke mode: one focused throughput measurement (64 sessions
+ * x 4 workers on Kaldi) plus an overload phase measuring the shed
+ * rate, written as one machine-readable JSON record.  `min_fps` > 0
+ * turns the record into a regression gate.
+ */
+int
+runJsonBench(const std::string &json_path, double min_fps)
+{
+    WorkloadSetupConfig cfg;
+    Workload w = setupKaldi(cfg);
+    ReuseEngine engine(*w.bundle.network, w.plan);
+
+    const size_t kFrames = 48;
+    const size_t kSessions = 64;
+    const size_t kWorkers = 4;
+    const uint64_t kBaseSeed = 2024;
+
+    MultiSessionGenerator streams(w.makeGenerator, kSessions,
+                                  kBaseSeed);
+    std::vector<std::vector<Tensor>> inputs;
+    for (size_t s = 0; s < kSessions; ++s)
+        inputs.push_back(streams.take(s, kFrames));
+
+    // Throughput phase: every stream's frames through a shared
+    // 4-worker server.
+    double fps = 0.0;
+    double p50 = 0.0, p95 = 0.0, p99 = 0.0;
+    {
+        StreamingServer::Config scfg;
+        scfg.workerThreads = kWorkers;
+        StreamingServer server(engine, scfg);
+        std::vector<SessionId> ids;
+        for (size_t s = 0; s < kSessions; ++s)
+            ids.push_back(server.openSession(
+                "default",
+                MultiSessionGenerator::sessionSeed(kBaseSeed, s)));
+        const auto t0 = std::chrono::steady_clock::now();
+        for (size_t i = 0; i < kFrames; ++i)
+            for (size_t s = 0; s < kSessions; ++s)
+                server.submitFrame(ids[s], inputs[s][i]);
+        server.drain();
+        const double secs = secondsSince(t0);
+        const ServeMetrics &m = server.metrics();
+        fps = double(m.framesCompleted()) / secs;
+        p50 = m.latency().percentile(0.50);
+        p95 = m.latency().percentile(0.95);
+        p99 = m.latency().percentile(0.99);
+    }
+
+    // Overload phase: a deliberately under-provisioned server (one
+    // worker, tight per-session pending bound) fed without pacing;
+    // the shed rate is the fraction of submits rejected with a
+    // backoff hint.
+    uint64_t shed_attempts = 0;
+    uint64_t shed_count = 0;
+    {
+        StreamingServer::Config scfg;
+        scfg.workerThreads = 1;
+        scfg.maxPendingPerSession = 2;
+        StreamingServer server(engine, scfg);
+        std::vector<SessionId> ids;
+        const size_t kShedSessions = 8;
+        for (size_t s = 0; s < kShedSessions; ++s)
+            ids.push_back(server.openSession(
+                "default",
+                MultiSessionGenerator::sessionSeed(kBaseSeed, s)));
+        std::vector<std::future<Tensor>> accepted;
+        for (size_t i = 0; i < kFrames; ++i) {
+            for (size_t s = 0; s < kShedSessions; ++s) {
+                ++shed_attempts;
+                StreamingServer::SubmitOutcome outcome =
+                    server.trySubmitFrame(ids[s], inputs[s][i]);
+                if (outcome.accepted())
+                    accepted.push_back(std::move(outcome.result));
+                else
+                    ++shed_count;
+            }
+        }
+        server.drain();
+        shed_count = server.metrics().framesShed();
+    }
+    const double shed_rate =
+        shed_attempts == 0
+            ? 0.0
+            : double(shed_count) / double(shed_attempts);
+
+    std::ofstream out(json_path, std::ios::trunc);
+    if (!out) {
+        std::cerr << "serve_throughput: cannot write " << json_path
+                  << "\n";
+        return 1;
+    }
+    char buf[512];
+    std::snprintf(
+        buf, sizeof(buf),
+        "{\n  \"bench\": \"serve_throughput\",\n"
+        "  \"workload\": \"Kaldi\",\n"
+        "  \"sessions\": %zu,\n  \"workers\": %zu,\n"
+        "  \"frames\": %zu,\n"
+        "  \"frames_per_second\": %.1f,\n"
+        "  \"latency_p50_us\": %.1f,\n"
+        "  \"latency_p95_us\": %.1f,\n"
+        "  \"latency_p99_us\": %.1f,\n"
+        "  \"shed_attempts\": %llu,\n"
+        "  \"shed_rate\": %.4f\n}\n",
+        kSessions, kWorkers, kSessions * kFrames, fps, p50, p95, p99,
+        static_cast<unsigned long long>(shed_attempts), shed_rate);
+    out << buf;
+    std::printf("wrote %s (%.0f frames/s, p99 %.0f us, shed rate "
+                "%.2f%%)\n",
+                json_path.c_str(), fps, p99, shed_rate * 100.0);
+    if (min_fps > 0.0 && fps < min_fps) {
+        std::cerr << "serve_throughput: REGRESSION: " << fps
+                  << " frames/s < required " << min_fps << "\n";
+        return 1;
+    }
+    return 0;
+}
+
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    std::string json_path;
+    std::string trace_path;
+    double min_fps = 0.0;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg.rfind("--json=", 0) == 0)
+            json_path = arg.substr(7);
+        else if (arg.rfind("--min-fps=", 0) == 0)
+            min_fps = std::stod(arg.substr(10));
+        else if (arg.rfind("--trace-out=", 0) == 0)
+            trace_path = arg.substr(12);
+    }
+    if (!trace_path.empty() &&
+        !obs::TraceRecorder::instance().enabled()) {
+        // The flag alone should produce a trace; default to 1/16
+        // frame sampling unless REUSE_TRACE_SAMPLE already chose.
+        obs::TraceRecorder::instance().setSampleEvery(16);
+    }
+    if (!json_path.empty()) {
+        const int rc = runJsonBench(json_path, min_fps);
+        if (!trace_path.empty())
+            obs::TraceExporter::exportFile(trace_path);
+        return rc;
+    }
+
     std::cout << "Multi-stream serving throughput (Kaldi workload)\n"
               << "Hardware threads available: "
               << std::thread::hardware_concurrency() << "\n\n";
@@ -228,5 +377,9 @@ main()
                                   : std::to_string(mismatches) +
                                         " MISMATCHES")
               << "\n";
+    if (!trace_path.empty() &&
+        obs::TraceExporter::exportFile(trace_path)) {
+        std::cout << "wrote trace to " << trace_path << "\n";
+    }
     return mismatches == 0 ? 0 : 1;
 }

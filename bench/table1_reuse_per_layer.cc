@@ -6,11 +6,14 @@
  */
 
 #include <iostream>
+#include <string>
 
 #include "common/table_writer.h"
 #include "harness/experiment.h"
 #include "harness/paper_reference.h"
 #include "harness/workload_setup.h"
+#include "obs/trace_exporter.h"
+#include "obs/trace_recorder.h"
 
 namespace reuse {
 namespace {
@@ -56,8 +59,18 @@ runWorkload(const std::string &name, size_t count)
 } // namespace reuse
 
 int
-main()
+main(int argc, char **argv)
 {
+    std::string trace_path;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg.rfind("--trace-out=", 0) == 0)
+            trace_path = arg.substr(12);
+    }
+    if (!trace_path.empty() &&
+        !reuse::obs::TraceRecorder::instance().enabled())
+        reuse::obs::TraceRecorder::instance().setSampleEvery(1);
+
     std::cout << "Table I reproduction: per-layer computation reuse\n"
               << "(synthetic workloads; C3D functionally simulated at "
                  "reduced resolution)\n";
@@ -65,5 +78,10 @@ main()
     reuse::runWorkload("EESEN", 40);
     reuse::runWorkload("C3D", 5);
     reuse::runWorkload("AutoPilot", 12);
+
+    if (!trace_path.empty() &&
+        reuse::obs::TraceExporter::exportFile(trace_path)) {
+        std::cout << "\nwrote trace to " << trace_path << "\n";
+    }
     return 0;
 }

@@ -11,9 +11,11 @@
  * sessions transparently re-warm on their next frame.
  *
  * Build & run:  ./build/examples/streaming_server
+ *               [--trace-out=trace.json]  (chrome://tracing/Perfetto)
  */
 
 #include <iostream>
+#include <string>
 #include <vector>
 
 #include "common/random.h"
@@ -22,14 +24,30 @@
 #include "nn/activations.h"
 #include "nn/fully_connected.h"
 #include "nn/initializers.h"
+#include "obs/metrics_exporter.h"
+#include "obs/trace_exporter.h"
+#include "obs/trace_recorder.h"
 #include "quant/range_profiler.h"
 #include "serve/streaming_server.h"
 
 using namespace reuse;
 
 int
-main()
+main(int argc, char **argv)
 {
+    std::string trace_path;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg.rfind("--trace-out=", 0) == 0)
+            trace_path = arg.substr(12);
+    }
+    if (!trace_path.empty() &&
+        !obs::TraceRecorder::instance().enabled()) {
+        // Trace every frame: the demo is small and the point is to
+        // see the whole submit -> queue -> per-layer picture.
+        obs::TraceRecorder::instance().setSampleEvery(1);
+    }
+
     // 1. Build and calibrate a small MLP (as in examples/quickstart).
     Rng rng(42);
     Network net("demo", Shape({64}));
@@ -124,8 +142,30 @@ main()
     server.publishStats(registry);
     std::cout << "Published counters:\n" << registry.dump();
 
+    // 6. Metrics exposition: the same registry rendered as a
+    // Prometheus text scrape (what an operations stack would pull).
+    obs::MetricsExporter exporter;
+    exporter.scrape(registry);
+    std::cout << "\nPrometheus exposition (excerpt):\n";
+    const std::string prom = exporter.prometheusText(registry);
+    size_t lines = 0;
+    for (size_t pos = 0; pos < prom.size() && lines < 12;) {
+        const size_t nl = prom.find('\n', pos);
+        if (nl == std::string::npos)
+            break;
+        std::cout << "  " << prom.substr(pos, nl - pos) << "\n";
+        pos = nl + 1;
+        ++lines;
+    }
+
     for (SessionId id : ids)
         server.closeSession(id);
     server.stop();
+
+    if (!trace_path.empty() &&
+        obs::TraceExporter::exportFile(trace_path)) {
+        std::cout << "\nwrote trace to " << trace_path
+                  << " (load in chrome://tracing or ui.perfetto.dev)\n";
+    }
     return 0;
 }

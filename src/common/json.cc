@@ -1,0 +1,381 @@
+#include "json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace reuse {
+
+bool
+JsonValue::asBool() const
+{
+    REUSE_ASSERT(isBool(), "JSON value is not a bool");
+    return bool_;
+}
+
+double
+JsonValue::asNumber() const
+{
+    REUSE_ASSERT(isNumber(), "JSON value is not a number");
+    return num_;
+}
+
+int64_t
+JsonValue::asInt() const
+{
+    return static_cast<int64_t>(std::llround(asNumber()));
+}
+
+const std::string &
+JsonValue::asString() const
+{
+    REUSE_ASSERT(isString(), "JSON value is not a string");
+    return str_;
+}
+
+const JsonValue::Array &
+JsonValue::asArray() const
+{
+    REUSE_ASSERT(isArray(), "JSON value is not an array");
+    return arr_;
+}
+
+JsonValue::Array &
+JsonValue::asArray()
+{
+    REUSE_ASSERT(isArray(), "JSON value is not an array");
+    return arr_;
+}
+
+const JsonValue::Object &
+JsonValue::asObject() const
+{
+    REUSE_ASSERT(isObject(), "JSON value is not an object");
+    return obj_;
+}
+
+JsonValue::Object &
+JsonValue::asObject()
+{
+    REUSE_ASSERT(isObject(), "JSON value is not an object");
+    return obj_;
+}
+
+bool
+JsonValue::has(const std::string &key) const
+{
+    return isObject() && obj_.count(key) > 0;
+}
+
+const JsonValue &
+JsonValue::at(const std::string &key) const
+{
+    REUSE_ASSERT(isObject(), "JSON value is not an object");
+    auto it = obj_.find(key);
+    REUSE_ASSERT(it != obj_.end(), "missing JSON key " << key);
+    return it->second;
+}
+
+namespace {
+
+/** Recursive-descent parser over a flat character buffer. */
+class Parser
+{
+  public:
+    explicit Parser(const std::string &text) : text_(text) {}
+
+    JsonParseResult run()
+    {
+        JsonParseResult result;
+        JsonValue v;
+        if (!parseValue(v)) {
+            result.error = error_;
+            return result;
+        }
+        skipWs();
+        if (pos_ != text_.size()) {
+            fail("trailing characters after document");
+            result.error = error_;
+            return result;
+        }
+        result.ok = true;
+        result.value = std::move(v);
+        return result;
+    }
+
+  private:
+    bool fail(const std::string &what)
+    {
+        std::ostringstream oss;
+        oss << what << " at offset " << pos_;
+        error_ = oss.str();
+        return false;
+    }
+
+    void skipWs()
+    {
+        while (pos_ < text_.size() &&
+               (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+                text_[pos_] == '\n' || text_[pos_] == '\r'))
+            ++pos_;
+    }
+
+    bool consume(char c)
+    {
+        if (pos_ < text_.size() && text_[pos_] == c) {
+            ++pos_;
+            return true;
+        }
+        return false;
+    }
+
+    bool literal(const char *word, JsonValue v, JsonValue &out)
+    {
+        const size_t len = std::char_traits<char>::length(word);
+        if (text_.compare(pos_, len, word) != 0)
+            return fail("invalid literal");
+        pos_ += len;
+        out = std::move(v);
+        return true;
+    }
+
+    bool parseValue(JsonValue &out)
+    {
+        skipWs();
+        if (pos_ >= text_.size())
+            return fail("unexpected end of input");
+        switch (text_[pos_]) {
+          case '{':
+            return parseObject(out);
+          case '[':
+            return parseArray(out);
+          case '"': {
+            std::string s;
+            if (!parseString(s))
+                return false;
+            out = JsonValue(std::move(s));
+            return true;
+          }
+          case 't':
+            return literal("true", JsonValue(true), out);
+          case 'f':
+            return literal("false", JsonValue(false), out);
+          case 'n':
+            return literal("null", JsonValue(), out);
+          default:
+            return parseNumber(out);
+        }
+    }
+
+    bool parseObject(JsonValue &out)
+    {
+        ++pos_; // '{'
+        JsonValue obj = JsonValue::makeObject();
+        skipWs();
+        if (consume('}')) {
+            out = std::move(obj);
+            return true;
+        }
+        while (true) {
+            skipWs();
+            std::string key;
+            if (!parseString(key))
+                return false;
+            skipWs();
+            if (!consume(':'))
+                return fail("expected ':' in object");
+            JsonValue v;
+            if (!parseValue(v))
+                return false;
+            obj.asObject()[std::move(key)] = std::move(v);
+            skipWs();
+            if (consume(','))
+                continue;
+            if (consume('}'))
+                break;
+            return fail("expected ',' or '}' in object");
+        }
+        out = std::move(obj);
+        return true;
+    }
+
+    bool parseArray(JsonValue &out)
+    {
+        ++pos_; // '['
+        JsonValue arr = JsonValue::makeArray();
+        skipWs();
+        if (consume(']')) {
+            out = std::move(arr);
+            return true;
+        }
+        while (true) {
+            JsonValue v;
+            if (!parseValue(v))
+                return false;
+            arr.asArray().push_back(std::move(v));
+            skipWs();
+            if (consume(','))
+                continue;
+            if (consume(']'))
+                break;
+            return fail("expected ',' or ']' in array");
+        }
+        out = std::move(arr);
+        return true;
+    }
+
+    bool parseString(std::string &out)
+    {
+        if (!consume('"'))
+            return fail("expected string");
+        out.clear();
+        while (pos_ < text_.size()) {
+            const char c = text_[pos_++];
+            if (c == '"')
+                return true;
+            if (c != '\\') {
+                out.push_back(c);
+                continue;
+            }
+            if (pos_ >= text_.size())
+                return fail("dangling escape");
+            const char esc = text_[pos_++];
+            switch (esc) {
+              case '"': out.push_back('"'); break;
+              case '\\': out.push_back('\\'); break;
+              case '/': out.push_back('/'); break;
+              case 'b': out.push_back('\b'); break;
+              case 'f': out.push_back('\f'); break;
+              case 'n': out.push_back('\n'); break;
+              case 'r': out.push_back('\r'); break;
+              case 't': out.push_back('\t'); break;
+              case 'u': {
+                if (pos_ + 4 > text_.size())
+                    return fail("truncated \\u escape");
+                unsigned code = 0;
+                for (int i = 0; i < 4; ++i) {
+                    const char h = text_[pos_++];
+                    code <<= 4;
+                    if (h >= '0' && h <= '9')
+                        code |= static_cast<unsigned>(h - '0');
+                    else if (h >= 'a' && h <= 'f')
+                        code |= static_cast<unsigned>(h - 'a' + 10);
+                    else if (h >= 'A' && h <= 'F')
+                        code |= static_cast<unsigned>(h - 'A' + 10);
+                    else
+                        return fail("invalid \\u escape");
+                }
+                // UTF-8 encode the BMP code point (surrogate pairs in
+                // machine-generated traces never occur; pass them
+                // through as replacement-free raw encodings).
+                if (code < 0x80) {
+                    out.push_back(static_cast<char>(code));
+                } else if (code < 0x800) {
+                    out.push_back(
+                        static_cast<char>(0xC0 | (code >> 6)));
+                    out.push_back(
+                        static_cast<char>(0x80 | (code & 0x3F)));
+                } else {
+                    out.push_back(
+                        static_cast<char>(0xE0 | (code >> 12)));
+                    out.push_back(static_cast<char>(
+                        0x80 | ((code >> 6) & 0x3F)));
+                    out.push_back(
+                        static_cast<char>(0x80 | (code & 0x3F)));
+                }
+                break;
+              }
+              default:
+                return fail("invalid escape");
+            }
+        }
+        return fail("unterminated string");
+    }
+
+    bool parseNumber(JsonValue &out)
+    {
+        const size_t start = pos_;
+        if (pos_ < text_.size() && text_[pos_] == '-')
+            ++pos_;
+        while (pos_ < text_.size() &&
+               (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+                text_[pos_] == '.' || text_[pos_] == 'e' ||
+                text_[pos_] == 'E' || text_[pos_] == '+' ||
+                text_[pos_] == '-'))
+            ++pos_;
+        if (pos_ == start)
+            return fail("expected value");
+        const std::string token = text_.substr(start, pos_ - start);
+        char *end = nullptr;
+        const double v = std::strtod(token.c_str(), &end);
+        if (end == nullptr || *end != '\0') {
+            pos_ = start;
+            return fail("invalid number");
+        }
+        out = JsonValue(v);
+        return true;
+    }
+
+    const std::string &text_;
+    size_t pos_ = 0;
+    std::string error_;
+};
+
+} // namespace
+
+JsonParseResult
+parseJson(const std::string &text)
+{
+    return Parser(text).run();
+}
+
+JsonParseResult
+parseJsonFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+        JsonParseResult r;
+        r.error = "cannot open " + path;
+        return r;
+    }
+    std::ostringstream oss;
+    oss << in.rdbuf();
+    JsonParseResult r = parseJson(oss.str());
+    if (!r.ok)
+        r.error = path + ": " + r.error;
+    return r;
+}
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size() + 8);
+    for (const char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\b': out += "\\b"; break;
+          case '\f': out += "\\f"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(c));
+                out += buf;
+            } else {
+                out.push_back(c);
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace reuse

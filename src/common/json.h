@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Minimal JSON value, recursive-descent parser and string escaping.
+ *
+ * Dependency-free by design: the tracing exporter writes Chrome
+ * trace-event files and tools/trace_report + the CI trace-smoke job
+ * read them back, so the repo needs to parse its own output without
+ * pulling a third-party JSON library into the image.  The parser
+ * accepts strict JSON (RFC 8259) and is intended for trusted,
+ * machine-generated inputs (traces, bench records, schemas) — not for
+ * hostile data.
+ */
+
+#ifndef REUSE_DNN_COMMON_JSON_H
+#define REUSE_DNN_COMMON_JSON_H
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace reuse {
+
+/**
+ * One JSON value: null, bool, number (double), string, array or
+ * object.  Object member order is not preserved (std::map).
+ */
+class JsonValue
+{
+  public:
+    enum class Kind { Null, Bool, Number, String, Array, Object };
+
+    using Array = std::vector<JsonValue>;
+    using Object = std::map<std::string, JsonValue>;
+
+    JsonValue() = default;
+    JsonValue(bool b) : kind_(Kind::Bool), bool_(b) {}
+    JsonValue(double d) : kind_(Kind::Number), num_(d) {}
+    JsonValue(std::string s) : kind_(Kind::String), str_(std::move(s)) {}
+
+    static JsonValue makeArray() { return JsonValue(Kind::Array); }
+    static JsonValue makeObject() { return JsonValue(Kind::Object); }
+
+    Kind kind() const { return kind_; }
+    bool isNull() const { return kind_ == Kind::Null; }
+    bool isBool() const { return kind_ == Kind::Bool; }
+    bool isNumber() const { return kind_ == Kind::Number; }
+    bool isString() const { return kind_ == Kind::String; }
+    bool isArray() const { return kind_ == Kind::Array; }
+    bool isObject() const { return kind_ == Kind::Object; }
+
+    /** Value accessors; fatal on kind mismatch. */
+    bool asBool() const;
+    double asNumber() const;
+    int64_t asInt() const;
+    const std::string &asString() const;
+    const Array &asArray() const;
+    Array &asArray();
+    const Object &asObject() const;
+    Object &asObject();
+
+    /** True when this is an object with member `key`. */
+    bool has(const std::string &key) const;
+
+    /**
+     * Member lookup; fatal when this is not an object or the key is
+     * missing.  Use has() to probe.
+     */
+    const JsonValue &at(const std::string &key) const;
+
+  private:
+    explicit JsonValue(Kind kind) : kind_(kind) {}
+
+    Kind kind_ = Kind::Null;
+    bool bool_ = false;
+    double num_ = 0.0;
+    std::string str_;
+    Array arr_;
+    Object obj_;
+};
+
+/** Outcome of parseJson(). */
+struct JsonParseResult {
+    bool ok = false;
+    /** Human-readable error with byte offset ("" on success). */
+    std::string error;
+    JsonValue value;
+};
+
+/** Parses one JSON document (trailing whitespace allowed). */
+JsonParseResult parseJson(const std::string &text);
+
+/** Reads and parses a JSON file; error mentions the path. */
+JsonParseResult parseJsonFile(const std::string &path);
+
+/** Escapes `s` for embedding inside a JSON string literal. */
+std::string jsonEscape(const std::string &s);
+
+} // namespace reuse
+
+#endif // REUSE_DNN_COMMON_JSON_H

@@ -90,6 +90,19 @@ LatencyHistogram::percentile(double p) const
 }
 
 void
+LatencyHistogram::merge(const LatencyHistogram &other)
+{
+    for (size_t i = 0; i < buckets_.size(); ++i) {
+        const uint64_t n =
+            other.buckets_[i].load(std::memory_order_relaxed);
+        if (n != 0)
+            buckets_[i].fetch_add(n, std::memory_order_relaxed);
+    }
+    count_.fetch_add(other.count(), std::memory_order_relaxed);
+    atomicAddDouble(sum_, other.sum());
+}
+
+void
 LatencyHistogram::reset()
 {
     for (auto &b : buckets_)

@@ -45,6 +45,14 @@ class LatencyHistogram
      */
     double percentile(double p) const;
 
+    /**
+     * Adds every sample of `other` into this histogram (bucket-wise;
+     * exact, since both use the same fixed bucket geometry).  Safe
+     * concurrently with record() on either side; a merge overlapping
+     * a record() may or may not include that sample.
+     */
+    void merge(const LatencyHistogram &other);
+
     /** Clears all buckets. */
     void reset();
 

@@ -6,6 +6,7 @@
 #include "common/logging.h"
 #include "fault/fault_injector.h"
 #include "kernels/delta_kernels.h"
+#include "obs/trace_recorder.h"
 
 namespace reuse {
 
@@ -97,6 +98,9 @@ ConvReuseState::firstExecution(const Tensor &input, LayerExecRecord &rec,
 {
     if (has_prev_)
         return false;
+    obs::TraceSpan span(obs::SpanKind::FirstExec);
+    span.args(0, 0, rec.macsFull, rec.macsFull,
+              obs::kFlagFirstExecution | obs::kFlagReuseEnabled);
     const int64_t n = input.numel();
     prev_indices_.resize(static_cast<size_t>(n));
     Tensor quantized(input.shape());
@@ -139,11 +143,19 @@ ConvReuseState::executeConv2d(const Tensor &input, LayerExecRecord &rec)
     fault::corruptFloats(LayerKind::Conv2D,
                          prev_output_.data().data(),
                          prev_output_.numel());
-    const int64_t changed = kernels::scanChanges(
-        input.data().data(), n, scan, prev_indices_.data(), changes_);
+    int64_t changed = 0;
+    {
+        obs::TraceSpan span(obs::SpanKind::LayerScan);
+        changed = kernels::scanChanges(input.data().data(), n, scan,
+                                       prev_indices_.data(), changes_);
+        span.args(n, changed);
+    }
     fault::truncateChanges(LayerKind::Conv2D, changes_);
     int64_t macs = 0;
     if (!changes_.empty()) {
+        obs::TraceSpan span(obs::SpanKind::LayerApply);
+        span.args(static_cast<int64_t>(changes_.size()),
+                  rec.outputsTotal);
         kernels::Conv2dGeometry geom;
         geom.in_h = h;
         geom.in_w = w;
@@ -194,11 +206,19 @@ ConvReuseState::executeConv3d(const Tensor &input, LayerExecRecord &rec)
     fault::corruptFloats(LayerKind::Conv3D,
                          prev_output_.data().data(),
                          prev_output_.numel());
-    const int64_t changed = kernels::scanChanges(
-        input.data().data(), n, scan, prev_indices_.data(), changes_);
+    int64_t changed = 0;
+    {
+        obs::TraceSpan span(obs::SpanKind::LayerScan);
+        changed = kernels::scanChanges(input.data().data(), n, scan,
+                                       prev_indices_.data(), changes_);
+        span.args(n, changed);
+    }
     fault::truncateChanges(LayerKind::Conv3D, changes_);
     int64_t macs = 0;
     if (!changes_.empty()) {
+        obs::TraceSpan span(obs::SpanKind::LayerApply);
+        span.args(static_cast<int64_t>(changes_.size()),
+                  rec.outputsTotal);
         kernels::Conv3dGeometry geom;
         geom.in_d = d;
         geom.in_h = h;

@@ -6,6 +6,7 @@
 #include "common/logging.h"
 #include "fault/fault_injector.h"
 #include "kernels/delta_kernels.h"
+#include "obs/trace_recorder.h"
 
 namespace reuse {
 
@@ -82,6 +83,9 @@ FcReuseState::execute(const Tensor &input, LayerExecRecord &rec)
         // First execution: quantize every input, store the indices,
         // and compute from scratch on the centroids (Fig. 7, top
         // path).  Buffers may have been released by an eviction.
+        obs::TraceSpan span(obs::SpanKind::FirstExec);
+        span.args(0, 0, rec.macsFull, rec.macsFull,
+                  obs::kFlagFirstExecution | obs::kFlagReuseEnabled);
         prev_indices_.resize(static_cast<size_t>(n));
         prev_outputs_.resize(static_cast<size_t>(m));
         Tensor quantized(input.shape());
@@ -111,10 +115,17 @@ FcReuseState::execute(const Tensor &input, LayerExecRecord &rec)
                           prev_indices_.data(), n);
     fault::corruptFloats(LayerKind::FullyConnected,
                          prev_outputs_.data(), m);
-    const int64_t changed = kernels::scanChanges(
-        input.data().data(), n, scan, prev_indices_.data(), changes_);
+    int64_t changed = 0;
+    {
+        obs::TraceSpan span(obs::SpanKind::LayerScan);
+        changed = kernels::scanChanges(input.data().data(), n, scan,
+                                       prev_indices_.data(), changes_);
+        span.args(n, changed);
+    }
     fault::truncateChanges(LayerKind::FullyConnected, changes_);
     if (!changes_.empty()) {
+        obs::TraceSpan span(obs::SpanKind::LayerApply);
+        span.args(static_cast<int64_t>(changes_.size()), m);
         kernels::applyDeltas(changes_, layer_.weights().data(), m,
                              prev_outputs_.data());
     }

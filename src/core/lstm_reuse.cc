@@ -4,6 +4,7 @@
 #include "common/logging.h"
 #include "fault/fault_injector.h"
 #include "kernels/delta_kernels.h"
+#include "obs/trace_recorder.h"
 
 namespace reuse {
 
@@ -111,11 +112,19 @@ LstmCellReuseState::step(const std::vector<float> &x, LayerExecRecord &rec)
                 owner_kind_, preacts_[0].data(),
                 static_cast<int64_t>(preacts_[0].size()));
         }
-        const int64_t changed_x =
-            kernels::scanChanges(x.data(), in_dim, x_scan,
-                                 prev_x_indices_.data(), x_changes_);
+        int64_t changed_x = 0;
+        {
+            obs::TraceSpan span(obs::SpanKind::LayerScan);
+            changed_x = kernels::scanChanges(x.data(), in_dim, x_scan,
+                                             prev_x_indices_.data(),
+                                             x_changes_);
+            span.args(in_dim, changed_x);
+        }
         fault::truncateChanges(owner_kind_, x_changes_);
         if (!x_changes_.empty()) {
+            obs::TraceSpan span(obs::SpanKind::LayerApply);
+            span.args(static_cast<int64_t>(x_changes_.size()),
+                      NumLstmGates * cell_dim);
             for (int g = 0; g < NumLstmGates; ++g) {
                 kernels::applyDeltas(
                     x_changes_,
@@ -123,11 +132,19 @@ LstmCellReuseState::step(const std::vector<float> &x, LayerExecRecord &rec)
                     preacts_[static_cast<size_t>(g)].data());
             }
         }
-        const int64_t changed_h =
-            kernels::scanChanges(h_.data(), cell_dim,
-                                 h_quant_.scanParams(),
-                                 prev_h_indices_.data(), h_changes_);
+        int64_t changed_h = 0;
+        {
+            obs::TraceSpan span(obs::SpanKind::LayerScan);
+            changed_h = kernels::scanChanges(h_.data(), cell_dim,
+                                             h_quant_.scanParams(),
+                                             prev_h_indices_.data(),
+                                             h_changes_);
+            span.args(cell_dim, changed_h);
+        }
         if (changed_h > 0) {
+            obs::TraceSpan span(obs::SpanKind::LayerApply);
+            span.args(static_cast<int64_t>(h_changes_.size()),
+                      NumLstmGates * cell_dim);
             for (int g = 0; g < NumLstmGates; ++g) {
                 kernels::applyDeltas(
                     h_changes_, cell_.recurrent(g).weights().data(),

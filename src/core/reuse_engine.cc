@@ -5,6 +5,7 @@
 #include "fault/fault_injector.h"
 #include "nn/conv2d.h"
 #include "nn/conv3d.h"
+#include "obs/trace_recorder.h"
 
 namespace reuse {
 
@@ -171,9 +172,17 @@ ReuseEngine::execute(ReuseState &state, const Tensor &input,
     checkState(state);
     fault::maybeStall();
 
+    // Outermost scope on this thread decides frame sampling; under
+    // the serving runtime the server's scope (which knows the session
+    // and frame ids) already decided and this one is a pass-through.
+    obs::FrameTraceScope frame_scope(0, obs::kAutoFrame);
+
     const bool refreshed = drift_guard_.shouldRefresh(state);
-    if (refreshed)
+    if (refreshed) {
+        obs::recordInstant(obs::SpanKind::DriftRefresh, -1,
+                           state.executions_since_refresh_);
         state.reset();
+    }
     ++state.executions_since_refresh_;
 
     trace.clear();
@@ -186,7 +195,21 @@ ReuseEngine::execute(ReuseState &state, const Tensor &input,
     const Tensor *current = &input;
     Tensor next;
     for (size_t li = 0; li < network_.layerCount(); ++li) {
-        next = executeLayer(state, li, *current, trace[li]);
+        LayerExecRecord &rec = trace[li];
+        obs::TraceSpan span(obs::SpanKind::LayerExec,
+                            static_cast<int32_t>(li));
+        next = executeLayer(state, li, *current, rec);
+        if (span.active()) {
+            uint32_t flags = 0;
+            if (rec.firstExecution)
+                flags |= obs::kFlagFirstExecution;
+            if (rec.reuseEnabled)
+                flags |= obs::kFlagReuseEnabled;
+            if (refreshed)
+                flags |= obs::kFlagDriftRefresh;
+            span.args(rec.inputsChecked, rec.inputsChanged,
+                      rec.macsFull, rec.macsPerformed, flags);
+        }
         current = &next;
     }
     if (refreshed) {
@@ -232,6 +255,8 @@ ReuseEngine::executeSequence(ReuseState &state,
 
     // Recurrent: the whole sequence flows layer-by-layer (Sec. IV-D);
     // each call is a fresh utterance, so reuse state starts clean.
+    // For tracing, the utterance counts as one frame.
+    obs::FrameTraceScope frame_scope(0, obs::kAutoFrame);
     state.reset();
     trace.clear();
     trace.resize(network_.layerCount());
@@ -239,6 +264,8 @@ ReuseEngine::executeSequence(ReuseState &state,
     for (size_t li = 0; li < network_.layerCount(); ++li) {
         LayerExecRecord &rec = trace[li];
         rec.layerIndex = li;
+        obs::TraceSpan layer_span(obs::SpanKind::LayerExec,
+                                  static_cast<int32_t>(li));
         const Layer &layer = network_.layer(li);
         if (state.lstm_[li]) {
             current = state.lstm_[li]->executeSequence(current, rec);
@@ -287,6 +314,15 @@ ReuseEngine::executeSequence(ReuseState &state,
                 outputs.push_back(std::move(out));
             }
             current = std::move(outputs);
+        }
+        if (layer_span.active()) {
+            uint32_t flags = 0;
+            if (rec.firstExecution)
+                flags |= obs::kFlagFirstExecution;
+            if (rec.reuseEnabled)
+                flags |= obs::kFlagReuseEnabled;
+            layer_span.args(rec.inputsChecked, rec.inputsChanged,
+                            rec.macsFull, rec.macsPerformed, flags);
         }
     }
     return current;

@@ -4,6 +4,7 @@
 #include <cstdlib>
 
 #include "common/math_utils.h"
+#include "obs/trace_recorder.h"
 
 namespace reuse {
 namespace kernels {
@@ -123,6 +124,11 @@ KernelThreadPool::parallelFor(int64_t total, int64_t grain,
         return;
     if (grain <= 0)
         grain = total;
+    // Dispatch span on the calling thread: covers inline execution
+    // and the fan-out/join of the pooled path alike (chunk bodies on
+    // pool workers are outside any sampled frame and stay untraced).
+    obs::TraceSpan dispatch_span(obs::SpanKind::PoolDispatch);
+    dispatch_span.args(total, grain);
     if (workers_.empty() || total <= grain) {
         // Inline execution with identical chunk boundaries, so the
         // result is bit-identical to the threaded path.

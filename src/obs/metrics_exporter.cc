@@ -1,0 +1,119 @@
+#include "metrics_exporter.h"
+
+#include <cctype>
+#include <cstdio>
+#include <sstream>
+
+namespace reuse {
+namespace obs {
+
+namespace {
+
+/** Formats a double the way Prometheus expects (shortest exact-ish). */
+std::string
+formatValue(double v)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.9g", v);
+    return buf;
+}
+
+} // namespace
+
+bool
+MetricsExporter::tracked(const std::string &name) const
+{
+    for (const std::string &suffix : config_.ewmaSuffixes) {
+        if (name.size() >= suffix.size() &&
+            name.compare(name.size() - suffix.size(), suffix.size(),
+                         suffix) == 0)
+            return true;
+    }
+    return false;
+}
+
+void
+MetricsExporter::scrape(const StatRegistry &registry)
+{
+    for (const auto &[name, counter] : registry.all()) {
+        if (!tracked(name))
+            continue;
+        const double v = counter.value();
+        auto it = ewma_.find(name);
+        if (it == ewma_.end())
+            ewma_.emplace(name, v);
+        else
+            it->second = config_.ewmaAlpha * v +
+                         (1.0 - config_.ewmaAlpha) * it->second;
+    }
+    ++scrapes_;
+}
+
+double
+MetricsExporter::ewma(const std::string &name, double fallback) const
+{
+    auto it = ewma_.find(name);
+    return it == ewma_.end() ? fallback : it->second;
+}
+
+std::string
+MetricsExporter::promName(const std::string &name)
+{
+    std::string out;
+    out.reserve(name.size());
+    for (const char c : name) {
+        if (std::isalnum(static_cast<unsigned char>(c)))
+            out.push_back(c);
+        else
+            out.push_back('_');
+    }
+    // Metric names must not start with a digit.
+    if (!out.empty() && std::isdigit(static_cast<unsigned char>(out[0])))
+        out.insert(out.begin(), '_');
+    return out;
+}
+
+std::string
+MetricsExporter::prometheusText(const StatRegistry &registry) const
+{
+    std::ostringstream os;
+    for (const auto &[name, counter] : registry.all()) {
+        const std::string metric = config_.promPrefix + promName(name);
+        os << "# TYPE " << metric << " gauge\n"
+           << metric << " " << formatValue(counter.value()) << "\n";
+    }
+    for (const auto &[name, value] : ewma_) {
+        const std::string metric =
+            config_.promPrefix + promName(name) + "_ewma";
+        os << "# TYPE " << metric << " gauge\n"
+           << metric << " " << formatValue(value) << "\n";
+    }
+    return os.str();
+}
+
+std::string
+MetricsExporter::jsonSnapshot(const StatRegistry &registry) const
+{
+    std::ostringstream os;
+    os << "{\"counters\":{";
+    bool first = true;
+    for (const auto &[name, counter] : registry.all()) {
+        if (!first)
+            os << ",";
+        first = false;
+        os << "\"" << name << "\":" << formatValue(counter.value());
+    }
+    os << "},\"ewma\":{";
+    first = true;
+    for (const auto &[name, value] : ewma_) {
+        if (!first)
+            os << ",";
+        first = false;
+        os << "\"" << name << "\":" << formatValue(value);
+    }
+    os << "},\"scrapes\":" << scrapes_ << "}";
+    return os.str();
+}
+
+} // namespace obs
+} // namespace reuse

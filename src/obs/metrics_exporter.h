@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Metrics exposition: turns the repo-wide StatRegistry (into which
+ * ServeMetrics, the serving runtime's per-layer session aggregates,
+ * the engine's drift counters and the simulator all publish) into
+ * Prometheus text format and JSON snapshots, and maintains
+ * scrape-to-scrape EWMAs for the volatile per-layer gauges
+ * (similarity, reuse, change-list occupancy).
+ *
+ * The exporter deliberately depends only on StatRegistry: producers
+ * publish through their existing publishTo()/publishStats() paths, so
+ * no producer grows a dependency on the obs layer for exposition (the
+ * span tracing above is the only obs hook in the hot path).
+ */
+
+#ifndef REUSE_DNN_OBS_METRICS_EXPORTER_H
+#define REUSE_DNN_OBS_METRICS_EXPORTER_H
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/stats.h"
+
+namespace reuse {
+namespace obs {
+
+/**
+ * Prometheus/JSON exposition over a StatRegistry, with EWMA memory.
+ */
+class MetricsExporter
+{
+  public:
+    struct Config {
+        /** EWMA smoothing factor in (0, 1]; 1 = no smoothing. */
+        double ewmaAlpha = 0.25;
+        /**
+         * Counter-name suffixes folded into EWMAs on each scrape()
+         * (exposed as "<name>_ewma").
+         */
+        std::vector<std::string> ewmaSuffixes = {
+            ".similarity", ".reuse", ".occupancy",
+            ".drift_refresh_rate"};
+        /** Metric-name prefix in the Prometheus exposition. */
+        std::string promPrefix = "reuse_";
+    };
+
+    MetricsExporter() : MetricsExporter(Config()) {}
+    explicit MetricsExporter(Config config)
+        : config_(std::move(config))
+    {
+    }
+
+    /**
+     * Folds the matching gauges of `registry` into the exporter's
+     * EWMAs (call once per scrape interval).
+     */
+    void scrape(const StatRegistry &registry);
+
+    /**
+     * Prometheus text exposition format: every counter as a gauge
+     * (names sanitized, '.' → '_', prefixed), plus the "_ewma"
+     * series accumulated by scrape().
+     */
+    std::string prometheusText(const StatRegistry &registry) const;
+
+    /**
+     * JSON snapshot: {"counters": {name: value}, "ewma": {...},
+     * "scrapes": N}.
+     */
+    std::string jsonSnapshot(const StatRegistry &registry) const;
+
+    /** Scrapes performed so far. */
+    uint64_t scrapeCount() const { return scrapes_; }
+
+    /**
+     * Current EWMA of a counter name; `fallback` when the name was
+     * never scraped.
+     */
+    double ewma(const std::string &name, double fallback = 0.0) const;
+
+    /** Sanitizes a counter name into a Prometheus metric name. */
+    static std::string promName(const std::string &name);
+
+  private:
+    bool tracked(const std::string &name) const;
+
+    Config config_;
+    std::map<std::string, double> ewma_;
+    uint64_t scrapes_ = 0;
+};
+
+} // namespace obs
+} // namespace reuse
+
+#endif // REUSE_DNN_OBS_METRICS_EXPORTER_H

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Sliding-window reservoir for gauge time series (queue depth,
+ * change-list occupancy): keeps the last N observations and answers
+ * quantile/mean/max queries over that window, so the metrics
+ * exposition can report "queue depth p99 over the recent past"
+ * instead of only an all-time peak.
+ *
+ * Mutex-guarded: observations arrive from serving submit paths at
+ * frame rate (thousands per second), far below mutex contention
+ * territory, and readers are scrape-rate cold paths.
+ */
+
+#ifndef REUSE_DNN_OBS_RESERVOIR_H
+#define REUSE_DNN_OBS_RESERVOIR_H
+
+#include <algorithm>
+#include <cstddef>
+#include <mutex>
+#include <vector>
+
+namespace reuse {
+namespace obs {
+
+/**
+ * Fixed-capacity sliding window over a stream of double samples.
+ */
+class SlidingWindowReservoir
+{
+  public:
+    /** @param capacity Window size in samples (>= 1). */
+    explicit SlidingWindowReservoir(size_t capacity = 1024)
+        : capacity_(capacity == 0 ? 1 : capacity)
+    {
+        window_.reserve(capacity_);
+    }
+
+    /** Adds one observation, evicting the oldest when full. */
+    void observe(double v)
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (window_.size() < capacity_) {
+            window_.push_back(v);
+        } else {
+            window_[next_] = v;
+        }
+        next_ = (next_ + 1) % capacity_;
+        ++total_;
+    }
+
+    /** Samples currently in the window. */
+    size_t size() const
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        return window_.size();
+    }
+
+    /** Observations ever made (including evicted ones). */
+    uint64_t total() const
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        return total_;
+    }
+
+    /** Mean over the window (0 when empty). */
+    double mean() const
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (window_.empty())
+            return 0.0;
+        double sum = 0.0;
+        for (const double v : window_)
+            sum += v;
+        return sum / static_cast<double>(window_.size());
+    }
+
+    /** Largest sample in the window (0 when empty). */
+    double max() const
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        return window_.empty()
+                   ? 0.0
+                   : *std::max_element(window_.begin(), window_.end());
+    }
+
+    /**
+     * p-quantile over the window via nearest-rank on a sorted copy,
+     * p in [0, 1]; 0 when empty.
+     */
+    double quantile(double p) const
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (window_.empty())
+            return 0.0;
+        std::vector<double> sorted(window_);
+        std::sort(sorted.begin(), sorted.end());
+        p = std::clamp(p, 0.0, 1.0);
+        const size_t rank = std::min(
+            sorted.size() - 1,
+            static_cast<size_t>(p * static_cast<double>(sorted.size())));
+        return sorted[rank];
+    }
+
+    /** Drops all samples. */
+    void reset()
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        window_.clear();
+        next_ = 0;
+        total_ = 0;
+    }
+
+  private:
+    const size_t capacity_;
+    mutable std::mutex mu_;
+    std::vector<double> window_;
+    size_t next_ = 0;
+    uint64_t total_ = 0;
+};
+
+} // namespace obs
+} // namespace reuse
+
+#endif // REUSE_DNN_OBS_RESERVOIR_H

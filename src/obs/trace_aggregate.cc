@@ -1,0 +1,178 @@
+#include "trace_aggregate.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace reuse {
+namespace obs {
+
+namespace {
+
+int64_t
+argInt(const JsonValue &args, const std::string &key)
+{
+    return args.has(key) ? args.at(key).asInt() : 0;
+}
+
+} // namespace
+
+bool
+aggregateTrace(const JsonValue &root, TraceAggregate *out,
+               std::string *error)
+{
+    *out = TraceAggregate();
+    if (!root.isObject() || !root.has("traceEvents") ||
+        !root.at("traceEvents").isArray()) {
+        *error = "not a trace-event document (no traceEvents array)";
+        return false;
+    }
+    if (root.has("otherData")) {
+        const JsonValue &other = root.at("otherData");
+        if (other.has("sampleEvery")) {
+            out->sampleEvery = static_cast<uint32_t>(
+                other.at("sampleEvery").asInt());
+        }
+        if (other.has("droppedEvents")) {
+            out->droppedEvents = static_cast<uint64_t>(
+                other.at("droppedEvents").asInt());
+        }
+    }
+    for (const JsonValue &ev : root.at("traceEvents").asArray()) {
+        if (!ev.isObject() || !ev.has("name")) {
+            *error = "event without a name";
+            return false;
+        }
+        const std::string &name = ev.at("name").asString();
+        KindTraceAgg &kind = out->kinds[name];
+        kind.count += 1;
+        if (ev.has("dur"))
+            kind.durUs.push_back(ev.at("dur").asNumber());
+        out->events += 1;
+
+        if (name != "layer_exec" || !ev.has("args"))
+            continue;
+        const JsonValue &args = ev.at("args");
+        // Steady state only: the paper defines similarity against the
+        // previous execution, which a first/refresh execution lacks —
+        // mirror ReuseStatsCollector and exclude them.
+        if (argInt(args, "first") != 0)
+            continue;
+        const int32_t li =
+            static_cast<int32_t>(argInt(args, "layer"));
+        LayerTraceAgg &layer = out->layers[li];
+        layer.layer = li;
+        layer.spans += 1;
+        layer.reuseSpans += argInt(args, "reuse") != 0 ? 1 : 0;
+        layer.inputsChecked += argInt(args, "checked");
+        layer.inputsChanged += argInt(args, "changed");
+        layer.macsFull += argInt(args, "macs_full");
+        layer.macsPerformed += argInt(args, "macs_performed");
+        if (ev.has("dur"))
+            layer.durUs.push_back(ev.at("dur").asNumber());
+    }
+    return true;
+}
+
+bool
+validateTrace(const JsonValue &root, const JsonValue &schema,
+              std::string *error)
+{
+    std::ostringstream why;
+    if (!root.isObject()) {
+        *error = "trace root is not an object";
+        return false;
+    }
+    if (schema.has("requiredTop")) {
+        for (const JsonValue &key :
+             schema.at("requiredTop").asArray()) {
+            if (!root.has(key.asString())) {
+                *error = "missing top-level member \"" +
+                         key.asString() + "\"";
+                return false;
+            }
+        }
+    }
+    if (schema.has("otherData")) {
+        if (!root.has("otherData") ||
+            !root.at("otherData").isObject()) {
+            *error = "missing otherData object";
+            return false;
+        }
+        for (const JsonValue &key : schema.at("otherData").asArray()) {
+            if (!root.at("otherData").has(key.asString())) {
+                *error = "otherData lacks \"" + key.asString() + "\"";
+                return false;
+            }
+        }
+    }
+    if (!root.has("traceEvents") || !root.at("traceEvents").isArray()) {
+        *error = "missing traceEvents array";
+        return false;
+    }
+    const JsonValue::Array &events = root.at("traceEvents").asArray();
+    const JsonValue &known = schema.at("events");
+    for (size_t i = 0; i < events.size(); ++i) {
+        const JsonValue &ev = events[i];
+        why.str("");
+        why << "event " << i << ": ";
+        if (!ev.isObject()) {
+            *error = why.str() + "not an object";
+            return false;
+        }
+        for (const char *field : {"name", "ph", "ts", "pid", "tid"}) {
+            if (!ev.has(field)) {
+                *error = why.str() + "missing \"" + field + "\"";
+                return false;
+            }
+        }
+        const std::string &name = ev.at("name").asString();
+        if (!known.has(name)) {
+            *error = why.str() + "unknown event name \"" + name + "\"";
+            return false;
+        }
+        const JsonValue &spec = known.at(name);
+        const std::string &ph = ev.at("ph").asString();
+        if (spec.has("ph") && ph != spec.at("ph").asString()) {
+            *error = why.str() + name + " has phase \"" + ph +
+                     "\", schema expects \"" +
+                     spec.at("ph").asString() + "\"";
+            return false;
+        }
+        if (ph == "X" && !ev.has("dur")) {
+            *error = why.str() + "complete event without \"dur\"";
+            return false;
+        }
+        if (!ev.has("args") || !ev.at("args").isObject()) {
+            *error = why.str() + "missing args object";
+            return false;
+        }
+        if (spec.has("args")) {
+            for (const JsonValue &arg : spec.at("args").asArray()) {
+                if (!ev.at("args").has(arg.asString())) {
+                    *error = why.str() + name + " lacks arg \"" +
+                             arg.asString() + "\"";
+                    return false;
+                }
+            }
+        }
+    }
+    error->clear();
+    return true;
+}
+
+double
+tracePercentile(std::vector<double> samples, double p)
+{
+    if (samples.empty())
+        return 0.0;
+    std::sort(samples.begin(), samples.end());
+    p = std::min(1.0, std::max(0.0, p));
+    const size_t rank = std::min(
+        samples.size() - 1,
+        static_cast<size_t>(p * static_cast<double>(samples.size())));
+    return samples[rank];
+}
+
+} // namespace obs
+} // namespace reuse

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Aggregation and schema validation of exported trace files.
+ *
+ * tools/trace_report and the observability tests both reduce a
+ * Chrome trace-event file (TraceExporter's output) back to per-layer
+ * reuse numbers; this module holds that logic once so the CLI's
+ * tables and the tests' 1%-agreement checks cannot drift apart.
+ *
+ * Validation checks a trace against the checked-in schema
+ * (tools/trace_schema.json): required top-level members, known event
+ * names, the expected phase per event and the required args per
+ * event name.  The schema file is plain JSON, not JSON-Schema — the
+ * repo parses its own output with its own parser (common/json.h).
+ */
+
+#ifndef REUSE_DNN_OBS_TRACE_AGGREGATE_H
+#define REUSE_DNN_OBS_TRACE_AGGREGATE_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+
+namespace reuse {
+namespace obs {
+
+/** Steady-state reuse aggregate of one layer's layer_exec spans. */
+struct LayerTraceAgg {
+    int32_t layer = -1;
+    /** Steady-state spans aggregated (first executions excluded). */
+    int64_t spans = 0;
+    /** Spans flagged reuse-enabled. */
+    int64_t reuseSpans = 0;
+    int64_t inputsChecked = 0;
+    int64_t inputsChanged = 0;
+    int64_t macsFull = 0;
+    int64_t macsPerformed = 0;
+    /** Span durations in microseconds (for percentiles). */
+    std::vector<double> durUs;
+
+    /** Input similarity: unchanged / checked (0 when nothing checked). */
+    double similarity() const
+    {
+        return inputsChecked == 0
+                   ? 0.0
+                   : 1.0 - static_cast<double>(inputsChanged) /
+                               static_cast<double>(inputsChecked);
+    }
+
+    /** Computation reuse: avoided / full MACs. */
+    double computationReuse() const
+    {
+        return macsFull == 0
+                   ? 0.0
+                   : 1.0 - static_cast<double>(macsPerformed) /
+                               static_cast<double>(macsFull);
+    }
+};
+
+/** Count + durations of one event name across the trace. */
+struct KindTraceAgg {
+    int64_t count = 0;
+    std::vector<double> durUs;
+};
+
+/**
+ * Whole-trace reduction: per-layer steady-state reuse plus per-kind
+ * counts/durations.
+ */
+struct TraceAggregate {
+    uint32_t sampleEvery = 0;
+    uint64_t droppedEvents = 0;
+    /** Total events in the trace. */
+    int64_t events = 0;
+    /** layer_exec reductions keyed by layer index (steady state). */
+    std::map<int32_t, LayerTraceAgg> layers;
+    /** All events keyed by name ("layer_exec", "eviction", ...). */
+    std::map<std::string, KindTraceAgg> kinds;
+};
+
+/**
+ * Reduces a parsed trace document into `out`.  Returns false (with
+ * `error` set) when the document is not a trace-event file.
+ */
+bool aggregateTrace(const JsonValue &root, TraceAggregate *out,
+                    std::string *error);
+
+/**
+ * Validates a parsed trace document against a parsed schema (see
+ * tools/trace_schema.json).  On failure returns false and sets
+ * `error` to the first violation, with the offending event index.
+ */
+bool validateTrace(const JsonValue &root, const JsonValue &schema,
+                   std::string *error);
+
+/** Nearest-rank percentile of `samples` (unsorted); 0 when empty. */
+double tracePercentile(std::vector<double> samples, double p);
+
+} // namespace obs
+} // namespace reuse
+
+#endif // REUSE_DNN_OBS_TRACE_AGGREGATE_H

@@ -1,0 +1,110 @@
+#include "trace_exporter.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace reuse {
+namespace obs {
+
+namespace {
+
+/** Writes one microsecond value with sub-us (ns) precision. */
+void
+writeMicros(std::ostream &os, int64_t ns)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%lld.%03lld",
+                  static_cast<long long>(ns / 1000),
+                  static_cast<long long>(ns % 1000));
+    os << buf;
+}
+
+void
+writeEvent(std::ostream &os, const TraceEvent &ev)
+{
+    const bool instant = ev.durNs == 0 && isInstantKind(ev.kind);
+    os << "{\"name\":\"" << spanKindName(ev.kind)
+       << "\",\"cat\":\"reuse\",\"ph\":\"" << (instant ? 'i' : 'X')
+       << "\",\"pid\":1,\"tid\":" << ev.tid << ",\"ts\":";
+    writeMicros(os, ev.startNs);
+    if (instant)
+        os << ",\"s\":\"t\"";
+    else {
+        os << ",\"dur\":";
+        writeMicros(os, ev.durNs);
+    }
+    os << ",\"args\":{";
+    bool firstArg = true;
+    auto arg = [&](const char *name, auto value) {
+        if (name == nullptr)
+            return;
+        if (!firstArg)
+            os << ",";
+        firstArg = false;
+        os << "\"" << name << "\":" << value;
+    };
+    if (ev.layer >= 0)
+        arg("layer", ev.layer);
+    const SpanArgNames names = spanArgNames(ev.kind);
+    arg(names.a, ev.a);
+    arg(names.b, ev.b);
+    arg(names.c, ev.c);
+    arg(names.d, ev.d);
+    arg("session", ev.session);
+    arg("frame", ev.frame);
+    if (ev.kind == SpanKind::LayerExec ||
+        ev.kind == SpanKind::FirstExec) {
+        arg("first", (ev.flags & kFlagFirstExecution) ? 1 : 0);
+        arg("reuse", (ev.flags & kFlagReuseEnabled) ? 1 : 0);
+    }
+    os << "}}";
+}
+
+} // namespace
+
+void
+TraceExporter::writeJson(std::ostream &os,
+                         const std::vector<TraceEvent> &events,
+                         uint32_t sample_every, uint64_t dropped)
+{
+    os << "{\"displayTimeUnit\":\"ms\",\"otherData\":{"
+       << "\"tool\":\"reuse_dnn\",\"sampleEvery\":" << sample_every
+       << ",\"droppedEvents\":" << dropped << "},\"traceEvents\":[";
+    for (size_t i = 0; i < events.size(); ++i) {
+        if (i != 0)
+            os << ",";
+        os << "\n";
+        writeEvent(os, events[i]);
+    }
+    os << "\n]}\n";
+}
+
+std::string
+TraceExporter::exportString()
+{
+    TraceRecorder &rec = TraceRecorder::instance();
+    std::ostringstream oss;
+    writeJson(oss, rec.snapshot(), rec.sampleEvery(),
+              rec.droppedEvents());
+    return oss.str();
+}
+
+bool
+TraceExporter::exportFile(const std::string &path)
+{
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    if (!out) {
+        warn("trace export: cannot write " + path);
+        return false;
+    }
+    TraceRecorder &rec = TraceRecorder::instance();
+    writeJson(out, rec.snapshot(), rec.sampleEvery(),
+              rec.droppedEvents());
+    return static_cast<bool>(out);
+}
+
+} // namespace obs
+} // namespace reuse

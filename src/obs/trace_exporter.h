@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Serialization of recorded trace events to Chrome trace-event JSON
+ * (the format chrome://tracing and Perfetto's legacy importer read).
+ *
+ * Spans become "ph":"X" complete events with microsecond ts/dur;
+ * instants become "ph":"i" events with thread scope.  Kind-specific
+ * args (layer, checked, changed, macs_full, macs_performed, session,
+ * frame, first) ride in "args" so tools/trace_report — and ad-hoc
+ * Perfetto queries — can aggregate per-layer reuse behaviour without
+ * any side tables.
+ */
+
+#ifndef REUSE_DNN_OBS_TRACE_EXPORTER_H
+#define REUSE_DNN_OBS_TRACE_EXPORTER_H
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "obs/trace_recorder.h"
+
+namespace reuse {
+namespace obs {
+
+/**
+ * Writes traces as Chrome trace-event JSON.
+ */
+class TraceExporter
+{
+  public:
+    /** Serializes `events` (as returned by snapshot()) to `os`. */
+    static void writeJson(std::ostream &os,
+                          const std::vector<TraceEvent> &events,
+                          uint32_t sample_every, uint64_t dropped);
+
+    /** Snapshot + serialize of the process-wide recorder. */
+    static std::string exportString();
+
+    /**
+     * Snapshot + serialize to `path`.  Returns false (with a warning)
+     * when the file cannot be written.
+     */
+    static bool exportFile(const std::string &path);
+};
+
+} // namespace obs
+} // namespace reuse
+
+#endif // REUSE_DNN_OBS_TRACE_EXPORTER_H

@@ -13,6 +13,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <mutex>
 #include <string>
 
 #include "common/latency_histogram.h"
@@ -145,7 +146,14 @@ class ServeMetrics
     /** Submit-to-completion latency distribution (microseconds). */
     const LatencyHistogram &latency() const { return latency_; }
 
-    /** Zeroes every metric. */
+    /**
+     * Zeroes every metric, atomically with respect to publishTo(): a
+     * concurrent publisher sees either the pre-reset or the
+     * post-reset counters, never a half-reset mix (e.g.
+     * frames_completed > frames_submitted).  Hot-path recorders stay
+     * lock-free; samples recorded while reset() runs may land on
+     * either side of it.
+     */
     void reset();
 
     /**
@@ -157,6 +165,12 @@ class ServeMetrics
                    const std::string &prefix = "serve") const;
 
   private:
+    /**
+     * Serializes reset() against publishTo() so published snapshots
+     * are never torn across a reset.  Never taken on the per-frame
+     * recording paths.
+     */
+    mutable std::mutex snapshot_mu_;
     std::atomic<uint64_t> frames_submitted_{0};
     std::atomic<uint64_t> frames_completed_{0};
     std::atomic<uint64_t> sessions_opened_{0};

@@ -29,4 +29,11 @@ Session::snapshot() const
     return snap;
 }
 
+std::vector<LayerReuseStats>
+Session::layerStats() const
+{
+    std::lock_guard<std::mutex> lock(state_mu_);
+    return stats_.layers();
+}
+
 } // namespace reuse

@@ -114,6 +114,13 @@ class Session
     /** Thread-safe snapshot (may briefly block a worker). */
     Snapshot snapshot() const;
 
+    /**
+     * Per-layer reuse statistics accumulated so far (thread-safe
+     * copy; may briefly block a worker).  Feeds the per-layer
+     * similarity/occupancy gauges of the metrics exposition.
+     */
+    std::vector<LayerReuseStats> layerStats() const;
+
   private:
     friend class StreamingServer;
     friend class SessionManager;

@@ -4,6 +4,7 @@
 
 #include "analysis/model_validator.h"
 #include "common/logging.h"
+#include "obs/trace_recorder.h"
 
 namespace reuse {
 
@@ -63,8 +64,12 @@ SessionManager::remove(SessionId id)
 void
 SessionManager::evictLocked(Session &victim)
 {
+    const int64_t held = victim.charged_bytes_;
     victim.state_.releaseBuffers();
     const int64_t residual = victim.state_.memoryBytes();
+    obs::recordInstant(obs::SpanKind::Eviction, -1, held - residual,
+                       charged_.load(std::memory_order_relaxed), 0, 0,
+                       victim.id_, victim.frames_completed_);
     charged_.fetch_add(residual - victim.charged_bytes_,
                        std::memory_order_relaxed);
     victim.charged_bytes_ = residual;
@@ -154,6 +159,17 @@ SessionManager::sessionCount() const
 {
     std::lock_guard<std::mutex> lock(mu_);
     return sessions_.size();
+}
+
+std::vector<std::shared_ptr<Session>>
+SessionManager::sessions() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    std::vector<std::shared_ptr<Session>> out;
+    out.reserve(sessions_.size());
+    for (const auto &kv : sessions_)
+        out.push_back(kv.second);
+    return out;
 }
 
 } // namespace reuse

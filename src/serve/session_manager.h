@@ -138,6 +138,12 @@ class SessionManager
     /** Number of registered sessions. */
     size_t sessionCount() const;
 
+    /**
+     * Snapshot of all live sessions (stats-publication walk; the
+     * returned shared_ptrs keep sessions alive across the walk).
+     */
+    std::vector<std::shared_ptr<Session>> sessions() const;
+
     /** The configured budget (negative = unlimited). */
     int64_t memoryBudgetBytes() const
     {

@@ -1,7 +1,11 @@
 #include "streaming_server.h"
 
+#include <algorithm>
+#include <map>
+
 #include "common/logging.h"
 #include "fault/fault_injector.h"
+#include "obs/trace_recorder.h"
 
 namespace reuse {
 
@@ -97,11 +101,13 @@ StreamingServer::submitFrame(SessionId id, Tensor input)
     std::future<Tensor> future = req.result.get_future();
 
     bool need_enqueue = false;
+    uint64_t frame_index = 0;
     {
         std::lock_guard<std::mutex> lock(session->queue_mu_);
         REUSE_ASSERT(!session->closing_,
                      "session " << id << " is closing");
-        req.frameIndex = session->next_frame_index_++;
+        frame_index = session->next_frame_index_++;
+        req.frameIndex = frame_index;
         session->pending_.push_back(std::move(req));
         if (!session->inflight_) {
             session->inflight_ = true;
@@ -110,7 +116,18 @@ StreamingServer::submitFrame(SessionId id, Tensor input)
     }
     outstanding_.fetch_add(1, std::memory_order_relaxed);
     metrics_.frameSubmitted();
-    metrics_.observeQueueDepth(queue_.size() + 1);
+    const size_t depth = queue_.size() + 1;
+    metrics_.observeQueueDepth(depth);
+    queue_depth_window_.observe(static_cast<double>(depth));
+    obs::TraceRecorder &tracer = obs::TraceRecorder::instance();
+    if (tracer.enabled() && tracer.sampleEventTick()) {
+        obs::recordInstant(obs::SpanKind::FrameSubmit, -1,
+                           static_cast<int64_t>(depth),
+                           static_cast<int64_t>(
+                               outstanding_.load(
+                                   std::memory_order_relaxed)),
+                           0, 0, id, frame_index);
+    }
 
     if (need_enqueue && !queue_.push(session)) {
         // Server stopped between the checks; the pending request's
@@ -148,6 +165,10 @@ StreamingServer::trySubmitFrame(SessionId id, Tensor input)
             session->pending_.size() >= config_.maxPendingPerSession) {
             outcome.status = SubmitOutcome::Status::Shed;
             metrics_.frameShed();
+            obs::recordInstant(
+                obs::SpanKind::FrameShed, -1,
+                static_cast<int64_t>(session->pending_.size()),
+                outcome.retryAfterMicros, 0, 0, id, 0);
             return outcome;
         }
         // Reserve the run-queue slot before publishing the frame; a
@@ -156,6 +177,10 @@ StreamingServer::trySubmitFrame(SessionId id, Tensor input)
         if (!session->inflight_ && !queue_.tryPush(session)) {
             outcome.status = SubmitOutcome::Status::Shed;
             metrics_.frameShed();
+            obs::recordInstant(
+                obs::SpanKind::FrameShed, -1,
+                static_cast<int64_t>(session->pending_.size()),
+                outcome.retryAfterMicros, 0, 0, id, 0);
             return outcome;
         }
         req.frameIndex = session->next_frame_index_++;
@@ -164,7 +189,9 @@ StreamingServer::trySubmitFrame(SessionId id, Tensor input)
     }
     outstanding_.fetch_add(1, std::memory_order_relaxed);
     metrics_.frameSubmitted();
-    metrics_.observeQueueDepth(queue_.size());
+    const size_t depth = queue_.size();
+    metrics_.observeQueueDepth(depth);
+    queue_depth_window_.observe(static_cast<double>(depth));
     outcome.result = std::move(future);
     return outcome;
 }
@@ -191,6 +218,17 @@ StreamingServer::executeFrame(Session &session, FrameRequest &req)
             duplicated = fault::shouldDuplicateFrame();
     }
 
+    // Outermost trace scope on this worker: decides whether the frame
+    // is sampled and stamps every nested span (engine, kernels) with
+    // the session/frame identifiers.
+    obs::FrameTraceScope frame_scope(session.id(), req.frameIndex);
+    if (frame_scope.active()) {
+        obs::TraceRecorder &tracer = obs::TraceRecorder::instance();
+        obs::recordSpanAt(obs::SpanKind::QueueWait,
+                          tracer.toNs(req.enqueued), tracer.nowNs(),
+                          session.id(), req.frameIndex);
+    }
+
     Tensor output;
     ExecutionTrace trace;
     {
@@ -213,6 +251,9 @@ StreamingServer::executeFrame(Session &session, FrameRequest &req)
                 session.cold_frames_.push_back(req.frameIndex);
                 session.evicted_since_last_frame_ = false;
                 manager_.noteCorruptionRecovery(session);
+                obs::recordInstant(obs::SpanKind::CorruptionRecovery,
+                                   -1, 0, 0, 0, 0, session.id(),
+                                   req.frameIndex);
             }
             if (session.evicted_since_last_frame_) {
                 session.cold_frames_.push_back(req.frameIndex);
@@ -331,6 +372,79 @@ StreamingServer::publishStats(StatRegistry &registry) const
     set("serve.state_bytes",
         static_cast<double>(manager_.chargedBytes()));
     set("serve.queue_depth", static_cast<double>(queue_.size()));
+    // Queue-depth distribution over the recent submit window (the
+    // all-time peak alone hides steady-state congestion).
+    set("serve.queue_depth_p50", queue_depth_window_.quantile(0.50));
+    set("serve.queue_depth_p95", queue_depth_window_.quantile(0.95));
+    set("serve.queue_depth_p99", queue_depth_window_.quantile(0.99));
+    set("serve.queue_depth_max", queue_depth_window_.max());
+
+    // Per-layer reuse health, aggregated across every live session of
+    // each model.  Gauge names end in the EWMA-tracked suffixes the
+    // MetricsExporter smooths over scrapes.
+    std::map<std::string, std::vector<LayerReuseStats>> per_model;
+    for (const auto &session : manager_.sessions()) {
+        const std::vector<LayerReuseStats> layers =
+            session->layerStats();
+        std::vector<LayerReuseStats> &agg =
+            per_model[session->engine().network().name()];
+        if (agg.size() < layers.size())
+            agg.resize(layers.size());
+        for (size_t i = 0; i < layers.size(); ++i) {
+            const LayerReuseStats &l = layers[i];
+            LayerReuseStats &a = agg[i];
+            a.layerName = l.layerName;
+            a.kind = l.kind;
+            a.reuseEnabled = a.reuseEnabled || l.reuseEnabled;
+            a.executions += l.executions;
+            a.firstExecutions += l.firstExecutions;
+            a.driftRefreshes += l.driftRefreshes;
+            a.inputsChecked += l.inputsChecked;
+            a.inputsChanged += l.inputsChanged;
+            a.macsFull += l.macsFull;
+            a.macsPerformed += l.macsPerformed;
+            a.macsFullAll += l.macsFullAll;
+            a.macsPerformedAll += l.macsPerformedAll;
+        }
+    }
+    for (const auto &[model, layers] : per_model) {
+        double sim_sum = 0.0;
+        double reuse_sum = 0.0;
+        int64_t enabled = 0;
+        int64_t refreshes = 0;
+        int64_t executions = 0;
+        for (size_t i = 0; i < layers.size(); ++i) {
+            const LayerReuseStats &l = layers[i];
+            executions += l.executions + l.firstExecutions;
+            refreshes += l.driftRefreshes;
+            if (!l.reuseEnabled)
+                continue;
+            ++enabled;
+            sim_sum += l.similarity();
+            reuse_sum += l.computationReuse();
+            const std::string base = "serve.model." + model +
+                                     ".layer" + std::to_string(i) +
+                                     ".";
+            set(base + "similarity", l.similarity());
+            set(base + "reuse", l.computationReuse());
+            set(base + "occupancy",
+                l.inputsChecked == 0
+                    ? 0.0
+                    : static_cast<double>(l.inputsChanged) /
+                          static_cast<double>(l.inputsChecked));
+        }
+        const std::string base = "serve.model." + model + ".";
+        set(base + "similarity",
+            enabled == 0 ? 0.0
+                         : sim_sum / static_cast<double>(enabled));
+        set(base + "reuse",
+            enabled == 0 ? 0.0
+                         : reuse_sum / static_cast<double>(enabled));
+        set(base + "drift_refresh_rate",
+            executions == 0 ? 0.0
+                            : static_cast<double>(refreshes) /
+                                  static_cast<double>(executions));
+    }
 }
 
 } // namespace reuse

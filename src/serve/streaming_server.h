@@ -35,6 +35,7 @@
 #include <utility>
 #include <vector>
 
+#include "obs/reservoir.h"
 #include "serve/bounded_queue.h"
 #include "serve/serve_metrics.h"
 #include "serve/session_manager.h"
@@ -196,6 +197,8 @@ class StreamingServer
     SessionManager manager_;
     BoundedQueue<std::shared_ptr<Session>> queue_;
     std::vector<std::thread> workers_;
+    /** Recent admission-queue depths (submit-side observations). */
+    obs::SlidingWindowReservoir queue_depth_window_;
 
     std::atomic<uint64_t> outstanding_{0};
     std::mutex drain_mu_;

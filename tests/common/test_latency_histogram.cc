@@ -72,6 +72,84 @@ TEST(LatencyHistogram, SummaryMentionsCount)
     EXPECT_NE(h.summary().find("2"), std::string::npos);
 }
 
+TEST(LatencyHistogram, EmptyPercentileIsZeroAtAllQuantiles)
+{
+    LatencyHistogram h;
+    for (const double p : {0.0, 0.5, 0.99, 1.0})
+        EXPECT_EQ(h.percentile(p), 0.0);
+}
+
+TEST(LatencyHistogram, SingleSamplePercentilesLandInItsBucket)
+{
+    LatencyHistogram h;
+    h.record(100.0);
+    // Every quantile of a one-sample distribution falls inside the
+    // sample's bucket (~9% wide).
+    for (const double p : {0.0, 0.5, 0.99, 1.0}) {
+        EXPECT_GE(h.percentile(p), 100.0 * 0.9);
+        EXPECT_LE(h.percentile(p), 100.0 * 1.1);
+    }
+}
+
+TEST(LatencyHistogram, SamplesBeyondLastBucketClampToTopBound)
+{
+    LatencyHistogram h;
+    h.record(1e15);  // far past the ~1h top of the range
+    h.record(1e15);
+    const double p99 = h.percentile(0.99);
+    EXPECT_GT(p99, 1e9);           // clamped into the top octave
+    EXPECT_EQ(h.count(), 2u);
+    EXPECT_DOUBLE_EQ(h.sum(), 2e15);  // sum keeps the true values
+}
+
+TEST(LatencyHistogram, MergeMatchesRecordingIntoOne)
+{
+    LatencyHistogram a, b, combined;
+    for (int i = 1; i <= 500; ++i) {
+        a.record(double(i));
+        combined.record(double(i));
+    }
+    for (int i = 501; i <= 1000; ++i) {
+        b.record(double(i));
+        combined.record(double(i));
+    }
+    a.merge(b);
+    EXPECT_EQ(a.count(), combined.count());
+    EXPECT_DOUBLE_EQ(a.sum(), combined.sum());
+    for (const double p : {0.25, 0.5, 0.95, 0.99})
+        EXPECT_DOUBLE_EQ(a.percentile(p), combined.percentile(p));
+}
+
+TEST(LatencyHistogram, MergeWithEmptyIsIdentity)
+{
+    LatencyHistogram a, empty;
+    a.record(10.0);
+    a.record(20.0);
+    const double before = a.percentile(0.5);
+    a.merge(empty);
+    EXPECT_EQ(a.count(), 2u);
+    EXPECT_DOUBLE_EQ(a.percentile(0.5), before);
+
+    LatencyHistogram target;
+    target.merge(a);
+    EXPECT_EQ(target.count(), 2u);
+    EXPECT_DOUBLE_EQ(target.sum(), a.sum());
+}
+
+TEST(LatencyHistogram, ResetAfterMergeClearsEverything)
+{
+    LatencyHistogram a, b;
+    a.record(10.0);
+    b.record(1000.0);
+    a.merge(b);
+    a.reset();
+    EXPECT_EQ(a.count(), 0u);
+    EXPECT_EQ(a.sum(), 0.0);
+    EXPECT_EQ(a.percentile(0.99), 0.0);
+    // The merge source is untouched by the target's reset.
+    EXPECT_EQ(b.count(), 1u);
+}
+
 TEST(LatencyHistogram, ConcurrentRecordsLoseNothing)
 {
     LatencyHistogram h;

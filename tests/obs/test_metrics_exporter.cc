@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Unit tests for the Prometheus/JSON metrics exposition: name
+ * sanitization, EWMA folding across scrapes, and that both output
+ * formats are well-formed (the JSON one via the repo's own parser).
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/json.h"
+#include "common/stats.h"
+#include "obs/metrics_exporter.h"
+
+namespace reuse {
+namespace obs {
+namespace {
+
+TEST(MetricsExporter, PromNameSanitizesToMetricCharset)
+{
+    EXPECT_EQ(MetricsExporter::promName("serve.frames_submitted"),
+              "serve_frames_submitted");
+    EXPECT_EQ(MetricsExporter::promName("serve.model.demo-v2.layer0"),
+              "serve_model_demo_v2_layer0");
+    // A leading digit is not a valid metric-name start.
+    EXPECT_EQ(MetricsExporter::promName("3dconv.macs"), "_3dconv_macs");
+}
+
+TEST(MetricsExporter, ScrapeFoldsTrackedGaugesIntoEwma)
+{
+    StatRegistry registry;
+    registry.get("serve.model.m.layer0.similarity").set(0.8);
+    registry.get("serve.frames_submitted").set(100.0);
+
+    MetricsExporter exporter;
+    EXPECT_EQ(exporter.scrapeCount(), 0u);
+    exporter.scrape(registry);
+    EXPECT_EQ(exporter.scrapeCount(), 1u);
+    // First scrape seeds the EWMA with the raw value.
+    EXPECT_DOUBLE_EQ(
+        exporter.ewma("serve.model.m.layer0.similarity"), 0.8);
+    // Non-suffix-matching counters are not tracked.
+    EXPECT_DOUBLE_EQ(exporter.ewma("serve.frames_submitted", -1.0),
+                     -1.0);
+
+    registry.get("serve.model.m.layer0.similarity").set(0.4);
+    exporter.scrape(registry);
+    // alpha=0.25: 0.25*0.4 + 0.75*0.8 = 0.7
+    EXPECT_NEAR(exporter.ewma("serve.model.m.layer0.similarity"), 0.7,
+                1e-12);
+}
+
+TEST(MetricsExporter, CustomAlphaAndSuffixes)
+{
+    MetricsExporter::Config config;
+    config.ewmaAlpha = 1.0;  // no smoothing
+    config.ewmaSuffixes = {".queue_depth_p99"};
+    MetricsExporter exporter(config);
+
+    StatRegistry registry;
+    registry.get("serve.queue_depth_p99").set(12.0);
+    registry.get("serve.model.m.similarity").set(0.9);
+    exporter.scrape(registry);
+    registry.get("serve.queue_depth_p99").set(3.0);
+    exporter.scrape(registry);
+    EXPECT_DOUBLE_EQ(exporter.ewma("serve.queue_depth_p99"), 3.0);
+    // The default suffixes were replaced.
+    EXPECT_DOUBLE_EQ(exporter.ewma("serve.model.m.similarity", -1.0),
+                     -1.0);
+}
+
+TEST(MetricsExporter, PrometheusTextExposesGaugesAndEwmaSeries)
+{
+    StatRegistry registry;
+    registry.get("serve.frames_completed").set(42.0);
+    registry.get("serve.model.m.layer2.reuse").set(0.75);
+
+    MetricsExporter exporter;
+    exporter.scrape(registry);
+    const std::string text = exporter.prometheusText(registry);
+
+    EXPECT_NE(text.find("# TYPE reuse_serve_frames_completed gauge\n"
+                        "reuse_serve_frames_completed 42\n"),
+              std::string::npos);
+    EXPECT_NE(text.find("reuse_serve_model_m_layer2_reuse 0.75\n"),
+              std::string::npos);
+    EXPECT_NE(
+        text.find("# TYPE reuse_serve_model_m_layer2_reuse_ewma gauge"),
+        std::string::npos);
+    EXPECT_NE(text.find("reuse_serve_model_m_layer2_reuse_ewma 0.75\n"),
+              std::string::npos);
+}
+
+TEST(MetricsExporter, JsonSnapshotParsesAndCarriesEverything)
+{
+    StatRegistry registry;
+    registry.get("serve.frames_completed").set(7.0);
+    registry.get("serve.model.m.layer0.occupancy").set(0.3);
+
+    MetricsExporter exporter;
+    exporter.scrape(registry);
+    exporter.scrape(registry);
+    const JsonParseResult r =
+        parseJson(exporter.jsonSnapshot(registry));
+    ASSERT_TRUE(r.ok) << r.error;
+    const JsonValue &v = r.value;
+    EXPECT_DOUBLE_EQ(
+        v.at("counters").at("serve.frames_completed").asNumber(), 7.0);
+    EXPECT_DOUBLE_EQ(
+        v.at("ewma").at("serve.model.m.layer0.occupancy").asNumber(),
+        0.3);
+    EXPECT_EQ(v.at("scrapes").asInt(), 2);
+}
+
+} // namespace
+} // namespace obs
+} // namespace reuse

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Unit tests for the sliding-window reservoir backing the serving
+ * runtime's queue-depth quantile gauges.
+ */
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "obs/reservoir.h"
+
+namespace reuse {
+namespace obs {
+namespace {
+
+TEST(SlidingWindowReservoir, EmptyIsSafe)
+{
+    SlidingWindowReservoir r;
+    EXPECT_EQ(r.size(), 0u);
+    EXPECT_EQ(r.total(), 0u);
+    EXPECT_EQ(r.mean(), 0.0);
+    EXPECT_EQ(r.max(), 0.0);
+    EXPECT_EQ(r.quantile(0.5), 0.0);
+}
+
+TEST(SlidingWindowReservoir, MeanMaxQuantileOverWindow)
+{
+    SlidingWindowReservoir r(16);
+    for (int i = 1; i <= 10; ++i)
+        r.observe(double(i));
+    EXPECT_EQ(r.size(), 10u);
+    EXPECT_EQ(r.total(), 10u);
+    EXPECT_DOUBLE_EQ(r.mean(), 5.5);
+    EXPECT_DOUBLE_EQ(r.max(), 10.0);
+    // Nearest-rank over {1..10}: rank floor(0.5 * 10) -> the 6th.
+    EXPECT_DOUBLE_EQ(r.quantile(0.5), 6.0);
+    EXPECT_DOUBLE_EQ(r.quantile(1.0), 10.0);
+    EXPECT_DOUBLE_EQ(r.quantile(0.0), 1.0);
+}
+
+TEST(SlidingWindowReservoir, WindowEvictsOldestAtCapacity)
+{
+    SlidingWindowReservoir r(4);
+    for (int i = 1; i <= 8; ++i)
+        r.observe(double(i));
+    // Window holds {5,6,7,8}; total counts all observations.
+    EXPECT_EQ(r.size(), 4u);
+    EXPECT_EQ(r.total(), 8u);
+    EXPECT_DOUBLE_EQ(r.mean(), 6.5);
+    EXPECT_DOUBLE_EQ(r.quantile(0.0), 5.0);
+    EXPECT_DOUBLE_EQ(r.quantile(1.0), 8.0);
+}
+
+TEST(SlidingWindowReservoir, MaxTracksWindowNotHistory)
+{
+    SlidingWindowReservoir r(2);
+    r.observe(100.0);
+    r.observe(1.0);
+    r.observe(2.0);  // evicts 100
+    EXPECT_DOUBLE_EQ(r.max(), 2.0);
+}
+
+TEST(SlidingWindowReservoir, ResetClearsWindowAndTotal)
+{
+    SlidingWindowReservoir r(8);
+    r.observe(3.0);
+    r.observe(4.0);
+    r.reset();
+    EXPECT_EQ(r.size(), 0u);
+    EXPECT_EQ(r.total(), 0u);
+    EXPECT_EQ(r.quantile(0.99), 0.0);
+}
+
+TEST(SlidingWindowReservoir, ConcurrentObserversAndReaders)
+{
+    SlidingWindowReservoir r(128);
+    std::vector<std::thread> threads;
+    for (int t = 0; t < 4; ++t) {
+        threads.emplace_back([&r] {
+            for (int i = 0; i < 1000; ++i)
+                r.observe(double(i % 32));
+        });
+    }
+    for (int i = 0; i < 100; ++i) {
+        const double q = r.quantile(0.95);
+        EXPECT_GE(q, 0.0);
+        EXPECT_LE(q, 31.0);
+    }
+    for (auto &t : threads)
+        t.join();
+    EXPECT_EQ(r.total(), 4000u);
+    EXPECT_EQ(r.size(), 128u);
+}
+
+} // namespace
+} // namespace obs
+} // namespace reuse

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Unit tests for ServeMetrics, including the reset-vs-publish
+ * snapshot consistency regression: a publishTo() racing a reset()
+ * must never surface a half-reset counter mix.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "serve/serve_metrics.h"
+
+namespace reuse {
+namespace {
+
+TEST(ServeMetrics, CountersAccumulate)
+{
+    ServeMetrics m;
+    m.frameSubmitted();
+    m.frameSubmitted();
+    m.frameCompleted(100.0);
+    m.frameShed();
+    m.eviction();
+    EXPECT_EQ(m.framesSubmitted(), 2u);
+    EXPECT_EQ(m.framesCompleted(), 1u);
+    EXPECT_EQ(m.framesShed(), 1u);
+    EXPECT_EQ(m.evictions(), 1u);
+    EXPECT_EQ(m.latency().count(), 1u);
+}
+
+TEST(ServeMetrics, ResetZeroesEverything)
+{
+    ServeMetrics m;
+    m.frameSubmitted();
+    m.frameCompleted(50.0);
+    m.sessionOpened();
+    m.observeQueueDepth(7);
+    m.reset();
+    EXPECT_EQ(m.framesSubmitted(), 0u);
+    EXPECT_EQ(m.framesCompleted(), 0u);
+    EXPECT_EQ(m.sessionsOpened(), 0u);
+    EXPECT_EQ(m.queuePeak(), 0u);
+    EXPECT_EQ(m.latency().count(), 0u);
+}
+
+TEST(ServeMetrics, PublishToWritesPrefixedCounters)
+{
+    ServeMetrics m;
+    m.frameSubmitted();
+    m.frameCompleted(200.0);
+    StatRegistry registry;
+    m.publishTo(registry);
+    EXPECT_EQ(registry.get("serve.frames_submitted").value(), 1.0);
+    EXPECT_EQ(registry.get("serve.frames_completed").value(), 1.0);
+    EXPECT_GT(registry.get("serve.latency_p50_us").value(), 0.0);
+}
+
+/**
+ * Regression: reset() used to zero counters one at a time with no
+ * exclusion against publishTo(), so a concurrent publisher could
+ * snapshot frames_submitted already zeroed but frames_completed not
+ * yet — a state (submitted=0, completed=64) that never existed.
+ *
+ * Each round fills to a quiescent 64/64, hands one reset() to the
+ * other thread, and publishes while that reset is in flight: the only
+ * concurrent writer is the reset, so every published pair must be
+ * 64/64 (pre-reset) or 0/0 (post-reset) — never a mix.
+ */
+TEST(ServeMetrics, PublishNeverSeesTornReset)
+{
+    ServeMetrics m;
+    std::atomic<int> go{0};
+    std::atomic<int> done{0};
+
+    std::thread resetter([&] {
+        int seen = 0;
+        while (true) {
+            int round = go.load(std::memory_order_acquire);
+            if (round == seen) {
+                std::this_thread::yield();
+                continue;
+            }
+            if (round < 0)
+                break;
+            m.reset();
+            seen = round;
+            done.store(round, std::memory_order_release);
+        }
+    });
+
+    StatRegistry registry;
+    auto expectConsistent = [&registry](int round) {
+        const double submitted =
+            registry.get("serve.frames_submitted").value();
+        const double completed =
+            registry.get("serve.frames_completed").value();
+        EXPECT_EQ(completed, submitted)
+            << "torn snapshot in round " << round;
+    };
+
+    for (int round = 1; round <= 200; ++round) {
+        // Quiescent fill: no publisher is running yet this round.
+        for (int i = 0; i < 64; ++i)
+            m.frameSubmitted();
+        for (int i = 0; i < 64; ++i)
+            m.frameCompleted(10.0);
+
+        go.store(round, std::memory_order_release);
+        // Publish while the reset is (potentially) mid-flight.
+        while (done.load(std::memory_order_acquire) != round) {
+            m.publishTo(registry);
+            expectConsistent(round);
+        }
+        m.publishTo(registry);
+        expectConsistent(round);  // post-reset: 0/0
+    }
+    go.store(-1, std::memory_order_release);
+    resetter.join();
+}
+
+} // namespace
+} // namespace reuse
