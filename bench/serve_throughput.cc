@@ -28,6 +28,7 @@
 #include "common/table_writer.h"
 #include "core/reuse_engine.h"
 #include "harness/workload_setup.h"
+#include "ir/plan_cache.h"
 #include "obs/trace_exporter.h"
 #include "obs/trace_recorder.h"
 #include "serve/streaming_server.h"
@@ -61,10 +62,89 @@ singleStreamReuse(const ReuseEngine &engine,
 }
 
 /**
+ * Multi-model phase: Kaldi and AutoPilot served from one process.
+ * Engines over both models — plus a second engine per model, as a
+ * second tenant of the same model would create — share compiled
+ * schedules through the process-wide plan cache; the returned cache
+ * counters are deltas over this phase (expected: one miss for the
+ * new AutoPilot model, hits for the second tenants).
+ */
+struct MultiModelStats {
+    double fps = 0.0;
+    ir::PlanCache::Stats cache;
+};
+
+MultiModelStats
+runMultiModelPhase(const ReuseEngine &kaldi, const Workload &wk)
+{
+    WorkloadSetupConfig cfg;
+    Workload wa = setupAutopilot(cfg);
+    const ir::PlanCache::Stats before =
+        ir::PlanCache::instance().stats();
+    ReuseEngine autopilot(*wa.bundle.network, wa.plan);
+    // Second tenants of both models: cache hits, not recompiles.
+    ReuseEngine kaldi2(*wk.bundle.network, wk.plan);
+    ReuseEngine autopilot2(*wa.bundle.network, wa.plan);
+    (void)kaldi2;
+    (void)autopilot2;
+
+    const size_t kKaldiSessions = 8, kKaldiFrames = 16;
+    const size_t kAutoSessions = 4, kAutoFrames = 6;
+    const uint64_t kBaseSeed = 7100;
+
+    MultiSessionGenerator kstreams(wk.makeGenerator, kKaldiSessions,
+                                   kBaseSeed);
+    MultiSessionGenerator astreams(wa.makeGenerator, kAutoSessions,
+                                   kBaseSeed + 1);
+    std::vector<std::vector<Tensor>> kin, ain;
+    for (size_t s = 0; s < kKaldiSessions; ++s)
+        kin.push_back(kstreams.take(s, kKaldiFrames));
+    for (size_t s = 0; s < kAutoSessions; ++s)
+        ain.push_back(astreams.take(s, kAutoFrames));
+
+    StreamingServer::Config scfg;
+    scfg.workerThreads = 4;
+    StreamingServer server(
+        {{"kaldi", &kaldi}, {"autopilot", &autopilot}}, scfg);
+    std::vector<SessionId> kids, aids;
+    for (size_t s = 0; s < kKaldiSessions; ++s)
+        kids.push_back(server.openSession(
+            "kaldi",
+            MultiSessionGenerator::sessionSeed(kBaseSeed, s)));
+    for (size_t s = 0; s < kAutoSessions; ++s)
+        aids.push_back(server.openSession(
+            "autopilot",
+            MultiSessionGenerator::sessionSeed(kBaseSeed + 1, s)));
+
+    const auto t0 = std::chrono::steady_clock::now();
+    for (size_t i = 0; i < kKaldiFrames; ++i) {
+        for (size_t s = 0; s < kKaldiSessions; ++s)
+            server.submitFrame(kids[s], kin[s][i]);
+        if (i < kAutoFrames)
+            for (size_t s = 0; s < kAutoSessions; ++s)
+                server.submitFrame(aids[s], ain[s][i]);
+    }
+    server.drain();
+    const double secs = secondsSince(t0);
+
+    MultiModelStats out;
+    out.fps = double(server.metrics().framesCompleted()) / secs;
+    const ir::PlanCache::Stats after =
+        ir::PlanCache::instance().stats();
+    out.cache.hits = after.hits - before.hits;
+    out.cache.misses = after.misses - before.misses;
+    out.cache.size = after.size;
+    return out;
+}
+
+/**
  * CI perf-smoke mode: one focused throughput measurement (64 sessions
  * x 4 workers on Kaldi) plus an overload phase measuring the shed
- * rate, written as one machine-readable JSON record.  `min_fps` > 0
- * turns the record into a regression gate.
+ * rate and a two-model (Kaldi + AutoPilot) phase through the shared
+ * plan cache, written as one machine-readable JSON record.
+ * `min_fps` > 0 turns the record into a regression gate (on the
+ * single-model measurement only; the multi-model mix is dominated by
+ * AutoPilot's much larger per-frame cost).
  */
 int
 runJsonBench(const std::string &json_path, double min_fps)
@@ -147,13 +227,17 @@ runJsonBench(const std::string &json_path, double min_fps)
             ? 0.0
             : double(shed_count) / double(shed_attempts);
 
+    // Multi-model phase: both zoo models in this one process, their
+    // compiled schedules shared through the plan cache.
+    const MultiModelStats mm = runMultiModelPhase(engine, w);
+
     std::ofstream out(json_path, std::ios::trunc);
     if (!out) {
         std::cerr << "serve_throughput: cannot write " << json_path
                   << "\n";
         return 1;
     }
-    char buf[512];
+    char buf[768];
     std::snprintf(
         buf, sizeof(buf),
         "{\n  \"bench\": \"serve_throughput\",\n"
@@ -165,9 +249,14 @@ runJsonBench(const std::string &json_path, double min_fps)
         "  \"latency_p95_us\": %.1f,\n"
         "  \"latency_p99_us\": %.1f,\n"
         "  \"shed_attempts\": %llu,\n"
-        "  \"shed_rate\": %.4f\n}\n",
+        "  \"shed_rate\": %.4f,\n"
+        "  \"multi_model_fps\": %.1f,\n"
+        "  \"plan_cache_hits\": %llu,\n"
+        "  \"plan_cache_misses\": %llu\n}\n",
         kSessions, kWorkers, kSessions * kFrames, fps, p50, p95, p99,
-        static_cast<unsigned long long>(shed_attempts), shed_rate);
+        static_cast<unsigned long long>(shed_attempts), shed_rate,
+        mm.fps, static_cast<unsigned long long>(mm.cache.hits),
+        static_cast<unsigned long long>(mm.cache.misses));
     out << buf;
     std::printf("wrote %s (%.0f frames/s, p99 %.0f us, shed rate "
                 "%.2f%%)\n",
@@ -376,7 +465,19 @@ main(int argc, char **argv)
               << (mismatches == 0 ? "bit-identical"
                                   : std::to_string(mismatches) +
                                         " MISMATCHES")
-              << "\n";
+              << "\n\n";
+
+    // ---- 4: two models in one process through the plan cache --------
+    const MultiModelStats mm = runMultiModelPhase(engine, w);
+    std::cout << "Multi-model serving (Kaldi + AutoPilot, one "
+                 "process, 4 workers):\n"
+              << "  mixed throughput:  " << formatDouble(mm.fps, 0)
+              << " frames/s (AutoPilot frames are ~100x a Kaldi "
+                 "frame)\n"
+              << "  plan cache:        " << mm.cache.misses
+              << " compile(s), " << mm.cache.hits
+              << " hit(s) for the second tenants, " << mm.cache.size
+              << " plans resident\n";
     if (!trace_path.empty() &&
         obs::TraceExporter::exportFile(trace_path)) {
         std::cout << "wrote trace to " << trace_path << "\n";

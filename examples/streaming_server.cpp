@@ -1,14 +1,18 @@
 /**
  * @file
- * Streaming server demo: several concurrent input streams served by
- * one shared reuse engine.
+ * Streaming server demo: two models served from one process, several
+ * concurrent input streams per model.
  *
  * Each session is a user whose sensor samples a slowly changing
  * world; the session carries the per-stream reuse state (previous
  * quantized inputs + previous outputs per layer) between its frames.
- * A memory budget covering only some of the sessions forces the
- * server to evict the least-recently-used session's buffers; evicted
- * sessions transparently re-warm on their next frame.
+ * The two models ("acoustic" and "vision") share nothing but the
+ * process: each compiles once into an immutable CompiledPlan held by
+ * the process-wide plan cache, and every session of a model executes
+ * that one schedule.  A memory budget covering only some of the
+ * sessions forces the server to evict the least-recently-used
+ * session's buffers; evicted sessions transparently re-warm on their
+ * next frame.
  *
  * Build & run:  ./build/examples/streaming_server
  *               [--trace-out=trace.json]  (chrome://tracing/Perfetto)
@@ -32,6 +36,53 @@
 
 using namespace reuse;
 
+namespace {
+
+/** Slowly drifting Gaussian stream, the demo's "sensor". */
+std::vector<Tensor>
+makeStream(int64_t dim, uint64_t seed, size_t frames)
+{
+    Rng r(seed);
+    std::vector<Tensor> stream;
+    Tensor x(Shape({dim}));
+    r.fillGaussian(x.data(), 0.0f, 1.0f);
+    for (size_t i = 0; i < frames; ++i) {
+        for (int64_t j = 0; j < dim; ++j)
+            x[j] += r.gaussian(0.0f, 0.03f);
+        stream.push_back(x);
+    }
+    return stream;
+}
+
+/** Small calibrated MLP: network + plan ready for an engine. */
+struct DemoModel {
+    Network net;
+    QuantizationPlan plan;
+    Tensor probeFrame;
+
+    DemoModel(const std::string &name, int64_t in, int64_t hidden,
+              int64_t out, uint64_t seed)
+        : net(name, Shape({in}))
+    {
+        Rng rng(seed);
+        net.addLayer(
+            std::make_unique<FullyConnectedLayer>("FC1", in, hidden));
+        net.addLayer(std::make_unique<ActivationLayer>(
+            "RELU", ActivationKind::ReLU));
+        net.addLayer(
+            std::make_unique<FullyConnectedLayer>("FC2", hidden, out));
+        initNetwork(net, rng);
+        const std::vector<Tensor> calibration =
+            makeStream(in, seed + 7, 32);
+        const NetworkRanges ranges =
+            profileNetworkRanges(net, calibration);
+        plan = makePlan(net, ranges, 16, {0, 2});
+        probeFrame = calibration[0];
+    }
+};
+
+} // namespace
+
 int
 main(int argc, char **argv)
 {
@@ -48,63 +99,62 @@ main(int argc, char **argv)
         obs::TraceRecorder::instance().setSampleEvery(1);
     }
 
-    // 1. Build and calibrate a small MLP (as in examples/quickstart).
-    Rng rng(42);
-    Network net("demo", Shape({64}));
-    net.addLayer(std::make_unique<FullyConnectedLayer>("FC1", 64, 256));
-    net.addLayer(
-        std::make_unique<ActivationLayer>("RELU", ActivationKind::ReLU));
-    net.addLayer(std::make_unique<FullyConnectedLayer>("FC2", 256, 10));
-    initNetwork(net, rng);
+    // 1. Build and calibrate two independent models.
+    DemoModel acoustic("acoustic", 64, 256, 10, 42);
+    DemoModel vision("vision", 32, 128, 4, 43);
 
-    auto make_stream = [](uint64_t seed, size_t frames) {
-        Rng r(seed);
-        std::vector<Tensor> stream;
-        Tensor x(Shape({64}));
-        r.fillGaussian(x.data(), 0.0f, 1.0f);
-        for (size_t i = 0; i < frames; ++i) {
-            for (int64_t j = 0; j < 64; ++j)
-                x[j] += r.gaussian(0.0f, 0.03f);
-            stream.push_back(x);
-        }
-        return stream;
-    };
+    // 2. One immutable engine per model; each compiles its schedule
+    // once into the process-wide plan cache, shared by every session
+    // (a second engine over the same model would be a cache hit).
+    ReuseEngine acoustic_engine(acoustic.net, acoustic.plan);
+    ReuseEngine vision_engine(vision.net, vision.plan);
 
-    const std::vector<Tensor> calibration = make_stream(7, 32);
-    const NetworkRanges ranges = profileNetworkRanges(net, calibration);
-    const QuantizationPlan plan = makePlan(net, ranges, 16, {0, 2});
-
-    // 2. One immutable engine, shared by every session.
-    ReuseEngine engine(net, plan);
-
-    // 3. Size a memory budget that fits 4 of the 6 sessions so the
-    // demo shows eviction and re-warming.
-    ReuseState probe = engine.makeState();
+    // 3. Size a memory budget that fits 4 of the 6 acoustic sessions
+    // (plus the vision sessions) so the demo shows eviction and
+    // re-warming.
+    ReuseState probe = acoustic_engine.makeState();
     ExecutionTrace probe_trace;
-    engine.execute(probe, calibration[0], probe_trace);
+    acoustic_engine.execute(probe, acoustic.probeFrame, probe_trace);
     const int64_t per_session = probe.memoryBytes();
+    ReuseState vprobe = vision_engine.makeState();
+    vision_engine.execute(vprobe, vision.probeFrame, probe_trace);
+    const int64_t per_vision = vprobe.memoryBytes();
 
     StreamingServer::Config cfg;
     cfg.workerThreads = 4;
-    cfg.memoryBudgetBytes = per_session * 4 + per_session / 2;
-    StreamingServer server(engine, cfg);
-    std::cout << "Serving " << net.name() << " on "
-              << server.workerCount() << " workers, reuse-state budget "
+    cfg.memoryBudgetBytes =
+        per_session * 4 + per_session / 2 + per_vision * 2;
+    StreamingServer server({{"acoustic", &acoustic_engine},
+                            {"vision", &vision_engine}},
+                           cfg);
+    std::cout << "Serving " << acoustic.net.name() << " + "
+              << vision.net.name() << " on " << server.workerCount()
+              << " workers, reuse-state budget "
               << formatBytes(double(cfg.memoryBudgetBytes)) << " ("
-              << formatBytes(double(per_session)) << "/session)\n\n";
+              << formatBytes(double(per_session)) << "/acoustic, "
+              << formatBytes(double(per_vision))
+              << "/vision session)\n\n";
 
-    // 4. Six sessions whose activity overlaps in phases, like users
-    // coming and going: sessions 0-3 stream first (they fit the
-    // budget), then 4-5 join and push the least recently used ones
-    // out, then 0 returns — its first frame back runs cold and
-    // re-warms the buffers, with outputs unaffected.
+    // 4. Six acoustic sessions whose activity overlaps in phases,
+    // like users coming and going, plus two vision sessions streaming
+    // alongside: acoustic 0-3 stream first (they fit the budget),
+    // then 4-5 join with the vision pair and push the least recently
+    // used ones out, then 0 returns — its first frame back runs cold
+    // and re-warms the buffers, with outputs unaffected.
     const size_t kSessions = 6;
+    const size_t kVisionSessions = 2;
     const size_t kFrames = 20;
     std::vector<SessionId> ids;
     std::vector<std::vector<Tensor>> streams;
     for (size_t s = 0; s < kSessions; ++s) {
-        ids.push_back(server.openSession("default", 100 + s));
-        streams.push_back(make_stream(100 + s, 2 * kFrames));
+        ids.push_back(server.openSession("acoustic", 100 + s));
+        streams.push_back(makeStream(64, 100 + s, 2 * kFrames));
+    }
+    std::vector<SessionId> vids;
+    std::vector<std::vector<Tensor>> vstreams;
+    for (size_t s = 0; s < kVisionSessions; ++s) {
+        vids.push_back(server.openSession("vision", 200 + s));
+        vstreams.push_back(makeStream(32, 200 + s, kFrames));
     }
     auto stream_phase = [&](std::vector<size_t> active,
                             size_t first_frame) {
@@ -115,22 +165,34 @@ main(int argc, char **argv)
         server.drain();
     };
     stream_phase({0, 1, 2, 3}, 0);  // group fits the budget
-    stream_phase({4, 5}, 0);        // newcomers evict the LRU pair
+    // Newcomers (acoustic 4-5 plus both vision users) evict the LRU
+    // acoustic pair.
+    for (size_t i = 0; i < kFrames; ++i) {
+        for (size_t s : {4ul, 5ul})
+            server.submitFrame(ids[s], streams[s][i]);
+        for (size_t s = 0; s < kVisionSessions; ++s)
+            server.submitFrame(vids[s], vstreams[s][i]);
+    }
+    server.drain();
     stream_phase({0}, kFrames);     // returning user re-warms
 
     // 5. Report per-session reuse health and the server's metrics.
-    TableWriter t({"Session", "Frames", "Reuse", "Similarity",
-                   "Evictions", "Cold frames", "State"});
-    for (size_t s = 0; s < kSessions; ++s) {
-        const auto snap = server.sessionSnapshot(ids[s]);
-        t.addRow({std::to_string(ids[s]),
+    TableWriter t({"Session", "Model", "Frames", "Reuse",
+                   "Similarity", "Evictions", "Cold frames", "State"});
+    auto add_row = [&](SessionId id, const std::string &model) {
+        const auto snap = server.sessionSnapshot(id);
+        t.addRow({std::to_string(id), model,
                   std::to_string(snap.framesCompleted),
                   formatPercent(snap.reuseRatio),
                   formatPercent(snap.similarity),
                   std::to_string(snap.evictions),
                   std::to_string(snap.coldFrames.size()),
                   snap.warm ? "warm" : "evicted"});
-    }
+    };
+    for (size_t s = 0; s < kSessions; ++s)
+        add_row(ids[s], "acoustic");
+    for (size_t s = 0; s < kVisionSessions; ++s)
+        add_row(vids[s], "vision");
     t.print(std::cout);
 
     const ServeMetrics &m = server.metrics();
@@ -144,6 +206,8 @@ main(int argc, char **argv)
 
     // 6. Metrics exposition: the same registry rendered as a
     // Prometheus text scrape (what an operations stack would pull).
+    // serve.plan_cache.* shows both models' schedules resident in
+    // the process-wide compiled-plan cache.
     obs::MetricsExporter exporter;
     exporter.scrape(registry);
     std::cout << "\nPrometheus exposition (excerpt):\n";
@@ -159,6 +223,8 @@ main(int argc, char **argv)
     }
 
     for (SessionId id : ids)
+        server.closeSession(id);
+    for (SessionId id : vids)
         server.closeSession(id);
     server.stop();
 

@@ -1,219 +1,39 @@
 #include "model_validator.h"
 
-#include <cmath>
-#include <limits>
 #include <sstream>
 
-#include "nn/conv2d.h"
-#include "nn/conv3d.h"
+#include "ir/graph.h"
+#include "ir/passes.h"
 #include "nn/fully_connected.h"
 #include "nn/lstm.h"
 
 namespace reuse {
 
-namespace {
-
-/** True when any dimension is non-positive (empty tensors cannot
- *  flow through the substrate). */
-bool
-degenerate(const Shape &shape)
-{
-    for (size_t i = 0; i < shape.rank(); ++i) {
-        if (shape.dim(i) <= 0)
-            return true;
-    }
-    return shape.numel() <= 0;
-}
-
-/**
- * Worst-case number of inputs feeding one output neuron (the fan-in
- * of the delta accumulation): every changed input contributes one
- * delta * weight term to an output.
- */
-int64_t
-deltaFanIn(const Layer &layer)
-{
-    switch (layer.kind()) {
-      case LayerKind::FullyConnected:
-        return static_cast<const FullyConnectedLayer &>(layer).inputs();
-      case LayerKind::Conv2D: {
-        const auto &conv = static_cast<const Conv2DLayer &>(layer);
-        return conv.inChannels() * conv.kernel() * conv.kernel();
-      }
-      case LayerKind::Conv3D: {
-        const auto &conv = static_cast<const Conv3DLayer &>(layer);
-        return conv.inChannels() * conv.kernel() * conv.kernel() *
-               conv.kernel();
-      }
-      case LayerKind::Lstm: {
-        const auto &lstm = static_cast<const LstmLayer &>(layer);
-        return lstm.inputDim() + lstm.cellDim();
-      }
-      case LayerKind::BiLstm: {
-        const auto &lstm = static_cast<const BiLstmLayer &>(layer);
-        return lstm.inputDim() + lstm.cellDim();
-      }
-      default:
-        return 0;
-    }
-}
-
-/** Checks one quantizer's range/step for usability (QP002). */
-void
-checkQuantizer(DiagnosticReport &report, const LinearQuantizer &q,
-               const char *which, size_t li, const Layer &layer)
-{
-    std::ostringstream oss;
-    if (!std::isfinite(q.rangeMin()) || !std::isfinite(q.rangeMax())) {
-        oss << which << " quantizer range ["
-            << q.rangeMin() << ", " << q.rangeMax() << "] is not finite";
-    } else if (!(q.step() > 0.0f) || !std::isfinite(q.step())) {
-        oss << which << " quantizer step " << q.step()
-            << " is not a positive finite value";
-    }
-    if (!oss.str().empty()) {
-        report.error(diag::kQuantizerInvalid, oss.str(),
-                     static_cast<int>(li), layer.name());
-    }
-}
-
-/**
- * Flags quantizers whose index range can overflow a 32-bit
- * fixed-point delta accumulator (RS003).  Worst case per output
- * neuron: every one of `fan_in` inputs moves across the whole index
- * range and each delta is scaled by the largest 8-bit weight code
- * (the Sec. VI-A reduced-precision accelerator).
- */
-void
-checkDeltaOverflow(DiagnosticReport &report, const LinearQuantizer &q,
-                   const char *which, int64_t fan_in, size_t li,
-                   const Layer &layer)
-{
-    if (fan_in <= 0)
-        return;
-    constexpr int64_t kMaxWeightCode = 127;  // 8-bit signed weights
-    const int64_t worst_delta =
-        static_cast<int64_t>(q.indexCount()) - 1;
-    const int64_t accumulated = fan_in * worst_delta * kMaxWeightCode;
-    if (accumulated >
-        static_cast<int64_t>(std::numeric_limits<int32_t>::max())) {
-        std::ostringstream oss;
-        oss << which << " quantizer spans " << q.indexCount()
-            << " indices; worst-case delta accumulation over fan-in "
-            << fan_in << " (" << accumulated
-            << ") overflows a 32-bit fixed-point accumulator — use "
-               "fewer clusters or a narrower range";
-        report.warning(diag::kDeltaOverflowRisk, oss.str(),
-                       static_cast<int>(li), layer.name());
-    }
-}
-
-} // namespace
-
 bool
 isIncrementallyUpdatable(LayerKind kind)
 {
-    switch (kind) {
-      case LayerKind::FullyConnected:
-      case LayerKind::Conv2D:
-      case LayerKind::Conv3D:
-      case LayerKind::Lstm:
-      case LayerKind::BiLstm:
-        return true;
-      case LayerKind::MaxPool2D:
-      case LayerKind::MaxPool3D:
-      case LayerKind::Activation:
-      case LayerKind::Flatten:
-        return false;
-    }
-    return false;
+    return ir::isReuseEligible(kind);
 }
 
 DiagnosticReport
 validateShapes(const Network &network)
 {
+    // The shape pass IS the validator's shape analysis: build a chain
+    // graph over the network and let the IR propagate shapes.
     DiagnosticReport report;
-    if (network.layerCount() == 0) {
-        report.error(diag::kEmptyNetwork,
-                     network.name() + ": network has no layers");
-        return report;
-    }
-    if (degenerate(network.inputShape())) {
-        report.error(diag::kDegenerateShape,
-                     network.name() + ": input shape " +
-                         network.inputShape().str() +
-                         " has a non-positive dimension");
-        return report;
-    }
-    Shape current = network.inputShape();
-    for (size_t li = 0; li < network.layerCount(); ++li) {
-        const Layer &layer = network.layer(li);
-        const ShapeInference inf = layer.inferOutputShape(current);
-        if (!inf.valid()) {
-            report.error(diag::kShapeMismatch, inf.reason(),
-                         static_cast<int>(li), layer.name());
-            return report;  // downstream shapes are unknowable
-        }
-        if (degenerate(inf.shape())) {
-            std::ostringstream oss;
-            oss << layer.name() << ": output shape "
-                << inf.shape().str() << " has a non-positive dimension";
-            report.error(diag::kDegenerateShape, oss.str(),
-                         static_cast<int>(li), layer.name());
-            return report;
-        }
-        current = inf.shape();
-    }
+    ir::Graph graph = ir::Graph::fromNetwork(network);
+    ir::ShapeInferencePass().run(graph, report);
     return report;
 }
 
 DiagnosticReport
 validateReuseSafety(const Network &network, const QuantizationPlan &plan)
 {
+    // Analysis-only run of the IR safety pass (no pinning): findings
+    // keep their original severity.
     DiagnosticReport report;
-    if (plan.size() != network.layerCount()) {
-        std::ostringstream oss;
-        oss << network.name() << ": plan covers " << plan.size()
-            << " layers but the network has " << network.layerCount();
-        report.error(diag::kPlanSizeMismatch, oss.str());
-        return report;
-    }
-    for (size_t li = 0; li < network.layerCount(); ++li) {
-        const LayerQuantization &lq = plan.layer(li);
-        if (!lq.enabled())
-            continue;
-        const Layer &layer = network.layer(li);
-        if (!isIncrementallyUpdatable(layer.kind())) {
-            std::ostringstream oss;
-            oss << layer.name() << " (" << layerKindName(layer.kind())
-                << ") is not incrementally updatable: Eq. 10 only "
-                   "holds for layers linear in their inputs; this "
-                   "layer must be recomputed from scratch";
-            report.error(diag::kReuseOnUnsafeLayer, oss.str(),
-                         static_cast<int>(li), layer.name());
-            continue;
-        }
-        const bool recurrent = layer.kind() == LayerKind::Lstm ||
-                               layer.kind() == LayerKind::BiLstm;
-        if (recurrent && !lq.recurrent.has_value()) {
-            std::ostringstream oss;
-            oss << layer.name()
-                << ": recurrent layer enabled without a quantizer "
-                   "for the hidden-state inputs h_{t-1}";
-            report.error(diag::kMissingRecurrentQuantizer, oss.str(),
-                         static_cast<int>(li), layer.name());
-        }
-        const int64_t fan_in = deltaFanIn(layer);
-        checkQuantizer(report, *lq.input, "input", li, layer);
-        checkDeltaOverflow(report, *lq.input, "input", fan_in, li,
-                           layer);
-        if (recurrent && lq.recurrent.has_value()) {
-            checkQuantizer(report, *lq.recurrent, "recurrent", li,
-                           layer);
-            checkDeltaOverflow(report, *lq.recurrent, "recurrent",
-                               fan_in, li, layer);
-        }
-    }
+    ir::Graph graph = ir::Graph::fromNetwork(network, plan);
+    ir::ReuseSafetyPass().run(graph, report);
     return report;
 }
 

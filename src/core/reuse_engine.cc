@@ -1,8 +1,9 @@
 #include "reuse_engine.h"
 
-#include "analysis/model_validator.h"
 #include "common/logging.h"
 #include "fault/fault_injector.h"
+#include "ir/plan_cache.h"
+#include "nn/activations.h"
 #include "nn/conv2d.h"
 #include "nn/conv3d.h"
 #include "obs/trace_recorder.h"
@@ -31,11 +32,14 @@ ReuseEngine::ReuseEngine(const Network &network, QuantizationPlan plan,
       drift_guard_(config.refreshPeriod, config.driftBound),
       stats_(layerNames(network))
 {
-    // Static validation before any buffer is allocated: an engine
-    // over an inconsistent network/plan would otherwise fail deep in
-    // execution (or silently corrupt reuse state).
-    DiagnosticReport report = validateShapes(network_);
-    report.merge(validateReuseSafety(network_, plan_));
+    // Compile (or fetch from the process-wide cache) the execution
+    // schedule.  Compilation subsumes static validation: the shape
+    // and safety passes run over the IR before any rewrite, so an
+    // engine over an inconsistent network/plan still fails here
+    // instead of deep in execution.
+    compiled_ = ir::PlanCache::instance().getOrCompile(
+        network_, plan_, config_.compileOptions);
+    const DiagnosticReport &report = compiled_->report();
     for (const Diagnostic &d : report.diagnostics()) {
         if (d.severity == Severity::Warning)
             warn(d.str());
@@ -44,59 +48,58 @@ ReuseEngine::ReuseEngine(const Network &network, QuantizationPlan plan,
         fatal(network_.name() + ": model validation failed\n" +
               report.str());
     }
-    layer_input_shapes_ = network.layerInputShapes();
     state_ = makeState();
 }
 
 ReuseState
 ReuseEngine::makeState() const
 {
+    // State vectors stay sized and indexed by the ORIGINAL layer
+    // index, not the step position: traces, drift accounting and the
+    // stats collector all speak layer indices.
     ReuseState state;
     state.fc_.resize(network_.layerCount());
     state.conv_.resize(network_.layerCount());
     state.lstm_.resize(network_.layerCount());
     state.uni_lstm_.resize(network_.layerCount());
-    for (size_t li = 0; li < network_.layerCount(); ++li) {
-        const LayerQuantization &lq = plan_.layer(li);
-        if (!lq.enabled())
-            continue;
-        const Layer &layer = network_.layer(li);
-        switch (layer.kind()) {
-          case LayerKind::FullyConnected:
+    for (const ir::PlanStep &step : compiled_->steps()) {
+        const size_t li = step.layerIndex;
+        const LayerQuantization &lq = step.quant;
+        switch (step.mode) {
+          case ir::ExecMode::FromScratch:
+            break;
+          case ir::ExecMode::FcReuse:
             state.fc_[li] = std::make_unique<FcReuseState>(
-                static_cast<const FullyConnectedLayer &>(layer),
+                static_cast<const FullyConnectedLayer &>(*step.layer),
                 *lq.input);
             break;
-          case LayerKind::Conv2D:
-            state.conv_[li] = std::make_unique<ConvReuseState>(
-                static_cast<const Conv2DLayer &>(layer),
-                layer_input_shapes_[li], *lq.input);
+          case ir::ExecMode::ConvReuse:
+            if (step.layer->kind() == LayerKind::Conv2D) {
+                state.conv_[li] = std::make_unique<ConvReuseState>(
+                    static_cast<const Conv2DLayer &>(*step.layer),
+                    step.inShape, *lq.input);
+            } else {
+                state.conv_[li] = std::make_unique<ConvReuseState>(
+                    static_cast<const Conv3DLayer &>(*step.layer),
+                    step.inShape, *lq.input);
+            }
             break;
-          case LayerKind::Conv3D:
-            state.conv_[li] = std::make_unique<ConvReuseState>(
-                static_cast<const Conv3DLayer &>(layer),
-                layer_input_shapes_[li], *lq.input);
-            break;
-          case LayerKind::BiLstm:
+          case ir::ExecMode::BiLstmReuse:
             REUSE_ASSERT(lq.recurrent.has_value(),
-                         "BiLSTM layer " << layer.name()
+                         "BiLSTM layer " << step.layer->name()
                              << " needs a recurrent quantizer");
             state.lstm_[li] = std::make_unique<BiLstmReuseState>(
-                static_cast<const BiLstmLayer &>(layer), *lq.input,
-                *lq.recurrent);
+                static_cast<const BiLstmLayer &>(*step.layer),
+                *lq.input, *lq.recurrent);
             break;
-          case LayerKind::Lstm:
+          case ir::ExecMode::LstmReuse:
             REUSE_ASSERT(lq.recurrent.has_value(),
-                         "LSTM layer " << layer.name()
+                         "LSTM layer " << step.layer->name()
                              << " needs a recurrent quantizer");
             state.uni_lstm_[li] =
                 std::make_unique<LstmLayerReuseState>(
-                    static_cast<const LstmLayer &>(layer), *lq.input,
-                    *lq.recurrent);
-            break;
-          default:
-            warn("reuse enabled on non-reusable layer " + layer.name() +
-                 "; ignoring");
+                    static_cast<const LstmLayer &>(*step.layer),
+                    *lq.input, *lq.recurrent);
             break;
         }
     }
@@ -147,20 +150,41 @@ ReuseEngine::recordFromScratch(size_t li, const Shape &in_shape,
 }
 
 Tensor
-ReuseEngine::executeLayer(ReuseState &state, size_t li,
-                          const Tensor &input, LayerExecRecord &rec) const
+ReuseEngine::executeStep(ReuseState &state, const ir::PlanStep &step,
+                         const Tensor &input, LayerExecRecord &rec) const
 {
+    const size_t li = step.layerIndex;
     rec.layerIndex = li;
-    if (state.fc_[li]) {
-        Tensor out = state.fc_[li]->execute(input, rec);
-        return out;
+    switch (step.mode) {
+      case ir::ExecMode::FcReuse:
+        return state.fc_[li]->execute(input, rec);
+      case ir::ExecMode::ConvReuse:
+        return state.conv_[li]->execute(input, rec);
+      default:
+        recordFromScratch(li, input.shape(), rec);
+        return step.layer->forward(input);
     }
-    if (state.conv_[li]) {
-        Tensor out = state.conv_[li]->execute(input, rec);
-        return out;
-    }
-    recordFromScratch(li, input.shape(), rec);
-    return network_.layer(li).forward(input);
+}
+
+void
+ReuseEngine::runFusedActivation(const ir::PlanStep &step, Tensor &t,
+                                ExecutionTrace &trace,
+                                uint32_t base_flags) const
+{
+    const size_t ai = step.fusedActivationIndex;
+    LayerExecRecord &rec = trace[ai];
+    obs::TraceSpan span(obs::SpanKind::LayerExec,
+                        static_cast<int32_t>(ai));
+    const auto &act =
+        static_cast<const ActivationLayer &>(*step.fusedActivation);
+    applyActivation(act.activation(), t);
+    // The activation's trace record is exactly what an unfused
+    // from-scratch execution would have produced (shape-preserving,
+    // zero MACs), so fused and unfused traces are indistinguishable.
+    recordFromScratch(ai, t.shape(), rec);
+    if (span.active())
+        span.args(rec.inputsChecked, rec.inputsChanged, rec.macsFull,
+                  rec.macsPerformed, base_flags);
 }
 
 Tensor
@@ -189,27 +213,33 @@ ReuseEngine::execute(ReuseState &state, const Tensor &input,
     trace.resize(network_.layerCount());
     if (network_.layerCount() == 0)
         return input;
-    // Chain layer outputs through a pointer so the input tensor is
-    // never copied: the first layer reads `input` directly, later
-    // layers read the previous layer's output in place.
+    // Walk the compiled schedule, chaining step outputs through a
+    // pointer so the input tensor is never copied: the first step
+    // reads `input` directly, later steps read the previous step's
+    // output in place.
+    const uint32_t refresh_flag =
+        refreshed ? obs::kFlagDriftRefresh : 0u;
     const Tensor *current = &input;
     Tensor next;
-    for (size_t li = 0; li < network_.layerCount(); ++li) {
-        LayerExecRecord &rec = trace[li];
-        obs::TraceSpan span(obs::SpanKind::LayerExec,
-                            static_cast<int32_t>(li));
-        next = executeLayer(state, li, *current, rec);
-        if (span.active()) {
-            uint32_t flags = 0;
-            if (rec.firstExecution)
-                flags |= obs::kFlagFirstExecution;
-            if (rec.reuseEnabled)
-                flags |= obs::kFlagReuseEnabled;
-            if (refreshed)
-                flags |= obs::kFlagDriftRefresh;
-            span.args(rec.inputsChecked, rec.inputsChanged,
-                      rec.macsFull, rec.macsPerformed, flags);
+    for (const ir::PlanStep &step : compiled_->steps()) {
+        LayerExecRecord &rec = trace[step.layerIndex];
+        {
+            obs::TraceSpan span(
+                obs::SpanKind::LayerExec,
+                static_cast<int32_t>(step.layerIndex));
+            next = executeStep(state, step, *current, rec);
+            if (span.active()) {
+                uint32_t flags = refresh_flag;
+                if (rec.firstExecution)
+                    flags |= obs::kFlagFirstExecution;
+                if (rec.reuseEnabled)
+                    flags |= obs::kFlagReuseEnabled;
+                span.args(rec.inputsChecked, rec.inputsChanged,
+                          rec.macsFull, rec.macsPerformed, flags);
+            }
         }
+        if (step.fusedActivation != nullptr)
+            runFusedActivation(step, next, trace, refresh_flag);
         current = &next;
     }
     if (refreshed) {
@@ -261,18 +291,19 @@ ReuseEngine::executeSequence(ReuseState &state,
     trace.clear();
     trace.resize(network_.layerCount());
     std::vector<Tensor> current = inputs;
-    for (size_t li = 0; li < network_.layerCount(); ++li) {
+    for (const ir::PlanStep &step : compiled_->steps()) {
+        const size_t li = step.layerIndex;
         LayerExecRecord &rec = trace[li];
         rec.layerIndex = li;
         obs::TraceSpan layer_span(obs::SpanKind::LayerExec,
                                   static_cast<int32_t>(li));
-        const Layer &layer = network_.layer(li);
-        if (state.lstm_[li]) {
+        const Layer &layer = *step.layer;
+        if (step.mode == ir::ExecMode::BiLstmReuse) {
             current = state.lstm_[li]->executeSequence(current, rec);
-        } else if (state.uni_lstm_[li]) {
+        } else if (step.mode == ir::ExecMode::LstmReuse) {
             current =
                 state.uni_lstm_[li]->executeSequence(current, rec);
-        } else if (state.fc_[li]) {
+        } else if (step.mode == ir::ExecMode::FcReuse) {
             // Per-timestep reuse for FC layers inside an RNN: the
             // previous execution is the previous sequence element.
             std::vector<Tensor> outputs;

@@ -25,6 +25,7 @@
 #include "core/exec_record.h"
 #include "core/reuse_state.h"
 #include "core/reuse_stats.h"
+#include "ir/compiled_plan.h"
 #include "nn/network.h"
 #include "quant/quantization_plan.h"
 
@@ -44,6 +45,12 @@ struct ReuseEngineConfig {
      * layer forces a full refresh; 0 disables the bound.
      */
     double driftBound = 0.0;
+    /**
+     * IR compilation options (pass selection and pinning policy); the
+     * defaults are behavior-preserving.  Engines sharing options and
+     * a model share one cached CompiledPlan (see ir/plan_cache.h).
+     */
+    ir::CompileOptions compileOptions;
 };
 
 /**
@@ -136,10 +143,28 @@ class ReuseEngine
     /** The refresh policy derived from the config. */
     const DriftGuard &driftGuard() const { return drift_guard_; }
 
+    /** The compiled execution schedule the engine runs. */
+    const ir::CompiledPlan &compiledPlan() const { return *compiled_; }
+
+    /** Shared handle to the schedule (for cache/introspection). */
+    std::shared_ptr<const ir::CompiledPlan> compiledPlanPtr() const
+    {
+        return compiled_;
+    }
+
   private:
-    /** Executes one feed-forward layer with or without reuse. */
-    Tensor executeLayer(ReuseState &state, size_t li, const Tensor &input,
-                        LayerExecRecord &rec) const;
+    /** Executes one feed-forward plan step with or without reuse. */
+    Tensor executeStep(ReuseState &state, const ir::PlanStep &step,
+                       const Tensor &input, LayerExecRecord &rec) const;
+
+    /**
+     * Applies `step`'s fused activation to `t` in place, filling the
+     * activation's own trace record and span exactly as an unfused
+     * from-scratch execution would.
+     */
+    void runFusedActivation(const ir::PlanStep &step, Tensor &t,
+                            ExecutionTrace &trace,
+                            uint32_t base_flags) const;
 
     /** Fills a record for a from-scratch (non-reuse) execution. */
     void recordFromScratch(size_t li, const Shape &in_shape,
@@ -152,7 +177,7 @@ class ReuseEngine
     QuantizationPlan plan_;
     ReuseEngineConfig config_;
     DriftGuard drift_guard_;
-    std::vector<Shape> layer_input_shapes_;
+    std::shared_ptr<const ir::CompiledPlan> compiled_;
 
     ReuseState state_;
     ExecutionTrace last_trace_;

@@ -3,6 +3,7 @@
 #include "analysis/model_validator.h"
 #include "common/logging.h"
 #include "harness/experiment.h"
+#include "ir/compiled_plan.h"
 #include "workloads/speech_generator.h"
 #include "workloads/video_generator.h"
 
@@ -169,6 +170,23 @@ setupAutopilot(const WorkloadSetupConfig &config)
         return std::make_unique<DrivingFrameGenerator>(dp, seed);
     };
     return validated(std::move(w));
+}
+
+std::string
+dumpWorkloadPlan(const std::string &name)
+{
+    WorkloadSetupConfig cfg;
+    // Calibration only sets quantizer ranges; the schedule (and its
+    // dump) depends on shapes and plan structure, not on the ranges,
+    // so a short stream keeps the tool fast.
+    cfg.calibrationFrames = 16;
+    Workload w = setupWorkload(name, cfg);
+    ir::CompileOptions options;
+    options.pinUnsafeLayers = true;
+    options.pinOverflowRisk = true;
+    const auto plan =
+        ir::CompiledPlan::compile(*w.bundle.network, w.plan, options);
+    return plan->dump();
 }
 
 Workload

@@ -71,6 +71,14 @@ Workload setupAutopilot(const WorkloadSetupConfig &config = {});
 Workload setupWorkload(const std::string &name,
                        const WorkloadSetupConfig &config = {});
 
+/**
+ * Compiles the named workload's model under the most aggressive
+ * pinning policy (unsafe layers and overflow risks pinned to full
+ * recompute) and returns CompiledPlan::dump() — the stable schedule
+ * rendering behind `validate_model --dump-plan` and its golden test.
+ */
+std::string dumpWorkloadPlan(const std::string &name);
+
 } // namespace reuse
 
 #endif // REUSE_DNN_HARNESS_WORKLOAD_SETUP_H

@@ -1,0 +1,157 @@
+#include "compiled_plan.h"
+
+#include <sstream>
+
+#include "nn/activations.h"
+#include "nn/network.h"
+
+namespace reuse {
+namespace ir {
+
+const char *
+execModeName(ExecMode mode)
+{
+    switch (mode) {
+      case ExecMode::FromScratch:
+        return "from-scratch";
+      case ExecMode::FcReuse:
+        return "fc-reuse";
+      case ExecMode::ConvReuse:
+        return "conv-reuse";
+      case ExecMode::LstmReuse:
+        return "lstm-reuse";
+      case ExecMode::BiLstmReuse:
+        return "bilstm-reuse";
+    }
+    return "unknown";
+}
+
+namespace {
+
+/** Kernel choice for a node that survived the safety pass. */
+ExecMode
+modeFor(const Node &node)
+{
+    if (!node.quant.enabled())
+        return ExecMode::FromScratch;
+    switch (node.kind()) {
+      case LayerKind::FullyConnected:
+        return ExecMode::FcReuse;
+      case LayerKind::Conv2D:
+      case LayerKind::Conv3D:
+        return ExecMode::ConvReuse;
+      case LayerKind::Lstm:
+        return ExecMode::LstmReuse;
+      case LayerKind::BiLstm:
+        return ExecMode::BiLstmReuse;
+      default:
+        return ExecMode::FromScratch;
+    }
+}
+
+} // namespace
+
+std::shared_ptr<const CompiledPlan>
+CompiledPlan::compile(const Network &network,
+                      const QuantizationPlan &plan,
+                      const CompileOptions &options)
+{
+    std::shared_ptr<CompiledPlan> cp(new CompiledPlan());
+    cp->network_ = &network;
+    cp->options_ = options;
+    cp->layer_count_ = network.layerCount();
+
+    Graph graph = Graph::fromNetwork(network, plan);
+    cp->recurrent_ = graph.recurrent();
+
+    PassManager manager;
+    manager.add(std::make_unique<ShapeInferencePass>());
+    manager.add(std::make_unique<ReuseSafetyPass>(
+        options.pinUnsafeLayers, options.pinOverflowRisk));
+    if (options.fuseActivations)
+        manager.add(std::make_unique<FuseActivationPass>());
+    if (options.eliminateDeadNodes)
+        manager.add(std::make_unique<DeadNodeEliminationPass>());
+    cp->pass_records_ = manager.run(graph, cp->report_);
+
+    if (cp->report_.hasErrors())
+        return cp;
+
+    for (NodeId id : graph.topoOrder()) {
+        const Node &node = graph.node(id);
+        if (node.fusedAway) {
+            ++cp->fused_;
+            continue;
+        }
+        if (node.dead) {
+            ++cp->dead_;
+            continue;
+        }
+        PlanStep step;
+        step.layer = node.layer;
+        step.layerIndex = node.layerIndex;
+        step.fusedActivation = node.fusedActivation;
+        step.fusedActivationIndex = node.fusedActivationIndex;
+        step.mode = modeFor(node);
+        step.inShape = node.inShape;
+        step.outShape = node.outShape;
+        step.reuseSafe = isReuseEligible(node.kind());
+        step.pinned = node.pinnedFullRecompute;
+        step.quant = node.quant;
+        if (step.pinned)
+            ++cp->pinned_;
+        cp->steps_.push_back(std::move(step));
+    }
+    return cp;
+}
+
+std::string
+CompiledPlan::dump() const
+{
+    // Deliberately float-free: only names, shapes, counts and flags,
+    // so the rendering is bit-stable across platforms and fit for
+    // golden-file comparison.
+    std::ostringstream oss;
+    oss << "plan " << network_->name() << ": input "
+        << network_->inputShape().str() << ", layers " << layer_count_
+        << ", steps " << steps_.size() << ", fused " << fused_
+        << ", dead " << dead_ << ", pinned " << pinned_ << "\n";
+    oss << "passes:";
+    for (const PassManager::Record &rec : pass_records_) {
+        oss << " " << rec.pass;
+        if (rec.ran)
+            oss << "(" << rec.rewrites << ")";
+        else
+            oss << "(skipped)";
+    }
+    oss << "\n";
+    if (!valid()) {
+        oss << "  no schedule: " << report_.count(Severity::Error)
+            << " error(s)\n";
+        return oss.str();
+    }
+    for (const PlanStep &step : steps_) {
+        oss << "  [" << step.layerIndex << "] " << step.layer->name()
+            << " " << layerKindName(step.layer->kind()) << " "
+            << step.inShape.str() << " -> " << step.outShape.str()
+            << " " << execModeName(step.mode);
+        if (step.quant.enabled()) {
+            oss << " q=" << step.quant.input->indexCount();
+            if (step.quant.recurrent.has_value())
+                oss << "/" << step.quant.recurrent->indexCount();
+        }
+        if (step.fusedActivation != nullptr) {
+            const auto &act = static_cast<const ActivationLayer &>(
+                *step.fusedActivation);
+            oss << " fused(" << act.name() << ":"
+                << activationKindName(act.activation()) << ")";
+        }
+        if (step.pinned)
+            oss << " pinned";
+        oss << (step.reuseSafe ? " safe" : " unsafe") << "\n";
+    }
+    return oss.str();
+}
+
+} // namespace ir
+} // namespace reuse

@@ -1,0 +1,158 @@
+/**
+ * @file
+ * CompiledPlan: the post-pass topology of one model frozen into a
+ * flat execution schedule.
+ *
+ * compile() builds a Graph from a Network + QuantizationPlan, runs
+ * the pass pipeline (shape inference, reuse safety, activation
+ * fusion, dead-node elimination; see passes.h), and linearizes the
+ * surviving nodes into PlanSteps: per step the kernel choice
+ * (ExecMode), the resolved shapes, the effective quantization and the
+ * fused activation, if any.  The engine executes the schedule without
+ * re-deriving any of this per frame, and the plan is immutable and
+ * handed out as shared_ptr<const>, so one compile can serve every
+ * session of a model concurrently (see plan_cache.h).
+ *
+ * A plan whose diagnostics carry errors has no steps; callers decide
+ * whether that is fatal (ReuseEngine) or printable (validate_model).
+ */
+
+#ifndef REUSE_DNN_IR_COMPILED_PLAN_H
+#define REUSE_DNN_IR_COMPILED_PLAN_H
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ir/passes.h"
+
+namespace reuse {
+namespace ir {
+
+/** Kernel family a plan step executes with. */
+enum class ExecMode {
+    /** Layer::forward() — no reuse state. */
+    FromScratch,
+    /** Incremental FC update against an FcReuseState. */
+    FcReuse,
+    /** Incremental conv (2D or 3D) update against a ConvReuseState. */
+    ConvReuse,
+    /** Per-timestep LSTM reuse against an LstmLayerReuseState. */
+    LstmReuse,
+    /** Per-timestep BiLSTM reuse against a BiLstmReuseState. */
+    BiLstmReuse,
+};
+
+/** Stable mode name ("fc-reuse", ...), used in plan dumps. */
+const char *execModeName(ExecMode mode);
+
+/** One scheduled layer execution. */
+struct PlanStep {
+    /** The layer to execute (not owned). */
+    const Layer *layer = nullptr;
+    /** The layer's index in the source network (trace/state slot). */
+    size_t layerIndex = 0;
+    /** Activation fused into this step (an ActivationLayer) or null. */
+    const Layer *fusedActivation = nullptr;
+    /** Original layer index of the fused activation (trace slot). */
+    size_t fusedActivationIndex = 0;
+    /** Kernel choice. */
+    ExecMode mode = ExecMode::FromScratch;
+    Shape inShape;
+    Shape outShape;
+    /** Eq. 10 is sound for this layer kind. */
+    bool reuseSafe = false;
+    /** The safety pass pinned this step to full recompute. */
+    bool pinned = false;
+    /** Effective quantization (disabled when pinned or unplanned). */
+    LayerQuantization quant;
+};
+
+/** Compilation tunables.  The defaults preserve engine behavior:
+ *  fusion and DCE are semantics-neutral rewrites, and with pinning
+ *  off every safety finding keeps its original severity. */
+struct CompileOptions {
+    /** Run FuseActivationPass. */
+    bool fuseActivations = true;
+    /** Run DeadNodeEliminationPass. */
+    bool eliminateDeadNodes = true;
+    /** Pin error-grade unsafe layers instead of failing compile. */
+    bool pinUnsafeLayers = false;
+    /** Also pin layers with RS003 overflow-risk warnings. */
+    bool pinOverflowRisk = false;
+};
+
+/** Immutable compiled schedule of one network + plan + options. */
+class CompiledPlan
+{
+  public:
+    /**
+     * Compiles `network` + `plan` under `options`.  Never fails:
+     * diagnostics land in report(), and steps() is empty when they
+     * include errors.  `network` must outlive the returned plan.
+     */
+    static std::shared_ptr<const CompiledPlan>
+    compile(const Network &network, const QuantizationPlan &plan,
+            const CompileOptions &options = {});
+
+    /** The network this plan was compiled from. */
+    const Network &network() const { return *network_; }
+
+    /** The execution schedule (empty when report() has errors). */
+    const std::vector<PlanStep> &steps() const { return steps_; }
+
+    /** All pass diagnostics (shape + safety findings). */
+    const DiagnosticReport &report() const { return report_; }
+
+    /** True when the plan compiled without errors. */
+    bool valid() const { return !report_.hasErrors(); }
+
+    /** The options the plan was compiled under. */
+    const CompileOptions &options() const { return options_; }
+
+    /** Layer count of the source network (trace/state sizing). */
+    size_t layerCount() const { return layer_count_; }
+
+    /** True when the source network is recurrent. */
+    bool recurrent() const { return recurrent_; }
+
+    /** Per-pass rewrite accounting, in pipeline order. */
+    const std::vector<PassManager::Record> &passRecords() const
+    {
+        return pass_records_;
+    }
+
+    /** Activations folded into their producers. */
+    size_t fusedCount() const { return fused_; }
+
+    /** Nodes eliminated as unreachable. */
+    size_t deadCount() const { return dead_; }
+
+    /** Steps pinned to full recompute by the safety pass. */
+    size_t pinnedCount() const { return pinned_; }
+
+    /**
+     * Human-readable, float-free rendering of the schedule (one line
+     * per step), stable across runs — the --dump-plan golden format.
+     */
+    std::string dump() const;
+
+  private:
+    CompiledPlan() = default;
+
+    const Network *network_ = nullptr;
+    CompileOptions options_;
+    DiagnosticReport report_;
+    std::vector<PassManager::Record> pass_records_;
+    std::vector<PlanStep> steps_;
+    size_t layer_count_ = 0;
+    bool recurrent_ = false;
+    size_t fused_ = 0;
+    size_t dead_ = 0;
+    size_t pinned_ = 0;
+};
+
+} // namespace ir
+} // namespace reuse
+
+#endif // REUSE_DNN_IR_COMPILED_PLAN_H

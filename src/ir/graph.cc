@@ -1,0 +1,116 @@
+#include "graph.h"
+
+#include "common/logging.h"
+#include "nn/network.h"
+
+namespace reuse {
+namespace ir {
+
+bool
+isReuseEligible(LayerKind kind)
+{
+    switch (kind) {
+      case LayerKind::FullyConnected:
+      case LayerKind::Conv2D:
+      case LayerKind::Conv3D:
+      case LayerKind::Lstm:
+      case LayerKind::BiLstm:
+        return true;
+      case LayerKind::MaxPool2D:
+      case LayerKind::MaxPool3D:
+      case LayerKind::Activation:
+      case LayerKind::Flatten:
+        return false;
+    }
+    return false;
+}
+
+Graph
+Graph::fromNetwork(const Network &network)
+{
+    return fromNetwork(network, QuantizationPlan(network));
+}
+
+Graph
+Graph::fromNetwork(const Network &network, const QuantizationPlan &plan)
+{
+    Graph graph(network.name(), network.inputShape());
+    const bool plan_ok = plan.size() == network.layerCount();
+    if (!plan_ok) {
+        graph.plan_size_mismatch_ = true;
+        graph.plan_size_ = plan.size();
+    }
+    for (size_t li = 0; li < network.layerCount(); ++li) {
+        const NodeId id = graph.addNode(
+            &network.layer(li), li,
+            plan_ok ? plan.layer(li) : LayerQuantization{});
+        if (li > 0)
+            graph.connect(id - 1, id);
+    }
+    if (graph.nodeCount() > 0)
+        graph.setOutput(graph.nodeCount() - 1);
+    return graph;
+}
+
+NodeId
+Graph::addNode(const Layer *layer, size_t layer_index,
+               LayerQuantization quant)
+{
+    REUSE_ASSERT(layer != nullptr, "addNode(nullptr)");
+    Node node;
+    node.id = nodes_.size();
+    node.layer = layer;
+    node.layerIndex = layer_index;
+    node.quant = std::move(quant);
+    nodes_.push_back(std::move(node));
+    return nodes_.back().id;
+}
+
+void
+Graph::connect(NodeId from, NodeId to)
+{
+    REUSE_ASSERT(from < nodes_.size() && to < nodes_.size(),
+                 "connect: node id out of range");
+    nodes_[from].outputs.push_back(to);
+    nodes_[to].inputs.push_back(from);
+}
+
+bool
+Graph::recurrent() const
+{
+    for (const Node &n : nodes_) {
+        if (n.layer->isRecurrent())
+            return true;
+    }
+    return false;
+}
+
+std::vector<NodeId>
+Graph::topoOrder() const
+{
+    std::vector<size_t> pending(nodes_.size());
+    std::vector<NodeId> ready;
+    for (const Node &n : nodes_) {
+        pending[n.id] = n.inputs.size();
+        if (n.inputs.empty())
+            ready.push_back(n.id);
+    }
+    // Kahn's algorithm with a FIFO ready list: sources enqueue in
+    // insertion order, so chains come out in layer order.
+    std::vector<NodeId> order;
+    order.reserve(nodes_.size());
+    for (size_t next = 0; next < ready.size(); ++next) {
+        const NodeId id = ready[next];
+        order.push_back(id);
+        for (NodeId out : nodes_[id].outputs) {
+            if (--pending[out] == 0)
+                ready.push_back(out);
+        }
+    }
+    REUSE_ASSERT(order.size() == nodes_.size(),
+                 name_ << ": graph has a cycle");
+    return order;
+}
+
+} // namespace ir
+} // namespace reuse

@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Lightweight graph IR over the nn layer substrate.
+ *
+ * A Graph holds one node per layer with explicit edges (instead of
+ * the Network's implicit chain), plus the analysis metadata the
+ * rewrite passes read and write: inferred shapes, per-layer
+ * quantization, reuse-safety verdicts, fusion links and liveness.
+ * Nodes reference — never own — the underlying layers, so a graph is
+ * cheap to build and a CompiledPlan derived from it stays valid for
+ * as long as the Network it was compiled from.
+ *
+ * Graphs built from a Network are chains; the explicit edge lists
+ * exist so passes (and hand-built test graphs) can express the
+ * general case: fusion splices nodes out of the edge list, and
+ * dead-node elimination walks reverse reachability from the output.
+ */
+
+#ifndef REUSE_DNN_IR_GRAPH_H
+#define REUSE_DNN_IR_GRAPH_H
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "nn/layer.h"
+#include "quant/quantization_plan.h"
+
+namespace reuse {
+namespace ir {
+
+/** Index of a node within its graph. */
+using NodeId = size_t;
+
+/** Sentinel for "no node" (e.g. an unset graph output). */
+inline constexpr NodeId kNoNode = static_cast<NodeId>(-1);
+
+/**
+ * True when the paper's incremental update (Eq. 10) is sound for
+ * this layer kind: the layer's pre-activation outputs are linear in
+ * its inputs.  Pooling, nonlinear activations and p-norm must be
+ * recomputed from scratch (their cost is negligible; Sec. III).
+ */
+bool isReuseEligible(LayerKind kind);
+
+/** One layer plus the metadata the passes maintain for it. */
+struct Node {
+    NodeId id = kNoNode;
+    /** The layer this node wraps (not owned; must outlive users). */
+    const Layer *layer = nullptr;
+    /** Index of the layer in the source network (trace slot). */
+    size_t layerIndex = 0;
+    /** Producers feeding this node (empty = fed by the graph input). */
+    std::vector<NodeId> inputs;
+    /** Consumers of this node's output. */
+    std::vector<NodeId> outputs;
+
+    // ---- written by the shape-inference pass ------------------------
+    Shape inShape;
+    Shape outShape;
+    bool shapesValid = false;
+
+    // ---- written by the reuse-safety pass ---------------------------
+    /** Effective quantization (cleared when the node is pinned). */
+    LayerQuantization quant;
+    /** Safety rewrite pinned this node to full recompute. */
+    bool pinnedFullRecompute = false;
+
+    // ---- written by the fusion / DCE passes -------------------------
+    /** Elementwise activation fused into this node (not owned). */
+    const Layer *fusedActivation = nullptr;
+    /** Original layer index of the fused activation. */
+    size_t fusedActivationIndex = 0;
+    /** This node was fused into its producer (skip when scheduling). */
+    bool fusedAway = false;
+    /** Unreachable from the graph output (skip when scheduling). */
+    bool dead = false;
+
+    const std::string &name() const { return layer->name(); }
+    LayerKind kind() const { return layer->kind(); }
+};
+
+/**
+ * Graph of one model.  Build with fromNetwork() (chain edges, one
+ * node per layer) or hand-assemble with addNode()/connect() for
+ * tests and future importers.
+ */
+class Graph
+{
+  public:
+    Graph() = default;
+    Graph(std::string name, Shape input_shape)
+        : name_(std::move(name)), input_shape_(std::move(input_shape))
+    {
+    }
+
+    /** Chain graph over `network` with an all-disabled plan. */
+    static Graph fromNetwork(const Network &network);
+
+    /**
+     * Chain graph over `network` carrying `plan`'s per-layer
+     * quantization.  A plan sized differently from the network is
+     * recorded (planSizeMismatch()) for the safety pass to report as
+     * QP001; nodes then carry disabled quantization.
+     */
+    static Graph fromNetwork(const Network &network,
+                             const QuantizationPlan &plan);
+
+    /** Appends a node for `layer`; returns its id. */
+    NodeId addNode(const Layer *layer, size_t layer_index,
+                   LayerQuantization quant = {});
+
+    /** Adds the edge `from` -> `to`. */
+    void connect(NodeId from, NodeId to);
+
+    /** Marks `id` as the graph output (DCE root). */
+    void setOutput(NodeId id) { output_ = id; }
+
+    const std::string &name() const { return name_; }
+    const Shape &inputShape() const { return input_shape_; }
+    NodeId output() const { return output_; }
+
+    size_t nodeCount() const { return nodes_.size(); }
+    Node &node(NodeId id) { return nodes_[id]; }
+    const Node &node(NodeId id) const { return nodes_[id]; }
+    std::vector<Node> &nodes() { return nodes_; }
+    const std::vector<Node> &nodes() const { return nodes_; }
+
+    /** True when any node wraps a recurrent layer. */
+    bool recurrent() const;
+
+    /**
+     * Nodes in a topological order (panics on cycles).  Source nodes
+     * and ties resolve in insertion order, so a chain graph's order
+     * equals its layer order.
+     */
+    std::vector<NodeId> topoOrder() const;
+
+    /** True when the source plan's size disagreed with the network. */
+    bool planSizeMismatch() const { return plan_size_mismatch_; }
+    /** The mismatched plan's size (meaningful on mismatch only). */
+    size_t planSize() const { return plan_size_; }
+
+  private:
+    std::string name_;
+    Shape input_shape_;
+    std::vector<Node> nodes_;
+    NodeId output_ = kNoNode;
+    bool plan_size_mismatch_ = false;
+    size_t plan_size_ = 0;
+};
+
+} // namespace ir
+} // namespace reuse
+
+#endif // REUSE_DNN_IR_GRAPH_H

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Per-op shape inference: the single source of truth for how every
+ * layer kind maps an input shape to an output shape (or rejects it).
+ *
+ * Both the layer classes (`Layer::inferOutputShape()` wrappers in
+ * src/nn) and the IR shape-inference pass (src/ir/passes.h, which the
+ * static validator delegates to) call these functions, so execution
+ * and analysis can never disagree about a shape.  The functions are
+ * pure: they touch no layer state and never panic — invalid inputs
+ * come back as an InferredShape carrying a human-readable reason.
+ */
+
+#ifndef REUSE_DNN_IR_OP_SHAPES_H
+#define REUSE_DNN_IR_OP_SHAPES_H
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "tensor/shape.h"
+
+namespace reuse {
+namespace ir {
+
+/** Result of one shape inference: a shape or a rejection reason. */
+struct InferredShape {
+    /** The inferred output shape; empty when inference failed. */
+    std::optional<Shape> shape;
+    /** Why inference failed; empty on success. */
+    std::string reason;
+
+    /** True when an output shape was inferred. */
+    bool valid() const { return shape.has_value(); }
+
+    static InferredShape ok(Shape s)
+    {
+        InferredShape r;
+        r.shape = std::move(s);
+        return r;
+    }
+
+    static InferredShape fail(std::string why)
+    {
+        InferredShape r;
+        r.reason = std::move(why);
+        return r;
+    }
+};
+
+/** Fully-connected: any shape with `inputs` elements -> [outputs]. */
+InferredShape inferFullyConnected(const std::string &name,
+                                  const Shape &input, int64_t inputs,
+                                  int64_t outputs);
+
+/** 2D convolution over [C,H,W], valid padding. */
+InferredShape inferConv2d(const std::string &name, const Shape &input,
+                          int64_t in_channels, int64_t out_channels,
+                          int64_t kernel, int64_t stride);
+
+/** 3D convolution over [C,D,H,W] with symmetric padding, stride 1. */
+InferredShape inferConv3d(const std::string &name, const Shape &input,
+                          int64_t in_channels, int64_t out_channels,
+                          int64_t kernel, int64_t pad);
+
+/** 2D max pooling over [C,H,W] (floor division). */
+InferredShape inferMaxPool2d(const std::string &name,
+                             const Shape &input, int64_t window);
+
+/** 3D max pooling over [C,D,H,W]; `ceil_mode` rounds dims up. */
+InferredShape inferMaxPool3d(const std::string &name,
+                             const Shape &input, int64_t depth_window,
+                             int64_t spatial_window, bool ceil_mode);
+
+/** p-norm grouping: [N] -> [N / group]. */
+InferredShape inferPNorm(const std::string &name, const Shape &input,
+                         int64_t group);
+
+/** Unidirectional LSTM per-step: [input_dim] -> [cell_dim]. */
+InferredShape inferLstm(const std::string &name, const Shape &input,
+                        int64_t input_dim, int64_t cell_dim);
+
+/** Bidirectional LSTM per-step: [input_dim] -> [2 * cell_dim]. */
+InferredShape inferBiLstm(const std::string &name, const Shape &input,
+                          int64_t input_dim, int64_t cell_dim);
+
+/** Elementwise activation: shape-preserving. */
+InferredShape inferActivation(const Shape &input);
+
+/** Flatten: any shape -> [numel]. */
+InferredShape inferFlatten(const Shape &input);
+
+} // namespace ir
+} // namespace reuse
+
+#endif // REUSE_DNN_IR_OP_SHAPES_H

@@ -1,0 +1,366 @@
+#include "passes.h"
+
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+#include "ir/op_shapes.h"
+#include "nn/activations.h"
+#include "nn/conv2d.h"
+#include "nn/conv3d.h"
+#include "nn/fully_connected.h"
+#include "nn/lstm.h"
+#include "nn/network.h"
+
+namespace reuse {
+namespace ir {
+
+namespace {
+
+/** True when any dimension is non-positive (empty tensors cannot
+ *  flow through the substrate). */
+bool
+degenerate(const Shape &shape)
+{
+    for (size_t i = 0; i < shape.rank(); ++i) {
+        if (shape.dim(i) <= 0)
+            return true;
+    }
+    return shape.numel() <= 0;
+}
+
+/**
+ * Worst-case number of inputs feeding one output neuron (the fan-in
+ * of the delta accumulation): every changed input contributes one
+ * delta * weight term to an output.
+ */
+int64_t
+deltaFanIn(const Layer &layer)
+{
+    switch (layer.kind()) {
+      case LayerKind::FullyConnected:
+        return static_cast<const FullyConnectedLayer &>(layer).inputs();
+      case LayerKind::Conv2D: {
+        const auto &conv = static_cast<const Conv2DLayer &>(layer);
+        return conv.inChannels() * conv.kernel() * conv.kernel();
+      }
+      case LayerKind::Conv3D: {
+        const auto &conv = static_cast<const Conv3DLayer &>(layer);
+        return conv.inChannels() * conv.kernel() * conv.kernel() *
+               conv.kernel();
+      }
+      case LayerKind::Lstm: {
+        const auto &lstm = static_cast<const LstmLayer &>(layer);
+        return lstm.inputDim() + lstm.cellDim();
+      }
+      case LayerKind::BiLstm: {
+        const auto &lstm = static_cast<const BiLstmLayer &>(layer);
+        return lstm.inputDim() + lstm.cellDim();
+      }
+      default:
+        return 0;
+    }
+}
+
+/** Checks one quantizer's range/step for usability (QP002). */
+void
+checkQuantizer(DiagnosticReport &report, const LinearQuantizer &q,
+               const char *which, size_t li, const Layer &layer)
+{
+    std::ostringstream oss;
+    if (!std::isfinite(q.rangeMin()) || !std::isfinite(q.rangeMax())) {
+        oss << which << " quantizer range ["
+            << q.rangeMin() << ", " << q.rangeMax() << "] is not finite";
+    } else if (!(q.step() > 0.0f) || !std::isfinite(q.step())) {
+        oss << which << " quantizer step " << q.step()
+            << " is not a positive finite value";
+    }
+    if (!oss.str().empty()) {
+        report.error(diag::kQuantizerInvalid, oss.str(),
+                     static_cast<int>(li), layer.name());
+    }
+}
+
+/**
+ * Flags quantizers whose index range can overflow a 32-bit
+ * fixed-point delta accumulator (RS003).  Worst case per output
+ * neuron: every one of `fan_in` inputs moves across the whole index
+ * range and each delta is scaled by the largest 8-bit weight code
+ * (the Sec. VI-A reduced-precision accelerator).
+ */
+void
+checkDeltaOverflow(DiagnosticReport &report, const LinearQuantizer &q,
+                   const char *which, int64_t fan_in, size_t li,
+                   const Layer &layer)
+{
+    if (fan_in <= 0)
+        return;
+    constexpr int64_t kMaxWeightCode = 127;  // 8-bit signed weights
+    const int64_t worst_delta =
+        static_cast<int64_t>(q.indexCount()) - 1;
+    const int64_t accumulated = fan_in * worst_delta * kMaxWeightCode;
+    if (accumulated >
+        static_cast<int64_t>(std::numeric_limits<int32_t>::max())) {
+        std::ostringstream oss;
+        oss << which << " quantizer spans " << q.indexCount()
+            << " indices; worst-case delta accumulation over fan-in "
+            << fan_in << " (" << accumulated
+            << ") overflows a 32-bit fixed-point accumulator — use "
+               "fewer clusters or a narrower range";
+        report.warning(diag::kDeltaOverflowRisk, oss.str(),
+                       static_cast<int>(li), layer.name());
+    }
+}
+
+/** Re-emits `sub`'s findings as warnings noting the pin rewrite. */
+void
+downgradePinned(DiagnosticReport &report, const DiagnosticReport &sub)
+{
+    for (const Diagnostic &d : sub.diagnostics()) {
+        Diagnostic pinned = d;
+        pinned.severity = Severity::Warning;
+        pinned.message += "; pinned to full recompute";
+        report.add(std::move(pinned));
+    }
+}
+
+} // namespace
+
+PassResult
+ShapeInferencePass::run(Graph &graph, DiagnosticReport &report)
+{
+    PassResult result;
+    if (graph.nodeCount() == 0) {
+        report.error(diag::kEmptyNetwork,
+                     graph.name() + ": network has no layers");
+        return result;
+    }
+    if (degenerate(graph.inputShape())) {
+        report.error(diag::kDegenerateShape,
+                     graph.name() + ": input shape " +
+                         graph.inputShape().str() +
+                         " has a non-positive dimension");
+        return result;
+    }
+    for (NodeId id : graph.topoOrder()) {
+        Node &node = graph.node(id);
+        const Layer &layer = *node.layer;
+        // Layers are single-input ops: a node's input shape is its
+        // (sole) producer's output, or the graph input for sources.
+        node.inShape = node.inputs.empty()
+                           ? graph.inputShape()
+                           : graph.node(node.inputs[0]).outShape;
+        const ShapeInference inf = layer.inferOutputShape(node.inShape);
+        if (!inf.valid()) {
+            report.error(diag::kShapeMismatch, inf.reason(),
+                         static_cast<int>(node.layerIndex),
+                         layer.name());
+            return result;  // downstream shapes are unknowable
+        }
+        if (degenerate(inf.shape())) {
+            std::ostringstream oss;
+            oss << layer.name() << ": output shape "
+                << inf.shape().str() << " has a non-positive dimension";
+            report.error(diag::kDegenerateShape, oss.str(),
+                         static_cast<int>(node.layerIndex),
+                         layer.name());
+            return result;
+        }
+        node.outShape = inf.shape();
+        node.shapesValid = true;
+    }
+    return result;
+}
+
+size_t
+ReuseSafetyPass::pin(Node &node)
+{
+    node.pinnedFullRecompute = true;
+    node.quant = LayerQuantization{};
+    return 1;
+}
+
+PassResult
+ReuseSafetyPass::run(Graph &graph, DiagnosticReport &report)
+{
+    PassResult result;
+    if (graph.planSizeMismatch()) {
+        std::ostringstream oss;
+        oss << graph.name() << ": plan covers " << graph.planSize()
+            << " layers but the network has " << graph.nodeCount();
+        report.error(diag::kPlanSizeMismatch, oss.str());
+        return result;
+    }
+    for (NodeId id : graph.topoOrder()) {
+        Node &node = graph.node(id);
+        const LayerQuantization &lq = node.quant;
+        if (!lq.enabled())
+            continue;
+        const Layer &layer = *node.layer;
+        const size_t li = node.layerIndex;
+        if (!isReuseEligible(layer.kind())) {
+            std::ostringstream oss;
+            oss << layer.name() << " (" << layerKindName(layer.kind())
+                << ") is not incrementally updatable: Eq. 10 only "
+                   "holds for layers linear in their inputs; this "
+                   "layer must be recomputed from scratch";
+            if (pin_unsafe_) {
+                oss << "; pinned to full recompute";
+                report.warning(diag::kReuseOnUnsafeLayer, oss.str(),
+                               static_cast<int>(li), layer.name());
+                result.rewrites += pin(node);
+            } else {
+                report.error(diag::kReuseOnUnsafeLayer, oss.str(),
+                             static_cast<int>(li), layer.name());
+            }
+            continue;
+        }
+        const bool recurrent = layer.kind() == LayerKind::Lstm ||
+                               layer.kind() == LayerKind::BiLstm;
+        // Quantizer findings go through a sub-report so pin mode can
+        // downgrade them without perturbing their emission order.
+        DiagnosticReport local;
+        if (recurrent && !lq.recurrent.has_value()) {
+            std::ostringstream oss;
+            oss << layer.name()
+                << ": recurrent layer enabled without a quantizer "
+                   "for the hidden-state inputs h_{t-1}";
+            local.error(diag::kMissingRecurrentQuantizer, oss.str(),
+                        static_cast<int>(li), layer.name());
+        }
+        const int64_t fan_in = deltaFanIn(layer);
+        checkQuantizer(local, *lq.input, "input", li, layer);
+        checkDeltaOverflow(local, *lq.input, "input", fan_in, li,
+                           layer);
+        if (recurrent && lq.recurrent.has_value()) {
+            checkQuantizer(local, *lq.recurrent, "recurrent", li,
+                           layer);
+            checkDeltaOverflow(local, *lq.recurrent, "recurrent",
+                               fan_in, li, layer);
+        }
+        if (local.hasErrors() && !pin_unsafe_) {
+            report.merge(local);
+            continue;
+        }
+        const bool pin_node =
+            (pin_unsafe_ && local.hasErrors()) ||
+            (pin_overflow_ && local.has(diag::kDeltaOverflowRisk));
+        if (pin_node) {
+            downgradePinned(report, local);
+            result.rewrites += pin(node);
+        } else {
+            report.merge(local);
+        }
+    }
+    return result;
+}
+
+PassResult
+FuseActivationPass::run(Graph &graph, DiagnosticReport &report)
+{
+    (void)report;
+    PassResult result;
+    // Recurrent layers consume whole sequences through a dedicated
+    // path; per-frame fusion does not apply.
+    if (graph.recurrent())
+        return result;
+    for (NodeId id : graph.topoOrder()) {
+        Node &node = graph.node(id);
+        if (node.fusedAway || node.dead || node.fusedActivation)
+            continue;
+        switch (node.kind()) {
+          case LayerKind::FullyConnected:
+          case LayerKind::Conv2D:
+          case LayerKind::Conv3D:
+            break;
+          default:
+            continue;
+        }
+        if (node.outputs.size() != 1)
+            continue;
+        Node &succ = graph.node(node.outputs[0]);
+        if (succ.fusedAway || succ.dead || succ.inputs.size() != 1)
+            continue;
+        // PNormLayer also reports LayerKind::Activation; only true
+        // elementwise activations preserve shape and can be applied
+        // in place, so key on the concrete type.
+        const auto *act =
+            dynamic_cast<const ActivationLayer *>(succ.layer);
+        if (act == nullptr)
+            continue;
+        node.fusedActivation = succ.layer;
+        node.fusedActivationIndex = succ.layerIndex;
+        succ.fusedAway = true;
+        // Splice the activation out: its consumers now read from the
+        // producing node directly.
+        node.outputs = succ.outputs;
+        for (NodeId out : node.outputs) {
+            for (NodeId &in : graph.node(out).inputs) {
+                if (in == succ.id)
+                    in = node.id;
+            }
+        }
+        // Fully detach the fused node: a half-linked node (inputs
+        // kept, producer edge gone) would never drain in topoOrder's
+        // pending counts and read as a cycle.
+        succ.inputs.clear();
+        succ.outputs.clear();
+        if (graph.output() == succ.id)
+            graph.setOutput(node.id);
+        ++result.rewrites;
+    }
+    return result;
+}
+
+PassResult
+DeadNodeEliminationPass::run(Graph &graph, DiagnosticReport &report)
+{
+    (void)report;
+    PassResult result;
+    if (graph.nodeCount() == 0 || graph.output() == kNoNode)
+        return result;
+    std::vector<bool> live(graph.nodeCount(), false);
+    std::vector<NodeId> stack;
+    live[graph.output()] = true;
+    stack.push_back(graph.output());
+    while (!stack.empty()) {
+        const NodeId id = stack.back();
+        stack.pop_back();
+        for (NodeId in : graph.node(id).inputs) {
+            if (!live[in]) {
+                live[in] = true;
+                stack.push_back(in);
+            }
+        }
+    }
+    for (Node &node : graph.nodes()) {
+        if (!live[node.id] && !node.fusedAway && !node.dead) {
+            node.dead = true;
+            ++result.rewrites;
+        }
+    }
+    return result;
+}
+
+std::vector<PassManager::Record>
+PassManager::run(Graph &graph, DiagnosticReport &report)
+{
+    std::vector<Record> records;
+    records.reserve(passes_.size());
+    for (const std::unique_ptr<Pass> &pass : passes_) {
+        Record rec;
+        rec.pass = pass->name();
+        if (pass->requiresValidGraph() && report.hasErrors()) {
+            records.push_back(std::move(rec));
+            continue;
+        }
+        const PassResult r = pass->run(graph, report);
+        rec.rewrites = r.rewrites;
+        rec.ran = true;
+        records.push_back(std::move(rec));
+    }
+    return records;
+}
+
+} // namespace ir
+} // namespace reuse

@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Rewrite and analysis passes over the graph IR, plus the pass
+ * manager that runs them in order.
+ *
+ * Pass order (see DESIGN.md §12):
+ *
+ *  1. ShapeInferencePass — propagates shapes edge-by-edge through
+ *     ir::op_shapes (SH001/SH002/SH003).  The static validator's
+ *     shape pass is this pass run on a chain graph.
+ *
+ *  2. ReuseSafetyPass — verifies the quantization plan only enables
+ *     reuse where Eq. 10 is sound (QP001/QP002, RS001/RS002/RS003).
+ *     In pin mode the pass *rewrites* instead of merely reporting:
+ *     offending nodes are pinned to full recompute (quantization
+ *     cleared, finding downgraded to a warning), so a plan over an
+ *     unsafe model still compiles to a correct schedule.
+ *
+ *  3. FuseActivationPass — folds an elementwise activation into its
+ *     producing FC/conv node (bias is already part of those layers),
+ *     halving tensor round-trips on MLP-style chains.  Skipped for
+ *     recurrent graphs, where layers consume whole sequences.
+ *
+ *  4. DeadNodeEliminationPass — marks nodes unreachable from the
+ *     graph output dead so the schedule skips them.
+ *
+ * Passes 1–2 are pure analysis unless pinning; they run even on
+ * broken graphs so diagnostics accumulate.  Passes 3–4 require a
+ * shape-valid graph and are skipped by the PassManager otherwise.
+ */
+
+#ifndef REUSE_DNN_IR_PASSES_H
+#define REUSE_DNN_IR_PASSES_H
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "analysis/diagnostics.h"
+#include "ir/graph.h"
+
+namespace reuse {
+namespace ir {
+
+/** Outcome of one pass run. */
+struct PassResult {
+    /** Nodes rewritten (pinned, fused, or killed); 0 for analysis. */
+    size_t rewrites = 0;
+};
+
+/** Base class of all IR passes. */
+class Pass
+{
+  public:
+    virtual ~Pass() = default;
+
+    /** Stable pass name, used in plan dumps. */
+    virtual const char *name() const = 0;
+
+    /** True when the pass must not run on a graph with errors. */
+    virtual bool requiresValidGraph() const { return false; }
+
+    /** Runs the pass, appending findings to `report`. */
+    virtual PassResult run(Graph &graph, DiagnosticReport &report) = 0;
+};
+
+/** Pass 1: shape propagation & graph validation (SH*). */
+class ShapeInferencePass : public Pass
+{
+  public:
+    const char *name() const override { return "shape-inference"; }
+    PassResult run(Graph &graph, DiagnosticReport &report) override;
+};
+
+/** Pass 2: reuse-safety analysis / pinning rewrite (QP*, RS*). */
+class ReuseSafetyPass : public Pass
+{
+  public:
+    /**
+     * @param pin_unsafe Rewrite error-grade findings (RS001, RS002,
+     *   QP002) into warnings by pinning the node to full recompute.
+     * @param pin_overflow Additionally pin on the RS003 overflow-risk
+     *   warning (conservative schedules for --dump-plan and tests).
+     */
+    explicit ReuseSafetyPass(bool pin_unsafe = false,
+                             bool pin_overflow = false)
+        : pin_unsafe_(pin_unsafe), pin_overflow_(pin_overflow)
+    {
+    }
+
+    const char *name() const override { return "reuse-safety"; }
+    PassResult run(Graph &graph, DiagnosticReport &report) override;
+
+  private:
+    /** Pins `node` to full recompute; returns 1 (a rewrite). */
+    static size_t pin(Node &node);
+
+    bool pin_unsafe_;
+    bool pin_overflow_;
+};
+
+/** Pass 3: FC/conv + elementwise-activation fusion. */
+class FuseActivationPass : public Pass
+{
+  public:
+    const char *name() const override { return "fuse-activation"; }
+    bool requiresValidGraph() const override { return true; }
+    PassResult run(Graph &graph, DiagnosticReport &report) override;
+};
+
+/** Pass 4: dead-node elimination by reverse reachability. */
+class DeadNodeEliminationPass : public Pass
+{
+  public:
+    const char *name() const override { return "dce"; }
+    bool requiresValidGraph() const override { return true; }
+    PassResult run(Graph &graph, DiagnosticReport &report) override;
+};
+
+/** Ordered pass pipeline with per-pass rewrite accounting. */
+class PassManager
+{
+  public:
+    /** What one managed pass did (for dumps and tests). */
+    struct Record {
+        std::string pass;
+        size_t rewrites = 0;
+        /** False when skipped because the graph had errors. */
+        bool ran = false;
+    };
+
+    /** Appends a pass to the pipeline. */
+    void add(std::unique_ptr<Pass> pass)
+    {
+        passes_.push_back(std::move(pass));
+    }
+
+    /**
+     * Runs the pipeline in order.  A pass with requiresValidGraph()
+     * is skipped once `report` carries errors; analysis passes always
+     * run so diagnostics accumulate like the standalone validator's.
+     */
+    std::vector<Record> run(Graph &graph, DiagnosticReport &report);
+
+  private:
+    std::vector<std::unique_ptr<Pass>> passes_;
+};
+
+} // namespace ir
+} // namespace reuse
+
+#endif // REUSE_DNN_IR_PASSES_H

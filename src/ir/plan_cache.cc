@@ -1,0 +1,145 @@
+#include "plan_cache.h"
+
+#include "common/checksum.h"
+#include "nn/network.h"
+
+namespace reuse {
+namespace ir {
+
+namespace {
+
+/** Folds one optional quantizer into the fingerprint, bit-exactly. */
+void
+fingerprintQuantizer(uint64_t &h,
+                     const std::optional<LinearQuantizer> &q)
+{
+    checksumValue(h, q.has_value());
+    if (!q.has_value())
+        return;
+    checksumValue(h, q->clusters());
+    checksumValue(h, q->rangeMin());
+    checksumValue(h, q->rangeMax());
+}
+
+/**
+ * Fingerprint of everything compile() depends on.  Layer and network
+ * addresses are included so two live models that happen to agree on
+ * every parameter still get distinct entries (plans reference their
+ * network), and name/shape/kind/params catch a network rebuilt at a
+ * recycled address with different weights' *structure*; weight values
+ * don't affect the schedule, so they are deliberately not hashed.
+ */
+uint64_t
+fingerprint(const Network &network, const QuantizationPlan &plan,
+            const CompileOptions &options)
+{
+    uint64_t h = checksumInit();
+    checksumValue(h, &network);
+    checksumBytes(h, network.name().data(), network.name().size());
+    checksumValue(h, network.name().size());
+    checksumVector(h, network.inputShape().dims());
+    checksumValue(h, network.layerCount());
+    for (size_t li = 0; li < network.layerCount(); ++li) {
+        const Layer &layer = network.layer(li);
+        checksumValue(h, &layer);
+        checksumValue(h, layer.kind());
+        checksumBytes(h, layer.name().data(), layer.name().size());
+        checksumValue(h, layer.name().size());
+        checksumValue(h, layer.paramCount());
+    }
+    checksumValue(h, plan.size());
+    for (size_t li = 0; li < plan.size(); ++li) {
+        const LayerQuantization &lq = plan.layer(li);
+        fingerprintQuantizer(h, lq.input);
+        fingerprintQuantizer(h, lq.recurrent);
+    }
+    checksumValue(h, options.fuseActivations);
+    checksumValue(h, options.eliminateDeadNodes);
+    checksumValue(h, options.pinUnsafeLayers);
+    checksumValue(h, options.pinOverflowRisk);
+    return h;
+}
+
+} // namespace
+
+PlanCache &
+PlanCache::instance()
+{
+    static PlanCache cache;
+    return cache;
+}
+
+std::shared_ptr<const CompiledPlan>
+PlanCache::getOrCompile(const Network &network,
+                        const QuantizationPlan &plan,
+                        const CompileOptions &options)
+{
+    const uint64_t key = fingerprint(network, plan, options);
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = entries_.find(key);
+    if (it != entries_.end()) {
+        ++hits_;
+        it->second.lastUse = ++tick_;
+        return it->second.plan;
+    }
+    ++misses_;
+    // Compile under the lock: concurrent sessions racing to serve one
+    // model must not compile it twice (compilation is pure analysis,
+    // cheap relative to a single frame of execution).
+    Entry entry;
+    entry.plan = CompiledPlan::compile(network, plan, options);
+    entry.lastUse = ++tick_;
+    std::shared_ptr<const CompiledPlan> result = entry.plan;
+    entries_.emplace(key, std::move(entry));
+    evictLocked();
+    return result;
+}
+
+PlanCache::Stats
+PlanCache::stats() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    Stats s;
+    s.hits = hits_;
+    s.misses = misses_;
+    s.size = entries_.size();
+    return s;
+}
+
+void
+PlanCache::clear()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    entries_.clear();
+}
+
+size_t
+PlanCache::capacity() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return capacity_;
+}
+
+void
+PlanCache::setCapacity(size_t capacity)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    capacity_ = capacity;
+    evictLocked();
+}
+
+void
+PlanCache::evictLocked()
+{
+    while (entries_.size() > capacity_) {
+        auto lru = entries_.begin();
+        for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+            if (it->second.lastUse < lru->second.lastUse)
+                lru = it;
+        }
+        entries_.erase(lru);
+    }
+}
+
+} // namespace ir
+} // namespace reuse

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Process-wide cache of CompiledPlans keyed by model identity, so a
+ * process serving many sessions — or many distinct models — compiles
+ * each (network, plan, options) combination exactly once.
+ *
+ * The key fingerprints everything compilation depends on: the network
+ * (address, name, input shape, per-layer identity) and the
+ * quantization plan (per-layer ranges and cluster counts, bit-exact)
+ * plus the compile options.  Two engines over the same model share
+ * one immutable plan; two different models, or the same model with a
+ * recalibrated plan, get distinct entries.  Plans are handed out as
+ * shared_ptr<const>, so an entry evicted by the LRU policy stays
+ * alive for the engines already holding it.
+ */
+
+#ifndef REUSE_DNN_IR_PLAN_CACHE_H
+#define REUSE_DNN_IR_PLAN_CACHE_H
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "ir/compiled_plan.h"
+
+namespace reuse {
+namespace ir {
+
+/** Process-wide LRU cache of compiled plans. */
+class PlanCache
+{
+  public:
+    /** Cache counters (a consistent snapshot). */
+    struct Stats {
+        uint64_t hits = 0;
+        uint64_t misses = 0;
+        size_t size = 0;
+    };
+
+    /** The process-wide instance. */
+    static PlanCache &instance();
+
+    /**
+     * Returns the cached plan for (network, plan, options), compiling
+     * and inserting it on the first request.  Compilation happens
+     * under the cache lock, so concurrent requests for one model
+     * compile it exactly once.  `network` must outlive the returned
+     * plan.
+     */
+    std::shared_ptr<const CompiledPlan>
+    getOrCompile(const Network &network, const QuantizationPlan &plan,
+                 const CompileOptions &options = {});
+
+    /** Counters since construction (hits/misses survive clear()). */
+    Stats stats() const;
+
+    /** Drops every entry (tests; engines keep their shared_ptrs). */
+    void clear();
+
+    /** Max entries before LRU eviction (default 64). */
+    size_t capacity() const;
+
+    /** Changes the capacity, evicting LRU entries if over it. */
+    void setCapacity(size_t capacity);
+
+  private:
+    struct Entry {
+        std::shared_ptr<const CompiledPlan> plan;
+        uint64_t lastUse = 0;
+    };
+
+    /** Evicts least-recently-used entries down to the capacity. */
+    void evictLocked();
+
+    mutable std::mutex mutex_;
+    std::unordered_map<uint64_t, Entry> entries_;
+    size_t capacity_ = 64;
+    uint64_t tick_ = 0;
+    uint64_t hits_ = 0;
+    uint64_t misses_ = 0;
+};
+
+} // namespace ir
+} // namespace reuse
+
+#endif // REUSE_DNN_IR_PLAN_CACHE_H

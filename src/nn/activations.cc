@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/math_utils.h"
+#include "ir/op_shapes.h"
 
 namespace reuse {
 
@@ -26,53 +27,69 @@ activationKindName(ActivationKind kind)
     return "unknown";
 }
 
+void
+applyActivation(ActivationKind kind, Tensor &t)
+{
+    const int64_t n = t.numel();
+    switch (kind) {
+      case ActivationKind::ReLU:
+        for (int64_t i = 0; i < n; ++i)
+            t[i] = t[i] > 0.0f ? t[i] : 0.0f;
+        break;
+      case ActivationKind::Sigmoid:
+        for (int64_t i = 0; i < n; ++i)
+            t[i] = sigmoid(t[i]);
+        break;
+      case ActivationKind::Tanh:
+        for (int64_t i = 0; i < n; ++i)
+            t[i] = std::tanh(t[i]);
+        break;
+      case ActivationKind::Atan:
+        for (int64_t i = 0; i < n; ++i)
+            t[i] = std::atan(t[i]);
+        break;
+      case ActivationKind::Identity:
+        break;
+      case ActivationKind::Softmax: {
+        // Subtract the max for numerical stability.
+        const float max_v = t.maxValue();
+        double denom = 0.0;
+        for (int64_t i = 0; i < n; ++i) {
+            t[i] = std::exp(t[i] - max_v);
+            denom += t[i];
+        }
+        const float inv = static_cast<float>(1.0 / denom);
+        for (int64_t i = 0; i < n; ++i)
+            t[i] *= inv;
+        break;
+      }
+    }
+}
+
 ActivationLayer::ActivationLayer(std::string name,
                                  ActivationKind activation)
     : Layer(std::move(name)), activation_(activation)
 {
 }
 
+ShapeInference
+ActivationLayer::inferOutputShape(const Shape &input) const
+{
+    return toShapeInference(ir::inferActivation(input));
+}
+
 Tensor
 ActivationLayer::forward(const Tensor &input) const
 {
-    Tensor out(input.shape());
-    const int64_t n = input.numel();
-    switch (activation_) {
-      case ActivationKind::ReLU:
-        for (int64_t i = 0; i < n; ++i)
-            out[i] = input[i] > 0.0f ? input[i] : 0.0f;
-        break;
-      case ActivationKind::Sigmoid:
-        for (int64_t i = 0; i < n; ++i)
-            out[i] = sigmoid(input[i]);
-        break;
-      case ActivationKind::Tanh:
-        for (int64_t i = 0; i < n; ++i)
-            out[i] = std::tanh(input[i]);
-        break;
-      case ActivationKind::Atan:
-        for (int64_t i = 0; i < n; ++i)
-            out[i] = std::atan(input[i]);
-        break;
-      case ActivationKind::Identity:
-        for (int64_t i = 0; i < n; ++i)
-            out[i] = input[i];
-        break;
-      case ActivationKind::Softmax: {
-        // Subtract the max for numerical stability.
-        const float max_v = input.maxValue();
-        double denom = 0.0;
-        for (int64_t i = 0; i < n; ++i) {
-            out[i] = std::exp(input[i] - max_v);
-            denom += out[i];
-        }
-        const float inv = static_cast<float>(1.0 / denom);
-        for (int64_t i = 0; i < n; ++i)
-            out[i] *= inv;
-        break;
-      }
-    }
+    Tensor out = input;
+    applyActivation(activation_, out);
     return out;
+}
+
+ShapeInference
+FlattenLayer::inferOutputShape(const Shape &input) const
+{
+    return toShapeInference(ir::inferFlatten(input));
 }
 
 } // namespace reuse

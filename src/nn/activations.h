@@ -27,6 +27,14 @@ enum class ActivationKind {
 const char *activationKindName(ActivationKind kind);
 
 /**
+ * Applies `kind` elementwise in place (Softmax normalizes over the
+ * flattened tensor).  Bit-identical to ActivationLayer::forward();
+ * the engine uses this to run fused activations without a second
+ * output tensor.
+ */
+void applyActivation(ActivationKind kind, Tensor &t);
+
+/**
  * Elementwise activation layer; Softmax normalizes over the flattened
  * tensor.
  */
@@ -36,10 +44,7 @@ class ActivationLayer : public Layer
     ActivationLayer(std::string name, ActivationKind activation);
 
     LayerKind kind() const override { return LayerKind::Activation; }
-    ShapeInference inferOutputShape(const Shape &input) const override
-    {
-        return ShapeInference::ok(input);
-    }
+    ShapeInference inferOutputShape(const Shape &input) const override;
     Tensor forward(const Tensor &input) const override;
 
     /** Which function this layer applies. */
@@ -59,10 +64,7 @@ class FlattenLayer : public Layer
     explicit FlattenLayer(std::string name) : Layer(std::move(name)) {}
 
     LayerKind kind() const override { return LayerKind::Flatten; }
-    ShapeInference inferOutputShape(const Shape &input) const override
-    {
-        return ShapeInference::ok(Shape({input.numel()}));
-    }
+    ShapeInference inferOutputShape(const Shape &input) const override;
     Tensor forward(const Tensor &input) const override
     {
         return input.reshaped(Shape({input.numel()}));

@@ -1,9 +1,8 @@
 #include "conv2d.h"
 
-#include <sstream>
-
 #include "common/logging.h"
 #include "common/math_utils.h"
+#include "ir/op_shapes.h"
 
 namespace reuse {
 
@@ -25,32 +24,11 @@ Conv2DLayer::Conv2DLayer(std::string name, int64_t in_channels,
                  "invalid conv2d parameters");
 }
 
-std::string
-Conv2DLayer::checkInput(const Shape &input) const
-{
-    std::ostringstream oss;
-    if (input.rank() != 3) {
-        oss << name() << ": conv2d expects [C,H,W], got "
-            << input.str();
-    } else if (input.dim(0) != in_channels_) {
-        oss << name() << ": expected " << in_channels_
-            << " input channels, got " << input.dim(0);
-    } else if (input.dim(1) < kernel_ || input.dim(2) < kernel_) {
-        oss << name() << ": input " << input.str()
-            << " smaller than kernel " << kernel_;
-    }
-    return oss.str();
-}
-
 ShapeInference
 Conv2DLayer::inferOutputShape(const Shape &input) const
 {
-    std::string error = checkInput(input);
-    if (!error.empty())
-        return ShapeInference::fail(std::move(error));
-    const int64_t oh = (input.dim(1) - kernel_) / stride_ + 1;
-    const int64_t ow = (input.dim(2) - kernel_) / stride_ + 1;
-    return ShapeInference::ok(Shape({out_channels_, oh, ow}));
+    return toShapeInference(ir::inferConv2d(
+        name(), input, in_channels_, out_channels_, kernel_, stride_));
 }
 
 Tensor

@@ -91,9 +91,6 @@ class Conv2DLayer : public Layer
             ((ci * kernel_ + ky) * kernel_ + kx) * out_channels_ + co);
     }
 
-    /** Empty string when `input` is acceptable, else the reason. */
-    std::string checkInput(const Shape &input) const;
-
     int64_t in_channels_;
     int64_t out_channels_;
     int64_t kernel_;

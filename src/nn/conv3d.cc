@@ -1,8 +1,7 @@
 #include "conv3d.h"
 
-#include <sstream>
-
 #include "common/logging.h"
+#include "ir/op_shapes.h"
 
 namespace reuse {
 
@@ -24,35 +23,11 @@ Conv3DLayer::Conv3DLayer(std::string name, int64_t in_channels,
                  "invalid conv3d parameters");
 }
 
-std::string
-Conv3DLayer::checkInput(const Shape &input) const
-{
-    std::ostringstream oss;
-    if (input.rank() != 4) {
-        oss << name() << ": conv3d expects [C,D,H,W], got "
-            << input.str();
-    } else if (input.dim(0) != in_channels_) {
-        oss << name() << ": expected " << in_channels_
-            << " input channels, got " << input.dim(0);
-    } else if (input.dim(1) + 2 * pad_ < kernel_ ||
-               input.dim(2) + 2 * pad_ < kernel_ ||
-               input.dim(3) + 2 * pad_ < kernel_) {
-        oss << name() << ": input " << input.str()
-            << " smaller than kernel";
-    }
-    return oss.str();
-}
-
 ShapeInference
 Conv3DLayer::inferOutputShape(const Shape &input) const
 {
-    std::string error = checkInput(input);
-    if (!error.empty())
-        return ShapeInference::fail(std::move(error));
-    const int64_t od = input.dim(1) + 2 * pad_ - kernel_ + 1;
-    const int64_t oh = input.dim(2) + 2 * pad_ - kernel_ + 1;
-    const int64_t ow = input.dim(3) + 2 * pad_ - kernel_ + 1;
-    return ShapeInference::ok(Shape({out_channels_, od, oh, ow}));
+    return toShapeInference(ir::inferConv3d(
+        name(), input, in_channels_, out_channels_, kernel_, pad_));
 }
 
 Tensor

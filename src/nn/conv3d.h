@@ -74,9 +74,6 @@ class Conv3DLayer : public Layer
             co);
     }
 
-    /** Empty string when `input` is acceptable, else the reason. */
-    std::string checkInput(const Shape &input) const;
-
     int64_t in_channels_;
     int64_t out_channels_;
     int64_t kernel_;

@@ -1,8 +1,7 @@
 #include "fully_connected.h"
 
-#include <sstream>
-
 #include "common/logging.h"
+#include "ir/op_shapes.h"
 #include "kernels/delta_kernels.h"
 
 namespace reuse {
@@ -23,13 +22,8 @@ FullyConnectedLayer::FullyConnectedLayer(std::string name, int64_t inputs,
 ShapeInference
 FullyConnectedLayer::inferOutputShape(const Shape &input) const
 {
-    if (input.numel() != inputs_) {
-        std::ostringstream oss;
-        oss << name() << ": input " << input.str() << " has "
-            << input.numel() << " elements, expected " << inputs_;
-        return ShapeInference::fail(oss.str());
-    }
-    return ShapeInference::ok(Shape({outputs_}));
+    return toShapeInference(
+        ir::inferFullyConnected(name(), input, inputs_, outputs_));
 }
 
 Tensor

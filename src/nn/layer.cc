@@ -1,8 +1,17 @@
 #include "layer.h"
 
 #include "common/logging.h"
+#include "ir/op_shapes.h"
 
 namespace reuse {
+
+ShapeInference
+toShapeInference(const ir::InferredShape &inf)
+{
+    if (!inf.valid())
+        return ShapeInference::fail(inf.reason);
+    return ShapeInference::ok(*inf.shape);
+}
 
 const char *
 layerKindName(LayerKind kind)

@@ -22,6 +22,10 @@
 
 namespace reuse {
 
+namespace ir {
+struct InferredShape;
+} // namespace ir
+
 /** Discriminator for the concrete layer types. */
 enum class LayerKind {
     FullyConnected,
@@ -78,6 +82,14 @@ class ShapeInference
     std::optional<Shape> shape_;
     std::string reason_;
 };
+
+/**
+ * Converts an IR shape-inference result (ir/op_shapes.h) into the
+ * layer-facing type.  All Layer::inferOutputShape() implementations
+ * delegate to the IR through this, so execution and analysis share
+ * one shape-inference source of truth.
+ */
+ShapeInference toShapeInference(const ir::InferredShape &inf);
 
 /**
  * Base class of all layers.

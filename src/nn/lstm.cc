@@ -1,10 +1,10 @@
 #include "lstm.h"
 
 #include <cmath>
-#include <sstream>
 
 #include "common/logging.h"
 #include "common/math_utils.h"
+#include "ir/op_shapes.h"
 
 namespace reuse {
 
@@ -116,13 +116,8 @@ LstmLayer::LstmLayer(std::string name, int64_t input_dim,
 ShapeInference
 LstmLayer::inferOutputShape(const Shape &input) const
 {
-    if (input.numel() != input_dim_) {
-        std::ostringstream oss;
-        oss << name() << ": per-step input has " << input.numel()
-            << " elements, expected " << input_dim_;
-        return ShapeInference::fail(oss.str());
-    }
-    return ShapeInference::ok(Shape({cell_dim_}));
+    return toShapeInference(
+        ir::inferLstm(name(), input, input_dim_, cell_dim_));
 }
 
 Tensor
@@ -177,13 +172,8 @@ BiLstmLayer::BiLstmLayer(std::string name, int64_t input_dim,
 ShapeInference
 BiLstmLayer::inferOutputShape(const Shape &input) const
 {
-    if (input.numel() != input_dim_) {
-        std::ostringstream oss;
-        oss << name() << ": per-step input has " << input.numel()
-            << " elements, expected " << input_dim_;
-        return ShapeInference::fail(oss.str());
-    }
-    return ShapeInference::ok(Shape({outputDim()}));
+    return toShapeInference(
+        ir::inferBiLstm(name(), input, input_dim_, cell_dim_));
 }
 
 Tensor

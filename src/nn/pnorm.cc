@@ -1,9 +1,9 @@
 #include "pnorm.h"
 
 #include <cmath>
-#include <sstream>
 
 #include "common/logging.h"
+#include "ir/op_shapes.h"
 
 namespace reuse {
 
@@ -16,13 +16,7 @@ PNormLayer::PNormLayer(std::string name, int64_t group)
 ShapeInference
 PNormLayer::inferOutputShape(const Shape &input) const
 {
-    if (input.numel() % group_ != 0) {
-        std::ostringstream oss;
-        oss << name() << ": input size " << input.numel()
-            << " not divisible by group " << group_;
-        return ShapeInference::fail(oss.str());
-    }
-    return ShapeInference::ok(Shape({input.numel() / group_}));
+    return toShapeInference(ir::inferPNorm(name(), input, group_));
 }
 
 Tensor

@@ -1,9 +1,9 @@
 #include "pooling.h"
 
 #include <algorithm>
-#include <sstream>
 
 #include "common/logging.h"
+#include "ir/op_shapes.h"
 
 namespace reuse {
 
@@ -16,21 +16,8 @@ MaxPool2DLayer::MaxPool2DLayer(std::string name, int64_t window)
 ShapeInference
 MaxPool2DLayer::inferOutputShape(const Shape &input) const
 {
-    if (input.rank() != 3) {
-        std::ostringstream oss;
-        oss << name() << ": pool2d expects [C,H,W], got "
-            << input.str();
-        return ShapeInference::fail(oss.str());
-    }
-    if (input.dim(1) < window_ || input.dim(2) < window_) {
-        std::ostringstream oss;
-        oss << name() << ": input " << input.str()
-            << " smaller than pool window " << window_;
-        return ShapeInference::fail(oss.str());
-    }
-    return ShapeInference::ok(Shape({input.dim(0),
-                                     input.dim(1) / window_,
-                                     input.dim(2) / window_}));
+    return toShapeInference(
+        ir::inferMaxPool2d(name(), input, window_));
 }
 
 Tensor
@@ -80,26 +67,8 @@ MaxPool3DLayer::MaxPool3DLayer(std::string name, int64_t depth_window,
 ShapeInference
 MaxPool3DLayer::inferOutputShape(const Shape &input) const
 {
-    if (input.rank() != 4) {
-        std::ostringstream oss;
-        oss << name() << ": pool3d expects [C,D,H,W], got "
-            << input.str();
-        return ShapeInference::fail(oss.str());
-    }
-    auto div = [this](int64_t v, int64_t w) {
-        return ceil_mode_ ? (v + w - 1) / w : v / w;
-    };
-    const Shape out({input.dim(0), div(input.dim(1), depth_window_),
-                     div(input.dim(2), spatial_window_),
-                     div(input.dim(3), spatial_window_)});
-    if (out.dim(1) == 0 || out.dim(2) == 0 || out.dim(3) == 0) {
-        std::ostringstream oss;
-        oss << name() << ": input " << input.str()
-            << " smaller than pool windows " << depth_window_ << "/"
-            << spatial_window_;
-        return ShapeInference::fail(oss.str());
-    }
-    return ShapeInference::ok(out);
+    return toShapeInference(ir::inferMaxPool3d(
+        name(), input, depth_window_, spatial_window_, ceil_mode_));
 }
 
 Tensor

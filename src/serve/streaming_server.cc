@@ -5,6 +5,7 @@
 
 #include "common/logging.h"
 #include "fault/fault_injector.h"
+#include "ir/plan_cache.h"
 #include "obs/trace_recorder.h"
 
 namespace reuse {
@@ -378,6 +379,15 @@ StreamingServer::publishStats(StatRegistry &registry) const
     set("serve.queue_depth_p95", queue_depth_window_.quantile(0.95));
     set("serve.queue_depth_p99", queue_depth_window_.quantile(0.99));
     set("serve.queue_depth_max", queue_depth_window_.max());
+    // Process-wide compiled-plan cache: hits/misses tell whether
+    // models served in this process share schedules (multi-model
+    // serving recompiling per session would show up as misses).
+    const ir::PlanCache::Stats plan_stats =
+        ir::PlanCache::instance().stats();
+    set("serve.plan_cache.size", static_cast<double>(plan_stats.size));
+    set("serve.plan_cache.hits", static_cast<double>(plan_stats.hits));
+    set("serve.plan_cache.misses",
+        static_cast<double>(plan_stats.misses));
 
     // Per-layer reuse health, aggregated across every live session of
     // each model.  Gauge names end in the EWMA-tracked suffixes the

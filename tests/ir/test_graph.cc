@@ -1,0 +1,142 @@
+/** @file Unit tests for the graph IR data model. */
+
+#include <gtest/gtest.h>
+
+#include "ir/graph.h"
+#include "nn/activations.h"
+#include "nn/fully_connected.h"
+#include "nn/lstm.h"
+#include "nn/pooling.h"
+#include "quant/quantization_plan.h"
+
+namespace reuse {
+namespace ir {
+namespace {
+
+TEST(GraphIr, ReuseEligibilityFollowsLinearity)
+{
+    EXPECT_TRUE(isReuseEligible(LayerKind::FullyConnected));
+    EXPECT_TRUE(isReuseEligible(LayerKind::Conv2D));
+    EXPECT_TRUE(isReuseEligible(LayerKind::Conv3D));
+    EXPECT_TRUE(isReuseEligible(LayerKind::Lstm));
+    EXPECT_TRUE(isReuseEligible(LayerKind::BiLstm));
+    EXPECT_FALSE(isReuseEligible(LayerKind::Activation));
+    EXPECT_FALSE(isReuseEligible(LayerKind::MaxPool2D));
+    EXPECT_FALSE(isReuseEligible(LayerKind::MaxPool3D));
+    EXPECT_FALSE(isReuseEligible(LayerKind::Flatten));
+}
+
+TEST(GraphIr, FromNetworkBuildsChain)
+{
+    Network net("chain", Shape({8}));
+    net.addLayer(std::make_unique<FullyConnectedLayer>("FC1", 8, 4));
+    net.addLayer(std::make_unique<ActivationLayer>(
+        "RELU", ActivationKind::ReLU));
+    net.addLayer(std::make_unique<FullyConnectedLayer>("FC2", 4, 2));
+
+    const Graph graph = Graph::fromNetwork(net);
+    ASSERT_EQ(graph.nodeCount(), 3u);
+    EXPECT_EQ(graph.name(), "chain");
+    EXPECT_EQ(graph.inputShape(), Shape({8}));
+    EXPECT_EQ(graph.output(), 2u);
+    EXPECT_FALSE(graph.recurrent());
+    EXPECT_FALSE(graph.planSizeMismatch());
+
+    EXPECT_TRUE(graph.node(0).inputs.empty());
+    ASSERT_EQ(graph.node(0).outputs.size(), 1u);
+    EXPECT_EQ(graph.node(0).outputs[0], 1u);
+    ASSERT_EQ(graph.node(1).inputs.size(), 1u);
+    EXPECT_EQ(graph.node(1).inputs[0], 0u);
+    EXPECT_TRUE(graph.node(2).outputs.empty());
+    EXPECT_EQ(graph.node(1).layerIndex, 1u);
+    EXPECT_EQ(&net.layer(1), graph.node(1).layer);
+}
+
+TEST(GraphIr, FromNetworkCarriesPlanQuantization)
+{
+    Network net("planned", Shape({8}));
+    net.addLayer(std::make_unique<FullyConnectedLayer>("FC1", 8, 4));
+    net.addLayer(std::make_unique<FullyConnectedLayer>("FC2", 4, 2));
+    QuantizationPlan plan(net);
+    plan.layer(1).input = LinearQuantizer(16, -1.0f, 1.0f);
+
+    const Graph graph = Graph::fromNetwork(net, plan);
+    EXPECT_FALSE(graph.node(0).quant.enabled());
+    ASSERT_TRUE(graph.node(1).quant.enabled());
+    EXPECT_EQ(graph.node(1).quant.input->clusters(), 16);
+}
+
+TEST(GraphIr, PlanSizeMismatchIsRecordedNotApplied)
+{
+    Network net("mismatch", Shape({8}));
+    net.addLayer(std::make_unique<FullyConnectedLayer>("FC1", 8, 4));
+    net.addLayer(std::make_unique<FullyConnectedLayer>("FC2", 4, 2));
+    Network other("other", Shape({8}));
+    other.addLayer(std::make_unique<FullyConnectedLayer>("FC", 8, 4));
+    QuantizationPlan short_plan(other);
+    short_plan.layer(0).input = LinearQuantizer(16, -1.0f, 1.0f);
+
+    const Graph graph = Graph::fromNetwork(net, short_plan);
+    EXPECT_TRUE(graph.planSizeMismatch());
+    EXPECT_EQ(graph.planSize(), 1u);
+    for (const Node &node : graph.nodes())
+        EXPECT_FALSE(node.quant.enabled());
+}
+
+TEST(GraphIr, RecurrentDetectsLstmLayers)
+{
+    Network net("rnn", Shape({8}));
+    net.addLayer(std::make_unique<BiLstmLayer>("BLSTM", 8, 4));
+    EXPECT_TRUE(Graph::fromNetwork(net).recurrent());
+}
+
+TEST(GraphIr, TopoOrderOfChainIsLayerOrder)
+{
+    Network net("chain", Shape({8}));
+    net.addLayer(std::make_unique<FullyConnectedLayer>("FC1", 8, 4));
+    net.addLayer(std::make_unique<FullyConnectedLayer>("FC2", 4, 2));
+    net.addLayer(std::make_unique<FullyConnectedLayer>("FC3", 2, 2));
+    const std::vector<NodeId> order =
+        Graph::fromNetwork(net).topoOrder();
+    ASSERT_EQ(order.size(), 3u);
+    for (size_t i = 0; i < order.size(); ++i)
+        EXPECT_EQ(order[i], i);
+}
+
+TEST(GraphIr, TopoOrderHandlesBranches)
+{
+    // Diamond: A feeds B and C, both feed D.  Kahn with a FIFO and
+    // insertion-order sources must place A first and D last.
+    FullyConnectedLayer fc("FC", 4, 4);
+    Graph graph("diamond", Shape({4}));
+    const NodeId a = graph.addNode(&fc, 0);
+    const NodeId b = graph.addNode(&fc, 1);
+    const NodeId c = graph.addNode(&fc, 2);
+    const NodeId d = graph.addNode(&fc, 3);
+    graph.connect(a, b);
+    graph.connect(a, c);
+    graph.connect(b, d);
+    graph.connect(c, d);
+    graph.setOutput(d);
+
+    const std::vector<NodeId> order = graph.topoOrder();
+    ASSERT_EQ(order.size(), 4u);
+    EXPECT_EQ(order.front(), a);
+    EXPECT_EQ(order.back(), d);
+}
+
+TEST(GraphIrDeathTest, TopoOrderPanicsOnCycle)
+{
+    FullyConnectedLayer fc("FC", 4, 4);
+    Graph graph("loop", Shape({4}));
+    const NodeId a = graph.addNode(&fc, 0);
+    const NodeId b = graph.addNode(&fc, 1);
+    graph.connect(a, b);
+    graph.connect(b, a);
+    graph.setOutput(b);
+    EXPECT_DEATH(graph.topoOrder(), "cycle");
+}
+
+} // namespace
+} // namespace ir
+} // namespace reuse

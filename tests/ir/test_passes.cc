@@ -1,0 +1,235 @@
+/** @file Unit tests for the IR rewrite passes. */
+
+#include <gtest/gtest.h>
+
+#include "ir/graph.h"
+#include "ir/passes.h"
+#include "nn/activations.h"
+#include "nn/fully_connected.h"
+#include "nn/lstm.h"
+#include "nn/pnorm.h"
+#include "nn/pooling.h"
+#include "quant/quantization_plan.h"
+
+namespace reuse {
+namespace ir {
+namespace {
+
+Network
+mlp()
+{
+    Network net("mlp", Shape({8}));
+    net.addLayer(std::make_unique<FullyConnectedLayer>("FC1", 8, 4));
+    net.addLayer(std::make_unique<ActivationLayer>(
+        "RELU", ActivationKind::ReLU));
+    net.addLayer(std::make_unique<FullyConnectedLayer>("FC2", 4, 2));
+    return net;
+}
+
+TEST(ShapeInferencePassTest, PropagatesShapesAlongChain)
+{
+    Network net = mlp();
+    Graph graph = Graph::fromNetwork(net);
+    DiagnosticReport report;
+    ShapeInferencePass().run(graph, report);
+    EXPECT_FALSE(report.hasErrors());
+    EXPECT_EQ(graph.node(0).inShape, Shape({8}));
+    EXPECT_EQ(graph.node(0).outShape, Shape({4}));
+    EXPECT_EQ(graph.node(1).outShape, Shape({4}));
+    EXPECT_EQ(graph.node(2).outShape, Shape({2}));
+    for (const Node &node : graph.nodes())
+        EXPECT_TRUE(node.shapesValid);
+}
+
+TEST(ShapeInferencePassTest, EmptyNetworkIsSh001)
+{
+    Network net("empty", Shape({8}));
+    Graph graph = Graph::fromNetwork(net);
+    DiagnosticReport report;
+    ShapeInferencePass().run(graph, report);
+    EXPECT_TRUE(report.has(diag::kEmptyNetwork));
+}
+
+TEST(ShapeInferencePassTest, MismatchedChainIsSh002)
+{
+    Network net("broken", Shape({8}));
+    net.addLayer(std::make_unique<FullyConnectedLayer>("FC1", 8, 4));
+    net.addLayer(std::make_unique<FullyConnectedLayer>("FC2", 16, 2));
+    Graph graph = Graph::fromNetwork(net);
+    DiagnosticReport report;
+    ShapeInferencePass().run(graph, report);
+    EXPECT_TRUE(report.has(diag::kShapeMismatch));
+    EXPECT_FALSE(graph.node(1).shapesValid);
+}
+
+TEST(ReuseSafetyPassTest, UnsafeLayerIsErrorByDefault)
+{
+    Network net("unsafe", Shape({4, 8, 8}));
+    net.addLayer(std::make_unique<MaxPool2DLayer>("POOL", 2));
+    QuantizationPlan plan(net);
+    plan.layer(0).input = LinearQuantizer(16, -1.0f, 1.0f);
+    Graph graph = Graph::fromNetwork(net, plan);
+    DiagnosticReport report;
+    ReuseSafetyPass().run(graph, report);
+    EXPECT_TRUE(report.hasErrors());
+    EXPECT_TRUE(report.has(diag::kReuseOnUnsafeLayer));
+    EXPECT_FALSE(graph.node(0).pinnedFullRecompute);
+}
+
+TEST(ReuseSafetyPassTest, PinModeRewritesUnsafeLayerToWarning)
+{
+    Network net("unsafe", Shape({4, 8, 8}));
+    net.addLayer(std::make_unique<MaxPool2DLayer>("POOL", 2));
+    QuantizationPlan plan(net);
+    plan.layer(0).input = LinearQuantizer(16, -1.0f, 1.0f);
+    Graph graph = Graph::fromNetwork(net, plan);
+    DiagnosticReport report;
+    const PassResult result =
+        ReuseSafetyPass(/*pin_unsafe=*/true).run(graph, report);
+    EXPECT_EQ(result.rewrites, 1u);
+    EXPECT_FALSE(report.hasErrors());
+    EXPECT_TRUE(report.has(diag::kReuseOnUnsafeLayer));
+    EXPECT_TRUE(graph.node(0).pinnedFullRecompute);
+    EXPECT_FALSE(graph.node(0).quant.enabled());
+    // The finding notes the rewrite.
+    bool noted = false;
+    for (const Diagnostic &d : report.diagnostics())
+        noted = noted ||
+                d.message.find("pinned to full recompute") !=
+                    std::string::npos;
+    EXPECT_TRUE(noted);
+}
+
+TEST(ReuseSafetyPassTest, PlanSizeMismatchIsQp001)
+{
+    Network net = mlp();
+    Network other("other", Shape({8}));
+    other.addLayer(std::make_unique<FullyConnectedLayer>("FC", 8, 4));
+    Graph graph = Graph::fromNetwork(net, QuantizationPlan(other));
+    DiagnosticReport report;
+    ReuseSafetyPass().run(graph, report);
+    EXPECT_TRUE(report.has(diag::kPlanSizeMismatch));
+}
+
+TEST(FuseActivationPassTest, FusesElementwiseActivationIntoProducer)
+{
+    Network net = mlp();
+    Graph graph = Graph::fromNetwork(net);
+    DiagnosticReport report;
+    ShapeInferencePass().run(graph, report);
+    const PassResult result = FuseActivationPass().run(graph, report);
+    EXPECT_EQ(result.rewrites, 1u);
+
+    const Node &fc1 = graph.node(0);
+    const Node &relu = graph.node(1);
+    EXPECT_EQ(fc1.fusedActivation, &net.layer(1));
+    EXPECT_EQ(fc1.fusedActivationIndex, 1u);
+    EXPECT_TRUE(relu.fusedAway);
+    // The activation is spliced out of the edge lists entirely; a
+    // half-linked node would read as a cycle in topoOrder.
+    EXPECT_TRUE(relu.inputs.empty());
+    EXPECT_TRUE(relu.outputs.empty());
+    ASSERT_EQ(fc1.outputs.size(), 1u);
+    EXPECT_EQ(fc1.outputs[0], 2u);
+    ASSERT_EQ(graph.node(2).inputs.size(), 1u);
+    EXPECT_EQ(graph.node(2).inputs[0], 0u);
+    EXPECT_EQ(graph.topoOrder().size(), 3u);
+}
+
+TEST(FuseActivationPassTest, TrailingActivationMovesGraphOutput)
+{
+    Network net("tail", Shape({8}));
+    net.addLayer(std::make_unique<FullyConnectedLayer>("FC", 8, 4));
+    net.addLayer(std::make_unique<ActivationLayer>(
+        "SM", ActivationKind::Softmax));
+    Graph graph = Graph::fromNetwork(net);
+    DiagnosticReport report;
+    FuseActivationPass().run(graph, report);
+    EXPECT_TRUE(graph.node(1).fusedAway);
+    EXPECT_EQ(graph.output(), 0u);
+}
+
+TEST(FuseActivationPassTest, DoesNotFusePNorm)
+{
+    // PNormLayer also reports LayerKind::Activation but changes the
+    // output shape; fusing it in place would corrupt the schedule.
+    Network net("pnorm", Shape({8}));
+    net.addLayer(std::make_unique<FullyConnectedLayer>("FC", 8, 8));
+    net.addLayer(std::make_unique<PNormLayer>("PN", 2));
+    Graph graph = Graph::fromNetwork(net);
+    DiagnosticReport report;
+    const PassResult result = FuseActivationPass().run(graph, report);
+    EXPECT_EQ(result.rewrites, 0u);
+    EXPECT_EQ(graph.node(0).fusedActivation, nullptr);
+    EXPECT_FALSE(graph.node(1).fusedAway);
+}
+
+TEST(FuseActivationPassTest, SkipsRecurrentNetworks)
+{
+    Network net("rnn", Shape({8}));
+    net.addLayer(std::make_unique<BiLstmLayer>("BLSTM", 8, 4));
+    net.addLayer(std::make_unique<FullyConnectedLayer>("FC", 8, 4));
+    net.addLayer(std::make_unique<ActivationLayer>(
+        "RELU", ActivationKind::ReLU));
+    Graph graph = Graph::fromNetwork(net);
+    DiagnosticReport report;
+    const PassResult result = FuseActivationPass().run(graph, report);
+    EXPECT_EQ(result.rewrites, 0u);
+    EXPECT_FALSE(graph.node(2).fusedAway);
+}
+
+TEST(DeadNodeEliminationPassTest, MarksDisconnectedNodesDead)
+{
+    // Hand-built graph: a live chain A -> B plus a node C connected
+    // to nothing — a disconnected layer a frontend failed to prune.
+    FullyConnectedLayer fc("FC", 4, 4);
+    Graph graph("dangling", Shape({4}));
+    const NodeId a = graph.addNode(&fc, 0);
+    const NodeId b = graph.addNode(&fc, 1);
+    const NodeId c = graph.addNode(&fc, 2);
+    graph.connect(a, b);
+    graph.setOutput(b);
+
+    DiagnosticReport report;
+    const PassResult result =
+        DeadNodeEliminationPass().run(graph, report);
+    EXPECT_EQ(result.rewrites, 1u);
+    EXPECT_FALSE(graph.node(a).dead);
+    EXPECT_FALSE(graph.node(b).dead);
+    EXPECT_TRUE(graph.node(c).dead);
+}
+
+TEST(DeadNodeEliminationPassTest, FusedNodesAreNotDoubleCounted)
+{
+    Network net = mlp();
+    Graph graph = Graph::fromNetwork(net);
+    DiagnosticReport report;
+    FuseActivationPass().run(graph, report);
+    const PassResult result =
+        DeadNodeEliminationPass().run(graph, report);
+    EXPECT_EQ(result.rewrites, 0u);
+    EXPECT_FALSE(graph.node(1).dead);  // fusedAway, not dead
+}
+
+TEST(PassManagerTest, SkipsRewritePassesOnBrokenGraphs)
+{
+    Network net("broken", Shape({8}));
+    net.addLayer(std::make_unique<FullyConnectedLayer>("FC1", 8, 4));
+    net.addLayer(std::make_unique<FullyConnectedLayer>("FC2", 16, 2));
+    Graph graph = Graph::fromNetwork(net);
+    DiagnosticReport report;
+    PassManager pm;
+    pm.add(std::make_unique<ShapeInferencePass>());
+    pm.add(std::make_unique<FuseActivationPass>());
+    pm.add(std::make_unique<DeadNodeEliminationPass>());
+    const auto records = pm.run(graph, report);
+    ASSERT_EQ(records.size(), 3u);
+    EXPECT_TRUE(records[0].ran);
+    EXPECT_FALSE(records[1].ran);
+    EXPECT_FALSE(records[2].ran);
+    EXPECT_TRUE(report.hasErrors());
+}
+
+} // namespace
+} // namespace ir
+} // namespace reuse

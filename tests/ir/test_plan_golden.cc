@@ -1,0 +1,72 @@
+/** @file Golden test of the --dump-plan schedule rendering.
+ *
+ *  Compares dumpWorkloadPlan() over the model zoo against the
+ *  checked-in tools/golden_plans.txt.  On mismatch the failure
+ *  message pinpoints the first differing line, format-lint style.
+ *  Regenerate the golden after an intentional schedule change with:
+ *      build/tools/validate_model --dump-plan > tools/golden_plans.txt
+ */
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "harness/workload_setup.h"
+#include "workloads/model_zoo.h"
+
+namespace reuse {
+namespace {
+
+std::vector<std::string>
+splitLines(const std::string &text)
+{
+    std::vector<std::string> lines;
+    std::istringstream iss(text);
+    std::string line;
+    while (std::getline(iss, line))
+        lines.push_back(line);
+    return lines;
+}
+
+TEST(PlanGoldenTest, DumpMatchesCheckedInGolden)
+{
+    const std::string path =
+        REUSE_SOURCE_DIR "/tools/golden_plans.txt";
+    std::ifstream in(path);
+    ASSERT_TRUE(in.good()) << "missing golden file " << path;
+    std::ostringstream golden;
+    golden << in.rdbuf();
+
+    std::ostringstream actual;
+    for (const std::string &name : modelZooNames())
+        actual << dumpWorkloadPlan(name) << "\n";
+
+    if (actual.str() == golden.str())
+        return;
+
+    const std::vector<std::string> want = splitLines(golden.str());
+    const std::vector<std::string> got = splitLines(actual.str());
+    size_t first = 0;
+    while (first < want.size() && first < got.size() &&
+           want[first] == got[first]) {
+        ++first;
+    }
+    std::ostringstream diff;
+    diff << "compiled plans diverge from " << path << " at line "
+         << first + 1 << ":\n";
+    diff << "  golden: "
+         << (first < want.size() ? want[first] : "<end of file>")
+         << "\n";
+    diff << "  actual: "
+         << (first < got.size() ? got[first] : "<end of output>")
+         << "\n";
+    diff << "regenerate with: build/tools/validate_model --dump-plan "
+            "> tools/golden_plans.txt";
+    FAIL() << diff.str();
+}
+
+} // namespace
+} // namespace reuse

@@ -40,6 +40,11 @@ usage(std::ostream &os)
           "  --broken         validate three deliberately broken\n"
           "                   models instead, demonstrating the\n"
           "                   diagnostic IDs they trigger\n"
+          "  --dump-plan      print each model's compiled execution\n"
+          "                   schedule (op, shapes, kernel mode,\n"
+          "                   fusion and reuse-safety flags) instead\n"
+          "                   of validating; the output is stable and\n"
+          "                   golden-tested (tools/golden_plans.txt)\n"
           "  --help           print this message\n";
 }
 
@@ -145,6 +150,7 @@ main(int argc, char **argv)
     std::string model;
     int64_t budget_bytes = -1;
     bool broken = false;
+    bool dump_plan = false;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -153,6 +159,8 @@ main(int argc, char **argv)
             return 0;
         } else if (arg == "--broken") {
             broken = true;
+        } else if (arg == "--dump-plan") {
+            dump_plan = true;
         } else if (arg == "--model" && i + 1 < argc) {
             model = argv[++i];
         } else if (arg == "--budget" && i + 1 < argc) {
@@ -173,10 +181,17 @@ main(int argc, char **argv)
         return ok ? 0 : 1;
     }
 
-    size_t errors = 0;
     const std::vector<std::string> names =
         model.empty() ? modelZooNames()
                       : std::vector<std::string>{model};
+
+    if (dump_plan) {
+        for (const std::string &name : names)
+            std::cout << dumpWorkloadPlan(name) << "\n";
+        return 0;
+    }
+
+    size_t errors = 0;
     for (const std::string &name : names)
         errors += validateZooModel(name, budget_bytes);
 
