@@ -5,10 +5,17 @@
 
 namespace reuse {
 
+std::map<std::string, Counter>
+StatRegistry::all() const
+{
+    ReaderMutexLock lock(mu_);
+    return counters_;
+}
+
 void
 StatRegistry::resetAll()
 {
-    std::lock_guard<std::mutex> lock(mu_);
+    WriterMutexLock lock(mu_);
     for (auto &kv : counters_)
         kv.second.reset();
 }
@@ -16,7 +23,7 @@ StatRegistry::resetAll()
 double
 StatRegistry::sumWithPrefix(const std::string &prefix) const
 {
-    std::lock_guard<std::mutex> lock(mu_);
+    ReaderMutexLock lock(mu_);
     double total = 0.0;
     for (const auto &kv : counters_) {
         if (kv.first.rfind(prefix, 0) == 0)
@@ -28,7 +35,7 @@ StatRegistry::sumWithPrefix(const std::string &prefix) const
 std::string
 StatRegistry::dump() const
 {
-    std::lock_guard<std::mutex> lock(mu_);
+    ReaderMutexLock lock(mu_);
     std::ostringstream oss;
     for (const auto &kv : counters_)
         oss << kv.first << " " << kv.second.value() << "\n";

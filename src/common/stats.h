@@ -19,9 +19,10 @@
 #include <atomic>
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "common/sync.h"
 
 namespace reuse {
 
@@ -116,7 +117,9 @@ class Counter
  *
  * Names use '.'-separated hierarchies ("sim.tile0.weight_fetches").
  * get() may be called concurrently; returned references stay valid
- * for the registry's lifetime (std::map nodes are stable).
+ * for the registry's lifetime (std::map nodes are stable).  The map
+ * itself is under a reader/writer lock: registration (get) is the
+ * only writer, exposition walks (dump, sumWithPrefix, all) share.
  */
 class StatRegistry
 {
@@ -124,23 +127,24 @@ class StatRegistry
     /** Returns (creating on first use) the counter with this name. */
     Counter &get(const std::string &name)
     {
-        std::lock_guard<std::mutex> lock(mu_);
+        WriterMutexLock lock(mu_);
         return counters_[name];
     }
 
     /** True when a counter with this name has been created. */
     bool has(const std::string &name) const
     {
-        std::lock_guard<std::mutex> lock(mu_);
+        ReaderMutexLock lock(mu_);
         return counters_.count(name) > 0;
     }
 
     /**
-     * Read-only view of all counters, sorted by name.  Not safe
-     * against concurrent registration of *new* counters; counter
-     * values themselves may be updated concurrently.
+     * Snapshot of all counters, sorted by name, taken under the
+     * registry lock — safe against concurrent registration of new
+     * counters (which a by-reference view was not).  Counter values
+     * keep updating concurrently; each copied value is atomic.
      */
-    const std::map<std::string, Counter> &all() const { return counters_; }
+    std::map<std::string, Counter> all() const;
 
     /** Resets every registered counter. */
     void resetAll();
@@ -152,8 +156,8 @@ class StatRegistry
     std::string dump() const;
 
   private:
-    mutable std::mutex mu_;
-    std::map<std::string, Counter> counters_;
+    mutable SharedMutex mu_;
+    std::map<std::string, Counter> counters_ GUARDED_BY(mu_);
 };
 
 /**

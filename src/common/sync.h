@@ -1,0 +1,258 @@
+/**
+ * @file
+ * Annotated synchronization primitives: the only place in src/ that
+ * may touch raw std::mutex & friends (enforced by tools/lint).
+ *
+ * Every wrapper carries Clang thread-safety capability attributes, so
+ * a Clang build with -Wthread-safety machine-checks the repo's
+ * locking discipline on every compile: members declare which mutex
+ * guards them (GUARDED_BY), functions declare which locks they need
+ * (REQUIRES) or must not hold (EXCLUDES), and the analysis proves the
+ * invariants statically — including the lock orders the serving
+ * runtime documents (manager lock before session state lock, never
+ * the reverse).  TSan then only has to catch what the type system
+ * cannot express (see DESIGN.md §13).
+ *
+ * On non-Clang compilers the attribute macros expand to nothing and
+ * the wrappers are zero-cost shims over the std primitives, so GCC
+ * builds are unaffected.
+ *
+ * Conventions:
+ *  - Guarded members:   `int v_ GUARDED_BY(mu_);`
+ *  - Locked helpers:    `void fooLocked() REQUIRES(mu_);`
+ *  - Condvar waits are open-coded `while (!pred) cv.wait(lock);`
+ *    loops so the predicate is analyzed in the enclosing function
+ *    (lambda predicates are opaque to the analysis).
+ *  - Conditional locking uses `if (!mu.tryLock()) ...` with an
+ *    explicit `mu.unlock()`, which the analysis tracks per branch.
+ */
+
+#ifndef REUSE_DNN_COMMON_SYNC_H
+#define REUSE_DNN_COMMON_SYNC_H
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <shared_mutex>
+
+// ----------------------------------------------------------------------
+// Clang thread-safety annotation macros.  Expand to nothing on
+// compilers without the attributes (GCC, MSVC), so annotated code
+// builds everywhere and is *checked* wherever Clang builds it.
+// ----------------------------------------------------------------------
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(capability)
+#define REUSE_TS_ATTR(x) __attribute__((x))
+#endif
+#endif
+#ifndef REUSE_TS_ATTR
+#define REUSE_TS_ATTR(x) // no-op outside Clang
+#endif
+
+/** Marks a type as a lockable capability ("mutex", "shared_mutex"). */
+#define CAPABILITY(x) REUSE_TS_ATTR(capability(x))
+
+/** Marks an RAII type that acquires in its ctor / releases in dtor. */
+#define SCOPED_CAPABILITY REUSE_TS_ATTR(scoped_lockable)
+
+/** Declares that a member is protected by the given mutex. */
+#define GUARDED_BY(x) REUSE_TS_ATTR(guarded_by(x))
+
+/** Declares that the pointee of a pointer member is protected. */
+#define PT_GUARDED_BY(x) REUSE_TS_ATTR(pt_guarded_by(x))
+
+/** Documents (and checks) lock-ordering between two mutexes. */
+#define ACQUIRED_BEFORE(...) REUSE_TS_ATTR(acquired_before(__VA_ARGS__))
+#define ACQUIRED_AFTER(...) REUSE_TS_ATTR(acquired_after(__VA_ARGS__))
+
+/** The function must be called with the given locks held. */
+#define REQUIRES(...) REUSE_TS_ATTR(requires_capability(__VA_ARGS__))
+#define REQUIRES_SHARED(...)                                             \
+    REUSE_TS_ATTR(requires_shared_capability(__VA_ARGS__))
+
+/** The function acquires the lock and does not release it. */
+#define ACQUIRE(...) REUSE_TS_ATTR(acquire_capability(__VA_ARGS__))
+#define ACQUIRE_SHARED(...)                                              \
+    REUSE_TS_ATTR(acquire_shared_capability(__VA_ARGS__))
+
+/** The function releases a lock the caller holds. */
+#define RELEASE(...) REUSE_TS_ATTR(release_capability(__VA_ARGS__))
+#define RELEASE_SHARED(...)                                              \
+    REUSE_TS_ATTR(release_shared_capability(__VA_ARGS__))
+#define RELEASE_GENERIC(...)                                             \
+    REUSE_TS_ATTR(release_generic_capability(__VA_ARGS__))
+
+/** The function acquires the lock iff it returns the given value. */
+#define TRY_ACQUIRE(...) REUSE_TS_ATTR(try_acquire_capability(__VA_ARGS__))
+#define TRY_ACQUIRE_SHARED(...)                                          \
+    REUSE_TS_ATTR(try_acquire_shared_capability(__VA_ARGS__))
+
+/** The function must NOT be called with the given locks held. */
+#define EXCLUDES(...) REUSE_TS_ATTR(locks_excluded(__VA_ARGS__))
+
+/** Runtime assertion that the lock is held (checked fatally). */
+#define ASSERT_CAPABILITY(x) REUSE_TS_ATTR(assert_capability(x))
+#define ASSERT_SHARED_CAPABILITY(x)                                      \
+    REUSE_TS_ATTR(assert_shared_capability(x))
+
+/** The function returns a reference to the given capability. */
+#define RETURN_CAPABILITY(x) REUSE_TS_ATTR(lock_returned(x))
+
+/** Escape hatch; use sparingly and justify in a comment. */
+#define NO_THREAD_SAFETY_ANALYSIS                                        \
+    REUSE_TS_ATTR(no_thread_safety_analysis)
+
+namespace reuse {
+
+class CondVar;
+class MutexLock;
+
+/**
+ * Annotated exclusive mutex.  Prefer MutexLock (RAII); explicit
+ * lock()/unlock() are for conditional-locking patterns the scoped
+ * form cannot express.
+ */
+class CAPABILITY("mutex") Mutex
+{
+  public:
+    Mutex() = default;
+    Mutex(const Mutex &) = delete;
+    Mutex &operator=(const Mutex &) = delete;
+
+    void lock() ACQUIRE() { mu_.lock(); }
+    void unlock() RELEASE() { mu_.unlock(); }
+
+    /** Non-blocking acquire; true when the lock was taken. */
+    bool tryLock() TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+  private:
+    friend class MutexLock;
+    std::mutex mu_;
+};
+
+/**
+ * RAII lock over a Mutex.  Supports the unlock()/lock() window the
+ * kernel thread pool's worker loop needs (run a chunk outside the
+ * lock, re-acquire to update signalling state).
+ */
+class SCOPED_CAPABILITY MutexLock
+{
+  public:
+    explicit MutexLock(Mutex &mu) ACQUIRE(mu) : lock_(mu.mu_) {}
+    ~MutexLock() RELEASE() {}
+
+    MutexLock(const MutexLock &) = delete;
+    MutexLock &operator=(const MutexLock &) = delete;
+
+    /** Releases early (the destructor then does nothing). */
+    void unlock() RELEASE() { lock_.unlock(); }
+
+    /** Re-acquires after an unlock(). */
+    void lock() ACQUIRE() { lock_.lock(); }
+
+  private:
+    friend class CondVar;
+    std::unique_lock<std::mutex> lock_;
+};
+
+/**
+ * Annotated reader/writer mutex.  Readers share (snapshot walks,
+ * stat lookups); writers exclude (registration, clearing).
+ */
+class CAPABILITY("shared_mutex") SharedMutex
+{
+  public:
+    SharedMutex() = default;
+    SharedMutex(const SharedMutex &) = delete;
+    SharedMutex &operator=(const SharedMutex &) = delete;
+
+    void lock() ACQUIRE() { mu_.lock(); }
+    void unlock() RELEASE() { mu_.unlock(); }
+    bool tryLock() TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+    void lockShared() ACQUIRE_SHARED() { mu_.lock_shared(); }
+    void unlockShared() RELEASE_SHARED() { mu_.unlock_shared(); }
+    bool tryLockShared() TRY_ACQUIRE_SHARED(true)
+    {
+        return mu_.try_lock_shared();
+    }
+
+  private:
+    friend class ReaderMutexLock;
+    friend class WriterMutexLock;
+    std::shared_mutex mu_;
+};
+
+/** RAII shared (reader) lock over a SharedMutex. */
+class SCOPED_CAPABILITY ReaderMutexLock
+{
+  public:
+    explicit ReaderMutexLock(SharedMutex &mu) ACQUIRE_SHARED(mu)
+        : mu_(mu.mu_)
+    {
+        mu_.lock_shared();
+    }
+    ~ReaderMutexLock() RELEASE_SHARED() { mu_.unlock_shared(); }
+
+    ReaderMutexLock(const ReaderMutexLock &) = delete;
+    ReaderMutexLock &operator=(const ReaderMutexLock &) = delete;
+
+  private:
+    std::shared_mutex &mu_;
+};
+
+/** RAII exclusive (writer) lock over a SharedMutex. */
+class SCOPED_CAPABILITY WriterMutexLock
+{
+  public:
+    explicit WriterMutexLock(SharedMutex &mu) ACQUIRE(mu) : mu_(mu.mu_)
+    {
+        mu_.lock();
+    }
+    ~WriterMutexLock() RELEASE() { mu_.unlock(); }
+
+    WriterMutexLock(const WriterMutexLock &) = delete;
+    WriterMutexLock &operator=(const WriterMutexLock &) = delete;
+
+  private:
+    std::shared_mutex &mu_;
+};
+
+/**
+ * Condition variable over a Mutex.  wait() takes the MutexLock so
+ * the capability stays (logically) held across the wait; callers
+ * open-code the predicate loop:
+ *
+ *     MutexLock lock(mu_);
+ *     while (!ready_)
+ *         cv_.wait(lock);
+ */
+class CondVar
+{
+  public:
+    CondVar() = default;
+    CondVar(const CondVar &) = delete;
+    CondVar &operator=(const CondVar &) = delete;
+
+    /** Atomically releases `lock`, waits, re-acquires. */
+    void wait(MutexLock &lock) { cv_.wait(lock.lock_); }
+
+    /** Timed wait; std::cv_status::timeout when the deadline passed. */
+    template <typename Rep, typename Period>
+    std::cv_status waitFor(MutexLock &lock,
+                           std::chrono::duration<Rep, Period> dur)
+    {
+        return cv_.wait_for(lock.lock_, dur);
+    }
+
+    void notifyOne() { cv_.notify_one(); }
+    void notifyAll() { cv_.notify_all(); }
+
+  private:
+    std::condition_variable cv_;
+};
+
+} // namespace reuse
+
+#endif // REUSE_DNN_COMMON_SYNC_H

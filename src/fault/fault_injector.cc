@@ -61,7 +61,7 @@ void
 FaultInjector::arm(const FaultPlan &plan)
 {
     {
-        std::lock_guard<std::mutex> lock(mu_);
+        MutexLock lock(mu_);
         plan_ = plan;
         invocations_ = 0;
         fires_ = 0;
@@ -74,7 +74,7 @@ FaultInjector::arm(const FaultPlan &plan)
     kernels::KernelThreadPool::setChunkHook(
         [] { FaultInjector::global().maybeStall(); });
     armed_.store(true, std::memory_order_release);
-    disarm_cv_.notify_all();
+    disarm_cv_.notifyAll();
 }
 
 void
@@ -82,23 +82,23 @@ FaultInjector::disarm()
 {
     armed_.store(false, std::memory_order_release);
     {
-        std::lock_guard<std::mutex> lock(mu_);
+        MutexLock lock(mu_);
         ++epoch_;
     }
-    disarm_cv_.notify_all();
+    disarm_cv_.notifyAll();
 }
 
 uint64_t
 FaultInjector::invocations() const
 {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     return invocations_;
 }
 
 uint64_t
 FaultInjector::fires() const
 {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     return fires_;
 }
 
@@ -107,7 +107,7 @@ FaultInjector::frameFaultsArmed() const
 {
     if (!armed())
         return false;
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     return plan_.kind == FaultKind::DroppedFrame ||
            plan_.kind == FaultKind::DuplicatedFrame;
 }
@@ -117,7 +117,7 @@ FaultInjector::shouldFire(FaultKind hook_kind,
                           std::optional<LayerKind> layer_kind,
                           uint64_t *rng_seed)
 {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (!armed_.load(std::memory_order_relaxed))
         return false;
     if (plan_.kind != hook_kind)
@@ -180,7 +180,7 @@ FaultInjector::perturbScanParams(LayerKind kind,
         return;
     double scale = 1.5;
     {
-        std::lock_guard<std::mutex> lock(mu_);
+        MutexLock lock(mu_);
         scale = plan_.scaleFactor;
     }
     params.step = static_cast<float>(params.step * scale);
@@ -234,7 +234,7 @@ FaultInjector::maybeStall()
     int64_t stall_micros = 0;
     uint64_t epoch = 0;
     {
-        std::lock_guard<std::mutex> lock(mu_);
+        MutexLock lock(mu_);
         stall_micros = plan_.stallMicros;
         epoch = epoch_;
     }
@@ -247,11 +247,10 @@ FaultInjector::maybeStall()
     // hold a worker provably busy while probing overload shedding.
     stalled_.fetch_add(1, std::memory_order_acq_rel);
     {
-        std::unique_lock<std::mutex> lock(mu_);
-        disarm_cv_.wait(lock, [&] {
-            return epoch_ != epoch ||
-                   !armed_.load(std::memory_order_relaxed);
-        });
+        MutexLock lock(mu_);
+        while (epoch_ == epoch &&
+               armed_.load(std::memory_order_relaxed))
+            disarm_cv_.wait(lock);
     }
     stalled_.fetch_sub(1, std::memory_order_acq_rel);
 }

@@ -29,12 +29,11 @@
 #define REUSE_DNN_FAULT_FAULT_INJECTOR_H
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
-#include <mutex>
 #include <optional>
 #include <string>
 
+#include "common/sync.h"
 #include "kernels/change_list.h"
 #include "kernels/quant_scan.h"
 #include "nn/layer.h"
@@ -185,12 +184,13 @@ class FaultInjector
     std::atomic<bool> armed_{false};
     std::atomic<uint64_t> stalled_{0};
 
-    mutable std::mutex mu_;
-    std::condition_variable disarm_cv_;
-    FaultPlan plan_;
-    uint64_t invocations_ = 0;
-    uint64_t fires_ = 0;
-    uint64_t epoch_ = 0;
+    mutable Mutex mu_;
+    CondVar disarm_cv_;
+    FaultPlan plan_ GUARDED_BY(mu_);
+    uint64_t invocations_ GUARDED_BY(mu_) = 0;
+    uint64_t fires_ GUARDED_BY(mu_) = 0;
+    /** Bumped by arm()/disarm(); wakes blocking stalls. */
+    uint64_t epoch_ GUARDED_BY(mu_) = 0;
 };
 
 // ----------------------------------------------------------------------

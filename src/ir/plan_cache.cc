@@ -75,7 +75,7 @@ PlanCache::getOrCompile(const Network &network,
                         const CompileOptions &options)
 {
     const uint64_t key = fingerprint(network, plan, options);
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     auto it = entries_.find(key);
     if (it != entries_.end()) {
         ++hits_;
@@ -98,7 +98,7 @@ PlanCache::getOrCompile(const Network &network,
 PlanCache::Stats
 PlanCache::stats() const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     Stats s;
     s.hits = hits_;
     s.misses = misses_;
@@ -109,21 +109,21 @@ PlanCache::stats() const
 void
 PlanCache::clear()
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     entries_.clear();
 }
 
 size_t
 PlanCache::capacity() const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     return capacity_;
 }
 
 void
 PlanCache::setCapacity(size_t capacity)
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     capacity_ = capacity;
     evictLocked();
 }

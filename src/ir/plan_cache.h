@@ -19,9 +19,9 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 
+#include "common/sync.h"
 #include "ir/compiled_plan.h"
 
 namespace reuse {
@@ -71,14 +71,14 @@ class PlanCache
     };
 
     /** Evicts least-recently-used entries down to the capacity. */
-    void evictLocked();
+    void evictLocked() REQUIRES(mutex_);
 
-    mutable std::mutex mutex_;
-    std::unordered_map<uint64_t, Entry> entries_;
-    size_t capacity_ = 64;
-    uint64_t tick_ = 0;
-    uint64_t hits_ = 0;
-    uint64_t misses_ = 0;
+    mutable Mutex mutex_;
+    std::unordered_map<uint64_t, Entry> entries_ GUARDED_BY(mutex_);
+    size_t capacity_ GUARDED_BY(mutex_) = 64;
+    uint64_t tick_ GUARDED_BY(mutex_) = 0;
+    uint64_t hits_ GUARDED_BY(mutex_) = 0;
+    uint64_t misses_ GUARDED_BY(mutex_) = 0;
 };
 
 } // namespace ir

@@ -51,10 +51,10 @@ KernelThreadPool::KernelThreadPool(size_t workers)
 KernelThreadPool::~KernelThreadPool()
 {
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        MutexLock lock(mutex_);
         stop_ = true;
     }
-    work_cv_.notify_all();
+    work_cv_.notifyAll();
     for (std::thread &t : workers_)
         t.join();
 }
@@ -86,8 +86,8 @@ KernelThreadPool::runChunks(Job &job)
         (*job.fn)(begin, end);
         if (job.done.fetch_add(1, std::memory_order_acq_rel) + 1 ==
             job.chunks) {
-            std::lock_guard<std::mutex> lock(mutex_);
-            done_cv_.notify_all();
+            MutexLock lock(mutex_);
+            done_cv_.notifyAll();
         }
     }
 }
@@ -96,11 +96,10 @@ void
 KernelThreadPool::workerLoop()
 {
     uint64_t seen = 0;
-    std::unique_lock<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     for (;;) {
-        work_cv_.wait(lock, [&] {
-            return stop_ || (generation_ != seen);
-        });
+        while (!stop_ && generation_ == seen)
+            work_cv_.wait(lock);
         if (stop_)
             return;
         seen = generation_;
@@ -112,7 +111,7 @@ KernelThreadPool::workerLoop()
         runChunks(*job);
         lock.lock();
         --workers_in_job_;
-        done_cv_.notify_all();
+        done_cv_.notifyAll();
     }
 }
 
@@ -139,29 +138,27 @@ KernelThreadPool::parallelFor(int64_t total, int64_t grain,
         return;
     }
 
-    std::lock_guard<std::mutex> job_lock(job_mutex_);
+    MutexLock job_lock(job_mutex_);
     Job job;
     job.fn = &fn;
     job.total = total;
     job.grain = grain;
     job.chunks = ceilDiv(total, grain);
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        MutexLock lock(mutex_);
         current_ = &job;
         ++generation_;
     }
-    work_cv_.notify_all();
+    work_cv_.notifyAll();
     runChunks(job);
     {
         // Wait until every chunk ran AND every worker left the job,
         // so `job` (on this stack frame) cannot be touched after we
         // return.
-        std::unique_lock<std::mutex> lock(mutex_);
-        done_cv_.wait(lock, [&] {
-            return workers_in_job_ == 0 &&
-                   job.done.load(std::memory_order_acquire) ==
-                       job.chunks;
-        });
+        MutexLock lock(mutex_);
+        while (workers_in_job_ != 0 ||
+               job.done.load(std::memory_order_acquire) != job.chunks)
+            done_cv_.wait(lock);
         current_ = nullptr;
     }
 }

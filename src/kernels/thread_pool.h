@@ -23,12 +23,12 @@
 #define REUSE_DNN_KERNELS_THREAD_POOL_H
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/sync.h"
 
 namespace reuse {
 namespace kernels {
@@ -97,22 +97,22 @@ class KernelThreadPool
         std::atomic<int64_t> done{0};
     };
 
-    void workerLoop();
-    void runChunks(Job &job);
+    void workerLoop() EXCLUDES(mutex_);
+    void runChunks(Job &job) EXCLUDES(mutex_);
 
     std::vector<std::thread> workers_;
 
     /** Serializes whole jobs from concurrent callers. */
-    std::mutex job_mutex_;
+    Mutex job_mutex_;
 
     /** Guards the signalling state below. */
-    std::mutex mutex_;
-    std::condition_variable work_cv_;
-    std::condition_variable done_cv_;
-    Job *current_ = nullptr;
-    uint64_t generation_ = 0;
-    int workers_in_job_ = 0;
-    bool stop_ = false;
+    Mutex mutex_;
+    CondVar work_cv_;
+    CondVar done_cv_;
+    Job *current_ GUARDED_BY(mutex_) = nullptr;
+    uint64_t generation_ GUARDED_BY(mutex_) = 0;
+    int workers_in_job_ GUARDED_BY(mutex_) = 0;
+    bool stop_ GUARDED_BY(mutex_) = false;
 };
 
 } // namespace kernels

@@ -35,6 +35,7 @@ MetricsExporter::tracked(const std::string &name) const
 void
 MetricsExporter::scrape(const StatRegistry &registry)
 {
+    MutexLock lock(mu_);
     for (const auto &[name, counter] : registry.all()) {
         if (!tracked(name))
             continue;
@@ -52,6 +53,7 @@ MetricsExporter::scrape(const StatRegistry &registry)
 double
 MetricsExporter::ewma(const std::string &name, double fallback) const
 {
+    MutexLock lock(mu_);
     auto it = ewma_.find(name);
     return it == ewma_.end() ? fallback : it->second;
 }
@@ -82,6 +84,7 @@ MetricsExporter::prometheusText(const StatRegistry &registry) const
         os << "# TYPE " << metric << " gauge\n"
            << metric << " " << formatValue(counter.value()) << "\n";
     }
+    MutexLock lock(mu_);
     for (const auto &[name, value] : ewma_) {
         const std::string metric =
             config_.promPrefix + promName(name) + "_ewma";
@@ -105,6 +108,7 @@ MetricsExporter::jsonSnapshot(const StatRegistry &registry) const
     }
     os << "},\"ewma\":{";
     first = true;
+    MutexLock lock(mu_);
     for (const auto &[name, value] : ewma_) {
         if (!first)
             os << ",";

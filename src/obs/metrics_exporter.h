@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "common/stats.h"
+#include "common/sync.h"
 
 namespace reuse {
 namespace obs {
@@ -71,7 +72,11 @@ class MetricsExporter
     std::string jsonSnapshot(const StatRegistry &registry) const;
 
     /** Scrapes performed so far. */
-    uint64_t scrapeCount() const { return scrapes_; }
+    uint64_t scrapeCount() const
+    {
+        MutexLock lock(mu_);
+        return scrapes_;
+    }
 
     /**
      * Current EWMA of a counter name; `fallback` when the name was
@@ -86,8 +91,14 @@ class MetricsExporter
     bool tracked(const std::string &name) const;
 
     Config config_;
-    std::map<std::string, double> ewma_;
-    uint64_t scrapes_ = 0;
+    /**
+     * Guards the EWMA state: a periodic scrape() thread and on-demand
+     * exposition readers (prometheusText/jsonSnapshot) would
+     * otherwise race on the map.
+     */
+    mutable Mutex mu_;
+    std::map<std::string, double> ewma_ GUARDED_BY(mu_);
+    uint64_t scrapes_ GUARDED_BY(mu_) = 0;
 };
 
 } // namespace obs

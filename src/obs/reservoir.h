@@ -16,8 +16,9 @@
 
 #include <algorithm>
 #include <cstddef>
-#include <mutex>
 #include <vector>
+
+#include "common/sync.h"
 
 namespace reuse {
 namespace obs {
@@ -38,7 +39,7 @@ class SlidingWindowReservoir
     /** Adds one observation, evicting the oldest when full. */
     void observe(double v)
     {
-        std::lock_guard<std::mutex> lock(mu_);
+        MutexLock lock(mu_);
         if (window_.size() < capacity_) {
             window_.push_back(v);
         } else {
@@ -51,21 +52,21 @@ class SlidingWindowReservoir
     /** Samples currently in the window. */
     size_t size() const
     {
-        std::lock_guard<std::mutex> lock(mu_);
+        MutexLock lock(mu_);
         return window_.size();
     }
 
     /** Observations ever made (including evicted ones). */
     uint64_t total() const
     {
-        std::lock_guard<std::mutex> lock(mu_);
+        MutexLock lock(mu_);
         return total_;
     }
 
     /** Mean over the window (0 when empty). */
     double mean() const
     {
-        std::lock_guard<std::mutex> lock(mu_);
+        MutexLock lock(mu_);
         if (window_.empty())
             return 0.0;
         double sum = 0.0;
@@ -77,7 +78,7 @@ class SlidingWindowReservoir
     /** Largest sample in the window (0 when empty). */
     double max() const
     {
-        std::lock_guard<std::mutex> lock(mu_);
+        MutexLock lock(mu_);
         return window_.empty()
                    ? 0.0
                    : *std::max_element(window_.begin(), window_.end());
@@ -89,7 +90,7 @@ class SlidingWindowReservoir
      */
     double quantile(double p) const
     {
-        std::lock_guard<std::mutex> lock(mu_);
+        MutexLock lock(mu_);
         if (window_.empty())
             return 0.0;
         std::vector<double> sorted(window_);
@@ -104,7 +105,7 @@ class SlidingWindowReservoir
     /** Drops all samples. */
     void reset()
     {
-        std::lock_guard<std::mutex> lock(mu_);
+        MutexLock lock(mu_);
         window_.clear();
         next_ = 0;
         total_ = 0;
@@ -112,10 +113,10 @@ class SlidingWindowReservoir
 
   private:
     const size_t capacity_;
-    mutable std::mutex mu_;
-    std::vector<double> window_;
-    size_t next_ = 0;
-    uint64_t total_ = 0;
+    mutable Mutex mu_;
+    std::vector<double> window_ GUARDED_BY(mu_);
+    size_t next_ GUARDED_BY(mu_) = 0;
+    uint64_t total_ GUARDED_BY(mu_) = 0;
 };
 
 } // namespace obs

@@ -172,7 +172,7 @@ TraceRecorder::ring()
 {
     thread_local ThreadRing *tls_ring = nullptr;
     if (tls_ring == nullptr) {
-        std::lock_guard<std::mutex> lock(rings_mu_);
+        WriterMutexLock lock(rings_mu_);
         const uint32_t tid = static_cast<uint32_t>(rings_.size());
         rings_.push_back(std::make_unique<ThreadRing>(
             tid, ring_capacity_.load(std::memory_order_relaxed)));
@@ -216,7 +216,7 @@ std::vector<TraceEvent>
 TraceRecorder::snapshot() const
 {
     std::vector<TraceEvent> events;
-    std::lock_guard<std::mutex> lock(rings_mu_);
+    ReaderMutexLock lock(rings_mu_);
     for (const auto &ring : rings_) {
         const size_t capacity = ring->slots.size();
         const uint64_t written =
@@ -261,7 +261,7 @@ uint64_t
 TraceRecorder::droppedEvents() const
 {
     uint64_t total = 0;
-    std::lock_guard<std::mutex> lock(rings_mu_);
+    ReaderMutexLock lock(rings_mu_);
     for (const auto &ring : rings_)
         total += ring->dropped.load(std::memory_order_relaxed);
     return total;
@@ -270,7 +270,7 @@ TraceRecorder::droppedEvents() const
 void
 TraceRecorder::clear()
 {
-    std::lock_guard<std::mutex> lock(rings_mu_);
+    WriterMutexLock lock(rings_mu_);
     for (const auto &ring : rings_) {
         for (auto &slot : ring->slots)
             slot.seq.store(0, std::memory_order_release);

@@ -34,9 +34,10 @@
 #include <chrono>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "common/sync.h"
 
 namespace reuse {
 namespace obs {
@@ -229,8 +230,15 @@ class TraceRecorder
     std::atomic<uint64_t> event_counter_{0};
     std::atomic<uint64_t> next_seq_{1};
 
-    mutable std::mutex rings_mu_;
-    std::vector<std::unique_ptr<ThreadRing>> rings_;
+    /**
+     * Guards the rings_ *vector* only (registration vs traversal);
+     * slot contents are seqlock-published atomics that writers update
+     * without this lock.  Reader/writer: snapshot exports and drop
+     * queries share, thread registration and clear() are exclusive.
+     */
+    mutable SharedMutex rings_mu_;
+    std::vector<std::unique_ptr<ThreadRing>> rings_
+        GUARDED_BY(rings_mu_);
 };
 
 /**

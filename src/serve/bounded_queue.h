@@ -12,16 +12,17 @@
 #ifndef REUSE_DNN_SERVE_BOUNDED_QUEUE_H
 #define REUSE_DNN_SERVE_BOUNDED_QUEUE_H
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
-#include <mutex>
 #include <utility>
+
+#include "common/sync.h"
 
 namespace reuse {
 
 /**
- * Mutex/condvar bounded MPMC queue.  All operations are thread-safe.
+ * Mutex/condvar bounded MPMC queue.  All operations are thread-safe;
+ * the locking invariants are machine-checked (GUARDED_BY mu_).
  */
 template <typename T>
 class BoundedQueue
@@ -39,15 +40,14 @@ class BoundedQueue
      */
     bool push(T item)
     {
-        std::unique_lock<std::mutex> lock(mu_);
-        not_full_.wait(lock, [&] {
-            return closed_ || items_.size() < capacity_;
-        });
+        MutexLock lock(mu_);
+        while (!closed_ && items_.size() >= capacity_)
+            not_full_.wait(lock);
         if (closed_)
             return false;
         items_.push_back(std::move(item));
         lock.unlock();
-        not_empty_.notify_one();
+        not_empty_.notifyOne();
         return true;
     }
 
@@ -55,12 +55,12 @@ class BoundedQueue
     bool tryPush(T item)
     {
         {
-            std::lock_guard<std::mutex> lock(mu_);
+            MutexLock lock(mu_);
             if (closed_ || items_.size() >= capacity_)
                 return false;
             items_.push_back(std::move(item));
         }
-        not_empty_.notify_one();
+        not_empty_.notifyOne();
         return true;
     }
 
@@ -70,15 +70,15 @@ class BoundedQueue
      */
     bool pop(T &out)
     {
-        std::unique_lock<std::mutex> lock(mu_);
-        not_empty_.wait(lock,
-                        [&] { return closed_ || !items_.empty(); });
+        MutexLock lock(mu_);
+        while (!closed_ && items_.empty())
+            not_empty_.wait(lock);
         if (items_.empty())
             return false;
         out = std::move(items_.front());
         items_.pop_front();
         lock.unlock();
-        not_full_.notify_one();
+        not_full_.notifyOne();
         return true;
     }
 
@@ -86,17 +86,17 @@ class BoundedQueue
     void close()
     {
         {
-            std::lock_guard<std::mutex> lock(mu_);
+            MutexLock lock(mu_);
             closed_ = true;
         }
-        not_full_.notify_all();
-        not_empty_.notify_all();
+        not_full_.notifyAll();
+        not_empty_.notifyAll();
     }
 
     /** Current queue depth. */
     size_t size() const
     {
-        std::lock_guard<std::mutex> lock(mu_);
+        MutexLock lock(mu_);
         return items_.size();
     }
 
@@ -106,17 +106,17 @@ class BoundedQueue
     /** True once close() has been called. */
     bool closed() const
     {
-        std::lock_guard<std::mutex> lock(mu_);
+        MutexLock lock(mu_);
         return closed_;
     }
 
   private:
-    mutable std::mutex mu_;
-    std::condition_variable not_full_;
-    std::condition_variable not_empty_;
-    std::deque<T> items_;
+    mutable Mutex mu_;
+    CondVar not_full_;
+    CondVar not_empty_;
+    std::deque<T> items_ GUARDED_BY(mu_);
     const size_t capacity_;
-    bool closed_ = false;
+    bool closed_ GUARDED_BY(mu_) = false;
 };
 
 } // namespace reuse

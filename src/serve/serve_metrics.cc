@@ -5,7 +5,7 @@ namespace reuse {
 void
 ServeMetrics::reset()
 {
-    std::lock_guard<std::mutex> lock(snapshot_mu_);
+    MutexLock lock(snapshot_mu_);
     frames_submitted_.store(0, std::memory_order_relaxed);
     frames_completed_.store(0, std::memory_order_relaxed);
     sessions_opened_.store(0, std::memory_order_relaxed);
@@ -27,7 +27,7 @@ ServeMetrics::publishTo(StatRegistry &registry,
     // reset() walks the counters reads a half-reset mix (completed
     // already zeroed, submitted not yet — a snapshot that never
     // existed).
-    std::lock_guard<std::mutex> lock(snapshot_mu_);
+    MutexLock lock(snapshot_mu_);
     // Counter::set() replaces the value atomically: the previous
     // reset()+add() pair could interleave with a concurrent publisher
     // and lose or double a sample.

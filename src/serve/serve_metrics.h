@@ -13,11 +13,11 @@
 
 #include <atomic>
 #include <cstdint>
-#include <mutex>
 #include <string>
 
 #include "common/latency_histogram.h"
 #include "common/stats.h"
+#include "common/sync.h"
 
 namespace reuse {
 
@@ -154,7 +154,7 @@ class ServeMetrics
      * lock-free; samples recorded while reset() runs may land on
      * either side of it.
      */
-    void reset();
+    void reset() EXCLUDES(snapshot_mu_);
 
     /**
      * Writes a snapshot of all metrics into `registry` under
@@ -162,15 +162,19 @@ class ServeMetrics
      * serve.latency_p99_us).
      */
     void publishTo(StatRegistry &registry,
-                   const std::string &prefix = "serve") const;
+                   const std::string &prefix = "serve") const
+        EXCLUDES(snapshot_mu_);
 
   private:
     /**
      * Serializes reset() against publishTo() so published snapshots
      * are never torn across a reset.  Never taken on the per-frame
-     * recording paths.
+     * recording paths.  The counters below stay lock-free atomics on
+     * purpose (workers bump them every frame), so they carry no
+     * GUARDED_BY; the mutex orders whole reset/publish passes, not
+     * individual accesses.
      */
-    mutable std::mutex snapshot_mu_;
+    mutable Mutex snapshot_mu_;
     std::atomic<uint64_t> frames_submitted_{0};
     std::atomic<uint64_t> frames_completed_{0};
     std::atomic<uint64_t> sessions_opened_{0};

@@ -14,7 +14,7 @@ Session::Session(SessionId id, const ReuseEngine &engine, uint64_t seed)
 Session::Snapshot
 Session::snapshot() const
 {
-    std::lock_guard<std::mutex> lock(state_mu_);
+    MutexLock lock(state_mu_);
     Snapshot snap;
     snap.framesCompleted = frames_completed_;
     snap.evictions = evictions_;
@@ -32,7 +32,7 @@ Session::snapshot() const
 std::vector<LayerReuseStats>
 Session::layerStats() const
 {
-    std::lock_guard<std::mutex> lock(state_mu_);
+    MutexLock lock(state_mu_);
     return stats_.layers();
 }
 

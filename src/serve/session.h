@@ -31,9 +31,9 @@
 #include <cstdint>
 #include <deque>
 #include <future>
-#include <mutex>
 #include <vector>
 
+#include "common/sync.h"
 #include "core/reuse_engine.h"
 #include "tensor/tensor.h"
 
@@ -129,42 +129,42 @@ class Session
     const uint64_t seed_;
     const ReuseEngine &engine_;
 
-    // --- Scheduling half, guarded by queue_mu_ -----------------------
-    std::mutex queue_mu_;
-    std::deque<FrameRequest> pending_;
+    // --- Scheduling half ---------------------------------------------
+    Mutex queue_mu_;
+    std::deque<FrameRequest> pending_ GUARDED_BY(queue_mu_);
     /** True while the session sits in the run queue or executes. */
-    bool inflight_ = false;
+    bool inflight_ GUARDED_BY(queue_mu_) = false;
     /** Set by closeSession(); rejects further submits. */
-    bool closing_ = false;
+    bool closing_ GUARDED_BY(queue_mu_) = false;
     /** Next frame index to assign at submit time. */
-    uint64_t next_frame_index_ = 0;
+    uint64_t next_frame_index_ GUARDED_BY(queue_mu_) = 0;
 
-    // --- Execution half, guarded by state_mu_ ------------------------
-    mutable std::mutex state_mu_;
-    ReuseState state_;
-    ReuseStatsCollector stats_;
-    uint64_t frames_completed_ = 0;
-    uint64_t evictions_ = 0;
+    // --- Execution half ----------------------------------------------
+    mutable Mutex state_mu_;
+    ReuseState state_ GUARDED_BY(state_mu_);
+    ReuseStatsCollector stats_ GUARDED_BY(state_mu_);
+    uint64_t frames_completed_ GUARDED_BY(state_mu_) = 0;
+    uint64_t evictions_ GUARDED_BY(state_mu_) = 0;
     /** True between an eviction and the next executed frame. */
-    bool evicted_since_last_frame_ = false;
-    std::vector<uint64_t> cold_frames_;
+    bool evicted_since_last_frame_ GUARDED_BY(state_mu_) = false;
+    std::vector<uint64_t> cold_frames_ GUARDED_BY(state_mu_);
     /**
      * Checksum of state_ stamped after the previous frame; compared
      * on dequeue when Config::validateState is set.  Invalidated by
      * evictions (the manager mutates state_ legitimately).
      */
-    uint64_t state_checksum_ = 0;
-    bool checksum_valid_ = false;
-    uint64_t corruption_recoveries_ = 0;
-    uint64_t dropped_frames_ = 0;
-    uint64_t duplicated_frames_ = 0;
+    uint64_t state_checksum_ GUARDED_BY(state_mu_) = 0;
+    bool checksum_valid_ GUARDED_BY(state_mu_) = false;
+    uint64_t corruption_recoveries_ GUARDED_BY(state_mu_) = 0;
+    uint64_t dropped_frames_ GUARDED_BY(state_mu_) = 0;
+    uint64_t duplicated_frames_ GUARDED_BY(state_mu_) = 0;
     /** Last frame's output, replayed for dropped frames. */
-    Tensor last_output_;
-    bool has_last_output_ = false;
+    Tensor last_output_ GUARDED_BY(state_mu_);
+    bool has_last_output_ GUARDED_BY(state_mu_) = false;
 
-    // --- SessionManager accounting, guarded by the manager ----------
-    int64_t charged_bytes_ = 0;
-    uint64_t last_used_tick_ = 0;
+    // The manager's per-session accounting (charged bytes, LRU tick)
+    // lives in SessionManager::Entry under the manager lock — a
+    // member here could not name that lock in a GUARDED_BY.
 };
 
 } // namespace reuse

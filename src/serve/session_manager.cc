@@ -24,8 +24,9 @@ SessionManager::tryCreate(const ReuseEngine &engine, uint64_t seed)
         return admission;
     admission.session =
         std::make_shared<Session>(allocateId(), engine, seed);
-    std::lock_guard<std::mutex> lock(mu_);
-    sessions_.emplace(admission.session->id(), admission.session);
+    MutexLock lock(mu_);
+    sessions_.emplace(admission.session->id(),
+                      Entry{admission.session, 0, 0});
     return admission;
 }
 
@@ -44,35 +45,35 @@ SessionManager::create(const ReuseEngine &engine, uint64_t seed)
 std::shared_ptr<Session>
 SessionManager::find(SessionId id) const
 {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     auto it = sessions_.find(id);
-    return it == sessions_.end() ? nullptr : it->second;
+    return it == sessions_.end() ? nullptr : it->second.session;
 }
 
 void
 SessionManager::remove(SessionId id)
 {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     auto it = sessions_.find(id);
     if (it == sessions_.end())
         return;
-    charged_.fetch_sub(it->second->charged_bytes_,
+    charged_.fetch_sub(it->second.chargedBytes,
                        std::memory_order_relaxed);
     sessions_.erase(it);
 }
 
 void
-SessionManager::evictLocked(Session &victim)
+SessionManager::evictLocked(Entry &entry, Session &victim)
 {
-    const int64_t held = victim.charged_bytes_;
+    const int64_t held = entry.chargedBytes;
     victim.state_.releaseBuffers();
     const int64_t residual = victim.state_.memoryBytes();
     obs::recordInstant(obs::SpanKind::Eviction, -1, held - residual,
                        charged_.load(std::memory_order_relaxed), 0, 0,
                        victim.id_, victim.frames_completed_);
-    charged_.fetch_add(residual - victim.charged_bytes_,
+    charged_.fetch_add(residual - entry.chargedBytes,
                        std::memory_order_relaxed);
-    victim.charged_bytes_ = residual;
+    entry.chargedBytes = residual;
     victim.evictions_ += 1;
     victim.evicted_since_last_frame_ = true;
     // The eviction legitimately mutates the state the checksum
@@ -90,45 +91,50 @@ SessionManager::enforceBudgetLocked(const Session *exclude)
         return;
     while (charged_.load(std::memory_order_relaxed) >
            config_.memoryBudgetBytes) {
-        Session *victim = nullptr;
+        Entry *victim = nullptr;
         uint64_t oldest = std::numeric_limits<uint64_t>::max();
         for (auto &kv : sessions_) {
-            Session *s = kv.second.get();
-            if (s == exclude || s->charged_bytes_ <= 0)
+            Entry &entry = kv.second;
+            if (entry.session.get() == exclude ||
+                entry.chargedBytes <= 0)
                 continue;
-            if (s->last_used_tick_ < oldest) {
-                oldest = s->last_used_tick_;
-                victim = s;
+            if (entry.lastUsedTick < oldest) {
+                oldest = entry.lastUsedTick;
+                victim = &entry;
             }
         }
         if (victim == nullptr)
             return;     // nothing evictable; tolerate over-budget
         // Skip (and stop considering) sessions mid-execution: their
         // tick will be re-bumped when they finish anyway.
-        std::unique_lock<std::mutex> state_lock(victim->state_mu_,
-                                                std::try_to_lock);
-        if (!state_lock.owns_lock()) {
+        Session &s = *victim->session;
+        if (!s.state_mu_.tryLock()) {
             // Pretend it was just used so the scan moves on.
-            victim->last_used_tick_ = ++tick_;
+            victim->lastUsedTick = ++tick_;
             continue;
         }
-        evictLocked(*victim);
+        evictLocked(*victim, s);
+        s.state_mu_.unlock();
     }
 }
 
 void
 SessionManager::noteExecution(Session &session)
 {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
+    auto it = sessions_.find(session.id());
+    if (it == sessions_.end())
+        return;     // raced with remove(); nothing left to account
+    Entry &entry = it->second;
     int64_t bytes = 0;
     {
-        std::lock_guard<std::mutex> state_lock(session.state_mu_);
+        MutexLock state_lock(session.state_mu_);
         bytes = session.state_.memoryBytes();
     }
-    charged_.fetch_add(bytes - session.charged_bytes_,
+    charged_.fetch_add(bytes - entry.chargedBytes,
                        std::memory_order_relaxed);
-    session.charged_bytes_ = bytes;
-    session.last_used_tick_ = ++tick_;
+    entry.chargedBytes = bytes;
+    entry.lastUsedTick = ++tick_;
     enforceBudgetLocked(&session);
 }
 
@@ -144,31 +150,32 @@ SessionManager::noteCorruptionRecovery(Session &session)
 bool
 SessionManager::forceEvict(SessionId id)
 {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     auto it = sessions_.find(id);
     if (it == sessions_.end())
         return false;
-    Session &victim = *it->second;
-    std::lock_guard<std::mutex> state_lock(victim.state_mu_);
-    evictLocked(victim);
+    Entry &entry = it->second;
+    Session &victim = *entry.session;
+    MutexLock state_lock(victim.state_mu_);
+    evictLocked(entry, victim);
     return true;
 }
 
 size_t
 SessionManager::sessionCount() const
 {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     return sessions_.size();
 }
 
 std::vector<std::shared_ptr<Session>>
 SessionManager::sessions() const
 {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     std::vector<std::shared_ptr<Session>> out;
     out.reserve(sessions_.size());
     for (const auto &kv : sessions_)
-        out.push_back(kv.second);
+        out.push_back(kv.second.session);
     return out;
 }
 

@@ -25,11 +25,11 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 #include <vector>
 
 #include "analysis/diagnostics.h"
+#include "common/sync.h"
 #include "serve/serve_metrics.h"
 #include "serve/session.h"
 
@@ -101,7 +101,7 @@ class SessionManager
      * buffer bytes, bumps its LRU tick, and evicts LRU sessions while
      * over budget.  Sessions currently executing are skipped.
      */
-    void noteExecution(Session &session);
+    void noteExecution(Session &session) EXCLUDES(session.state_mu_);
 
     /**
      * Deterministically evicts one session's reuse buffers (test and
@@ -115,7 +115,8 @@ class SessionManager
      * `session` and re-warmed it.  Called with the session's
      * state_mu_ held (takes no manager lock).
      */
-    void noteCorruptionRecovery(Session &session);
+    void noteCorruptionRecovery(Session &session)
+        REQUIRES(session.state_mu_);
 
     /** Total corruption recoveries across all sessions. */
     uint64_t corruptionRecoveryCount() const
@@ -158,25 +159,37 @@ class SessionManager
 
   private:
     /**
-     * Evicts LRU sessions until the charge fits the budget; `exclude`
-     * (the session that just ran) is never a victim.  Caller holds
-     * mu_.
+     * One registered session plus the manager's accounting for it.
+     * The accounting lives here — not on the Session — so it can be
+     * statically tied to the manager lock that actually guards it.
      */
-    void enforceBudgetLocked(const Session *exclude);
+    struct Entry {
+        std::shared_ptr<Session> session;
+        /** Bytes of reuse buffers currently charged to the budget. */
+        int64_t chargedBytes = 0;
+        /** LRU clock; larger = more recently executed. */
+        uint64_t lastUsedTick = 0;
+    };
 
-    /** Releases one session's buffers and fixes accounting; caller
-     *  holds mu_ and victim.state_mu_. */
-    void evictLocked(Session &victim);
+    /**
+     * Evicts LRU sessions until the charge fits the budget; `exclude`
+     * (the session that just ran) is never a victim.
+     */
+    void enforceBudgetLocked(const Session *exclude) REQUIRES(mu_);
 
-    mutable std::mutex mu_;
+    /** Releases one session's buffers and fixes the accounting. */
+    void evictLocked(Entry &entry, Session &victim)
+        REQUIRES(mu_, victim.state_mu_);
+
+    mutable Mutex mu_;
     Config config_;
     ServeMetrics *metrics_;
-    std::unordered_map<SessionId, std::shared_ptr<Session>> sessions_;
+    std::unordered_map<SessionId, Entry> sessions_ GUARDED_BY(mu_);
     std::atomic<int64_t> charged_{0};
     std::atomic<uint64_t> evictions_{0};
     std::atomic<uint64_t> corruption_recoveries_{0};
     std::atomic<uint64_t> next_id_{1};
-    uint64_t tick_ = 0;
+    uint64_t tick_ GUARDED_BY(mu_) = 0;
 };
 
 } // namespace reuse

@@ -104,7 +104,7 @@ StreamingServer::submitFrame(SessionId id, Tensor input)
     bool need_enqueue = false;
     uint64_t frame_index = 0;
     {
-        std::lock_guard<std::mutex> lock(session->queue_mu_);
+        MutexLock lock(session->queue_mu_);
         REUSE_ASSERT(!session->closing_,
                      "session " << id << " is closing");
         frame_index = session->next_frame_index_++;
@@ -133,7 +133,7 @@ StreamingServer::submitFrame(SessionId id, Tensor input)
     if (need_enqueue && !queue_.push(session)) {
         // Server stopped between the checks; the pending request's
         // promise will be broken when the session is destroyed.
-        std::lock_guard<std::mutex> lock(session->queue_mu_);
+        MutexLock lock(session->queue_mu_);
         session->inflight_ = false;
     }
     return future;
@@ -159,7 +159,7 @@ StreamingServer::trySubmitFrame(SessionId id, Tensor input)
     std::future<Tensor> future = req.result.get_future();
 
     {
-        std::lock_guard<std::mutex> lock(session->queue_mu_);
+        MutexLock lock(session->queue_mu_);
         REUSE_ASSERT(!session->closing_,
                      "session " << id << " is closing");
         if (config_.maxPendingPerSession > 0 &&
@@ -202,7 +202,7 @@ StreamingServer::debugCorruptSessionState(SessionId id, uint64_t seed)
 {
     std::shared_ptr<Session> session = manager_.find(id);
     REUSE_ASSERT(session != nullptr, "unknown session " << id);
-    std::lock_guard<std::mutex> lock(session->state_mu_);
+    MutexLock lock(session->state_mu_);
     return session->state_.debugCorruptBuffer(seed);
 }
 
@@ -233,7 +233,7 @@ StreamingServer::executeFrame(Session &session, FrameRequest &req)
     Tensor output;
     ExecutionTrace trace;
     {
-        std::lock_guard<std::mutex> lock(session.state_mu_);
+        MutexLock lock(session.state_mu_);
         if (dropped && session.has_last_output_) {
             // Stale-prediction delivery: answer with the previous
             // frame's output and leave the reuse state untouched, so
@@ -291,7 +291,7 @@ StreamingServer::workerLoop()
     while (queue_.pop(session)) {
         FrameRequest req;
         {
-            std::lock_guard<std::mutex> lock(session->queue_mu_);
+            MutexLock lock(session->queue_mu_);
             REUSE_ASSERT(!session->pending_.empty(),
                          "scheduled session has no pending frame");
             req = std::move(session->pending_.front());
@@ -306,7 +306,7 @@ StreamingServer::workerLoop()
 
         bool more = false;
         {
-            std::lock_guard<std::mutex> lock(session->queue_mu_);
+            MutexLock lock(session->queue_mu_);
             more = !session->pending_.empty();
             if (!more)
                 session->inflight_ = false;
@@ -316,9 +316,9 @@ StreamingServer::workerLoop()
 
         outstanding_.fetch_sub(1, std::memory_order_relaxed);
         {
-            std::lock_guard<std::mutex> lock(drain_mu_);
+            MutexLock lock(drain_mu_);
         }
-        drain_cv_.notify_all();
+        drain_cv_.notifyAll();
         session.reset();
     }
 }
@@ -326,10 +326,9 @@ StreamingServer::workerLoop()
 void
 StreamingServer::drain()
 {
-    std::unique_lock<std::mutex> lock(drain_mu_);
-    drain_cv_.wait(lock, [&] {
-        return outstanding_.load(std::memory_order_relaxed) == 0;
-    });
+    MutexLock lock(drain_mu_);
+    while (outstanding_.load(std::memory_order_relaxed) != 0)
+        drain_cv_.wait(lock);
 }
 
 void
@@ -338,16 +337,20 @@ StreamingServer::closeSession(SessionId id)
     std::shared_ptr<Session> session = manager_.find(id);
     REUSE_ASSERT(session != nullptr, "unknown session " << id);
     {
-        std::lock_guard<std::mutex> lock(session->queue_mu_);
+        MutexLock lock(session->queue_mu_);
         session->closing_ = true;
     }
     // Wait for this session's pending frames to finish.
     {
-        std::unique_lock<std::mutex> lock(drain_mu_);
-        drain_cv_.wait(lock, [&] {
-            std::lock_guard<std::mutex> qlock(session->queue_mu_);
-            return session->pending_.empty() && !session->inflight_;
-        });
+        MutexLock lock(drain_mu_);
+        for (;;) {
+            {
+                MutexLock qlock(session->queue_mu_);
+                if (session->pending_.empty() && !session->inflight_)
+                    break;
+            }
+            drain_cv_.wait(lock);
+        }
     }
     manager_.remove(id);
     metrics_.sessionClosed();

@@ -26,7 +26,6 @@
 #define REUSE_DNN_SERVE_STREAMING_SERVER_H
 
 #include <atomic>
-#include <condition_variable>
 #include <future>
 #include <map>
 #include <memory>
@@ -35,6 +34,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/sync.h"
 #include "obs/reservoir.h"
 #include "serve/bounded_queue.h"
 #include "serve/serve_metrics.h"
@@ -200,9 +200,15 @@ class StreamingServer
     /** Recent admission-queue depths (submit-side observations). */
     obs::SlidingWindowReservoir queue_depth_window_;
 
+    /**
+     * Count of submitted-but-incomplete frames.  Atomic (workers
+     * decrement it outside any lock); drain_mu_/drain_cv_ only order
+     * the sleep/wake handshake of drain() and closeSession() against
+     * worker completions, so the counter carries no GUARDED_BY.
+     */
     std::atomic<uint64_t> outstanding_{0};
-    std::mutex drain_mu_;
-    std::condition_variable drain_cv_;
+    Mutex drain_mu_;
+    CondVar drain_cv_;
     std::atomic<bool> stopped_{false};
 };
 

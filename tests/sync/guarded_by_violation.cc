@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Negative-compile fixture for the thread-safety annotations.
+ *
+ * This translation unit reads and writes a GUARDED_BY member without
+ * holding its mutex.  Under Clang with -Werror=thread-safety-analysis
+ * it MUST fail to compile — that failure is the test.  Under GCC the
+ * annotations expand to nothing and the file compiles cleanly, which
+ * the harness treats as the expected outcome (the analysis only runs
+ * under Clang; see tests/sync/negative_compile.cmake).
+ *
+ * Never add this file to any library or executable target.
+ */
+
+#include "common/sync.h"
+
+namespace {
+
+class Counter
+{
+  public:
+    void increment()
+    {
+        // BUG (deliberate): value_ is written without locking mu_.
+        ++value_;
+    }
+
+    int unsafeRead() const
+    {
+        // BUG (deliberate): value_ is read without locking mu_.
+        return value_;
+    }
+
+  private:
+    mutable reuse::Mutex mu_;
+    int value_ GUARDED_BY(mu_) = 0;
+};
+
+} // namespace
+
+int
+main()
+{
+    Counter c;
+    c.increment();
+    return c.unsafeRead() == 1 ? 0 : 1;
+}

@@ -1,0 +1,49 @@
+# Negative-compile test driver, run by ctest (see tests/CMakeLists.txt):
+#
+#   cmake -P negative_compile.cmake  (with -DCOMPILER=... -DCOMPILER_ID=...
+#                                     -DSOURCE=... -DINCLUDE_DIR=...)
+#
+# Compiles tests/sync/guarded_by_violation.cc, which accesses a
+# GUARDED_BY member without its lock:
+#
+#  - Clang: the thread-safety analysis must REJECT it.  Compiling
+#    cleanly means the annotations are inert -> test fails.
+#  - GCC (no analysis; the sync.h macros expand to nothing): it must
+#    compile CLEANLY.  A failure means the annotation macros broke the
+#    non-Clang build -> test fails.
+
+if(NOT COMPILER OR NOT COMPILER_ID OR NOT SOURCE OR NOT INCLUDE_DIR)
+    message(FATAL_ERROR "usage: cmake -DCOMPILER=... -DCOMPILER_ID=... "
+                        "-DSOURCE=... -DINCLUDE_DIR=... -P negative_compile.cmake")
+endif()
+
+set(flags -std=c++20 -fsyntax-only -I${INCLUDE_DIR})
+if(COMPILER_ID MATCHES "Clang")
+    list(APPEND flags -Wthread-safety -Werror=thread-safety-analysis)
+endif()
+
+execute_process(
+    COMMAND ${COMPILER} ${flags} ${SOURCE}
+    RESULT_VARIABLE rc
+    OUTPUT_VARIABLE out
+    ERROR_VARIABLE err)
+
+if(COMPILER_ID MATCHES "Clang")
+    if(rc EQUAL 0)
+        message(FATAL_ERROR
+            "GUARDED_BY violation compiled cleanly under Clang; the "
+            "thread-safety annotations are not being enforced")
+    endif()
+    if(NOT err MATCHES "thread-safety")
+        message(FATAL_ERROR
+            "compile failed, but not with a thread-safety diagnostic:\n${err}")
+    endif()
+    message(STATUS "thread-safety analysis rejected the violation, as required")
+else()
+    if(NOT rc EQUAL 0)
+        message(FATAL_ERROR
+            "annotation macros must be inert off-Clang, but the fixture "
+            "failed to compile with ${COMPILER_ID}:\n${err}")
+    endif()
+    message(STATUS "annotations inert under ${COMPILER_ID}, as required")
+endif()

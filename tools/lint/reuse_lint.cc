@@ -1,0 +1,389 @@
+/**
+ * @file
+ * Project lint: mechanical rules the compiler cannot express, run
+ * over the CMake compilation database (compile_commands.json) plus
+ * every header under src/.  Exit status is the number of findings
+ * (0 = clean), so CI can gate on it directly.
+ *
+ * Rules (suppress a line with a NOLINT(reuse-lint) comment):
+ *
+ *  raw-sync       std::mutex & friends (lock_guard, unique_lock,
+ *                 condition_variable, shared_mutex, ...) and their
+ *                 headers are forbidden in src/ outside
+ *                 common/sync.h: all locking goes through the
+ *                 annotated wrappers so Clang's thread-safety
+ *                 analysis sees every acquisition.
+ *
+ *  banned-call    rand()/srand()/time() are forbidden in src/: all
+ *                 randomness derives from seeded SplitMix streams
+ *                 (common/random.h) and all timing from
+ *                 std::chrono, or runs stop being reproducible.
+ *
+ *  trace-event    The raw TraceEvent record type is obs-internal;
+ *                 code outside src/obs must emit spans through the
+ *                 RAII TraceSpan/FrameTraceScope or the
+ *                 recordInstant/recordSpanAt helpers, which honor
+ *                 sampling and never leak an unclosed span.
+ *
+ *  float-format   Floating-point formatting (%f/%g/%e specs,
+ *                 setprecision) is forbidden in ir/compiled_plan.cc:
+ *                 the plan dump is a golden artifact diffed in CI,
+ *                 and float text is locale/libc-rounding dependent
+ *                 (integers only; scale fixed-point instead).
+ *
+ * Comments and string literals are stripped before token matching
+ * (except float-format, which inspects string literals), so prose
+ * mentioning std::mutex does not count.
+ */
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+
+namespace {
+
+namespace fs = std::filesystem;
+
+struct Finding {
+    std::string file;
+    size_t line = 0;
+    std::string rule;
+    std::string message;
+};
+
+/** One physical line split into lint-relevant channels. */
+struct Line {
+    /** Code with comments and string/char literals blanked out. */
+    std::string code;
+    /** Concatenated string-literal contents on this line. */
+    std::string strings;
+    /** True when a comment on this line contains NOLINT. */
+    bool suppressed = false;
+};
+
+/**
+ * Splits a source file into per-line code/string/comment channels.
+ * Handles //, yes-really-nested-looking /<*>...<*>/ blocks, string
+ * and char literals with escapes.  Raw strings are rare in this
+ * codebase and treated as plain strings (good enough for linting).
+ */
+std::vector<Line>
+splitChannels(const std::string &text)
+{
+    std::vector<Line> lines(1);
+    enum class State { Code, LineComment, BlockComment, Str, Chr };
+    State state = State::Code;
+    std::string comment;
+
+    auto endLine = [&](Line &line) {
+        if (comment.find("NOLINT") != std::string::npos)
+            line.suppressed = true;
+        comment.clear();
+    };
+
+    for (size_t i = 0; i < text.size(); ++i) {
+        const char c = text[i];
+        const char next = i + 1 < text.size() ? text[i + 1] : '\0';
+        Line &line = lines.back();
+        if (c == '\n') {
+            endLine(line);
+            if (state == State::LineComment)
+                state = State::Code;
+            lines.emplace_back();
+            continue;
+        }
+        switch (state) {
+          case State::Code:
+            if (c == '/' && next == '/') {
+                state = State::LineComment;
+                ++i;
+            } else if (c == '/' && next == '*') {
+                state = State::BlockComment;
+                ++i;
+            } else if (c == '"') {
+                state = State::Str;
+                line.code.push_back(' ');
+            } else if (c == '\'') {
+                state = State::Chr;
+                line.code.push_back(' ');
+            } else {
+                line.code.push_back(c);
+            }
+            break;
+          case State::LineComment:
+            comment.push_back(c);
+            break;
+          case State::BlockComment:
+            comment.push_back(c);
+            if (c == '*' && next == '/') {
+                state = State::Code;
+                ++i;
+            }
+            break;
+          case State::Str:
+            if (c == '\\') {
+                line.strings.push_back(c);
+                if (next != '\0') {
+                    line.strings.push_back(next);
+                    ++i;
+                }
+            } else if (c == '"') {
+                state = State::Code;
+            } else {
+                line.strings.push_back(c);
+            }
+            break;
+          case State::Chr:
+            if (c == '\\' && next != '\0') {
+                ++i;
+            } else if (c == '\'') {
+                state = State::Code;
+            }
+            break;
+        }
+    }
+    endLine(lines.back());
+    return lines;
+}
+
+bool
+isIdentChar(char c)
+{
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+/** True when `code` contains `ident` as a whole identifier. */
+bool
+hasIdentifier(const std::string &code, const std::string &ident)
+{
+    size_t pos = 0;
+    while ((pos = code.find(ident, pos)) != std::string::npos) {
+        const bool bounded_left =
+            pos == 0 || !isIdentChar(code[pos - 1]);
+        const size_t end = pos + ident.size();
+        const bool bounded_right =
+            end >= code.size() || !isIdentChar(code[end]);
+        if (bounded_left && bounded_right)
+            return true;
+        pos = end;
+    }
+    return false;
+}
+
+/** True when `ident` appears as an identifier followed by '('. */
+bool
+hasCall(const std::string &code, const std::string &ident)
+{
+    size_t pos = 0;
+    while ((pos = code.find(ident, pos)) != std::string::npos) {
+        const bool bounded_left =
+            pos == 0 || !isIdentChar(code[pos - 1]);
+        size_t end = pos + ident.size();
+        const bool bounded_right =
+            end >= code.size() || !isIdentChar(code[end]);
+        if (bounded_left && bounded_right) {
+            while (end < code.size() && code[end] == ' ')
+                ++end;
+            if (end < code.size() && code[end] == '(')
+                return true;
+        }
+        pos = pos + ident.size();
+    }
+    return false;
+}
+
+/** True when a string literal carries a float printf spec. */
+bool
+hasFloatFormatSpec(const std::string &strings)
+{
+    for (size_t i = 0; i + 1 < strings.size(); ++i) {
+        if (strings[i] != '%')
+            continue;
+        size_t j = i + 1;
+        while (j < strings.size() &&
+               (std::isdigit(static_cast<unsigned char>(strings[j])) ||
+                strings[j] == '.' || strings[j] == '-' ||
+                strings[j] == '+' || strings[j] == ' ' ||
+                strings[j] == '#' || strings[j] == '*' ||
+                strings[j] == 'l' || strings[j] == 'L'))
+            ++j;
+        if (j < strings.size() &&
+            std::string("fFeEgGaA").find(strings[j]) !=
+                std::string::npos)
+            return true;
+    }
+    return false;
+}
+
+const char *const kRawSyncTypes[] = {
+    "mutex",          "timed_mutex",
+    "recursive_mutex", "recursive_timed_mutex",
+    "shared_mutex",   "shared_timed_mutex",
+    "lock_guard",     "unique_lock",
+    "shared_lock",    "scoped_lock",
+    "condition_variable", "condition_variable_any",
+};
+
+void
+lintFile(const fs::path &path, const fs::path &src_root,
+         std::vector<Finding> &findings)
+{
+    std::ifstream in(path);
+    if (!in) {
+        findings.push_back({path.string(), 0, "io",
+                            "cannot open file"});
+        return;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    const std::vector<Line> lines = splitChannels(buf.str());
+
+    const std::string rel =
+        fs::relative(path, src_root).generic_string();
+    const bool is_sync_header = rel == "common/sync.h";
+    const bool in_obs = rel.rfind("obs/", 0) == 0;
+    const bool is_plan_dump = rel == "ir/compiled_plan.cc";
+
+    for (size_t ln = 0; ln < lines.size(); ++ln) {
+        const Line &line = lines[ln];
+        if (line.suppressed)
+            continue;
+        const std::string &code = line.code;
+        auto report = [&](const char *rule, std::string msg) {
+            findings.push_back(
+                {path.string(), ln + 1, rule, std::move(msg)});
+        };
+
+        if (!is_sync_header) {
+            for (const char *type : kRawSyncTypes) {
+                const std::string qualified =
+                    std::string("std::") + type;
+                if (code.find(qualified) != std::string::npos &&
+                    hasIdentifier(code, type)) {
+                    report("raw-sync",
+                           qualified +
+                               " is forbidden outside common/sync.h;"
+                               " use the annotated wrappers");
+                    break;
+                }
+            }
+            const size_t inc = code.find("#include");
+            if (inc != std::string::npos) {
+                for (const char *header :
+                     {"<mutex>", "<shared_mutex>",
+                      "<condition_variable>"}) {
+                    if (code.find(header, inc) != std::string::npos)
+                        report("raw-sync",
+                               std::string("#include ") + header +
+                                   " is forbidden outside "
+                                   "common/sync.h");
+                }
+            }
+        }
+
+        for (const char *fn : {"rand", "srand", "time"}) {
+            if (hasCall(code, fn))
+                report("banned-call",
+                       std::string(fn) +
+                           "() breaks run reproducibility; use "
+                           "common/random.h streams / std::chrono");
+        }
+
+        if (!in_obs && hasIdentifier(code, "TraceEvent"))
+            report("trace-event",
+                   "raw TraceEvent is obs-internal; emit spans via "
+                   "TraceSpan/FrameTraceScope or recordInstant");
+
+        if (is_plan_dump) {
+            if (hasFloatFormatSpec(line.strings))
+                report("float-format",
+                       "float printf spec in the golden plan dump; "
+                       "emit integers only");
+            if (hasIdentifier(code, "setprecision"))
+                report("float-format",
+                       "setprecision in the golden plan dump; emit "
+                       "integers only");
+        }
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    fs::path db_path = argc > 1 ? argv[1] : "build";
+    if (fs::is_directory(db_path))
+        db_path /= "compile_commands.json";
+    if (!fs::exists(db_path)) {
+        std::cerr << "reuse_lint: no compilation database at "
+                  << db_path
+                  << " (configure with CMAKE_EXPORT_COMPILE_COMMANDS)"
+                  << "\n";
+        return 2;
+    }
+
+    const reuse::JsonParseResult db =
+        reuse::parseJsonFile(db_path.string());
+    if (!db.ok || !db.value.isArray()) {
+        std::cerr << "reuse_lint: cannot parse " << db_path << ": "
+                  << db.error << "\n";
+        return 2;
+    }
+
+    // Lint every TU under src/ that the build actually compiles ...
+    std::set<fs::path> files;
+    fs::path src_root;
+    for (const reuse::JsonValue &entry : db.value.asArray()) {
+        if (!entry.isObject() || !entry.has("file"))
+            continue;
+        fs::path file(entry.at("file").asString());
+        if (file.is_relative() && entry.has("directory"))
+            file = fs::path(entry.at("directory").asString()) / file;
+        file = file.lexically_normal();
+        // Find the .../src/ component that owns this TU.
+        for (fs::path p = file.parent_path(); p.has_parent_path();
+             p = p.parent_path()) {
+            if (p.filename() == "src") {
+                files.insert(file);
+                if (src_root.empty())
+                    src_root = p;
+                break;
+            }
+            if (p == p.parent_path())
+                break;
+        }
+    }
+    if (src_root.empty()) {
+        std::cerr << "reuse_lint: no src/ TUs in " << db_path << "\n";
+        return 2;
+    }
+    // ... plus every header under src/ (headers never appear in the
+    // compile DB but carry most of the locking declarations).
+    for (const auto &e : fs::recursive_directory_iterator(src_root)) {
+        if (e.is_regular_file() && e.path().extension() == ".h")
+            files.insert(e.path().lexically_normal());
+    }
+
+    std::vector<Finding> findings;
+    for (const fs::path &file : files)
+        lintFile(file, src_root, findings);
+
+    for (const Finding &f : findings)
+        std::cerr << f.file << ":" << f.line << ": [" << f.rule
+                  << "] " << f.message << "\n";
+    std::cerr << "reuse_lint: " << files.size() << " files, "
+              << findings.size() << " finding"
+              << (findings.size() == 1 ? "" : "s") << "\n";
+    return findings.empty() ? 0
+                            : static_cast<int>(
+                                  std::min<size_t>(findings.size(), 125));
+}
