@@ -5,13 +5,18 @@
  *  - default: google-benchmark suite of from-scratch versus
  *    reuse-based execution of FC and conv layers at several
  *    similarity levels;
- *  - `--json=PATH`: a hand-rolled scalar-versus-blocked comparison of
- *    the delta-update kernels that verifies bit-exactness while
- *    timing, writes machine-readable records (ns per delta update,
- *    effective GB/s, speedup per layer shape) to PATH, and with
- *    `--min-speedup=X` exits non-zero when any FC shape with >= 1024
- *    outputs at 10-40% changed inputs falls below X (the CI
- *    perf-smoke gate).
+ *  - `--json=PATH`: a hand-rolled scalar vs blocked vs SIMD
+ *    comparison of the delta-update kernels that verifies
+ *    bit-exactness while timing, writes machine-readable records
+ *    (ns per delta update, effective GB/s, % of the STREAM-style
+ *    memory peak probed at startup, speedups per layer shape) to
+ *    PATH, and with `--min-speedup=X` / `--min-simd-vs-blocked=Y`
+ *    exits non-zero when any FC shape with >= 1024 outputs at
+ *    10-40% changed inputs falls below the bound (the CI perf-smoke
+ *    gates);
+ *  - `--arch`: prints the kernel dispatch decision (compiled and
+ *    runnable families, the chosen arch, the REUSE_KERNELS
+ *    override) and the probed memory peak, then exits.
  *
  * These measure the host-side software kernels (not the modelled
  * accelerator) and demonstrate that the incremental algorithm also
@@ -28,10 +33,13 @@
 #include <string>
 #include <vector>
 
+#include "common/aligned.h"
 #include "common/random.h"
 #include "core/conv_reuse.h"
 #include "core/fc_reuse.h"
+#include "kernels/cpu_features.h"
 #include "kernels/delta_kernels.h"
+#include "kernels/dispatch.h"
 #include "nn/initializers.h"
 
 namespace reuse {
@@ -169,9 +177,15 @@ struct KernelRecord {
     int64_t changed = 0;
     double scalar_ns = 0.0;
     double blocked_ns = 0.0;
+    double simd_ns = 0.0;
+    /** scalar / blocked: what blocking + baseline-ISA autovec buys. */
     double speedup = 0.0;
+    /** blocked / simd: what the hand-written wide kernels add. */
+    double simd_vs_blocked = 0.0;
     double ns_per_delta_update = 0.0;
     double gbps = 0.0;
+    /** Effective GB/s as a percentage of the probed memory peak. */
+    double roofline_pct = 0.0;
     bool bit_exact = false;
 };
 
@@ -202,6 +216,40 @@ timeNs(int reps, int iters, Fn &&fn)
     return best;
 }
 
+/**
+ * STREAM-style triad probe of the attainable memory bandwidth: the
+ * roofline ceiling the delta kernels are measured against.  Three
+ * arrays well past L2 (48 MB total), a[i] = b[i] + s * c[i], best of
+ * several passes; 12 bytes of traffic per element (two reads, one
+ * write, STREAM counting).
+ */
+double
+probeMemoryPeakGbps()
+{
+    const int64_t n = 4 << 20;
+    AlignedVector<float> a(n, 1.0f), b(n, 2.0f), c(n, 3.0f);
+    const double ns = timeNs(5, 1, [&] {
+        float *pa = a.data();
+        const float *pb = b.data();
+        const float *pc = c.data();
+        for (int64_t i = 0; i < n; ++i)
+            pa[i] = pb[i] + 0.42f * pc[i];
+        benchmark::DoNotOptimize(pa[n - 1]);
+    });
+    return ns > 0.0 ? static_cast<double>(n) * 12.0 / ns : 0.0;
+}
+
+/** Single-threaded dispatch pinned to the process-wide arch choice. */
+kernels::DeltaDispatch
+simdDispatch()
+{
+    kernels::DeltaDispatch d = kernels::defaultDispatch();
+    // Single-threaded so GB/s and roofline share are per-core
+    // numbers, comparable across the scalar/blocked columns.
+    d.parallel_mac_threshold = -1;
+    return d;
+}
+
 /** Picks an iteration count so one measurement is ~milliseconds. */
 int
 itersFor(int64_t macs)
@@ -227,7 +275,8 @@ exactChanges(int64_t n, int64_t changed, Rng &rng)
 }
 
 KernelRecord
-benchFcDelta(int64_t n, int64_t m, double fraction, Rng &rng)
+benchFcDelta(int64_t n, int64_t m, double fraction, Rng &rng,
+             double peak_gbps)
 {
     KernelRecord rec;
     rec.kernel = "fc_delta";
@@ -236,26 +285,33 @@ benchFcDelta(int64_t n, int64_t m, double fraction, Rng &rng)
     rec.change_fraction = fraction;
     rec.changed = static_cast<int64_t>(fraction * n);
 
-    std::vector<float> weights(static_cast<size_t>(n * m));
+    AlignedVector<float> weights(static_cast<size_t>(n * m));
     rng.fillGaussian(weights, 0.0f, 0.1f);
-    std::vector<float> base(static_cast<size_t>(m));
+    AlignedVector<float> base(static_cast<size_t>(m));
     rng.fillGaussian(base, 0.0f, 1.0f);
     const kernels::ChangeList changes = exactChanges(n, rec.changed, rng);
+    const kernels::DeltaDispatch simd = simdDispatch();
 
     // Bit-exactness is part of the benchmark contract: a fast wrong
     // kernel must fail the gate.
-    std::vector<float> scalar_out = base;
-    std::vector<float> blocked_out = base;
+    AlignedVector<float> scalar_out = base;
+    AlignedVector<float> blocked_out = base;
+    AlignedVector<float> simd_out = base;
     kernels::applyDeltasScalar(changes, weights.data(), m,
                                scalar_out.data());
     kernels::applyDeltasBlocked(changes, weights.data(), m,
                                 blocked_out.data());
-    rec.bit_exact = std::memcmp(scalar_out.data(), blocked_out.data(),
-                                scalar_out.size() * sizeof(float)) == 0;
+    kernels::applyDeltas(changes, weights.data(), m, simd_out.data(),
+                         simd);
+    rec.bit_exact =
+        std::memcmp(scalar_out.data(), blocked_out.data(),
+                    scalar_out.size() * sizeof(float)) == 0 &&
+        std::memcmp(scalar_out.data(), simd_out.data(),
+                    scalar_out.size() * sizeof(float)) == 0;
 
     const int64_t macs = rec.changed * m;
     const int iters = itersFor(macs);
-    std::vector<float> out = base;
+    AlignedVector<float> out = base;
     rec.scalar_ns = timeNs(5, iters, [&] {
         kernels::applyDeltasScalar(changes, weights.data(), m,
                                    out.data());
@@ -265,19 +321,28 @@ benchFcDelta(int64_t n, int64_t m, double fraction, Rng &rng)
         kernels::applyDeltasBlocked(changes, weights.data(), m,
                                     out.data());
     });
+    out = base;
+    rec.simd_ns = timeNs(5, iters, [&] {
+        kernels::applyDeltas(changes, weights.data(), m, out.data(),
+                             simd);
+    });
     rec.speedup = rec.blocked_ns > 0.0 ? rec.scalar_ns / rec.blocked_ns
                                        : 0.0;
-    rec.ns_per_delta_update = rec.blocked_ns;
-    // Bytes streamed by the blocked form: one weight row per change
+    rec.simd_vs_blocked =
+        rec.simd_ns > 0.0 ? rec.blocked_ns / rec.simd_ns : 0.0;
+    rec.ns_per_delta_update = rec.simd_ns;
+    // Bytes streamed by the apply kernels: one weight row per change
     // plus one read+write of the output vector.
     const double bytes = static_cast<double>(rec.changed * m) * 4.0 +
                          static_cast<double>(m) * 8.0;
-    rec.gbps = rec.blocked_ns > 0.0 ? bytes / rec.blocked_ns : 0.0;
+    rec.gbps = rec.simd_ns > 0.0 ? bytes / rec.simd_ns : 0.0;
+    rec.roofline_pct =
+        peak_gbps > 0.0 ? 100.0 * rec.gbps / peak_gbps : 0.0;
     return rec;
 }
 
 KernelRecord
-benchFcGemv(int64_t n, int64_t m, Rng &rng)
+benchFcGemv(int64_t n, int64_t m, Rng &rng, double peak_gbps)
 {
     KernelRecord rec;
     rec.kernel = "fc_gemv";
@@ -286,25 +351,32 @@ benchFcGemv(int64_t n, int64_t m, Rng &rng)
     rec.change_fraction = 1.0;
     rec.changed = n;
 
-    std::vector<float> weights(static_cast<size_t>(n * m));
+    AlignedVector<float> weights(static_cast<size_t>(n * m));
     rng.fillGaussian(weights, 0.0f, 0.1f);
-    std::vector<float> biases(static_cast<size_t>(m));
+    AlignedVector<float> biases(static_cast<size_t>(m));
     rng.fillGaussian(biases, 0.0f, 1.0f);
-    std::vector<float> input(static_cast<size_t>(n));
+    AlignedVector<float> input(static_cast<size_t>(n));
     rng.fillGaussian(input, 0.0f, 1.0f);
+    const kernels::DeltaDispatch simd = simdDispatch();
 
-    std::vector<float> scalar_out(static_cast<size_t>(m));
-    std::vector<float> blocked_out(static_cast<size_t>(m));
+    AlignedVector<float> scalar_out(static_cast<size_t>(m));
+    AlignedVector<float> blocked_out(static_cast<size_t>(m));
+    AlignedVector<float> simd_out(static_cast<size_t>(m));
     kernels::gemvScalar(input.data(), n, weights.data(), biases.data(),
                         m, scalar_out.data());
     kernels::gemvBlockedRange(input.data(), n, weights.data(),
                               biases.data(), m, 0, m,
                               blocked_out.data());
-    rec.bit_exact = std::memcmp(scalar_out.data(), blocked_out.data(),
-                                scalar_out.size() * sizeof(float)) == 0;
+    kernels::gemv(input.data(), n, weights.data(), biases.data(), m,
+                  simd_out.data(), simd);
+    rec.bit_exact =
+        std::memcmp(scalar_out.data(), blocked_out.data(),
+                    scalar_out.size() * sizeof(float)) == 0 &&
+        std::memcmp(scalar_out.data(), simd_out.data(),
+                    scalar_out.size() * sizeof(float)) == 0;
 
     const int iters = itersFor(n * m);
-    std::vector<float> out(static_cast<size_t>(m));
+    AlignedVector<float> out(static_cast<size_t>(m));
     rec.scalar_ns = timeNs(5, iters, [&] {
         kernels::gemvScalar(input.data(), n, weights.data(),
                             biases.data(), m, out.data());
@@ -313,35 +385,52 @@ benchFcGemv(int64_t n, int64_t m, Rng &rng)
         kernels::gemvBlockedRange(input.data(), n, weights.data(),
                                   biases.data(), m, 0, m, out.data());
     });
+    rec.simd_ns = timeNs(5, iters, [&] {
+        kernels::gemv(input.data(), n, weights.data(), biases.data(),
+                      m, out.data(), simd);
+    });
     rec.speedup = rec.blocked_ns > 0.0 ? rec.scalar_ns / rec.blocked_ns
                                        : 0.0;
-    rec.ns_per_delta_update = rec.blocked_ns;
+    rec.simd_vs_blocked =
+        rec.simd_ns > 0.0 ? rec.blocked_ns / rec.simd_ns : 0.0;
+    rec.ns_per_delta_update = rec.simd_ns;
     const double bytes = static_cast<double>(n * m) * 4.0 +
                          static_cast<double>(m) * 8.0;
-    rec.gbps = rec.blocked_ns > 0.0 ? bytes / rec.blocked_ns : 0.0;
+    rec.gbps = rec.simd_ns > 0.0 ? bytes / rec.simd_ns : 0.0;
+    rec.roofline_pct =
+        peak_gbps > 0.0 ? 100.0 * rec.gbps / peak_gbps : 0.0;
     return rec;
 }
 
 void
 writeJson(const std::string &path,
-          const std::vector<KernelRecord> &records)
+          const std::vector<KernelRecord> &records, double peak_gbps)
 {
     std::ofstream out(path);
-    out << "{\n  \"bench\": \"micro_kernels\",\n  \"records\": [\n";
+    out << "{\n  \"bench\": \"micro_kernels\",\n  \"arch\": \""
+        << kernels::archName(kernels::defaultDispatch().arch)
+        << "\",\n";
+    char peak[64];
+    std::snprintf(peak, sizeof(peak),
+                  "  \"memory_peak_gbps\": %.3f,\n", peak_gbps);
+    out << peak << "  \"records\": [\n";
     for (size_t i = 0; i < records.size(); ++i) {
         const KernelRecord &r = records[i];
-        char buf[512];
+        char buf[768];
         std::snprintf(
             buf, sizeof(buf),
             "    {\"kernel\": \"%s\", \"n\": %lld, \"m\": %lld, "
             "\"change_fraction\": %.2f, \"changed\": %lld, "
             "\"scalar_ns\": %.1f, \"blocked_ns\": %.1f, "
-            "\"ns_per_delta_update\": %.1f, \"speedup\": %.3f, "
-            "\"effective_gbps\": %.3f, \"bit_exact\": %s}%s\n",
+            "\"simd_ns\": %.1f, \"ns_per_delta_update\": %.1f, "
+            "\"speedup\": %.3f, \"simd_vs_blocked\": %.3f, "
+            "\"effective_gbps\": %.3f, \"roofline_pct\": %.1f, "
+            "\"bit_exact\": %s}%s\n",
             r.kernel.c_str(), static_cast<long long>(r.n),
             static_cast<long long>(r.m), r.change_fraction,
             static_cast<long long>(r.changed), r.scalar_ns,
-            r.blocked_ns, r.ns_per_delta_update, r.speedup, r.gbps,
+            r.blocked_ns, r.simd_ns, r.ns_per_delta_update, r.speedup,
+            r.simd_vs_blocked, r.gbps, r.roofline_pct,
             r.bit_exact ? "true" : "false",
             i + 1 < records.size() ? "," : "");
         out << buf;
@@ -350,13 +439,19 @@ writeJson(const std::string &path,
 }
 
 /**
- * Runs the scalar-versus-blocked comparison, writes `json_path`, and
- * returns the process exit code (non-zero when bit-exactness fails
- * or a gated shape misses `min_speedup`).
+ * Runs the scalar vs blocked vs SIMD comparison, writes `json_path`,
+ * and returns the process exit code (non-zero when bit-exactness
+ * fails or a gated shape misses `min_speedup` /
+ * `min_simd_vs_blocked`).
  */
 int
-runJsonBench(const std::string &json_path, double min_speedup)
+runJsonBench(const std::string &json_path, double min_speedup,
+             double min_simd_vs_blocked)
 {
+    const double peak_gbps = probeMemoryPeakGbps();
+    std::printf("arch %s, memory peak %.2f GB/s\n",
+                kernels::archName(kernels::defaultDispatch().arch),
+                peak_gbps);
     Rng rng(7);
     std::vector<KernelRecord> records;
     const struct {
@@ -364,30 +459,33 @@ runJsonBench(const std::string &json_path, double min_speedup)
     } shapes[] = {{400, 2000}, {1152, 1164}, {1024, 1024}, {512, 4096}};
     for (const auto &s : shapes) {
         for (const double fraction : {0.1, 0.2, 0.4, 1.0})
-            records.push_back(benchFcDelta(s.n, s.m, fraction, rng));
-        records.push_back(benchFcGemv(s.n, s.m, rng));
+            records.push_back(
+                benchFcDelta(s.n, s.m, fraction, rng, peak_gbps));
+        records.push_back(benchFcGemv(s.n, s.m, rng, peak_gbps));
     }
 
-    writeJson(json_path, records);
+    writeJson(json_path, records, peak_gbps);
 
     int rc = 0;
     for (const KernelRecord &r : records) {
-        std::printf("%-8s n=%5lld m=%5lld changed=%5lld (%3.0f%%)  "
-                    "scalar %9.1f ns  blocked %9.1f ns  "
-                    "speedup %5.2fx  %6.2f GB/s  %s\n",
-                    r.kernel.c_str(), static_cast<long long>(r.n),
-                    static_cast<long long>(r.m),
-                    static_cast<long long>(r.changed),
-                    100.0 * r.change_fraction, r.scalar_ns,
-                    r.blocked_ns, r.speedup, r.gbps,
-                    r.bit_exact ? "bit-exact" : "MISMATCH");
+        std::printf(
+            "%-8s n=%5lld m=%5lld changed=%5lld (%3.0f%%)  "
+            "scalar %9.1f ns  blocked %9.1f ns  simd %9.1f ns  "
+            "blk %5.2fx  simd/blk %5.2fx  %6.2f GB/s  %5.1f%%peak  "
+            "%s\n",
+            r.kernel.c_str(), static_cast<long long>(r.n),
+            static_cast<long long>(r.m),
+            static_cast<long long>(r.changed),
+            100.0 * r.change_fraction, r.scalar_ns, r.blocked_ns,
+            r.simd_ns, r.speedup, r.simd_vs_blocked, r.gbps,
+            r.roofline_pct, r.bit_exact ? "bit-exact" : "MISMATCH");
         if (!r.bit_exact) {
             std::printf("FAIL: %s n=%lld m=%lld not bit-exact\n",
                         r.kernel.c_str(), static_cast<long long>(r.n),
                         static_cast<long long>(r.m));
             rc = 1;
         }
-        // The perf gate covers the acceptance shape class: FC delta
+        // The perf gates cover the acceptance shape class: FC delta
         // updates with >= 1024 outputs at 10-40% changed inputs.
         const bool gated = r.kernel == "fc_delta" && r.m >= 1024 &&
                            r.change_fraction >= 0.1 - 1e-9 &&
@@ -401,10 +499,49 @@ runJsonBench(const std::string &json_path, double min_speedup)
                         min_speedup);
             rc = 1;
         }
+        if (gated && r.simd_vs_blocked < min_simd_vs_blocked) {
+            std::printf("FAIL: fc_delta n=%lld m=%lld at %.0f%% "
+                        "changed: simd-vs-blocked %.2fx < required "
+                        "%.2fx\n",
+                        static_cast<long long>(r.n),
+                        static_cast<long long>(r.m),
+                        100.0 * r.change_fraction, r.simd_vs_blocked,
+                        min_simd_vs_blocked);
+            rc = 1;
+        }
     }
     std::printf("wrote %s (%zu records)\n", json_path.c_str(),
                 records.size());
     return rc;
+}
+
+/** Prints the kernel dispatch decision (`--arch`). */
+int
+printArch()
+{
+    using kernels::KernelArch;
+    const kernels::DeltaDispatch &d = kernels::defaultDispatch();
+    std::printf("arch: %s\n", kernels::archName(d.arch));
+    std::printf("compiled:");
+    for (const KernelArch a :
+         {KernelArch::Scalar, KernelArch::Blocked, KernelArch::Neon,
+          KernelArch::Avx2, KernelArch::Avx512}) {
+        if (kernels::archCompiled(a))
+            std::printf(" %s", kernels::archName(a));
+    }
+    std::printf("\nrunnable:");
+    for (const KernelArch a :
+         {KernelArch::Scalar, KernelArch::Blocked, KernelArch::Neon,
+          KernelArch::Avx2, KernelArch::Avx512}) {
+        if (kernels::archCompiled(a) && kernels::archRunnable(a))
+            std::printf(" %s", kernels::archName(a));
+    }
+    const char *env = std::getenv("REUSE_KERNELS");
+    std::printf("\nREUSE_KERNELS: %s\n", env ? env : "(unset)");
+    std::printf("parallel_mac_threshold: %lld\n",
+                static_cast<long long>(d.parallel_mac_threshold));
+    std::printf("memory peak: %.2f GB/s\n", probeMemoryPeakGbps());
+    return 0;
 }
 
 } // namespace
@@ -415,15 +552,24 @@ main(int argc, char **argv)
 {
     std::string json_path;
     double min_speedup = 0.0;
+    double min_simd_vs_blocked = 0.0;
+    bool print_arch = false;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         if (arg.rfind("--json=", 0) == 0)
             json_path = arg.substr(7);
         else if (arg.rfind("--min-speedup=", 0) == 0)
             min_speedup = std::stod(arg.substr(14));
+        else if (arg.rfind("--min-simd-vs-blocked=", 0) == 0)
+            min_simd_vs_blocked = std::stod(arg.substr(22));
+        else if (arg == "--arch")
+            print_arch = true;
     }
+    if (print_arch)
+        return reuse::printArch();
     if (!json_path.empty())
-        return reuse::runJsonBench(json_path, min_speedup);
+        return reuse::runJsonBench(json_path, min_speedup,
+                                   min_simd_vs_blocked);
 
     benchmark::Initialize(&argc, argv);
     if (benchmark::ReportUnrecognizedArguments(argc, argv))

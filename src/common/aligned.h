@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Cache-line-aligned storage for the reuse hot-path buffers.
+ *
+ * The SIMD kernels (src/kernels) stream the previous-output, weight
+ * and index buffers with 256/512-bit vector loads.  Alignment is not
+ * a correctness requirement — every kernel uses unaligned load/store
+ * forms — but 64-byte alignment keeps each vector access inside one
+ * cache line and lets the hardware prefetchers run at full stride,
+ * and it makes AVX-512 aligned stores possible where the compiler
+ * can prove them.  std::vector's default allocator only guarantees
+ * alignof(std::max_align_t) (16 on x86-64), so every reuse-state
+ * buffer allocates through AlignedAllocator instead.
+ */
+
+#ifndef REUSE_DNN_COMMON_ALIGNED_H
+#define REUSE_DNN_COMMON_ALIGNED_H
+
+#include <cstddef>
+#include <cstdint>
+#include <cstdlib>
+#include <new>
+#include <vector>
+
+namespace reuse {
+
+/** Alignment of all reuse hot-path buffers: one cache line. */
+constexpr std::size_t kBufferAlignment = 64;
+
+/**
+ * Minimal C++17 allocator returning kBufferAlignment-aligned blocks
+ * via operator new(align_val_t).  Interchangeable with the default
+ * allocator for every vector operation; only the storage alignment
+ * differs.
+ */
+template <typename T>
+class AlignedAllocator
+{
+  public:
+    using value_type = T;
+
+    AlignedAllocator() noexcept = default;
+    template <typename U>
+    AlignedAllocator(const AlignedAllocator<U> &) noexcept
+    {
+    }
+
+    T *
+    allocate(std::size_t n)
+    {
+        if (n > static_cast<std::size_t>(-1) / sizeof(T))
+            throw std::bad_alloc();
+        return static_cast<T *>(::operator new(
+            n * sizeof(T), std::align_val_t(kBufferAlignment)));
+    }
+
+    void
+    deallocate(T *p, std::size_t) noexcept
+    {
+        ::operator delete(p, std::align_val_t(kBufferAlignment));
+    }
+
+    template <typename U>
+    bool
+    operator==(const AlignedAllocator<U> &) const noexcept
+    {
+        return true;
+    }
+    template <typename U>
+    bool
+    operator!=(const AlignedAllocator<U> &) const noexcept
+    {
+        return false;
+    }
+};
+
+/** std::vector with cache-line-aligned storage. */
+template <typename T>
+using AlignedVector = std::vector<T, AlignedAllocator<T>>;
+
+/** True when `p` is aligned to the hot-path buffer alignment. */
+inline bool
+isBufferAligned(const void *p)
+{
+    return (reinterpret_cast<std::uintptr_t>(p) %
+            kBufferAlignment) == 0;
+}
+
+} // namespace reuse
+
+#endif // REUSE_DNN_COMMON_ALIGNED_H
+

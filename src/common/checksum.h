@@ -46,9 +46,9 @@ checksumValue(uint64_t &h, const T &value)
 }
 
 /** Folds a whole vector's elements into `h` (size included). */
-template <typename T>
+template <typename T, typename Alloc>
 inline void
-checksumVector(uint64_t &h, const std::vector<T> &values)
+checksumVector(uint64_t &h, const std::vector<T, Alloc> &values)
 {
     checksumValue(h, values.size());
     checksumBytes(h, values.data(), values.size() * sizeof(T));

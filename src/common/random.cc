@@ -31,19 +31,19 @@ Rng::bernoulli(double p)
 }
 
 void
-Rng::fillGaussian(std::vector<float> &out, float mean, float stddev)
+Rng::fillGaussian(float *out, size_t n, float mean, float stddev)
 {
     std::normal_distribution<float> dist(mean, stddev);
-    for (auto &v : out)
-        v = dist(engine_);
+    for (size_t i = 0; i < n; ++i)
+        out[i] = dist(engine_);
 }
 
 void
-Rng::fillUniform(std::vector<float> &out, float lo, float hi)
+Rng::fillUniform(float *out, size_t n, float lo, float hi)
 {
     std::uniform_real_distribution<float> dist(lo, hi);
-    for (auto &v : out)
-        v = dist(engine_);
+    for (size_t i = 0; i < n; ++i)
+        out[i] = dist(engine_);
 }
 
 Rng

@@ -10,9 +10,9 @@
 #ifndef REUSE_DNN_COMMON_RANDOM_H
 #define REUSE_DNN_COMMON_RANDOM_H
 
+#include <cstddef>
 #include <cstdint>
 #include <random>
-#include <vector>
 
 namespace reuse {
 
@@ -44,11 +44,27 @@ class Rng
     /** Bernoulli trial with success probability p. */
     bool bernoulli(double p);
 
-    /** Fills `out` with gaussian samples. */
-    void fillGaussian(std::vector<float> &out, float mean, float stddev);
+    /** Fills `out[0..n)` with gaussian samples. */
+    void fillGaussian(float *out, size_t n, float mean, float stddev);
 
-    /** Fills `out` with uniform samples in [lo, hi). */
-    void fillUniform(std::vector<float> &out, float lo, float hi);
+    /** Fills `out[0..n)` with uniform samples in [lo, hi). */
+    void fillUniform(float *out, size_t n, float lo, float hi);
+
+    /** Fills a float container (any allocator) with gaussian samples. */
+    template <typename Vec>
+    void
+    fillGaussian(Vec &out, float mean, float stddev)
+    {
+        fillGaussian(out.data(), out.size(), mean, stddev);
+    }
+
+    /** Fills a float container (any allocator) with uniform samples. */
+    template <typename Vec>
+    void
+    fillUniform(Vec &out, float lo, float hi)
+    {
+        fillUniform(out.data(), out.size(), lo, hi);
+    }
 
     /** Derives an independent child generator (for parallel streams). */
     Rng fork();

@@ -12,10 +12,12 @@ namespace reuse {
 
 ConvReuseState::ConvReuseState(const Conv2DLayer &layer,
                                Shape input_shape,
-                               LinearQuantizer quantizer)
+                               LinearQuantizer quantizer,
+                               int32_t cluster_radius)
     : conv2d_(&layer),
       input_shape_(std::move(input_shape)),
-      quantizer_(std::move(quantizer))
+      quantizer_(std::move(quantizer)),
+      cluster_radius_(cluster_radius)
 {
     // Buffers are allocated lazily by the first execute(): a state
     // that never runs (or was evicted) holds no memory.
@@ -23,10 +25,12 @@ ConvReuseState::ConvReuseState(const Conv2DLayer &layer,
 
 ConvReuseState::ConvReuseState(const Conv3DLayer &layer,
                                Shape input_shape,
-                               LinearQuantizer quantizer)
+                               LinearQuantizer quantizer,
+                               int32_t cluster_radius)
     : conv3d_(&layer),
       input_shape_(std::move(input_shape)),
-      quantizer_(std::move(quantizer))
+      quantizer_(std::move(quantizer)),
+      cluster_radius_(cluster_radius)
 {
 }
 
@@ -34,7 +38,7 @@ void
 ConvReuseState::releaseBuffers()
 {
     has_prev_ = false;
-    std::vector<int32_t>().swap(prev_indices_);
+    AlignedVector<int32_t>().swap(prev_indices_);
     prev_output_ = Tensor();
     changes_.releaseStorage();
 }
@@ -138,17 +142,18 @@ ConvReuseState::executeConv2d(const Tensor &input, LayerExecRecord &rec)
     rec.firstExecution = false;
     rec.inputsChecked = n;
     kernels::QuantScanParams scan = quantizer_.scanParams();
+    scan.radius = cluster_radius_;
     fault::perturbScanParams(LayerKind::Conv2D, scan);
     fault::corruptIndices(LayerKind::Conv2D, prev_indices_.data(), n);
     fault::corruptFloats(LayerKind::Conv2D,
                          prev_output_.data().data(),
                          prev_output_.numel());
-    int64_t changed = 0;
+    kernels::ScanResult scanned;
     {
         obs::TraceSpan span(obs::SpanKind::LayerScan);
-        changed = kernels::scanChanges(input.data().data(), n, scan,
+        scanned = kernels::scanChanges(input.data().data(), n, scan,
                                        prev_indices_.data(), changes_);
-        span.args(n, changed);
+        span.args(n, scanned.changed);
     }
     fault::truncateChanges(LayerKind::Conv2D, changes_);
     int64_t macs = 0;
@@ -167,12 +172,16 @@ ConvReuseState::executeConv2d(const Tensor &input, LayerExecRecord &rec)
         kernels::applyConvDeltas2d(changes_, geom,
                                    layer.weights().data(),
                                    prev_output_.data().data());
-        for (const int32_t i : changes_.positions) {
+        for (size_t c = 0; c < changes_.size(); ++c) {
+            const int32_t i = changes_.position(c);
             macs += layer.affectedOutputs(input_shape_, (i / w) % h,
                                           i % w);
         }
     }
-    rec.inputsChanged = changed;
+    rec.inputsChanged = scanned.changed;
+    rec.inputsNearMatched = scanned.near_matched;
+    rec.nearMatchDrift =
+        kernels::nearMatchDriftShare(scan, scanned.near_matched);
     rec.macsPerformed = macs;
     return prev_output_;
 }
@@ -201,17 +210,18 @@ ConvReuseState::executeConv3d(const Tensor &input, LayerExecRecord &rec)
     rec.firstExecution = false;
     rec.inputsChecked = n;
     kernels::QuantScanParams scan = quantizer_.scanParams();
+    scan.radius = cluster_radius_;
     fault::perturbScanParams(LayerKind::Conv3D, scan);
     fault::corruptIndices(LayerKind::Conv3D, prev_indices_.data(), n);
     fault::corruptFloats(LayerKind::Conv3D,
                          prev_output_.data().data(),
                          prev_output_.numel());
-    int64_t changed = 0;
+    kernels::ScanResult scanned;
     {
         obs::TraceSpan span(obs::SpanKind::LayerScan);
-        changed = kernels::scanChanges(input.data().data(), n, scan,
+        scanned = kernels::scanChanges(input.data().data(), n, scan,
                                        prev_indices_.data(), changes_);
-        span.args(n, changed);
+        span.args(n, scanned.changed);
     }
     fault::truncateChanges(LayerKind::Conv3D, changes_);
     int64_t macs = 0;
@@ -232,13 +242,17 @@ ConvReuseState::executeConv3d(const Tensor &input, LayerExecRecord &rec)
         kernels::applyConvDeltas3d(changes_, geom,
                                    layer.weights().data(),
                                    prev_output_.data().data());
-        for (const int32_t i : changes_.positions) {
+        for (size_t c = 0; c < changes_.size(); ++c) {
+            const int32_t i = changes_.position(c);
             macs += layer.affectedOutputs(input_shape_,
                                           (i / (h * w)) % d,
                                           (i / w) % h, i % w);
         }
     }
-    rec.inputsChanged = changed;
+    rec.inputsChanged = scanned.changed;
+    rec.inputsNearMatched = scanned.near_matched;
+    rec.nearMatchDrift =
+        kernels::nearMatchDriftShare(scan, scanned.near_matched);
     rec.macsPerformed = macs;
     return prev_output_;
 }

@@ -14,6 +14,7 @@
 
 #include <vector>
 
+#include "common/aligned.h"
 #include "core/exec_record.h"
 #include "kernels/change_list.h"
 #include "nn/conv2d.h"
@@ -31,11 +32,13 @@ class ConvReuseState
   public:
     /** Builds reuse state for a 2D convolution. */
     ConvReuseState(const Conv2DLayer &layer, Shape input_shape,
-                   LinearQuantizer quantizer);
+                   LinearQuantizer quantizer,
+                   int32_t cluster_radius = 0);
 
     /** Builds reuse state for a 3D convolution. */
     ConvReuseState(const Conv3DLayer &layer, Shape input_shape,
-                   LinearQuantizer quantizer);
+                   LinearQuantizer quantizer,
+                   int32_t cluster_radius = 0);
 
     /**
      * Executes the convolution on `input` with reuse; same contract
@@ -60,6 +63,9 @@ class ConvReuseState
 
     /** The input quantizer in use. */
     const LinearQuantizer &quantizer() const { return quantizer_; }
+
+    /** The near-match cluster radius (0 = exact matching). */
+    int32_t clusterRadius() const { return cluster_radius_; }
 
     /** Folds the buffered state into checksum state `h`. */
     void hashInto(uint64_t &h) const;
@@ -87,8 +93,9 @@ class ConvReuseState
     const Conv3DLayer *conv3d_ = nullptr;
     Shape input_shape_;
     LinearQuantizer quantizer_;
+    int32_t cluster_radius_ = 0;
     bool has_prev_ = false;
-    std::vector<int32_t> prev_indices_;
+    AlignedVector<int32_t> prev_indices_;
     Tensor prev_output_;
     /** Per-frame (position, delta) scratch, reused across frames. */
     kernels::ChangeList changes_;

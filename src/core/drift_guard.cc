@@ -9,8 +9,12 @@ DriftGuard::driftIncrement(const LayerExecRecord &rec)
 {
     if (!rec.reuseEnabled || rec.firstExecution)
         return 0.0;
+    // fp32 rounding of the incremental MACs, plus the standing input
+    // error left by near-match reuse (suppressed sub-radius changes);
+    // both are relative-error estimates, so they share one budget.
     return static_cast<double>(rec.macsPerformed) *
-           static_cast<double>(FLT_EPSILON);
+               static_cast<double>(FLT_EPSILON) +
+           rec.nearMatchDrift;
 }
 
 bool

@@ -44,6 +44,21 @@ struct LayerExecRecord {
     int64_t inputsChecked = 0;
     /** Inputs whose quantized index differed (corrections needed). */
     int64_t inputsChanged = 0;
+    /**
+     * Inputs whose quantized index moved but stayed within the
+     * layer's cluster radius, so the buffered representative was
+     * kept instead of emitting a correction (near-match reuse).
+     * Zero when the layer runs at radius 0 (exact matching).
+     */
+    int64_t inputsNearMatched = 0;
+    /**
+     * Drift-estimate contribution of this execution's near-matches:
+     * each suppressed change leaves up to radius quantization steps
+     * of input error standing, expressed here relative to the
+     * quantizer range so the DriftGuard can fold it into the same
+     * accumulated relative-error budget as fp32 rounding.
+     */
+    double nearMatchDrift = 0.0;
     /** Total inputs consumed by the layer this execution. */
     int64_t inputsTotal = 0;
     /** Output neurons produced. */

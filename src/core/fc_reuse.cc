@@ -11,8 +11,11 @@
 namespace reuse {
 
 FcReuseState::FcReuseState(const FullyConnectedLayer &layer,
-                           LinearQuantizer quantizer)
-    : layer_(layer), quantizer_(std::move(quantizer))
+                           LinearQuantizer quantizer,
+                           int32_t cluster_radius)
+    : layer_(layer),
+      quantizer_(std::move(quantizer)),
+      cluster_radius_(cluster_radius)
 {
     // Buffers are allocated lazily by the first execute(): a state
     // that never runs (or was evicted) holds no memory.
@@ -22,8 +25,8 @@ void
 FcReuseState::releaseBuffers()
 {
     has_prev_ = false;
-    std::vector<int32_t>().swap(prev_indices_);
-    std::vector<float>().swap(prev_outputs_);
+    AlignedVector<int32_t>().swap(prev_indices_);
+    AlignedVector<float>().swap(prev_outputs_);
     changes_.releaseStorage();
 }
 
@@ -70,7 +73,8 @@ FcReuseState::execute(const Tensor &input, LayerExecRecord &rec)
                  layer_.name() << ": reuse input size mismatch");
     const int64_t n = layer_.inputs();
     const int64_t m = layer_.outputs();
-    const kernels::QuantScanParams q = quantizer_.scanParams();
+    kernels::QuantScanParams q = quantizer_.scanParams();
+    q.radius = cluster_radius_;
 
     rec.kind = LayerKind::FullyConnected;
     rec.reuseEnabled = true;
@@ -115,12 +119,12 @@ FcReuseState::execute(const Tensor &input, LayerExecRecord &rec)
                           prev_indices_.data(), n);
     fault::corruptFloats(LayerKind::FullyConnected,
                          prev_outputs_.data(), m);
-    int64_t changed = 0;
+    kernels::ScanResult scanned;
     {
         obs::TraceSpan span(obs::SpanKind::LayerScan);
-        changed = kernels::scanChanges(input.data().data(), n, scan,
+        scanned = kernels::scanChanges(input.data().data(), n, scan,
                                        prev_indices_.data(), changes_);
-        span.args(n, changed);
+        span.args(n, scanned.changed);
     }
     fault::truncateChanges(LayerKind::FullyConnected, changes_);
     if (!changes_.empty()) {
@@ -129,8 +133,11 @@ FcReuseState::execute(const Tensor &input, LayerExecRecord &rec)
         kernels::applyDeltas(changes_, layer_.weights().data(), m,
                              prev_outputs_.data());
     }
-    rec.inputsChanged = changed;
-    rec.macsPerformed = changed * m;
+    rec.inputsChanged = scanned.changed;
+    rec.inputsNearMatched = scanned.near_matched;
+    rec.nearMatchDrift =
+        kernels::nearMatchDriftShare(scan, scanned.near_matched);
+    rec.macsPerformed = scanned.changed * m;
 
     return Tensor(Shape({m}), prev_outputs_);
 }

@@ -14,6 +14,7 @@
 
 #include <vector>
 
+#include "common/aligned.h"
 #include "core/exec_record.h"
 #include "kernels/change_list.h"
 #include "nn/fully_connected.h"
@@ -30,9 +31,13 @@ class FcReuseState
     /**
      * @param layer The FC layer; must outlive this state.
      * @param quantizer Input quantizer (copied; quantizers are small).
+     * @param cluster_radius Near-match cluster radius in quantization
+     *        steps: index moves of at most this distance keep the
+     *        buffered representative instead of emitting a correction
+     *        (0 = exact matching, bit-exact with the baseline).
      */
     FcReuseState(const FullyConnectedLayer &layer,
-                 LinearQuantizer quantizer);
+                 LinearQuantizer quantizer, int32_t cluster_radius = 0);
 
     /**
      * Executes the layer on `input` with reuse, updating the buffered
@@ -58,16 +63,22 @@ class FcReuseState
     bool hasPrev() const { return has_prev_; }
 
     /** Buffered output values of the previous execution. */
-    const std::vector<float> &prevOutputs() const { return prev_outputs_; }
+    const AlignedVector<float> &prevOutputs() const
+    {
+        return prev_outputs_;
+    }
 
     /** Buffered quantization indices of the previous execution. */
-    const std::vector<int32_t> &prevIndices() const
+    const AlignedVector<int32_t> &prevIndices() const
     {
         return prev_indices_;
     }
 
     /** The input quantizer in use. */
     const LinearQuantizer &quantizer() const { return quantizer_; }
+
+    /** The near-match cluster radius (0 = exact matching). */
+    int32_t clusterRadius() const { return cluster_radius_; }
 
     /** Folds the buffered state into checksum state `h`. */
     void hashInto(uint64_t &h) const;
@@ -82,9 +93,10 @@ class FcReuseState
   private:
     const FullyConnectedLayer &layer_;
     LinearQuantizer quantizer_;
+    int32_t cluster_radius_ = 0;
     bool has_prev_ = false;
-    std::vector<int32_t> prev_indices_;
-    std::vector<float> prev_outputs_;
+    AlignedVector<int32_t> prev_indices_;
+    AlignedVector<float> prev_outputs_;
     /** Per-frame (position, delta) scratch, reused across frames. */
     kernels::ChangeList changes_;
 };

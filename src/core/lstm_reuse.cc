@@ -11,11 +11,13 @@ namespace reuse {
 LstmCellReuseState::LstmCellReuseState(const LstmCell &cell,
                                        LinearQuantizer x_quantizer,
                                        LinearQuantizer h_quantizer,
-                                       LayerKind owner_kind)
+                                       LayerKind owner_kind,
+                                       int32_t cluster_radius)
     : cell_(cell),
       x_quant_(std::move(x_quantizer)),
       h_quant_(std::move(h_quantizer)),
-      owner_kind_(owner_kind)
+      owner_kind_(owner_kind),
+      cluster_radius_(cluster_radius)
 {
     // Index buffers are allocated lazily by the first step().
     reset();
@@ -32,10 +34,10 @@ LstmCellReuseState::reset()
 void
 LstmCellReuseState::releaseBuffers()
 {
-    std::vector<int32_t>().swap(prev_x_indices_);
-    std::vector<int32_t>().swap(prev_h_indices_);
+    AlignedVector<int32_t>().swap(prev_x_indices_);
+    AlignedVector<int32_t>().swap(prev_h_indices_);
     for (auto &gate : preacts_)
-        std::vector<float>().swap(gate);
+        AlignedVector<float>().swap(gate);
     x_changes_.releaseStorage();
     h_changes_.releaseStorage();
     reset();
@@ -67,8 +69,9 @@ LstmCellReuseState::memoryBytes() const
     return bytes;
 }
 
-std::vector<float>
-LstmCellReuseState::step(const std::vector<float> &x, LayerExecRecord &rec)
+AlignedVector<float>
+LstmCellReuseState::step(const AlignedVector<float> &x,
+                         LayerExecRecord &rec)
 {
     REUSE_ASSERT(static_cast<int64_t>(x.size()) == cell_.inputDim(),
                  "LSTM reuse x size mismatch");
@@ -86,11 +89,11 @@ LstmCellReuseState::step(const std::vector<float> &x, LayerExecRecord &rec)
         // Buffers may have been released by an eviction.
         prev_x_indices_.resize(static_cast<size_t>(in_dim));
         prev_h_indices_.resize(static_cast<size_t>(cell_dim));
-        std::vector<float> qx(static_cast<size_t>(in_dim));
+        AlignedVector<float> qx(static_cast<size_t>(in_dim));
         kernels::quantizeWithIndices(x.data(), in_dim,
                                      x_quant_.scanParams(),
                                      prev_x_indices_.data(), qx.data());
-        std::vector<float> qh(static_cast<size_t>(cell_dim));
+        AlignedVector<float> qh(static_cast<size_t>(cell_dim));
         kernels::quantizeWithIndices(h_.data(), cell_dim,
                                      h_quant_.scanParams(),
                                      prev_h_indices_.data(), qh.data());
@@ -104,6 +107,7 @@ LstmCellReuseState::step(const std::vector<float> &x, LayerExecRecord &rec)
         // time so each blocked sweep streams a single weight matrix.
         rec.inputsChecked += in_dim + cell_dim;
         kernels::QuantScanParams x_scan = x_quant_.scanParams();
+        x_scan.radius = cluster_radius_;
         fault::perturbScanParams(owner_kind_, x_scan);
         fault::corruptIndices(owner_kind_, prev_x_indices_.data(),
                               in_dim);
@@ -112,13 +116,13 @@ LstmCellReuseState::step(const std::vector<float> &x, LayerExecRecord &rec)
                 owner_kind_, preacts_[0].data(),
                 static_cast<int64_t>(preacts_[0].size()));
         }
-        int64_t changed_x = 0;
+        kernels::ScanResult scanned_x;
         {
             obs::TraceSpan span(obs::SpanKind::LayerScan);
-            changed_x = kernels::scanChanges(x.data(), in_dim, x_scan,
+            scanned_x = kernels::scanChanges(x.data(), in_dim, x_scan,
                                              prev_x_indices_.data(),
                                              x_changes_);
-            span.args(in_dim, changed_x);
+            span.args(in_dim, scanned_x.changed);
         }
         fault::truncateChanges(owner_kind_, x_changes_);
         if (!x_changes_.empty()) {
@@ -132,16 +136,18 @@ LstmCellReuseState::step(const std::vector<float> &x, LayerExecRecord &rec)
                     preacts_[static_cast<size_t>(g)].data());
             }
         }
-        int64_t changed_h = 0;
+        kernels::QuantScanParams h_scan = h_quant_.scanParams();
+        h_scan.radius = cluster_radius_;
+        kernels::ScanResult scanned_h;
         {
             obs::TraceSpan span(obs::SpanKind::LayerScan);
-            changed_h = kernels::scanChanges(h_.data(), cell_dim,
-                                             h_quant_.scanParams(),
+            scanned_h = kernels::scanChanges(h_.data(), cell_dim,
+                                             h_scan,
                                              prev_h_indices_.data(),
                                              h_changes_);
-            span.args(cell_dim, changed_h);
+            span.args(cell_dim, scanned_h.changed);
         }
-        if (changed_h > 0) {
+        if (scanned_h.changed > 0) {
             obs::TraceSpan span(obs::SpanKind::LayerApply);
             span.args(static_cast<int64_t>(h_changes_.size()),
                       NumLstmGates * cell_dim);
@@ -152,9 +158,16 @@ LstmCellReuseState::step(const std::vector<float> &x, LayerExecRecord &rec)
                     preacts_[static_cast<size_t>(g)].data());
             }
         }
-        rec.inputsChanged += changed_x + changed_h;
-        rec.macsPerformed += (changed_x + changed_h) * NumLstmGates *
-                             cell_dim;
+        rec.inputsChanged += scanned_x.changed + scanned_h.changed;
+        rec.inputsNearMatched +=
+            scanned_x.near_matched + scanned_h.near_matched;
+        rec.nearMatchDrift +=
+            kernels::nearMatchDriftShare(x_scan,
+                                         scanned_x.near_matched) +
+            kernels::nearMatchDriftShare(h_scan,
+                                         scanned_h.near_matched);
+        rec.macsPerformed += (scanned_x.changed + scanned_h.changed) *
+                             NumLstmGates * cell_dim;
     }
 
     // Elementwise tail (Eqs. 7-8) is always computed.
@@ -166,10 +179,11 @@ LstmCellReuseState::step(const std::vector<float> &x, LayerExecRecord &rec)
 
 LstmLayerReuseState::LstmLayerReuseState(const LstmLayer &layer,
                                          LinearQuantizer x_quantizer,
-                                         LinearQuantizer h_quantizer)
+                                         LinearQuantizer h_quantizer,
+                                         int32_t cluster_radius)
     : layer_(layer),
       cell_(layer.cell(), std::move(x_quantizer),
-            std::move(h_quantizer), LayerKind::Lstm)
+            std::move(h_quantizer), LayerKind::Lstm, cluster_radius)
 {
 }
 
@@ -193,7 +207,7 @@ LstmLayerReuseState::executeSequence(const std::vector<Tensor> &inputs,
     rec.firstExecution = (inputs.size() <= 1);
 
     for (const Tensor &in : inputs) {
-        const std::vector<float> h = cell_.step(in.data(), rec);
+        const AlignedVector<float> h = cell_.step(in.data(), rec);
         Tensor out(Shape({cell_dim}));
         for (int64_t j = 0; j < cell_dim; ++j)
             out[j] = h[static_cast<size_t>(j)];
@@ -204,10 +218,13 @@ LstmLayerReuseState::executeSequence(const std::vector<Tensor> &inputs,
 
 BiLstmReuseState::BiLstmReuseState(const BiLstmLayer &layer,
                                    LinearQuantizer x_quantizer,
-                                   LinearQuantizer h_quantizer)
+                                   LinearQuantizer h_quantizer,
+                                   int32_t cluster_radius)
     : layer_(layer),
-      forward_(layer.forwardCell(), x_quantizer, h_quantizer),
-      backward_(layer.backwardCell(), x_quantizer, h_quantizer)
+      forward_(layer.forwardCell(), x_quantizer, h_quantizer,
+               LayerKind::BiLstm, cluster_radius),
+      backward_(layer.backwardCell(), x_quantizer, h_quantizer,
+                LayerKind::BiLstm, cluster_radius)
 {
 }
 
@@ -237,13 +254,13 @@ BiLstmReuseState::executeSequence(const std::vector<Tensor> &inputs,
     rec.firstExecution = (t_len <= 1);
 
     for (size_t t = 0; t < t_len; ++t) {
-        const std::vector<float> h =
+        const AlignedVector<float> h =
             forward_.step(inputs[t].data(), rec);
         for (int64_t j = 0; j < cell_dim; ++j)
             outputs[t][j] = h[static_cast<size_t>(j)];
     }
     for (size_t t = t_len; t-- > 0;) {
-        const std::vector<float> h =
+        const AlignedVector<float> h =
             backward_.step(inputs[t].data(), rec);
         for (int64_t j = 0; j < cell_dim; ++j)
             outputs[t][cell_dim + j] = h[static_cast<size_t>(j)];

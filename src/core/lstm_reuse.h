@@ -16,6 +16,7 @@
 
 #include <vector>
 
+#include "common/aligned.h"
 #include "core/exec_record.h"
 #include "kernels/change_list.h"
 #include "nn/lstm.h"
@@ -42,15 +43,16 @@ class LstmCellReuseState
      */
     LstmCellReuseState(const LstmCell &cell, LinearQuantizer x_quantizer,
                        LinearQuantizer h_quantizer,
-                       LayerKind owner_kind = LayerKind::BiLstm);
+                       LayerKind owner_kind = LayerKind::BiLstm,
+                       int32_t cluster_radius = 0);
 
     /**
      * Advances the cell one timestep with reuse.  Accumulates what
      * happened into `rec` (so the caller can aggregate steps and
      * directions into a single layer record).  Returns h_t.
      */
-    std::vector<float> step(const std::vector<float> &x,
-                            LayerExecRecord &rec);
+    AlignedVector<float> step(const AlignedVector<float> &x,
+                              LayerExecRecord &rec);
 
     /** Resets to the initial (h=0, c=0, no history) state. */
     void reset();
@@ -69,12 +71,13 @@ class LstmCellReuseState
     LinearQuantizer x_quant_;
     LinearQuantizer h_quant_;
     LayerKind owner_kind_;
+    int32_t cluster_radius_ = 0;
     bool has_prev_ = false;
-    std::vector<int32_t> prev_x_indices_;
-    std::vector<int32_t> prev_h_indices_;
+    AlignedVector<int32_t> prev_x_indices_;
+    AlignedVector<int32_t> prev_h_indices_;
     LstmCell::Preacts preacts_;
-    std::vector<float> h_;
-    std::vector<float> c_;
+    AlignedVector<float> h_;
+    AlignedVector<float> c_;
     /** Per-step (position, delta) scratch, reused across steps. */
     kernels::ChangeList x_changes_;
     kernels::ChangeList h_changes_;
@@ -89,7 +92,8 @@ class LstmLayerReuseState
   public:
     LstmLayerReuseState(const LstmLayer &layer,
                         LinearQuantizer x_quantizer,
-                        LinearQuantizer h_quantizer);
+                        LinearQuantizer h_quantizer,
+                        int32_t cluster_radius = 0);
 
     /** Processes a whole sequence with reuse across timesteps. */
     std::vector<Tensor> executeSequence(const std::vector<Tensor> &inputs,
@@ -121,7 +125,8 @@ class BiLstmReuseState
 {
   public:
     BiLstmReuseState(const BiLstmLayer &layer, LinearQuantizer x_quantizer,
-                     LinearQuantizer h_quantizer);
+                     LinearQuantizer h_quantizer,
+                     int32_t cluster_radius = 0);
 
     /**
      * Processes a whole sequence with reuse across timesteps; fills

@@ -1,5 +1,7 @@
 #include "reuse_engine.h"
 
+#include <cstdlib>
+
 #include "common/logging.h"
 #include "fault/fault_injector.h"
 #include "ir/plan_cache.h"
@@ -11,6 +13,29 @@
 namespace reuse {
 
 namespace {
+
+/**
+ * Process-wide default near-match radius: REUSE_CLUSTER_RADIUS
+ * applies when the config leaves compileOptions.clusterRadius at 0,
+ * so existing call sites can opt streams into near-match reuse
+ * without code changes.  Invalid or negative values are ignored
+ * with a warning (radius 0 = exact matching).
+ */
+int32_t
+envClusterRadius()
+{
+    const char *env = std::getenv("REUSE_CLUSTER_RADIUS");
+    if (env == nullptr || *env == '\0')
+        return 0;
+    char *end = nullptr;
+    const long v = std::strtol(env, &end, 10);
+    if (end == env || *end != '\0' || v < 0 || v > (1 << 20)) {
+        warn(std::string("REUSE_CLUSTER_RADIUS='") + env +
+             "' is not a valid radius; using exact matching");
+        return 0;
+    }
+    return static_cast<int32_t>(v);
+}
 
 std::vector<std::string>
 layerNames(const Network &network)
@@ -32,6 +57,8 @@ ReuseEngine::ReuseEngine(const Network &network, QuantizationPlan plan,
       drift_guard_(config.refreshPeriod, config.driftBound),
       stats_(layerNames(network))
 {
+    if (config_.compileOptions.clusterRadius == 0)
+        config_.compileOptions.clusterRadius = envClusterRadius();
     // Compile (or fetch from the process-wide cache) the execution
     // schedule.  Compilation subsumes static validation: the shape
     // and safety passes run over the IR before any rewrite, so an
@@ -71,17 +98,17 @@ ReuseEngine::makeState() const
           case ir::ExecMode::FcReuse:
             state.fc_[li] = std::make_unique<FcReuseState>(
                 static_cast<const FullyConnectedLayer &>(*step.layer),
-                *lq.input);
+                *lq.input, step.clusterRadius);
             break;
           case ir::ExecMode::ConvReuse:
             if (step.layer->kind() == LayerKind::Conv2D) {
                 state.conv_[li] = std::make_unique<ConvReuseState>(
                     static_cast<const Conv2DLayer &>(*step.layer),
-                    step.inShape, *lq.input);
+                    step.inShape, *lq.input, step.clusterRadius);
             } else {
                 state.conv_[li] = std::make_unique<ConvReuseState>(
                     static_cast<const Conv3DLayer &>(*step.layer),
-                    step.inShape, *lq.input);
+                    step.inShape, *lq.input, step.clusterRadius);
             }
             break;
           case ir::ExecMode::BiLstmReuse:
@@ -90,7 +117,7 @@ ReuseEngine::makeState() const
                              << " needs a recurrent quantizer");
             state.lstm_[li] = std::make_unique<BiLstmReuseState>(
                 static_cast<const BiLstmLayer &>(*step.layer),
-                *lq.input, *lq.recurrent);
+                *lq.input, *lq.recurrent, step.clusterRadius);
             break;
           case ir::ExecMode::LstmReuse:
             REUSE_ASSERT(lq.recurrent.has_value(),
@@ -99,7 +126,7 @@ ReuseEngine::makeState() const
             state.uni_lstm_[li] =
                 std::make_unique<LstmLayerReuseState>(
                     static_cast<const LstmLayer &>(*step.layer),
-                    *lq.input, *lq.recurrent);
+                    *lq.input, *lq.recurrent, step.clusterRadius);
             break;
         }
     }

@@ -49,6 +49,11 @@ struct ReuseEngineConfig {
      * IR compilation options (pass selection and pinning policy); the
      * defaults are behavior-preserving.  Engines sharing options and
      * a model share one cached CompiledPlan (see ir/plan_cache.h).
+     *
+     * compileOptions.clusterRadius selects near-match reuse; when it
+     * is left at 0 the engine constructor honors the
+     * REUSE_CLUSTER_RADIUS environment variable as a process-wide
+     * default.
      */
     ir::CompileOptions compileOptions;
 };

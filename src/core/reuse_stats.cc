@@ -32,6 +32,7 @@ ReuseStatsCollector::addTrace(const ExecutionTrace &trace)
         ++s.executions;
         s.inputsChecked += rec.inputsChecked;
         s.inputsChanged += rec.inputsChanged;
+        s.inputsNearMatched += rec.inputsNearMatched;
         s.macsFull += rec.macsFull;
         s.macsPerformed += rec.macsPerformed;
     }

@@ -30,6 +30,8 @@ struct LayerReuseStats {
 
     int64_t inputsChecked = 0;
     int64_t inputsChanged = 0;
+    /** Sub-radius index moves absorbed by near-match reuse. */
+    int64_t inputsNearMatched = 0;
     int64_t macsFull = 0;
     int64_t macsPerformed = 0;
     /** Full MACs including first executions (for whole-net shares). */
@@ -44,6 +46,19 @@ struct LayerReuseStats {
                    ? 0.0
                    : 1.0 - static_cast<double>(inputsChanged) /
                                static_cast<double>(inputsChecked);
+    }
+
+    /**
+     * Fraction of checked inputs whose change was absorbed by the
+     * cluster radius (zero at radius 0): the extra similarity
+     * near-match reuse buys on top of exact matching.
+     */
+    double nearMatchRate() const
+    {
+        return inputsChecked == 0
+                   ? 0.0
+                   : static_cast<double>(inputsNearMatched) /
+                         static_cast<double>(inputsChecked);
     }
 
     /** Computation reuse: avoided / full MACs (steady-state only). */

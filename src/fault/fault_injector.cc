@@ -201,8 +201,7 @@ FaultInjector::truncateChanges(LayerKind kind,
     // a torn scan/apply).
     const size_t keep =
         static_cast<size_t>(nextRandom(seed) % changes.size());
-    changes.positions.resize(keep);
-    changes.deltas.resize(keep);
+    changes.truncate(keep);
 }
 
 bool

@@ -98,6 +98,8 @@ CompiledPlan::compile(const Network &network,
         step.reuseSafe = isReuseEligible(node.kind());
         step.pinned = node.pinnedFullRecompute;
         step.quant = node.quant;
+        if (step.mode != ExecMode::FromScratch)
+            step.clusterRadius = options.clusterRadius;
         if (step.pinned)
             ++cp->pinned_;
         cp->steps_.push_back(std::move(step));
@@ -140,6 +142,10 @@ CompiledPlan::dump() const
             if (step.quant.recurrent.has_value())
                 oss << "/" << step.quant.recurrent->indexCount();
         }
+        // Printed only when nonzero so radius-0 plans render exactly
+        // as before (golden-file stability).
+        if (step.clusterRadius > 0)
+            oss << " radius=" << step.clusterRadius;
         if (step.fusedActivation != nullptr) {
             const auto &act = static_cast<const ActivationLayer &>(
                 *step.fusedActivation);

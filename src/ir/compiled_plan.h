@@ -66,6 +66,12 @@ struct PlanStep {
     bool pinned = false;
     /** Effective quantization (disabled when pinned or unplanned). */
     LayerQuantization quant;
+    /**
+     * Near-match cluster radius (quantization steps) this step's
+     * reuse state scans with; 0 = exact matching.  Only set on
+     * reuse-mode steps, and surfaced in dump() when nonzero.
+     */
+    int32_t clusterRadius = 0;
 };
 
 /** Compilation tunables.  The defaults preserve engine behavior:
@@ -80,6 +86,15 @@ struct CompileOptions {
     bool pinUnsafeLayers = false;
     /** Also pin layers with RS003 overflow-risk warnings. */
     bool pinOverflowRisk = false;
+    /**
+     * Near-match cluster radius in quantization steps, applied to
+     * every reuse-enabled step: quantized values within this radius
+     * of their buffered index map to the buffered representative
+     * (no correction emitted).  0 preserves exact matching; the
+     * per-element input error is bounded by radius * step and is
+     * charged against the DriftGuard budget at runtime.
+     */
+    int32_t clusterRadius = 0;
 };
 
 /** Immutable compiled schedule of one network + plan + options. */

@@ -57,6 +57,7 @@ fingerprint(const Network &network, const QuantizationPlan &plan,
     checksumValue(h, options.eliminateDeadNodes);
     checksumValue(h, options.pinUnsafeLayers);
     checksumValue(h, options.pinOverflowRisk);
+    checksumValue(h, options.clusterRadius);
     return h;
 }
 

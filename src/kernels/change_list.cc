@@ -1,23 +1,35 @@
 #include "change_list.h"
 
+#include <algorithm>
+
+#include "kernels/simd_kernels.h"
+
 namespace reuse {
 namespace kernels {
+
+void
+ChangeList::grow(size_t need)
+{
+    const size_t size = std::max(
+        {need, positions_.size() * 2, static_cast<size_t>(64)});
+    positions_.resize(size);
+    deltas_.resize(size);
+}
 
 int64_t
 ChangeList::memoryBytes() const
 {
     return static_cast<int64_t>(
-        positions.capacity() * sizeof(int32_t) +
-        deltas.capacity() * sizeof(float) +
-        scratch_indices.capacity() * sizeof(int32_t));
+        positions_.capacity() * sizeof(int32_t) +
+        deltas_.capacity() * sizeof(float));
 }
 
 void
 ChangeList::releaseStorage()
 {
-    std::vector<int32_t>().swap(positions);
-    std::vector<float>().swap(deltas);
-    std::vector<int32_t>().swap(scratch_indices);
+    AlignedVector<int32_t>().swap(positions_);
+    AlignedVector<float>().swap(deltas_);
+    count_ = 0;
 }
 
 void
@@ -40,34 +52,80 @@ quantizeWithIndices(const float *input, int64_t n,
     }
 }
 
-int64_t
-scanChanges(const float *input, int64_t n, const QuantScanParams &q,
-            int32_t *prev_indices, ChangeList &out)
+namespace {
+
+/**
+ * Fused scalar scan: quantize, compare, near-match filter and
+ * compact emit in one pass over the inputs.  This is the reference
+ * the SIMD variants are fuzz-tested against; the delta is computed
+ * as centroid(new) - centroid(old) — not (new - old) * step — to
+ * stay bit-identical with the original interleaved path.
+ */
+ScanResult
+scanChangesScalar(const float *input, int64_t n,
+                  const QuantScanParams &q, int32_t *prev_indices,
+                  int32_t *positions, float *deltas)
 {
-    out.clear();
-    out.scratch_indices.resize(static_cast<size_t>(n));
-    int32_t *__restrict cur = out.scratch_indices.data();
-
-    // Phase 1: quantize every input with the hoisted parameters.
-    for (int64_t i = 0; i < n; ++i)
-        cur[i] = quantIndex(q, input[i]);
-
-    // Phase 2: compare int32 indices and gather mismatches.  The
-    // delta is computed as centroid(new) - centroid(old) — not
-    // (new - old) * step — to stay bit-identical with the original
-    // interleaved path.
-    int64_t changed = 0;
+    ScanResult r;
     for (int64_t i = 0; i < n; ++i) {
-        const int32_t idx = cur[i];
+        const int32_t idx = quantIndex(q, input[i]);
         const int32_t prev = prev_indices[i];
         if (idx == prev)
             continue;
-        out.push(static_cast<int32_t>(i),
-                 quantCentroid(q, idx) - quantCentroid(q, prev));
+        const int32_t dist = idx > prev ? idx - prev : prev - idx;
+        if (dist <= q.radius) {
+            ++r.near_matched;
+            continue;
+        }
+        positions[r.changed] = static_cast<int32_t>(i);
+        deltas[r.changed] =
+            quantCentroid(q, idx) - quantCentroid(q, prev);
         prev_indices[i] = idx;
-        ++changed;
+        ++r.changed;
     }
-    return changed;
+    return r;
+}
+
+} // namespace
+
+ScanResult
+scanChanges(const float *input, int64_t n, const QuantScanParams &q,
+            int32_t *prev_indices, ChangeList &out, KernelArch arch)
+{
+    int32_t *positions = nullptr;
+    float *deltas = nullptr;
+    out.beginScan(n, positions, deltas);
+
+    ScanResult r;
+    switch (arch) {
+#if defined(REUSE_KERNELS_HAVE_AVX512)
+      case KernelArch::Avx512:
+        r = scanChangesAvx512(input, n, q, prev_indices, positions,
+                              deltas);
+        break;
+#endif
+#if defined(REUSE_KERNELS_HAVE_AVX2)
+      case KernelArch::Avx2:
+        r = scanChangesAvx2(input, n, q, prev_indices, positions,
+                            deltas);
+        break;
+#endif
+#if defined(REUSE_KERNELS_HAVE_NEON)
+      case KernelArch::Neon:
+        r = scanChangesNeon(input, n, q, prev_indices, positions,
+                            deltas);
+        break;
+#endif
+      default:
+        // Scalar and Blocked share the fused scalar scan (blocking
+        // only ever applied to the output-streaming apply kernels),
+        // as does any SIMD arch the build did not compile.
+        r = scanChangesScalar(input, n, q, prev_indices, positions,
+                              deltas);
+        break;
+    }
+    out.endScan(static_cast<size_t>(r.changed));
+    return r;
 }
 
 } // namespace kernels

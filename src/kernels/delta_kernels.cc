@@ -1,42 +1,26 @@
 /**
  * @file
- * Blocked + vectorized kernel implementations and the runtime
- * dispatchers.  The scalar reference implementations live in
- * delta_kernels_scalar.cc, compiled with vectorization disabled.
+ * Blocked kernel implementations and the runtime dispatchers.  The
+ * scalar references live in delta_kernels_scalar.cc (vectorization
+ * disabled); the hand-written SIMD forms live in the per-ISA TUs
+ * (delta_kernels_avx2.cc / _avx512.cc / _neon.cc) declared by
+ * simd_kernels.h.
  *
  * This translation unit is compiled at -O3 (see CMakeLists.txt):
- * the inner loops are unit-stride restrict-qualified
- * multiply-accumulates that GCC/Clang auto-vectorize; add
- * -DREUSE_DNN_NATIVE_ARCH=ON to also use -march=native.
+ * the blocked inner loops are unit-stride restrict-qualified
+ * multiply-accumulates that GCC/Clang auto-vectorize to the baseline
+ * ISA; the dispatchers below route to the intrinsic TUs when CPUID
+ * allows it.
  */
 
 #include "delta_kernels.h"
 
 #include <algorithm>
-#include <cstdlib>
-#include <string_view>
+
+#include "kernels/simd_kernels.h"
 
 namespace reuse {
 namespace kernels {
-
-const DeltaDispatch &
-defaultDispatch()
-{
-    static const DeltaDispatch cfg = [] {
-        DeltaDispatch c;
-        if (const char *env = std::getenv("REUSE_KERNELS")) {
-            if (std::string_view(env) == "scalar")
-                c.blocked = false;
-        }
-        if (const char *env =
-                std::getenv("REUSE_KERNEL_PAR_THRESHOLD")) {
-            c.parallel_mac_threshold =
-                std::strtoll(env, nullptr, 10);
-        }
-        return c;
-    }();
-    return cfg;
-}
 
 namespace {
 
@@ -56,6 +40,35 @@ shouldThread(const DeltaDispatch &dispatch, KernelThreadPool &pool,
            pool.workerCount() > 0;
 }
 
+using ApplyRangeFn = void (*)(const ChangeList &, const float *,
+                              int64_t, int64_t, int64_t, float *);
+
+/**
+ * Range-kernel for an arch.  Archs whose TU is not compiled into
+ * this build fall back to the blocked form — defaultDispatch()
+ * never routes there, but an explicit DeltaDispatch might.
+ */
+ApplyRangeFn
+applyRangeFor(KernelArch arch)
+{
+    switch (arch) {
+#if defined(REUSE_KERNELS_HAVE_AVX512)
+      case KernelArch::Avx512:
+        return &applyDeltasAvx512Range;
+#endif
+#if defined(REUSE_KERNELS_HAVE_AVX2)
+      case KernelArch::Avx2:
+        return &applyDeltasAvx2Range;
+#endif
+#if defined(REUSE_KERNELS_HAVE_NEON)
+      case KernelArch::Neon:
+        return &applyDeltasNeonRange;
+#endif
+      default:
+        return &applyDeltasBlockedRange;
+    }
+}
+
 } // namespace
 
 // ---------------------------------------------------------------
@@ -68,8 +81,8 @@ applyDeltasBlockedRange(const ChangeList &changes, const float *weights,
                         float *out)
 {
     const size_t k = changes.size();
-    const int32_t *__restrict pos = changes.positions.data();
-    const float *__restrict del = changes.deltas.data();
+    const int32_t *__restrict pos = changes.positions();
+    const float *__restrict del = changes.deltas();
     for (int64_t b0 = begin; b0 < end; b0 += kDeltaBlockFloats) {
         const int64_t len = std::min(kDeltaBlockFloats, end - b0);
         float *__restrict dst = out + b0;
@@ -124,21 +137,21 @@ applyDeltas(const ChangeList &changes, const float *weights, int64_t m,
 {
     if (changes.empty() || m <= 0)
         return;
-    if (!dispatch.blocked) {
+    if (dispatch.arch == KernelArch::Scalar) {
         applyDeltasScalar(changes, weights, m, out);
         return;
     }
+    const ApplyRangeFn range = applyRangeFor(dispatch.arch);
     KernelThreadPool &pool = poolOf(dispatch);
     const int64_t macs = static_cast<int64_t>(changes.size()) * m;
     if (shouldThread(dispatch, pool, macs)) {
         pool.parallelFor(m, kDeltaChunkFloats,
                          [&](int64_t begin, int64_t end) {
-                             applyDeltasBlockedRange(changes, weights,
-                                                     m, begin, end,
-                                                     out);
+                             range(changes, weights, m, begin, end,
+                                   out);
                          });
     } else {
-        applyDeltasBlockedRange(changes, weights, m, 0, m, out);
+        range(changes, weights, m, 0, m, out);
     }
 }
 
@@ -175,7 +188,7 @@ gemv(const float *input, int64_t n, const float *weights,
 {
     if (m <= 0)
         return;
-    if (!dispatch.blocked) {
+    if (dispatch.arch == KernelArch::Scalar) {
         gemvScalar(input, n, weights, biases, m, out);
         return;
     }
@@ -212,8 +225,8 @@ conv2dRange(const ChangeList &changes, const Conv2dGeometry &g,
             float *out)
 {
     const size_t k = changes.size();
-    const int32_t *__restrict pos = changes.positions.data();
-    const float *__restrict del = changes.deltas.data();
+    const int32_t *__restrict pos = changes.positions();
+    const float *__restrict del = changes.deltas();
     const int64_t hw = g.in_h * g.in_w;
     const int64_t out_map = g.out_h * g.out_w;
     for (int64_t co0 = co_begin; co0 < co_end; co0 += kConvCoBlock) {
@@ -252,6 +265,27 @@ conv2dRange(const ChangeList &changes, const Conv2dGeometry &g,
     }
 }
 
+using Conv2dRangeFn = void (*)(const ChangeList &,
+                               const Conv2dGeometry &, const float *,
+                               int64_t, int64_t, float *);
+
+/**
+ * AVX2/NEON have no scatter instruction, so only the AVX-512 conv
+ * path is hand-written; every other non-scalar arch runs the
+ * blocked form.
+ */
+Conv2dRangeFn
+conv2dRangeFor(KernelArch arch)
+{
+#if defined(REUSE_KERNELS_HAVE_AVX512)
+    if (arch == KernelArch::Avx512)
+        return &applyConvDeltas2dAvx512;
+#else
+    (void)arch;
+#endif
+    return &conv2dRange;
+}
+
 } // namespace
 
 void
@@ -269,10 +303,11 @@ applyConvDeltas2d(const ChangeList &changes, const Conv2dGeometry &g,
 {
     if (changes.empty())
         return;
-    if (!dispatch.blocked) {
+    if (dispatch.arch == KernelArch::Scalar) {
         applyConvDeltas2dScalar(changes, g, weights, out);
         return;
     }
+    const Conv2dRangeFn range = conv2dRangeFor(dispatch.arch);
     KernelThreadPool &pool = poolOf(dispatch);
     // Upper bound of the work: every change touches at most K*K
     // windows across all output channels.
@@ -281,11 +316,11 @@ applyConvDeltas2d(const ChangeList &changes, const Conv2dGeometry &g,
     if (shouldThread(dispatch, pool, macs)) {
         pool.parallelFor(g.out_channels, kConvCoBlock,
                          [&](int64_t begin, int64_t end) {
-                             conv2dRange(changes, g, weights, begin,
-                                         end, out);
+                             range(changes, g, weights, begin, end,
+                                   out);
                          });
     } else {
-        conv2dRange(changes, g, weights, 0, g.out_channels, out);
+        range(changes, g, weights, 0, g.out_channels, out);
     }
 }
 
@@ -301,8 +336,8 @@ conv3dRange(const ChangeList &changes, const Conv3dGeometry &g,
             float *out)
 {
     const size_t k = changes.size();
-    const int32_t *__restrict pos = changes.positions.data();
-    const float *__restrict del = changes.deltas.data();
+    const int32_t *__restrict pos = changes.positions();
+    const float *__restrict del = changes.deltas();
     const int64_t hw = g.in_h * g.in_w;
     const int64_t dhw = g.in_d * hw;
     const int64_t out_map = g.out_d * g.out_h * g.out_w;
@@ -344,6 +379,22 @@ conv3dRange(const ChangeList &changes, const Conv3dGeometry &g,
     }
 }
 
+using Conv3dRangeFn = void (*)(const ChangeList &,
+                               const Conv3dGeometry &, const float *,
+                               int64_t, int64_t, float *);
+
+Conv3dRangeFn
+conv3dRangeFor(KernelArch arch)
+{
+#if defined(REUSE_KERNELS_HAVE_AVX512)
+    if (arch == KernelArch::Avx512)
+        return &applyConvDeltas3dAvx512;
+#else
+    (void)arch;
+#endif
+    return &conv3dRange;
+}
+
 } // namespace
 
 void
@@ -361,10 +412,11 @@ applyConvDeltas3d(const ChangeList &changes, const Conv3dGeometry &g,
 {
     if (changes.empty())
         return;
-    if (!dispatch.blocked) {
+    if (dispatch.arch == KernelArch::Scalar) {
         applyConvDeltas3dScalar(changes, g, weights, out);
         return;
     }
+    const Conv3dRangeFn range = conv3dRangeFor(dispatch.arch);
     KernelThreadPool &pool = poolOf(dispatch);
     const int64_t macs = static_cast<int64_t>(changes.size()) *
                          g.kernel * g.kernel * g.kernel *
@@ -372,11 +424,11 @@ applyConvDeltas3d(const ChangeList &changes, const Conv3dGeometry &g,
     if (shouldThread(dispatch, pool, macs)) {
         pool.parallelFor(g.out_channels, kConvCoBlock,
                          [&](int64_t begin, int64_t end) {
-                             conv3dRange(changes, g, weights, begin,
-                                         end, out);
+                             range(changes, g, weights, begin, end,
+                                   out);
                          });
     } else {
-        conv3dRange(changes, g, weights, 0, g.out_channels, out);
+        range(changes, g, weights, 0, g.out_channels, out);
     }
 }
 

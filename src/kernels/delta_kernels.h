@@ -1,27 +1,31 @@
 /**
  * @file
- * Vectorized, cache-blocked delta-update kernels for the reuse hot
- * path (Eq. 10: z'_o = z_o + (c'_i - c_i) * W_io).
+ * Delta-update kernels for the reuse hot path (Eq. 10:
+ * z'_o = z_o + (c'_i - c_i) * W_io), behind runtime CPUID dispatch.
  *
- * Every kernel exists in two forms:
+ * Every kernel exists in several forms:
  *
  *  - a *scalar reference* (…Scalar), compiled with vectorization
  *    disabled, that performs the operations in the same per-output
  *    order the original interleaved code used;
  *  - a *blocked* form that applies the whole change list one output
- *    block (kDeltaBlockFloats floats, 4 KB) at a time.  The output
- *    block stays resident in L1 across all changed inputs, and the
- *    inner loop is a restrict-qualified unit-stride
- *    multiply-accumulate written to auto-vectorize.
+ *    block (kDeltaBlockFloats floats, 4 KB) at a time with
+ *    restrict-qualified unit-stride loops the compiler
+ *    auto-vectorizes to its baseline ISA;
+ *  - hand-written *intrinsic* forms (AVX2 / AVX-512 / NEON, see
+ *    simd_kernels.h) selected at runtime by CPUID, which use the
+ *    full vector width of the machine instead of the x86-64
+ *    baseline the blocked form compiles to.
  *
- * Both forms perform the identical floating-point operations in the
- * identical per-output-element order, so their results are
- * bit-identical (tested).  The dispatching entry points pick the
- * implementation at runtime (REUSE_KERNELS=scalar forces the
- * reference) and partition the output range over the kernel thread
- * pool when the update is large enough (changed × outputs ≥
- * threshold), which also preserves bit-exactness because chunk
- * boundaries are deterministic and disjoint.
+ * All forms perform the identical floating-point operations in the
+ * identical per-output-element order (separate mul + add, ascending
+ * change order), so their results are bit-identical (fuzz-tested).
+ * The dispatching entry points pick the implementation at runtime
+ * (REUSE_KERNELS forces a family; see dispatch.h) and partition the
+ * output range over the kernel thread pool when the update is large
+ * enough (changed × outputs ≥ threshold), which also preserves
+ * bit-exactness because chunk boundaries are deterministic and
+ * disjoint.
  *
  * All kernels operate on raw pointers: weights are input-major
  * (weight(i, o) at w[i * m + o], the paper's interleaved Weights
@@ -34,6 +38,7 @@
 #include <cstdint>
 
 #include "kernels/change_list.h"
+#include "kernels/dispatch.h"
 #include "kernels/thread_pool.h"
 
 namespace reuse {
@@ -48,32 +53,6 @@ constexpr int64_t kDeltaChunkFloats = 4 * kDeltaBlockFloats;
 /** Output-channel block of the conv delta kernels. */
 constexpr int64_t kConvCoBlock = 16;
 
-/**
- * Default MAC threshold (changed × outputs) above which a dispatched
- * kernel partitions its output range across the thread pool.  Below
- * it, threading overhead exceeds the win.
- */
-constexpr int64_t kDefaultParallelMacThreshold = 1 << 20;
-
-/**
- * Runtime kernel-dispatch configuration.  The process-wide default
- * is read once from the environment: REUSE_KERNELS=scalar forces
- * the scalar reference kernels, REUSE_KERNEL_PAR_THRESHOLD overrides
- * the threading threshold (negative disables threading), and
- * REUSE_KERNEL_THREADS sizes the pool (see thread_pool.h).
- */
-struct DeltaDispatch {
-    /** False forces the scalar reference implementation. */
-    bool blocked = true;
-    /** MAC count at which to thread; negative = never. */
-    int64_t parallel_mac_threshold = kDefaultParallelMacThreshold;
-    /** Pool to thread on; null = KernelThreadPool::global(). */
-    KernelThreadPool *pool = nullptr;
-};
-
-/** Process-wide dispatch configuration (env-derived, cached). */
-const DeltaDispatch &defaultDispatch();
-
 // ---------------------------------------------------------------
 // Fully-connected / LSTM-gate delta update:
 //   out[o] += delta_c * w[pos_c * m + o]  for every change c.
@@ -83,16 +62,16 @@ const DeltaDispatch &defaultDispatch();
 void applyDeltasScalar(const ChangeList &changes, const float *weights,
                        int64_t m, float *out);
 
-/** Blocked + vectorized form over the output range [begin, end). */
+/** Blocked + auto-vectorized form over outputs [begin, end). */
 void applyDeltasBlockedRange(const ChangeList &changes,
                              const float *weights, int64_t m,
                              int64_t begin, int64_t end, float *out);
 
-/** Blocked + vectorized form over the whole output vector. */
+/** Blocked + auto-vectorized form over the whole output vector. */
 void applyDeltasBlocked(const ChangeList &changes, const float *weights,
                         int64_t m, float *out);
 
-/** Dispatched form (implementation choice + optional threading). */
+/** Dispatched form (CPUID arch choice + optional threading). */
 void applyDeltas(const ChangeList &changes, const float *weights,
                  int64_t m, float *out,
                  const DeltaDispatch &dispatch = defaultDispatch());
@@ -101,6 +80,9 @@ void applyDeltas(const ChangeList &changes, const float *weights,
 // From-scratch GEMV for the first execution of an FC layer:
 //   out[o] = biases[o] + sum_i input[i] * w[i * m + o].
 // Zero inputs are skipped (quantized inputs are frequently zero).
+// The GEMV runs once per session (first frame / drift refresh), so
+// it keeps the auto-vectorized blocked form for every non-scalar
+// arch rather than carrying three hand-written variants.
 // ---------------------------------------------------------------
 
 /** Scalar reference: bias fill, then one row sweep per input. */
@@ -122,7 +104,9 @@ void gemv(const float *input, int64_t n, const float *weights,
 // field covers a changed input is corrected by delta * weight.
 // Change positions are flat input indices (ci, y, x) / (ci, d, y, x)
 // in row-major order, as produced by scanChanges() over the input
-// volume.
+// volume.  The AVX-512 form gathers/scatters the strided per-channel
+// output columns; AVX2 and NEON have no scatter, so those archs run
+// the blocked form (see DESIGN.md §14 dispatch table).
 // ---------------------------------------------------------------
 
 /** Geometry of a 2D conv delta update (valid padding + stride). */

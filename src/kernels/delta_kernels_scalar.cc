@@ -22,10 +22,9 @@ applyDeltasScalar(const ChangeList &changes, const float *weights,
 {
     const size_t k = changes.size();
     for (size_t c = 0; c < k; ++c) {
-        const float d = changes.deltas[c];
+        const float d = changes.delta(c);
         const float *w_row =
-            weights +
-            static_cast<int64_t>(changes.positions[c]) * m;
+            weights + static_cast<int64_t>(changes.position(c)) * m;
         for (int64_t o = 0; o < m; ++o)
             out[o] += d * w_row[o];
     }
@@ -56,8 +55,8 @@ applyConvDeltas2dScalar(const ChangeList &changes,
     const int64_t hw = g.in_h * g.in_w;
     const int64_t out_map = g.out_h * g.out_w;
     for (size_t c = 0; c < k; ++c) {
-        const int64_t i = changes.positions[c];
-        const float d = changes.deltas[c];
+        const int64_t i = changes.position(c);
+        const float d = changes.delta(c);
         const int64_t ci = i / hw;
         const int64_t y = (i / g.in_w) % g.in_h;
         const int64_t x = i % g.in_w;
@@ -97,8 +96,8 @@ applyConvDeltas3dScalar(const ChangeList &changes,
     const int64_t dhw = g.in_d * hw;
     const int64_t out_map = g.out_d * g.out_h * g.out_w;
     for (size_t c = 0; c < k; ++c) {
-        const int64_t i = changes.positions[c];
-        const float dv = changes.deltas[c];
+        const int64_t i = changes.position(c);
+        const float dv = changes.delta(c);
         const int64_t ci = i / dhw;
         const int64_t z = (i / hw) % g.in_d;
         const int64_t y = (i / g.in_w) % g.in_h;

@@ -1,0 +1,44 @@
+#include "dispatch.h"
+
+#include <cstdlib>
+#include <string>
+#include <string_view>
+
+#include "common/logging.h"
+
+namespace reuse {
+namespace kernels {
+
+const DeltaDispatch &
+defaultDispatch()
+{
+    static const DeltaDispatch cfg = [] {
+        DeltaDispatch c;
+        c.arch = bestSupportedArch();
+        if (const char *env = std::getenv("REUSE_KERNELS")) {
+            KernelArch forced;
+            if (!parseKernelArch(env, forced)) {
+                warn(std::string("REUSE_KERNELS=") + env +
+                     " is not a known kernel arch; using " +
+                     archName(c.arch));
+            } else if (!archCompiled(forced) ||
+                       !archRunnable(forced)) {
+                warn(std::string("REUSE_KERNELS=") + env +
+                     " is not supported on this host/build; using " +
+                     archName(c.arch));
+            } else {
+                c.arch = forced;
+            }
+        }
+        if (const char *env =
+                std::getenv("REUSE_KERNEL_PAR_THRESHOLD")) {
+            c.parallel_mac_threshold =
+                std::strtoll(env, nullptr, 10);
+        }
+        return c;
+    }();
+    return cfg;
+}
+
+} // namespace kernels
+} // namespace reuse

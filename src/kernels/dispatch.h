@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Process-wide kernel dispatch configuration.
+ *
+ * One DeltaDispatch value names the implementation family
+ * (KernelArch) every kernel entry point routes to, plus the
+ * threading policy.  The default is computed once per process:
+ * CPUID picks the widest compiled-and-runnable arch, and the
+ * REUSE_KERNELS environment variable overrides it (falling back,
+ * with a warning, when it names an arch this host cannot execute).
+ */
+
+#ifndef REUSE_DNN_KERNELS_DISPATCH_H
+#define REUSE_DNN_KERNELS_DISPATCH_H
+
+#include <cstdint>
+
+#include "kernels/cpu_features.h"
+#include "kernels/thread_pool.h"
+
+namespace reuse {
+namespace kernels {
+
+/**
+ * Default MAC threshold (changed × outputs) above which a dispatched
+ * kernel partitions its output range across the thread pool.  Below
+ * it, threading overhead exceeds the win.
+ */
+constexpr int64_t kDefaultParallelMacThreshold = 1 << 20;
+
+/**
+ * Runtime kernel-dispatch configuration.  The process-wide default
+ * is read once from the environment: REUSE_KERNELS=
+ * scalar|blocked|avx2|avx512|neon forces an implementation family,
+ * REUSE_KERNEL_PAR_THRESHOLD overrides the threading threshold
+ * (negative disables threading), and REUSE_KERNEL_THREADS sizes the
+ * pool (see thread_pool.h).
+ */
+struct DeltaDispatch {
+    /** Implementation family every kernel routes to. */
+    KernelArch arch = KernelArch::Blocked;
+    /** MAC count at which to thread; negative = never. */
+    int64_t parallel_mac_threshold = kDefaultParallelMacThreshold;
+    /** Pool to thread on; null = KernelThreadPool::global(). */
+    KernelThreadPool *pool = nullptr;
+};
+
+/** Process-wide dispatch configuration (CPUID + env, cached). */
+const DeltaDispatch &defaultDispatch();
+
+} // namespace kernels
+} // namespace reuse
+
+#endif // REUSE_DNN_KERNELS_DISPATCH_H

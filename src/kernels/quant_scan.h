@@ -6,10 +6,19 @@
  * LinearQuantizer::index() is semantically one division, one rounding
  * and one clamp, but calling it per element re-reads the quantizer
  * members through the object pointer on every iteration.  The hot
- * loops instead copy the three parameters into a QuantScanParams
- * value once (registers for the whole loop) and call quantIndex(),
- * which is the single definition of the index function: the
- * LinearQuantizer delegates to it, so both paths agree bit-exactly.
+ * loops instead copy the parameters into a QuantScanParams value once
+ * (registers for the whole loop) and call quantIndex(), which is the
+ * single definition of the index function: the LinearQuantizer
+ * delegates to it, so both paths agree bit-exactly.
+ *
+ * The clamp runs in the float domain *before* the float-to-int
+ * conversion (rather than on the converted integer) so the scalar
+ * reference and the SIMD kernels agree for every input: a float
+ * whose quotient exceeds int32 range would wrap through the scalar
+ * long->int32 cast but saturate through the vector cvttps
+ * conversion.  For all in-range quotients the two clamp orders give
+ * identical indices because float(min_index)/float(max_index) are
+ * exactly representable (indices are small).
  */
 
 #ifndef REUSE_DNN_KERNELS_QUANT_SCAN_H
@@ -26,18 +35,33 @@ struct QuantScanParams {
     float step;         ///< Quantization step (range / clusters).
     int32_t min_index;  ///< Smallest representable index.
     int32_t max_index;  ///< Largest representable index.
+    /**
+     * Near-match cluster radius: an input whose new index is within
+     * `radius` of its buffered index keeps the buffered index as its
+     * representative (no change emitted).  0 = exact matching.  The
+     * per-element value error is bounded by radius * step at all
+     * times because the representative never drifts further than the
+     * comparison allows.
+     */
+    int32_t radius = 0;
 };
 
 /**
- * Quantization index of `v`: round(v / step) clamped to the profiled
- * range.  Branchless except for the clamp min/max selects.
+ * Quantization index of `v`: round(v / step), half away from zero,
+ * clamped to the profiled range.  The comparisons are written to
+ * mirror the SSE/AVX max/min semantics (a NaN quotient clamps to
+ * min_index), keeping the scalar reference and the vector kernels
+ * bit-identical on every input.
  */
 inline int32_t
 quantIndex(const QuantScanParams &q, float v)
 {
-    const int32_t idx = static_cast<int32_t>(std::lround(v / q.step));
-    const int32_t lo = idx < q.min_index ? q.min_index : idx;
-    return lo > q.max_index ? q.max_index : lo;
+    float x = v / q.step;
+    const float lo = static_cast<float>(q.min_index);
+    const float hi = static_cast<float>(q.max_index);
+    x = x > lo ? x : lo;
+    x = x < hi ? x : hi;
+    return static_cast<int32_t>(std::lround(x));
 }
 
 /** Centroid value of an index: idx * step. */
@@ -45,6 +69,24 @@ inline float
 quantCentroid(const QuantScanParams &q, int32_t idx)
 {
     return static_cast<float>(idx) * q.step;
+}
+
+/**
+ * Drift-estimate share of `near_matched` suppressed changes at this
+ * scan's cluster radius: each one leaves up to radius quantization
+ * steps of input error standing, expressed relative to the
+ * quantizer's representable range so the DriftGuard can add it to
+ * the same accumulated relative-error budget as fp32 rounding.
+ */
+inline double
+nearMatchDriftShare(const QuantScanParams &q, int64_t near_matched)
+{
+    const double range = static_cast<double>(q.max_index) -
+                         static_cast<double>(q.min_index);
+    if (q.radius <= 0 || near_matched <= 0 || range <= 0.0)
+        return 0.0;
+    return static_cast<double>(near_matched) *
+           (static_cast<double>(q.radius) / range);
 }
 
 } // namespace kernels

@@ -12,6 +12,7 @@
 #ifndef REUSE_DNN_NN_CONV2D_H
 #define REUSE_DNN_NN_CONV2D_H
 
+#include "common/aligned.h"
 #include "nn/layer.h"
 
 namespace reuse {
@@ -60,12 +61,12 @@ class Conv2DLayer : public Layer
     }
 
     /** Flat weight storage. */
-    std::vector<float> &weights() { return weights_; }
-    const std::vector<float> &weights() const { return weights_; }
+    AlignedVector<float> &weights() { return weights_; }
+    const AlignedVector<float> &weights() const { return weights_; }
 
     /** Per-filter biases. */
-    std::vector<float> &biases() { return biases_; }
-    const std::vector<float> &biases() const { return biases_; }
+    AlignedVector<float> &biases() { return biases_; }
+    const AlignedVector<float> &biases() const { return biases_; }
 
     /**
      * Applies the delta-correction for a single changed input pixel
@@ -95,8 +96,8 @@ class Conv2DLayer : public Layer
     int64_t out_channels_;
     int64_t kernel_;
     int64_t stride_;
-    std::vector<float> weights_;
-    std::vector<float> biases_;
+    AlignedVector<float> weights_;
+    AlignedVector<float> biases_;
 };
 
 } // namespace reuse

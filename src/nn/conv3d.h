@@ -12,6 +12,7 @@
 #ifndef REUSE_DNN_NN_CONV3D_H
 #define REUSE_DNN_NN_CONV3D_H
 
+#include "common/aligned.h"
 #include "nn/layer.h"
 
 namespace reuse {
@@ -46,12 +47,12 @@ class Conv3DLayer : public Layer
     int64_t pad() const { return pad_; }
 
     /** Flat weight storage. */
-    std::vector<float> &weights() { return weights_; }
-    const std::vector<float> &weights() const { return weights_; }
+    AlignedVector<float> &weights() { return weights_; }
+    const AlignedVector<float> &weights() const { return weights_; }
 
     /** Per-filter biases. */
-    std::vector<float> &biases() { return biases_; }
-    const std::vector<float> &biases() const { return biases_; }
+    AlignedVector<float> &biases() { return biases_; }
+    const AlignedVector<float> &biases() const { return biases_; }
 
     /**
      * Delta-correction for one changed input voxel (ci, d, y, x):
@@ -78,8 +79,8 @@ class Conv3DLayer : public Layer
     int64_t out_channels_;
     int64_t kernel_;
     int64_t pad_;
-    std::vector<float> weights_;
-    std::vector<float> biases_;
+    AlignedVector<float> weights_;
+    AlignedVector<float> biases_;
 };
 
 } // namespace reuse

@@ -55,7 +55,7 @@ FullyConnectedLayer::macCount(const Shape &input) const
 
 void
 FullyConnectedLayer::applyDelta(int64_t input_index, float delta,
-                                std::vector<float> &outputs) const
+                                AlignedVector<float> &outputs) const
 {
     REUSE_ASSERT(input_index >= 0 && input_index < inputs_,
                  name() << ": delta input index " << input_index

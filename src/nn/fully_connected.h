@@ -12,6 +12,7 @@
 #ifndef REUSE_DNN_NN_FULLY_CONNECTED_H
 #define REUSE_DNN_NN_FULLY_CONNECTED_H
 
+#include "common/aligned.h"
 #include "nn/layer.h"
 
 namespace reuse {
@@ -55,17 +56,17 @@ class FullyConnectedLayer : public Layer
         return weights_[i * outputs_ + o];
     }
 
-    /** Input-major weight storage: w[i * outputs + o]. */
-    const std::vector<float> &weights() const { return weights_; }
+    /** Input-major weight storage: w[i * outputs + o], 64B-aligned. */
+    const AlignedVector<float> &weights() const { return weights_; }
 
     /** Mutable weight storage. */
-    std::vector<float> &weights() { return weights_; }
+    AlignedVector<float> &weights() { return weights_; }
 
-    /** Bias vector, one entry per output neuron. */
-    const std::vector<float> &biases() const { return biases_; }
+    /** Bias vector, one entry per output neuron, 64B-aligned. */
+    const AlignedVector<float> &biases() const { return biases_; }
 
     /** Mutable bias vector. */
-    std::vector<float> &biases() { return biases_; }
+    AlignedVector<float> &biases() { return biases_; }
 
     /**
      * Applies the delta-correction of Eq. 10 for a single changed
@@ -73,13 +74,13 @@ class FullyConnectedLayer : public Layer
      * reuse engine and the LSTM cell share one implementation.
      */
     void applyDelta(int64_t input_index, float delta,
-                    std::vector<float> &outputs) const;
+                    AlignedVector<float> &outputs) const;
 
   private:
     int64_t inputs_;
     int64_t outputs_;
-    std::vector<float> weights_;
-    std::vector<float> biases_;
+    AlignedVector<float> weights_;
+    AlignedVector<float> biases_;
 };
 
 } // namespace reuse

@@ -34,8 +34,8 @@ LstmCell::initialState() const
 }
 
 LstmCell::Preacts
-LstmCell::computePreacts(const std::vector<float> &x,
-                         const std::vector<float> &h_prev) const
+LstmCell::computePreacts(const AlignedVector<float> &x,
+                         const AlignedVector<float> &h_prev) const
 {
     REUSE_ASSERT(static_cast<int64_t>(x.size()) == input_dim_,
                  "LSTM x size mismatch");
@@ -57,7 +57,7 @@ LstmCell::computePreacts(const std::vector<float> &x,
 
 LstmCell::State
 LstmCell::finishStep(const Preacts &preacts,
-                     const std::vector<float> &c_prev) const
+                     const AlignedVector<float> &c_prev) const
 {
     REUSE_ASSERT(static_cast<int64_t>(c_prev.size()) == cell_dim_,
                  "LSTM c size mismatch");
@@ -81,7 +81,7 @@ LstmCell::finishStep(const Preacts &preacts,
 }
 
 LstmCell::State
-LstmCell::step(const std::vector<float> &x, const State &prev) const
+LstmCell::step(const AlignedVector<float> &x, const State &prev) const
 {
     return finishStep(computePreacts(x, prev.h), prev.c);
 }

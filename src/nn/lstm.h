@@ -15,6 +15,7 @@
 
 #include <array>
 
+#include "common/aligned.h"
 #include "nn/fully_connected.h"
 #include "nn/layer.h"
 
@@ -39,15 +40,15 @@ enum LstmGate : int {
 class LstmCell
 {
   public:
-    /** Combined per-step state of an LSTM cell. */
+    /** Combined per-step state of an LSTM cell (64B-aligned). */
     struct State {
-        std::vector<float> h;   ///< Hidden output h_t.
-        std::vector<float> c;   ///< Cell state c_t.
+        AlignedVector<float> h;   ///< Hidden output h_t.
+        AlignedVector<float> c;   ///< Cell state c_t.
     };
 
     /** Gate pre-activations before sigma/phi are applied. */
     using Preacts =
-        std::array<std::vector<float>, NumLstmGates>;
+        std::array<AlignedVector<float>, NumLstmGates>;
 
     /**
      * @param input_dim Dimension of the feed-forward input x_t.
@@ -85,18 +86,18 @@ class LstmCell
      * Computes the four gate pre-activations from scratch:
      * z_g = Wx_g x + Wh_g h_prev + b_g.
      */
-    Preacts computePreacts(const std::vector<float> &x,
-                           const std::vector<float> &h_prev) const;
+    Preacts computePreacts(const AlignedVector<float> &x,
+                           const AlignedVector<float> &h_prev) const;
 
     /**
      * Elementwise tail of the step: applies gate nonlinearities and
      * Eqs. 7-8 to produce (h_t, c_t) from pre-activations and c_{t-1}.
      */
     State finishStep(const Preacts &preacts,
-                     const std::vector<float> &c_prev) const;
+                     const AlignedVector<float> &c_prev) const;
 
     /** Full step: computePreacts + finishStep. */
-    State step(const std::vector<float> &x, const State &prev) const;
+    State step(const AlignedVector<float> &x, const State &prev) const;
 
     /** Total trainable parameters in the cell. */
     int64_t paramCount() const;

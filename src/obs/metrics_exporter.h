@@ -40,7 +40,7 @@ class MetricsExporter
          * (exposed as "<name>_ewma").
          */
         std::vector<std::string> ewmaSuffixes = {
-            ".similarity", ".reuse", ".occupancy",
+            ".similarity", ".reuse", ".near_match", ".occupancy",
             ".drift_refresh_rate"};
         /** Metric-name prefix in the Prometheus exposition. */
         std::string promPrefix = "reuse_";

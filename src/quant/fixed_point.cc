@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/aligned.h"
 #include "common/logging.h"
 #include "common/math_utils.h"
 #include "nn/conv2d.h"
@@ -40,7 +41,7 @@ FixedPointFormat::encode(float v) const
 namespace {
 
 float
-absMax(const std::vector<float> &values)
+absMax(const AlignedVector<float> &values)
 {
     float m = 0.0f;
     for (float v : values)
@@ -49,7 +50,7 @@ absMax(const std::vector<float> &values)
 }
 
 void
-snapAll(std::vector<float> &values, int bits)
+snapAll(AlignedVector<float> &values, int bits)
 {
     const FixedPointFormat fmt =
         FixedPointFormat::forAbsMax(absMax(values), bits);

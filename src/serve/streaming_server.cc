@@ -414,6 +414,7 @@ StreamingServer::publishStats(StatRegistry &registry) const
             a.driftRefreshes += l.driftRefreshes;
             a.inputsChecked += l.inputsChecked;
             a.inputsChanged += l.inputsChanged;
+            a.inputsNearMatched += l.inputsNearMatched;
             a.macsFull += l.macsFull;
             a.macsPerformed += l.macsPerformed;
             a.macsFullAll += l.macsFullAll;
@@ -423,6 +424,7 @@ StreamingServer::publishStats(StatRegistry &registry) const
     for (const auto &[model, layers] : per_model) {
         double sim_sum = 0.0;
         double reuse_sum = 0.0;
+        double near_sum = 0.0;
         int64_t enabled = 0;
         int64_t refreshes = 0;
         int64_t executions = 0;
@@ -435,11 +437,13 @@ StreamingServer::publishStats(StatRegistry &registry) const
             ++enabled;
             sim_sum += l.similarity();
             reuse_sum += l.computationReuse();
+            near_sum += l.nearMatchRate();
             const std::string base = "serve.model." + model +
                                      ".layer" + std::to_string(i) +
                                      ".";
             set(base + "similarity", l.similarity());
             set(base + "reuse", l.computationReuse());
+            set(base + "near_match", l.nearMatchRate());
             set(base + "occupancy",
                 l.inputsChecked == 0
                     ? 0.0
@@ -453,6 +457,9 @@ StreamingServer::publishStats(StatRegistry &registry) const
         set(base + "reuse",
             enabled == 0 ? 0.0
                          : reuse_sum / static_cast<double>(enabled));
+        set(base + "near_match",
+            enabled == 0 ? 0.0
+                         : near_sum / static_cast<double>(enabled));
         set(base + "drift_refresh_rate",
             executions == 0 ? 0.0
                             : static_cast<double>(refreshes) /

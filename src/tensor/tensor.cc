@@ -21,8 +21,16 @@ Tensor::Tensor(Shape shape, float fill)
 {
 }
 
-Tensor::Tensor(Shape shape, std::vector<float> data)
+Tensor::Tensor(Shape shape, AlignedVector<float> data)
     : shape_(std::move(shape)), data_(std::move(data))
+{
+    REUSE_ASSERT(static_cast<int64_t>(data_.size()) == shape_.numel(),
+                 "data size " << data_.size() << " != shape numel "
+                              << shape_.numel());
+}
+
+Tensor::Tensor(Shape shape, const std::vector<float> &data)
+    : shape_(std::move(shape)), data_(data.begin(), data.end())
 {
     REUSE_ASSERT(static_cast<int64_t>(data_.size()) == shape_.numel(),
                  "data size " << data_.size() << " != shape numel "

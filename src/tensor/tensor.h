@@ -10,6 +10,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/aligned.h"
 #include "tensor/shape.h"
 
 namespace reuse {
@@ -35,7 +36,10 @@ class Tensor
     Tensor(Shape shape, float fill);
 
     /** Creates a tensor adopting `data`; size must match the shape. */
-    Tensor(Shape shape, std::vector<float> data);
+    Tensor(Shape shape, AlignedVector<float> data);
+
+    /** Creates a tensor copying `data`; size must match the shape. */
+    Tensor(Shape shape, const std::vector<float> &data);
 
     /** Shape of the tensor. */
     const Shape &shape() const { return shape_; }
@@ -64,11 +68,11 @@ class Tensor
     /** Multi-index access (mutable). */
     float &at(const std::vector<int64_t> &index);
 
-    /** Raw storage (read-only). */
-    const std::vector<float> &data() const { return data_; }
+    /** Raw storage (read-only), 64-byte aligned. */
+    const AlignedVector<float> &data() const { return data_; }
 
-    /** Raw storage (mutable). */
-    std::vector<float> &data() { return data_; }
+    /** Raw storage (mutable), 64-byte aligned. */
+    AlignedVector<float> &data() { return data_; }
 
     /** Sets every element to `v`. */
     void fill(float v);
@@ -96,7 +100,7 @@ class Tensor
 
   private:
     Shape shape_;
-    std::vector<float> data_;
+    AlignedVector<float> data_;
 };
 
 } // namespace reuse

@@ -65,7 +65,7 @@ applyCnnSparsity(Network &net, Rng &rng, float shift_sigmas,
         Layer &layer = net.layer(params[k]);
         double fan_in = 0.0;
         double fan_out = 0.0;
-        std::vector<float> *biases = nullptr;
+        AlignedVector<float> *biases = nullptr;
         switch (layer.kind()) {
           case LayerKind::FullyConnected: {
             auto &fc = static_cast<FullyConnectedLayer &>(layer);

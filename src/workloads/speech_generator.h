@@ -15,6 +15,7 @@
 
 #include <deque>
 
+#include "common/aligned.h"
 #include "common/random.h"
 #include "workloads/sequence_generator.h"
 
@@ -54,8 +55,8 @@ class SpeechFrameGenerator : public SequenceGenerator
 
     SpeechParams params_;
     Rng rng_;
-    std::vector<float> target_;
-    std::vector<float> wander_;
+    AlignedVector<float> target_;
+    AlignedVector<float> wander_;
     int64_t frames_left_ = 0;
 };
 

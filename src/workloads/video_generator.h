@@ -15,6 +15,7 @@
 #ifndef REUSE_DNN_WORKLOADS_VIDEO_GENERATOR_H
 #define REUSE_DNN_WORKLOADS_VIDEO_GENERATOR_H
 
+#include "common/aligned.h"
 #include "common/random.h"
 #include "workloads/sequence_generator.h"
 
@@ -63,7 +64,7 @@ class VideoWindowGenerator : public SequenceGenerator
 
     VideoParams params_;
     Rng rng_;
-    std::vector<float> background_;   // [3, H, W]
+    AlignedVector<float> background_;   // [3, H, W]
     std::vector<MovingObject> objects_;
 };
 

@@ -64,10 +64,10 @@ TEST(LstmCellReuse, ConstantInputReusesEverythingEventually)
     initLstm(cell, rng);
     LstmCellReuseState state(cell, coarseQuant(), coarseQuant(-1, 1));
 
-    std::vector<float> x(4, 0.5f);
+    AlignedVector<float> x(4, 0.5f);
     LayerExecRecord rec{};
     // After the hidden state settles, both x and h comparisons hit.
-    std::vector<float> h_prev;
+    AlignedVector<float> h_prev;
     for (int t = 0; t < 60; ++t) {
         rec = LayerExecRecord{};
         h_prev = state.step(x, rec);
@@ -82,7 +82,7 @@ TEST(LstmCellReuse, CountsXAndHChecks)
     LstmCell cell(7, 5);
     initLstm(cell, rng);
     LstmCellReuseState state(cell, coarseQuant(), coarseQuant(-1, 1));
-    std::vector<float> x(7, 0.1f);
+    AlignedVector<float> x(7, 0.1f);
     LayerExecRecord rec{};
     state.step(x, rec);                   // first step: from scratch
     EXPECT_EQ(rec.inputsChecked, 0);
@@ -98,7 +98,7 @@ TEST(LstmCellReuse, ResetRestartsFromScratch)
     LstmCell cell(3, 3);
     initLstm(cell, rng);
     LstmCellReuseState state(cell, coarseQuant(), coarseQuant(-1, 1));
-    std::vector<float> x(3, 0.2f);
+    AlignedVector<float> x(3, 0.2f);
     LayerExecRecord rec{};
     state.step(x, rec);
     state.step(x, rec);

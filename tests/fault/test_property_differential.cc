@@ -72,7 +72,7 @@ dyadicInput(Rng &rng)
 }
 
 void
-dyadicize(std::vector<float> &values, Rng &rng)
+dyadicize(AlignedVector<float> &values, Rng &rng)
 {
     for (float &v : values)
         v = dyadicWeight(rng);

@@ -120,7 +120,7 @@ TEST(ApplyDeltas, ScalarDispatchMatchesBlocked)
     const ChangeList changes = makeChanges(n, 0.4, rng);
 
     DeltaDispatch scalar_dispatch;
-    scalar_dispatch.blocked = false;
+    scalar_dispatch.arch = kernels::KernelArch::Scalar;
     std::vector<float> a = base;
     std::vector<float> b = base;
     kernels::applyDeltas(changes, weights.data(), m, a.data(),
@@ -237,12 +237,14 @@ TEST(ScanChanges, MatchesNaiveQuantizerLoop)
 
     ChangeList changes;
     const int64_t changed = kernels::scanChanges(
-        next.data(), n, q, prev_indices.data(), changes);
+        next.data(), n, q, prev_indices.data(), changes).changed;
     EXPECT_EQ(changed, static_cast<int64_t>(want_positions.size()));
-    ASSERT_EQ(changes.positions, want_positions);
-    ASSERT_EQ(changes.deltas.size(), want_deltas.size());
+    ASSERT_EQ(changes.size(), want_positions.size());
+    for (size_t c = 0; c < want_positions.size(); ++c)
+        EXPECT_EQ(changes.position(c), want_positions[c])
+            << "change " << c;
     for (size_t c = 0; c < want_deltas.size(); ++c)
-        EXPECT_EQ(changes.deltas[c], want_deltas[c]) << "change " << c;
+        EXPECT_EQ(changes.delta(c), want_deltas[c]) << "change " << c;
     EXPECT_EQ(prev_indices, naive_indices);
 }
 
@@ -257,11 +259,13 @@ TEST(ScanChanges, AllAndNoneChanged)
 
     ChangeList changes;
     EXPECT_EQ(kernels::scanChanges(input.data(), n, q,
-                                   prev_indices.data(), changes),
+                                   prev_indices.data(), changes)
+                  .changed,
               n);
     // Second scan of the identical input: nothing changed.
     EXPECT_EQ(kernels::scanChanges(input.data(), n, q,
-                                   prev_indices.data(), changes),
+                                   prev_indices.data(), changes)
+                  .changed,
               0);
     EXPECT_TRUE(changes.empty());
 }

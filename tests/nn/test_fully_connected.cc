@@ -61,7 +61,7 @@ TEST(FullyConnected, ApplyDeltaMatchesRecompute)
     const Tensor base = fc.forward(in);
 
     // Change input 3 by +0.25 and correct incrementally.
-    std::vector<float> corrected(base.data());
+    AlignedVector<float> corrected(base.data());
     fc.applyDelta(3, 0.25f, corrected);
     Tensor in2 = in;
     in2[3] += 0.25f;
@@ -75,7 +75,7 @@ TEST(FullyConnected, ApplyDeltaZeroIsNoop)
     Rng rng(12);
     FullyConnectedLayer fc("fc", 4, 4);
     initGlorot(fc, rng);
-    std::vector<float> out(4, 1.0f);
+    AlignedVector<float> out(4, 1.0f);
     fc.applyDelta(0, 0.0f, out);
     for (float v : out)
         EXPECT_EQ(v, 1.0f);
@@ -108,7 +108,7 @@ TEST(FullyConnectedDeath, WrongInputSizePanics)
 TEST(FullyConnectedDeath, BadDeltaIndexPanics)
 {
     FullyConnectedLayer fc("fc", 3, 2);
-    std::vector<float> out(2, 0.0f);
+    AlignedVector<float> out(2, 0.0f);
     EXPECT_DEATH(fc.applyDelta(3, 1.0f, out), "out of range");
 }
 

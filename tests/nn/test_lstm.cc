@@ -41,7 +41,7 @@ TEST(LstmCell, StepMatchesManualGateEquations)
     LstmCell::State prev;
     prev.h = {0.3f};
     prev.c = {-0.2f};
-    const std::vector<float> x = {0.7f};
+    const AlignedVector<float> x = {0.7f};
     const auto s = cell.step(x, prev);
 
     const float zi = wx[0] * x[0] + wh[0] * prev.h[0] + b[0];
@@ -63,7 +63,7 @@ TEST(LstmCell, HiddenOutputBounded)
     initLstm(cell, rng);
     LstmCell::State s = cell.initialState();
     for (int t = 0; t < 20; ++t) {
-        std::vector<float> x(8);
+        AlignedVector<float> x(8);
         for (auto &v : x)
             v = rng.gaussian(0.0f, 2.0f);
         s = cell.step(x, s);
@@ -80,7 +80,7 @@ TEST(LstmCell, PreactsPlusFinishEqualsStep)
     LstmCell cell(5, 4);
     initLstm(cell, rng);
     LstmCell::State prev = cell.initialState();
-    std::vector<float> x(5);
+    AlignedVector<float> x(5);
     for (auto &v : x)
         v = rng.gaussian(0.0f, 1.0f);
     const auto preacts = cell.computePreacts(x, prev.h);

@@ -31,6 +31,15 @@
  *                 and float text is locale/libc-rounding dependent
  *                 (integers only; scale fixed-point instead).
  *
+ *  raw-simd       Vector intrinsics (_mm/NEON tokens and the
+ *                 <immintrin.h>/<arm_neon.h> headers) are forbidden
+ *                 in src/ outside src/kernels/: all SIMD lives
+ *                 behind the dispatched kernel entry points
+ *                 (kernels/delta_kernels.h, kernels/change_list.h)
+ *                 so the scalar reference stays the single
+ *                 correctness contract and dispatch stays in one
+ *                 place.
+ *
  * Comments and string literals are stripped before token matching
  * (except float-format, which inspects string literals), so prose
  * mentioning std::mutex does not count.
@@ -223,6 +232,44 @@ hasFloatFormatSpec(const std::string &strings)
     return false;
 }
 
+/**
+ * True when `code` carries an x86 intrinsic token: "_mm" bounded on
+ * the left by a non-identifier character (so "foo_mm" is fine) and
+ * continued by identifier characters ("_mm_add_ps", "_mm256_...",
+ * "__m512" is caught via the type check below).
+ */
+bool
+hasX86Intrinsic(const std::string &code)
+{
+    size_t pos = 0;
+    while ((pos = code.find("_mm", pos)) != std::string::npos) {
+        const bool bounded_left =
+            pos == 0 || !isIdentChar(code[pos - 1]);
+        if (bounded_left && pos + 3 < code.size() &&
+            isIdentChar(code[pos + 3]))
+            return true;
+        pos += 3;
+    }
+    // Vector register types (__m128/__m256/__m512 and variants).
+    for (const char *type : {"__m128", "__m256", "__m512"}) {
+        if (code.find(type) != std::string::npos)
+            return true;
+    }
+    return false;
+}
+
+/** True when `code` carries a NEON vector type or load/store. */
+bool
+hasNeonIntrinsic(const std::string &code)
+{
+    for (const char *tok :
+         {"float32x4_t", "int32x4_t", "uint32x4_t", "vld1q", "vst1q"}) {
+        if (hasIdentifier(code, tok))
+            return true;
+    }
+    return false;
+}
+
 const char *const kRawSyncTypes[] = {
     "mutex",          "timed_mutex",
     "recursive_mutex", "recursive_timed_mutex",
@@ -251,6 +298,7 @@ lintFile(const fs::path &path, const fs::path &src_root,
     const bool is_sync_header = rel == "common/sync.h";
     const bool in_obs = rel.rfind("obs/", 0) == 0;
     const bool is_plan_dump = rel == "ir/compiled_plan.cc";
+    const bool in_kernels = rel.rfind("kernels/", 0) == 0;
 
     for (size_t ln = 0; ln < lines.size(); ++ln) {
         const Line &line = lines[ln];
@@ -301,6 +349,27 @@ lintFile(const fs::path &path, const fs::path &src_root,
             report("trace-event",
                    "raw TraceEvent is obs-internal; emit spans via "
                    "TraceSpan/FrameTraceScope or recordInstant");
+
+        if (!in_kernels) {
+            const size_t inc = code.find("#include");
+            if (inc != std::string::npos) {
+                for (const char *header :
+                     {"<immintrin.h>", "<x86intrin.h>",
+                      "<arm_neon.h>"}) {
+                    if (code.find(header, inc) != std::string::npos)
+                        report("raw-simd",
+                               std::string("#include ") + header +
+                                   " is forbidden outside "
+                                   "src/kernels/; call the "
+                                   "dispatched kernels instead");
+                }
+            }
+            if (hasX86Intrinsic(code) || hasNeonIntrinsic(code))
+                report("raw-simd",
+                       "vector intrinsics are forbidden outside "
+                       "src/kernels/; call the dispatched kernels "
+                       "instead");
+        }
 
         if (is_plan_dump) {
             if (hasFloatFormatSpec(line.strings))
