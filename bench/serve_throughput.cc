@@ -16,12 +16,14 @@
  *      bit-identical to a reference that resets at the same frames.
  */
 
+#include <algorithm>
 #include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <fstream>
 #include <future>
 #include <iostream>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -138,16 +140,264 @@ runMultiModelPhase(const ReuseEngine &kaldi, const Workload &wk)
 }
 
 /**
+ * Tail-latency phase (`--slo`): open-loop, paced load against the
+ * sharded EDF scheduler.  Unlike the closed-loop flood above — which
+ * measures saturated throughput and therefore reports queueing delay,
+ * not service latency — this phase first calibrates the per-frame
+ * service time on this machine, then offers frames at a fixed ~50%
+ * utilization of the worker pool, round-robin across >= 1k sessions
+ * in an Interactive/Standard/Batch mix.  What is measured is the
+ * thing the SLO classes promise: submit-to-completion latency per
+ * class and the fraction of frames that missed their class deadline.
+ */
+struct SloClassStats {
+    uint64_t completed = 0;
+    uint64_t shed = 0;
+    uint64_t misses = 0;
+    double p50_us = 0.0;
+    double p99_us = 0.0;
+    double missRate() const
+    {
+        return completed == 0 ? 0.0
+                              : double(misses) / double(completed);
+    }
+};
+
+struct SloStats {
+    size_t sessions = 0;
+    size_t workers = 0;
+    size_t shards = 0;
+    uint64_t offered = 0;
+    uint64_t completed = 0;
+    uint64_t shed = 0;
+    int64_t service_us = 0;
+    double offered_fps = 0.0;
+    double p50_us = 0.0;
+    double p99_us = 0.0;
+    double miss_rate = 0.0;
+    SloClassStats cls[kSloClassCount];
+};
+
+/** Session index -> SLO class: 1/2 Interactive, 1/4 each of rest. */
+SloClass
+sloClassFor(size_t session)
+{
+    if (session % 2 == 0)
+        return SloClass::Interactive;
+    return session % 4 == 1 ? SloClass::Standard : SloClass::Batch;
+}
+
+SloStats
+runSloPhase(const ReuseEngine &engine, const Workload &w,
+            size_t sessions, size_t frames_per_session)
+{
+    SloStats out;
+    out.sessions = sessions;
+    out.workers = std::max(
+        2u, std::min(4u, std::thread::hardware_concurrency()));
+
+    const uint64_t kBaseSeed = 5200;
+    MultiSessionGenerator streams(w.makeGenerator, sessions,
+                                  kBaseSeed);
+    // Frame 0 of every stream is unpaced warmup (a cold frame costs
+    // a multiple of a warm one — reuse has nothing to correct from —
+    // and 1k simultaneous colds would be a transient overload that
+    // says nothing about steady-state tail latency); frames
+    // 1..frames_per_session are the measured, paced load.
+    std::vector<std::vector<Tensor>> inputs;
+    for (size_t s = 0; s < sessions; ++s)
+        inputs.push_back(streams.take(s, frames_per_session + 1));
+
+    // Calibrate the per-frame service time on this machine: one warm
+    // stream (cold first frame included, so the mean is slightly
+    // conservative) through a dedicated state.
+    {
+        const size_t kCalib = 24;
+        MultiSessionGenerator cal(w.makeGenerator, 1, kBaseSeed + 1);
+        const std::vector<Tensor> frames = cal.take(0, kCalib);
+        ReuseState state = engine.makeState();
+        ExecutionTrace trace;
+        const auto t0 = std::chrono::steady_clock::now();
+        for (const Tensor &in : frames)
+            engine.execute(state, in, trace);
+        out.service_us = std::max<int64_t>(
+            1, int64_t(secondsSince(t0) * 1e6 / double(kCalib)));
+    }
+
+    // Offered rate: 50% utilization of the pool at the calibrated
+    // service time.  Open loop: arrival times are fixed up front and
+    // do not react to completions.
+    const double interval_us =
+        double(out.service_us) / (0.5 * double(out.workers));
+    out.offered_fps = 1e6 / interval_us;
+
+    StreamingServer::Config scfg;
+    scfg.workerThreads = out.workers;
+    scfg.initialServiceEstimateMicros = out.service_us;
+    StreamingServer server(engine, scfg);
+    out.shards = server.shardCount();
+
+    std::vector<SessionId> ids;
+    for (size_t s = 0; s < sessions; ++s)
+        ids.push_back(server.openSession(
+            "default", MultiSessionGenerator::sessionSeed(kBaseSeed, s),
+            sloClassFor(s), ShardPlacer::inputSketch(inputs[s][0])));
+
+    // Warm every session (frame 0, unpaced), then zero the counters:
+    // the measured phase below sees only steady-state frames.
+    for (size_t s = 0; s < sessions; ++s)
+        server.submitFrame(ids[s], inputs[s][0]);
+    server.drain();
+    server.metrics().reset();
+
+    const uint64_t total =
+        uint64_t(sessions) * uint64_t(frames_per_session);
+    const auto t0 = std::chrono::steady_clock::now();
+    for (uint64_t k = 0; k < total; ++k) {
+        const size_t s = size_t(k % sessions);
+        const size_t i = 1 + size_t(k / sessions);
+        std::this_thread::sleep_until(
+            t0 + std::chrono::nanoseconds(
+                     int64_t(double(k) * interval_us * 1e3)));
+        StreamingServer::SubmitOutcome outcome =
+            server.trySubmitFrame(ids[s], inputs[s][i]);
+        // Shed frames are dropped, not retried: an open-loop client
+        // models callers with their own deadline, and the shed rate
+        // is itself reported.
+        (void)outcome;
+    }
+    server.drain();
+
+    const ServeMetrics &m = server.metrics();
+    out.offered = total;
+    out.completed = m.framesCompleted();
+    out.shed = m.framesShed();
+    out.p50_us = m.latency().percentile(0.50);
+    out.p99_us = m.latency().percentile(0.99);
+    out.miss_rate = out.completed == 0
+                        ? 0.0
+                        : double(m.deadlineMisses()) /
+                              double(out.completed);
+    for (size_t c = 0; c < kSloClassCount; ++c) {
+        const SloClass slo = static_cast<SloClass>(c);
+        out.cls[c].completed = m.classCompleted(slo);
+        out.cls[c].shed = m.classShed(slo);
+        out.cls[c].misses = m.classDeadlineMisses(slo);
+        out.cls[c].p50_us = m.latency(slo).percentile(0.50);
+        out.cls[c].p99_us = m.latency(slo).percentile(0.99);
+    }
+    return out;
+}
+
+/** The `--slo` record, as an indented JSON object fragment. */
+std::string
+sloJson(const SloStats &s)
+{
+    char buf[1024];
+    std::string json;
+    std::snprintf(
+        buf, sizeof(buf),
+        "  \"slo\": {\n"
+        "    \"sessions\": %zu,\n    \"workers\": %zu,\n"
+        "    \"shards\": %zu,\n"
+        "    \"service_estimate_us\": %lld,\n"
+        "    \"offered_fps\": %.1f,\n"
+        "    \"frames_offered\": %llu,\n"
+        "    \"frames_completed\": %llu,\n"
+        "    \"frames_shed\": %llu,\n"
+        "    \"latency_p50_us\": %.1f,\n"
+        "    \"latency_p99_us\": %.1f,\n"
+        "    \"deadline_miss_rate\": %.4f,\n",
+        s.sessions, s.workers, s.shards,
+        static_cast<long long>(s.service_us), s.offered_fps,
+        static_cast<unsigned long long>(s.offered),
+        static_cast<unsigned long long>(s.completed),
+        static_cast<unsigned long long>(s.shed), s.p50_us, s.p99_us,
+        s.miss_rate);
+    json += buf;
+    for (size_t c = 0; c < kSloClassCount; ++c) {
+        const SloClassStats &k = s.cls[c];
+        std::snprintf(
+            buf, sizeof(buf),
+            "    \"%s\": {\n"
+            "      \"completed\": %llu,\n      \"shed\": %llu,\n"
+            "      \"deadline_misses\": %llu,\n"
+            "      \"latency_p50_us\": %.1f,\n"
+            "      \"latency_p99_us\": %.1f,\n"
+            "      \"deadline_miss_rate\": %.4f\n    }%s\n",
+            sloClassName(static_cast<SloClass>(c)),
+            static_cast<unsigned long long>(k.completed),
+            static_cast<unsigned long long>(k.shed),
+            static_cast<unsigned long long>(k.misses), k.p50_us,
+            k.p99_us, k.missRate(),
+            c + 1 < kSloClassCount ? "," : "");
+        json += buf;
+    }
+    json += "  }";
+    return json;
+}
+
+/**
+ * Applies the SLO regression gates (`--max-p99-us` bounds the
+ * *Interactive* class p99 — under EDF the long-budget classes absorb
+ * queueing bursts by design, so their tail is load-dependent while
+ * the interactive tail is the scheduler's promise; `--max-miss-rate`
+ * bounds the all-class deadline-miss fraction; <= 0 disables a
+ * gate).  Prints one summary line; returns 0 when every enabled
+ * gate passes.
+ */
+int
+gateSlo(const SloStats &s, double max_p99_us, double max_miss_rate)
+{
+    const SloClassStats &icls =
+        s.cls[static_cast<size_t>(SloClass::Interactive)];
+    std::printf("slo: %zu sessions, %zu workers/%zu shards, "
+                "service ~%lld us, offered %.0f f/s: p50 %.0f us, "
+                "interactive p99 %.0f us, miss rate %.2f%%, "
+                "shed %llu\n",
+                s.sessions, s.workers, s.shards,
+                static_cast<long long>(s.service_us), s.offered_fps,
+                s.p50_us, icls.p99_us, s.miss_rate * 100.0,
+                static_cast<unsigned long long>(s.shed));
+    int rc = 0;
+    if (max_p99_us > 0.0 && icls.p99_us > max_p99_us) {
+        std::cerr << "serve_throughput: REGRESSION: interactive p99 "
+                  << icls.p99_us << " us > required " << max_p99_us
+                  << " us\n";
+        rc = 1;
+    }
+    if (max_miss_rate > 0.0 && s.miss_rate > max_miss_rate) {
+        std::cerr << "serve_throughput: REGRESSION: deadline miss "
+                  << "rate " << s.miss_rate << " > required "
+                  << max_miss_rate << "\n";
+        rc = 1;
+    }
+    return rc;
+}
+
+/**
  * CI perf-smoke mode: one focused throughput measurement (64 sessions
  * x 4 workers on Kaldi) plus an overload phase measuring the shed
  * rate and a two-model (Kaldi + AutoPilot) phase through the shared
  * plan cache, written as one machine-readable JSON record.
  * `min_fps` > 0 turns the record into a regression gate (on the
  * single-model measurement only; the multi-model mix is dominated by
- * AutoPilot's much larger per-frame cost).
+ * AutoPilot's much larger per-frame cost).  With `slo` the paced
+ * tail-latency phase runs too, its per-class percentiles and miss
+ * rates land in the record under "slo", and the p99/miss-rate gates
+ * apply.
  */
+struct SloOptions {
+    bool enabled = false;
+    size_t sessions = 1024;
+    size_t framesPerSession = 4;
+    double maxP99Us = 0.0;
+    double maxMissRate = 0.0;
+};
+
 int
-runJsonBench(const std::string &json_path, double min_fps)
+runJsonBench(const std::string &json_path, double min_fps,
+             const SloOptions &slo)
 {
     WorkloadSetupConfig cfg;
     Workload w = setupKaldi(cfg);
@@ -231,6 +481,13 @@ runJsonBench(const std::string &json_path, double min_fps)
     // compiled schedules shared through the plan cache.
     const MultiModelStats mm = runMultiModelPhase(engine, w);
 
+    // Optional paced tail-latency phase (gated below, after the
+    // record is written, so the numbers always land on disk).
+    SloStats slo_stats;
+    if (slo.enabled)
+        slo_stats =
+            runSloPhase(engine, w, slo.sessions, slo.framesPerSession);
+
     std::ofstream out(json_path, std::ios::trunc);
     if (!out) {
         std::cerr << "serve_throughput: cannot write " << json_path
@@ -252,21 +509,28 @@ runJsonBench(const std::string &json_path, double min_fps)
         "  \"shed_rate\": %.4f,\n"
         "  \"multi_model_fps\": %.1f,\n"
         "  \"plan_cache_hits\": %llu,\n"
-        "  \"plan_cache_misses\": %llu\n}\n",
+        "  \"plan_cache_misses\": %llu",
         kSessions, kWorkers, kSessions * kFrames, fps, p50, p95, p99,
         static_cast<unsigned long long>(shed_attempts), shed_rate,
         mm.fps, static_cast<unsigned long long>(mm.cache.hits),
         static_cast<unsigned long long>(mm.cache.misses));
     out << buf;
+    if (slo.enabled)
+        out << ",\n" << sloJson(slo_stats);
+    out << "\n}\n";
     std::printf("wrote %s (%.0f frames/s, p99 %.0f us, shed rate "
                 "%.2f%%)\n",
                 json_path.c_str(), fps, p99, shed_rate * 100.0);
+    int rc = 0;
     if (min_fps > 0.0 && fps < min_fps) {
         std::cerr << "serve_throughput: REGRESSION: " << fps
                   << " frames/s < required " << min_fps << "\n";
-        return 1;
+        rc = 1;
     }
-    return 0;
+    if (slo.enabled &&
+        gateSlo(slo_stats, slo.maxP99Us, slo.maxMissRate) != 0)
+        rc = 1;
+    return rc;
 }
 
 } // namespace
@@ -277,6 +541,7 @@ main(int argc, char **argv)
     std::string json_path;
     std::string trace_path;
     double min_fps = 0.0;
+    SloOptions slo;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         if (arg.rfind("--json=", 0) == 0)
@@ -285,6 +550,16 @@ main(int argc, char **argv)
             min_fps = std::stod(arg.substr(10));
         else if (arg.rfind("--trace-out=", 0) == 0)
             trace_path = arg.substr(12);
+        else if (arg == "--slo")
+            slo.enabled = true;
+        else if (arg.rfind("--slo-sessions=", 0) == 0)
+            slo.sessions = std::stoul(arg.substr(15));
+        else if (arg.rfind("--slo-frames=", 0) == 0)
+            slo.framesPerSession = std::stoul(arg.substr(13));
+        else if (arg.rfind("--max-p99-us=", 0) == 0)
+            slo.maxP99Us = std::stod(arg.substr(13));
+        else if (arg.rfind("--max-miss-rate=", 0) == 0)
+            slo.maxMissRate = std::stod(arg.substr(16));
     }
     if (!trace_path.empty() &&
         !obs::TraceRecorder::instance().enabled()) {
@@ -293,10 +568,20 @@ main(int argc, char **argv)
         obs::TraceRecorder::instance().setSampleEvery(16);
     }
     if (!json_path.empty()) {
-        const int rc = runJsonBench(json_path, min_fps);
+        const int rc = runJsonBench(json_path, min_fps, slo);
         if (!trace_path.empty())
             obs::TraceExporter::exportFile(trace_path);
         return rc;
+    }
+    if (slo.enabled) {
+        // Standalone `--slo` (no JSON record): run only the paced
+        // tail-latency phase and apply the gates.
+        WorkloadSetupConfig slo_cfg;
+        Workload sw = setupKaldi(slo_cfg);
+        ReuseEngine slo_engine(*sw.bundle.network, sw.plan);
+        const SloStats s = runSloPhase(slo_engine, sw, slo.sessions,
+                                       slo.framesPerSession);
+        return gateSlo(s, slo.maxP99Us, slo.maxMissRate);
     }
 
     std::cout << "Multi-stream serving throughput (Kaldi workload)\n"

@@ -1,0 +1,22 @@
+#include "clock.h"
+
+#include <chrono>
+
+namespace reuse {
+
+int64_t
+SystemClock::nowMicros() const
+{
+    return std::chrono::duration_cast<std::chrono::microseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+SystemClock &
+SystemClock::instance()
+{
+    static SystemClock clock;
+    return clock;
+}
+
+} // namespace reuse

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Time seam of the serving runtime.
+ *
+ * Every scheduler decision in src/serve (frame deadlines, EDF
+ * admission, deadline-miss accounting, shed backoff hints) reads time
+ * through this interface instead of calling std::chrono directly, so
+ * the deterministic test harness (tests/support/virtual_clock.h) can
+ * drive admission, ordering, deadline misses, stealing and eviction
+ * races on a virtual clock — no wall-clock sleeps, no flaky timing
+ * assertions.  tools/reuse_lint bans steady_clock tokens in src/serve
+ * outside clock.{h,cc} to keep it that way.
+ */
+
+#ifndef REUSE_DNN_SERVE_CLOCK_H
+#define REUSE_DNN_SERVE_CLOCK_H
+
+#include <cstdint>
+
+namespace reuse {
+
+/**
+ * Monotonic microsecond clock.  Implementations must be thread-safe
+ * and non-decreasing; the origin is arbitrary (only differences are
+ * meaningful).
+ */
+class Clock
+{
+  public:
+    virtual ~Clock() = default;
+
+    /** Monotonic timestamp in microseconds. */
+    virtual int64_t nowMicros() const = 0;
+};
+
+/** Wall clock (std::chrono::steady_clock).  Stateless singleton. */
+class SystemClock final : public Clock
+{
+  public:
+    int64_t nowMicros() const override;
+
+    /** Process-wide instance used when no clock is injected. */
+    static SystemClock &instance();
+};
+
+} // namespace reuse
+
+#endif // REUSE_DNN_SERVE_CLOCK_H

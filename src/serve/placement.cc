@@ -1,0 +1,119 @@
+#include "placement.h"
+
+#include <limits>
+
+#include "common/logging.h"
+
+namespace reuse {
+
+ShardPlacer::ShardPlacer(size_t shards)
+    : shards_(shards == 0 ? 1 : shards),
+      recent_signature_(shards == 0 ? 1 : shards)
+{
+}
+
+int
+ShardPlacer::hammingDistance(uint64_t a, uint64_t b)
+{
+    uint64_t x = a ^ b;
+    int bits = 0;
+    while (x != 0) {
+        x &= x - 1;
+        ++bits;
+    }
+    return bits;
+}
+
+uint64_t
+ShardPlacer::inputSketch(const Tensor &t)
+{
+    const int64_t n = t.numel();
+    if (n <= 0)
+        return 1;
+    uint64_t sketch = 0;
+    const int64_t samples = n < 64 ? n : 64;
+    for (int64_t i = 0; i < samples; ++i) {
+        const int64_t idx = i * n / samples;
+        if (t[idx] > 0.0f)
+            sketch |= uint64_t(1) << (i % 64);
+    }
+    return sketch | 1;
+}
+
+size_t
+ShardPlacer::place(uint64_t plan_fingerprint, uint64_t signature_hint)
+{
+    MutexLock lock(mu_);
+    int64_t best_score = std::numeric_limits<int64_t>::min();
+    size_t best = 0;
+    for (size_t i = 0; i < shards_.size(); ++i) {
+        const ShardInfo &info = shards_[i];
+        int64_t score = 0;
+        // Plan co-residency dominates: the shard's cores already hold
+        // this model's weights and schedule.
+        const auto it = info.planSessions.find(plan_fingerprint);
+        if (it != info.planSessions.end() && it->second > 0)
+            score += 4096;
+        // Recent-input similarity: up to 512 points for a bit-exact
+        // sketch match, fading with Hamming distance.
+        const uint64_t sig =
+            recent_signature_[i].load(std::memory_order_relaxed);
+        if (signature_hint != 0 && sig != 0)
+            score += (64 - hammingDistance(signature_hint, sig)) * 8;
+        // Load tiebreak: fewer resident sessions wins.
+        score -= static_cast<int64_t>(info.sessions);
+        if (score > best_score) {
+            best_score = score;
+            best = i;
+        }
+    }
+    ShardInfo &chosen = shards_[best];
+    chosen.planSessions[plan_fingerprint] += 1;
+    chosen.sessions += 1;
+    return best;
+}
+
+void
+ShardPlacer::sessionClosed(size_t shard, uint64_t plan_fingerprint)
+{
+    MutexLock lock(mu_);
+    REUSE_ASSERT(shard < shards_.size(), "shard out of range");
+    ShardInfo &info = shards_[shard];
+    auto it = info.planSessions.find(plan_fingerprint);
+    if (it != info.planSessions.end() && it->second > 0) {
+        if (--it->second == 0)
+            info.planSessions.erase(it);
+    }
+    if (info.sessions > 0)
+        --info.sessions;
+}
+
+void
+ShardPlacer::sessionMoved(size_t from, size_t to,
+                          uint64_t plan_fingerprint)
+{
+    MutexLock lock(mu_);
+    REUSE_ASSERT(from < shards_.size() && to < shards_.size(),
+                 "shard out of range");
+    ShardInfo &src = shards_[from];
+    auto it = src.planSessions.find(plan_fingerprint);
+    if (it != src.planSessions.end() && it->second > 0) {
+        if (--it->second == 0)
+            src.planSessions.erase(it);
+    }
+    if (src.sessions > 0)
+        --src.sessions;
+    ShardInfo &dst = shards_[to];
+    dst.planSessions[plan_fingerprint] += 1;
+    dst.sessions += 1;
+}
+
+size_t
+ShardPlacer::sessionCount(size_t shard) const
+{
+    MutexLock lock(mu_);
+    REUSE_ASSERT(shard < shards_.size(), "shard out of range");
+    return shards_[shard].sessions;
+}
+
+} // namespace reuse

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Similarity-aware shard placement.
+ *
+ * The reuse win on general-purpose CPUs is gated by keeping each
+ * session's ReuseState cache-resident (ReuseSense, arXiv 2311.10487);
+ * grouping *similar* inputs on the same worker further amplifies the
+ * reuse signal (MERCURY, arXiv 2110.14904).  The placer therefore
+ * routes a new session to the shard whose resident sessions (a) run
+ * the same compiled plan — their weights and schedules are already
+ * hot in that core group's caches — and (b) have recently seen inputs
+ * with a similar coarse signature, falling back to least-loaded.
+ *
+ * The input signature is a 64-bit sign sketch of the frame (one bit
+ * per sampled element); Hamming distance between sketches approximates
+ * input dissimilarity well enough for a placement *heuristic* — it
+ * never affects correctness, only which caches a session warms.
+ */
+
+#ifndef REUSE_DNN_SERVE_PLACEMENT_H
+#define REUSE_DNN_SERVE_PLACEMENT_H
+
+#include <atomic>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/sync.h"
+#include "tensor/tensor.h"
+
+namespace reuse {
+
+/** Tracks per-shard residency and picks shards for new sessions. */
+class ShardPlacer
+{
+  public:
+    explicit ShardPlacer(size_t shards);
+
+    size_t shardCount() const { return recent_signature_.size(); }
+
+    /**
+     * Picks a shard for a new session and registers it there.
+     * @param plan_fingerprint Identity of the session's compiled plan
+     *   (sessions of one model share it).
+     * @param signature_hint Optional expected-input sketch (0 = none);
+     *   e.g. the sketch of a representative frame of the stream.
+     */
+    size_t place(uint64_t plan_fingerprint, uint64_t signature_hint);
+
+    /** Unregisters a closed session. */
+    void sessionClosed(size_t shard, uint64_t plan_fingerprint);
+
+    /** Re-registers a migrated session. */
+    void sessionMoved(size_t from, size_t to,
+                      uint64_t plan_fingerprint);
+
+    /**
+     * Records the sketch of a frame executed on `shard` (lock-free;
+     * the newest sketch wins — "recent input signature").
+     */
+    void
+    noteSignature(size_t shard, uint64_t signature)
+    {
+        recent_signature_[shard].store(signature,
+                                       std::memory_order_relaxed);
+    }
+
+    /** Sessions currently placed on `shard`. */
+    size_t sessionCount(size_t shard) const;
+
+    /**
+     * 64-bit sign sketch of a tensor: bit i is the sign of an evenly
+     * sampled element.  Bit 0 is always set so a valid sketch is
+     * never 0 (the "no signature" sentinel).
+     */
+    static uint64_t inputSketch(const Tensor &t);
+
+    /** Bits differing between two sketches (Hamming distance). */
+    static int hammingDistance(uint64_t a, uint64_t b);
+
+  private:
+    struct ShardInfo {
+        /** plan fingerprint -> sessions of that plan on this shard. */
+        std::unordered_map<uint64_t, size_t> planSessions;
+        size_t sessions = 0;
+    };
+
+    mutable Mutex mu_;
+    std::vector<ShardInfo> shards_ GUARDED_BY(mu_);
+    /** Latest executed-frame sketch per shard (0 = none yet). */
+    std::vector<std::atomic<uint64_t>> recent_signature_;
+};
+
+} // namespace reuse
+
+#endif // REUSE_DNN_SERVE_PLACEMENT_H

@@ -16,6 +16,14 @@ ServeMetrics::reset()
     frames_duplicated_.store(0, std::memory_order_relaxed);
     corruption_recoveries_.store(0, std::memory_order_relaxed);
     queue_peak_.store(0, std::memory_order_relaxed);
+    steals_.store(0, std::memory_order_relaxed);
+    migrations_.store(0, std::memory_order_relaxed);
+    for (size_t c = 0; c < kSloClassCount; ++c) {
+        class_completed_[c].store(0, std::memory_order_relaxed);
+        class_shed_[c].store(0, std::memory_order_relaxed);
+        class_misses_[c].store(0, std::memory_order_relaxed);
+        class_latency_[c].reset();
+    }
     latency_.reset();
 }
 
@@ -49,6 +57,23 @@ ServeMetrics::publishTo(StatRegistry &registry,
     set("latency_p50_us", latency_.percentile(0.50));
     set("latency_p95_us", latency_.percentile(0.95));
     set("latency_p99_us", latency_.percentile(0.99));
+    set("steals", static_cast<double>(steals()));
+    set("migrations", static_cast<double>(migrations()));
+    set("deadline_misses", static_cast<double>(deadlineMisses()));
+    for (size_t c = 0; c < kSloClassCount; ++c) {
+        const SloClass slo = static_cast<SloClass>(c);
+        const std::string base =
+            std::string("slo.") + sloClassName(slo) + ".";
+        set(base + "completed",
+            static_cast<double>(classCompleted(slo)));
+        set(base + "shed", static_cast<double>(classShed(slo)));
+        set(base + "deadline_misses",
+            static_cast<double>(classDeadlineMisses(slo)));
+        set(base + "latency_p50_us",
+            class_latency_[c].percentile(0.50));
+        set(base + "latency_p99_us",
+            class_latency_[c].percentile(0.99));
+    }
 }
 
 } // namespace reuse

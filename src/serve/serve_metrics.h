@@ -18,6 +18,7 @@
 #include "common/latency_histogram.h"
 #include "common/stats.h"
 #include "common/sync.h"
+#include "serve/slo.h"
 
 namespace reuse {
 
@@ -43,6 +44,20 @@ class ServeMetrics
         latency_.record(latency_us);
     }
 
+    /**
+     * Per-SLO-class completion: records the aggregate sample plus the
+     * class's own latency histogram and deadline-miss count.
+     */
+    void frameCompleted(double latency_us, SloClass slo, bool missed)
+    {
+        frameCompleted(latency_us);
+        const size_t c = static_cast<size_t>(slo);
+        class_completed_[c].fetch_add(1, std::memory_order_relaxed);
+        class_latency_[c].record(latency_us);
+        if (missed)
+            class_misses_[c].fetch_add(1, std::memory_order_relaxed);
+    }
+
     void sessionOpened()
     {
         sessions_opened_.fetch_add(1, std::memory_order_relaxed);
@@ -63,6 +78,26 @@ class ServeMetrics
     void frameShed()
     {
         frames_shed_.fetch_add(1, std::memory_order_relaxed);
+    }
+
+    /** Per-SLO-class shed (admission rejected the frame's deadline). */
+    void frameShed(SloClass slo)
+    {
+        frameShed();
+        class_shed_[static_cast<size_t>(slo)].fetch_add(
+            1, std::memory_order_relaxed);
+    }
+
+    /** An idle worker took a frame from another shard's run queue. */
+    void workSteal()
+    {
+        steals_.fetch_add(1, std::memory_order_relaxed);
+    }
+
+    /** A session was re-homed onto another shard. */
+    void sessionMigrated()
+    {
+        migrations_.fetch_add(1, std::memory_order_relaxed);
     }
 
     /** A frame was answered with the previous output (fault drop). */
@@ -143,8 +178,51 @@ class ServeMetrics
         return queue_peak_.load(std::memory_order_relaxed);
     }
 
+    uint64_t steals() const
+    {
+        return steals_.load(std::memory_order_relaxed);
+    }
+
+    uint64_t migrations() const
+    {
+        return migrations_.load(std::memory_order_relaxed);
+    }
+
+    uint64_t classCompleted(SloClass slo) const
+    {
+        return class_completed_[static_cast<size_t>(slo)].load(
+            std::memory_order_relaxed);
+    }
+
+    uint64_t classShed(SloClass slo) const
+    {
+        return class_shed_[static_cast<size_t>(slo)].load(
+            std::memory_order_relaxed);
+    }
+
+    uint64_t classDeadlineMisses(SloClass slo) const
+    {
+        return class_misses_[static_cast<size_t>(slo)].load(
+            std::memory_order_relaxed);
+    }
+
+    /** Deadline misses summed over every class. */
+    uint64_t deadlineMisses() const
+    {
+        uint64_t total = 0;
+        for (size_t c = 0; c < kSloClassCount; ++c)
+            total += class_misses_[c].load(std::memory_order_relaxed);
+        return total;
+    }
+
     /** Submit-to-completion latency distribution (microseconds). */
     const LatencyHistogram &latency() const { return latency_; }
+
+    /** One class's submit-to-completion latency distribution. */
+    const LatencyHistogram &latency(SloClass slo) const
+    {
+        return class_latency_[static_cast<size_t>(slo)];
+    }
 
     /**
      * Zeroes every metric, atomically with respect to publishTo(): a
@@ -185,7 +263,13 @@ class ServeMetrics
     std::atomic<uint64_t> frames_duplicated_{0};
     std::atomic<uint64_t> corruption_recoveries_{0};
     std::atomic<uint64_t> queue_peak_{0};
+    std::atomic<uint64_t> steals_{0};
+    std::atomic<uint64_t> migrations_{0};
+    std::atomic<uint64_t> class_completed_[kSloClassCount]{};
+    std::atomic<uint64_t> class_shed_[kSloClassCount]{};
+    std::atomic<uint64_t> class_misses_[kSloClassCount]{};
     LatencyHistogram latency_;
+    LatencyHistogram class_latency_[kSloClassCount];
 };
 
 } // namespace reuse

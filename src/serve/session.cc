@@ -2,10 +2,14 @@
 
 namespace reuse {
 
-Session::Session(SessionId id, const ReuseEngine &engine, uint64_t seed)
+Session::Session(SessionId id, const ReuseEngine &engine, uint64_t seed,
+                 SloClass slo)
     : id_(id),
       seed_(seed),
       engine_(engine),
+      slo_(slo),
+      plan_fingerprint_(reinterpret_cast<uint64_t>(
+          engine.compiledPlanPtr().get())),
       state_(engine.makeState()),
       stats_(engine.makeStatsCollector())
 {
@@ -14,8 +18,18 @@ Session::Session(SessionId id, const ReuseEngine &engine, uint64_t seed)
 Session::Snapshot
 Session::snapshot() const
 {
-    MutexLock lock(state_mu_);
     Snapshot snap;
+    snap.sloClass = slo_;
+    snap.deadlineMisses =
+        deadline_misses_.load(std::memory_order_relaxed);
+    {
+        // The two halves are read under their own locks, never
+        // nested; a snapshot may interleave with a frame between
+        // them, which is fine for a monitoring view.
+        MutexLock lock(const_cast<Mutex &>(queue_mu_));
+        snap.shard = shard_;
+    }
+    MutexLock lock(state_mu_);
     snap.framesCompleted = frames_completed_;
     snap.evictions = evictions_;
     snap.reuseRatio = stats_.networkComputationReuse();
@@ -25,6 +39,7 @@ Session::snapshot() const
     snap.corruptionRecoveries = corruption_recoveries_;
     snap.droppedFrames = dropped_frames_;
     snap.duplicatedFrames = duplicated_frames_;
+    snap.inputSignature = input_signature_;
     snap.coldFrames = cold_frames_;
     return snap;
 }

@@ -6,7 +6,16 @@
  * speech session, a dash-cam feed) carries between frames: its
  * ReuseState (previous quantized inputs + previous outputs per
  * layer, refresh counter), a per-session reuse-statistics collector,
- * an RNG seed identifying the stream, and its pending-frame FIFO.
+ * an RNG seed identifying the stream, its SLO class (every frame's
+ * deadline is submit time + the class budget), and its pending-frame
+ * FIFO.
+ *
+ * Scheduling: sessions are placed on a shard at open time (see
+ * serve/placement.h) and their frames run on that shard's workers in
+ * EDF order; a session is runnable on at most one shard at a time
+ * (run_state_, placement_epoch_).  Migration re-homes a session by
+ * bumping its placement epoch, which lazily invalidates any queue
+ * entry still sitting in the old shard's heap.
  *
  * Lifecycle: open (StreamingServer::openSession) → frames
  * (submitFrame, executed in order by the worker pool) → close.
@@ -18,16 +27,17 @@
  * would produce).
  *
  * Locking: `queue_mu_` guards the scheduling half (pending frames,
- * in-flight flag), `state_mu_` guards the execution half (ReuseState,
- * stats).  Lock order when both are needed: never hold `state_mu_`
- * while acquiring a SessionManager or server lock; `state_mu_` may be
- * acquired while holding the manager lock (eviction path).
+ * run state, shard placement), `state_mu_` guards the execution half
+ * (ReuseState, stats).  Lock order when both are needed: never hold
+ * `state_mu_` while acquiring a SessionManager or server lock;
+ * `state_mu_` may be acquired while holding the manager lock
+ * (eviction path).  A shard lock may be acquired under `queue_mu_`
+ * (submit pushes into the run queue); the reverse never happens.
  */
 
 #ifndef REUSE_DNN_SERVE_SESSION_H
 #define REUSE_DNN_SERVE_SESSION_H
 
-#include <chrono>
 #include <cstdint>
 #include <deque>
 #include <future>
@@ -35,6 +45,7 @@
 
 #include "common/sync.h"
 #include "core/reuse_engine.h"
+#include "serve/slo.h"
 #include "tensor/tensor.h"
 
 namespace reuse {
@@ -53,7 +64,10 @@ constexpr SessionId kInvalidSessionId = 0;
 struct FrameRequest {
     Tensor input;
     std::promise<Tensor> result;
-    std::chrono::steady_clock::time_point enqueued;
+    /** Submit timestamp (serve Clock micros). */
+    int64_t enqueuedMicros = 0;
+    /** Absolute completion deadline (submit + SLO class budget). */
+    int64_t deadlineMicros = 0;
     /** 0-based index of this frame within its session's stream. */
     uint64_t frameIndex = 0;
 };
@@ -72,8 +86,11 @@ class Session
      *   model; must outlive the session.
      * @param seed Stream identity (workload generators derive their
      *   RNG stream from it).
+     * @param slo Latency class; every frame's deadline derives from
+     *   its budget.
      */
-    Session(SessionId id, const ReuseEngine &engine, uint64_t seed);
+    Session(SessionId id, const ReuseEngine &engine, uint64_t seed,
+            SloClass slo = SloClass::Standard);
 
     SessionId id() const { return id_; }
 
@@ -82,6 +99,15 @@ class Session
 
     /** The engine executing this session's model. */
     const ReuseEngine &engine() const { return engine_; }
+
+    /** The session's latency class (fixed at open). */
+    SloClass slo() const { return slo_; }
+
+    /**
+     * Identity of the session's compiled plan (shared by sessions of
+     * one model through the plan cache); placement keys on it.
+     */
+    uint64_t planFingerprint() const { return plan_fingerprint_; }
 
     /** Point-in-time view of a session's progress and reuse health. */
     struct Snapshot {
@@ -102,6 +128,14 @@ class Session
         uint64_t droppedFrames = 0;
         /** Frames executed twice (fault duplicates). */
         uint64_t duplicatedFrames = 0;
+        /** The session's latency class. */
+        SloClass sloClass = SloClass::Standard;
+        /** Shard the session is currently placed on. */
+        size_t shard = 0;
+        /** Frames that completed after their deadline. */
+        uint64_t deadlineMisses = 0;
+        /** Latest executed-frame input sketch (0 = none yet). */
+        uint64_t inputSignature = 0;
         /**
          * Frame indices that executed cold because of an eviction
          * (NOT counting the stream's first frame or periodic
@@ -125,15 +159,33 @@ class Session
     friend class StreamingServer;
     friend class SessionManager;
 
+    /** Scheduling state of the session within its shard. */
+    enum class RunState : uint8_t {
+        /** No pending frames; not in any run queue. */
+        Idle,
+        /** In its shard's run queue (exactly one live entry). */
+        Queued,
+        /** A worker is executing one of its frames. */
+        Executing,
+    };
+
     const SessionId id_;
     const uint64_t seed_;
     const ReuseEngine &engine_;
+    const SloClass slo_;
+    const uint64_t plan_fingerprint_;
 
     // --- Scheduling half ---------------------------------------------
     Mutex queue_mu_;
     std::deque<FrameRequest> pending_ GUARDED_BY(queue_mu_);
-    /** True while the session sits in the run queue or executes. */
-    bool inflight_ GUARDED_BY(queue_mu_) = false;
+    RunState run_state_ GUARDED_BY(queue_mu_) = RunState::Idle;
+    /** Home shard; frames are admitted and queued there. */
+    size_t shard_ GUARDED_BY(queue_mu_) = 0;
+    /**
+     * Bumped by migration; run-queue entries carry the epoch they
+     * were pushed under, and a mismatch marks them stale.
+     */
+    uint64_t placement_epoch_ GUARDED_BY(queue_mu_) = 0;
     /** Set by closeSession(); rejects further submits. */
     bool closing_ GUARDED_BY(queue_mu_) = false;
     /** Next frame index to assign at submit time. */
@@ -161,6 +213,15 @@ class Session
     /** Last frame's output, replayed for dropped frames. */
     Tensor last_output_ GUARDED_BY(state_mu_);
     bool has_last_output_ GUARDED_BY(state_mu_) = false;
+    /** Latest executed-frame input sketch (placement similarity). */
+    uint64_t input_signature_ GUARDED_BY(state_mu_) = 0;
+
+    /**
+     * Frames that completed past their deadline.  Atomic: bumped by
+     * workers after the state lock is released (the miss is decided
+     * by the completion timestamp, not by execution state).
+     */
+    std::atomic<uint64_t> deadline_misses_{0};
 
     // The manager's per-session accounting (charged bytes, LRU tick)
     // lives in SessionManager::Entry under the manager lock — a

@@ -14,7 +14,8 @@ SessionManager::SessionManager(Config config, ServeMetrics *metrics)
 }
 
 SessionManager::Admission
-SessionManager::tryCreate(const ReuseEngine &engine, uint64_t seed)
+SessionManager::tryCreate(const ReuseEngine &engine, uint64_t seed,
+                          SloClass slo)
 {
     Admission admission;
     admission.report = validateMemoryFootprint(
@@ -23,7 +24,7 @@ SessionManager::tryCreate(const ReuseEngine &engine, uint64_t seed)
     if (admission.report.hasErrors())
         return admission;
     admission.session =
-        std::make_shared<Session>(allocateId(), engine, seed);
+        std::make_shared<Session>(allocateId(), engine, seed, slo);
     MutexLock lock(mu_);
     sessions_.emplace(admission.session->id(),
                       Entry{admission.session, 0, 0});
@@ -31,9 +32,10 @@ SessionManager::tryCreate(const ReuseEngine &engine, uint64_t seed)
 }
 
 std::shared_ptr<Session>
-SessionManager::create(const ReuseEngine &engine, uint64_t seed)
+SessionManager::create(const ReuseEngine &engine, uint64_t seed,
+                       SloClass slo)
 {
-    Admission admission = tryCreate(engine, seed);
+    Admission admission = tryCreate(engine, seed, slo);
     if (admission.session == nullptr) {
         fatal(engine.network().name() +
               ": session admission rejected\n" +

@@ -79,7 +79,8 @@ class SessionManager
      * (nullptr + MF001 diagnostic) when that footprint alone exceeds
      * the memory budget.  Admitted sessions are registered.
      */
-    Admission tryCreate(const ReuseEngine &engine, uint64_t seed);
+    Admission tryCreate(const ReuseEngine &engine, uint64_t seed,
+                        SloClass slo = SloClass::Standard);
 
     /**
      * Creates and registers a session; returns it.  Fatal when
@@ -87,7 +88,8 @@ class SessionManager
      * should use tryCreate().
      */
     std::shared_ptr<Session> create(const ReuseEngine &engine,
-                                    uint64_t seed);
+                                    uint64_t seed,
+                                    SloClass slo = SloClass::Standard);
 
     /** Finds a session by id (nullptr when unknown/closed). */
     std::shared_ptr<Session> find(SessionId id) const;

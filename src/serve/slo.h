@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Service-level-objective classes for serving sessions.
+ *
+ * Each session is opened under one SLO class; every submitted frame
+ * derives an absolute deadline (submit time + the class's budget)
+ * that drives EDF ordering within a shard, shed-on-admission when the
+ * frame provably cannot meet its deadline, and per-class deadline-
+ * miss accounting.  The paper's workloads map naturally: Kaldi/EESEN
+ * speech frames and AutoPilot steering frames are Interactive, batch
+ * re-scoring is Batch.
+ */
+
+#ifndef REUSE_DNN_SERVE_SLO_H
+#define REUSE_DNN_SERVE_SLO_H
+
+#include <cstddef>
+#include <cstdint>
+
+namespace reuse {
+
+/** Latency class of a serving session. */
+enum class SloClass : uint8_t {
+    /** Human-in-the-loop: speech, driving.  Tight deadline. */
+    Interactive = 0,
+    /** Default online serving. */
+    Standard = 1,
+    /** Throughput-oriented; effectively deadline-insensitive. */
+    Batch = 2,
+};
+
+/** Number of SloClass values (array sizing). */
+constexpr size_t kSloClassCount = 3;
+
+/** Stable lowercase name ("interactive", "standard", "batch"). */
+inline const char *
+sloClassName(SloClass c)
+{
+    switch (c) {
+      case SloClass::Interactive:
+        return "interactive";
+      case SloClass::Standard:
+        return "standard";
+      case SloClass::Batch:
+        return "batch";
+    }
+    return "unknown";
+}
+
+/**
+ * Per-class deadline budgets.  A frame submitted at time t for a
+ * class-c session must complete by t + budget(c).
+ */
+struct SloPolicy {
+    int64_t deadlineBudgetMicros[kSloClassCount] = {
+        10'000,     // Interactive: 10 ms (speech/driving frame rate)
+        50'000,     // Standard: 50 ms
+        1'000'000,  // Batch: 1 s
+    };
+
+    int64_t
+    budget(SloClass c) const
+    {
+        return deadlineBudgetMicros[static_cast<size_t>(c)];
+    }
+};
+
+} // namespace reuse
+
+#endif // REUSE_DNN_SERVE_SLO_H

@@ -12,15 +12,33 @@ namespace reuse {
 
 namespace {
 
-double
-elapsedMicros(std::chrono::steady_clock::time_point since)
+EdfShardQueues<std::shared_ptr<Session>>::Config
+makeSchedConfig(const StreamingServer::Config &config, size_t shards)
 {
-    return std::chrono::duration<double, std::micro>(
-               std::chrono::steady_clock::now() - since)
-        .count();
+    EdfShardQueues<std::shared_ptr<Session>>::Config sc;
+    sc.shards = shards;
+    sc.capacityPerShard =
+        config.queueCapacity == 0
+            ? 0
+            : std::max<size_t>(1, config.queueCapacity / shards);
+    sc.workersPerShard =
+        std::max<size_t>(1, config.workerThreads / shards);
+    sc.initialServiceEstimateMicros =
+        config.initialServiceEstimateMicros;
+    return sc;
 }
 
 } // namespace
+
+size_t
+StreamingServer::resolveShards(const Config &config)
+{
+    if (config.shards > 0)
+        return config.shards;
+    // Auto: two workers per shard keeps per-shard EDF queues short
+    // without starving shards of drain capacity.
+    return std::max<size_t>(1, config.workerThreads / 2);
+}
 
 StreamingServer::StreamingServer(const ReuseEngine &engine, Config config)
     : StreamingServer({{std::string("default"), &engine}}, config)
@@ -31,9 +49,12 @@ StreamingServer::StreamingServer(
     const std::vector<std::pair<std::string, const ReuseEngine *>> &zoo,
     Config config)
     : config_(config),
+      clock_(config.clock != nullptr ? config.clock
+                                     : &SystemClock::instance()),
       manager_(SessionManager::Config{config.memoryBudgetBytes},
                &metrics_),
-      queue_(config.queueCapacity)
+      sched_(makeSchedConfig(config, resolveShards(config))),
+      placer_(resolveShards(config))
 {
     REUSE_ASSERT(!zoo.empty(), "server needs at least one model");
     for (const auto &[name, engine] : zoo) {
@@ -44,7 +65,8 @@ StreamingServer::StreamingServer(
         const bool inserted = zoo_.emplace(name, engine).second;
         REUSE_ASSERT(inserted, "duplicate model name " << name);
     }
-    start(config.workerThreads == 0 ? 1 : config.workerThreads);
+    if (!config_.manualDispatch)
+        start(config_.workerThreads == 0 ? 1 : config_.workerThreads);
 }
 
 StreamingServer::~StreamingServer()
@@ -57,7 +79,7 @@ StreamingServer::start(size_t worker_threads)
 {
     workers_.reserve(worker_threads);
     for (size_t i = 0; i < worker_threads; ++i)
-        workers_.emplace_back([this] { workerLoop(); });
+        workers_.emplace_back([this, i] { workerLoop(i); });
 }
 
 void
@@ -65,7 +87,7 @@ StreamingServer::stop()
 {
     if (stopped_.exchange(true))
         return;
-    queue_.close();
+    sched_.close();
     for (auto &w : workers_) {
         if (w.joinable())
             w.join();
@@ -73,20 +95,28 @@ StreamingServer::stop()
 }
 
 SessionId
-StreamingServer::openSession(const std::string &model, uint64_t seed)
+StreamingServer::openSession(const std::string &model, uint64_t seed,
+                             SloClass slo, uint64_t signatureHint)
 {
     auto it = zoo_.find(model);
     REUSE_ASSERT(it != zoo_.end(), "unknown model " << model);
     REUSE_ASSERT(!stopped_.load(), "server is stopped");
     SessionManager::Admission admission =
-        manager_.tryCreate(*it->second, seed);
+        manager_.tryCreate(*it->second, seed, slo);
     if (admission.session == nullptr) {
         warn(model + ": session admission rejected\n" +
              admission.report.str());
         return kInvalidSessionId;
     }
+    Session &session = *admission.session;
+    const size_t shard =
+        placer_.place(session.planFingerprint(), signatureHint);
+    {
+        MutexLock lock(session.queue_mu_);
+        session.shard_ = shard;
+    }
     metrics_.sessionOpened();
-    return admission.session->id();
+    return session.id();
 }
 
 std::future<Tensor>
@@ -96,45 +126,48 @@ StreamingServer::submitFrame(SessionId id, Tensor input)
     std::shared_ptr<Session> session = manager_.find(id);
     REUSE_ASSERT(session != nullptr, "unknown session " << id);
 
+    const int64_t now = clock_->nowMicros();
     FrameRequest req;
     req.input = std::move(input);
-    req.enqueued = std::chrono::steady_clock::now();
+    req.enqueuedMicros = now;
+    req.deadlineMicros = now + config_.slo.budget(session->slo());
     std::future<Tensor> future = req.result.get_future();
 
-    bool need_enqueue = false;
     uint64_t frame_index = 0;
+    size_t shard = 0;
     {
         MutexLock lock(session->queue_mu_);
         REUSE_ASSERT(!session->closing_,
                      "session " << id << " is closing");
         frame_index = session->next_frame_index_++;
         req.frameIndex = frame_index;
+        shard = session->shard_;
+        // Blocking-submit contract: the frame is admitted even when
+        // the deadline is provably unmeetable — it will simply count
+        // as a deadline miss.  Load generators that want shedding use
+        // trySubmitFrame().
+        sched_.forceAdmitFrame(shard, req.deadlineMicros);
         session->pending_.push_back(std::move(req));
-        if (!session->inflight_) {
-            session->inflight_ = true;
-            need_enqueue = true;
+        if (session->run_state_ == Session::RunState::Idle) {
+            session->run_state_ = Session::RunState::Queued;
+            sched_.push(shard,
+                        session->pending_.front().deadlineMicros,
+                        session->placement_epoch_, session);
         }
     }
     outstanding_.fetch_add(1, std::memory_order_relaxed);
     metrics_.frameSubmitted();
-    const size_t depth = queue_.size() + 1;
-    metrics_.observeQueueDepth(depth);
-    queue_depth_window_.observe(static_cast<double>(depth));
+    const size_t backlog = sched_.pendingFrames(shard);
+    metrics_.observeQueueDepth(backlog);
+    queue_depth_window_.observe(static_cast<double>(backlog));
     obs::TraceRecorder &tracer = obs::TraceRecorder::instance();
     if (tracer.enabled() && tracer.sampleEventTick()) {
         obs::recordInstant(obs::SpanKind::FrameSubmit, -1,
-                           static_cast<int64_t>(depth),
+                           static_cast<int64_t>(backlog),
                            static_cast<int64_t>(
                                outstanding_.load(
                                    std::memory_order_relaxed)),
                            0, 0, id, frame_index);
-    }
-
-    if (need_enqueue && !queue_.push(session)) {
-        // Server stopped between the checks; the pending request's
-        // promise will be broken when the session is destroyed.
-        MutexLock lock(session->queue_mu_);
-        session->inflight_ = false;
     }
     return future;
 }
@@ -146,53 +179,63 @@ StreamingServer::trySubmitFrame(SessionId id, Tensor input)
     std::shared_ptr<Session> session = manager_.find(id);
     REUSE_ASSERT(session != nullptr, "unknown session " << id);
 
+    const int64_t now = clock_->nowMicros();
     SubmitOutcome outcome;
-    // Backoff hint: the rough end-to-end cost of one queued frame at
-    // the current service rate (floor of 1ms before any completion).
-    const double mean_us = metrics_.latency().mean();
-    outcome.retryAfterMicros =
-        mean_us > 0.0 ? static_cast<int64_t>(mean_us) : 1000;
 
     FrameRequest req;
     req.input = std::move(input);
-    req.enqueued = std::chrono::steady_clock::now();
+    req.enqueuedMicros = now;
+    req.deadlineMicros = now + config_.slo.budget(session->slo());
     std::future<Tensor> future = req.result.get_future();
 
+    size_t shard = 0;
     {
         MutexLock lock(session->queue_mu_);
         REUSE_ASSERT(!session->closing_,
                      "session " << id << " is closing");
+        shard = session->shard_;
         if (config_.maxPendingPerSession > 0 &&
             session->pending_.size() >= config_.maxPendingPerSession) {
+            // The bound trips when the session's own frames are the
+            // backlog; one of them must complete before another fits.
+            const int64_t per = sched_.serviceEstimateMicros(shard);
+            outcome.retryAfterMicros = per > 0 ? per : 1000;
             outcome.status = SubmitOutcome::Status::Shed;
-            metrics_.frameShed();
+            metrics_.frameShed(session->slo());
             obs::recordInstant(
                 obs::SpanKind::FrameShed, -1,
                 static_cast<int64_t>(session->pending_.size()),
                 outcome.retryAfterMicros, 0, 0, id, 0);
             return outcome;
         }
-        // Reserve the run-queue slot before publishing the frame; a
-        // worker popping the session blocks on queue_mu_ until the
-        // frame is in pending_, so it never sees an empty queue.
-        if (!session->inflight_ && !queue_.tryPush(session)) {
+        const Sched::Admit admit =
+            sched_.admitFrame(shard, now, req.deadlineMicros);
+        if (!admit.admitted) {
+            outcome.retryAfterMicros =
+                std::max<int64_t>(admit.retryAfterMicros, 1);
             outcome.status = SubmitOutcome::Status::Shed;
-            metrics_.frameShed();
+            metrics_.frameShed(session->slo());
             obs::recordInstant(
                 obs::SpanKind::FrameShed, -1,
-                static_cast<int64_t>(session->pending_.size()),
+                static_cast<int64_t>(
+                    sched_.pendingFrames(shard)),
                 outcome.retryAfterMicros, 0, 0, id, 0);
             return outcome;
         }
         req.frameIndex = session->next_frame_index_++;
         session->pending_.push_back(std::move(req));
-        session->inflight_ = true;
+        if (session->run_state_ == Session::RunState::Idle) {
+            session->run_state_ = Session::RunState::Queued;
+            sched_.push(shard,
+                        session->pending_.front().deadlineMicros,
+                        session->placement_epoch_, session);
+        }
     }
     outstanding_.fetch_add(1, std::memory_order_relaxed);
     metrics_.frameSubmitted();
-    const size_t depth = queue_.size();
-    metrics_.observeQueueDepth(depth);
-    queue_depth_window_.observe(static_cast<double>(depth));
+    const size_t backlog = sched_.pendingFrames(shard);
+    metrics_.observeQueueDepth(backlog);
+    queue_depth_window_.observe(static_cast<double>(backlog));
     outcome.result = std::move(future);
     return outcome;
 }
@@ -207,7 +250,8 @@ StreamingServer::debugCorruptSessionState(SessionId id, uint64_t seed)
 }
 
 Tensor
-StreamingServer::executeFrame(Session &session, FrameRequest &req)
+StreamingServer::executeFrame(Session &session, FrameRequest &req,
+                              size_t exec_shard)
 {
     // Frame-delivery faults are decided outside the state lock: they
     // model the transport, not the execution.
@@ -225,11 +269,18 @@ StreamingServer::executeFrame(Session &session, FrameRequest &req)
     obs::FrameTraceScope frame_scope(session.id(), req.frameIndex);
     if (frame_scope.active()) {
         obs::TraceRecorder &tracer = obs::TraceRecorder::instance();
-        obs::recordSpanAt(obs::SpanKind::QueueWait,
-                          tracer.toNs(req.enqueued), tracer.nowNs(),
-                          session.id(), req.frameIndex);
+        // Queue wait measured on the serve clock (virtual in tests),
+        // mapped onto the tracer's own timeline ending now.
+        const int64_t wait_ns =
+            std::max<int64_t>(
+                0, clock_->nowMicros() - req.enqueuedMicros) *
+            1000;
+        const int64_t now_ns = tracer.nowNs();
+        obs::recordSpanAt(obs::SpanKind::QueueWait, now_ns - wait_ns,
+                          now_ns, session.id(), req.frameIndex);
     }
 
+    const uint64_t sketch = ShardPlacer::inputSketch(req.input);
     Tensor output;
     ExecutionTrace trace;
     {
@@ -280,47 +331,151 @@ StreamingServer::executeFrame(Session &session, FrameRequest &req)
             }
         }
         session.frames_completed_ += 1;
+        session.input_signature_ = sketch;
     }
+    // Feeds similarity-aware placement of *future* sessions; the
+    // newest sketch on the shard wins.
+    placer_.noteSignature(exec_shard, sketch);
     return output;
 }
 
-void
-StreamingServer::workerLoop()
+bool
+StreamingServer::dispatchEntry(Sched::Entry &entry)
 {
-    std::shared_ptr<Session> session;
-    while (queue_.pop(session)) {
-        FrameRequest req;
-        {
-            MutexLock lock(session->queue_mu_);
-            REUSE_ASSERT(!session->pending_.empty(),
-                         "scheduled session has no pending frame");
-            req = std::move(session->pending_.front());
-            session->pending_.pop_front();
+    std::shared_ptr<Session> session = std::move(entry.payload);
+    FrameRequest req;
+    size_t exec_shard = 0;
+    {
+        MutexLock lock(session->queue_mu_);
+        if (entry.epoch != session->placement_epoch_) {
+            // Stale: migration re-homed the session after this entry
+            // was pushed (and re-queued it on the new shard).
+            return false;
         }
-
-        Tensor output = executeFrame(*session, req);
-        manager_.noteExecution(*session);
-
-        req.result.set_value(std::move(output));
-        metrics_.frameCompleted(elapsedMicros(req.enqueued));
-
-        bool more = false;
-        {
-            MutexLock lock(session->queue_mu_);
-            more = !session->pending_.empty();
-            if (!more)
-                session->inflight_ = false;
-        }
-        if (more)
-            queue_.push(session);
-
-        outstanding_.fetch_sub(1, std::memory_order_relaxed);
-        {
-            MutexLock lock(drain_mu_);
-        }
-        drain_cv_.notifyAll();
-        session.reset();
+        REUSE_ASSERT(session->run_state_ ==
+                         Session::RunState::Queued,
+                     "live run-queue entry for session "
+                         << session->id() << " in state "
+                         << static_cast<int>(session->run_state_));
+        REUSE_ASSERT(!session->pending_.empty(),
+                     "scheduled session has no pending frame");
+        req = std::move(session->pending_.front());
+        session->pending_.pop_front();
+        session->run_state_ = Session::RunState::Executing;
+        // The frame's admission accounting lives on the home shard at
+        // claim time (migration only moves *pending* deadlines, so
+        // this one stays put until completeFrame).
+        exec_shard = session->shard_;
     }
+
+    const int64_t started = clock_->nowMicros();
+    Tensor output = executeFrame(*session, req, exec_shard);
+    manager_.noteExecution(*session);
+    const int64_t completed = clock_->nowMicros();
+    sched_.completeFrame(exec_shard, req.deadlineMicros,
+                         completed - started);
+
+    req.result.set_value(std::move(output));
+    const bool missed = completed > req.deadlineMicros;
+    if (missed)
+        session->deadline_misses_.fetch_add(1,
+                                            std::memory_order_relaxed);
+    metrics_.frameCompleted(
+        static_cast<double>(completed - req.enqueuedMicros),
+        session->slo(), missed);
+
+    {
+        MutexLock lock(session->queue_mu_);
+        if (!session->pending_.empty()) {
+            session->run_state_ = Session::RunState::Queued;
+            sched_.push(session->shard_,
+                        session->pending_.front().deadlineMicros,
+                        session->placement_epoch_, session);
+        } else {
+            session->run_state_ = Session::RunState::Idle;
+        }
+    }
+
+    outstanding_.fetch_sub(1, std::memory_order_relaxed);
+    {
+        MutexLock lock(drain_mu_);
+    }
+    drain_cv_.notifyAll();
+    return true;
+}
+
+void
+StreamingServer::workerLoop(size_t worker_index)
+{
+    const size_t home = worker_index % sched_.shardCount();
+    Sched::Entry entry;
+    size_t src = home;
+    while (sched_.popBlocking(home, config_.workStealing, entry, src)) {
+        const bool ran = dispatchEntry(entry);
+        if (ran && src != home)
+            metrics_.workSteal();
+        entry.payload.reset();
+    }
+}
+
+bool
+StreamingServer::runOne(size_t shard, bool allow_steal)
+{
+    REUSE_ASSERT(shard < sched_.shardCount(),
+                 "shard " << shard << " out of range");
+    for (;;) {
+        Sched::Entry entry;
+        size_t src = shard;
+        if (!sched_.tryPop(shard, entry)) {
+            if (!allow_steal || !sched_.trySteal(shard, entry, src))
+                return false;
+        }
+        const bool ran = dispatchEntry(entry);
+        if (ran) {
+            if (src != shard)
+                metrics_.workSteal();
+            return true;
+        }
+        // Stale entry consumed; keep pumping so callers can loop on
+        // runOne() until it reports an empty queue.
+    }
+}
+
+bool
+StreamingServer::migrateSession(SessionId id, size_t to_shard)
+{
+    if (to_shard >= sched_.shardCount())
+        return false;
+    std::shared_ptr<Session> session = manager_.find(id);
+    if (session == nullptr)
+        return false;
+    size_t from = 0;
+    {
+        MutexLock lock(session->queue_mu_);
+        from = session->shard_;
+        if (from == to_shard)
+            return true;
+        session->shard_ = to_shard;
+        // Stales any entry still queued on the old shard; the worker
+        // that pops it discards it instead of double-running.
+        session->placement_epoch_ += 1;
+        std::vector<int64_t> deadlines;
+        deadlines.reserve(session->pending_.size());
+        for (const FrameRequest &f : session->pending_)
+            deadlines.push_back(f.deadlineMicros);
+        sched_.moveFrames(from, to_shard, deadlines);
+        if (session->run_state_ == Session::RunState::Queued) {
+            sched_.push(to_shard,
+                        session->pending_.front().deadlineMicros,
+                        session->placement_epoch_, session);
+        }
+    }
+    placer_.sessionMoved(from, to_shard, session->planFingerprint());
+    metrics_.sessionMigrated();
+    obs::recordInstant(obs::SpanKind::FrameSubmit, -1,
+                       static_cast<int64_t>(from),
+                       static_cast<int64_t>(to_shard), 0, 0, id, 0);
+    return true;
 }
 
 void
@@ -346,12 +501,19 @@ StreamingServer::closeSession(SessionId id)
         for (;;) {
             {
                 MutexLock qlock(session->queue_mu_);
-                if (session->pending_.empty() && !session->inflight_)
+                if (session->pending_.empty() &&
+                    session->run_state_ == Session::RunState::Idle)
                     break;
             }
             drain_cv_.wait(lock);
         }
     }
+    size_t shard = 0;
+    {
+        MutexLock lock(session->queue_mu_);
+        shard = session->shard_;
+    }
+    placer_.sessionClosed(shard, session->planFingerprint());
     manager_.remove(id);
     metrics_.sessionClosed();
 }
@@ -375,7 +537,22 @@ StreamingServer::publishStats(StatRegistry &registry) const
         static_cast<double>(manager_.sessionCount()));
     set("serve.state_bytes",
         static_cast<double>(manager_.chargedBytes()));
-    set("serve.queue_depth", static_cast<double>(queue_.size()));
+    set("serve.shards", static_cast<double>(sched_.shardCount()));
+    size_t total_depth = 0;
+    for (size_t i = 0; i < sched_.shardCount(); ++i) {
+        const std::string base =
+            "serve.shard." + std::to_string(i) + ".";
+        const size_t depth = sched_.depth(i);
+        total_depth += depth;
+        set(base + "depth", static_cast<double>(depth));
+        set(base + "pending_frames",
+            static_cast<double>(sched_.pendingFrames(i)));
+        set(base + "service_estimate_us",
+            static_cast<double>(sched_.serviceEstimateMicros(i)));
+        set(base + "sessions",
+            static_cast<double>(placer_.sessionCount(i)));
+    }
+    set("serve.queue_depth", static_cast<double>(total_depth));
     // Queue-depth distribution over the recent submit window (the
     // all-time peak alone hides steady-state congestion).
     set("serve.queue_depth_p50", queue_depth_window_.quantile(0.50));

@@ -4,11 +4,24 @@
  *
  * Multiplexes many concurrent sessions — each a temporal input stream
  * with its own per-stream reuse state — over a shared zoo of
- * immutable ReuseEngines, executing frames on a worker thread pool
- * fed by a bounded MPMC queue.
+ * immutable ReuseEngines.  Frames execute on a worker pool fed by
+ * per-shard EDF run queues (serve/shard_scheduler.h):
+ *
+ *  - sharding: sessions are placed on a shard at open time by the
+ *    similarity-aware placer (serve/placement.h) and their frames are
+ *    admitted, queued and accounted there; workers are pinned to a
+ *    home shard and steal from other shards only when their home is
+ *    idle.  Striped shard locks replace the old single global queue
+ *    lock, and a session's ReuseState stays hot in one core group's
+ *    caches.
+ *  - deadlines: every frame gets an absolute deadline (submit time +
+ *    its session's SLO-class budget).  Within a shard frames run in
+ *    EDF order, and trySubmitFrame() sheds on admission — with a
+ *    deadline-derived backoff hint — when the frame provably cannot
+ *    meet its deadline at the shard's measured service rate.
  *
  * Ordering & parallelism model (session pinning): a session is in the
- * run queue at most once.  A worker that pops a session executes
+ * run queues at most once.  A worker that pops a session executes
  * exactly one of its pending frames, then re-enqueues the session if
  * more frames are waiting.  Frames of one session therefore execute
  * serially in submission order against its ReuseState (the paper's
@@ -16,6 +29,11 @@
  * frames of different sessions execute in parallel.  This makes the
  * runtime's outputs bit-identical to N independent single-stream
  * ReuseEngine runs, for any worker count.
+ *
+ * Determinism seam: all timestamps come from Config::clock and
+ * Config::manualDispatch runs the server with no worker threads —
+ * tests pump runOne() under a virtual clock to drive admission, EDF
+ * ordering, deadline misses, stealing and migration deterministically.
  *
  * Memory: per-session reuse buffers live under the SessionManager's
  * budget; evicted sessions degrade to from-scratch execution on their
@@ -36,9 +54,12 @@
 
 #include "common/sync.h"
 #include "obs/reservoir.h"
-#include "serve/bounded_queue.h"
+#include "serve/clock.h"
+#include "serve/placement.h"
 #include "serve/serve_metrics.h"
 #include "serve/session_manager.h"
+#include "serve/shard_scheduler.h"
+#include "serve/slo.h"
 
 namespace reuse {
 
@@ -49,9 +70,17 @@ class StreamingServer
 {
   public:
     struct Config {
-        /** Worker threads executing frames. */
+        /** Worker threads executing frames (split across shards). */
         size_t workerThreads = 4;
-        /** Bound of the admission queue (sessions awaiting a worker). */
+        /**
+         * Run-queue shards (striped locks, one EDF queue each).
+         * 0 = auto: one shard per two workers, at least one.
+         */
+        size_t shards = 0;
+        /**
+         * Total admitted-frame bound across shards, split evenly
+         * (trySubmitFrame sheds beyond it; submitFrame ignores it).
+         */
         size_t queueCapacity = 1024;
         /** Reuse-buffer budget across sessions; negative = unlimited. */
         int64_t memoryBudgetBytes = -1;
@@ -66,6 +95,27 @@ class StreamingServer
          * pending frames (0 = no per-session bound).
          */
         size_t maxPendingPerSession = 0;
+        /** Idle workers may take work from other shards. */
+        bool workStealing = true;
+        /**
+         * Test seam: start no worker threads; callers drive execution
+         * with runOne().  Blocking APIs that need workers (drain with
+         * queued frames, closeSession with pending frames) must be
+         * pumped first.
+         */
+        bool manualDispatch = false;
+        /** Per-SLO-class deadline budgets. */
+        SloPolicy slo;
+        /**
+         * Time source for deadlines/admission/latency (nullptr = the
+         * process steady clock).  Tests inject a virtual clock.
+         */
+        Clock *clock = nullptr;
+        /**
+         * Seed of the per-shard service-time EWMA driving admission
+         * (0 = capacity-only admission until the first completion).
+         */
+        int64_t initialServiceEstimateMicros = 0;
     };
 
     /** Outcome of a non-blocking trySubmitFrame(). */
@@ -78,7 +128,11 @@ class StreamingServer
         };
         Status status = Status::Accepted;
         std::future<Tensor> result;
-        /** Backoff hint for Shed (rough time for one queued frame). */
+        /**
+         * Backoff hint for Shed, derived from the admission deadline
+         * math (how far past its deadline the frame would land, or
+         * one service slot when the queue is simply full).
+         */
         int64_t retryAfterMicros = 0;
 
         bool accepted() const { return status == Status::Accepted; }
@@ -114,23 +168,31 @@ class StreamingServer
      * footprint alone exceeds the memory budget.
      * @param seed Stream identity, recorded on the session (workload
      *   generators derive their RNG stream from it).
+     * @param slo Latency class of every frame the session submits.
+     * @param signatureHint Optional expected-input sketch
+     *   (ShardPlacer::inputSketch of a representative frame; 0 =
+     *   none) steering similarity-aware placement.
      */
     SessionId openSession(const std::string &model = "default",
-                          uint64_t seed = 0);
+                          uint64_t seed = 0,
+                          SloClass slo = SloClass::Standard,
+                          uint64_t signatureHint = 0);
 
     /**
-     * Enqueues one frame for `id`.  Blocks for backpressure when the
-     * admission queue is full.  The returned future yields the
-     * frame's network output; frames of one session complete in
-     * submission order.
+     * Enqueues one frame for `id`.  Never sheds: the frame is
+     * force-admitted to the session's shard even when the deadline is
+     * provably unmeetable (it will count as a deadline miss).  The
+     * returned future yields the frame's network output; frames of
+     * one session complete in submission order.
      */
     std::future<Tensor> submitFrame(SessionId id, Tensor input);
 
     /**
-     * Non-blocking submitFrame(): instead of blocking for
-     * backpressure, sheds the frame — with a retry/backoff hint —
-     * when the session's pending queue is at maxPendingPerSession or
-     * the admission queue is full.
+     * Non-blocking submitFrame(): sheds the frame — with a
+     * deadline-derived retry hint — when the session's pending queue
+     * is at maxPendingPerSession, the shard is at capacity, or the
+     * EDF feasibility test says the frame (or a frame it would
+     * displace) cannot meet its deadline.
      */
     SubmitOutcome trySubmitFrame(SessionId id, Tensor input);
 
@@ -154,6 +216,24 @@ class StreamingServer
     /** Stops the worker pool (idempotent; also run by the dtor). */
     void stop();
 
+    /**
+     * Re-homes a session onto `to_shard`: its placement epoch is
+     * bumped (staling any queued entry on the old shard), pending
+     * frame deadlines move to the new shard's accounting, and the
+     * session is re-queued there if it was runnable.  A frame already
+     * executing finishes where it started.  Returns false for an
+     * unknown session or an out-of-range shard.
+     */
+    bool migrateSession(SessionId id, size_t to_shard);
+
+    /**
+     * Manual-dispatch pump: executes at most one frame from `shard`
+     * (stealing from the deepest other shard when `allow_steal` and
+     * `shard` is empty).  Returns true when a frame ran.  Usable on
+     * any server, but intended for Config::manualDispatch tests.
+     */
+    bool runOne(size_t shard, bool allow_steal = false);
+
     /** Point-in-time view of one session. */
     Session::Snapshot sessionSnapshot(SessionId id) const;
 
@@ -166,22 +246,58 @@ class StreamingServer
     /** Aggregate serving metrics. */
     const ServeMetrics &metrics() const { return metrics_; }
 
+    /** Mutable metrics (benches reset() between warmup and
+     *  measurement phases; recording itself is worker-internal). */
+    ServeMetrics &metrics() { return metrics_; }
+
     /** The memory governor (budget, evictions, charged bytes). */
     const SessionManager &sessionManager() const { return manager_; }
     SessionManager &sessionManager() { return manager_; }
 
     /**
-     * Publishes serving metrics plus live-session gauges into
-     * `registry` under "serve.".
+     * Publishes serving metrics plus live-session and per-shard
+     * gauges into `registry` under "serve.".
      */
     void publishStats(StatRegistry &registry) const;
 
-    /** Number of worker threads. */
+    /** Number of worker threads (0 under manualDispatch). */
     size_t workerCount() const { return workers_.size(); }
 
+    /** Number of run-queue shards. */
+    size_t shardCount() const { return sched_.shardCount(); }
+
+    /** Run-queue length of one shard (sessions, not frames). */
+    size_t shardDepth(size_t shard) const
+    {
+        return sched_.depth(shard);
+    }
+
+    /** Admitted-but-incomplete frames accounted to one shard. */
+    size_t shardPendingFrames(size_t shard) const
+    {
+        return sched_.pendingFrames(shard);
+    }
+
+    /** One shard's service-time EWMA (0 = nothing measured yet). */
+    int64_t shardServiceEstimateMicros(size_t shard) const
+    {
+        return sched_.serviceEstimateMicros(shard);
+    }
+
   private:
+    using Sched = EdfShardQueues<std::shared_ptr<Session>>;
+
     void start(size_t worker_threads);
-    void workerLoop();
+    void workerLoop(size_t worker_index);
+
+    /**
+     * Claims and executes one frame of the popped entry's session.
+     * Returns false when the entry was stale (migration re-homed the
+     * session after the entry was pushed) — no frame ran.
+     * `src_shard` is only used for steal accounting; the frame's
+     * admission accounting lives on the session's home shard.
+     */
+    bool dispatchEntry(Sched::Entry &entry);
 
     /**
      * Executes `req` against `session` (the dequeue half of a pop)
@@ -189,15 +305,21 @@ class StreamingServer
      * only after the manager's memory accounting ran, so a completed
      * future implies settled accounting.
      */
-    Tensor executeFrame(Session &session, FrameRequest &req);
+    Tensor executeFrame(Session &session, FrameRequest &req,
+                        size_t exec_shard);
+
+    /** Resolved shard count for a config (before sched_ exists). */
+    static size_t resolveShards(const Config &config);
 
     Config config_;
+    Clock *clock_;
     std::map<std::string, const ReuseEngine *> zoo_;
     ServeMetrics metrics_;
     SessionManager manager_;
-    BoundedQueue<std::shared_ptr<Session>> queue_;
+    Sched sched_;
+    ShardPlacer placer_;
     std::vector<std::thread> workers_;
-    /** Recent admission-queue depths (submit-side observations). */
+    /** Recent run-queue total depths (submit-side observations). */
     obs::SlidingWindowReservoir queue_depth_window_;
 
     /**

@@ -1,0 +1,290 @@
+/**
+ * @file
+ * Sharded-scheduler stress tests (label: stress; built for the TSan
+ * CI job).  Submitters race across shards while eviction/re-warm and
+ * forced session migration rip state out from under live frames; the
+ * per-session serialization invariant must hold (outputs bit-exact
+ * against a replay with resets at the recorded cold frames, no frame
+ * dropped or double-run), and the shed/steal/migration accounting
+ * must balance exactly.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <future>
+#include <thread>
+#include <vector>
+
+#include "common/random.h"
+#include "core/reuse_engine.h"
+#include "nn/activations.h"
+#include "nn/fully_connected.h"
+#include "nn/initializers.h"
+#include "quant/range_profiler.h"
+#include "serve/streaming_server.h"
+#include "support/diff_oracle.h"
+
+namespace reuse {
+namespace {
+
+struct ShardFixture {
+    Rng rng{47};
+    Network net{"mlp", Shape({6})};
+    std::vector<Tensor> calib;
+    QuantizationPlan plan{net};
+
+    ShardFixture()
+    {
+        net.addLayer(
+            std::make_unique<FullyConnectedLayer>("FC1", 6, 10));
+        net.addLayer(std::make_unique<ActivationLayer>(
+            "RELU", ActivationKind::ReLU));
+        net.addLayer(
+            std::make_unique<FullyConnectedLayer>("FC2", 10, 4));
+        initNetwork(net, rng);
+        for (int i = 0; i < 10; ++i) {
+            Tensor t(Shape({6}));
+            rng.fillGaussian(t.data(), 0.0f, 1.0f);
+            calib.push_back(t);
+        }
+        plan = makePlan(net, profileNetworkRanges(net, calib), 64,
+                        {0, 2});
+    }
+
+    std::vector<Tensor> stream(size_t frames, uint64_t seed)
+    {
+        Rng r(seed);
+        std::vector<Tensor> s;
+        Tensor x(Shape({6}));
+        r.fillGaussian(x.data(), 0.0f, 1.0f);
+        for (size_t i = 0; i < frames; ++i) {
+            for (int64_t j = 0; j < 6; ++j)
+                x[j] += r.gaussian(0.0f, 0.05f);
+            s.push_back(x);
+        }
+        return s;
+    }
+};
+
+/**
+ * The full melee: one submitter thread per session streaming frames
+ * (blocking submits), a migrator thread bouncing every session
+ * between shards, and an evictor thread dropping reuse buffers — all
+ * concurrently, with work stealing enabled.  Every session must
+ * afterwards be bit-exact against a replay with resets at exactly
+ * its recorded cold frames, with every frame completed exactly once.
+ */
+TEST(ShardStress, SubmittersRacingMigrationAndEvictionStayBitExact)
+{
+    ShardFixture f;
+    ReuseEngine engine(f.net, f.plan);
+    constexpr size_t kSessions = 6;
+    constexpr size_t kFrames = 48;
+    constexpr size_t kShards = 3;
+
+    StreamingServer::Config cfg;
+    cfg.workerThreads = 6;
+    cfg.shards = kShards;
+    cfg.workStealing = true;
+    StreamingServer server(engine, cfg);
+
+    std::vector<SessionId> ids;
+    std::vector<std::vector<Tensor>> streams;
+    for (size_t s = 0; s < kSessions; ++s) {
+        ids.push_back(server.openSession(
+            "default", s,
+            s % 2 == 0 ? SloClass::Interactive : SloClass::Standard));
+        streams.push_back(f.stream(kFrames, 2100 + 13 * s));
+    }
+
+    std::atomic<bool> done{false};
+    std::thread migrator([&] {
+        uint64_t round = 0;
+        while (!done.load(std::memory_order_acquire)) {
+            server.migrateSession(ids[round % kSessions],
+                                  round % kShards);
+            ++round;
+            std::this_thread::yield();
+        }
+    });
+    std::thread evictor([&] {
+        uint64_t round = 0;
+        while (!done.load(std::memory_order_acquire)) {
+            server.forceEvict(ids[round++ % kSessions]);
+            std::this_thread::yield();
+        }
+    });
+
+    std::vector<std::vector<std::future<Tensor>>> futures(kSessions);
+    std::vector<std::thread> submitters;
+    for (size_t s = 0; s < kSessions; ++s) {
+        futures[s].reserve(kFrames);
+        submitters.emplace_back([&, s] {
+            for (size_t i = 0; i < kFrames; ++i)
+                futures[s].push_back(
+                    server.submitFrame(ids[s], streams[s][i]));
+        });
+    }
+    for (auto &t : submitters)
+        t.join();
+    server.drain();
+
+    // A deterministic tail: every session takes one guaranteed
+    // eviction and one guaranteed migration, then streams a few more
+    // frames (a single-CPU runner may drain everything before the
+    // racing threads are ever scheduled).
+    for (size_t s = 0; s < kSessions; ++s) {
+        ASSERT_TRUE(server.forceEvict(ids[s]));
+        // Move off the session's current shard (same-shard migration
+        // is an uncounted no-op).
+        const size_t cur = server.sessionSnapshot(ids[s]).shard;
+        ASSERT_TRUE(
+            server.migrateSession(ids[s], (cur + 1) % kShards));
+    }
+    const size_t kTail = 8;
+    std::vector<std::vector<Tensor>> tails;
+    for (size_t s = 0; s < kSessions; ++s) {
+        tails.push_back(f.stream(kTail, 9000 + s));
+        for (size_t i = 0; i < kTail; ++i)
+            futures[s].push_back(
+                server.submitFrame(ids[s], tails[s][i]));
+    }
+    server.drain();
+    done.store(true, std::memory_order_release);
+    migrator.join();
+    evictor.join();
+
+    for (size_t s = 0; s < kSessions; ++s) {
+        std::vector<Tensor> outputs;
+        for (auto &fut : futures[s])
+            outputs.push_back(fut.get());
+        std::vector<Tensor> all_frames = streams[s];
+        all_frames.insert(all_frames.end(), tails[s].begin(),
+                          tails[s].end());
+        const auto snap = server.sessionSnapshot(ids[s]);
+        EXPECT_EQ(snap.framesCompleted, kFrames + kTail);
+        const auto report = testing::diffAgainstReplay(
+            engine, all_frames, outputs, snap.coldFrames);
+        EXPECT_TRUE(report.allBitExact())
+            << "session " << s << " diverged at frame "
+            << report.firstMismatchFrame << " (cold frames: "
+            << snap.coldFrames.size() << ", shard " << snap.shard
+            << ")";
+    }
+    EXPECT_GE(server.metrics().evictions(), kSessions);
+    EXPECT_GE(server.metrics().migrations(), kSessions);
+    EXPECT_EQ(server.metrics().framesCompleted(),
+              kSessions * (kFrames + kTail));
+}
+
+/**
+ * Racing trySubmit shedders: concurrent submitters against a tiny
+ * admitted-frame capacity.  Whatever interleaving TSan explores, the
+ * books must balance: accepted + shed == attempts, every accepted
+ * frame completes, and the shed counter matches the rejections.
+ */
+TEST(ShardStress, RacingTrySubmitKeepsShedAccountingExact)
+{
+    ShardFixture f;
+    ReuseEngine engine(f.net, f.plan);
+    constexpr size_t kThreads = 4;
+    constexpr size_t kPerThread = 64;
+
+    StreamingServer::Config cfg;
+    cfg.workerThreads = 2;
+    cfg.shards = 2;
+    cfg.queueCapacity = 8;      // 4 admitted frames per shard
+    StreamingServer server(engine, cfg);
+
+    std::vector<SessionId> ids;
+    for (size_t t = 0; t < kThreads; ++t)
+        ids.push_back(server.openSession("default", t));
+
+    std::atomic<uint64_t> accepted{0};
+    std::atomic<uint64_t> shed{0};
+    std::vector<std::thread> submitters;
+    std::vector<std::vector<std::future<Tensor>>> futures(kThreads);
+    for (size_t t = 0; t < kThreads; ++t) {
+        submitters.emplace_back([&, t] {
+            const auto frames = f.stream(kPerThread, 3300 + t);
+            for (const Tensor &frame : frames) {
+                auto outcome =
+                    server.trySubmitFrame(ids[t], frame);
+                if (outcome.accepted()) {
+                    accepted.fetch_add(1,
+                                       std::memory_order_relaxed);
+                    futures[t].push_back(
+                        std::move(outcome.result));
+                } else {
+                    EXPECT_GT(outcome.retryAfterMicros, 0);
+                    shed.fetch_add(1, std::memory_order_relaxed);
+                }
+            }
+        });
+    }
+    for (auto &t : submitters)
+        t.join();
+    server.drain();
+
+    EXPECT_EQ(accepted.load() + shed.load(), kThreads * kPerThread);
+    EXPECT_EQ(server.metrics().framesSubmitted(), accepted.load());
+    EXPECT_EQ(server.metrics().framesCompleted(), accepted.load());
+    EXPECT_EQ(server.metrics().framesShed(), shed.load());
+    for (auto &per_session : futures)
+        for (auto &fut : per_session)
+            EXPECT_EQ(fut.get().numel(), 4);
+}
+
+/**
+ * Migration hammering one hot session: entries staled by migration
+ * must never double-run or drop a frame — completions stay exactly
+ * one per submit, in submission order (verified by bit-exactness of
+ * the in-order output sequence).
+ */
+TEST(ShardStress, MigrationHammeringNeverDropsOrDoublesFrames)
+{
+    ShardFixture f;
+    ReuseEngine engine(f.net, f.plan);
+    constexpr size_t kFrames = 200;
+    constexpr size_t kShards = 4;
+
+    StreamingServer::Config cfg;
+    cfg.workerThreads = 4;
+    cfg.shards = kShards;
+    StreamingServer server(engine, cfg);
+
+    const SessionId id = server.openSession("default", 1);
+    const auto frames = f.stream(kFrames, 5150);
+
+    std::atomic<bool> done{false};
+    std::thread migrator([&] {
+        uint64_t round = 0;
+        while (!done.load(std::memory_order_acquire)) {
+            server.migrateSession(id, round++ % kShards);
+            std::this_thread::yield();
+        }
+    });
+
+    std::vector<std::future<Tensor>> futures;
+    futures.reserve(kFrames);
+    for (const Tensor &frame : frames)
+        futures.push_back(server.submitFrame(id, frame));
+    server.drain();
+    done.store(true, std::memory_order_release);
+    migrator.join();
+
+    std::vector<Tensor> outputs;
+    for (auto &fut : futures)
+        outputs.push_back(fut.get());
+    const auto snap = server.sessionSnapshot(id);
+    EXPECT_EQ(snap.framesCompleted, kFrames);
+    const auto report = testing::diffAgainstReplay(
+        engine, frames, outputs, snap.coldFrames);
+    EXPECT_TRUE(report.allBitExact())
+        << "diverged at frame " << report.firstMismatchFrame;
+    EXPECT_EQ(server.metrics().framesCompleted(), kFrames);
+}
+
+} // namespace
+} // namespace reuse

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Deterministic virtual clock for scheduler tests.
+ *
+ * Implements the serving runtime's Clock seam (src/serve/clock.h)
+ * over an explicitly advanced counter: time moves only when a test
+ * calls advance()/set(), so admission decisions, EDF ordering,
+ * deadline misses and backoff hints are exactly reproducible — no
+ * wall-clock sleeps, no flaky timing margins.  Combine with
+ * StreamingServer::Config::manualDispatch (no worker threads; the
+ * test pumps runOne()) for a fully deterministic single-threaded
+ * scheduler harness.
+ */
+
+#ifndef REUSE_DNN_TESTS_SUPPORT_VIRTUAL_CLOCK_H
+#define REUSE_DNN_TESTS_SUPPORT_VIRTUAL_CLOCK_H
+
+#include <atomic>
+#include <cstdint>
+
+#include "serve/clock.h"
+
+namespace reuse {
+namespace testing {
+
+/** Manually advanced Clock; thread-safe, monotone by construction. */
+class VirtualClock final : public Clock
+{
+  public:
+    /** Starts at `start_us` (default 0; origin is arbitrary). */
+    explicit VirtualClock(int64_t start_us = 0) : now_(start_us) {}
+
+    int64_t nowMicros() const override
+    {
+        return now_.load(std::memory_order_relaxed);
+    }
+
+    /** Moves time forward by `us` (>= 0) and returns the new now. */
+    int64_t advance(int64_t us)
+    {
+        return now_.fetch_add(us, std::memory_order_relaxed) + us;
+    }
+
+    /** Jumps to an absolute timestamp (must not move backwards). */
+    void set(int64_t us)
+    {
+        now_.store(us, std::memory_order_relaxed);
+    }
+
+  private:
+    std::atomic<int64_t> now_;
+};
+
+} // namespace testing
+} // namespace reuse
+
+#endif // REUSE_DNN_TESTS_SUPPORT_VIRTUAL_CLOCK_H

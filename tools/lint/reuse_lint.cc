@@ -40,6 +40,15 @@
  *                 correctness contract and dispatch stays in one
  *                 place.
  *
+ *  serve-clock    Direct std::chrono clock reads (steady_clock,
+ *                 system_clock, high_resolution_clock) are forbidden
+ *                 in src/serve outside serve/clock.{h,cc}: all
+ *                 serving-layer timestamps flow through the Clock
+ *                 seam so the deterministic scheduler tests can
+ *                 substitute a virtual clock.  An unseamed now()
+ *                 re-introduces wall-clock nondeterminism the
+ *                 whole harness is built to exclude.
+ *
  * Comments and string literals are stripped before token matching
  * (except float-format, which inspects string literals), so prose
  * mentioning std::mutex does not count.
@@ -299,6 +308,9 @@ lintFile(const fs::path &path, const fs::path &src_root,
     const bool in_obs = rel.rfind("obs/", 0) == 0;
     const bool is_plan_dump = rel == "ir/compiled_plan.cc";
     const bool in_kernels = rel.rfind("kernels/", 0) == 0;
+    const bool in_serve = rel.rfind("serve/", 0) == 0;
+    const bool is_clock_impl =
+        rel == "serve/clock.h" || rel == "serve/clock.cc";
 
     for (size_t ln = 0; ln < lines.size(); ++ln) {
         const Line &line = lines[ln];
@@ -369,6 +381,21 @@ lintFile(const fs::path &path, const fs::path &src_root,
                        "vector intrinsics are forbidden outside "
                        "src/kernels/; call the dispatched kernels "
                        "instead");
+        }
+
+        if (in_serve && !is_clock_impl) {
+            for (const char *clk :
+                 {"steady_clock", "system_clock",
+                  "high_resolution_clock"}) {
+                if (hasIdentifier(code, clk)) {
+                    report("serve-clock",
+                           std::string("std::chrono::") + clk +
+                               " bypasses the Clock seam "
+                               "(serve/clock.h); take timestamps "
+                               "from Config::clock");
+                    break;
+                }
+            }
         }
 
         if (is_plan_dump) {
