@@ -29,8 +29,11 @@
 
 #include "common/table_writer.h"
 #include "core/reuse_engine.h"
+#include "fault/fault_injector.h"
 #include "harness/workload_setup.h"
 #include "ir/plan_cache.h"
+#include "obs/exemplar.h"
+#include "obs/flight_recorder.h"
 #include "obs/trace_exporter.h"
 #include "obs/trace_recorder.h"
 #include "serve/streaming_server.h"
@@ -178,6 +181,38 @@ struct SloStats {
     SloClassStats cls[kSloClassCount];
 };
 
+/** Exemplar-capture options (see obs/exemplar.h). */
+struct ExemplarOptions {
+    /** Arm the recorder in every server this process builds. */
+    bool enabled = false;
+    /** Per-class latency threshold (0 = commit on miss/shed only). */
+    int64_t latencyUs = 0;
+    /**
+     * >0: measure capture overhead — the throughput phase runs twice
+     * (disarmed, then armed) and 1 - fps_on/fps_off must not exceed
+     * this fraction.
+     */
+    double overheadGate = 0.0;
+
+    void applyTo(StreamingServer::Config &scfg) const
+    {
+        if (!enabled)
+            return;
+        scfg.exemplars.enabled = true;
+        for (size_t c = 0; c < kSloClassCount; ++c)
+            scfg.exemplars.latencyThresholdMicros[c] = latencyUs;
+    }
+};
+
+/** Process-wide disarm, for the overhead baseline run. */
+void
+disarmExemplars()
+{
+    obs::ExemplarRecorder::Policy off;
+    off.armed = false;
+    obs::ExemplarRecorder::instance().configure(off);
+}
+
 /** Session index -> SLO class: 1/2 Interactive, 1/4 each of rest. */
 SloClass
 sloClassFor(size_t session)
@@ -189,7 +224,8 @@ sloClassFor(size_t session)
 
 SloStats
 runSloPhase(const ReuseEngine &engine, const Workload &w,
-            size_t sessions, size_t frames_per_session)
+            size_t sessions, size_t frames_per_session,
+            const ExemplarOptions &ex)
 {
     SloStats out;
     out.sessions = sessions;
@@ -234,6 +270,7 @@ runSloPhase(const ReuseEngine &engine, const Workload &w,
     StreamingServer::Config scfg;
     scfg.workerThreads = out.workers;
     scfg.initialServiceEstimateMicros = out.service_us;
+    ex.applyTo(scfg);
     StreamingServer server(engine, scfg);
     out.shards = server.shardCount();
 
@@ -397,7 +434,7 @@ struct SloOptions {
 
 int
 runJsonBench(const std::string &json_path, double min_fps,
-             const SloOptions &slo)
+             const SloOptions &slo, const ExemplarOptions &ex)
 {
     WorkloadSetupConfig cfg;
     Workload w = setupKaldi(cfg);
@@ -415,12 +452,15 @@ runJsonBench(const std::string &json_path, double min_fps,
         inputs.push_back(streams.take(s, kFrames));
 
     // Throughput phase: every stream's frames through a shared
-    // 4-worker server.
+    // 4-worker server.  Run once by default; twice (disarmed then
+    // armed) when measuring exemplar-capture overhead.
     double fps = 0.0;
     double p50 = 0.0, p95 = 0.0, p99 = 0.0;
-    {
+    auto measure_throughput = [&](bool armed) {
         StreamingServer::Config scfg;
         scfg.workerThreads = kWorkers;
+        if (armed)
+            ex.applyTo(scfg);
         StreamingServer server(engine, scfg);
         std::vector<SessionId> ids;
         for (size_t s = 0; s < kSessions; ++s)
@@ -434,11 +474,20 @@ runJsonBench(const std::string &json_path, double min_fps,
         server.drain();
         const double secs = secondsSince(t0);
         const ServeMetrics &m = server.metrics();
-        fps = double(m.framesCompleted()) / secs;
         p50 = m.latency().percentile(0.50);
         p95 = m.latency().percentile(0.95);
         p99 = m.latency().percentile(0.99);
+        return double(m.framesCompleted()) / secs;
+    };
+    double fps_off = 0.0;
+    double exemplar_overhead = 0.0;
+    if (ex.overheadGate > 0.0) {
+        disarmExemplars();
+        fps_off = measure_throughput(false);
     }
+    fps = measure_throughput(ex.enabled);
+    if (ex.overheadGate > 0.0 && fps_off > 0.0)
+        exemplar_overhead = 1.0 - fps / fps_off;
 
     // Overload phase: a deliberately under-provisioned server (one
     // worker, tight per-session pending bound) fed without pacing;
@@ -485,8 +534,8 @@ runJsonBench(const std::string &json_path, double min_fps,
     // record is written, so the numbers always land on disk).
     SloStats slo_stats;
     if (slo.enabled)
-        slo_stats =
-            runSloPhase(engine, w, slo.sessions, slo.framesPerSession);
+        slo_stats = runSloPhase(engine, w, slo.sessions,
+                                slo.framesPerSession, ex);
 
     std::ofstream out(json_path, std::ios::trunc);
     if (!out) {
@@ -515,6 +564,13 @@ runJsonBench(const std::string &json_path, double min_fps,
         mm.fps, static_cast<unsigned long long>(mm.cache.hits),
         static_cast<unsigned long long>(mm.cache.misses));
     out << buf;
+    if (ex.overheadGate > 0.0) {
+        std::snprintf(buf, sizeof(buf),
+                      ",\n  \"fps_exemplars_off\": %.1f,\n"
+                      "  \"exemplar_overhead\": %.4f",
+                      fps_off, exemplar_overhead);
+        out << buf;
+    }
     if (slo.enabled)
         out << ",\n" << sloJson(slo_stats);
     out << "\n}\n";
@@ -526,6 +582,18 @@ runJsonBench(const std::string &json_path, double min_fps,
         std::cerr << "serve_throughput: REGRESSION: " << fps
                   << " frames/s < required " << min_fps << "\n";
         rc = 1;
+    }
+    if (ex.overheadGate > 0.0) {
+        std::printf("exemplar overhead: %.2f%% (off %.0f f/s, "
+                    "on %.0f f/s, gate %.0f%%)\n",
+                    exemplar_overhead * 100.0, fps_off, fps,
+                    ex.overheadGate * 100.0);
+        if (exemplar_overhead > ex.overheadGate) {
+            std::cerr << "serve_throughput: REGRESSION: exemplar "
+                      << "capture overhead " << exemplar_overhead
+                      << " > allowed " << ex.overheadGate << "\n";
+            rc = 1;
+        }
     }
     if (slo.enabled &&
         gateSlo(slo_stats, slo.maxP99Us, slo.maxMissRate) != 0)
@@ -540,8 +608,11 @@ main(int argc, char **argv)
 {
     std::string json_path;
     std::string trace_path;
+    std::string postmortem_path;
     double min_fps = 0.0;
+    uint64_t crash_after = 0;
     SloOptions slo;
+    ExemplarOptions ex;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         if (arg.rfind("--json=", 0) == 0)
@@ -560,6 +631,31 @@ main(int argc, char **argv)
             slo.maxP99Us = std::stod(arg.substr(13));
         else if (arg.rfind("--max-miss-rate=", 0) == 0)
             slo.maxMissRate = std::stod(arg.substr(16));
+        else if (arg == "--exemplars")
+            ex.enabled = true;
+        else if (arg.rfind("--exemplar-latency-us=", 0) == 0)
+            ex.latencyUs = std::stoll(arg.substr(22));
+        else if (arg.rfind("--exemplar-overhead-gate=", 0) == 0)
+            ex.overheadGate = std::stod(arg.substr(25));
+        else if (arg.rfind("--postmortem=", 0) == 0)
+            postmortem_path = arg.substr(13);
+        else if (arg.rfind("--crash-after=", 0) == 0)
+            crash_after = std::stoull(arg.substr(14));
+    }
+    // The overhead gate compares armed vs disarmed, so its second run
+    // is armed by definition.
+    if (ex.overheadGate > 0.0)
+        ex.enabled = true;
+    if (!postmortem_path.empty())
+        obs::FlightRecorder::install(postmortem_path);
+    if (crash_after > 0) {
+        // Deterministic process death inside the engine: exercises
+        // the flight recorder's fatal path end-to-end (CI crash leg).
+        // Requires a REUSE_FAULT_INJECTION build to actually fire.
+        fault::FaultPlan plan;
+        plan.kind = fault::FaultKind::EngineFatal;
+        plan.fireAtInvocation = crash_after;
+        fault::FaultInjector::global().arm(plan);
     }
     if (!trace_path.empty() &&
         !obs::TraceRecorder::instance().enabled()) {
@@ -568,7 +664,7 @@ main(int argc, char **argv)
         obs::TraceRecorder::instance().setSampleEvery(16);
     }
     if (!json_path.empty()) {
-        const int rc = runJsonBench(json_path, min_fps, slo);
+        const int rc = runJsonBench(json_path, min_fps, slo, ex);
         if (!trace_path.empty())
             obs::TraceExporter::exportFile(trace_path);
         return rc;
@@ -580,8 +676,12 @@ main(int argc, char **argv)
         Workload sw = setupKaldi(slo_cfg);
         ReuseEngine slo_engine(*sw.bundle.network, sw.plan);
         const SloStats s = runSloPhase(slo_engine, sw, slo.sessions,
-                                       slo.framesPerSession);
-        return gateSlo(s, slo.maxP99Us, slo.maxMissRate);
+                                       slo.framesPerSession, ex);
+        int rc = gateSlo(s, slo.maxP99Us, slo.maxMissRate);
+        if (!trace_path.empty() &&
+            obs::TraceExporter::exportFile(trace_path))
+            std::cout << "wrote trace to " << trace_path << "\n";
+        return rc;
     }
 
     std::cout << "Multi-stream serving throughput (Kaldi workload)\n"

@@ -89,6 +89,29 @@ LatencyHistogram::percentile(double p) const
     return bucketUpperBound(kBuckets - 1);
 }
 
+uint64_t
+LatencyHistogram::countAtOrBelow(double micros) const
+{
+    if (!(micros > 0.0))
+        return 0;
+    const int boundary = bucketIndex(micros);
+    uint64_t below = 0;
+    for (int i = 0; i < boundary; ++i)
+        below +=
+            buckets_[static_cast<size_t>(i)].load(std::memory_order_relaxed);
+    const uint64_t in_boundary =
+        buckets_[static_cast<size_t>(boundary)].load(
+            std::memory_order_relaxed);
+    if (in_boundary == 0)
+        return below;
+    const double lo = bucketLowerBound(boundary);
+    const double hi = bucketUpperBound(boundary);
+    const double frac =
+        std::clamp((micros - lo) / (hi - lo), 0.0, 1.0);
+    return below + static_cast<uint64_t>(
+                       frac * static_cast<double>(in_boundary) + 0.5);
+}
+
 void
 LatencyHistogram::merge(const LatencyHistogram &other)
 {

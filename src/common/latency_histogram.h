@@ -46,6 +46,13 @@ class LatencyHistogram
     double percentile(double p) const;
 
     /**
+     * Samples at or below `micros` (Prometheus cumulative-bucket
+     * semantics): every bucket entirely below the boundary plus a
+     * linear share of the bucket containing it.
+     */
+    uint64_t countAtOrBelow(double micros) const;
+
+    /**
      * Adds every sample of `other` into this histogram (bucket-wise;
      * exact, since both use the same fixed bucket geometry).  Safe
      * concurrently with record() on either side; a merge overlapping

@@ -1,9 +1,32 @@
 #include "logging.h"
 
+#include <atomic>
 #include <cstdlib>
 #include <iostream>
 
 namespace reuse {
+
+namespace {
+
+std::atomic<void (*)(const char *)> crash_hook{nullptr};
+
+/** Runs the crash hook at most once per process. */
+void
+runCrashHook(const char *msg)
+{
+    void (*hook)(const char *) =
+        crash_hook.exchange(nullptr, std::memory_order_acq_rel);
+    if (hook != nullptr)
+        hook(msg);
+}
+
+} // namespace
+
+void
+setCrashHook(void (*hook)(const char *))
+{
+    crash_hook.store(hook, std::memory_order_release);
+}
 
 Logger &
 Logger::instance()
@@ -57,6 +80,7 @@ void
 fatal(const std::string &msg)
 {
     std::cerr << "fatal: " << msg << "\n";
+    runCrashHook(msg.c_str());
     std::exit(1);
 }
 
@@ -64,6 +88,7 @@ void
 panic(const std::string &msg)
 {
     std::cerr << "panic: " << msg << "\n";
+    runCrashHook(msg.c_str());
     std::abort();
 }
 

@@ -59,6 +59,14 @@ void warn(const std::string &msg);
 void debugLog(const std::string &msg);
 
 /**
+ * Hook invoked (once, with the failure message) before fatal() or
+ * panic() terminates the process.  Lets higher layers flush
+ * diagnostics — the obs flight recorder registers its postmortem dump
+ * here — without common depending on them.  nullptr disables.
+ */
+void setCrashHook(void (*hook)(const char *msg));
+
+/**
  * Terminates the process because of a user-level error (bad
  * configuration, invalid arguments).  Never returns.
  */

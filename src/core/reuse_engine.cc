@@ -222,6 +222,7 @@ ReuseEngine::execute(ReuseState &state, const Tensor &input,
                  "use executeSequence() for recurrent networks");
     checkState(state);
     fault::maybeStall();
+    fault::maybeFatal();
 
     // Outermost scope on this thread decides frame sampling; under
     // the serving runtime the server's scope (which knows the session
@@ -294,6 +295,7 @@ ReuseEngine::executeSequence(ReuseState &state,
 {
     checkState(state);
     fault::maybeStall();
+    fault::maybeFatal();
 
     if (!network_.isRecurrent()) {
         // Feed-forward: the sequence is a stream of frames.

@@ -4,6 +4,7 @@
 #include <cstring>
 #include <thread>
 
+#include "common/logging.h"
 #include "kernels/thread_pool.h"
 
 namespace reuse {
@@ -35,6 +36,7 @@ faultKindName(FaultKind kind)
       case FaultKind::DroppedFrame: return "dropped-frame";
       case FaultKind::DuplicatedFrame: return "duplicated-frame";
       case FaultKind::WorkerStall: return "worker-stall";
+      case FaultKind::EngineFatal: return "engine-fatal";
     }
     return "unknown";
 }
@@ -252,6 +254,17 @@ FaultInjector::maybeStall()
             disarm_cv_.wait(lock);
     }
     stalled_.fetch_sub(1, std::memory_order_acq_rel);
+}
+
+void
+FaultInjector::maybeFatal()
+{
+    if (!armed())
+        return;
+    uint64_t seed = 0;
+    if (!shouldFire(FaultKind::EngineFatal, std::nullopt, &seed))
+        return;
+    panic("fault: injected engine fatal");
 }
 
 } // namespace fault

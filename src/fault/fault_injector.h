@@ -57,9 +57,21 @@ enum class FaultKind {
     DuplicatedFrame,
     /** Stall a worker inside kernel execution. */
     WorkerStall,
+    /**
+     * Kill the process from inside the engine (panic) — exercises the
+     * postmortem flight recorder, not the recovery machinery.  Keep
+     * last: campaigns sweep the recoverable prefix only.
+     */
+    EngineFatal,
 };
 
-constexpr int kNumFaultKinds = 7;
+constexpr int kNumFaultKinds = 8;
+
+/**
+ * Kinds the recovery machinery is expected to survive (everything
+ * before EngineFatal).  fault_campaign --all sweeps exactly these.
+ */
+constexpr int kNumRecoverableFaultKinds = 7;
 
 /** Stable lower-case name of a fault kind (CLI flag values). */
 const char *faultKindName(FaultKind kind);
@@ -170,6 +182,9 @@ class FaultInjector
     /** WorkerStall: sleeps (or blocks until disarm) when firing. */
     void maybeStall();
 
+    /** EngineFatal: panics the process when firing (postmortem test). */
+    void maybeFatal();
+
   private:
     FaultInjector() = default;
 
@@ -243,6 +258,12 @@ maybeStall()
     FaultInjector::global().maybeStall();
 }
 
+inline void
+maybeFatal()
+{
+    FaultInjector::global().maybeFatal();
+}
+
 inline bool
 frameFaultsArmed()
 {
@@ -258,6 +279,7 @@ inline void truncateChanges(LayerKind, kernels::ChangeList &) {}
 inline bool shouldDropFrame() { return false; }
 inline bool shouldDuplicateFrame() { return false; }
 inline void maybeStall() {}
+inline void maybeFatal() {}
 inline bool frameFaultsArmed() { return false; }
 
 #endif // REUSE_FAULT_INJECTION

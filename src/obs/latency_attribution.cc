@@ -1,0 +1,234 @@
+#include "latency_attribution.h"
+
+#include <algorithm>
+
+#include "obs/trace_recorder.h"
+
+namespace reuse {
+namespace obs {
+
+namespace {
+
+double
+numOr(const JsonValue &obj, const std::string &key, double fallback)
+{
+    return obj.has(key) && obj.at(key).isNumber()
+               ? obj.at(key).asNumber()
+               : fallback;
+}
+
+bool
+hasCause(const ExemplarAttribution &attr, const char *cause)
+{
+    for (const std::string &c : attr.causes)
+        if (c == cause)
+            return true;
+    return false;
+}
+
+void
+charge(ExemplarAttribution *attr, AttrCause cause, double us)
+{
+    attr->causeUs[static_cast<size_t>(cause)] += us;
+}
+
+} // namespace
+
+const char *
+attrCauseName(AttrCause cause)
+{
+    switch (cause) {
+      case AttrCause::QueueWait: return "queue_wait";
+      case AttrCause::StealDelay: return "steal_delay";
+      case AttrCause::Migration: return "migration";
+      case AttrCause::DriftRefresh: return "drift_refresh";
+      case AttrCause::RewarmRecompute: return "rewarm_recompute";
+      case AttrCause::FirstExec: return "first_exec";
+      case AttrCause::LowSimilarityRecompute:
+        return "low_similarity_recompute";
+      case AttrCause::ReuseExec: return "reuse_exec";
+      case AttrCause::RuntimeOverhead: return "runtime_overhead";
+      case AttrCause::Unattributed: return "unattributed";
+      case AttrCause::kCount: break;
+    }
+    return "unknown";
+}
+
+double
+ExemplarAttribution::attributedFraction() const
+{
+    if (wallUs <= 0.0)
+        return 1.0;
+    const double un =
+        causeUs[static_cast<size_t>(AttrCause::Unattributed)];
+    return std::max(0.0, 1.0 - un / wallUs);
+}
+
+double
+ClassAttribution::attributedFraction() const
+{
+    if (wallUsTotal <= 0.0)
+        return 1.0;
+    const double un =
+        causeUsTotal[static_cast<size_t>(AttrCause::Unattributed)];
+    return std::max(0.0, 1.0 - un / wallUsTotal);
+}
+
+bool
+attributeOneExemplar(const JsonValue &ex, ExemplarAttribution *out,
+                     std::string *error)
+{
+    *out = ExemplarAttribution();
+    if (!ex.isObject()) {
+        *error = "exemplar is not an object";
+        return false;
+    }
+    for (const char *field : {"session", "frame", "class", "causes",
+                              "latency_us", "spans"}) {
+        if (!ex.has(field)) {
+            *error = std::string("exemplar lacks \"") + field + "\"";
+            return false;
+        }
+    }
+    out->session = static_cast<uint64_t>(ex.at("session").asInt());
+    out->frame = static_cast<uint64_t>(ex.at("frame").asInt());
+    out->sloClass = ex.at("class").asString();
+    for (const JsonValue &c : ex.at("causes").asArray())
+        out->causes.push_back(c.asString());
+    out->wallUs = ex.at("latency_us").asNumber();
+    out->truncated =
+        ex.has("truncated") && ex.at("truncated").asBool();
+    out->shed = hasCause(*out, "shed");
+    if (out->shed) {
+        // A shed frame never executed; there is no wall time to
+        // decompose (the capture records the backoff hint instead).
+        out->wallUs = 0.0;
+        return true;
+    }
+
+    const bool stolen = ex.has("stolen") && ex.at("stolen").asBool();
+    const bool migrated = numOr(ex, "migrations", 0.0) > 0.0;
+    const bool cold = hasCause(*out, "cold_rewarm");
+
+    double queueWaitUs = 0.0;
+    double frameExecUs = 0.0;
+    double layerUs = 0.0;
+    for (const JsonValue &sp : ex.at("spans").asArray()) {
+        if (!sp.isObject() || !sp.has("name")) {
+            *error = "exemplar span without a name";
+            return false;
+        }
+        const std::string &name = sp.at("name").asString();
+        const double dur = numOr(sp, "dur", 0.0);
+        if (name == "queue_wait") {
+            queueWaitUs += dur;
+        } else if (name == "frame_exec") {
+            frameExecUs += dur;
+        } else if (name == "layer_exec") {
+            layerUs += dur;
+            const uint32_t flags = static_cast<uint32_t>(
+                numOr(sp, "flags", 0.0));
+            if (flags & kFlagDriftRefresh) {
+                charge(out, AttrCause::DriftRefresh, dur);
+            } else if (flags & kFlagFirstExecution) {
+                charge(out,
+                       cold ? AttrCause::RewarmRecompute
+                            : AttrCause::FirstExec,
+                       dur);
+            } else {
+                // Steady state: split on how much of the layer's work
+                // the scan actually avoided.
+                double full = 0.0, performed = 0.0;
+                if (sp.has("args")) {
+                    const JsonValue &args = sp.at("args");
+                    full = numOr(args, "macs_full", 0.0);
+                    performed = numOr(args, "macs_performed", 0.0);
+                }
+                const bool lowSim =
+                    full > 0.0 && performed / full > 0.5;
+                charge(out,
+                       lowSim ? AttrCause::LowSimilarityRecompute
+                              : AttrCause::ReuseExec,
+                       dur);
+            }
+        }
+        // layer_scan/layer_apply/first_exec/drift_refresh nest inside
+        // layer_exec and instants carry no duration: neither adds
+        // wall time beyond what is charged above.
+    }
+
+    // The wait bucket is the queue-wait span, named for how the frame
+    // reached its executing worker.
+    const AttrCause wait = migrated ? AttrCause::Migration
+                           : stolen ? AttrCause::StealDelay
+                                    : AttrCause::QueueWait;
+    charge(out, wait, queueWaitUs);
+    // Frame-exec time no layer span explains: dispatch, validation,
+    // state bookkeeping.  With a truncated staging buffer part of
+    // this is really missing layer spans; the `truncated` flag keys
+    // the caller to distrust the split, not the total.
+    charge(out, AttrCause::RuntimeOverhead,
+           std::max(0.0, frameExecUs - layerUs));
+    // Whatever submit-to-completion time the staged spans do not
+    // cover.  Kept explicit: a growing unattributed share means the
+    // capture is missing an instrumentation point, which is exactly
+    // what the doctor exists to surface.
+    charge(out, AttrCause::Unattributed,
+           std::max(0.0, out->wallUs - queueWaitUs - frameExecUs));
+    return true;
+}
+
+bool
+attributeExemplars(const JsonValue &root, AttributionReport *out,
+                   std::string *error)
+{
+    *out = AttributionReport();
+    if (!root.isObject()) {
+        *error = "document root is not an object";
+        return false;
+    }
+    if (root.has("postmortem")) {
+        out->postmortem = true;
+        const JsonValue &pm = root.at("postmortem");
+        if (pm.isObject() && pm.has("reason"))
+            out->reason = pm.at("reason").asString();
+    }
+    if (!root.has("exemplars") || !root.at("exemplars").isArray()) {
+        *error = "document carries no exemplars (armed capture "
+                 "required: REUSE_EXEMPLARS=1 or "
+                 "Config::exemplars.enabled)";
+        return false;
+    }
+    if (root.has("otherData") && root.at("otherData").isObject()) {
+        const JsonValue &other = root.at("otherData");
+        out->committed = static_cast<uint64_t>(
+            numOr(other, "exemplarsCommitted", 0.0));
+        out->dropped = static_cast<uint64_t>(
+            numOr(other, "exemplarsDropped", 0.0));
+        out->stagingOverflows = static_cast<uint64_t>(
+            numOr(other, "exemplarStagingOverflows", 0.0));
+    }
+    for (const JsonValue &ex : root.at("exemplars").asArray()) {
+        ExemplarAttribution attr;
+        if (!attributeOneExemplar(ex, &attr, error))
+            return false;
+        ClassAttribution &cls = out->classes[attr.sloClass];
+        cls.name = attr.sloClass;
+        if (attr.shed) {
+            cls.shed += 1;
+        } else {
+            cls.exemplars += 1;
+            cls.wallUsTotal += attr.wallUs;
+            cls.wallSamples.push_back(attr.wallUs);
+            for (size_t c = 0; c < kAttrCauseCount; ++c)
+                cls.causeUsTotal[c] += attr.causeUs[c];
+        }
+        if (attr.truncated)
+            cls.truncated += 1;
+        out->exemplars.push_back(std::move(attr));
+    }
+    return true;
+}
+
+} // namespace obs
+} // namespace reuse

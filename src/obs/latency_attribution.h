@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Tail-latency attribution: decomposes each captured exemplar's wall
+ * time into named causes.
+ *
+ * tools/latency_doctor and the observability tests both reduce an
+ * exemplar-bearing trace file (or a postmortem dump — same member
+ * layout, see obs/flight_recorder.h) to a per-class cause table; this
+ * module holds that reduction once so the CLI's numbers and the
+ * tests' golden output cannot drift apart.
+ *
+ * The decomposition is exhaustive by construction: every microsecond
+ * of an exemplar's submit-to-completion wall time lands in exactly
+ * one bucket, and whatever the staged spans cannot explain is
+ * reported explicitly as `unattributed` rather than silently folded
+ * into a neighbouring cause.
+ */
+
+#ifndef REUSE_DNN_OBS_LATENCY_ATTRIBUTION_H
+#define REUSE_DNN_OBS_LATENCY_ATTRIBUTION_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+
+namespace reuse {
+namespace obs {
+
+/**
+ * The named causes an exemplar's wall time is split across.  Order is
+ * the presentation order of the doctor's tables.
+ */
+enum class AttrCause : uint8_t {
+    /** Waiting in the home shard's run queue (no steal, no hop). */
+    QueueWait,
+    /** Queue wait of a frame that ultimately ran on a thief shard. */
+    StealDelay,
+    /** Queue wait of a frame that rode >=1 session migration. */
+    Migration,
+    /** Layer executions re-run from scratch by the drift policy. */
+    DriftRefresh,
+    /** First executions forced by an eviction re-warm. */
+    RewarmRecompute,
+    /** Genuine first executions (stream warm-up). */
+    FirstExec,
+    /** Steady-state layers that recomputed >50% of their MACs. */
+    LowSimilarityRecompute,
+    /** Steady-state layers riding the reuse fast path. */
+    ReuseExec,
+    /** Frame-exec time outside any layer span (dispatch, bookkeeping). */
+    RuntimeOverhead,
+    /** Wall time no staged span explains (reported, never hidden). */
+    Unattributed,
+    kCount,
+};
+
+constexpr size_t kAttrCauseCount =
+    static_cast<size_t>(AttrCause::kCount);
+
+/** Stable lowercase identifier ("queue_wait", "steal_delay", ...). */
+const char *attrCauseName(AttrCause cause);
+
+/** One exemplar's wall-time decomposition. */
+struct ExemplarAttribution {
+    uint64_t session = 0;
+    uint64_t frame = 0;
+    /** SLO class name as captured ("interactive", ...). */
+    std::string sloClass;
+    /** Commit causes as captured ("deadline_miss", ...). */
+    std::vector<std::string> causes;
+    /** Submit-to-completion wall time (0 for shed frames). */
+    double wallUs = 0.0;
+    /** True when the exemplar was a shed admission (no execution). */
+    bool shed = false;
+    /** True when the staging buffer overflowed for this frame. */
+    bool truncated = false;
+    /** Microseconds charged to each cause. */
+    double causeUs[kAttrCauseCount] = {};
+
+    /** Fraction of wall time explained by named causes (1 on 0 wall). */
+    double attributedFraction() const;
+};
+
+/** Per-SLO-class rollup across every attributed exemplar. */
+struct ClassAttribution {
+    std::string name;
+    /** Exemplars that executed (attributable wall time). */
+    int64_t exemplars = 0;
+    /** Shed exemplars (no wall time; counted, not attributed). */
+    int64_t shed = 0;
+    /** Exemplars whose staging buffer overflowed. */
+    int64_t truncated = 0;
+    double wallUsTotal = 0.0;
+    double causeUsTotal[kAttrCauseCount] = {};
+    /** Wall-time samples of executed exemplars (for percentiles). */
+    std::vector<double> wallSamples;
+
+    /** 1 - unattributed/wall over the class (1 when no wall time). */
+    double attributedFraction() const;
+};
+
+/** Whole-file reduction. */
+struct AttributionReport {
+    /** True when the input was a postmortem dump. */
+    bool postmortem = false;
+    /** Postmortem reason ("signal:SIGSEGV", ...); "" for traces. */
+    std::string reason;
+    uint64_t committed = 0;
+    uint64_t dropped = 0;
+    uint64_t stagingOverflows = 0;
+    std::vector<ExemplarAttribution> exemplars;
+    /** Rollups keyed by class name. */
+    std::map<std::string, ClassAttribution> classes;
+};
+
+/**
+ * Reduces a parsed trace or postmortem document into `out`.  Returns
+ * false (with `error` set) when the document carries no exemplars —
+ * legacy traces are a diagnosable error, not a crash.
+ */
+bool attributeExemplars(const JsonValue &root, AttributionReport *out,
+                        std::string *error);
+
+/**
+ * Decomposes one parsed exemplar object (the "exemplars" array
+ * element shape of obs/trace_exporter.h) into `out`.  Exposed for
+ * tests; attributeExemplars() is the file-level entry point.
+ */
+bool attributeOneExemplar(const JsonValue &ex, ExemplarAttribution *out,
+                          std::string *error);
+
+} // namespace obs
+} // namespace reuse
+
+#endif // REUSE_DNN_OBS_LATENCY_ATTRIBUTION_H

@@ -41,7 +41,8 @@ class MetricsExporter
          */
         std::vector<std::string> ewmaSuffixes = {
             ".similarity", ".reuse", ".near_match", ".occupancy",
-            ".drift_refresh_rate"};
+            ".drift_refresh_rate", ".burn_rate_fast",
+            ".burn_rate_slow"};
         /** Metric-name prefix in the Prometheus exposition. */
         std::string promPrefix = "reuse_";
     };

@@ -37,6 +37,23 @@ aggregateTrace(const JsonValue &root, TraceAggregate *out,
             out->droppedEvents = static_cast<uint64_t>(
                 other.at("droppedEvents").asInt());
         }
+        if (other.has("exemplarsCommitted")) {
+            out->exemplarsCommitted = static_cast<uint64_t>(
+                other.at("exemplarsCommitted").asInt());
+        }
+        if (other.has("exemplarsDropped")) {
+            out->exemplarsDropped = static_cast<uint64_t>(
+                other.at("exemplarsDropped").asInt());
+        }
+        if (other.has("exemplarStagingOverflows")) {
+            out->exemplarStagingOverflows = static_cast<uint64_t>(
+                other.at("exemplarStagingOverflows").asInt());
+        }
+    }
+    if (root.has("exemplars") && root.at("exemplars").isArray()) {
+        out->hasExemplars = true;
+        out->exemplarCount = static_cast<int64_t>(
+            root.at("exemplars").asArray().size());
     }
     for (const JsonValue &ev : root.at("traceEvents").asArray()) {
         if (!ev.isObject() || !ev.has("name")) {
@@ -153,6 +170,66 @@ validateTrace(const JsonValue &root, const JsonValue &schema,
                     *error = why.str() + name + " lacks arg \"" +
                              arg.asString() + "\"";
                     return false;
+                }
+            }
+        }
+    }
+    // Exemplar section: present only when capture was armed (legacy
+    // traces stay valid without it), but when present it must match
+    // the schema's exemplar spec exactly.
+    if (schema.has("exemplars") && root.has("exemplars")) {
+        if (!root.at("exemplars").isArray()) {
+            *error = "\"exemplars\" is not an array";
+            return false;
+        }
+        const JsonValue &spec = schema.at("exemplars");
+        const JsonValue::Array &exemplars =
+            root.at("exemplars").asArray();
+        for (size_t i = 0; i < exemplars.size(); ++i) {
+            const JsonValue &ex = exemplars[i];
+            why.str("");
+            why << "exemplar " << i << ": ";
+            if (!ex.isObject()) {
+                *error = why.str() + "not an object";
+                return false;
+            }
+            if (spec.has("required")) {
+                for (const JsonValue &key :
+                     spec.at("required").asArray()) {
+                    if (!ex.has(key.asString())) {
+                        *error = why.str() + "missing \"" +
+                                 key.asString() + "\"";
+                        return false;
+                    }
+                }
+            }
+            if (spec.has("causes")) {
+                for (const JsonValue &c : ex.at("causes").asArray()) {
+                    bool known = false;
+                    for (const JsonValue &k :
+                         spec.at("causes").asArray())
+                        known = known ||
+                                k.asString() == c.asString();
+                    if (!known) {
+                        *error = why.str() + "unknown cause \"" +
+                                 c.asString() + "\"";
+                        return false;
+                    }
+                }
+            }
+            if (!spec.has("spanRequired"))
+                continue;
+            const JsonValue::Array &spans =
+                ex.at("spans").asArray();
+            for (size_t s = 0; s < spans.size(); ++s) {
+                for (const JsonValue &key :
+                     spec.at("spanRequired").asArray()) {
+                    if (!spans[s].has(key.asString())) {
+                        *error = why.str() + "span " +
+                                 std::to_string(s) + " missing \"" +
+                                 key.asString() + "\"";
+                        return false;
+                    }
                 }
             }
         }

@@ -75,6 +75,14 @@ struct TraceAggregate {
     uint64_t droppedEvents = 0;
     /** Total events in the trace. */
     int64_t events = 0;
+    /** True when the trace carries an exemplar section. */
+    bool hasExemplars = false;
+    /** Exemplars present in the file's "exemplars" array. */
+    int64_t exemplarCount = 0;
+    /** Lifetime counters as exported (otherData). */
+    uint64_t exemplarsCommitted = 0;
+    uint64_t exemplarsDropped = 0;
+    uint64_t exemplarStagingOverflows = 0;
     /** layer_exec reductions keyed by layer index (steady state). */
     std::map<int32_t, LayerTraceAgg> layers;
     /** All events keyed by name ("layer_exec", "eviction", ...). */

@@ -63,16 +63,41 @@ writeEvent(std::ostream &os, const TraceEvent &ev)
     os << "}}";
 }
 
-} // namespace
+/** Writes a double as a JSON number ("-1" for the n/a sentinel). */
+void
+writeRatio(std::ostream &os, double value)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.6f", value);
+    os << buf;
+}
 
 void
-TraceExporter::writeJson(std::ostream &os,
-                         const std::vector<TraceEvent> &events,
-                         uint32_t sample_every, uint64_t dropped)
+writeBody(std::ostream &os, const std::vector<TraceEvent> &events,
+          uint32_t sample_every, uint64_t dropped,
+          const TraceExporter::ExemplarExport *exemplars)
 {
     os << "{\"displayTimeUnit\":\"ms\",\"otherData\":{"
        << "\"tool\":\"reuse_dnn\",\"sampleEvery\":" << sample_every
-       << ",\"droppedEvents\":" << dropped << "},\"traceEvents\":[";
+       << ",\"droppedEvents\":" << dropped;
+    if (exemplars != nullptr) {
+        os << ",\"exemplarsCommitted\":" << exemplars->committed
+           << ",\"exemplarsDropped\":" << exemplars->dropped
+           << ",\"exemplarStagingOverflows\":"
+           << exemplars->stagingOverflows;
+    }
+    os << "}";
+    if (exemplars != nullptr) {
+        os << ",\"exemplars\":[";
+        for (size_t i = 0; i < exemplars->exemplars.size(); ++i) {
+            if (i != 0)
+                os << ",";
+            os << "\n";
+            TraceExporter::writeExemplar(os, exemplars->exemplars[i]);
+        }
+        os << "\n]";
+    }
+    os << ",\"traceEvents\":[";
     for (size_t i = 0; i < events.size(); ++i) {
         if (i != 0)
             os << ",";
@@ -80,6 +105,92 @@ TraceExporter::writeJson(std::ostream &os,
         writeEvent(os, events[i]);
     }
     os << "\n]}\n";
+}
+
+} // namespace
+
+TraceExporter::ExemplarExport
+TraceExporter::ExemplarExport::capture()
+{
+    const ExemplarRecorder &rec = ExemplarRecorder::instance();
+    ExemplarExport out;
+    out.exemplars = rec.snapshot();
+    out.committed = rec.committed();
+    out.dropped = rec.dropped();
+    out.stagingOverflows = rec.stagingOverflows();
+    return out;
+}
+
+void
+TraceExporter::writeExemplar(std::ostream &os, const Exemplar &ex)
+{
+    os << "{\"session\":" << ex.session << ",\"frame\":" << ex.frame
+       << ",\"class\":\""
+       << ExemplarRecorder::instance().className(ex.sloClass)
+       << "\",\"class_ordinal\":" << static_cast<int>(ex.sloClass)
+       << ",\"causes\":[";
+    bool first = true;
+    for (uint32_t bit = 1; bit != 0 && bit <= ex.causes; bit <<= 1) {
+        if (!(ex.causes & bit))
+            continue;
+        if (!first)
+            os << ",";
+        first = false;
+        os << "\"" << exemplarCauseName(bit) << "\"";
+    }
+    os << "],\"truncated\":" << (ex.truncated ? "true" : "false")
+       << ",\"stolen\":" << (ex.stolen ? "true" : "false")
+       << ",\"migrations\":" << ex.migrations
+       << ",\"enqueued_us\":" << ex.enqueuedMicros
+       << ",\"completed_us\":" << ex.completedMicros
+       << ",\"deadline_us\":" << ex.deadlineMicros
+       << ",\"latency_us\":" << ex.latencyUs << ",\"reuse_ratio\":";
+    writeRatio(os, ex.reuseRatio);
+    os << ",\"spans\":[";
+    for (size_t i = 0; i < ex.spans.size(); ++i) {
+        const ExemplarSpan &s = ex.spans[i];
+        if (i != 0)
+            os << ",";
+        os << "{\"name\":\"" << spanKindName(s.kind) << "\",\"ts\":";
+        writeMicros(os, s.startNs);
+        os << ",\"dur\":";
+        writeMicros(os, s.durNs);
+        os << ",\"layer\":" << s.layer << ",\"flags\":" << s.flags
+           << ",\"args\":{";
+        const SpanArgNames names = spanArgNames(s.kind);
+        bool firstArg = true;
+        auto arg = [&](const char *name, int64_t value) {
+            if (name == nullptr)
+                return;
+            if (!firstArg)
+                os << ",";
+            firstArg = false;
+            os << "\"" << name << "\":" << value;
+        };
+        arg(names.a, s.a);
+        arg(names.b, s.b);
+        arg(names.c, s.c);
+        arg(names.d, s.d);
+        os << "}}";
+    }
+    os << "]}";
+}
+
+void
+TraceExporter::writeJson(std::ostream &os,
+                         const std::vector<TraceEvent> &events,
+                         uint32_t sample_every, uint64_t dropped)
+{
+    writeBody(os, events, sample_every, dropped, nullptr);
+}
+
+void
+TraceExporter::writeJson(std::ostream &os,
+                         const std::vector<TraceEvent> &events,
+                         uint32_t sample_every, uint64_t dropped,
+                         const ExemplarExport &exemplars)
+{
+    writeBody(os, events, sample_every, dropped, &exemplars);
 }
 
 std::string
@@ -101,8 +212,14 @@ TraceExporter::exportFile(const std::string &path)
         return false;
     }
     TraceRecorder &rec = TraceRecorder::instance();
-    writeJson(out, rec.snapshot(), rec.sampleEvery(),
-              rec.droppedEvents());
+    const ExemplarRecorder &exrec = ExemplarRecorder::instance();
+    if (exrec.armed() || exrec.committed() > 0) {
+        writeJson(out, rec.snapshot(), rec.sampleEvery(),
+                  rec.droppedEvents(), ExemplarExport::capture());
+    } else {
+        writeJson(out, rec.snapshot(), rec.sampleEvery(),
+                  rec.droppedEvents());
+    }
     return static_cast<bool>(out);
 }
 

@@ -18,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/exemplar.h"
 #include "obs/trace_recorder.h"
 
 namespace reuse {
@@ -33,6 +34,30 @@ class TraceExporter
     static void writeJson(std::ostream &os,
                           const std::vector<TraceEvent> &events,
                           uint32_t sample_every, uint64_t dropped);
+
+    /** Committed exemplars plus their loss counters, for export. */
+    struct ExemplarExport {
+        std::vector<Exemplar> exemplars;
+        uint64_t committed = 0;
+        uint64_t dropped = 0;
+        uint64_t stagingOverflows = 0;
+
+        /** Snapshot of the process-wide exemplar recorder. */
+        static ExemplarExport capture();
+    };
+
+    /**
+     * As above, plus an "exemplars" array and the exemplar loss
+     * counters in otherData (exemplarsCommitted, exemplarsDropped,
+     * exemplarStagingOverflows).  Legacy readers ignore the extras.
+     */
+    static void writeJson(std::ostream &os,
+                          const std::vector<TraceEvent> &events,
+                          uint32_t sample_every, uint64_t dropped,
+                          const ExemplarExport &exemplars);
+
+    /** Writes one committed exemplar as a JSON object. */
+    static void writeExemplar(std::ostream &os, const Exemplar &ex);
 
     /** Snapshot + serialize of the process-wide recorder. */
     static std::string exportString();

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cstdlib>
 
+#include "obs/exemplar.h"
+
 namespace reuse {
 namespace obs {
 
@@ -22,6 +24,8 @@ spanKindName(SpanKind kind)
       case SpanKind::Eviction: return "eviction";
       case SpanKind::CorruptionRecovery: return "corruption_recovery";
       case SpanKind::FrameShed: return "frame_shed";
+      case SpanKind::Steal: return "steal";
+      case SpanKind::Migration: return "migration";
       case SpanKind::kCount: break;
     }
     return "unknown";
@@ -36,6 +40,8 @@ isInstantKind(SpanKind kind)
       case SpanKind::Eviction:
       case SpanKind::CorruptionRecovery:
       case SpanKind::FrameShed:
+      case SpanKind::Steal:
+      case SpanKind::Migration:
         return true;
       default:
         return false;
@@ -63,6 +69,10 @@ spanArgNames(SpanKind kind)
         return {"executions_since_refresh", nullptr, nullptr, nullptr};
       case SpanKind::FrameShed:
         return {"pending", "retry_after_us", nullptr, nullptr};
+      case SpanKind::Steal:
+        return {"home_shard", "thief_shard", nullptr, nullptr};
+      case SpanKind::Migration:
+        return {"from_shard", "to_shard", nullptr, nullptr};
       default:
         return {};
     }
@@ -296,7 +306,12 @@ FrameTraceScope::FrameTraceScope(uint64_t session, uint64_t frame)
     TraceRecorder &rec = TraceRecorder::instance();
     uint64_t tick = 0;
     ctx.active = rec.sampleFrameTick(&tick);
-    if (!ctx.active)
+    if (ExemplarRecorder::instance().armed()) {
+        ExemplarStaging &staging = exemplarStaging();
+        staging.reset();
+        ctx.staging = &staging;
+    }
+    if (!ctx.active && ctx.staging == nullptr)
         return;
     ctx.session = session;
     ctx.frame = frame == kAutoFrame ? tick : frame;
@@ -309,38 +324,69 @@ FrameTraceScope::~FrameTraceScope()
     --ctx.depth;
     if (!outer_)
         return;
-    if (ctx.active) {
+    if (ctx.active || ctx.staging != nullptr) {
         TraceRecorder &rec = TraceRecorder::instance();
-        TraceEvent ev;
-        ev.kind = SpanKind::FrameExec;
-        ev.startNs = start_;
-        ev.durNs = rec.nowNs() - start_;
-        ev.session = ctx.session;
-        ev.frame = ctx.frame;
-        rec.record(ev);
+        const int64_t end = rec.nowNs();
+        if (ctx.staging != nullptr) {
+            ExemplarSpan span;
+            span.kind = SpanKind::FrameExec;
+            span.startNs = start_;
+            span.durNs = end - start_;
+            ctx.staging->add(span);
+        }
+        if (ctx.active) {
+            TraceEvent ev;
+            ev.kind = SpanKind::FrameExec;
+            ev.startNs = start_;
+            ev.durNs = end - start_;
+            ev.session = ctx.session;
+            ev.frame = ctx.frame;
+            rec.record(ev);
+        }
     }
+    // The staged spans stay in the thread-local buffer for the
+    // caller's ExemplarRecorder::finishFrame(); only the pointer that
+    // routes new spans into it is cleared here.
     ctx.active = false;
+    ctx.staging = nullptr;
     ctx.session = 0;
     ctx.frame = 0;
 }
 
 TraceSpan::TraceSpan(SpanKind kind, int32_t layer)
-    : active_(traceActive()), kind_(kind), layer_(layer)
+    : active_(traceActive()), staging_(frameContext().staging),
+      kind_(kind), layer_(layer)
 {
-    if (active_)
+    if (active_ || staging_ != nullptr)
         start_ = TraceRecorder::instance().nowNs();
 }
 
 TraceSpan::~TraceSpan()
 {
-    if (!active_)
+    if (!active_ && staging_ == nullptr)
         return;
     TraceRecorder &rec = TraceRecorder::instance();
     const FrameContext &ctx = frameContext();
+    const int64_t end = rec.nowNs();
+    if (staging_ != nullptr) {
+        ExemplarSpan span;
+        span.kind = kind_;
+        span.layer = layer_;
+        span.flags = flags_;
+        span.startNs = start_;
+        span.durNs = end - start_;
+        span.a = a_;
+        span.b = b_;
+        span.c = c_;
+        span.d = d_;
+        staging_->add(span);
+    }
+    if (!active_)
+        return;
     TraceEvent ev;
     ev.kind = kind_;
     ev.startNs = start_;
-    ev.durNs = rec.nowNs() - start_;
+    ev.durNs = end - start_;
     ev.layer = layer_;
     ev.flags = flags_;
     ev.a = a_;
@@ -357,11 +403,26 @@ recordInstant(SpanKind kind, int32_t layer, int64_t a, int64_t b,
               int64_t c, int64_t d, uint64_t session, uint64_t frame)
 {
     TraceRecorder &rec = TraceRecorder::instance();
+    ExemplarStaging *staging = frameContext().staging;
+    if (!rec.enabled() && staging == nullptr)
+        return;
+    const int64_t now = rec.nowNs();
+    if (staging != nullptr) {
+        ExemplarSpan span;
+        span.kind = kind;
+        span.layer = layer;
+        span.startNs = now;
+        span.a = a;
+        span.b = b;
+        span.c = c;
+        span.d = d;
+        staging->add(span);
+    }
     if (!rec.enabled())
         return;
     TraceEvent ev;
     ev.kind = kind;
-    ev.startNs = rec.nowNs();
+    ev.startNs = now;
     ev.durNs = 0;
     ev.layer = layer;
     ev.a = a;
@@ -377,13 +438,26 @@ void
 recordSpanAt(SpanKind kind, int64_t start_ns, int64_t end_ns,
              uint64_t session, uint64_t frame, int64_t a, int64_t b)
 {
-    if (!traceActive())
+    const FrameContext &ctx = frameContext();
+    if (!ctx.active && ctx.staging == nullptr)
         return;
     TraceRecorder &rec = TraceRecorder::instance();
+    const int64_t dur = end_ns > start_ns ? end_ns - start_ns : 0;
+    if (ctx.staging != nullptr) {
+        ExemplarSpan span;
+        span.kind = kind;
+        span.startNs = start_ns;
+        span.durNs = dur;
+        span.a = a;
+        span.b = b;
+        ctx.staging->add(span);
+    }
+    if (!ctx.active)
+        return;
     TraceEvent ev;
     ev.kind = kind;
     ev.startNs = start_ns;
-    ev.durNs = end_ns > start_ns ? end_ns - start_ns : 0;
+    ev.durNs = dur;
     ev.a = a;
     ev.b = b;
     ev.session = session;

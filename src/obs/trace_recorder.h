@@ -68,6 +68,10 @@ enum class SpanKind : uint32_t {
     CorruptionRecovery,
     /** A frame was shed for overload (instant). */
     FrameShed,
+    /** An idle worker stole a frame from another shard (instant). */
+    Steal,
+    /** A session migrated between shards (instant). */
+    Migration,
     kCount,
 };
 
@@ -241,16 +245,21 @@ class TraceRecorder
         GUARDED_BY(rings_mu_);
 };
 
+struct ExemplarStaging;
+
 /**
  * Per-thread frame trace context: which session/frame the spans
- * emitted on this thread belong to, and whether the current frame is
- * sampled.  Managed by FrameTraceScope; read by TraceSpan.
+ * emitted on this thread belong to, whether the current frame is
+ * sampled, and where exemplar staging writes land while the exemplar
+ * recorder is armed.  Managed by FrameTraceScope; read by TraceSpan.
  */
 struct FrameContext {
     int depth = 0;
     bool active = false;
     uint64_t session = 0;
     uint64_t frame = 0;
+    /** Non-null while the current frame stages exemplar spans. */
+    ExemplarStaging *staging = nullptr;
 };
 
 /** The calling thread's frame context (for tests/instrumentation). */
@@ -265,9 +274,12 @@ traceActive()
 
 /**
  * RAII scope around one frame's execution.  The outermost scope on a
- * thread makes the sampling decision and emits a FrameExec span on
- * exit; nested scopes (the engine under the serving runtime) are
- * pass-throughs that keep the outer decision and identifiers.
+ * thread makes the sampling decision, arms exemplar staging when the
+ * exemplar recorder is armed, and emits a FrameExec span on exit;
+ * nested scopes (the engine under the serving runtime) are
+ * pass-throughs that keep the outer decision and identifiers.  The
+ * staged spans survive scope exit in the thread-local buffer so the
+ * caller can hand them to ExemplarRecorder::finishFrame().
  */
 class FrameTraceScope
 {
@@ -286,6 +298,9 @@ class FrameTraceScope
     /** True when this frame is being traced. */
     bool active() const { return frameContext().active; }
 
+    /** True when this frame is staging exemplar spans. */
+    bool staged() const { return frameContext().staging != nullptr; }
+
   private:
     bool outer_ = false;
     int64_t start_ = 0;
@@ -293,7 +308,8 @@ class FrameTraceScope
 
 /**
  * RAII span: records [construction, destruction) when the thread is
- * inside a sampled frame, else costs two branches.
+ * inside a sampled frame and/or stages it when the frame is staging
+ * exemplar spans, else costs two branches.
  */
 class TraceSpan
 {
@@ -315,10 +331,17 @@ class TraceSpan
         flags_ = flags;
     }
 
-    bool active() const { return active_; }
+    /**
+     * True when someone consumes this span — the frame is trace-
+     * sampled or staging exemplar spans — so callers know to compute
+     * and attach args.  Exemplar capture with tracing off still needs
+     * the per-layer MAC counts for reuse-ratio and attribution.
+     */
+    bool active() const { return active_ || staging_ != nullptr; }
 
   private:
     bool active_;
+    ExemplarStaging *staging_;
     SpanKind kind_;
     int32_t layer_;
     int64_t start_ = 0;
@@ -328,7 +351,9 @@ class TraceSpan
 
 /**
  * Records a rare instant event (eviction, refresh, shed, ...).
- * Subject only to tracing being enabled, not to frame sampling.
+ * Subject only to tracing being enabled, not to frame sampling; also
+ * staged when the calling thread's frame is staging exemplar spans
+ * (even with tracing off entirely).
  */
 void recordInstant(SpanKind kind, int32_t layer = -1, int64_t a = 0,
                    int64_t b = 0, int64_t c = 0, int64_t d = 0,

@@ -1,0 +1,153 @@
+#include "serve/burn_rate.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace reuse {
+
+SloBurnTracker::SloBurnTracker(const Config &config) : config_(config)
+{
+    if (config_.fastWindowMicros <= 0 || config_.slowWindowMicros <= 0)
+        fatal("SloBurnTracker: windows must be positive");
+    if (config_.slowWindowMicros < config_.fastWindowMicros)
+        fatal("SloBurnTracker: slow window shorter than fast window");
+    // Six buckets across the fast window keeps its quantization error
+    // under ~17% while the slow window reuses the same ring.
+    bucket_micros_ = std::max<int64_t>(1, config_.fastWindowMicros / 6);
+    const int64_t needed =
+        (config_.slowWindowMicros + bucket_micros_ - 1) /
+            bucket_micros_ +
+        1;
+    if (needed > static_cast<int64_t>(kMaxBuckets)) {
+        bucket_micros_ =
+            (config_.slowWindowMicros + kMaxBuckets - 2) /
+            (kMaxBuckets - 1);
+        buckets_ = kMaxBuckets;
+    } else {
+        buckets_ = static_cast<size_t>(needed);
+    }
+    for (size_t c = 0; c < kSloClassCount; ++c) {
+        cum_total_[c].store(0, std::memory_order_relaxed);
+        cum_bad_[c].store(0, std::memory_order_relaxed);
+    }
+}
+
+void
+SloBurnTracker::record(SloClass slo, bool bad, int64_t now_micros)
+{
+    const size_t c = static_cast<size_t>(slo);
+    const int64_t epoch = now_micros / bucket_micros_;
+    Bucket &bucket = rings_[c][static_cast<size_t>(epoch) % buckets_];
+    int64_t seen = bucket.epoch.load(std::memory_order_acquire);
+    if (seen != epoch) {
+        if (bucket.epoch.compare_exchange_strong(
+                seen, epoch, std::memory_order_acq_rel)) {
+            // This thread claimed the recycled bucket; zero it.
+            bucket.total.store(0, std::memory_order_relaxed);
+            bucket.bad.store(0, std::memory_order_relaxed);
+        }
+    }
+    bucket.total.fetch_add(1, std::memory_order_relaxed);
+    if (bad)
+        bucket.bad.fetch_add(1, std::memory_order_relaxed);
+    cum_total_[c].fetch_add(1, std::memory_order_relaxed);
+    if (bad)
+        cum_bad_[c].fetch_add(1, std::memory_order_relaxed);
+}
+
+void
+SloBurnTracker::sumWindow(SloClass slo, int64_t window_micros,
+                          int64_t now_micros, uint64_t *total,
+                          uint64_t *bad) const
+{
+    const size_t c = static_cast<size_t>(slo);
+    const int64_t now_epoch = now_micros / bucket_micros_;
+    const int64_t window_buckets =
+        std::max<int64_t>(1, window_micros / bucket_micros_);
+    *total = 0;
+    *bad = 0;
+    for (size_t i = 0; i < buckets_; ++i) {
+        const Bucket &bucket = rings_[c][i];
+        const int64_t epoch =
+            bucket.epoch.load(std::memory_order_acquire);
+        if (epoch < 0 || epoch > now_epoch ||
+            epoch <= now_epoch - window_buckets)
+            continue;
+        *total += bucket.total.load(std::memory_order_relaxed);
+        *bad += bucket.bad.load(std::memory_order_relaxed);
+    }
+}
+
+double
+SloBurnTracker::missFraction(SloClass slo, BurnWindow window,
+                             int64_t now_micros) const
+{
+    const int64_t span = window == BurnWindow::Fast
+                             ? config_.fastWindowMicros
+                             : config_.slowWindowMicros;
+    uint64_t total = 0;
+    uint64_t bad = 0;
+    sumWindow(slo, span, now_micros, &total, &bad);
+    if (total == 0)
+        return 0.0;
+    return static_cast<double>(bad) / static_cast<double>(total);
+}
+
+double
+SloBurnTracker::burnRate(SloClass slo, BurnWindow window,
+                         int64_t now_micros) const
+{
+    const double budget =
+        config_.budgetFraction[static_cast<size_t>(slo)];
+    if (budget <= 0.0)
+        return 0.0;
+    return missFraction(slo, window, now_micros) / budget;
+}
+
+double
+SloBurnTracker::budgetConsumed(SloClass slo) const
+{
+    const size_t c = static_cast<size_t>(slo);
+    const uint64_t total =
+        cum_total_[c].load(std::memory_order_relaxed);
+    if (total == 0)
+        return 0.0;
+    const double budget = config_.budgetFraction[c];
+    if (budget <= 0.0)
+        return 0.0;
+    const double frac =
+        static_cast<double>(cum_bad_[c].load(std::memory_order_relaxed)) /
+        static_cast<double>(total);
+    return frac / budget;
+}
+
+uint64_t
+SloBurnTracker::totalFrames(SloClass slo) const
+{
+    return cum_total_[static_cast<size_t>(slo)].load(
+        std::memory_order_relaxed);
+}
+
+uint64_t
+SloBurnTracker::badFrames(SloClass slo) const
+{
+    return cum_bad_[static_cast<size_t>(slo)].load(
+        std::memory_order_relaxed);
+}
+
+void
+SloBurnTracker::reset()
+{
+    for (size_t c = 0; c < kSloClassCount; ++c) {
+        for (size_t i = 0; i < kMaxBuckets; ++i) {
+            rings_[c][i].epoch.store(-1, std::memory_order_relaxed);
+            rings_[c][i].total.store(0, std::memory_order_relaxed);
+            rings_[c][i].bad.store(0, std::memory_order_relaxed);
+        }
+        cum_total_[c].store(0, std::memory_order_relaxed);
+        cum_bad_[c].store(0, std::memory_order_relaxed);
+    }
+}
+
+} // namespace reuse

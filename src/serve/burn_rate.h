@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Multi-window SLO error-budget burn-rate accounting.
+ *
+ * Each SLO class has an error budget: the fraction of frames allowed
+ * to miss their deadline (or be shed) while the SLO still holds.  The
+ * burn rate over a window is
+ *
+ *     burn = (missed / total over the window) / budget_fraction
+ *
+ * so burn == 1 consumes the budget exactly at the sustainable pace,
+ * and burn == 14 (the classic fast-window page threshold) exhausts a
+ * 30-day budget in ~2 days.  Two windows are tracked per class — a
+ * fast window that catches sharp regressions quickly and a slow
+ * window that rides out blips — the standard multi-window alerting
+ * pair.
+ *
+ * Implementation: a ring of time buckets per class (bucket width =
+ * fastWindow/6; ring length covers the slow window).  Buckets are
+ * claimed by epoch CAS and updated with relaxed atomics — a recorder
+ * racing a reader can mis-place one frame at a bucket boundary, which
+ * is metrics-grade tolerance; under the virtual test clock the
+ * single-threaded sequence is exactly deterministic.  All timestamps
+ * are caller-supplied serve-clock microseconds.
+ */
+
+#ifndef REUSE_DNN_SERVE_BURN_RATE_H
+#define REUSE_DNN_SERVE_BURN_RATE_H
+
+#include <atomic>
+#include <cstdint>
+
+#include "serve/slo.h"
+
+namespace reuse {
+
+/** Which accounting window a burn-rate query reads. */
+enum class BurnWindow {
+    Fast,
+    Slow,
+};
+
+/** Per-class multi-window deadline-miss burn tracker. */
+class SloBurnTracker
+{
+  public:
+    struct Config {
+        /** Fast alerting window (catches sharp regressions). */
+        int64_t fastWindowMicros = 60'000'000;
+        /** Slow alerting window (rides out blips). */
+        int64_t slowWindowMicros = 600'000'000;
+        /**
+         * Error budget per class: allowed miss fraction.  Interactive
+         * and Standard serve humans (1%); Batch tolerates more.
+         */
+        double budgetFraction[kSloClassCount] = {0.01, 0.01, 0.05};
+    };
+
+    SloBurnTracker() : SloBurnTracker(Config()) {}
+    explicit SloBurnTracker(const Config &config);
+
+    /**
+     * Accounts one frame outcome (completion or shed) for `slo` at
+     * serve-clock time `now_micros`.  `bad` = deadline missed or
+     * frame shed.
+     */
+    void record(SloClass slo, bool bad, int64_t now_micros);
+
+    /**
+     * Burn rate of `slo` over `window` ending at `now_micros`; 0 when
+     * the window saw no frames.
+     */
+    double burnRate(SloClass slo, BurnWindow window,
+                    int64_t now_micros) const;
+
+    /** Windowed miss fraction (numerator of the burn rate). */
+    double missFraction(SloClass slo, BurnWindow window,
+                        int64_t now_micros) const;
+
+    /**
+     * Cumulative budget consumption since the last reset: bad/total
+     * over all recorded frames divided by the budget fraction (1.0 =
+     * the whole budget is gone if the recording period were the SLO
+     * period).
+     */
+    double budgetConsumed(SloClass slo) const;
+
+    /** Frames recorded for `slo` since the last reset. */
+    uint64_t totalFrames(SloClass slo) const;
+
+    /** Bad (missed/shed) frames recorded since the last reset. */
+    uint64_t badFrames(SloClass slo) const;
+
+    const Config &config() const { return config_; }
+
+    /** Zeroes all windows and cumulative counters. */
+    void reset();
+
+  private:
+    /** One time bucket of outcomes, claimed by epoch CAS. */
+    struct Bucket {
+        std::atomic<int64_t> epoch{-1};
+        std::atomic<uint64_t> total{0};
+        std::atomic<uint64_t> bad{0};
+    };
+
+    /** Ring length covering the slow window. */
+    static constexpr size_t kMaxBuckets = 64;
+
+    void sumWindow(SloClass slo, int64_t window_micros,
+                   int64_t now_micros, uint64_t *total,
+                   uint64_t *bad) const;
+
+    Config config_;
+    int64_t bucket_micros_;
+    size_t buckets_;
+    Bucket rings_[kSloClassCount][kMaxBuckets];
+    std::atomic<uint64_t> cum_total_[kSloClassCount];
+    std::atomic<uint64_t> cum_bad_[kSloClassCount];
+};
+
+} // namespace reuse
+
+#endif // REUSE_DNN_SERVE_BURN_RATE_H

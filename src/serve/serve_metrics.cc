@@ -25,6 +25,8 @@ ServeMetrics::reset()
         class_latency_[c].reset();
     }
     latency_.reset();
+    burn_.reset();
+    last_event_micros_.store(0, std::memory_order_relaxed);
 }
 
 void
@@ -60,6 +62,20 @@ ServeMetrics::publishTo(StatRegistry &registry,
     set("steals", static_cast<double>(steals()));
     set("migrations", static_cast<double>(migrations()));
     set("deadline_misses", static_cast<double>(deadlineMisses()));
+    // Cumulative histogram buckets (Prometheus le-style) so external
+    // dashboards can compute arbitrary quantiles without our
+    // interpolation; boundaries bracket the three SLO budgets.
+    static const double kLatencyBucketsUs[] = {1'000,   10'000, 50'000,
+                                               100'000, 1'000'000};
+    for (double le : kLatencyBucketsUs) {
+        set("latency_le_" + std::to_string(static_cast<int64_t>(le)) +
+                "us",
+            static_cast<double>(latency_.countAtOrBelow(le)));
+    }
+    set("latency_count", static_cast<double>(latency_.count()));
+    // Burn windows are evaluated at the newest accounted event so the
+    // numbers are deterministic under the virtual test clock.
+    const int64_t now = lastEventMicros();
     for (size_t c = 0; c < kSloClassCount; ++c) {
         const SloClass slo = static_cast<SloClass>(c);
         const std::string base =
@@ -73,6 +89,11 @@ ServeMetrics::publishTo(StatRegistry &registry,
             class_latency_[c].percentile(0.50));
         set(base + "latency_p99_us",
             class_latency_[c].percentile(0.99));
+        set(base + "burn_rate_fast",
+            burn_.burnRate(slo, BurnWindow::Fast, now));
+        set(base + "burn_rate_slow",
+            burn_.burnRate(slo, BurnWindow::Slow, now));
+        set(base + "budget_consumed", burn_.budgetConsumed(slo));
     }
 }
 

@@ -18,6 +18,7 @@
 #include "common/latency_histogram.h"
 #include "common/stats.h"
 #include "common/sync.h"
+#include "serve/burn_rate.h"
 #include "serve/slo.h"
 
 namespace reuse {
@@ -58,6 +59,18 @@ class ServeMetrics
             class_misses_[c].fetch_add(1, std::memory_order_relaxed);
     }
 
+    /**
+     * As above, plus burn-rate accounting at serve-clock time
+     * `now_micros` (the completion timestamp).
+     */
+    void frameCompleted(double latency_us, SloClass slo, bool missed,
+                        int64_t now_micros)
+    {
+        frameCompleted(latency_us, slo, missed);
+        burn_.record(slo, missed, now_micros);
+        advanceEventTime(now_micros);
+    }
+
     void sessionOpened()
     {
         sessions_opened_.fetch_add(1, std::memory_order_relaxed);
@@ -86,6 +99,17 @@ class ServeMetrics
         frameShed();
         class_shed_[static_cast<size_t>(slo)].fetch_add(
             1, std::memory_order_relaxed);
+    }
+
+    /**
+     * As above, plus burn-rate accounting: a shed frame burns error
+     * budget exactly like a deadline miss.
+     */
+    void frameShed(SloClass slo, int64_t now_micros)
+    {
+        frameShed(slo);
+        burn_.record(slo, true, now_micros);
+        advanceEventTime(now_micros);
     }
 
     /** An idle worker took a frame from another shard's run queue. */
@@ -215,6 +239,15 @@ class ServeMetrics
         return total;
     }
 
+    /** The multi-window error-budget burn tracker. */
+    const SloBurnTracker &burn() const { return burn_; }
+
+    /** Serve-clock time of the newest burn-accounted event. */
+    int64_t lastEventMicros() const
+    {
+        return last_event_micros_.load(std::memory_order_relaxed);
+    }
+
     /** Submit-to-completion latency distribution (microseconds). */
     const LatencyHistogram &latency() const { return latency_; }
 
@@ -244,6 +277,18 @@ class ServeMetrics
         EXCLUDES(snapshot_mu_);
 
   private:
+    /** Monotonic max of burn-accounted event times (virtual-clock
+     * safe: publishTo() evaluates windows at the newest event, not at
+     * a wall clock the test clock never advances). */
+    void advanceEventTime(int64_t now_micros)
+    {
+        int64_t cur = last_event_micros_.load(std::memory_order_relaxed);
+        while (now_micros > cur &&
+               !last_event_micros_.compare_exchange_weak(
+                   cur, now_micros, std::memory_order_relaxed)) {
+        }
+    }
+
     /**
      * Serializes reset() against publishTo() so published snapshots
      * are never torn across a reset.  Never taken on the per-frame
@@ -270,6 +315,8 @@ class ServeMetrics
     std::atomic<uint64_t> class_misses_[kSloClassCount]{};
     LatencyHistogram latency_;
     LatencyHistogram class_latency_[kSloClassCount];
+    SloBurnTracker burn_;
+    std::atomic<int64_t> last_event_micros_{0};
 };
 
 } // namespace reuse

@@ -70,6 +70,11 @@ struct FrameRequest {
     int64_t deadlineMicros = 0;
     /** 0-based index of this frame within its session's stream. */
     uint64_t frameIndex = 0;
+    /**
+     * Session placement epoch at submit time; the epoch delta at
+     * claim time counts the migrations this frame rode through.
+     */
+    uint64_t submitEpoch = 0;
 };
 
 /**

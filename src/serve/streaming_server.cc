@@ -1,11 +1,13 @@
 #include "streaming_server.h"
 
 #include <algorithm>
+#include <cstdlib>
 #include <map>
 
 #include "common/logging.h"
 #include "fault/fault_injector.h"
 #include "ir/plan_cache.h"
+#include "obs/exemplar.h"
 #include "obs/trace_recorder.h"
 
 namespace reuse {
@@ -64,6 +66,27 @@ StreamingServer::StreamingServer(
                          << name << " is not servable");
         const bool inserted = zoo_.emplace(name, engine).second;
         REUSE_ASSERT(inserted, "duplicate model name " << name);
+    }
+    bool arm_exemplars = config_.exemplars.enabled;
+    if (const char *env = std::getenv("REUSE_EXEMPLARS")) {
+        if (env[0] != '\0' && std::string(env) != "0")
+            arm_exemplars = true;
+    }
+    if (arm_exemplars) {
+        // Process-wide on purpose (staging hooks live in the obs
+        // layer); a server that never enables exemplars leaves the
+        // recorder's prior state alone.
+        obs::ExemplarRecorder::Policy policy;
+        policy.armed = true;
+        policy.lowReuseFloor = config_.exemplars.lowReuseFloor;
+        policy.ringCapacity = config_.exemplars.ringCapacity;
+        for (size_t c = 0; c < kSloClassCount; ++c) {
+            policy.latencyThresholdMicros[c] =
+                config_.exemplars.latencyThresholdMicros[c];
+            policy.classNames.push_back(
+                sloClassName(static_cast<SloClass>(c)));
+        }
+        obs::ExemplarRecorder::instance().configure(policy);
     }
     if (!config_.manualDispatch)
         start(config_.workerThreads == 0 ? 1 : config_.workerThreads);
@@ -141,6 +164,7 @@ StreamingServer::submitFrame(SessionId id, Tensor input)
                      "session " << id << " is closing");
         frame_index = session->next_frame_index_++;
         req.frameIndex = frame_index;
+        req.submitEpoch = session->placement_epoch_;
         shard = session->shard_;
         // Blocking-submit contract: the frame is admitted even when
         // the deadline is provably unmeetable — it will simply count
@@ -201,11 +225,14 @@ StreamingServer::trySubmitFrame(SessionId id, Tensor input)
             const int64_t per = sched_.serviceEstimateMicros(shard);
             outcome.retryAfterMicros = per > 0 ? per : 1000;
             outcome.status = SubmitOutcome::Status::Shed;
-            metrics_.frameShed(session->slo());
+            metrics_.frameShed(session->slo(), now);
             obs::recordInstant(
                 obs::SpanKind::FrameShed, -1,
                 static_cast<int64_t>(session->pending_.size()),
                 outcome.retryAfterMicros, 0, 0, id, 0);
+            obs::ExemplarRecorder::instance().recordShed(
+                id, static_cast<uint8_t>(session->slo()),
+                outcome.retryAfterMicros, now);
             return outcome;
         }
         const Sched::Admit admit =
@@ -214,15 +241,19 @@ StreamingServer::trySubmitFrame(SessionId id, Tensor input)
             outcome.retryAfterMicros =
                 std::max<int64_t>(admit.retryAfterMicros, 1);
             outcome.status = SubmitOutcome::Status::Shed;
-            metrics_.frameShed(session->slo());
+            metrics_.frameShed(session->slo(), now);
             obs::recordInstant(
                 obs::SpanKind::FrameShed, -1,
                 static_cast<int64_t>(
                     sched_.pendingFrames(shard)),
                 outcome.retryAfterMicros, 0, 0, id, 0);
+            obs::ExemplarRecorder::instance().recordShed(
+                id, static_cast<uint8_t>(session->slo()),
+                outcome.retryAfterMicros, now);
             return outcome;
         }
         req.frameIndex = session->next_frame_index_++;
+        req.submitEpoch = session->placement_epoch_;
         session->pending_.push_back(std::move(req));
         if (session->run_state_ == Session::RunState::Idle) {
             session->run_state_ = Session::RunState::Queued;
@@ -251,7 +282,9 @@ StreamingServer::debugCorruptSessionState(SessionId id, uint64_t seed)
 
 Tensor
 StreamingServer::executeFrame(Session &session, FrameRequest &req,
-                              size_t exec_shard)
+                              size_t exec_shard,
+                              const DispatchContext &ctx,
+                              FrameExecInfo *info)
 {
     // Frame-delivery faults are decided outside the state lock: they
     // model the transport, not the execution.
@@ -267,7 +300,7 @@ StreamingServer::executeFrame(Session &session, FrameRequest &req,
     // is sampled and stamps every nested span (engine, kernels) with
     // the session/frame identifiers.
     obs::FrameTraceScope frame_scope(session.id(), req.frameIndex);
-    if (frame_scope.active()) {
+    if (frame_scope.active() || frame_scope.staged()) {
         obs::TraceRecorder &tracer = obs::TraceRecorder::instance();
         // Queue wait measured on the serve clock (virtual in tests),
         // mapped onto the tracer's own timeline ending now.
@@ -278,6 +311,12 @@ StreamingServer::executeFrame(Session &session, FrameRequest &req,
         const int64_t now_ns = tracer.nowNs();
         obs::recordSpanAt(obs::SpanKind::QueueWait, now_ns - wait_ns,
                           now_ns, session.id(), req.frameIndex);
+        if (ctx.stolen) {
+            obs::recordInstant(obs::SpanKind::Steal, -1,
+                               static_cast<int64_t>(exec_shard),
+                               static_cast<int64_t>(ctx.thiefShard),
+                               0, 0, session.id(), req.frameIndex);
+        }
     }
 
     const uint64_t sketch = ShardPlacer::inputSketch(req.input);
@@ -302,6 +341,8 @@ StreamingServer::executeFrame(Session &session, FrameRequest &req,
                 session.state_.reset();
                 session.cold_frames_.push_back(req.frameIndex);
                 session.evicted_since_last_frame_ = false;
+                if (info != nullptr)
+                    info->cold = true;
                 manager_.noteCorruptionRecovery(session);
                 obs::recordInstant(obs::SpanKind::CorruptionRecovery,
                                    -1, 0, 0, 0, 0, session.id(),
@@ -310,6 +351,8 @@ StreamingServer::executeFrame(Session &session, FrameRequest &req,
             if (session.evicted_since_last_frame_) {
                 session.cold_frames_.push_back(req.frameIndex);
                 session.evicted_since_last_frame_ = false;
+                if (info != nullptr)
+                    info->cold = true;
             }
             output = session.engine().execute(session.state_,
                                               req.input, trace);
@@ -340,11 +383,13 @@ StreamingServer::executeFrame(Session &session, FrameRequest &req,
 }
 
 bool
-StreamingServer::dispatchEntry(Sched::Entry &entry)
+StreamingServer::dispatchEntry(Sched::Entry &entry,
+                               const DispatchContext &ctx)
 {
     std::shared_ptr<Session> session = std::move(entry.payload);
     FrameRequest req;
     size_t exec_shard = 0;
+    uint64_t migrations = 0;
     {
         MutexLock lock(session->queue_mu_);
         if (entry.epoch != session->placement_epoch_) {
@@ -366,10 +411,13 @@ StreamingServer::dispatchEntry(Sched::Entry &entry)
         // claim time (migration only moves *pending* deadlines, so
         // this one stays put until completeFrame).
         exec_shard = session->shard_;
+        migrations = session->placement_epoch_ - req.submitEpoch;
     }
 
     const int64_t started = clock_->nowMicros();
-    Tensor output = executeFrame(*session, req, exec_shard);
+    FrameExecInfo exec_info;
+    Tensor output =
+        executeFrame(*session, req, exec_shard, ctx, &exec_info);
     manager_.noteExecution(*session);
     const int64_t completed = clock_->nowMicros();
     sched_.completeFrame(exec_shard, req.deadlineMicros,
@@ -382,7 +430,25 @@ StreamingServer::dispatchEntry(Sched::Entry &entry)
                                             std::memory_order_relaxed);
     metrics_.frameCompleted(
         static_cast<double>(completed - req.enqueuedMicros),
-        session->slo(), missed);
+        session->slo(), missed, completed);
+
+    obs::ExemplarRecorder &exemplars =
+        obs::ExemplarRecorder::instance();
+    if (exemplars.armed()) {
+        // Same thread that staged the spans in executeFrame: the
+        // commit-or-discard decision consumes the thread-local buffer.
+        obs::ExemplarRecorder::FrameMeta meta;
+        meta.session = session->id();
+        meta.frame = req.frameIndex;
+        meta.sloClass = static_cast<uint8_t>(session->slo());
+        meta.enqueuedMicros = req.enqueuedMicros;
+        meta.completedMicros = completed;
+        meta.deadlineMicros = req.deadlineMicros;
+        meta.coldRewarm = exec_info.cold;
+        meta.stolen = ctx.stolen;
+        meta.migrations = static_cast<uint32_t>(migrations);
+        exemplars.finishFrame(meta);
+    }
 
     {
         MutexLock lock(session->queue_mu_);
@@ -411,8 +477,11 @@ StreamingServer::workerLoop(size_t worker_index)
     Sched::Entry entry;
     size_t src = home;
     while (sched_.popBlocking(home, config_.workStealing, entry, src)) {
-        const bool ran = dispatchEntry(entry);
-        if (ran && src != home)
+        DispatchContext ctx;
+        ctx.stolen = src != home;
+        ctx.thiefShard = home;
+        const bool ran = dispatchEntry(entry, ctx);
+        if (ran && ctx.stolen)
             metrics_.workSteal();
         entry.payload.reset();
     }
@@ -430,9 +499,12 @@ StreamingServer::runOne(size_t shard, bool allow_steal)
             if (!allow_steal || !sched_.trySteal(shard, entry, src))
                 return false;
         }
-        const bool ran = dispatchEntry(entry);
+        DispatchContext ctx;
+        ctx.stolen = src != shard;
+        ctx.thiefShard = shard;
+        const bool ran = dispatchEntry(entry, ctx);
         if (ran) {
-            if (src != shard)
+            if (ctx.stolen)
                 metrics_.workSteal();
             return true;
         }
@@ -472,7 +544,7 @@ StreamingServer::migrateSession(SessionId id, size_t to_shard)
     }
     placer_.sessionMoved(from, to_shard, session->planFingerprint());
     metrics_.sessionMigrated();
-    obs::recordInstant(obs::SpanKind::FrameSubmit, -1,
+    obs::recordInstant(obs::SpanKind::Migration, -1,
                        static_cast<int64_t>(from),
                        static_cast<int64_t>(to_shard), 0, 0, id, 0);
     return true;
@@ -568,6 +640,18 @@ StreamingServer::publishStats(StatRegistry &registry) const
     set("serve.plan_cache.hits", static_cast<double>(plan_stats.hits));
     set("serve.plan_cache.misses",
         static_cast<double>(plan_stats.misses));
+    // Exemplar-capture loss accounting: dropped > 0 means the ring is
+    // overwriting tail evidence, staging overflows mean truncated
+    // attribution — both must be visible from the scrape endpoint,
+    // not just inside exported traces.
+    const obs::ExemplarRecorder &exemplars =
+        obs::ExemplarRecorder::instance();
+    set("obs.trace.exemplars_committed",
+        static_cast<double>(exemplars.committed()));
+    set("obs.trace.exemplars_dropped",
+        static_cast<double>(exemplars.dropped()));
+    set("obs.trace.exemplar_staging_overflows",
+        static_cast<double>(exemplars.stagingOverflows()));
 
     // Per-layer reuse health, aggregated across every live session of
     // each model.  Gauge names end in the EWMA-tracked suffixes the

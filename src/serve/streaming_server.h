@@ -116,6 +116,27 @@ class StreamingServer
          * (0 = capacity-only admission until the first completion).
          */
         int64_t initialServiceEstimateMicros = 0;
+        /**
+         * Tail-latency exemplar capture (obs/exemplar.h).  When
+         * enabled, every frame stages its spans and commits them to
+         * the exemplar ring if it missed its deadline, exceeded its
+         * class threshold, was shed, re-warmed cold, or fell under
+         * the reuse floor.  Also armed process-wide by the
+         * REUSE_EXEMPLARS environment variable (miss-only defaults).
+         */
+        struct ExemplarConfig {
+            bool enabled = false;
+            /**
+             * Per-class commit thresholds in microseconds; strictly
+             * greater commits.  <= 0 = deadline misses only.
+             */
+            int64_t latencyThresholdMicros[kSloClassCount] = {0, 0, 0};
+            /** Commit steady frames below this reuse; < 0 = off. */
+            double lowReuseFloor = -1.0;
+            /** Committed-exemplar ring capacity. */
+            size_t ringCapacity = 256;
+        };
+        ExemplarConfig exemplars;
     };
 
     /** Outcome of a non-blocking trySubmitFrame(). */
@@ -290,14 +311,28 @@ class StreamingServer
     void start(size_t worker_threads);
     void workerLoop(size_t worker_index);
 
+    /** How a frame reached the worker (steal/exemplar accounting). */
+    struct DispatchContext {
+        /** True when a worker of another shard took the entry. */
+        bool stolen = false;
+        /** The stealing worker's home shard (valid when stolen). */
+        size_t thiefShard = 0;
+    };
+
+    /** Completion-side facts executeFrame reports to dispatchEntry. */
+    struct FrameExecInfo {
+        /** Frame executed cold (eviction or corruption re-warm). */
+        bool cold = false;
+    };
+
     /**
      * Claims and executes one frame of the popped entry's session.
      * Returns false when the entry was stale (migration re-homed the
-     * session after the entry was pushed) — no frame ran.
-     * `src_shard` is only used for steal accounting; the frame's
-     * admission accounting lives on the session's home shard.
+     * session after the entry was pushed) — no frame ran.  `ctx`
+     * carries steal provenance into tracing/exemplar capture; the
+     * frame's admission accounting lives on the session's home shard.
      */
-    bool dispatchEntry(Sched::Entry &entry);
+    bool dispatchEntry(Sched::Entry &entry, const DispatchContext &ctx);
 
     /**
      * Executes `req` against `session` (the dequeue half of a pop)
@@ -306,7 +341,8 @@ class StreamingServer
      * future implies settled accounting.
      */
     Tensor executeFrame(Session &session, FrameRequest &req,
-                        size_t exec_shard);
+                        size_t exec_shard, const DispatchContext &ctx,
+                        FrameExecInfo *info);
 
     /** Resolved shard count for a config (before sched_ exists). */
     static size_t resolveShards(const Config &config);

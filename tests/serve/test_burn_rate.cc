@@ -1,0 +1,144 @@
+/**
+ * @file
+ * SloBurnTracker unit tests: multi-window burn-rate arithmetic over
+ * caller-supplied timestamps, window expiry as the bucket ring wraps,
+ * and cumulative budget consumption.  All times are explicit
+ * microseconds, so every expectation is exact.
+ */
+
+#include <gtest/gtest.h>
+
+#include "serve/burn_rate.h"
+
+namespace reuse {
+namespace {
+
+/** Small windows keep the arithmetic readable: fast 60 ms, slow
+ *  600 ms, bucket width 10 ms. */
+SloBurnTracker::Config
+smallWindows()
+{
+    SloBurnTracker::Config cfg;
+    cfg.fastWindowMicros = 60'000;
+    cfg.slowWindowMicros = 600'000;
+    return cfg;
+}
+
+TEST(SloBurnTracker, EmptyTrackerReportsZero)
+{
+    SloBurnTracker t(smallWindows());
+    EXPECT_EQ(t.burnRate(SloClass::Interactive, BurnWindow::Fast, 0),
+              0.0);
+    EXPECT_EQ(t.burnRate(SloClass::Interactive, BurnWindow::Slow, 0),
+              0.0);
+    EXPECT_EQ(t.missFraction(SloClass::Interactive, BurnWindow::Fast,
+                             0),
+              0.0);
+    EXPECT_EQ(t.budgetConsumed(SloClass::Interactive), 0.0);
+    EXPECT_EQ(t.totalFrames(SloClass::Interactive), 0u);
+}
+
+TEST(SloBurnTracker, BurnIsMissFractionOverBudget)
+{
+    SloBurnTracker t(smallWindows());
+    // 100 interactive frames at t=1ms, 2 bad: miss fraction 2% over
+    // a 1% budget -> burn 2.0 in both windows.
+    for (int i = 0; i < 100; ++i)
+        t.record(SloClass::Interactive, i < 2, 1'000);
+    EXPECT_DOUBLE_EQ(t.missFraction(SloClass::Interactive,
+                                    BurnWindow::Fast, 1'000),
+                     0.02);
+    EXPECT_DOUBLE_EQ(
+        t.burnRate(SloClass::Interactive, BurnWindow::Fast, 1'000),
+        2.0);
+    EXPECT_DOUBLE_EQ(
+        t.burnRate(SloClass::Interactive, BurnWindow::Slow, 1'000),
+        2.0);
+    EXPECT_EQ(t.totalFrames(SloClass::Interactive), 100u);
+    EXPECT_EQ(t.badFrames(SloClass::Interactive), 2u);
+}
+
+TEST(SloBurnTracker, ClassesAreIndependentWithOwnBudgets)
+{
+    SloBurnTracker t(smallWindows());
+    // 5% misses: interactive (1% budget) burns at 5, batch (5%
+    // budget) burns exactly at the sustainable pace.
+    for (int i = 0; i < 100; ++i) {
+        t.record(SloClass::Interactive, i < 5, 1'000);
+        t.record(SloClass::Batch, i < 5, 1'000);
+    }
+    EXPECT_DOUBLE_EQ(
+        t.burnRate(SloClass::Interactive, BurnWindow::Fast, 1'000),
+        5.0);
+    EXPECT_DOUBLE_EQ(
+        t.burnRate(SloClass::Batch, BurnWindow::Fast, 1'000), 1.0);
+    EXPECT_EQ(t.totalFrames(SloClass::Standard), 0u);
+}
+
+TEST(SloBurnTracker, FastWindowForgetsWhatSlowWindowRemembers)
+{
+    SloBurnTracker t(smallWindows());
+    // A burst of misses at t=5ms...
+    for (int i = 0; i < 10; ++i)
+        t.record(SloClass::Interactive, true, 5'000);
+    // ...then clean traffic at t=200ms.  The fast 60 ms window has
+    // aged the burst out; the slow 600 ms window still sees it.
+    for (int i = 0; i < 10; ++i)
+        t.record(SloClass::Interactive, false, 200'000);
+
+    EXPECT_DOUBLE_EQ(t.missFraction(SloClass::Interactive,
+                                    BurnWindow::Fast, 200'000),
+                     0.0);
+    EXPECT_DOUBLE_EQ(t.missFraction(SloClass::Interactive,
+                                    BurnWindow::Slow, 200'000),
+                     0.5);
+}
+
+TEST(SloBurnTracker, SlowWindowExpiresAfterRingWraps)
+{
+    SloBurnTracker t(smallWindows());
+    for (int i = 0; i < 4; ++i)
+        t.record(SloClass::Interactive, true, 1'000);
+    // Two slow windows later the buckets have been reclaimed: the
+    // windowed views are empty, the cumulative counters are not.
+    const int64_t later = 1'200'000;
+    t.record(SloClass::Interactive, false, later);
+    EXPECT_DOUBLE_EQ(t.missFraction(SloClass::Interactive,
+                                    BurnWindow::Slow, later),
+                     0.0);
+    EXPECT_EQ(t.totalFrames(SloClass::Interactive), 5u);
+    EXPECT_EQ(t.badFrames(SloClass::Interactive), 4u);
+}
+
+TEST(SloBurnTracker, BudgetConsumedIsCumulative)
+{
+    SloBurnTracker t(smallWindows());
+    // 50 frames, 1 bad, 1% budget: 2% miss over budget -> 2.0.
+    for (int i = 0; i < 50; ++i)
+        t.record(SloClass::Standard, i == 0, 1'000 + i);
+    EXPECT_DOUBLE_EQ(t.budgetConsumed(SloClass::Standard), 2.0);
+    // 50 more clean frames halve the cumulative miss fraction.
+    for (int i = 0; i < 50; ++i)
+        t.record(SloClass::Standard, false, 2'000 + i);
+    EXPECT_DOUBLE_EQ(t.budgetConsumed(SloClass::Standard), 1.0);
+}
+
+TEST(SloBurnTracker, ResetZeroesWindowsAndCumulatives)
+{
+    SloBurnTracker t(smallWindows());
+    for (int i = 0; i < 10; ++i)
+        t.record(SloClass::Interactive, true, 1'000);
+    t.reset();
+    EXPECT_EQ(t.totalFrames(SloClass::Interactive), 0u);
+    EXPECT_EQ(t.badFrames(SloClass::Interactive), 0u);
+    EXPECT_DOUBLE_EQ(
+        t.burnRate(SloClass::Interactive, BurnWindow::Fast, 1'000),
+        0.0);
+    EXPECT_DOUBLE_EQ(t.budgetConsumed(SloClass::Interactive), 0.0);
+    // The tracker keeps working after reset.
+    t.record(SloClass::Interactive, false, 2'000);
+    EXPECT_EQ(t.totalFrames(SloClass::Interactive), 1u);
+}
+
+} // namespace
+} // namespace reuse

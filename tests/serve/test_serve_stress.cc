@@ -22,6 +22,7 @@
 #include "nn/activations.h"
 #include "nn/fully_connected.h"
 #include "nn/initializers.h"
+#include "obs/exemplar.h"
 #include "quant/range_profiler.h"
 #include "serve/streaming_server.h"
 #include "support/diff_oracle.h"
@@ -268,6 +269,78 @@ TEST(ServeStress, OverloadShedsWithBackoffHint)
     server.drain();
     EXPECT_EQ(server.sessionSnapshot(id).framesCompleted,
               accepted.size());
+}
+
+/**
+ * Exemplar staging under contention: every worker thread stages spans
+ * into its thread-local buffer for every frame, and an impossible
+ * low-reuse floor forces every steady-state frame to commit into the
+ * shared ring while submissions race from multiple producer threads.
+ * TSan-clean execution plus consistent counters is the assertion: the
+ * ring can never hold more than committed-minus-dropped exemplars,
+ * and every committed exemplar carries a complete staged timeline.
+ */
+TEST(ServeStress, ExemplarStagingRacesStayConsistent)
+{
+    ServerFixture f;
+    ReuseEngine engine(f.net, f.plan);
+    constexpr size_t kSessions = 4;
+    constexpr size_t kFrames = 40;
+
+    StreamingServer::Config cfg;
+    cfg.workerThreads = 4;
+    cfg.exemplars.enabled = true;
+    cfg.exemplars.lowReuseFloor = 1.1;  // commit every steady frame
+    cfg.exemplars.ringCapacity = 32;    // force drops under the flood
+    StreamingServer server(engine, cfg);
+
+    std::vector<SessionId> ids;
+    std::vector<std::vector<Tensor>> streams;
+    for (size_t s = 0; s < kSessions; ++s) {
+        ids.push_back(server.openSession("default", s));
+        streams.push_back(f.stream(kFrames, 1300 + 7 * s));
+    }
+
+    // One producer thread per session races the worker pool.
+    std::vector<std::thread> producers;
+    std::vector<std::vector<std::future<Tensor>>> futures(kSessions);
+    for (size_t s = 0; s < kSessions; ++s) {
+        producers.emplace_back([&, s] {
+            for (size_t i = 0; i < kFrames; ++i)
+                futures[s].push_back(
+                    server.submitFrame(ids[s], streams[s][i]));
+        });
+    }
+    for (auto &p : producers)
+        p.join();
+    server.drain();
+    for (auto &per_session : futures)
+        for (auto &fut : per_session)
+            EXPECT_EQ(fut.get().numel(), 4);
+
+    obs::ExemplarRecorder &rec = obs::ExemplarRecorder::instance();
+    const std::vector<obs::Exemplar> ring = rec.snapshot();
+    const uint64_t committed = rec.committed();
+    const uint64_t dropped = rec.dropped();
+    // Every session's steady frames (all but the first) committed.
+    EXPECT_GE(committed, kSessions * (kFrames - 1));
+    EXPECT_EQ(ring.size(),
+              std::min<uint64_t>(committed - dropped, 32));
+    EXPECT_EQ(rec.stagingOverflows(), 0u);
+    for (const obs::Exemplar &ex : ring) {
+        EXPECT_NE(ex.causes & obs::kExemplarLowReuse, 0u);
+        EXPECT_FALSE(ex.truncated);
+        size_t frame_execs = 0;
+        for (const obs::ExemplarSpan &sp : ex.spans)
+            frame_execs += sp.kind == obs::SpanKind::FrameExec;
+        EXPECT_EQ(frame_execs, 1u) << "session " << ex.session
+                                   << " frame " << ex.frame;
+    }
+
+    obs::ExemplarRecorder::Policy off;
+    off.armed = false;
+    rec.configure(off);
+    rec.clear();
 }
 
 } // namespace

@@ -1,0 +1,215 @@
+/**
+ * @file
+ * Tail-latency doctor: decomposes the exemplars captured in a trace
+ * file or postmortem dump into named causes and prints a per-class
+ * attribution table, so "p99 regressed" turns into "queue wait under
+ * steals grew 4x" without re-running the workload.
+ *
+ * Usage:
+ *   latency_doctor FILE.json                # per-class cause tables
+ *   latency_doctor FILE.json --csv          # same, CSV
+ *   latency_doctor FILE.json --json         # machine-readable report
+ *   latency_doctor FILE.json --min-attribution=0.95 --class=interactive
+ *
+ * FILE.json is either a TraceExporter trace (exemplars section
+ * present when capture was armed) or a flight-recorder postmortem
+ * dump — the doctor detects which.  --min-attribution gates CI: exit
+ * 1 when the named class explains a smaller fraction of its exemplar
+ * wall time than required.
+ *
+ * Exit codes: 0 success, 1 parse failure or failed gate, 2 usage.
+ */
+
+#include <algorithm>
+#include <iostream>
+#include <string>
+
+#include "common/json.h"
+#include "common/table_writer.h"
+#include "obs/latency_attribution.h"
+#include "obs/trace_aggregate.h"
+
+using namespace reuse;
+
+namespace {
+
+int
+usage()
+{
+    std::cerr << "usage: latency_doctor FILE.json [--csv] [--json] "
+                 "[--min-attribution=F --class=NAME]\n";
+    return 2;
+}
+
+/** Wall samples of one class, reduced to a nearest-rank percentile. */
+double
+classPercentile(const obs::ClassAttribution &cls, double p)
+{
+    return obs::tracePercentile(cls.wallSamples, p);
+}
+
+void
+printJson(const obs::AttributionReport &report)
+{
+    std::cout << "{\"postmortem\":"
+              << (report.postmortem ? "true" : "false");
+    if (report.postmortem)
+        std::cout << ",\"reason\":\"" << jsonEscape(report.reason)
+                  << "\"";
+    std::cout << ",\"committed\":" << report.committed
+              << ",\"dropped\":" << report.dropped
+              << ",\"staging_overflows\":" << report.stagingOverflows
+              << ",\"classes\":{";
+    bool first_cls = true;
+    for (const auto &[name, cls] : report.classes) {
+        if (!first_cls)
+            std::cout << ",";
+        first_cls = false;
+        std::cout << "\"" << jsonEscape(name)
+                  << "\":{\"exemplars\":" << cls.exemplars
+                  << ",\"shed\":" << cls.shed
+                  << ",\"truncated\":" << cls.truncated
+                  << ",\"wall_us_total\":"
+                  << formatDouble(cls.wallUsTotal, 1)
+                  << ",\"p99_wall_us\":"
+                  << formatDouble(classPercentile(cls, 0.99), 1)
+                  << ",\"attributed_fraction\":"
+                  << formatDouble(cls.attributedFraction(), 6)
+                  << ",\"causes_us\":{";
+        for (size_t c = 0; c < obs::kAttrCauseCount; ++c) {
+            if (c)
+                std::cout << ",";
+            std::cout << "\""
+                      << obs::attrCauseName(
+                             static_cast<obs::AttrCause>(c))
+                      << "\":" << formatDouble(cls.causeUsTotal[c], 1);
+        }
+        std::cout << "}}";
+    }
+    std::cout << "}}\n";
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string path;
+    std::string gate_class;
+    double min_attribution = -1.0;
+    bool csv = false;
+    bool json = false;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg.rfind("--min-attribution=", 0) == 0) {
+            min_attribution = std::stod(
+                arg.substr(std::string("--min-attribution=").size()));
+        } else if (arg.rfind("--class=", 0) == 0) {
+            gate_class = arg.substr(std::string("--class=").size());
+        } else if (arg == "--csv") {
+            csv = true;
+        } else if (arg == "--json") {
+            json = true;
+        } else if (arg == "--help" || arg == "-h") {
+            usage();
+            return 0;
+        } else if (!arg.empty() && arg[0] == '-') {
+            std::cerr << "latency_doctor: unknown option " << arg
+                      << "\n";
+            return usage();
+        } else if (path.empty()) {
+            path = arg;
+        } else {
+            return usage();
+        }
+    }
+    if (path.empty())
+        return usage();
+    if (min_attribution >= 0.0 && gate_class.empty()) {
+        std::cerr << "latency_doctor: --min-attribution requires "
+                     "--class=NAME\n";
+        return usage();
+    }
+
+    JsonParseResult doc = parseJsonFile(path);
+    if (!doc.ok) {
+        std::cerr << "latency_doctor: " << doc.error << "\n";
+        return 1;
+    }
+    obs::AttributionReport report;
+    std::string why;
+    if (!obs::attributeExemplars(doc.value, &report, &why)) {
+        std::cerr << "latency_doctor: " << path << ": " << why
+                  << "\n";
+        return 1;
+    }
+
+    if (json) {
+        printJson(report);
+    } else {
+        std::cout << (report.postmortem ? "Postmortem: " : "Trace: ")
+                  << path;
+        if (report.postmortem)
+            std::cout << " (reason: " << report.reason << ")";
+        std::cout << "\nExemplars: " << report.exemplars.size()
+                  << " in file (" << report.committed
+                  << " committed, " << report.dropped << " dropped, "
+                  << report.stagingOverflows
+                  << " staging overflows)\n";
+        for (const auto &[name, cls] : report.classes) {
+            std::cout << "\nClass " << name << ": " << cls.exemplars
+                      << " exemplars";
+            if (cls.shed > 0)
+                std::cout << " + " << cls.shed << " shed";
+            if (cls.truncated > 0)
+                std::cout << " (" << cls.truncated << " truncated)";
+            std::cout << ", p50 wall "
+                      << formatDouble(classPercentile(cls, 0.50), 1)
+                      << " us, p99 wall "
+                      << formatDouble(classPercentile(cls, 0.99), 1)
+                      << " us, attributed "
+                      << formatPercent(cls.attributedFraction())
+                      << "\n";
+            if (cls.wallUsTotal <= 0.0)
+                continue;
+            TableWriter t({"Cause", "Total us", "Share"});
+            for (size_t c = 0; c < obs::kAttrCauseCount; ++c) {
+                const double us = cls.causeUsTotal[c];
+                if (us <= 0.0)
+                    continue;
+                t.addRow({obs::attrCauseName(
+                              static_cast<obs::AttrCause>(c)),
+                          formatDouble(us, 1),
+                          formatPercent(us / cls.wallUsTotal)});
+            }
+            if (csv)
+                t.printCsv(std::cout);
+            else
+                t.print(std::cout);
+        }
+    }
+
+    if (min_attribution >= 0.0) {
+        auto it = report.classes.find(gate_class);
+        if (it == report.classes.end() ||
+            it->second.exemplars == 0) {
+            std::cerr << "latency_doctor: gate FAILED — no "
+                         "attributable exemplars of class \""
+                      << gate_class << "\" in " << path << "\n";
+            return 1;
+        }
+        const double got = it->second.attributedFraction();
+        if (got < min_attribution) {
+            std::cerr << "latency_doctor: gate FAILED — class \""
+                      << gate_class << "\" attributed "
+                      << formatPercent(got) << " < required "
+                      << formatPercent(min_attribution) << "\n";
+            return 1;
+        }
+        std::cerr << "latency_doctor: gate ok — class \""
+                  << gate_class << "\" attributed "
+                  << formatPercent(got) << " >= "
+                  << formatPercent(min_attribution) << "\n";
+    }
+    return 0;
+}

@@ -152,5 +152,28 @@ main(int argc, char **argv)
     printKindLine(std::cout, agg, "corruption_recovery",
                   "corruption recoveries");
     printKindLine(std::cout, agg, "frame_submit", "submit instants");
+    printKindLine(std::cout, agg, "steal", "work steals");
+    printKindLine(std::cout, agg, "migration", "session migrations");
+
+    if (agg.hasExemplars) {
+        std::cout << "\nTail-latency exemplars: " << agg.exemplarCount
+                  << " in file (" << agg.exemplarsCommitted
+                  << " committed, " << agg.exemplarsDropped
+                  << " dropped, " << agg.exemplarStagingOverflows
+                  << " staging overflows)\n";
+        if (agg.exemplarsDropped > 0) {
+            std::cout << "WARNING: exemplar ring overflowed — "
+                      << agg.exemplarsDropped
+                      << " exemplars lost; raise "
+                         "exemplars.ringCapacity or export more "
+                         "often\n";
+        }
+        if (agg.exemplarStagingOverflows > 0) {
+            std::cout << "WARNING: per-frame staging overflowed "
+                      << agg.exemplarStagingOverflows
+                      << " times — attribution of truncated "
+                         "exemplars undercounts layer time\n";
+        }
+    }
     return 0;
 }
